@@ -1,0 +1,40 @@
+//! Measured companion of Figs. 8–9: the per-substep halo-exchange cost of
+//! the message runtime across rank counts (the α+β model's measured
+//! counterpart on the in-process wire).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpas_mesh::MeshPartition;
+use mpas_msg::comm::run_ranks;
+use mpas_msg::halo::{FieldKind, HaloExchanger};
+use std::time::Duration;
+
+fn bench_halo(c: &mut Criterion) {
+    let mesh = mpas_mesh::generate(5, 0);
+    let mut g = c.benchmark_group("fig8_halo_exchange");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &n_ranks in &[2usize, 4, 8] {
+        let part = MeshPartition::build(&mesh, n_ranks, 3);
+        let parts = part.ranks.clone();
+        g.bench_with_input(
+            BenchmarkId::new("cell_and_edge_field", n_ranks),
+            &n_ranks,
+            |b, &n| {
+                b.iter(|| {
+                    run_ranks(n, |mut ctx| {
+                        let mut hx = HaloExchanger::new(parts[ctx.rank].clone());
+                        let mut hc = vec![1.0; hx.local().n_cells()];
+                        let mut he = vec![2.0; hx.local().n_edges()];
+                        for _ in 0..4 {
+                            hx.exchange(&mut ctx, FieldKind::Cell, &mut hc);
+                            hx.exchange(&mut ctx, FieldKind::Edge, &mut he);
+                        }
+                    })
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_halo);
+criterion_main!(benches);

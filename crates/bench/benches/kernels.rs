@@ -1,0 +1,110 @@
+//! Measured cost of every Table-I pattern instance (the data behind the
+//! pattern-level load-balancing argument of Fig. 4): each stencil class has
+//! a distinct cost per output point, which is what the pattern-driven
+//! scheduler exploits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpas_swe::config::ModelConfig;
+use mpas_swe::kernels::ops;
+use mpas_swe::reconstruct::ReconstructCoeffs;
+use mpas_swe::state::Diagnostics;
+use mpas_swe::testcases::TestCase;
+use std::time::Duration;
+
+fn bench_patterns(c: &mut Criterion) {
+    let mesh = mpas_mesh::generate(5, 0);
+    let config = ModelConfig::default();
+    let tc = TestCase::Case5;
+    let state = tc.initial_state(&mesh);
+    let b = tc.topography(&mesh);
+    let f_vertex = tc.coriolis_vertex(&mesh);
+    let coeffs = ReconstructCoeffs::build(&mesh);
+    let mut d = Diagnostics::zeros(&mesh);
+    // Populate diagnostics once so every op sees realistic inputs.
+    mpas_swe::kernels::compute_solve_diagnostics(
+        &mesh, &config, &state.h, &state.u, &f_vertex, 100.0, &mut d,
+    );
+    let (nc, ne, nv) = (mesh.n_cells(), mesh.n_edges(), mesh.n_vertices());
+    let mut out_c = vec![0.0; nc];
+    let mut out_e = vec![0.0; ne];
+    let mut out_v = vec![0.0; nv];
+    let mut out_e2 = vec![0.0; ne];
+    let mut xyz = (vec![0.0; nc], vec![0.0; nc], vec![0.0; nc]);
+    let mut out_c2 = vec![0.0; nc];
+
+    let mut g = c.benchmark_group("table1_patterns");
+    g.sample_size(20).measurement_time(Duration::from_secs(1));
+    g.bench_function("A1_tend_h", |bch| {
+        bch.iter(|| ops::tend_h(&mesh, &state.u, &d.h_edge, &mut out_c, 0..nc))
+    });
+    g.bench_function("B1_tend_u", |bch| {
+        bch.iter(|| {
+            ops::tend_u(
+                &mesh, config.gravity, &d.pv_edge, &state.u, &d.h_edge, &d.ke,
+                &state.h, &b, &mut out_e, 0..ne,
+            )
+        })
+    });
+    g.bench_function("C1_tend_u_del2", |bch| {
+        bch.iter(|| {
+            ops::tend_u_del2(&mesh, 1e4, &d.divergence, &d.vorticity, &mut out_e, 0..ne)
+        })
+    });
+    g.bench_function("D_d2fdx2", |bch| {
+        bch.iter(|| ops::d2fdx2(&mesh, &state.h, &mut out_e, &mut out_e2, 0..ne))
+    });
+    g.bench_function("H2_h_edge", |bch| {
+        bch.iter(|| {
+            ops::h_edge(&mesh, &config, &state.h, &[], &[], &mut out_e, 0..ne)
+        })
+    });
+    g.bench_function("C2_vorticity", |bch| {
+        bch.iter(|| ops::vorticity(&mesh, &state.u, &mut out_v, 0..nv))
+    });
+    g.bench_function("A2_ke", |bch| {
+        bch.iter(|| ops::ke(&mesh, &state.u, &mut out_c, 0..nc))
+    });
+    g.bench_function("B2_divergence", |bch| {
+        bch.iter(|| ops::divergence(&mesh, &state.u, &mut out_c, 0..nc))
+    });
+    g.bench_function("H1_tangential_velocity", |bch| {
+        bch.iter(|| ops::tangential_velocity(&mesh, &state.u, &mut out_e, 0..ne))
+    });
+    g.bench_function("A3_vorticity_cell", |bch| {
+        bch.iter(|| ops::vorticity_cell(&mesh, &d.vorticity, &mut out_c, 0..nc))
+    });
+    g.bench_function("E_pv_vertex", |bch| {
+        bch.iter(|| {
+            ops::pv_vertex(&mesh, &state.h, &d.vorticity, &f_vertex, &mut out_v, 0..nv)
+        })
+    });
+    g.bench_function("F_pv_cell", |bch| {
+        bch.iter(|| ops::pv_cell(&mesh, &d.pv_vertex, &mut out_c, 0..nc))
+    });
+    g.bench_function("G_pv_edge", |bch| {
+        bch.iter(|| {
+            ops::pv_edge(
+                &mesh, 0.5, 100.0, &d.pv_vertex, &d.pv_cell, &state.u, &d.v,
+                &mut out_e, 0..ne,
+            )
+        })
+    });
+    g.bench_function("A4_reconstruct", |bch| {
+        bch.iter(|| {
+            ops::reconstruct_xyz(
+                &mesh, &coeffs, &state.u, &mut xyz.0, &mut xyz.1, &mut xyz.2, 0..nc,
+            )
+        })
+    });
+    g.bench_function("X6_zonal_meridional", |bch| {
+        bch.iter(|| {
+            ops::zonal_meridional(
+                &mesh, &xyz.0, &xyz.1, &xyz.2, &mut out_c, &mut out_c2, 0..nc,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_patterns);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Measured companion of Table III: cost of building the SCVT-like meshes
+//! (subdivision + Voronoi dual + TRiSK weights) by level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpas_mesh::{build_mesh, IcosaGrid};
+use std::time::Duration;
+
+fn bench_mesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_mesh_generation");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &level in &[3u32, 4, 5] {
+        g.bench_with_input(BenchmarkId::new("subdivide", level), &level, |b, &l| {
+            b.iter(|| IcosaGrid::subdivide(l))
+        });
+        let grid = IcosaGrid::subdivide(level);
+        g.bench_with_input(BenchmarkId::new("voronoi_dual", level), &level, |b, _| {
+            b.iter(|| build_mesh(&grid))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mesh);
+criterion_main!(benches);

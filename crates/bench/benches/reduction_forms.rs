@@ -1,0 +1,42 @@
+//! Measured companion of Fig. 6 and Algorithms 2–4: the three loop forms of
+//! the edge→cell irregular reduction, plus the scatter/gather forms of the
+//! real `tend_h` pattern. On any host the gather (Alg. 3) and branch-free
+//! label-matrix (Alg. 4) forms should beat the scatter form once data no
+//! longer fits in cache, and the label-matrix form vectorizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpas_patterns::reduction::{EdgeCellReduction, LabelMatrix};
+use mpas_swe::kernels::{ops, scatter};
+use std::time::Duration;
+
+fn bench_reduction_forms(c: &mut Criterion) {
+    let mesh = mpas_mesh::generate(5, 0); // 10 242 cells
+    let u: Vec<f64> =
+        (0..mesh.n_edges()).map(|e| (e as f64 * 0.17).sin()).collect();
+    let h_edge: Vec<f64> =
+        (0..mesh.n_edges()).map(|e| 1000.0 + (e % 13) as f64).collect();
+    let lm = LabelMatrix::build(&mesh);
+    let mut y = vec![0.0; mesh.n_cells()];
+
+    let mut g = c.benchmark_group("fig6_reduction_forms");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.bench_function(BenchmarkId::new("alg2_scatter", mesh.n_cells()), |b| {
+        b.iter(|| EdgeCellReduction::scatter(&mesh, &u, &mut y))
+    });
+    g.bench_function(BenchmarkId::new("alg3_gather", mesh.n_cells()), |b| {
+        b.iter(|| EdgeCellReduction::gather(&mesh, &u, &mut y))
+    });
+    g.bench_function(BenchmarkId::new("alg4_label_matrix", mesh.n_cells()), |b| {
+        b.iter(|| lm.apply(&u, &mut y))
+    });
+    g.bench_function(BenchmarkId::new("tend_h_scatter", mesh.n_cells()), |b| {
+        b.iter(|| scatter::tend_h_scatter(&mesh, &u, &h_edge, &mut y))
+    });
+    g.bench_function(BenchmarkId::new("tend_h_gather", mesh.n_cells()), |b| {
+        b.iter(|| ops::tend_h(&mesh, &u, &h_edge, &mut y, 0..mesh.n_cells()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reduction_forms);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Measured companion of Fig. 7: full RK-4 step cost under the serial,
+//! threaded and two-pool hybrid executors. On a multicore host the threaded
+//! executors pull ahead; on any host all three produce bit-identical states
+//! (asserted by the integration tests, not here).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpas_hybrid::{HybridModel, ParallelModel, Platform};
+use mpas_swe::config::ModelConfig;
+use mpas_swe::testcases::TestCase;
+use mpas_swe::ShallowWaterModel;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_step(c: &mut Criterion) {
+    let mesh = Arc::new(mpas_mesh::generate(5, 0)); // 10 242 cells
+    let cfg = ModelConfig::default();
+    let tc = TestCase::Case5;
+
+    let mut g = c.benchmark_group("fig7_rk4_step");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let mut serial = ShallowWaterModel::new(mesh.clone(), cfg, tc, None);
+    g.bench_function("serial", |b| b.iter(|| serial.step()));
+
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut par = ParallelModel::new(mesh.clone(), cfg, tc, None, threads);
+    g.bench_function(format!("threaded_{threads}"), |b| b.iter(|| par.step()));
+
+    let mut hyb = HybridModel::new(
+        mesh.clone(),
+        cfg,
+        tc,
+        None,
+        threads.div_ceil(2),
+        threads.div_ceil(2),
+        &Platform::paper_node(),
+    );
+    g.bench_function("hybrid_two_pool", |b| b.iter(|| hyb.step()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

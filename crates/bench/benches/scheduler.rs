@@ -1,0 +1,29 @@
+//! Cost of the scheduling machinery itself (the modeled side of Fig. 7):
+//! building the data-flow diagram and producing kernel-level and
+//! pattern-driven schedules must be negligible next to a time step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpas_hybrid::sched::{schedule_substep, Policy};
+use mpas_hybrid::Platform;
+use mpas_patterns::dataflow::{DataflowGraph, MeshCounts, RkPhase};
+use std::time::Duration;
+
+fn bench_sched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_scheduler");
+    g.sample_size(50).measurement_time(Duration::from_secs(1));
+    g.bench_function("build_dataflow_graph", |b| {
+        b.iter(|| DataflowGraph::for_substep(RkPhase::Intermediate))
+    });
+    let graph = DataflowGraph::for_substep(RkPhase::Intermediate);
+    let mc = MeshCounts::icosahedral(655_362);
+    let p = Platform::paper_node();
+    for policy in [Policy::Serial, Policy::KernelLevel, Policy::PatternDriven] {
+        g.bench_function(format!("schedule_{policy:?}"), |b| {
+            b.iter(|| schedule_substep(&graph, &mc, &p, policy))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

@@ -1,0 +1,203 @@
+//! Rendering cell fields to lon-lat raster images (binary PPM).
+//!
+//! The paper's Fig. 5 shows the total height field on a lon-lat map. This
+//! module samples a cell field onto an equirectangular grid by
+//! nearest-cell-center lookup (exact for piecewise-constant finite-volume
+//! data: every pixel displays the value of the Voronoi cell it falls in)
+//! and writes a blue→white→red diverging colormap as a PPM file that any
+//! image viewer opens.
+
+use mpas_geom::{LonLat, Vec3};
+use mpas_mesh::Mesh;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Spatial index for nearest-cell-center queries on the sphere.
+pub struct CellLocator<'m> {
+    mesh: &'m Mesh,
+    nlon: usize,
+    nlat: usize,
+    buckets: Vec<Vec<u32>>,
+}
+
+impl<'m> CellLocator<'m> {
+    /// Build a lon-lat bucket grid sized to the mesh resolution.
+    pub fn new(mesh: &'m Mesh) -> Self {
+        // ~2 cells per bucket on a quasi-uniform mesh.
+        let n = ((mesh.n_cells() as f64 / 2.0).sqrt() as usize).clamp(8, 512);
+        let (nlon, nlat) = (2 * n, n);
+        let mut buckets = vec![Vec::new(); nlon * nlat];
+        for i in 0..mesh.n_cells() {
+            let ll = mpas_geom::to_lonlat(mesh.x_cell[i]);
+            let (bx, by) = Self::bucket_of(ll, nlon, nlat);
+            buckets[by * nlon + bx].push(i as u32);
+        }
+        CellLocator { mesh, nlon, nlat, buckets }
+    }
+
+    fn bucket_of(ll: LonLat, nlon: usize, nlat: usize) -> (usize, usize) {
+        let bx = ((ll.lon / std::f64::consts::TAU) * nlon as f64) as usize;
+        let by = (((ll.lat + std::f64::consts::FRAC_PI_2) / std::f64::consts::PI)
+            * nlat as f64) as usize;
+        (bx.min(nlon - 1), by.min(nlat - 1))
+    }
+
+    /// Index of the cell whose center is nearest to `p`.
+    ///
+    /// Scans whole latitude bands outward from `p`'s band. Longitude
+    /// buckets converge at the poles, so per-band scans cover the full
+    /// longitude range; the sound stopping rule is that every unvisited
+    /// band is at least `(r-1) * π/nlat` of latitude away.
+    pub fn nearest_cell(&self, p: Vec3) -> usize {
+        let ll = mpas_geom::to_lonlat(p);
+        let (_, by) = Self::bucket_of(ll, self.nlon, self.nlat);
+        let band_height = std::f64::consts::PI / self.nlat as f64;
+        let mut best = (f64::INFINITY, 0usize); // (chord, cell)
+        for radius in 0..self.nlat as i64 {
+            let mut scanned = false;
+            for y in [by as i64 - radius, by as i64 + radius] {
+                if y < 0 || y >= self.nlat as i64 {
+                    continue;
+                }
+                if radius == 0 && y != by as i64 {
+                    continue; // avoid double-scanning the home band
+                }
+                scanned = true;
+                let row = y as usize * self.nlon;
+                for x in 0..self.nlon {
+                    for &c in &self.buckets[row + x] {
+                        let d = p.dist(self.mesh.x_cell[c as usize]);
+                        if d < best.0 {
+                            best = (d, c as usize);
+                        }
+                    }
+                }
+            }
+            if best.0.is_finite() {
+                // Arc lower bound to any cell in bands beyond `radius`.
+                let min_arc = (radius as f64) * band_height - band_height;
+                let best_arc = 2.0 * (best.0 / 2.0).asin();
+                if min_arc > best_arc {
+                    break;
+                }
+            }
+            if !scanned && best.0.is_finite() {
+                break; // ran off both poles
+            }
+        }
+        best.1
+    }
+}
+
+/// Sample a cell field on an equirectangular grid (row 0 = north).
+pub fn sample_lonlat(mesh: &Mesh, field: &[f64], width: usize, height: usize) -> Vec<f64> {
+    assert_eq!(field.len(), mesh.n_cells());
+    let locator = CellLocator::new(mesh);
+    let mut out = Vec::with_capacity(width * height);
+    for row in 0..height {
+        let lat = std::f64::consts::FRAC_PI_2
+            - (row as f64 + 0.5) / height as f64 * std::f64::consts::PI;
+        for col in 0..width {
+            let lon = (col as f64 + 0.5) / width as f64 * std::f64::consts::TAU;
+            let p = LonLat::new(lon, lat).to_unit_vector();
+            out.push(field[locator.nearest_cell(p)]);
+        }
+    }
+    out
+}
+
+/// Map a normalized value in [0,1] to a blue→white→red diverging color.
+fn diverging_rgb(t: f64) -> [u8; 3] {
+    let t = t.clamp(0.0, 1.0);
+    let lerp = |a: f64, b: f64, s: f64| (a + (b - a) * s) as u8;
+    if t < 0.5 {
+        let s = t * 2.0;
+        [lerp(40.0, 245.0, s), lerp(70.0, 245.0, s), lerp(160.0, 245.0, s)]
+    } else {
+        let s = (t - 0.5) * 2.0;
+        [lerp(245.0, 180.0, s), lerp(245.0, 40.0, s), lerp(245.0, 50.0, s)]
+    }
+}
+
+/// Write a sampled field as a binary PPM (P6) image.
+pub fn write_ppm(
+    path: impl AsRef<Path>,
+    values: &[f64],
+    width: usize,
+    height: usize,
+    vmin: f64,
+    vmax: f64,
+) -> io::Result<()> {
+    assert_eq!(values.len(), width * height);
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "P6\n{width} {height}\n255")?;
+    let span = (vmax - vmin).max(f64::MIN_POSITIVE);
+    for &v in values {
+        let t = (v - vmin) / span;
+        w.write_all(&diverging_rgb(t))?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_cell_is_truly_nearest() {
+        let mesh = mpas_mesh::generate(3, 0);
+        let locator = CellLocator::new(&mesh);
+        for k in 0..200 {
+            let p = LonLat::new(k as f64 * 0.0931, ((k * 17) as f64 * 0.013).sin() * 1.5)
+                .to_unit_vector();
+            let found = locator.nearest_cell(p);
+            let brute = (0..mesh.n_cells())
+                .min_by(|&a, &b| {
+                    p.dist(mesh.x_cell[a])
+                        .partial_cmp(&p.dist(mesh.x_cell[b]))
+                        .unwrap()
+                })
+                .unwrap();
+            assert_eq!(found, brute, "point {k}");
+        }
+    }
+
+    #[test]
+    fn sampling_reproduces_a_latitude_gradient() {
+        let mesh = mpas_mesh::generate(3, 0);
+        let field: Vec<f64> =
+            (0..mesh.n_cells()).map(|i| mesh.x_cell[i].z).collect();
+        let (w, h) = (64, 32);
+        let img = sample_lonlat(&mesh, &field, w, h);
+        assert_eq!(img.len(), w * h);
+        // Row means decrease monotonically from north to south.
+        let row_mean = |r: usize| -> f64 {
+            img[r * w..(r + 1) * w].iter().sum::<f64>() / w as f64
+        };
+        assert!(row_mean(0) > 0.8);
+        assert!(row_mean(h - 1) < -0.8);
+        for r in 0..h - 1 {
+            assert!(row_mean(r) >= row_mean(r + 1) - 0.05, "row {r}");
+        }
+    }
+
+    #[test]
+    fn ppm_file_is_well_formed() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("mpas_render_test.ppm");
+        let vals: Vec<f64> = (0..12).map(|k| k as f64).collect();
+        write_ppm(&path, &vals, 4, 3, 0.0, 11.0).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(bytes.starts_with(b"P6\n4 3\n255\n"));
+        assert_eq!(bytes.len(), b"P6\n4 3\n255\n".len() + 12 * 3);
+    }
+
+    #[test]
+    fn colormap_endpoints() {
+        assert_eq!(diverging_rgb(0.0), [40, 70, 160]); // blue
+        assert_eq!(diverging_rgb(1.0), [180, 40, 50]); // red
+        let mid = diverging_rgb(0.5);
+        assert!(mid.iter().all(|&c| c > 230)); // near white
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! High-level simulation API tying the whole reproduction together.
+//!
+//! Downstream users configure a [`Simulation`] (mesh resolution, Williamson
+//! test case, executor) and run it; the crate wires up mesh generation,
+//! the shallow-water core, the threaded/hybrid executors of `mpas-hybrid`,
+//! and the multi-rank distributed driver over `mpas-msg`.
+//!
+//! ```no_run
+//! use mpas_core::{Executor, Simulation};
+//! use mpas_swe::TestCase;
+//!
+//! let mut sim = Simulation::builder()
+//!     .mesh_level(4)
+//!     .test_case(TestCase::Case5)
+//!     .executor(Executor::Threaded { threads: 4 })
+//!     .build();
+//! sim.run_steps(10);
+//! println!("mass drift: {:e}", sim.mass_drift());
+//! ```
+
+pub mod distributed;
+pub mod simulation;
+
+pub use distributed::{run_distributed, DistributedConfig};
+pub use simulation::{Executor, Simulation, SimulationBuilder};

@@ -1,0 +1,278 @@
+//! The user-facing `Simulation` facade.
+
+use mpas_hybrid::{HybridModel, ParallelModel, Platform};
+use mpas_mesh::Mesh;
+use mpas_swe::config::ModelConfig;
+use mpas_swe::norms::ErrorNorms;
+use mpas_swe::state::State;
+use mpas_swe::testcases::TestCase;
+use mpas_swe::ShallowWaterModel;
+use std::sync::Arc;
+
+/// Which execution engine advances the model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Executor {
+    /// The reference single-threaded code ("original CPU code").
+    Serial,
+    /// The rayon/OpenMP-analog threaded executor.
+    Threaded {
+        /// Worker threads in the pool.
+        threads: usize,
+    },
+    /// The two-pool pattern-driven hybrid executor of Fig. 4 (b).
+    Hybrid {
+        /// Workers in the host pool.
+        cpu_threads: usize,
+        /// Workers in the simulated-accelerator pool.
+        acc_threads: usize,
+    },
+}
+
+/// Builder for [`Simulation`].
+pub struct SimulationBuilder {
+    mesh_level: u32,
+    lloyd_iters: u32,
+    mesh: Option<Arc<Mesh>>,
+    test_case: TestCase,
+    config: ModelConfig,
+    dt: Option<f64>,
+    executor: Executor,
+}
+
+impl Default for SimulationBuilder {
+    fn default() -> Self {
+        SimulationBuilder {
+            mesh_level: 3,
+            lloyd_iters: 0,
+            mesh: None,
+            test_case: TestCase::Case5,
+            config: ModelConfig::default(),
+            dt: None,
+            executor: Executor::Serial,
+        }
+    }
+}
+
+impl SimulationBuilder {
+    /// Icosahedral subdivision level (6..=9 match the paper's Table III).
+    pub fn mesh_level(mut self, level: u32) -> Self {
+        self.mesh_level = level;
+        self
+    }
+
+    /// Lloyd relaxation sweeps applied to the mesh.
+    pub fn lloyd_iters(mut self, iters: u32) -> Self {
+        self.lloyd_iters = iters;
+        self
+    }
+
+    /// Use a pre-built mesh instead of generating one.
+    pub fn mesh(mut self, mesh: Arc<Mesh>) -> Self {
+        self.mesh = Some(mesh);
+        self
+    }
+
+    /// Williamson test case (2, 5 or 6).
+    pub fn test_case(mut self, tc: TestCase) -> Self {
+        self.test_case = tc;
+        self
+    }
+
+    /// Numerical options.
+    pub fn config(mut self, config: ModelConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Explicit time step (seconds); default picks a stable CFL value.
+    pub fn dt(mut self, dt: f64) -> Self {
+        self.dt = Some(dt);
+        self
+    }
+
+    /// Execution engine.
+    pub fn executor(mut self, e: Executor) -> Self {
+        self.executor = e;
+        self
+    }
+
+    /// Build the simulation (generates the mesh if none was supplied).
+    pub fn build(self) -> Simulation {
+        let mesh = self
+            .mesh
+            .unwrap_or_else(|| Arc::new(mpas_mesh::generate(self.mesh_level, self.lloyd_iters)));
+        let engine = match self.executor {
+            Executor::Serial => Engine::Serial(ShallowWaterModel::new(
+                mesh.clone(),
+                self.config,
+                self.test_case,
+                self.dt,
+            )),
+            Executor::Threaded { threads } => Engine::Threaded(ParallelModel::new(
+                mesh.clone(),
+                self.config,
+                self.test_case,
+                self.dt,
+                threads,
+            )),
+            Executor::Hybrid { cpu_threads, acc_threads } => {
+                Engine::Hybrid(HybridModel::new(
+                    mesh.clone(),
+                    self.config,
+                    self.test_case,
+                    self.dt,
+                    cpu_threads,
+                    acc_threads,
+                    &Platform::paper_node(),
+                ))
+            }
+        };
+        let initial_mass = match &engine {
+            Engine::Serial(m) => Some(m.total_mass()),
+            _ => None,
+        };
+        let mut sim = Simulation { mesh, engine, test_case: self.test_case, initial_mass: 0.0 };
+        sim.initial_mass = initial_mass.unwrap_or_else(|| sim.total_mass());
+        sim
+    }
+}
+
+enum Engine {
+    Serial(ShallowWaterModel),
+    Threaded(ParallelModel),
+    Hybrid(HybridModel),
+}
+
+/// A configured shallow-water simulation.
+pub struct Simulation {
+    /// The mesh being integrated.
+    pub mesh: Arc<Mesh>,
+    engine: Engine,
+    /// The configured scenario.
+    pub test_case: TestCase,
+    initial_mass: f64,
+}
+
+impl Simulation {
+    /// Start building a simulation.
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder::default()
+    }
+
+    /// Advance `n` RK-4 steps.
+    pub fn run_steps(&mut self, n: usize) {
+        match &mut self.engine {
+            Engine::Serial(m) => m.run_steps(n),
+            Engine::Threaded(m) => m.run_steps(n),
+            Engine::Hybrid(m) => m.run_steps(n),
+        }
+    }
+
+    /// The prognostic state.
+    pub fn state(&self) -> &State {
+        match &self.engine {
+            Engine::Serial(m) => &m.state,
+            Engine::Threaded(m) => &m.state,
+            Engine::Hybrid(m) => m.state(),
+        }
+    }
+
+    /// Time step in seconds.
+    pub fn dt(&self) -> f64 {
+        match &self.engine {
+            Engine::Serial(m) => m.dt,
+            Engine::Threaded(m) => m.dt,
+            Engine::Hybrid(m) => m.dt(),
+        }
+    }
+
+    /// Total fluid mass (exactly conserved).
+    pub fn total_mass(&self) -> f64 {
+        let h = &self.state().h;
+        (0..self.mesh.n_cells())
+            .map(|i| h[i] * self.mesh.area_cell[i])
+            .sum()
+    }
+
+    /// Relative mass drift since initialization.
+    pub fn mass_drift(&self) -> f64 {
+        (self.total_mass() - self.initial_mass) / self.initial_mass
+    }
+
+    /// Thickness error norms vs the analytic solution (steady cases).
+    pub fn h_error_norms(&self) -> ErrorNorms {
+        let reference: Vec<f64> = (0..self.mesh.n_cells())
+            .map(|i| self.test_case.thickness_at(self.mesh.x_cell[i]))
+            .collect();
+        ErrorNorms::compute(&self.state().h, &reference, &self.mesh.area_cell)
+    }
+
+    /// Total height field `h + b` (the paper's Fig. 5 quantity).
+    pub fn total_height(&self) -> Vec<f64> {
+        let b: Vec<f64> = (0..self.mesh.n_cells())
+            .map(|i| self.test_case.topography_at(self.mesh.x_cell[i]))
+            .collect();
+        self.state().h.iter().zip(&b).map(|(&h, &b)| h + b).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_produce_runnable_simulation() {
+        let mut sim = Simulation::builder().mesh_level(2).build();
+        sim.run_steps(2);
+        assert!(sim.mass_drift().abs() < 1e-13);
+    }
+
+    #[test]
+    fn executors_agree_bitwise() {
+        let mesh = Arc::new(mpas_mesh::generate(3, 0));
+        let mk = |e: Executor| {
+            Simulation::builder()
+                .mesh(mesh.clone())
+                .test_case(TestCase::Case5)
+                .executor(e)
+                .build()
+        };
+        let mut serial = mk(Executor::Serial);
+        let mut threaded = mk(Executor::Threaded { threads: 3 });
+        let mut hybrid =
+            mk(Executor::Hybrid { cpu_threads: 2, acc_threads: 2 });
+        serial.run_steps(3);
+        threaded.run_steps(3);
+        hybrid.run_steps(3);
+        assert_eq!(serial.state().max_abs_diff(threaded.state()), 0.0);
+        assert_eq!(serial.state().max_abs_diff(hybrid.state()), 0.0);
+    }
+
+    #[test]
+    fn explicit_dt_is_respected_by_every_executor() {
+        let mesh = Arc::new(mpas_mesh::generate(2, 0));
+        for e in [
+            Executor::Serial,
+            Executor::Threaded { threads: 2 },
+            Executor::Hybrid { cpu_threads: 1, acc_threads: 1 },
+        ] {
+            let sim = Simulation::builder()
+                .mesh(mesh.clone())
+                .dt(123.0)
+                .executor(e)
+                .build();
+            assert_eq!(sim.dt(), 123.0, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn case2_norms_accessible_through_facade() {
+        let mut sim = Simulation::builder()
+            .mesh_level(3)
+            .test_case(TestCase::Case2 { alpha: 0.0 })
+            .build();
+        sim.run_steps(5);
+        let n = sim.h_error_norms();
+        assert!(n.l2 < 1e-2, "l2 {}", n.l2);
+    }
+}

@@ -1,0 +1,27 @@
+//! Physical constants used throughout the model, matching the values in the
+//! MPAS shallow-water core and the Williamson et al. (1992) test suite.
+
+/// Mean Earth radius `a` in meters (the MPAS `sphere_radius` default).
+pub const EARTH_RADIUS: f64 = 6.371_22e6;
+
+/// Earth's angular rotation rate `Omega` in rad/s.
+pub const OMEGA: f64 = 7.292e-5;
+
+/// Gravitational acceleration `g` in m/s^2 (Williamson standard value).
+pub const GRAVITY: f64 = 9.806_16;
+
+/// Seconds per day, used when reporting simulated time in days.
+pub const SECONDS_PER_DAY: f64 = 86_400.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_in_expected_ranges() {
+        assert!((6.3e6..6.4e6).contains(&EARTH_RADIUS));
+        assert!((7.2e-5..7.3e-5).contains(&OMEGA));
+        assert!((9.7..9.9).contains(&GRAVITY));
+        assert_eq!(SECONDS_PER_DAY, 24.0 * 3600.0);
+    }
+}

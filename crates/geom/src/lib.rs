@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! Spherical geometry substrate for the MPAS shallow-water reproduction.
+//!
+//! Everything in this crate operates on the unit sphere or a sphere of
+//! configurable radius. The MPAS horizontal mesh lives on the sphere, so all
+//! distances are great-circle arc lengths and all areas are spherical
+//! (geodesic) polygon areas. The crate is dependency-light and fully
+//! deterministic; it is the foundation for `mpas-mesh`.
+//!
+//! # Quick example
+//! ```
+//! use mpas_geom::{Vec3, arc_length, spherical_triangle_area};
+//! let a = Vec3::new(1.0, 0.0, 0.0);
+//! let b = Vec3::new(0.0, 1.0, 0.0);
+//! let c = Vec3::new(0.0, 0.0, 1.0);
+//! // One octant of the unit sphere: area 4*pi/8, sides pi/2.
+//! assert!((spherical_triangle_area(a, b, c) - std::f64::consts::PI / 2.0).abs() < 1e-12);
+//! assert!((arc_length(a, b) - std::f64::consts::PI / 2.0).abs() < 1e-12);
+//! ```
+
+mod constants;
+mod lonlat;
+mod rotation;
+mod sphere;
+mod vec3;
+
+pub use constants::*;
+pub use lonlat::*;
+pub use rotation::*;
+pub use sphere::*;
+pub use vec3::Vec3;

@@ -1,0 +1,52 @@
+//! Rotations about arbitrary axes (Rodrigues' formula).
+//!
+//! Used by the Williamson test cases, which allow the flow axis to be tilted
+//! with respect to the rotation axis by an angle `alpha`.
+
+use crate::Vec3;
+
+/// Rotate `v` by angle `theta` (radians, right-hand rule) about the unit
+/// vector `axis`.
+pub fn rotate_about_axis(v: Vec3, axis: Vec3, theta: f64) -> Vec3 {
+    let k = axis.normalized();
+    let (s, c) = theta.sin_cos();
+    v * c + k.cross(v) * s + k * (k.dot(v) * (1.0 - c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn rotation_preserves_norm_and_axis() {
+        let v = Vec3::new(0.3, -0.4, 0.87).normalized();
+        let axis = Vec3::new(1.0, 1.0, 0.0);
+        let r = rotate_about_axis(v, axis, 0.83);
+        assert!((r.norm() - v.norm()).abs() < 1e-14);
+        let a = rotate_about_axis(axis, axis, 1.0);
+        assert!(a.dist(axis) < 1e-14);
+    }
+
+    #[test]
+    fn quarter_turn_about_z() {
+        let r = rotate_about_axis(Vec3::X, Vec3::Z, PI / 2.0);
+        assert!(r.dist(Vec3::Y) < 1e-15);
+    }
+
+    #[test]
+    fn full_turn_is_identity() {
+        let v = Vec3::new(0.1, 0.2, 0.3);
+        let r = rotate_about_axis(v, Vec3::new(0.5, -0.5, 1.0), 2.0 * PI);
+        assert!(r.dist(v) < 1e-14);
+    }
+
+    #[test]
+    fn composition_of_rotations() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let ax = Vec3::new(0.0, 1.0, 0.3);
+        let r1 = rotate_about_axis(rotate_about_axis(v, ax, 0.4), ax, 0.6);
+        let r2 = rotate_about_axis(v, ax, 1.0);
+        assert!(r1.dist(r2) < 1e-13);
+    }
+}

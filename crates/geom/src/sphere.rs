@@ -1,0 +1,211 @@
+//! Great-circle metric, spherical areas, and spherical interpolation.
+//!
+//! All functions assume their arguments lie on (or are projected onto) the
+//! **unit** sphere; multiply lengths by `R` and areas by `R^2` to dimensionalize.
+
+use crate::Vec3;
+
+/// Great-circle (geodesic) arc length between two unit vectors, in radians.
+///
+/// Uses `atan2(|a x b|, a . b)`, which is accurate for both nearly-parallel
+/// and nearly-antipodal points (unlike `acos` of the dot product).
+#[inline]
+pub fn arc_length(a: Vec3, b: Vec3) -> f64 {
+    a.cross(b).norm().atan2(a.dot(b))
+}
+
+/// Midpoint of the shorter great-circle arc between two unit vectors.
+///
+/// # Panics
+/// Debug-panics for antipodal points, where the midpoint is undefined.
+#[inline]
+pub fn arc_midpoint(a: Vec3, b: Vec3) -> Vec3 {
+    (a + b).normalized()
+}
+
+/// Spherical linear interpolation along the shorter arc; `t=0` gives `a`,
+/// `t=1` gives `b`. Falls back to normalized lerp for tiny separations.
+pub fn slerp(a: Vec3, b: Vec3, t: f64) -> Vec3 {
+    let theta = arc_length(a, b);
+    if theta < 1e-12 {
+        return a.lerp(b, t).normalized();
+    }
+    let s = theta.sin();
+    (a * ((1.0 - t) * theta).sin() / s + b * (t * theta).sin() / s).normalized()
+}
+
+/// Signed spherical area of triangle `(a, b, c)` on the unit sphere.
+///
+/// Positive when the vertices wind counterclockwise as seen from outside the
+/// sphere. Uses Eriksson's solid-angle formula
+/// `tan(E/2) = a.(b x c) / (1 + a.b + b.c + c.a)`, which is robust for the
+/// small, well-shaped triangles arising from mesh subdivision.
+pub fn spherical_triangle_area_signed(a: Vec3, b: Vec3, c: Vec3) -> f64 {
+    let num = a.dot(b.cross(c));
+    let den = 1.0 + a.dot(b) + b.dot(c) + c.dot(a);
+    2.0 * num.atan2(den)
+}
+
+/// Unsigned spherical triangle area on the unit sphere.
+#[inline]
+pub fn spherical_triangle_area(a: Vec3, b: Vec3, c: Vec3) -> f64 {
+    spherical_triangle_area_signed(a, b, c).abs()
+}
+
+/// Spherical area of a simple polygon given by vertices in order
+/// (either orientation), on the unit sphere.
+///
+/// The polygon is fanned from its (normalized) centroid so that concave or
+/// slightly non-planar rings are handled consistently; Voronoi cells on a
+/// CVT mesh are convex, making the fan exact.
+pub fn spherical_polygon_area(verts: &[Vec3]) -> f64 {
+    assert!(verts.len() >= 3, "polygon needs at least 3 vertices");
+    let centroid: Vec3 = verts.iter().copied().sum::<Vec3>().normalized();
+    let mut area = 0.0;
+    for i in 0..verts.len() {
+        let j = (i + 1) % verts.len();
+        area += spherical_triangle_area_signed(centroid, verts[i], verts[j]);
+    }
+    area.abs()
+}
+
+/// Circumcenter of the spherical triangle `(a, b, c)`: the point equidistant
+/// from all three vertices, chosen on the same side as the triangle's
+/// orientation normal. This is the Voronoi-vertex generator used for the
+/// Delaunay-dual construction.
+pub fn spherical_circumcenter(a: Vec3, b: Vec3, c: Vec3) -> Vec3 {
+    let n = (b - a).cross(c - a);
+    debug_assert!(n.norm() > 0.0, "degenerate (collinear) triangle");
+    let cc = n.normalized();
+    // Orient toward the triangle itself (same hemisphere as the centroid).
+    if cc.dot(a + b + c) < 0.0 {
+        -cc
+    } else {
+        cc
+    }
+}
+
+/// Spherical centroid (center of mass projected to the sphere) of a spherical
+/// polygon, computed by fanning into triangles from the vertex average and
+/// weighting flat-triangle centroids by spherical triangle areas.
+///
+/// This is the fixed-point map of Lloyd's algorithm for spherical CVTs: a
+/// mesh is *centroidal* when every generator equals the centroid of its cell.
+pub fn spherical_polygon_centroid(verts: &[Vec3]) -> Vec3 {
+    assert!(verts.len() >= 3);
+    let anchor: Vec3 = verts.iter().copied().sum::<Vec3>().normalized();
+    let mut acc = Vec3::ZERO;
+    for i in 0..verts.len() {
+        let j = (i + 1) % verts.len();
+        let w = spherical_triangle_area(anchor, verts[i], verts[j]);
+        let tri_centroid = (anchor + verts[i] + verts[j]) / 3.0;
+        acc += tri_centroid * w;
+    }
+    acc.normalized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    const OCTANT: [Vec3; 3] = [Vec3::X, Vec3::Y, Vec3::Z];
+
+    #[test]
+    fn arc_length_quarter_circle() {
+        assert!((arc_length(Vec3::X, Vec3::Y) - PI / 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn arc_length_tiny_separation_is_accurate() {
+        let a = Vec3::X;
+        let b = Vec3::new(1.0, 1e-8, 0.0).normalized();
+        let d = arc_length(a, b);
+        assert!((d - 1e-8).abs() < 1e-16, "got {d}");
+    }
+
+    #[test]
+    fn arc_length_near_antipodal() {
+        let a = Vec3::X;
+        let b = Vec3::new(-1.0, 1e-8, 0.0).normalized();
+        assert!((arc_length(a, b) - (PI - 1e-8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn octant_area() {
+        let [a, b, c] = OCTANT;
+        assert!((spherical_triangle_area(a, b, c) - PI / 2.0).abs() < 1e-13);
+        // Signed area flips with orientation.
+        assert!(
+            (spherical_triangle_area_signed(a, c, b) + PI / 2.0).abs() < 1e-13
+        );
+    }
+
+    #[test]
+    fn hemisphere_polygon_area() {
+        // Equatorial square -> covers... a band? Use 4 equatorial points:
+        // polygon with vertices on the equator fanned from its centroid is
+        // degenerate; instead test a polar cap quadrilateral.
+        let lat = 0.7_f64;
+        let ring: Vec<Vec3> = (0..32)
+            .map(|k| {
+                let lon = 2.0 * PI * k as f64 / 32.0;
+                Vec3::new(
+                    lat.cos() * lon.cos(),
+                    lat.cos() * lon.sin(),
+                    lat.sin(),
+                )
+            })
+            .collect();
+        // Exact polar-cap area: 2*pi*(1 - sin(lat)); the 32-gon slightly less.
+        let cap = 2.0 * PI * (1.0 - lat.sin());
+        let poly = spherical_polygon_area(&ring);
+        assert!(poly < cap && poly > 0.99 * cap, "poly={poly} cap={cap}");
+    }
+
+    #[test]
+    fn circumcenter_equidistant() {
+        let a = Vec3::new(1.0, 0.1, 0.0).normalized();
+        let b = Vec3::new(0.9, 0.4, 0.2).normalized();
+        let c = Vec3::new(0.95, 0.0, 0.3).normalized();
+        let cc = spherical_circumcenter(a, b, c);
+        let (da, db, dc) = (arc_length(cc, a), arc_length(cc, b), arc_length(cc, c));
+        assert!((da - db).abs() < 1e-12 && (db - dc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circumcenter_is_near_triangle() {
+        let a = Vec3::new(1.0, 0.01, 0.0).normalized();
+        let b = Vec3::new(1.0, 0.0, 0.01).normalized();
+        let c = Vec3::new(1.0, -0.01, -0.01).normalized();
+        let cc = spherical_circumcenter(a, b, c);
+        assert!(cc.dot(a) > 0.9, "circumcenter flipped to the far hemisphere");
+    }
+
+    #[test]
+    fn centroid_of_symmetric_polygon_is_center() {
+        let lat = 1.2_f64;
+        let ring: Vec<Vec3> = (0..6)
+            .map(|k| {
+                let lon = 2.0 * PI * k as f64 / 6.0;
+                Vec3::new(lat.cos() * lon.cos(), lat.cos() * lon.sin(), lat.sin())
+            })
+            .collect();
+        let c = spherical_polygon_centroid(&ring);
+        assert!(c.dist(Vec3::Z) < 1e-12);
+    }
+
+    #[test]
+    fn slerp_stays_on_sphere_and_hits_endpoints() {
+        let a = Vec3::new(1.0, 0.2, -0.1).normalized();
+        let b = Vec3::new(-0.2, 1.0, 0.4).normalized();
+        assert!(slerp(a, b, 0.0).dist(a) < 1e-12);
+        assert!(slerp(a, b, 1.0).dist(b) < 1e-12);
+        for k in 0..=10 {
+            let p = slerp(a, b, k as f64 / 10.0);
+            assert!((p.norm() - 1.0).abs() < 1e-12);
+        }
+        // Midpoint of slerp equals arc midpoint.
+        assert!(slerp(a, b, 0.5).dist(arc_midpoint(a, b)) < 1e-12);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the spherical geometry substrate.
+
+use mpas_geom::*;
+use proptest::prelude::*;
+
+fn unit_vec() -> impl Strategy<Value = Vec3> {
+    // Sample via lon/lat away from the exact poles to keep east/north defined.
+    (0.0..std::f64::consts::TAU, -1.5..1.5f64)
+        .prop_map(|(lon, lat)| LonLat::new(lon, lat).to_unit_vector())
+}
+
+proptest! {
+    #[test]
+    fn triangle_inequality_on_sphere(a in unit_vec(), b in unit_vec(), c in unit_vec()) {
+        let ab = arc_length(a, b);
+        let bc = arc_length(b, c);
+        let ac = arc_length(a, c);
+        prop_assert!(ac <= ab + bc + 1e-12);
+    }
+
+    #[test]
+    fn arc_length_symmetric_and_bounded(a in unit_vec(), b in unit_vec()) {
+        let d1 = arc_length(a, b);
+        let d2 = arc_length(b, a);
+        prop_assert!((d1 - d2).abs() < 1e-14);
+        prop_assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&d1));
+    }
+
+    #[test]
+    fn rotation_preserves_pairwise_angles(a in unit_vec(), b in unit_vec(),
+                                          axis in unit_vec(), theta in -6.0..6.0f64) {
+        let ra = rotate_about_axis(a, axis, theta);
+        let rb = rotate_about_axis(b, axis, theta);
+        prop_assert!((arc_length(a, b) - arc_length(ra, rb)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn triangle_area_respects_girard_bounds(a in unit_vec(), b in unit_vec(), c in unit_vec()) {
+        let area = spherical_triangle_area(a, b, c);
+        // Any spherical triangle has area in [0, 2*pi).
+        prop_assert!(area >= 0.0 && area < std::f64::consts::TAU);
+    }
+
+    #[test]
+    fn triangle_fan_consistency(a in unit_vec(), b in unit_vec(), c in unit_vec()) {
+        // Splitting (a,b,c) at the arc-midpoint of (a,b) preserves signed area.
+        let area = spherical_triangle_area_signed(a, b, c);
+        if (a + b).norm() > 1e-6 {
+            let m = arc_midpoint(a, b);
+            let split = spherical_triangle_area_signed(a, m, c)
+                + spherical_triangle_area_signed(m, b, c);
+            prop_assert!((area - split).abs() < 1e-10, "area={area} split={split}");
+        }
+    }
+
+    #[test]
+    fn zonal_meridional_recomposes(p in unit_vec(), u in -5.0..5.0f64, v in -5.0..5.0f64) {
+        let vec = east_at(p) * u + north_at(p) * v;
+        let (zu, zv) = to_zonal_meridional(p, vec);
+        prop_assert!((zu - u).abs() < 1e-10);
+        prop_assert!((zv - v).abs() < 1e-10);
+    }
+
+    #[test]
+    fn slerp_monotone_along_arc(a in unit_vec(), b in unit_vec(), t in 0.0..1.0f64) {
+        prop_assume!(arc_length(a, b) > 1e-6 && arc_length(a, b) < 3.0);
+        let p = slerp(a, b, t);
+        let d_total = arc_length(a, b);
+        prop_assert!((arc_length(a, p) - t * d_total).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests of the makespan scheduler: structural validity and
+//! sound bounds across random mesh sizes and device parameters.
+
+use mpas_hybrid::sched::{schedule_substep, Placement, Policy};
+use mpas_hybrid::{DeviceSpec, Platform, TransferLink};
+use mpas_patterns::dataflow::{DataflowGraph, MeshCounts, RkPhase};
+use proptest::prelude::*;
+
+fn platform(cpu_bw: f64, acc_bw: f64, link_bw: f64) -> Platform {
+    let mut p = Platform::paper_node();
+    p.cpu = DeviceSpec { mem_bw: cpu_bw, ..p.cpu };
+    p.acc = DeviceSpec { mem_bw: acc_bw, ..p.acc };
+    p.link = TransferLink { latency: 1e-5, bandwidth: link_bw };
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every schedule respects dependencies, has non-negative intervals,
+    /// and its makespan is bounded below by the critical path on the
+    /// fastest device and above by fully-serial execution on the slowest.
+    #[test]
+    fn schedules_are_sound(
+        n_cells in 10_000usize..3_000_000,
+        cpu_bw in 5e9f64..60e9,
+        acc_bw in 5e9f64..120e9,
+        link_bw in 1e9f64..24e9,
+        final_phase in proptest::bool::ANY,
+    ) {
+        let phase = if final_phase { RkPhase::Final } else { RkPhase::Intermediate };
+        let g = DataflowGraph::for_substep(phase);
+        let mc = MeshCounts::icosahedral(n_cells);
+        let p = platform(cpu_bw, acc_bw, link_bw);
+        for policy in [Policy::KernelLevel, Policy::PatternDriven] {
+            let s = schedule_substep(&g, &mc, &p, policy);
+            prop_assert!(s.makespan.is_finite() && s.makespan > 0.0);
+            for (id, ns) in s.nodes.iter().enumerate() {
+                prop_assert!(ns.finish >= ns.start - 1e-12);
+                for &pred in &g.preds[id] {
+                    prop_assert!(
+                        s.nodes[pred].finish <= ns.start + 1e-9,
+                        "{:?}: dep violated {} -> {}",
+                        policy, s.nodes[pred].name, ns.name
+                    );
+                }
+                if let Placement::Split(f) = ns.placement {
+                    prop_assert!((0.0..=1.0).contains(&f));
+                }
+            }
+            // Lower bound: critical path at the best single-node rate.
+            let best = |w: mpas_patterns::dataflow::Work| {
+                p.cpu.node_time(w).min(p.acc.node_time(w))
+            };
+            let (cp, _) = g.critical_path(|n| best(n.work(&mc)));
+            // Splits can beat single-device node times, at most by the
+            // combined-bandwidth factor.
+            let combine = (p.cpu.mem_bw + p.acc.mem_bw)
+                / p.cpu.mem_bw.max(p.acc.mem_bw);
+            prop_assert!(
+                s.makespan > cp / combine * 0.99,
+                "{policy:?}: makespan {} below bound {}",
+                s.makespan,
+                cp / combine
+            );
+            // Upper bound: everything serial on the slower device.
+            let worst: f64 = g
+                .nodes
+                .iter()
+                .map(|n| p.cpu.node_time(n.work(&mc)).max(p.acc.node_time(n.work(&mc))))
+                .sum::<f64>()
+                + 8.0 * p.link.time(8.0 * 3.0 * n_cells as f64);
+            prop_assert!(s.makespan <= worst * 1.01);
+        }
+    }
+
+    /// Device busy time never exceeds the makespan, and pattern-driven
+    /// utilization beats kernel-level on balanced platforms.
+    #[test]
+    fn busy_time_bounded_by_makespan(
+        n_cells in 50_000usize..2_000_000,
+        scale in 0.5f64..2.0,
+    ) {
+        let g = DataflowGraph::for_substep(RkPhase::Intermediate);
+        let mc = MeshCounts::icosahedral(n_cells);
+        let p = platform(20e9 * scale, 28e9 * scale, 6e9);
+        for policy in [Policy::KernelLevel, Policy::PatternDriven] {
+            let s = schedule_substep(&g, &mc, &p, policy);
+            prop_assert!(s.cpu_busy <= s.makespan * 1.001);
+            prop_assert!(s.acc_busy <= s.makespan * 1.001);
+        }
+    }
+
+    /// Serial policy is exactly the sum of single-core node times,
+    /// regardless of the platform.
+    #[test]
+    fn serial_is_sum_of_node_times(n_cells in 10_000usize..1_000_000) {
+        let g = DataflowGraph::for_substep(RkPhase::Intermediate);
+        let mc = MeshCounts::icosahedral(n_cells);
+        let p = Platform::paper_node();
+        let s = schedule_substep(&g, &mc, &p, Policy::Serial);
+        let core = DeviceSpec::cpu_single_core();
+        let expect: f64 = g.nodes.iter().map(|n| core.node_time(n.work(&mc))).sum();
+        prop_assert!((s.makespan - expect).abs() < 1e-12 * expect);
+    }
+}

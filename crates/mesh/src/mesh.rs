@@ -1,0 +1,338 @@
+//! The MPAS horizontal-mesh specification.
+//!
+//! [`Mesh`] carries every connectivity and geometry array the shallow-water
+//! core needs, mirroring the MPAS mesh-file variables (`cellsOnEdge`,
+//! `edgesOnCell`, `weightsOnEdge`, `kiteAreasOnVertex`, ...). Variable-degree
+//! relations (cells have 5–7 edges) are stored in CSR form; fixed-degree
+//! relations (edges touch exactly 2 cells and 2 vertices, vertices exactly
+//! 3 cells and 3 edges) use inline arrays.
+//!
+//! # Ordering conventions (load-bearing — the kernels rely on these)
+//!
+//! * `cells_on_edge[e] = [c1, c2]`: the positive edge normal `n̂_e` points
+//!   from `c1` toward `c2`.
+//! * `vertices_on_edge[e] = [v1, v2]`: the positive edge tangent
+//!   `t̂_e = r̂ × n̂_e` points from `v1` toward `v2`.
+//! * `edges_on_cell` is ordered counterclockwise (seen from outside the
+//!   sphere); `vertices_on_cell[k]` is the vertex **between**
+//!   `edges_on_cell[k]` and `edges_on_cell[k+1 mod n]`; `cells_on_cell[k]`
+//!   is the neighbor across `edges_on_cell[k]`.
+//! * `cells_on_vertex[v]` is counterclockwise; `edges_on_vertex[v][k]` joins
+//!   `cells_on_vertex[v][k]` and `cells_on_vertex[v][(k+1) % 3]`.
+//! * `edge_sign_on_cell[k]` (parallel to `edges_on_cell`) is `+1` when the
+//!   edge normal points **out of** the cell.
+//! * `edge_sign_on_vertex[v][k]` is `+1` when traveling along `+n̂` on the
+//!   dual edge is **counterclockwise** around vertex `v`.
+
+use mpas_geom::Vec3;
+
+/// Index of a Voronoi cell (mass point).
+pub type CellId = u32;
+/// Index of an edge (velocity point).
+pub type EdgeId = u32;
+/// Index of a Voronoi corner / Delaunay triangle (vorticity point).
+pub type VertexId = u32;
+
+/// A complete MPAS-style horizontal mesh on the sphere.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    /// Sphere radius in meters; all lengths/areas below are dimensional.
+    pub sphere_radius: f64,
+
+    // ---- positions (unit vectors; multiply by `sphere_radius` for meters)
+    /// Cell centers (mass points), unit vectors.
+    pub x_cell: Vec<Vec3>,
+    /// Edge midpoints (velocity points), unit vectors.
+    pub x_edge: Vec<Vec3>,
+    /// Voronoi corners (vorticity points), unit vectors.
+    pub x_vertex: Vec<Vec3>,
+
+    // ---- fixed-degree connectivity
+    /// The two cells of each edge; the normal points from `[0]` to `[1]`.
+    pub cells_on_edge: Vec<[CellId; 2]>,
+    /// The two vertices of each edge; the tangent points from `[0]` to `[1]`.
+    pub vertices_on_edge: Vec<[VertexId; 2]>,
+    /// The three cells around each vertex, counterclockwise.
+    pub cells_on_vertex: Vec<[CellId; 3]>,
+    /// The three edges at each vertex; slot `k` joins cells `k` and `k+1`.
+    pub edges_on_vertex: Vec<[EdgeId; 3]>,
+
+    // ---- variable-degree connectivity around cells (CSR over cells)
+    /// CSR offsets; cell `i` owns slots `cell_offsets[i]..cell_offsets[i+1]`.
+    pub cell_offsets: Vec<u32>,
+    /// Edges of each cell, counterclockwise (CSR, see `cell_offsets`).
+    pub edges_on_cell: Vec<EdgeId>,
+    /// Vertices of each cell; slot `k` lies between edges `k` and `k+1`.
+    pub vertices_on_cell: Vec<VertexId>,
+    /// Neighbor cells across the corresponding edge slot.
+    pub cells_on_cell: Vec<CellId>,
+    /// `+1` where the edge normal exits the cell, `-1` where it enters.
+    pub edge_sign_on_cell: Vec<i8>,
+
+    // ---- tangential-reconstruction operator (CSR over edges)
+    /// CSR offsets; edge `e` owns slots `eoe_offsets[e]..eoe_offsets[e+1]`.
+    pub eoe_offsets: Vec<u32>,
+    /// TRiSK neighborhood: the edges of both adjacent cells, minus `e`.
+    pub edges_on_edge: Vec<EdgeId>,
+    /// TRiSK weights: `v_e = Σ_j weights_on_edge[j] * u[edges_on_edge[j]]`.
+    pub weights_on_edge: Vec<f64>,
+
+    // ---- geometry (meters / square meters)
+    /// Arc distance between the two adjacent cell centers (dual edge length).
+    pub dc_edge: Vec<f64>,
+    /// Arc distance between the two adjacent vertices (primal edge length).
+    pub dv_edge: Vec<f64>,
+    /// Spherical area of each Voronoi cell, m².
+    pub area_cell: Vec<f64>,
+    /// Spherical area of each dual (Delaunay) triangle, m².
+    pub area_triangle: Vec<f64>,
+    /// `kite_areas_on_vertex[v][k]`: area of the intersection of the dual
+    /// triangle at `v` with cell `cells_on_vertex[v][k]`.
+    pub kite_areas_on_vertex: Vec<[f64; 3]>,
+
+    // ---- edge frames
+    /// Unit normal at the edge midpoint (tangent to sphere, `c1 → c2`).
+    pub normal_edge: Vec<Vec3>,
+    /// Unit tangent at the edge midpoint (`t̂ = r̂ × n̂`, `v1 → v2`).
+    pub tangent_edge: Vec<Vec3>,
+    /// `+1` when the dual-edge direction `+n̂` is CCW around the vertex.
+    pub edge_sign_on_vertex: Vec<[i8; 3]>,
+
+    /// Edges flagged as domain boundary (always `false` on the full sphere;
+    /// kept because `enforce_boundary_edge` is part of the kernel set).
+    pub boundary_edge: Vec<bool>,
+}
+
+impl Mesh {
+    /// Number of Voronoi cells (mass points).
+    #[inline]
+    pub fn n_cells(&self) -> usize {
+        self.x_cell.len()
+    }
+
+    /// Number of edges (velocity points).
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.x_edge.len()
+    }
+
+    /// Number of vertices (vorticity points).
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        self.x_vertex.len()
+    }
+
+    /// Slot range of cell `i` into the cell-CSR arrays.
+    #[inline]
+    pub fn cell_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.cell_offsets[i] as usize..self.cell_offsets[i + 1] as usize
+    }
+
+    /// Edges of cell `i`, counterclockwise.
+    #[inline]
+    pub fn edges_of_cell(&self, i: usize) -> &[EdgeId] {
+        &self.edges_on_cell[self.cell_range(i)]
+    }
+
+    /// Vertices of cell `i`, counterclockwise (interleaved with edges).
+    #[inline]
+    pub fn vertices_of_cell(&self, i: usize) -> &[VertexId] {
+        &self.vertices_on_cell[self.cell_range(i)]
+    }
+
+    /// Neighboring cells of cell `i` (across the corresponding edge slot).
+    #[inline]
+    pub fn cells_of_cell(&self, i: usize) -> &[CellId] {
+        &self.cells_on_cell[self.cell_range(i)]
+    }
+
+    /// Outward signs of cell `i`'s edges (parallel to `edges_of_cell`).
+    #[inline]
+    pub fn edge_signs_of_cell(&self, i: usize) -> &[i8] {
+        &self.edge_sign_on_cell[self.cell_range(i)]
+    }
+
+    /// Slot range of edge `e` into the edges-on-edge CSR arrays.
+    #[inline]
+    pub fn eoe_range(&self, e: usize) -> std::ops::Range<usize> {
+        self.eoe_offsets[e] as usize..self.eoe_offsets[e + 1] as usize
+    }
+
+    /// Edge neighborhood used by the TRiSK tangential reconstruction.
+    #[inline]
+    pub fn edges_of_edge(&self, e: usize) -> &[EdgeId] {
+        &self.edges_on_edge[self.eoe_range(e)]
+    }
+
+    /// TRiSK weights parallel to [`Mesh::edges_of_edge`].
+    #[inline]
+    pub fn weights_of_edge(&self, e: usize) -> &[f64] {
+        &self.weights_on_edge[self.eoe_range(e)]
+    }
+
+    /// Maximum number of edges on any cell (6 for icosahedral meshes, with
+    /// 12 pentagons of degree 5). Drives the label-matrix width (Alg. 4).
+    pub fn max_edges(&self) -> usize {
+        (0..self.n_cells())
+            .map(|i| self.cell_range(i).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total surface area of the sphere this mesh should tile.
+    pub fn sphere_area(&self) -> f64 {
+        4.0 * std::f64::consts::PI * self.sphere_radius.powi(2)
+    }
+
+    /// Verify every structural invariant of the mesh. Panics with a
+    /// description on the first violation; returns `self` for chaining.
+    ///
+    /// Checked invariants:
+    /// 1. Euler's formula `V - E + F = 2` (vertices = triangles here).
+    /// 2. All ids in range; CSR arrays well-formed and mutually consistent.
+    /// 3. Cell areas tile the sphere; triangle areas tile the sphere.
+    /// 4. Kite areas tile both each triangle and each cell.
+    /// 5. Sign arrays consistent with `cells_on_edge` / orientation rules.
+    /// 6. Edge frames orthonormal and consistent with vertex ordering.
+    /// 7. TRiSK antisymmetry `w̃(e,e') = -w̃(e',e)` where
+    ///    `w̃(e,e') = weights_on_edge * dc(e) / dv(e')`.
+    pub fn validate(&self) -> &Self {
+        let (nc, ne, nv) = (self.n_cells(), self.n_edges(), self.n_vertices());
+        assert_eq!(
+            nc as i64 - ne as i64 + nv as i64,
+            2,
+            "Euler formula violated: C={nc} E={ne} V={nv}"
+        );
+        assert_eq!(self.cell_offsets.len(), nc + 1);
+        assert_eq!(self.eoe_offsets.len(), ne + 1);
+        assert_eq!(*self.cell_offsets.last().unwrap() as usize, self.edges_on_cell.len());
+        assert_eq!(self.edges_on_cell.len(), self.vertices_on_cell.len());
+        assert_eq!(self.edges_on_cell.len(), self.cells_on_cell.len());
+        assert_eq!(self.edges_on_cell.len(), self.edge_sign_on_cell.len());
+
+        // 2. id ranges + per-edge consistency with per-cell info.
+        for e in 0..ne {
+            let [c1, c2] = self.cells_on_edge[e];
+            assert!((c1 as usize) < nc && (c2 as usize) < nc);
+            assert_ne!(c1, c2, "edge {e} connects a cell to itself");
+            let [v1, v2] = self.vertices_on_edge[e];
+            assert!((v1 as usize) < nv && (v2 as usize) < nv);
+            assert_ne!(v1, v2);
+        }
+
+        for i in 0..nc {
+            let edges = self.edges_of_cell(i);
+            assert!((5..=7).contains(&edges.len()), "cell {i} degree {}", edges.len());
+            for (slot, &e) in edges.iter().enumerate() {
+                let [c1, c2] = self.cells_on_edge[e as usize];
+                assert!(
+                    c1 as usize == i || c2 as usize == i,
+                    "cell {i} lists edge {e} that does not touch it"
+                );
+                let sign = self.edge_signs_of_cell(i)[slot];
+                let expect = if c1 as usize == i { 1 } else { -1 };
+                assert_eq!(sign, expect, "edge_sign_on_cell wrong at cell {i} slot {slot}");
+                let neighbor = self.cells_of_cell(i)[slot];
+                let expect_n = if c1 as usize == i { c2 } else { c1 };
+                assert_eq!(neighbor, expect_n, "cells_on_cell wrong at cell {i} slot {slot}");
+            }
+        }
+
+        for v in 0..nv {
+            for k in 0..3 {
+                let e = self.edges_on_vertex[v][k] as usize;
+                let [c1, c2] = self.cells_on_edge[e];
+                let a = self.cells_on_vertex[v][k];
+                let b = self.cells_on_vertex[v][(k + 1) % 3];
+                assert!(
+                    (c1 == a && c2 == b) || (c1 == b && c2 == a),
+                    "edges_on_vertex slot mismatch at vertex {v} slot {k}"
+                );
+                let sign = self.edge_sign_on_vertex[v][k];
+                let expect = if c1 == a { 1 } else { -1 };
+                assert_eq!(sign, expect, "edge_sign_on_vertex wrong at vertex {v} slot {k}");
+                let [v1, v2] = self.vertices_on_edge[e];
+                assert!(v1 as usize == v || v2 as usize == v);
+            }
+        }
+
+        // 3. areas tile the sphere.
+        let sphere = self.sphere_area();
+        let cell_sum: f64 = self.area_cell.iter().sum();
+        let tri_sum: f64 = self.area_triangle.iter().sum();
+        assert!(
+            (cell_sum / sphere - 1.0).abs() < 1e-9,
+            "cell areas do not tile the sphere: {cell_sum} vs {sphere}"
+        );
+        assert!((tri_sum / sphere - 1.0).abs() < 1e-9);
+
+        // 4. kites tile triangles and cells.
+        for v in 0..nv {
+            let k: f64 = self.kite_areas_on_vertex[v].iter().sum();
+            assert!(
+                (k / self.area_triangle[v] - 1.0).abs() < 1e-6,
+                "kites do not tile triangle {v}: {k} vs {}",
+                self.area_triangle[v]
+            );
+        }
+        let mut kite_per_cell = vec![0.0f64; nc];
+        for v in 0..nv {
+            for k in 0..3 {
+                kite_per_cell[self.cells_on_vertex[v][k] as usize] +=
+                    self.kite_areas_on_vertex[v][k];
+            }
+        }
+        for i in 0..nc {
+            assert!(
+                (kite_per_cell[i] / self.area_cell[i] - 1.0).abs() < 1e-6,
+                "kites do not tile cell {i}"
+            );
+        }
+
+        // 6. edge frames.
+        for e in 0..ne {
+            let r = self.x_edge[e];
+            let n = self.normal_edge[e];
+            let t = self.tangent_edge[e];
+            assert!((n.norm() - 1.0).abs() < 1e-12);
+            assert!((t.norm() - 1.0).abs() < 1e-12);
+            assert!(n.dot(r).abs() < 1e-9, "normal not tangent to sphere at edge {e}");
+            assert!(t.dist(r.normalized().cross(n)) < 1e-9, "t != r x n at edge {e}");
+            let [c1, c2] = self.cells_on_edge[e];
+            let d = self.x_cell[c2 as usize] - self.x_cell[c1 as usize];
+            assert!(n.dot(d) > 0.0, "normal does not point c1->c2 at edge {e}");
+            let [v1, v2] = self.vertices_on_edge[e];
+            let dv = self.x_vertex[v2 as usize] - self.x_vertex[v1 as usize];
+            assert!(t.dot(dv) > 0.0, "tangent does not point v1->v2 at edge {e}");
+            assert!(self.dc_edge[e] > 0.0 && self.dv_edge[e] > 0.0);
+        }
+
+        // 7. TRiSK antisymmetry.
+        let mut slot_of: std::collections::HashMap<(EdgeId, EdgeId), f64> =
+            std::collections::HashMap::new();
+        for e in 0..ne {
+            for (j, &ep) in self.edges_of_edge(e).iter().enumerate() {
+                let w = self.weights_of_edge(e)[j];
+                let w_norm = w * self.dc_edge[e] / self.dv_edge[ep as usize];
+                slot_of.insert((e as EdgeId, ep), w_norm);
+            }
+        }
+        for (&(e, ep), &w) in &slot_of {
+            let back = slot_of
+                .get(&(ep, e))
+                .unwrap_or_else(|| panic!("edges_on_edge not symmetric: {e} -> {ep}"));
+            // Mixed tolerance: the spherical-area evaluations behind the
+            // kite fractions are ~1e-11 relative (tiny solid angles on
+            // fine meshes), and the walks around the two cells accumulate
+            // rounding differently, so allow a small absolute floor plus a
+            // relative term. Weights are O(0.01..0.5), so this still pins
+            // the antisymmetry to ~10 significant digits.
+            assert!(
+                (w + back).abs() < 2e-11 + 1e-9 * w.abs(),
+                "TRiSK antisymmetry violated at ({e},{ep}): {w} vs {back}"
+            );
+        }
+
+        self
+    }
+}

@@ -1,0 +1,95 @@
+//! Mesh-quality statistics, used by the Table III reproduction and by tests
+//! that guard against degenerate geometry.
+
+use crate::mesh::Mesh;
+
+/// Summary statistics of a mesh's uniformity and orthogonality.
+#[derive(Debug, Clone, Copy)]
+pub struct MeshQuality {
+    /// Number of cells.
+    pub n_cells: usize,
+    /// Number of edges.
+    pub n_edges: usize,
+    /// Number of vertices.
+    pub n_vertices: usize,
+    /// Nominal resolution: mean cell-center spacing `dc`, in kilometers.
+    pub mean_dc_km: f64,
+    /// Smallest / largest cell area divided by the mean cell area.
+    pub area_ratio_min: f64,
+    /// Largest cell area divided by the mean cell area.
+    pub area_ratio_max: f64,
+    /// Smallest dv/dc ratio (orthogonality/quality indicator).
+    pub min_dv_dc: f64,
+}
+
+impl MeshQuality {
+    /// Compute quality statistics for a mesh.
+    pub fn of(mesh: &Mesh) -> MeshQuality {
+        let mean_area =
+            mesh.area_cell.iter().sum::<f64>() / mesh.n_cells() as f64;
+        let (mut amin, mut amax) = (f64::INFINITY, 0.0f64);
+        for &a in &mesh.area_cell {
+            amin = amin.min(a);
+            amax = amax.max(a);
+        }
+        let mean_dc =
+            mesh.dc_edge.iter().sum::<f64>() / mesh.n_edges() as f64;
+        let min_dv_dc = mesh
+            .dv_edge
+            .iter()
+            .zip(&mesh.dc_edge)
+            .map(|(&dv, &dc)| dv / dc)
+            .fold(f64::INFINITY, f64::min);
+        MeshQuality {
+            n_cells: mesh.n_cells(),
+            n_edges: mesh.n_edges(),
+            n_vertices: mesh.n_vertices(),
+            mean_dc_km: mean_dc / 1000.0,
+            area_ratio_min: amin / mean_area,
+            area_ratio_max: amax / mean_area,
+            min_dv_dc,
+        }
+    }
+}
+
+impl std::fmt::Display for MeshQuality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cells={} edges={} vertices={} mean_dc={:.1}km area_ratio=[{:.3},{:.3}] min_dv/dc={:.3}",
+            self.n_cells,
+            self.n_edges,
+            self.n_vertices,
+            self.mean_dc_km,
+            self.area_ratio_min,
+            self.area_ratio_max,
+            self.min_dv_dc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::icosahedron::IcosaGrid;
+    use crate::voronoi::build_mesh;
+
+    #[test]
+    fn quality_of_level4_is_quasi_uniform() {
+        let m = build_mesh(&IcosaGrid::subdivide(4));
+        let q = MeshQuality::of(&m);
+        assert_eq!(q.n_cells, 2562);
+        // Quasi-uniform: no cell smaller than half or larger than 1.5x mean.
+        assert!(q.area_ratio_min > 0.5, "{q}");
+        assert!(q.area_ratio_max < 1.5, "{q}");
+        assert!(q.min_dv_dc > 0.3, "{q}");
+    }
+
+    #[test]
+    fn resolution_halves_per_level() {
+        let q3 = MeshQuality::of(&build_mesh(&IcosaGrid::subdivide(3)));
+        let q4 = MeshQuality::of(&build_mesh(&IcosaGrid::subdivide(4)));
+        let ratio = q3.mean_dc_km / q4.mean_dc_km;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,305 @@
+//! Per-rank local meshes.
+//!
+//! Each rank computes on a locally-indexed copy of its region: the owned
+//! cells, `L` halo layers, and a **phantom** fringe — one extra ring of
+//! cells (and the missing edges/vertices references) included only so that
+//! every local connectivity entry resolves to a valid local index. Phantom
+//! entities are never computed and their field values are stale; with three
+//! halo layers the TRiSK stencil chain (u → vorticity → pv_vertex →
+//! pv_edge → tend_u) never lets stale values reach an owned output, which
+//! the distributed-vs-serial equivalence tests verify bit-for-bit.
+//!
+//! Index layout (prefix property, relied on by the kernels' loop ranges):
+//! * cells:   `[owned | halo layers (RankLocal order) | phantom]`
+//! * edges:   `[owned | halo (RankLocal order)]` — all edges of non-phantom
+//!   cells are local, so no phantom edges exist.
+//! * vertices:`[vertices of non-phantom cells]`
+//!
+//! Because the cell/edge prefixes follow `RankLocal` order exactly, the
+//! halo-exchange send/recv lists index straight into local fields.
+
+use crate::mesh::{CellId, EdgeId, Mesh, VertexId};
+use crate::partition::RankLocal;
+use std::collections::HashMap;
+
+/// A rank's locally-indexed mesh plus the global id maps.
+#[derive(Debug, Clone)]
+pub struct LocalMesh {
+    /// Remapped mesh (phantom fringe included; do not `validate()`).
+    pub mesh: Mesh,
+    /// Cells `0..n_owned_cells` are owned.
+    pub n_owned_cells: usize,
+    /// Cells `0..n_compute_cells` (owned + halo) are safe to compute on.
+    pub n_compute_cells: usize,
+    /// Edges `0..n_owned_edges` are owned.
+    pub n_owned_edges: usize,
+    /// Global ids of local cells (including phantom suffix).
+    pub cell_l2g: Vec<CellId>,
+    /// Global ids of local edges.
+    pub edge_l2g: Vec<EdgeId>,
+    /// Global ids of local vertices.
+    pub vertex_l2g: Vec<VertexId>,
+}
+
+/// Build the local mesh for one rank.
+pub fn extract_local_mesh(global: &Mesh, local: &RankLocal) -> LocalMesh {
+    // ---- local id assignment ------------------------------------------------
+    let mut cell_l2g: Vec<CellId> = local.cells.clone();
+    let mut cell_g2l: HashMap<CellId, u32> = cell_l2g
+        .iter()
+        .enumerate()
+        .map(|(l, &g)| (g, l as u32))
+        .collect();
+    let n_compute_cells = cell_l2g.len();
+
+    let edge_l2g: Vec<EdgeId> = local.edges.clone();
+    let edge_g2l: HashMap<EdgeId, u32> = edge_l2g
+        .iter()
+        .enumerate()
+        .map(|(l, &g)| (g, l as u32))
+        .collect();
+
+    // Vertices: all vertices of non-phantom cells, deterministic order.
+    let mut vertex_l2g: Vec<VertexId> = Vec::new();
+    let mut vertex_g2l: HashMap<VertexId, u32> = HashMap::new();
+    for &g in &local.cells {
+        for &v in global.vertices_of_cell(g as usize) {
+            vertex_g2l.entry(v).or_insert_with(|| {
+                vertex_l2g.push(v);
+                (vertex_l2g.len() - 1) as u32
+            });
+        }
+    }
+
+    // Phantom cells: referenced by local edges/vertices but not local.
+    for &e in &edge_l2g {
+        for &c in &global.cells_on_edge[e as usize] {
+            cell_g2l.entry(c).or_insert_with(|| {
+                cell_l2g.push(c);
+                (cell_l2g.len() - 1) as u32
+            });
+        }
+    }
+    for &v in &vertex_l2g {
+        for &c in &global.cells_on_vertex[v as usize] {
+            cell_g2l.entry(c).or_insert_with(|| {
+                cell_l2g.push(c);
+                (cell_l2g.len() - 1) as u32
+            });
+        }
+    }
+    let n_cells = cell_l2g.len();
+    let n_edges = edge_l2g.len();
+
+    // ---- fixed-degree connectivity -------------------------------------------
+    let cells_on_edge: Vec<[CellId; 2]> = edge_l2g
+        .iter()
+        .map(|&e| {
+            let [a, b] = global.cells_on_edge[e as usize];
+            [cell_g2l[&a], cell_g2l[&b]]
+        })
+        .collect();
+    // Vertices of fringe edges may not be local: map missing to 0 (their
+    // values are never consumed by owned outputs).
+    let vmap = |v: VertexId| *vertex_g2l.get(&v).unwrap_or(&0);
+    let vertices_on_edge: Vec<[VertexId; 2]> = edge_l2g
+        .iter()
+        .map(|&e| {
+            let [a, b] = global.vertices_on_edge[e as usize];
+            [vmap(a), vmap(b)]
+        })
+        .collect();
+    let cells_on_vertex: Vec<[CellId; 3]> = vertex_l2g
+        .iter()
+        .map(|&v| global.cells_on_vertex[v as usize].map(|c| cell_g2l[&c]))
+        .collect();
+    let emap = |e: EdgeId| *edge_g2l.get(&e).unwrap_or(&0);
+    let edges_on_vertex: Vec<[EdgeId; 3]> = vertex_l2g
+        .iter()
+        .map(|&v| global.edges_on_vertex[v as usize].map(emap))
+        .collect();
+
+    // ---- per-cell CSR (empty rows for phantom cells) --------------------------
+    let mut cell_offsets = vec![0u32; n_cells + 1];
+    let mut edges_on_cell = Vec::new();
+    let mut vertices_on_cell = Vec::new();
+    let mut cells_on_cell = Vec::new();
+    let mut edge_sign_on_cell = Vec::new();
+    for l in 0..n_cells {
+        if l < n_compute_cells {
+            let g = cell_l2g[l] as usize;
+            let range = global.cell_range(g);
+            for slot in range {
+                edges_on_cell.push(edge_g2l[&global.edges_on_cell[slot]]);
+                vertices_on_cell
+                    .push(vertex_g2l[&global.vertices_on_cell[slot]]);
+                cells_on_cell.push(cell_g2l[&global.cells_on_cell[slot]]);
+                edge_sign_on_cell.push(global.edge_sign_on_cell[slot]);
+            }
+        }
+        cell_offsets[l + 1] = edges_on_cell.len() as u32;
+    }
+
+    // ---- edgesOnEdge CSR (drop entries pointing at non-local edges) -----------
+    let mut eoe_offsets = vec![0u32; n_edges + 1];
+    let mut edges_on_edge = Vec::new();
+    let mut weights_on_edge = Vec::new();
+    for (l, &g) in edge_l2g.iter().enumerate() {
+        for slot in global.eoe_range(g as usize) {
+            if let Some(&le) = edge_g2l.get(&global.edges_on_edge[slot]) {
+                edges_on_edge.push(le);
+                weights_on_edge.push(global.weights_on_edge[slot]);
+            }
+        }
+        eoe_offsets[l + 1] = edges_on_edge.len() as u32;
+    }
+
+    // ---- geometry copies -------------------------------------------------------
+    let gather_cells = |src: &Vec<f64>| -> Vec<f64> {
+        cell_l2g.iter().map(|&g| src[g as usize]).collect()
+    };
+    let mesh = Mesh {
+        sphere_radius: global.sphere_radius,
+        x_cell: cell_l2g.iter().map(|&g| global.x_cell[g as usize]).collect(),
+        x_edge: edge_l2g.iter().map(|&g| global.x_edge[g as usize]).collect(),
+        x_vertex: vertex_l2g
+            .iter()
+            .map(|&g| global.x_vertex[g as usize])
+            .collect(),
+        cells_on_edge,
+        vertices_on_edge,
+        cells_on_vertex,
+        edges_on_vertex,
+        cell_offsets,
+        edges_on_cell,
+        vertices_on_cell,
+        cells_on_cell,
+        edge_sign_on_cell,
+        eoe_offsets,
+        edges_on_edge,
+        weights_on_edge,
+        dc_edge: edge_l2g.iter().map(|&g| global.dc_edge[g as usize]).collect(),
+        dv_edge: edge_l2g.iter().map(|&g| global.dv_edge[g as usize]).collect(),
+        area_cell: gather_cells(&global.area_cell),
+        area_triangle: vertex_l2g
+            .iter()
+            .map(|&g| global.area_triangle[g as usize])
+            .collect(),
+        kite_areas_on_vertex: vertex_l2g
+            .iter()
+            .map(|&g| global.kite_areas_on_vertex[g as usize])
+            .collect(),
+        normal_edge: edge_l2g
+            .iter()
+            .map(|&g| global.normal_edge[g as usize])
+            .collect(),
+        tangent_edge: edge_l2g
+            .iter()
+            .map(|&g| global.tangent_edge[g as usize])
+            .collect(),
+        edge_sign_on_vertex: vertex_l2g
+            .iter()
+            .map(|&g| global.edge_sign_on_vertex[g as usize])
+            .collect(),
+        boundary_edge: edge_l2g
+            .iter()
+            .map(|&g| global.boundary_edge[g as usize])
+            .collect(),
+    };
+
+    LocalMesh {
+        mesh,
+        n_owned_cells: local.n_owned_cells,
+        n_compute_cells,
+        n_owned_edges: local.n_owned_edges,
+        cell_l2g,
+        edge_l2g,
+        vertex_l2g,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::MeshPartition;
+
+    #[test]
+    fn local_meshes_cover_global_geometry() {
+        let global = crate::generate(3, 0);
+        let part = MeshPartition::build(&global, 4, 3);
+        for rl in &part.ranks {
+            let lm = extract_local_mesh(&global, rl);
+            // Prefix layout matches RankLocal ordering.
+            assert_eq!(lm.cell_l2g[..rl.cells.len()], rl.cells[..]);
+            assert_eq!(lm.edge_l2g, rl.edges);
+            // Geometry round-trips through the remap.
+            for (l, &g) in lm.edge_l2g.iter().enumerate() {
+                assert_eq!(lm.mesh.dc_edge[l], global.dc_edge[g as usize]);
+                let [lc1, _] = lm.mesh.cells_on_edge[l];
+                let [gc1, _] = global.cells_on_edge[g as usize];
+                assert_eq!(lm.cell_l2g[lc1 as usize], gc1);
+            }
+        }
+    }
+
+    #[test]
+    fn compute_cells_have_full_rows_phantoms_empty() {
+        let global = crate::generate(3, 0);
+        let part = MeshPartition::build(&global, 3, 2);
+        let lm = extract_local_mesh(&global, &part.ranks[1]);
+        for l in 0..lm.mesh.n_cells() {
+            let deg = lm.mesh.cell_range(l).len();
+            if l < lm.n_compute_cells {
+                let g = lm.cell_l2g[l] as usize;
+                assert_eq!(deg, global.cell_range(g).len());
+            } else {
+                assert_eq!(deg, 0, "phantom cell {l} has a CSR row");
+            }
+        }
+    }
+
+    #[test]
+    fn owned_edges_keep_full_trisk_neighborhood() {
+        // Every owned edge must retain its complete edgesOnEdge row — only
+        // fringe edges may lose entries.
+        let global = crate::generate(3, 0);
+        let part = MeshPartition::build(&global, 4, 3);
+        for rl in &part.ranks {
+            let lm = extract_local_mesh(&global, rl);
+            for l in 0..lm.n_owned_edges {
+                let g = lm.edge_l2g[l] as usize;
+                assert_eq!(
+                    lm.mesh.eoe_range(l).len(),
+                    global.eoe_range(g).len(),
+                    "owned edge {l} lost TRiSK neighbors"
+                );
+                let gw = global.weights_of_edge(g);
+                let lw = lm.mesh.weights_of_edge(l);
+                assert_eq!(gw, lw);
+            }
+        }
+    }
+
+    #[test]
+    fn all_indices_in_range() {
+        let global = crate::generate(2, 0);
+        let part = MeshPartition::build(&global, 5, 2);
+        for rl in &part.ranks {
+            let lm = extract_local_mesh(&global, rl);
+            let m = &lm.mesh;
+            let (nc, ne, nv) = (m.n_cells(), m.n_edges(), m.n_vertices());
+            for e in 0..ne {
+                assert!(m.cells_on_edge[e].iter().all(|&c| (c as usize) < nc));
+                assert!(m.vertices_on_edge[e].iter().all(|&v| (v as usize) < nv));
+            }
+            for v in 0..nv {
+                assert!(m.cells_on_vertex[v].iter().all(|&c| (c as usize) < nc));
+                assert!(m.edges_on_vertex[v].iter().all(|&e| (e as usize) < ne));
+            }
+            assert!(m.edges_on_cell.iter().all(|&e| (e as usize) < ne));
+            assert!(m.cells_on_cell.iter().all(|&c| (c as usize) < nc));
+            assert!(m.vertices_on_cell.iter().all(|&v| (v as usize) < nv));
+            assert!(m.edges_on_edge.iter().all(|&e| (e as usize) < ne));
+        }
+    }
+}

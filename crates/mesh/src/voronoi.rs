@@ -1,0 +1,472 @@
+//! Voronoi-dual construction: from generator points + Delaunay triangles to
+//! the full MPAS mesh spec, including the TRiSK `weightsOnEdge` operator.
+//!
+//! On the sphere, both circumcenters of the two triangles sharing a Delaunay
+//! edge lie in the perpendicular-bisector plane of that edge's chord, so the
+//! Voronoi arc crosses the Delaunay arc exactly at its midpoint and at a
+//! right angle. This orthogonality is what makes the C-grid discretization
+//! (and the exact kite-area tiling) work.
+//!
+//! # TRiSK tangential reconstruction (derivation sketch)
+//!
+//! For a discretely nondivergent flow there is a stream function `ψ` at
+//! vertices with `u_e = -(ψ_{v_k} - ψ_{v_{k-1}})/l_e` along each CCW cell
+//! walk. Interpolating `ψ` to cell centers with kite-area weights
+//! (`ψ̃_i = Σ_v kite_{i,v} ψ_v / A_i`) and differencing across the edge gives
+//! the tangential velocity
+//!
+//! ```text
+//! v_e = (1/d_e) [  Σ_{e'∈E(c1)\e} (1/2 − R_{c1}(e')) l_{e'} o_{e',c1} u_{e'}
+//!                − Σ_{e'∈E(c2)\e} (1/2 − R_{c2}(e')) l_{e'} o_{e',c2} u_{e'} ]
+//! ```
+//!
+//! where `o_{e',i}=±1` is the outward sign of `e'` for cell `i` and
+//! `R_i(e')` is the cumulative kite-area fraction of the vertices passed
+//! when walking CCW around cell `i` from `e` to `e'`. The self-term cancels
+//! exactly between the two cell walks. These are the `weightsOnEdge` of the
+//! MPAS mesh spec; they satisfy the energy-conserving antisymmetry
+//! `w̃(e,e') = -w̃(e',e)` checked by [`Mesh::validate`].
+
+use crate::icosahedron::IcosaGrid;
+use crate::mesh::{CellId, EdgeId, Mesh, VertexId};
+use mpas_geom::{
+    arc_length, arc_midpoint, spherical_circumcenter, spherical_polygon_area,
+    spherical_triangle_area, Vec3, EARTH_RADIUS,
+};
+use std::collections::HashMap;
+
+/// Build the full MPAS mesh (Earth-radius sphere) from a triangulated point
+/// set. Panics if the triangulation is not a closed 2-manifold.
+pub fn build_mesh(grid: &IcosaGrid) -> Mesh {
+    build_mesh_with_radius(grid, EARTH_RADIUS)
+}
+
+/// As [`build_mesh`], with an explicit sphere radius in meters.
+pub fn build_mesh_with_radius(grid: &IcosaGrid, sphere_radius: f64) -> Mesh {
+    let n_cells = grid.points.len();
+    let n_vertices = grid.triangles.len();
+
+    // ---- vertices: circumcenters of Delaunay triangles ---------------------
+    let x_vertex: Vec<Vec3> = grid
+        .triangles
+        .iter()
+        .map(|&[a, b, c]| {
+            spherical_circumcenter(
+                grid.points[a as usize],
+                grid.points[b as usize],
+                grid.points[c as usize],
+            )
+        })
+        .collect();
+
+    // ---- enumerate edges: one per Delaunay edge -----------------------------
+    // Key: sorted cell pair. Value: edge id.
+    let mut edge_ids: HashMap<(u32, u32), EdgeId> =
+        HashMap::with_capacity(grid.n_edges());
+    let mut cells_on_edge: Vec<[CellId; 2]> = Vec::with_capacity(grid.n_edges());
+    // Adjacent triangles per edge, in discovery order.
+    let mut tris_on_edge: Vec<[u32; 2]> = Vec::with_capacity(grid.n_edges());
+
+    for (t, &[a, b, c]) in grid.triangles.iter().enumerate() {
+        for (x, y) in [(a, b), (b, c), (c, a)] {
+            let key = if x < y { (x, y) } else { (y, x) };
+            match edge_ids.get(&key) {
+                None => {
+                    let id = cells_on_edge.len() as EdgeId;
+                    edge_ids.insert(key, id);
+                    // Normal direction convention: from the lower to the
+                    // higher cell id — deterministic and cheap.
+                    cells_on_edge.push([key.0, key.1]);
+                    tris_on_edge.push([t as u32, u32::MAX]);
+                }
+                Some(&id) => {
+                    let slot = &mut tris_on_edge[id as usize];
+                    assert_eq!(slot[1], u32::MAX, "edge shared by >2 triangles");
+                    slot[1] = t as u32;
+                }
+            }
+        }
+    }
+    let n_edges = cells_on_edge.len();
+    assert!(
+        tris_on_edge.iter().all(|t| t[1] != u32::MAX),
+        "open boundary: some edge has only one adjacent triangle"
+    );
+    assert_eq!(n_cells + n_vertices - 2, n_edges, "Euler formula");
+
+    // ---- edge midpoints, frames, and vertex ordering ------------------------
+    let mut x_edge = Vec::with_capacity(n_edges);
+    let mut normal_edge = Vec::with_capacity(n_edges);
+    let mut tangent_edge = Vec::with_capacity(n_edges);
+    let mut vertices_on_edge: Vec<[VertexId; 2]> = Vec::with_capacity(n_edges);
+
+    for e in 0..n_edges {
+        let [c1, c2] = cells_on_edge[e];
+        let (p1, p2) = (grid.points[c1 as usize], grid.points[c2 as usize]);
+        let m = arc_midpoint(p1, p2);
+        // Normal: great-circle direction from c1 to c2 at the midpoint.
+        let n = (p2 - p1 - m * m.dot(p2 - p1)).normalized();
+        let t = m.cross(n); // r̂ × n̂, unit by construction
+        let [ta, tb] = tris_on_edge[e];
+        let (va, vb) = (x_vertex[ta as usize], x_vertex[tb as usize]);
+        let pair = if (vb - va).dot(t) >= 0.0 { [ta, tb] } else { [tb, ta] };
+        x_edge.push(m);
+        normal_edge.push(n);
+        tangent_edge.push(t);
+        vertices_on_edge.push(pair);
+    }
+
+    // ---- vertex-centric connectivity ----------------------------------------
+    // cells_on_vertex: triangle corners, already CCW from the generator.
+    let cells_on_vertex: Vec<[CellId; 3]> = grid.triangles.clone();
+    let mut edges_on_vertex: Vec<[EdgeId; 3]> = vec![[0; 3]; n_vertices];
+    let mut edge_sign_on_vertex: Vec<[i8; 3]> = vec![[0; 3]; n_vertices];
+    for v in 0..n_vertices {
+        let cs = cells_on_vertex[v];
+        for k in 0..3 {
+            let (a, b) = (cs[k], cs[(k + 1) % 3]);
+            let key = if a < b { (a, b) } else { (b, a) };
+            let e = edge_ids[&key];
+            edges_on_vertex[v][k] = e;
+            // +1 when +n̂ (c1->c2) runs CCW around v, i.e. from slot k to k+1.
+            edge_sign_on_vertex[v][k] =
+                if cells_on_edge[e as usize][0] == a { 1 } else { -1 };
+        }
+    }
+
+    // ---- cell-centric connectivity (CCW ordering) ----------------------------
+    // Gather incident edges per cell.
+    let mut degree = vec![0u32; n_cells];
+    for &[c1, c2] in &cells_on_edge {
+        degree[c1 as usize] += 1;
+        degree[c2 as usize] += 1;
+    }
+    let mut cell_offsets = vec![0u32; n_cells + 1];
+    for i in 0..n_cells {
+        cell_offsets[i + 1] = cell_offsets[i] + degree[i];
+    }
+    let total_slots = cell_offsets[n_cells] as usize;
+    let mut edges_on_cell = vec![0 as EdgeId; total_slots];
+    let mut fill = cell_offsets.clone();
+    for (e, &[c1, c2]) in cells_on_edge.iter().enumerate() {
+        for c in [c1, c2] {
+            edges_on_cell[fill[c as usize] as usize] = e as EdgeId;
+            fill[c as usize] += 1;
+        }
+    }
+
+    // Sort each cell's edges CCW by azimuth in a local tangent frame.
+    for i in 0..n_cells {
+        let c = grid.points[i];
+        // Any vector not parallel to c seeds the tangent frame.
+        let seed = if c.x.abs() < 0.9 { Vec3::X } else { Vec3::Y };
+        let u = seed.cross(c).normalized();
+        let w = c.cross(u); // (u, w, c) right-handed => CCW from outside
+        let range = cell_offsets[i] as usize..cell_offsets[i + 1] as usize;
+        let slice = &mut edges_on_cell[range];
+        slice.sort_by(|&ea, &eb| {
+            let az = |e: EdgeId| {
+                let d = x_edge[e as usize];
+                d.dot(w).atan2(d.dot(u))
+            };
+            az(ea).partial_cmp(&az(eb)).unwrap()
+        });
+    }
+
+    // Derived per-slot arrays: neighbor cell, outward sign, between-vertex.
+    let mut cells_on_cell = vec![0 as CellId; total_slots];
+    let mut edge_sign_on_cell = vec![0i8; total_slots];
+    let mut vertices_on_cell = vec![0 as VertexId; total_slots];
+    for i in 0..n_cells {
+        let range = cell_offsets[i] as usize..cell_offsets[i + 1] as usize;
+        let n = range.len();
+        for k in 0..n {
+            let slot = range.start + k;
+            let e = edges_on_cell[slot] as usize;
+            let [c1, c2] = cells_on_edge[e];
+            let (neigh, sign) =
+                if c1 as usize == i { (c2, 1) } else { (c1, -1) };
+            cells_on_cell[slot] = neigh;
+            edge_sign_on_cell[slot] = sign;
+            // Vertex between edge k and edge k+1: shared vertex id.
+            let e_next = edges_on_cell[range.start + (k + 1) % n] as usize;
+            let [a1, a2] = vertices_on_edge[e];
+            let [b1, b2] = vertices_on_edge[e_next];
+            let shared = if a1 == b1 || a1 == b2 {
+                a1
+            } else {
+                debug_assert!(a2 == b1 || a2 == b2, "edges {e} and {e_next} share no vertex");
+                a2
+            };
+            vertices_on_cell[slot] = shared;
+        }
+    }
+
+    // ---- geometry ------------------------------------------------------------
+    let r2 = sphere_radius * sphere_radius;
+    let dc_edge: Vec<f64> = cells_on_edge
+        .iter()
+        .map(|&[a, b]| {
+            arc_length(grid.points[a as usize], grid.points[b as usize]) * sphere_radius
+        })
+        .collect();
+    let dv_edge: Vec<f64> = vertices_on_edge
+        .iter()
+        .map(|&[a, b]| {
+            arc_length(x_vertex[a as usize], x_vertex[b as usize]) * sphere_radius
+        })
+        .collect();
+    let area_triangle: Vec<f64> = cells_on_vertex
+        .iter()
+        .map(|&[a, b, c]| {
+            spherical_triangle_area(
+                grid.points[a as usize],
+                grid.points[b as usize],
+                grid.points[c as usize],
+            ) * r2
+        })
+        .collect();
+    let mut area_cell = vec![0.0f64; n_cells];
+    {
+        let mut ring: Vec<Vec3> = Vec::with_capacity(8);
+        for i in 0..n_cells {
+            ring.clear();
+            let range = cell_offsets[i] as usize..cell_offsets[i + 1] as usize;
+            ring.extend(
+                vertices_on_cell[range].iter().map(|&v| x_vertex[v as usize]),
+            );
+            area_cell[i] = spherical_polygon_area(&ring) * r2;
+        }
+    }
+
+    // Kite areas: intersection of dual triangle v with each corner cell.
+    // Quad (cell center, edge-mid a, vertex, edge-mid b) split into two
+    // spherical triangles. Edges adjacent to cell slot k at vertex v are the
+    // vertex-edge slots k (cells k,k+1) and (k+2)%3 (cells k+2,k).
+    let mut kite_areas_on_vertex: Vec<[f64; 3]> = vec![[0.0; 3]; n_vertices];
+    for v in 0..n_vertices {
+        let xv = x_vertex[v];
+        for k in 0..3 {
+            let cell = cells_on_vertex[v][k] as usize;
+            let e_a = edges_on_vertex[v][k] as usize; // joins cells k, k+1
+            let e_b = edges_on_vertex[v][(k + 2) % 3] as usize; // joins k+2, k
+            let (ma, mb) = (x_edge[e_a], x_edge[e_b]);
+            let c = grid.points[cell];
+            kite_areas_on_vertex[v][k] = (spherical_triangle_area(c, ma, xv)
+                + spherical_triangle_area(c, xv, mb))
+                * r2;
+        }
+    }
+
+    // ---- TRiSK weightsOnEdge ---------------------------------------------------
+    // For each edge e and each of its two cells, walk CCW from e collecting
+    // (1/2 - R) * l/d * outward-sign terms (see module docs).
+    let mut eoe_offsets = vec![0u32; n_edges + 1];
+    for e in 0..n_edges {
+        let [c1, c2] = cells_on_edge[e];
+        let deg = |c: CellId| {
+            (cell_offsets[c as usize + 1] - cell_offsets[c as usize]) as u32
+        };
+        eoe_offsets[e + 1] = eoe_offsets[e] + (deg(c1) - 1) + (deg(c2) - 1);
+    }
+    let mut edges_on_edge = vec![0 as EdgeId; eoe_offsets[n_edges] as usize];
+    let mut weights_on_edge = vec![0.0f64; eoe_offsets[n_edges] as usize];
+    for e in 0..n_edges {
+        let mut cursor = eoe_offsets[e] as usize;
+        let d_e = dc_edge[e];
+        for (which, &cell) in cells_on_edge[e].iter().enumerate() {
+            let s_i = if which == 0 { 1.0 } else { -1.0 };
+            let i = cell as usize;
+            let range = cell_offsets[i] as usize..cell_offsets[i + 1] as usize;
+            let n = range.len();
+            let local_edges = &edges_on_cell[range.clone()];
+            let local_verts = &vertices_on_cell[range.clone()];
+            let local_signs = &edge_sign_on_cell[range];
+            let j0 = local_edges
+                .iter()
+                .position(|&x| x as usize == e)
+                .expect("edge missing from its own cell");
+            let mut r_cum = 0.0;
+            for step in 1..n {
+                let jj = (j0 + step) % n;
+                // Vertex between edge (jj-1) and edge jj is slot (jj-1+n)%n.
+                let v_between = local_verts[(jj + n - 1) % n] as usize;
+                // Kite fraction of that vertex belonging to cell i.
+                let kslot = cells_on_vertex[v_between]
+                    .iter()
+                    .position(|&c| c as usize == i)
+                    .expect("vertex missing its cell");
+                r_cum += kite_areas_on_vertex[v_between][kslot] / area_cell[i];
+                let ep = local_edges[jj] as usize;
+                let o = local_signs[jj] as f64;
+                edges_on_edge[cursor] = ep as EdgeId;
+                weights_on_edge[cursor] =
+                    s_i * (0.5 - r_cum) * o * dv_edge[ep] / d_e;
+                cursor += 1;
+            }
+        }
+        debug_assert_eq!(cursor, eoe_offsets[e + 1] as usize);
+    }
+
+    Mesh {
+        sphere_radius,
+        x_cell: grid.points.clone(),
+        x_edge,
+        x_vertex,
+        cells_on_edge,
+        vertices_on_edge,
+        cells_on_vertex,
+        edges_on_vertex,
+        cell_offsets,
+        edges_on_cell,
+        vertices_on_cell,
+        cells_on_cell,
+        edge_sign_on_cell,
+        eoe_offsets,
+        edges_on_edge,
+        weights_on_edge,
+        dc_edge,
+        dv_edge,
+        area_cell,
+        area_triangle,
+        kite_areas_on_vertex,
+        normal_edge,
+        tangent_edge,
+        edge_sign_on_vertex,
+        boundary_edge: vec![false; n_edges],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::icosahedron::IcosaGrid;
+
+    fn mesh(level: u32) -> Mesh {
+        build_mesh(&IcosaGrid::subdivide(level))
+    }
+
+    #[test]
+    fn level2_mesh_validates() {
+        mesh(2).validate();
+    }
+
+    #[test]
+    fn level3_mesh_validates() {
+        mesh(3).validate();
+    }
+
+    #[test]
+    fn counts_match_formulas() {
+        let m = mesh(3);
+        assert_eq!(m.n_cells(), 642);
+        assert_eq!(m.n_vertices(), 20 * 64);
+        assert_eq!(m.n_edges(), 30 * 64);
+        assert_eq!(m.max_edges(), 6);
+        // Exactly 12 pentagons.
+        let pentagons = (0..m.n_cells())
+            .filter(|&i| m.edges_of_cell(i).len() == 5)
+            .count();
+        assert_eq!(pentagons, 12);
+    }
+
+    #[test]
+    fn voronoi_edge_crosses_delaunay_edge_at_midpoint() {
+        let m = mesh(3);
+        // Both circumcenters lie in the perpendicular-bisector plane of the
+        // chord c1-c2 (which passes through the origin), and so does the arc
+        // midpoint x_edge. Hence x_edge lies ON the Voronoi great circle and
+        // BETWEEN the two vertices: coplanarity + additive arc lengths.
+        for e in 0..m.n_edges() {
+            let [v1, v2] = m.vertices_on_edge[e];
+            let (a, b) = (m.x_vertex[v1 as usize], m.x_vertex[v2 as usize]);
+            let x = m.x_edge[e];
+            assert!(
+                x.dot(a.cross(b)).abs() < 1e-12,
+                "edge {e}: midpoint not on the Voronoi great circle"
+            );
+            let split = arc_length(a, x) + arc_length(x, b);
+            let whole = arc_length(a, b);
+            assert!(
+                (split - whole).abs() < 1e-12,
+                "edge {e}: midpoint not between the vertices ({split} vs {whole})"
+            );
+        }
+    }
+
+    #[test]
+    fn tangential_reconstruction_solid_body_rotation() {
+        // u = Ω' × r with Ω' along an arbitrary axis; check that
+        // v_e = Σ w u recovers the analytic tangential component.
+        let m = mesh(4);
+        let omega = Vec3::new(0.3, -0.2, 1.0) * 1e-5;
+        let u: Vec<f64> = (0..m.n_edges())
+            .map(|e| {
+                let vel = omega.cross(m.x_edge[e] * m.sphere_radius);
+                vel.dot(m.normal_edge[e])
+            })
+            .collect();
+        let mut rms_err = 0.0;
+        let mut rms_ref = 0.0;
+        for e in 0..m.n_edges() {
+            let recon: f64 = m
+                .edges_of_edge(e)
+                .iter()
+                .zip(m.weights_of_edge(e))
+                .map(|(&ep, &w)| w * u[ep as usize])
+                .sum();
+            let vel = omega.cross(m.x_edge[e] * m.sphere_radius);
+            let exact = vel.dot(m.tangent_edge[e]);
+            rms_err += (recon - exact).powi(2);
+            rms_ref += exact.powi(2);
+        }
+        let rel = (rms_err / rms_ref).sqrt();
+        assert!(rel < 0.05, "tangential reconstruction rel RMS error {rel}");
+    }
+
+    #[test]
+    fn divergence_of_any_field_integrates_to_zero() {
+        let m = mesh(3);
+        let u: Vec<f64> = (0..m.n_edges())
+            .map(|e| (e as f64 * 0.7).sin() * 10.0)
+            .collect();
+        let mut total = 0.0;
+        for i in 0..m.n_cells() {
+            for (slot, &e) in m.edges_of_cell(i).iter().enumerate() {
+                let s = m.edge_signs_of_cell(i)[slot] as f64;
+                total += s * u[e as usize] * m.dv_edge[e as usize];
+            }
+        }
+        assert!(total.abs() < 1e-6 * 10.0 * m.n_edges() as f64);
+    }
+
+    #[test]
+    fn circulation_of_any_field_integrates_to_zero() {
+        let m = mesh(3);
+        let u: Vec<f64> = (0..m.n_edges())
+            .map(|e| (e as f64 * 1.3).cos() * 5.0)
+            .collect();
+        let mut total = 0.0;
+        for v in 0..m.n_vertices() {
+            for k in 0..3 {
+                let e = m.edges_on_vertex[v][k] as usize;
+                total += m.edge_sign_on_vertex[v][k] as f64
+                    * u[e]
+                    * m.dc_edge[e];
+            }
+        }
+        assert!(total.abs() < 1e-6 * 5.0 * m.n_edges() as f64);
+    }
+
+    #[test]
+    fn dc_and_dv_are_comparable_scales() {
+        let m = mesh(3);
+        for e in 0..m.n_edges() {
+            let ratio = m.dv_edge[e] / m.dc_edge[e];
+            assert!(
+                (0.3..3.0).contains(&ratio),
+                "edge {e} dv/dc ratio {ratio} out of range"
+            );
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Rank contexts and collectives.
+//!
+//! [`run_ranks`] spawns `n` scoped threads, one per rank, each holding a
+//! [`RankCtx`] wired to every other rank through unbounded channels. Tagged
+//! messages may arrive out of order; each context buffers non-matching
+//! messages until asked for them, giving MPI-like `send`/`recv` semantics
+//! without global locks.
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+
+/// One point-to-point message.
+#[derive(Debug)]
+struct Message {
+    from: usize,
+    tag: u64,
+    payload: Vec<f64>,
+}
+
+/// A rank's endpoint into the communicator.
+pub struct RankCtx {
+    /// This rank's id, `0..n_ranks`.
+    pub rank: usize,
+    /// Total number of ranks in the communicator.
+    pub n_ranks: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    /// Messages received but not yet requested, keyed by (from, tag).
+    stash: HashMap<(usize, u64), Vec<Vec<f64>>>,
+    barrier: Arc<Barrier>,
+}
+
+impl RankCtx {
+    /// Send `payload` to `to` with a tag. Never blocks (unbounded buffering,
+    /// like an eager-protocol MPI send).
+    pub fn send(&self, to: usize, tag: u64, payload: Vec<f64>) {
+        self.senders[to]
+            .send(Message { from: self.rank, tag, payload })
+            .expect("peer rank hung up");
+    }
+
+    /// Receive the next message from `from` with `tag`, blocking until it
+    /// arrives. Messages with other (from, tag) keys are stashed.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        if let Some(q) = self.stash.get_mut(&(from, tag)) {
+            if !q.is_empty() {
+                return q.remove(0);
+            }
+        }
+        loop {
+            let msg = self.receiver.recv().expect("all peers hung up");
+            if msg.from == from && msg.tag == tag {
+                return msg.payload;
+            }
+            self.stash
+                .entry((msg.from, msg.tag))
+                .or_default()
+                .push(msg.payload);
+        }
+    }
+
+    /// Block until every rank reaches the barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Sum an f64 across all ranks (gather-to-root then broadcast).
+    pub fn allreduce_sum(&mut self, x: f64) -> f64 {
+        self.allreduce(x, |a, b| a + b)
+    }
+
+    /// Max of an f64 across all ranks.
+    pub fn allreduce_max(&mut self, x: f64) -> f64 {
+        self.allreduce(x, f64::max)
+    }
+
+    fn allreduce(&mut self, x: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+        const TAG: u64 = u64::MAX - 1;
+        if self.rank == 0 {
+            let mut acc = x;
+            for from in 1..self.n_ranks {
+                let v = self.recv(from, TAG);
+                acc = op(acc, v[0]);
+            }
+            for to in 1..self.n_ranks {
+                self.send(to, TAG, vec![acc]);
+            }
+            acc
+        } else {
+            self.send(0, TAG, vec![x]);
+            self.recv(0, TAG)[0]
+        }
+    }
+}
+
+/// Run `f` on `n` ranks concurrently and return the per-rank results in
+/// rank order. Panics in any rank propagate.
+pub fn run_ranks<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(RankCtx) -> T + Sync,
+{
+    assert!(n >= 1);
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let barrier = Arc::new(Barrier::new(n));
+    let mut ctxs: Vec<RankCtx> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, receiver)| RankCtx {
+            rank,
+            n_ranks: n,
+            senders: senders.clone(),
+            receiver,
+            stash: HashMap::new(),
+            barrier: barrier.clone(),
+        })
+        .collect();
+    drop(senders);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for ctx in ctxs.drain(..) {
+            handles.push(scope.spawn(|| f(ctx)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass() {
+        let results = run_ranks(4, |mut ctx| {
+            let next = (ctx.rank + 1) % ctx.n_ranks;
+            let prev = (ctx.rank + ctx.n_ranks - 1) % ctx.n_ranks;
+            ctx.send(next, 7, vec![ctx.rank as f64]);
+            ctx.recv(prev, 7)[0]
+        });
+        assert_eq!(results, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_stashed() {
+        let results = run_ranks(2, |mut ctx| {
+            if ctx.rank == 0 {
+                // Send tag 2 first, then tag 1; receiver asks for 1 first.
+                ctx.send(1, 2, vec![20.0]);
+                ctx.send(1, 1, vec![10.0]);
+                0.0
+            } else {
+                let a = ctx.recv(0, 1)[0];
+                let b = ctx.recv(0, 2)[0];
+                a * 100.0 + b
+            }
+        });
+        assert_eq!(results[1], 1020.0);
+    }
+
+    #[test]
+    fn multiple_messages_same_tag_preserve_order() {
+        let results = run_ranks(2, |mut ctx| {
+            if ctx.rank == 0 {
+                for k in 0..5 {
+                    ctx.send(1, 9, vec![k as f64]);
+                }
+                0.0
+            } else {
+                let mut acc = 0.0;
+                for k in 0..5 {
+                    let v = ctx.recv(0, 9)[0];
+                    assert_eq!(v, k as f64, "FIFO order violated");
+                    acc = acc * 10.0 + v;
+                }
+                acc
+            }
+        });
+        assert_eq!(results[1], 1234.0);
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let sums = run_ranks(5, |mut ctx| ctx.allreduce_sum(ctx.rank as f64 + 1.0));
+        assert!(sums.iter().all(|&s| s == 15.0));
+        let maxs = run_ranks(5, |mut ctx| {
+            ctx.allreduce_max(-((ctx.rank as f64) - 2.0).abs())
+        });
+        assert!(maxs.iter().all(|&m| m == 0.0));
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_ranks(4, |ctx| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // After the barrier every rank must observe all 4 increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn single_rank_runs() {
+        let r = run_ranks(1, |mut ctx| ctx.allreduce_sum(42.0));
+        assert_eq!(r, vec![42.0]);
+    }
+}

@@ -1,0 +1,63 @@
+//! α+β communication cost model.
+//!
+//! The scaling figures (Figs. 8–9) ran on 56 Gb/s FDR InfiniBand; this
+//! machine has no network at all, so scaling experiments price messages
+//! with the classic postal model `T(bytes) = α + bytes/β` and feed the
+//! result to the makespan simulator in `mpas-hybrid`.
+
+/// Latency/bandwidth model of one link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommCostModel {
+    /// Per-message latency, seconds.
+    pub alpha: f64,
+    /// Bandwidth, bytes/second.
+    pub beta: f64,
+}
+
+impl CommCostModel {
+    /// FDR InfiniBand (56 Gb/s, ~1.5 µs MPI latency) — the paper's fabric.
+    pub fn fdr_infiniband() -> Self {
+        CommCostModel { alpha: 1.5e-6, beta: 56.0e9 / 8.0 * 0.8 }
+    }
+
+    /// Time to move one message of `bytes`.
+    pub fn message_time(&self, bytes: usize) -> f64 {
+        self.alpha + bytes as f64 / self.beta
+    }
+
+    /// Time for a halo update exchanging `bytes` split over `n_neighbors`
+    /// messages (latency paid per message, sends overlap pairwise).
+    pub fn halo_time(&self, bytes: usize, n_neighbors: usize) -> f64 {
+        if bytes == 0 || n_neighbors == 0 {
+            return 0.0;
+        }
+        self.alpha * n_neighbors as f64 + bytes as f64 / self.beta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let m = CommCostModel::fdr_infiniband();
+        let t8 = m.message_time(8);
+        assert!((t8 - m.alpha) / m.alpha < 0.01);
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_messages() {
+        let m = CommCostModel::fdr_infiniband();
+        let t = m.message_time(100_000_000);
+        assert!(t > 0.01 && t < 0.03, "t = {t}");
+    }
+
+    #[test]
+    fn halo_time_monotone_in_both_arguments() {
+        let m = CommCostModel::fdr_infiniband();
+        assert!(m.halo_time(1000, 2) < m.halo_time(2000, 2));
+        assert!(m.halo_time(1000, 2) < m.halo_time(1000, 4));
+        assert_eq!(m.halo_time(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! In-process message-passing runtime — the MPI substitute.
+//!
+//! The paper's inter-node layer is MPI over InfiniBand. Rust's MPI ecosystem
+//! is thin (see DESIGN.md §1), so this crate rebuilds the needed subset with
+//! ranks as OS threads and typed channels as the wire:
+//!
+//! * [`comm`] — point-to-point tagged send/recv with out-of-order buffering,
+//!   barriers, and reductions;
+//! * [`halo`] — the halo-exchange engine driven by the exchange lists of
+//!   [`mpas_mesh::MeshPartition`];
+//! * [`cost`] — the α+β communication cost model used by the scaling
+//!   experiments (Figs. 8–9).
+//!
+//! The semantics match a correct MPI program: the exchange logic (who sends
+//! what to whom, pack/unpack order, synchronization points) is identical;
+//! only the transport differs.
+
+pub mod comm;
+pub mod cost;
+pub mod halo;
+
+pub use comm::{run_ranks, RankCtx};
+pub use cost::CommCostModel;
+pub use halo::HaloExchanger;

@@ -1,0 +1,131 @@
+//! Exports of the data-flow diagram: Graphviz DOT (the paper's Fig. 4 as
+//! an artifact you can render) and a plain-text dependency report.
+
+use crate::dataflow::{DataflowGraph, Kernel};
+use std::fmt::Write as _;
+
+fn kernel_label(k: Kernel) -> &'static str {
+    match k {
+        Kernel::ComputeTend => "compute_tend",
+        Kernel::EnforceBoundaryEdge => "enforce_boundary_edge",
+        Kernel::ComputeNextSubstepState => "compute_next_substep_state",
+        Kernel::ComputeSolveDiagnostics => "compute_solve_diagnostics",
+        Kernel::AccumulativeUpdate => "accumulative_update",
+        Kernel::MpasReconstruct => "mpas_reconstruct",
+    }
+}
+
+/// Render the graph as Graphviz DOT: one cluster per kernel (the gray/
+/// yellow boxes of Fig. 4), circles for stencil patterns, rectangles for
+/// the point-local X boxes, and one edge per data dependency.
+pub fn to_dot(graph: &DataflowGraph) -> String {
+    let mut s = String::new();
+    writeln!(s, "digraph dataflow {{").unwrap();
+    writeln!(s, "  rankdir=TB;").unwrap();
+    writeln!(s, "  node [fontsize=10];").unwrap();
+
+    // Clusters per kernel, preserving first-appearance order.
+    let mut seen = Vec::new();
+    for n in &graph.nodes {
+        if !seen.contains(&n.kernel) {
+            seen.push(n.kernel);
+        }
+    }
+    for (ci, &k) in seen.iter().enumerate() {
+        writeln!(s, "  subgraph cluster_{ci} {{").unwrap();
+        writeln!(s, "    label=\"{}\";", kernel_label(k)).unwrap();
+        for (id, n) in graph.nodes.iter().enumerate() {
+            if n.kernel == k {
+                let shape = if n.name.starts_with('X') { "box" } else { "circle" };
+                writeln!(s, "    n{id} [label=\"{}\", shape={shape}];", n.name)
+                    .unwrap();
+            }
+        }
+        writeln!(s, "  }}").unwrap();
+    }
+    for (id, preds) in graph.preds.iter().enumerate() {
+        for &p in preds {
+            // Label the edge with the variables that carry the dependency.
+            let vars: Vec<String> = graph.nodes[p]
+                .outputs
+                .iter()
+                .filter(|v| {
+                    graph.nodes[id].inputs.contains(v)
+                        || graph.nodes[id].outputs.contains(v)
+                })
+                .map(|v| format!("{v:?}"))
+                .collect();
+            writeln!(
+                s,
+                "  n{p} -> n{id} [label=\"{}\", fontsize=8];",
+                vars.join(",")
+            )
+            .unwrap();
+        }
+    }
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+/// A plain-text concurrency report: topological levels with their member
+/// patterns (everything inside one level may run concurrently).
+pub fn concurrency_report(graph: &DataflowGraph) -> String {
+    let mut s = String::new();
+    for (l, nodes) in graph.topo_levels().iter().enumerate() {
+        let names: Vec<&str> =
+            nodes.iter().map(|&n| graph.nodes[n].name).collect();
+        writeln!(s, "level {l}: {}", names.join(" ")).unwrap();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::RkPhase;
+
+    #[test]
+    fn dot_contains_every_node_and_kernel_cluster() {
+        let g = DataflowGraph::for_substep(RkPhase::Final);
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph dataflow {"));
+        for n in &g.nodes {
+            assert!(dot.contains(&format!("label=\"{}\"", n.name)), "{}", n.name);
+        }
+        for label in [
+            "compute_tend",
+            "enforce_boundary_edge",
+            "accumulative_update",
+            "compute_solve_diagnostics",
+            "mpas_reconstruct",
+        ] {
+            assert!(dot.contains(label), "{label} cluster missing");
+        }
+        // Balanced braces (well-formed DOT).
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn dot_edge_count_matches_graph() {
+        let g = DataflowGraph::for_substep(RkPhase::Intermediate);
+        let dot = to_dot(&g);
+        let n_edges: usize = g.preds.iter().map(|p| p.len()).sum();
+        assert_eq!(dot.matches(" -> ").count(), n_edges);
+    }
+
+    #[test]
+    fn concurrency_report_lists_all_nodes_once() {
+        let g = DataflowGraph::for_substep(RkPhase::Intermediate);
+        let rep = concurrency_report(&g);
+        for n in &g.nodes {
+            let count = rep
+                .split_whitespace()
+                .filter(|w| *w == n.name)
+                .count();
+            assert_eq!(count, 1, "{} appears {count} times", n.name);
+        }
+        // The diagnostics fan-out makes at least one wide level.
+        let widest = g.topo_levels().iter().map(|l| l.len()).max().unwrap();
+        assert!(widest >= 4, "widest level only {widest}");
+    }
+}

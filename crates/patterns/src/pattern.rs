@@ -1,0 +1,229 @@
+//! Stencil-pattern classes (Fig. 3) and model variables (Table I).
+//!
+//! The scanned figure does not key letters to geometries, so this module
+//! fixes the reconstruction documented in DESIGN.md §3. What matters for the
+//! reproduction is that (a) there are exactly eight distinct stencil shapes
+//! over the three point types, (b) the Table I instances reference them
+//! consistently, and (c) each shape knows its input/output locations and a
+//! work estimate — which is what the hybrid scheduler consumes.
+
+use serde::{Deserialize, Serialize};
+
+/// The three MPAS point types of the C-staggered Voronoi mesh (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MeshLocation {
+    /// Mass points: Voronoi cell centers.
+    Cell,
+    /// Velocity points: edge midpoints.
+    Edge,
+    /// Vorticity points: Voronoi corners (Delaunay triangle circumcenters).
+    Vertex,
+}
+
+/// The eight stencil classes of Fig. 3 plus the point-local class.
+///
+/// `Local` covers the paper's rectangular X1–X6 boxes: embarrassingly
+/// parallel point-wise updates with no neighborhood.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternClass {
+    /// Cell ← edges of the cell (divergence-type reduction).
+    A,
+    /// Edge ← edges-on-edge + adjacent cells (TRiSK megastencil).
+    B,
+    /// Edge ← adjacent cells + vertices / vertex ← edges (curl-type).
+    C,
+    /// Cell ← neighboring cells (second-derivative interpolation).
+    D,
+    /// Vertex ← cells of the vertex (kite-area interpolation).
+    E,
+    /// Cell ← vertices of the cell.
+    F,
+    /// Edge ← vertices + edge neighborhood (APVM-upwinded PV).
+    G,
+    /// Edge ← the two adjacent cells / edges-on-edge average.
+    H,
+    /// Point-local computation (no stencil).
+    Local,
+}
+
+impl PatternClass {
+    /// Average number of neighborhood points read per output point, used by
+    /// the flop/byte work model. Hexagon-dominant meshes have cell degree
+    /// ~6, vertex degree 3, and |edgesOnEdge| ~10.
+    pub fn stencil_width(self) -> f64 {
+        match self {
+            PatternClass::A => 6.0,
+            PatternClass::B => 10.0,
+            PatternClass::C => 4.0,
+            PatternClass::D => 7.0,
+            PatternClass::E => 3.0,
+            PatternClass::F => 6.0,
+            PatternClass::G => 4.0,
+            PatternClass::H => 2.0,
+            PatternClass::Local => 1.0,
+        }
+    }
+
+    /// Whether the class has an irregular-reduction (scatter) natural form
+    /// that needs the regularity-aware refactoring of Alg. 3 before it can
+    /// be thread-parallelized.
+    pub fn has_irregular_reduction(self) -> bool {
+        matches!(
+            self,
+            PatternClass::A | PatternClass::C | PatternClass::E | PatternClass::F
+        )
+    }
+}
+
+/// Every model variable appearing in the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variable {
+    /// Prognostic fluid thickness at cells.
+    H,
+    /// Prognostic normal velocity at edges.
+    U,
+    /// Provisional RK-substep thickness.
+    ProvisH,
+    /// Provisional RK-substep normal velocity.
+    ProvisU,
+    /// Thickness tendency.
+    TendH,
+    /// Velocity tendency.
+    TendU,
+    /// Thickness interpolated to edges.
+    HEdge,
+    /// Kinetic energy at cells.
+    Ke,
+    /// Relative vorticity at vertices.
+    Vorticity,
+    /// Relative vorticity interpolated to cells.
+    VorticityCell,
+    /// Velocity divergence at cells.
+    Divergence,
+    /// Potential vorticity at vertices.
+    PvVertex,
+    /// Potential vorticity at cells.
+    PvCell,
+    /// Potential vorticity at edges (APVM upwinded).
+    PvEdge,
+    /// Tangential velocity at edges (TRiSK reconstruction).
+    V,
+    /// Second thickness derivative, cell-1 side (4th-order h_edge blend).
+    D2fdx2Cell1,
+    /// Second thickness derivative, cell-2 side.
+    D2fdx2Cell2,
+    /// Reconstructed Cartesian velocity at cells, x component.
+    URecX,
+    /// Reconstructed Cartesian velocity at cells, y component.
+    URecY,
+    /// Reconstructed Cartesian velocity at cells, z component.
+    URecZ,
+    /// Reconstructed zonal velocity at cells.
+    URecZonal,
+    /// Reconstructed meridional velocity at cells.
+    URecMeridional,
+}
+
+impl Variable {
+    /// The mesh point type this variable lives on.
+    pub fn location(self) -> MeshLocation {
+        use Variable::*;
+        match self {
+            H | ProvisH | TendH | Ke | VorticityCell | Divergence | PvCell
+            | URecX | URecY | URecZ | URecZonal | URecMeridional => {
+                MeshLocation::Cell
+            }
+            // The second-derivative blend terms are stored per edge (one
+            // value for each of the edge's two cells), as in the MPAS
+            // `deriv_two` machinery.
+            U | ProvisU | TendU | HEdge | PvEdge | V | D2fdx2Cell1
+            | D2fdx2Cell2 => MeshLocation::Edge,
+            Vorticity | PvVertex => MeshLocation::Vertex,
+        }
+    }
+
+    /// All variables, for exhaustiveness checks.
+    pub const ALL: [Variable; 22] = [
+        Variable::H,
+        Variable::U,
+        Variable::ProvisH,
+        Variable::ProvisU,
+        Variable::TendH,
+        Variable::TendU,
+        Variable::HEdge,
+        Variable::Ke,
+        Variable::Vorticity,
+        Variable::VorticityCell,
+        Variable::Divergence,
+        Variable::PvVertex,
+        Variable::PvCell,
+        Variable::PvEdge,
+        Variable::V,
+        Variable::D2fdx2Cell1,
+        Variable::D2fdx2Cell2,
+        Variable::URecX,
+        Variable::URecY,
+        Variable::URecZ,
+        Variable::URecZonal,
+        Variable::URecMeridional,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_list_is_exhaustive_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for v in Variable::ALL {
+            assert!(seen.insert(v), "{v:?} duplicated in ALL");
+        }
+        assert_eq!(seen.len(), 22);
+    }
+
+    #[test]
+    fn variable_locations_partition_into_three_types() {
+        let cells = Variable::ALL
+            .iter()
+            .filter(|v| v.location() == MeshLocation::Cell)
+            .count();
+        let edges = Variable::ALL
+            .iter()
+            .filter(|v| v.location() == MeshLocation::Edge)
+            .count();
+        let verts = Variable::ALL
+            .iter()
+            .filter(|v| v.location() == MeshLocation::Vertex)
+            .count();
+        assert_eq!(cells + edges + verts, 22);
+        assert_eq!(verts, 2);
+        assert_eq!(edges, 8);
+    }
+
+    #[test]
+    fn eight_stencil_classes_plus_local() {
+        let classes = [
+            PatternClass::A,
+            PatternClass::B,
+            PatternClass::C,
+            PatternClass::D,
+            PatternClass::E,
+            PatternClass::F,
+            PatternClass::G,
+            PatternClass::H,
+        ];
+        // All stencil widths are > 1; only Local is 1.
+        for c in classes {
+            assert!(c.stencil_width() > 1.0);
+        }
+        assert_eq!(PatternClass::Local.stencil_width(), 1.0);
+    }
+
+    #[test]
+    fn divergence_like_classes_are_irregular() {
+        assert!(PatternClass::A.has_irregular_reduction());
+        assert!(!PatternClass::B.has_irregular_reduction());
+        assert!(!PatternClass::Local.has_irregular_reduction());
+    }
+}

@@ -1,0 +1,145 @@
+//! Kernel/pattern work profiling — the paper's §II.C step: "a profiling of
+//! the code is done to examine the cost of each kernel", which is what
+//! motivates the kernel-level assignment and exposes its imbalance.
+//!
+//! Costs come from the same [`crate::dataflow::Work`] model the scheduler
+//! uses, so the profile is exactly what the hybrid policies see.
+
+use crate::dataflow::{DataflowGraph, Kernel, MeshCounts, RkPhase};
+
+/// Work share of one kernel within a substep.
+#[derive(Debug, Clone)]
+pub struct KernelProfile {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Number of pattern instances in the kernel.
+    pub n_patterns: usize,
+    /// Total bytes moved by the kernel per substep.
+    pub bytes: f64,
+    /// Total flops per substep.
+    pub flops: f64,
+    /// Fraction of the substep's total bytes.
+    pub share: f64,
+}
+
+/// Work share of one pattern instance.
+#[derive(Debug, Clone)]
+pub struct PatternProfile {
+    /// Table-I label.
+    pub name: &'static str,
+    /// Owning kernel.
+    pub kernel: Kernel,
+    /// Bytes moved per substep.
+    pub bytes: f64,
+    /// Fraction of the substep total.
+    pub share: f64,
+}
+
+/// Per-kernel profile of one substep, heaviest first.
+pub fn kernel_profile(phase: RkPhase, mc: &MeshCounts) -> Vec<KernelProfile> {
+    let g = DataflowGraph::for_substep(phase);
+    let total: f64 = g.nodes.iter().map(|n| n.work(mc).bytes).sum();
+    let mut order: Vec<Kernel> = Vec::new();
+    for n in &g.nodes {
+        if !order.contains(&n.kernel) {
+            order.push(n.kernel);
+        }
+    }
+    let mut out: Vec<KernelProfile> = order
+        .into_iter()
+        .map(|kernel| {
+            let nodes: Vec<_> =
+                g.nodes.iter().filter(|n| n.kernel == kernel).collect();
+            let bytes: f64 = nodes.iter().map(|n| n.work(mc).bytes).sum();
+            let flops: f64 = nodes.iter().map(|n| n.work(mc).flops).sum();
+            KernelProfile {
+                kernel,
+                n_patterns: nodes.len(),
+                bytes,
+                flops,
+                share: bytes / total,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.bytes.partial_cmp(&a.bytes).unwrap());
+    out
+}
+
+/// Per-pattern profile of one substep, heaviest first.
+pub fn pattern_profile(phase: RkPhase, mc: &MeshCounts) -> Vec<PatternProfile> {
+    let g = DataflowGraph::for_substep(phase);
+    let total: f64 = g.nodes.iter().map(|n| n.work(mc).bytes).sum();
+    let mut out: Vec<PatternProfile> = g
+        .nodes
+        .iter()
+        .map(|n| PatternProfile {
+            name: n.name,
+            kernel: n.kernel,
+            bytes: n.work(mc).bytes,
+            share: n.work(mc).bytes / total,
+        })
+        .collect();
+    out.sort_by(|a, b| b.bytes.partial_cmp(&a.bytes).unwrap());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc() -> MeshCounts {
+        MeshCounts::icosahedral(655_362)
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        for phase in [RkPhase::Intermediate, RkPhase::Final] {
+            let ks = kernel_profile(phase, &mc());
+            let total: f64 = ks.iter().map(|k| k.share).sum();
+            assert!((total - 1.0).abs() < 1e-12);
+            let ps = pattern_profile(phase, &mc());
+            let total: f64 = ps.iter().map(|p| p.share).sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagnostics_and_tend_dominate() {
+        // The paper's observation: compute_solve_diagnostics and
+        // compute_tend are the time-consuming kernels (hence offloaded).
+        let ks = kernel_profile(RkPhase::Intermediate, &mc());
+        let top2: Vec<Kernel> = ks.iter().take(2).map(|k| k.kernel).collect();
+        assert!(top2.contains(&Kernel::ComputeSolveDiagnostics));
+        assert!(top2.contains(&Kernel::ComputeTend));
+        let heavy_share: f64 = ks.iter().take(2).map(|k| k.share).sum();
+        assert!(heavy_share > 0.75, "heavy kernels only {heavy_share}");
+    }
+
+    #[test]
+    fn b1_is_the_heaviest_pattern() {
+        // The TRiSK megastencil moves the most bytes — the single pattern
+        // whose placement matters most.
+        let ps = pattern_profile(RkPhase::Intermediate, &mc());
+        assert_eq!(ps[0].name, "B1", "heaviest is {}", ps[0].name);
+        assert!(ps[0].share > 0.15);
+    }
+
+    #[test]
+    fn profiles_are_resolution_invariant_in_shares() {
+        // Shares shift only through the (tiny) "+2 cells" Euler correction
+        // in the edge/vertex counts.
+        let small = pattern_profile(RkPhase::Final, &MeshCounts::icosahedral(40_962));
+        let large =
+            pattern_profile(RkPhase::Final, &MeshCounts::icosahedral(2_621_442));
+        for a in &small {
+            let b = large.iter().find(|p| p.name == a.name).unwrap();
+            assert!(
+                (a.share - b.share).abs() < 1e-3,
+                "{}: {} vs {}",
+                a.name,
+                a.share,
+                b.share
+            );
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Checkpoint/restart of the prognostic state.
+//!
+//! MPAS's finalization phase writes the computation results back to disk
+//! (§II.B); this module provides the equivalent: a compact binary snapshot
+//! of `(time, h, u)` that restarts a run bit-for-bit (restart equivalence
+//! is asserted by integration tests — the result of `run(5); save; load;
+//! run(5)` equals `run(10)` exactly, since RK4 carries no other state
+//! between steps).
+
+use crate::state::State;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"MPASSTA1";
+
+/// Write a state snapshot.
+pub fn save_state(
+    state: &State,
+    time: f64,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&time.to_le_bytes())?;
+    w.write_all(&(state.h.len() as u64).to_le_bytes())?;
+    w.write_all(&(state.u.len() as u64).to_le_bytes())?;
+    for &x in &state.h {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    for &x in &state.u {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Read a snapshot written by [`save_state`]. Returns `(state, time)`.
+pub fn load_state(path: impl AsRef<Path>) -> io::Result<(State, f64)> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an MPASSTA1 state file",
+        ));
+    }
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    let time = f64::from_le_bytes(b);
+    r.read_exact(&mut b)?;
+    let nh = u64::from_le_bytes(b) as usize;
+    r.read_exact(&mut b)?;
+    let nu = u64::from_le_bytes(b) as usize;
+    let mut read_f64s = |n: usize| -> io::Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(n);
+        let mut b = [0u8; 8];
+        for _ in 0..n {
+            r.read_exact(&mut b)?;
+            out.push(f64::from_le_bytes(b));
+        }
+        Ok(out)
+    };
+    let h = read_f64s(nh)?;
+    let u = read_f64s(nu)?;
+    Ok((State { h, u }, time))
+}
+
+impl crate::model::ShallowWaterModel {
+    /// Write the current state and model time to a checkpoint file.
+    pub fn save_checkpoint(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        save_state(&self.state, self.time, path)
+    }
+
+    /// Restore state and time from a checkpoint (mesh/test case must match
+    /// the one the checkpoint was written with; sizes are verified).
+    /// Diagnostics are recomputed so the next step proceeds exactly as if
+    /// the run had never stopped.
+    pub fn load_checkpoint(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
+        let (state, time) = load_state(path)?;
+        if state.h.len() != self.mesh.n_cells()
+            || state.u.len() != self.mesh.n_edges()
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "checkpoint size does not match the mesh",
+            ));
+        }
+        self.state = state;
+        self.time = time;
+        crate::kernels::compute_solve_diagnostics(
+            &self.mesh,
+            &self.config,
+            &self.state.h,
+            &self.state.u,
+            &self.f_vertex,
+            self.dt,
+            &mut self.diag,
+        );
+        crate::kernels::mpas_reconstruct(
+            &self.mesh,
+            &self.coeffs,
+            &self.state.u,
+            &mut self.recon,
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::model::ShallowWaterModel;
+    use crate::testcases::TestCase;
+    use std::sync::Arc;
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let state = State {
+            h: vec![1.5, 2.5, -3.25],
+            u: vec![0.125, 9.75],
+        };
+        let path = std::env::temp_dir().join("mpas_state_roundtrip.bin");
+        save_state(&state, 1234.5, &path).unwrap();
+        let (back, t) = load_state(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, state);
+        assert_eq!(t, 1234.5);
+    }
+
+    #[test]
+    fn restart_is_bitwise_exact() {
+        let mesh = Arc::new(mpas_mesh::generate(3, 0));
+        let cfg = ModelConfig::default();
+        let tc = TestCase::Case5;
+        let path = std::env::temp_dir().join("mpas_restart_test.bin");
+
+        let mut straight = ShallowWaterModel::new(mesh.clone(), cfg, tc, None);
+        straight.run_steps(10);
+
+        let mut resumed = ShallowWaterModel::new(mesh.clone(), cfg, tc, None);
+        resumed.run_steps(5);
+        resumed.save_checkpoint(&path).unwrap();
+        // A fresh model (even advanced elsewhere) restores exactly.
+        let mut fresh = ShallowWaterModel::new(mesh, cfg, tc, None);
+        fresh.run_steps(2);
+        fresh.load_checkpoint(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        fresh.run_steps(5);
+
+        assert_eq!(straight.state.max_abs_diff(&fresh.state), 0.0);
+        assert_eq!(straight.time, fresh.time);
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_rejected() {
+        let mesh_small = Arc::new(mpas_mesh::generate(2, 0));
+        let mesh_big = Arc::new(mpas_mesh::generate(3, 0));
+        let cfg = ModelConfig::default();
+        let tc = TestCase::Case2 { alpha: 0.0 };
+        let path = std::env::temp_dir().join("mpas_restart_mismatch.bin");
+        let small = ShallowWaterModel::new(mesh_small, cfg, tc, None);
+        small.save_checkpoint(&path).unwrap();
+        let mut big = ShallowWaterModel::new(mesh_big, cfg, tc, None);
+        let err = big.load_checkpoint(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,75 @@
+//! Numerical configuration of the shallow-water core.
+
+use serde::{Deserialize, Serialize};
+
+/// Options mirroring the MPAS `sw` core namelist entries that matter here.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Gravitational acceleration, m/s².
+    pub gravity: f64,
+    /// APVM (anticipated potential vorticity method) upwinding factor for
+    /// `pv_edge`; 0.5 is the standard value, 0 disables upwinding.
+    pub apvm_factor: f64,
+    /// Harmonic (del2) momentum dissipation coefficient ν, m²/s. The
+    /// paper's pattern C1. Zero disables the term.
+    pub del2_viscosity: f64,
+    /// Biharmonic (del4) hyperviscosity coefficient ν₄, m⁴/s — the
+    /// scale-selective dissipation MPAS uses operationally (two chained
+    /// C1-class applications). Zero disables the term.
+    pub del4_viscosity: f64,
+    /// Use the higher-order thickness-edge blend (patterns D1/D2 feeding
+    /// H2); plain mid-edge averaging otherwise.
+    pub high_order_h_edge: bool,
+    /// Advection-only mode (Williamson test case 1): the velocity field is
+    /// held fixed and only the continuity equation advances; the momentum
+    /// tendency and the PV diagnostic chain are skipped.
+    pub advection_only: bool,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            gravity: mpas_geom::GRAVITY,
+            apvm_factor: 0.5,
+            del2_viscosity: 0.0,
+            del4_viscosity: 0.0,
+            high_order_h_edge: false,
+            advection_only: false,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// A conservative stable time step for a mesh: CFL 0.25 against a
+    /// 300 m/s external gravity wave on the smallest cell spacing.
+    pub fn suggested_dt(mesh: &mpas_mesh::Mesh) -> f64 {
+        let min_dc = mesh
+            .dc_edge
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        0.25 * min_dc / 300.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_mpas_choices() {
+        let c = ModelConfig::default();
+        assert_eq!(c.apvm_factor, 0.5);
+        assert_eq!(c.del2_viscosity, 0.0);
+        assert!(!c.high_order_h_edge);
+        assert!((c.gravity - 9.80616).abs() < 1e-9);
+    }
+
+    #[test]
+    fn suggested_dt_scales_with_resolution() {
+        let m3 = mpas_mesh::generate(3, 0);
+        let m4 = mpas_mesh::generate(4, 0);
+        let r = ModelConfig::suggested_dt(&m3) / ModelConfig::suggested_dt(&m4);
+        assert!((r - 2.0).abs() < 0.3, "dt ratio {r}");
+    }
+}

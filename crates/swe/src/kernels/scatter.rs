@@ -1,0 +1,138 @@
+//! Original MPAS-style scatter (edge-order / vertex-order) forms of the
+//! irregular reductions (the paper's Algorithm 2).
+//!
+//! These loops traverse the mesh in *input* order and scatter `±` updates
+//! into *output* entities, so they race under naive thread parallelism —
+//! they exist as the Fig. 6 "Baseline" and to property-test the
+//! regularity-aware refactorings in [`super::ops`] against.
+
+use mpas_mesh::Mesh;
+
+/// A1 in scatter form: accumulate thickness fluxes edge-by-edge.
+pub fn tend_h_scatter(mesh: &Mesh, u: &[f64], h_edge: &[f64], out: &mut [f64]) {
+    out.fill(0.0);
+    for e in 0..mesh.n_edges() {
+        let [c1, c2] = mesh.cells_on_edge[e];
+        let flux = u[e] * h_edge[e] * mesh.dv_edge[e];
+        out[c1 as usize] -= flux; // outward from c1 ⇒ mass loss
+        out[c2 as usize] += flux;
+    }
+    for i in 0..mesh.n_cells() {
+        out[i] /= mesh.area_cell[i];
+    }
+}
+
+/// A2 in scatter form: kinetic energy accumulated edge-by-edge.
+pub fn ke_scatter(mesh: &Mesh, u: &[f64], out: &mut [f64]) {
+    out.fill(0.0);
+    for e in 0..mesh.n_edges() {
+        let [c1, c2] = mesh.cells_on_edge[e];
+        let contrib = 0.25 * mesh.dc_edge[e] * mesh.dv_edge[e] * u[e] * u[e];
+        out[c1 as usize] += contrib;
+        out[c2 as usize] += contrib;
+    }
+    for i in 0..mesh.n_cells() {
+        out[i] /= mesh.area_cell[i];
+    }
+}
+
+/// B2 in scatter form: divergence accumulated edge-by-edge.
+pub fn divergence_scatter(mesh: &Mesh, u: &[f64], out: &mut [f64]) {
+    out.fill(0.0);
+    for e in 0..mesh.n_edges() {
+        let [c1, c2] = mesh.cells_on_edge[e];
+        let flux = u[e] * mesh.dv_edge[e];
+        out[c1 as usize] += flux;
+        out[c2 as usize] -= flux;
+    }
+    for i in 0..mesh.n_cells() {
+        out[i] /= mesh.area_cell[i];
+    }
+}
+
+/// C2 in scatter form: circulation accumulated edge-by-edge into the two
+/// adjacent vertices.
+pub fn vorticity_scatter(mesh: &Mesh, u: &[f64], out: &mut [f64]) {
+    out.fill(0.0);
+    for e in 0..mesh.n_edges() {
+        let [v1, v2] = mesh.vertices_on_edge[e];
+        let circ = u[e] * mesh.dc_edge[e];
+        // The dual edge (+n̂ direction) runs CCW around exactly one of the
+        // two adjacent vertices; find the slot signs from the vertex tables.
+        for &v in &[v1, v2] {
+            let v = v as usize;
+            for k in 0..3 {
+                if mesh.edges_on_vertex[v][k] as usize == e {
+                    out[v] += mesh.edge_sign_on_vertex[v][k] as f64 * circ;
+                }
+            }
+        }
+    }
+    for v in 0..mesh.n_vertices() {
+        out[v] /= mesh.area_triangle[v];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::ops;
+
+    fn setup() -> (Mesh, Vec<f64>, Vec<f64>) {
+        let mesh = mpas_mesh::generate(3, 0);
+        let u: Vec<f64> =
+            (0..mesh.n_edges()).map(|e| (e as f64 * 0.17).sin() * 8.0).collect();
+        let h_edge: Vec<f64> = (0..mesh.n_edges())
+            .map(|e| 1000.0 + (e as f64 * 0.05).cos() * 50.0)
+            .collect();
+        (mesh, u, h_edge)
+    }
+
+    #[test]
+    fn tend_h_scatter_matches_gather() {
+        let (mesh, u, h_edge) = setup();
+        let mut a = vec![0.0; mesh.n_cells()];
+        let mut b = vec![0.0; mesh.n_cells()];
+        tend_h_scatter(&mesh, &u, &h_edge, &mut a);
+        ops::tend_h(&mesh, &u, &h_edge, &mut b, 0..mesh.n_cells());
+        for i in 0..mesh.n_cells() {
+            assert!((a[i] - b[i]).abs() < 1e-9, "cell {i}: {} vs {}", a[i], b[i]);
+        }
+    }
+
+    #[test]
+    fn ke_scatter_matches_gather() {
+        let (mesh, u, _) = setup();
+        let mut a = vec![0.0; mesh.n_cells()];
+        let mut b = vec![0.0; mesh.n_cells()];
+        ke_scatter(&mesh, &u, &mut a);
+        ops::ke(&mesh, &u, &mut b, 0..mesh.n_cells());
+        for i in 0..mesh.n_cells() {
+            assert!((a[i] - b[i]).abs() < 1e-9 * a[i].abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn divergence_scatter_matches_gather() {
+        let (mesh, u, _) = setup();
+        let mut a = vec![0.0; mesh.n_cells()];
+        let mut b = vec![0.0; mesh.n_cells()];
+        divergence_scatter(&mesh, &u, &mut a);
+        ops::divergence(&mesh, &u, &mut b, 0..mesh.n_cells());
+        for i in 0..mesh.n_cells() {
+            assert!((a[i] - b[i]).abs() < 1e-12 * a[i].abs().max(1e-6));
+        }
+    }
+
+    #[test]
+    fn vorticity_scatter_matches_gather() {
+        let (mesh, u, _) = setup();
+        let mut a = vec![0.0; mesh.n_vertices()];
+        let mut b = vec![0.0; mesh.n_vertices()];
+        vorticity_scatter(&mesh, &u, &mut a);
+        ops::vorticity(&mesh, &u, &mut b, 0..mesh.n_vertices());
+        for v in 0..mesh.n_vertices() {
+            assert!((a[v] - b[v]).abs() < 1e-12 * a[v].abs().max(1e-12));
+        }
+    }
+}

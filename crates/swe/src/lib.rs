@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! The MPAS shallow-water model: TRiSK C-grid spatial discretization and
+//! RK-4 time stepping on spherical Voronoi meshes.
+//!
+//! This crate is the numerical substrate the paper parallelizes. It solves
+//! the rotating spherical shallow-water equations (the paper's Eq. 1)
+//!
+//! ```text
+//! ∂h/∂t + ∇·(h u)            = 0
+//! ∂u/∂t + q (h u)⊥           = −g ∇(h + b) − ∇K
+//! ```
+//!
+//! in the vector-invariant form of Ringler et al. (2011), with the fluid
+//! thickness `h` at mass points, the normal velocity `u` at velocity points,
+//! and potential vorticity `q` diagnosed at vorticity points.
+//!
+//! * [`state`] — prognostic/diagnostic field containers.
+//! * [`config`] — numerical options (APVM upwinding, del2 dissipation,
+//!   thickness-advection order).
+//! * [`kernels`] — the six kernels of Algorithm 1 as free functions over
+//!   explicit output ranges, one per Table-I pattern instance, so executors
+//!   can slice them across devices. Includes the original scatter
+//!   (edge-order) forms used as the Fig. 6 baseline.
+//! * [`rk4`] — the RK-4 driver (Algorithm 1).
+//! * [`model`] — a convenient single-address-space model facade.
+//! * [`testcases`] — Williamson et al. (1992) test cases 2, 5 and 6.
+//! * [`norms`] — the standard normalized l1/l2/l∞ error norms.
+//! * [`reconstruct`] — least-squares edge→cell velocity reconstruction.
+
+pub mod checkpoint;
+pub mod config;
+pub mod kernels;
+pub mod model;
+pub mod norms;
+pub mod reconstruct;
+pub mod rk4;
+pub mod state;
+pub mod testcases;
+pub mod timeseries;
+
+pub use checkpoint::{load_state, save_state};
+pub use config::ModelConfig;
+pub use model::ShallowWaterModel;
+pub use norms::ErrorNorms;
+pub use reconstruct::ReconstructCoeffs;
+pub use rk4::Rk4Workspace;
+pub use state::{Diagnostics, Reconstruction, State, Tendencies};
+pub use testcases::TestCase;
+pub use timeseries::{run_with_history, History};

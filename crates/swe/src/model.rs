@@ -1,0 +1,255 @@
+//! Single-address-space model facade: the reference ("original CPU code")
+//! implementation the paper's hybrid versions are compared against.
+
+use crate::config::ModelConfig;
+use crate::norms::ErrorNorms;
+use crate::reconstruct::ReconstructCoeffs;
+use crate::rk4::{rk4_step, Rk4Workspace};
+use crate::state::{Diagnostics, Reconstruction, State};
+use crate::testcases::TestCase;
+use crate::kernels;
+use mpas_mesh::Mesh;
+use std::sync::Arc;
+
+/// A complete shallow-water simulation on one mesh.
+pub struct ShallowWaterModel {
+    /// The mesh being integrated.
+    pub mesh: Arc<Mesh>,
+    /// Numerical options.
+    pub config: ModelConfig,
+    /// The Williamson scenario this run was initialized from.
+    pub test_case: TestCase,
+    /// Prognostic state.
+    pub state: State,
+    /// Current diagnostics (consistent with `state`).
+    pub diag: Diagnostics,
+    /// Reconstructed cell-center velocities.
+    pub recon: Reconstruction,
+    /// Bottom topography at cells.
+    pub b: Vec<f64>,
+    /// Coriolis parameter at vertices.
+    pub f_vertex: Vec<f64>,
+    /// Velocity-reconstruction coefficients.
+    pub coeffs: ReconstructCoeffs,
+    ws: Rk4Workspace,
+    /// Model time in seconds.
+    pub time: f64,
+    /// Time-step size in seconds.
+    pub dt: f64,
+}
+
+impl ShallowWaterModel {
+    /// Initialize a model from a test case. `dt = None` picks the
+    /// mesh-dependent stable default.
+    pub fn new(
+        mesh: Arc<Mesh>,
+        config: ModelConfig,
+        test_case: TestCase,
+        dt: Option<f64>,
+    ) -> Self {
+        let state = test_case.initial_state(&mesh);
+        let b = test_case.topography(&mesh);
+        let f_vertex = test_case.coriolis_vertex(&mesh);
+        let coeffs = ReconstructCoeffs::build(&mesh);
+        let dt = dt.unwrap_or_else(|| ModelConfig::suggested_dt(&mesh));
+        let mut diag = Diagnostics::zeros(&mesh);
+        kernels::compute_solve_diagnostics(
+            &mesh, &config, &state.h, &state.u, &f_vertex, dt, &mut diag,
+        );
+        let mut recon = Reconstruction::zeros(&mesh);
+        kernels::mpas_reconstruct(&mesh, &coeffs, &state.u, &mut recon);
+        let ws = Rk4Workspace::new(&mesh);
+        ShallowWaterModel {
+            ws,
+            state,
+            diag,
+            recon,
+            b,
+            f_vertex,
+            coeffs,
+            config,
+            test_case,
+            time: 0.0,
+            dt,
+            mesh,
+        }
+    }
+
+    /// Advance one RK-4 step.
+    pub fn step(&mut self) {
+        rk4_step(
+            &self.mesh,
+            &self.config,
+            &self.coeffs,
+            &self.f_vertex,
+            &self.b,
+            self.dt,
+            &mut self.state,
+            &mut self.diag,
+            &mut self.recon,
+            &mut self.ws,
+        );
+        self.time += self.dt;
+    }
+
+    /// Advance `n` steps.
+    pub fn run_steps(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Number of steps needed to reach `days` of simulated time.
+    pub fn steps_for_days(&self, days: f64) -> usize {
+        (days * mpas_geom::SECONDS_PER_DAY / self.dt).ceil() as usize
+    }
+
+    /// Total fluid mass `∫ h dA` (exactly conserved by the scheme).
+    pub fn total_mass(&self) -> f64 {
+        (0..self.mesh.n_cells())
+            .map(|i| self.state.h[i] * self.mesh.area_cell[i])
+            .sum()
+    }
+
+    /// Total energy `∫ [h·K + ½ g ((h+b)² − b²)] dA`.
+    pub fn total_energy(&self) -> f64 {
+        let g = self.config.gravity;
+        (0..self.mesh.n_cells())
+            .map(|i| {
+                let h = self.state.h[i];
+                let b = self.b[i];
+                (h * self.diag.ke[i]
+                    + 0.5 * g * ((h + b).powi(2) - b * b))
+                    * self.mesh.area_cell[i]
+            })
+            .sum()
+    }
+
+    /// Potential enstrophy `∫ ½ h_v q_v² dA_v`.
+    pub fn potential_enstrophy(&self) -> f64 {
+        let mesh = &self.mesh;
+        (0..mesh.n_vertices())
+            .map(|v| {
+                let mut hv = 0.0;
+                for k in 0..3 {
+                    hv += mesh.kite_areas_on_vertex[v][k]
+                        * self.state.h[mesh.cells_on_vertex[v][k] as usize];
+                }
+                hv /= mesh.area_triangle[v];
+                0.5 * hv * self.diag.pv_vertex[v].powi(2) * mesh.area_triangle[v]
+            })
+            .sum()
+    }
+
+    /// Thickness error norms against the test case's analytic solution at
+    /// the current model time (steady cases compare to the initial field;
+    /// Case 1 to the rigidly advected bell).
+    pub fn h_error_norms(&self) -> ErrorNorms {
+        let reference: Vec<f64> = (0..self.mesh.n_cells())
+            .map(|i| {
+                self.test_case
+                    .reference_thickness_at(self.mesh.x_cell[i], self.time)
+            })
+            .collect();
+        ErrorNorms::compute(&self.state.h, &reference, &self.mesh.area_cell)
+    }
+
+    /// Maximum Courant number over edges, using the external gravity-wave
+    /// speed `|u| + sqrt(g h_edge)` — the stability monitor for the
+    /// explicit RK-4 stepping.
+    pub fn max_courant(&self) -> f64 {
+        let g = self.config.gravity;
+        (0..self.mesh.n_edges())
+            .map(|e| {
+                let c =
+                    self.state.u[e].abs() + (g * self.diag.h_edge[e].max(0.0)).sqrt();
+                c * self.dt / self.mesh.dc_edge[e]
+            })
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Total height field `h + b` (what the paper's Fig. 5 plots).
+    pub fn total_height(&self) -> Vec<f64> {
+        self.state
+            .h
+            .iter()
+            .zip(&self.b)
+            .map(|(&h, &b)| h + b)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_model(tc: TestCase) -> ShallowWaterModel {
+        let mesh = Arc::new(mpas_mesh::generate(3, 0));
+        ShallowWaterModel::new(mesh, ModelConfig::default(), tc, None)
+    }
+
+    #[test]
+    fn mass_is_conserved_to_machine_precision() {
+        let mut m = small_model(TestCase::Case5);
+        let m0 = m.total_mass();
+        m.run_steps(10);
+        let m1 = m.total_mass();
+        let drift = (m1 - m0) / m0;
+        assert!(drift.abs() < 1e-13, "mass drift {drift:e}");
+    }
+
+    #[test]
+    fn case2_stays_near_steady_state() {
+        let mut m = small_model(TestCase::Case2 { alpha: 0.0 });
+        m.run_steps(20);
+        let norms = m.h_error_norms();
+        // Coarse mesh: discretization error dominates, but the state must
+        // remain close to the analytic steady flow after 20 steps.
+        assert!(norms.l2 < 5e-3, "l2 = {}", norms.l2);
+        assert!(norms.linf < 2e-2, "linf = {}", norms.linf);
+    }
+
+    #[test]
+    fn energy_drift_is_small() {
+        let mut m = small_model(TestCase::Case6);
+        let e0 = m.total_energy();
+        m.run_steps(20);
+        let e1 = m.total_energy();
+        assert!(((e1 - e0) / e0).abs() < 1e-6, "energy drift {}", (e1 - e0) / e0);
+    }
+
+    #[test]
+    fn enstrophy_drift_is_small() {
+        let mut m = small_model(TestCase::Case6);
+        let s0 = m.potential_enstrophy();
+        m.run_steps(20);
+        let s1 = m.potential_enstrophy();
+        assert!(((s1 - s0) / s0).abs() < 1e-4, "enstrophy drift {}", (s1 - s0) / s0);
+    }
+
+    #[test]
+    fn case5_total_height_spans_mountain() {
+        let m = small_model(TestCase::Case5);
+        let th = m.total_height();
+        let max = th.iter().fold(f64::MIN, |a, &b| a.max(b));
+        let min = th.iter().fold(f64::MAX, |a, &b| a.min(b));
+        // Analytic range: gh0/g = 5960 m at the equator down to
+        // 5960 − (aΩu0 + u0²/2)/g ≈ 4992 m at the poles.
+        assert!(max < 6000.0 && min > 4950.0, "range [{min},{max}]");
+    }
+
+    #[test]
+    fn solution_remains_finite_under_long_run() {
+        let mut m = small_model(TestCase::Case5);
+        m.run_steps(50);
+        assert!(m.state.h.iter().all(|h| h.is_finite() && *h > 0.0));
+        assert!(m.state.u.iter().all(|u| u.is_finite() && u.abs() < 300.0));
+    }
+
+    #[test]
+    fn steps_for_days_roundtrip() {
+        let m = small_model(TestCase::Case5);
+        let steps = m.steps_for_days(1.0);
+        assert!((steps as f64 * m.dt - 86400.0).abs() < m.dt);
+    }
+}

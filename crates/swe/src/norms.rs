@@ -1,0 +1,94 @@
+//! Williamson et al. (1992) normalized error norms.
+//!
+//! `l1 = I(|x − x_ref|) / I(|x_ref|)`, `l2` with squares, `linf` with
+//! maxima, where `I` is the area-weighted surface integral.
+
+/// Normalized l1 / l2 / l∞ error norms of a field against a reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorNorms {
+    /// Area-weighted mean absolute error, normalized.
+    pub l1: f64,
+    /// Area-weighted RMS error, normalized.
+    pub l2: f64,
+    /// Maximum absolute error, normalized.
+    pub linf: f64,
+}
+
+impl ErrorNorms {
+    /// Compute the norms. `weights` are cell areas (or any positive
+    /// quadrature weights).
+    pub fn compute(x: &[f64], x_ref: &[f64], weights: &[f64]) -> Self {
+        assert_eq!(x.len(), x_ref.len());
+        assert_eq!(x.len(), weights.len());
+        let mut n1 = 0.0;
+        let mut d1 = 0.0;
+        let mut n2 = 0.0;
+        let mut d2 = 0.0;
+        let mut ninf: f64 = 0.0;
+        let mut dinf: f64 = 0.0;
+        for k in 0..x.len() {
+            let w = weights[k];
+            let err = (x[k] - x_ref[k]).abs();
+            let refv = x_ref[k].abs();
+            n1 += w * err;
+            d1 += w * refv;
+            n2 += w * err * err;
+            d2 += w * refv * refv;
+            ninf = ninf.max(err);
+            dinf = dinf.max(refv);
+        }
+        ErrorNorms {
+            l1: n1 / d1.max(f64::MIN_POSITIVE),
+            l2: (n2 / d2.max(f64::MIN_POSITIVE)).sqrt(),
+            linf: ninf / dinf.max(f64::MIN_POSITIVE),
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorNorms {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "l1={:.3e} l2={:.3e} linf={:.3e}",
+            self.l1, self.l2, self.linf
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_gives_zero_norms() {
+        let x = vec![1.0, 2.0, 3.0];
+        let w = vec![1.0, 1.0, 1.0];
+        let n = ErrorNorms::compute(&x, &x, &w);
+        assert_eq!(n.l1, 0.0);
+        assert_eq!(n.l2, 0.0);
+        assert_eq!(n.linf, 0.0);
+    }
+
+    #[test]
+    fn uniform_relative_error() {
+        // x = (1+ε) x_ref everywhere ⇒ every norm equals ε.
+        let x_ref = vec![2.0, 5.0, 1.0, 7.0];
+        let eps = 0.01;
+        let x: Vec<f64> = x_ref.iter().map(|&v| v * (1.0 + eps)).collect();
+        let w = vec![0.3, 1.2, 0.7, 2.0];
+        let n = ErrorNorms::compute(&x, &x_ref, &w);
+        assert!((n.l1 - eps).abs() < 1e-12);
+        assert!((n.l2 - eps).abs() < 1e-12);
+        assert!((n.linf - eps).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linf_ignores_weights() {
+        let x_ref = vec![1.0, 1.0];
+        let x = vec![1.0, 2.0];
+        let a = ErrorNorms::compute(&x, &x_ref, &[1.0, 1.0]);
+        let b = ErrorNorms::compute(&x, &x_ref, &[1.0, 1000.0]);
+        assert_eq!(a.linf, b.linf);
+        assert!(a.l1 < b.l1);
+    }
+}

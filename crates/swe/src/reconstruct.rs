@@ -1,0 +1,167 @@
+//! Edge→cell velocity reconstruction (`mpas_reconstruct`, pattern A4).
+//!
+//! MPAS uses radial basis functions; we use the simpler constrained
+//! least-squares fit with the same stencil shape: at each cell, find the
+//! tangent-plane vector `V` minimizing `Σ_e (V·n̂_e − u_e)²` over the cell's
+//! edges, subject to `V·r̂ = 0`. The normal equations give a 3×3 system
+//! whose inverse is mesh-only, so we precompute per-edge coefficient
+//! vectors `c_e = M⁻¹ n̂_e`; at run time `V = Σ_e c_e u_e` — a class-A
+//! cell←edges reduction, exactly the pattern shape of Table I's A4.
+//!
+//! The fit reproduces any uniform tangent flow exactly (unit-tested), which
+//! is all the O(h) accuracy the diagnostic output needs.
+
+use mpas_geom::Vec3;
+use mpas_mesh::Mesh;
+
+/// Precomputed reconstruction coefficients, CSR-parallel to
+/// `mesh.edges_on_cell`.
+#[derive(Debug, Clone)]
+pub struct ReconstructCoeffs {
+    /// One coefficient vector per (cell, edge-slot).
+    pub coeffs: Vec<Vec3>,
+}
+
+impl ReconstructCoeffs {
+    /// Build the per-cell least-squares operators.
+    pub fn build(mesh: &Mesh) -> Self {
+        let mut coeffs = vec![Vec3::ZERO; mesh.edges_on_cell.len()];
+        for i in 0..mesh.n_cells() {
+            // Phantom fringe cells of a LocalMesh have empty edge rows;
+            // they are never reconstructed.
+            if mesh.cell_range(i).is_empty() {
+                continue;
+            }
+            let r = mesh.x_cell[i].normalized();
+            // Project each edge normal into the cell's tangent plane; with
+            // M = Σ ñ ñᵀ + r̂ r̂ᵀ block-diagonal in the tangent/radial split,
+            // the reconstruction is then exactly tangent to the sphere.
+            let project = |n: mpas_geom::Vec3| n - r * n.dot(r);
+            let mut m = [[0.0f64; 3]; 3];
+            let range = mesh.cell_range(i);
+            for &e in &mesh.edges_on_cell[range.clone()] {
+                let n = project(mesh.normal_edge[e as usize]);
+                accumulate_dyad(&mut m, n);
+            }
+            accumulate_dyad(&mut m, r);
+            let minv = invert3(&m);
+            for slot in range {
+                let n =
+                    project(mesh.normal_edge[mesh.edges_on_cell[slot] as usize]);
+                coeffs[slot] = mat_vec(&minv, n);
+            }
+        }
+        ReconstructCoeffs { coeffs }
+    }
+}
+
+fn accumulate_dyad(m: &mut [[f64; 3]; 3], v: Vec3) {
+    let a = [v.x, v.y, v.z];
+    for r in 0..3 {
+        for c in 0..3 {
+            m[r][c] += a[r] * a[c];
+        }
+    }
+}
+
+fn mat_vec(m: &[[f64; 3]; 3], v: Vec3) -> Vec3 {
+    Vec3::new(
+        m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+        m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+        m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z,
+    )
+}
+
+/// Inverse of a 3×3 matrix by cofactor expansion.
+///
+/// # Panics
+/// Panics if the matrix is singular (cannot happen for a cell with ≥2
+/// non-parallel edge normals plus the radial dyad).
+fn invert3(m: &[[f64; 3]; 3]) -> [[f64; 3]; 3] {
+    let det = m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+        - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+        + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+    assert!(det.abs() > 1e-30, "singular reconstruction matrix");
+    let inv_det = 1.0 / det;
+    let mut out = [[0.0f64; 3]; 3];
+    for r in 0..3 {
+        for c in 0..3 {
+            let (r1, r2) = ((r + 1) % 3, (r + 2) % 3);
+            let (c1, c2) = ((c + 1) % 3, (c + 2) % 3);
+            // Transposed cofactor (adjugate).
+            out[c][r] =
+                (m[r1][c1] * m[r2][c2] - m[r1][c2] * m[r2][c1]) * inv_det;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invert3_roundtrip() {
+        let m = [[2.0, 1.0, 0.0], [1.0, 3.0, 0.5], [0.0, 0.5, 1.5]];
+        let inv = invert3(&m);
+        for r in 0..3 {
+            for c in 0..3 {
+                let mut acc = 0.0;
+                for k in 0..3 {
+                    acc += m[r][k] * inv[k][c];
+                }
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((acc - expect).abs() < 1e-12, "({r},{c}) = {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_exact_for_solid_body_rotation() {
+        let mesh = mpas_mesh::generate(3, 0);
+        let rc = ReconstructCoeffs::build(&mesh);
+        let omega = Vec3::new(0.1, 0.2, 1.0) * 1e-5;
+        let u: Vec<f64> = (0..mesh.n_edges())
+            .map(|e| {
+                omega
+                    .cross(mesh.x_edge[e] * mesh.sphere_radius)
+                    .dot(mesh.normal_edge[e])
+            })
+            .collect();
+        for i in 0..mesh.n_cells() {
+            let mut v = Vec3::ZERO;
+            for (slot, &e) in mesh
+                .edges_on_cell[mesh.cell_range(i)]
+                .iter()
+                .enumerate()
+            {
+                v += rc.coeffs[mesh.cell_range(i).start + slot] * u[e as usize];
+            }
+            let exact_full = omega.cross(mesh.x_cell[i] * mesh.sphere_radius);
+            // The exact solid-body velocity is already tangent; the edge
+            // normals differ slightly from the cell tangent plane, so allow
+            // a small mesh-scale error.
+            let err = (v - exact_full).norm();
+            let scale = exact_full.norm().max(1e-12);
+            assert!(err / scale < 0.02, "cell {i}: rel err {}", err / scale);
+        }
+    }
+
+    #[test]
+    fn reconstruction_is_tangent_to_sphere() {
+        let mesh = mpas_mesh::generate(2, 0);
+        let rc = ReconstructCoeffs::build(&mesh);
+        let u: Vec<f64> =
+            (0..mesh.n_edges()).map(|e| (e as f64 * 0.13).sin()).collect();
+        for i in 0..mesh.n_cells() {
+            let mut v = Vec3::ZERO;
+            let range = mesh.cell_range(i);
+            for (k, slot) in range.clone().enumerate() {
+                let e = mesh.edges_on_cell[range.start + k] as usize;
+                v += rc.coeffs[slot] * u[e];
+            }
+            let radial = v.dot(mesh.x_cell[i].normalized()).abs();
+            assert!(radial < 1e-9 * v.norm().max(1.0), "cell {i}");
+        }
+    }
+}

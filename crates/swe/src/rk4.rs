@@ -1,0 +1,161 @@
+//! The RK-4 time-stepping driver (the paper's Algorithm 1).
+//!
+//! Classical fourth-order Runge–Kutta in the MPAS formulation: provisional
+//! states at `dt/2, dt/2, dt` and quadrature weights `1/6, 1/3, 1/3, 1/6`,
+//! with the kernel call sequence exactly as Algorithm 1 lists it (including
+//! the branch at the fourth substep where the accumulation precedes the
+//! diagnostics and the velocity reconstruction runs).
+
+use crate::config::ModelConfig;
+use crate::kernels;
+use crate::reconstruct::ReconstructCoeffs;
+use crate::state::{Diagnostics, Reconstruction, State, Tendencies};
+use mpas_mesh::Mesh;
+
+/// RK substep coefficients: provisional-state factors (×dt).
+pub const RK_SUBSTEP: [f64; 3] = [0.5, 0.5, 1.0];
+/// RK quadrature weights (×dt).
+pub const RK_WEIGHTS: [f64; 4] = [1.0 / 6.0, 1.0 / 3.0, 1.0 / 3.0, 1.0 / 6.0];
+
+/// Scratch storage reused across steps (no per-step allocation).
+#[derive(Debug, Clone)]
+pub struct Rk4Workspace {
+    /// Provisional substep state.
+    pub provis: State,
+    /// Stage tendencies.
+    pub tend: Tendencies,
+    /// Accumulated (quadrature) state.
+    pub acc: State,
+}
+
+impl Rk4Workspace {
+    /// Allocate a workspace for a mesh.
+    pub fn new(mesh: &Mesh) -> Self {
+        Rk4Workspace {
+            provis: State::zeros(mesh),
+            tend: Tendencies::zeros(mesh),
+            acc: State::zeros(mesh),
+        }
+    }
+}
+
+/// Advance `state` by one RK-4 step of size `dt`.
+///
+/// On entry `diag` must hold the diagnostics of `state` (as maintained by
+/// this function and established once by the model constructor); on exit
+/// `state`, `diag` and `recon` all describe the new time level.
+#[allow(clippy::too_many_arguments)]
+pub fn rk4_step(
+    mesh: &Mesh,
+    config: &ModelConfig,
+    coeffs: &ReconstructCoeffs,
+    f_vertex: &[f64],
+    b: &[f64],
+    dt: f64,
+    state: &mut State,
+    diag: &mut Diagnostics,
+    recon: &mut Reconstruction,
+    ws: &mut Rk4Workspace,
+) {
+    ws.acc.copy_from(state);
+    ws.provis.copy_from(state);
+
+    for stage in 0..4 {
+        // compute_tend on the provisional state and its diagnostics.
+        kernels::compute_tend(
+            mesh,
+            config,
+            &ws.provis.h,
+            &ws.provis.u,
+            b,
+            diag,
+            &mut ws.tend,
+        );
+        kernels::enforce_boundary_edge(mesh, &mut ws.tend);
+
+        if stage < 3 {
+            kernels::compute_next_substep_state(
+                mesh,
+                state,
+                &ws.tend,
+                RK_SUBSTEP[stage] * dt,
+                &mut ws.provis,
+            );
+            kernels::compute_solve_diagnostics(
+                mesh,
+                config,
+                &ws.provis.h,
+                &ws.provis.u,
+                f_vertex,
+                dt,
+                diag,
+            );
+            kernels::accumulative_update(
+                mesh,
+                &ws.tend,
+                RK_WEIGHTS[stage] * dt,
+                &mut ws.acc,
+            );
+        } else {
+            kernels::accumulative_update(
+                mesh,
+                &ws.tend,
+                RK_WEIGHTS[stage] * dt,
+                &mut ws.acc,
+            );
+            state.copy_from(&ws.acc);
+            kernels::compute_solve_diagnostics(
+                mesh, config, &state.h, &state.u, f_vertex, dt, diag,
+            );
+            kernels::mpas_reconstruct(mesh, coeffs, &state.u, recon);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RK4 on the scalar ODE y' = λy must reproduce the degree-4 Taylor
+    /// polynomial of exp(λ dt) exactly — we verify the driver's coefficient
+    /// wiring by running the full PDE machinery on a 1-cell-free problem is
+    /// impossible, so check the coefficients directly instead.
+    #[test]
+    fn coefficients_are_classical_rk4() {
+        assert_eq!(RK_SUBSTEP, [0.5, 0.5, 1.0]);
+        let s: f64 = RK_WEIGHTS.iter().sum();
+        assert!((s - 1.0).abs() < 1e-15);
+        assert_eq!(RK_WEIGHTS[1], RK_WEIGHTS[2]);
+        assert_eq!(RK_WEIGHTS[0], RK_WEIGHTS[3]);
+        assert!((RK_WEIGHTS[0] - 1.0 / 6.0).abs() < 1e-15);
+    }
+
+    /// Scalar convergence check of the same Butcher tableau: integrate
+    /// y' = λ y with the (substep, weight) wiring used by `rk4_step` and
+    /// confirm 4th-order accuracy.
+    #[test]
+    fn tableau_is_fourth_order_on_scalar_ode() {
+        let lambda = -0.7;
+        let integrate = |dt: f64, n: usize| -> f64 {
+            let mut y = 1.0f64;
+            for _ in 0..n {
+                let mut acc = y;
+                let mut provis = y;
+                for stage in 0..4 {
+                    let tend = lambda * provis;
+                    if stage < 3 {
+                        provis = y + RK_SUBSTEP[stage] * dt * tend;
+                    }
+                    acc += RK_WEIGHTS[stage] * dt * tend;
+                }
+                y = acc;
+            }
+            y
+        };
+        let exact = (lambda * 1.0f64).exp();
+        let e1 = (integrate(0.1, 10) - exact).abs();
+        let e2 = (integrate(0.05, 20) - exact).abs();
+        let order = (e1 / e2).log2();
+        assert!(order > 3.8, "observed order {order}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Field containers: prognostic state, diagnostics, tendencies, and the
+//! reconstructed cell-center velocities.
+//!
+//! All fields are flat `Vec<f64>` (structure-of-arrays) indexed by the mesh
+//! entity id, the layout the kernels' hot loops expect.
+
+use mpas_mesh::Mesh;
+
+/// Prognostic variables of the shallow-water system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct State {
+    /// Fluid thickness at cells (m).
+    pub h: Vec<f64>,
+    /// Normal velocity at edges (m/s).
+    pub u: Vec<f64>,
+}
+
+impl State {
+    /// Zero-initialized state sized for a mesh.
+    pub fn zeros(mesh: &Mesh) -> Self {
+        State { h: vec![0.0; mesh.n_cells()], u: vec![0.0; mesh.n_edges()] }
+    }
+
+    /// `self = a` (copy without reallocating).
+    pub fn copy_from(&mut self, a: &State) {
+        self.h.copy_from_slice(&a.h);
+        self.u.copy_from_slice(&a.u);
+    }
+
+    /// Largest absolute difference in either field vs another state.
+    pub fn max_abs_diff(&self, other: &State) -> f64 {
+        let dh = self
+            .h
+            .iter()
+            .zip(&other.h)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        let du = self
+            .u
+            .iter()
+            .zip(&other.u)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        dh.max(du)
+    }
+}
+
+/// Diagnostic variables recomputed by `compute_solve_diagnostics` (the
+/// Table-I intermediates).
+#[derive(Debug, Clone)]
+pub struct Diagnostics {
+    /// Thickness at edges.
+    pub h_edge: Vec<f64>,
+    /// Kinetic energy at cells.
+    pub ke: Vec<f64>,
+    /// Relative vorticity at vertices.
+    pub vorticity: Vec<f64>,
+    /// Relative vorticity interpolated to cells.
+    pub vorticity_cell: Vec<f64>,
+    /// Velocity divergence at cells.
+    pub divergence: Vec<f64>,
+    /// Potential vorticity at vertices.
+    pub pv_vertex: Vec<f64>,
+    /// Potential vorticity at cells.
+    pub pv_cell: Vec<f64>,
+    /// Potential vorticity at edges (APVM upwinded).
+    pub pv_edge: Vec<f64>,
+    /// Tangential velocity at edges.
+    pub v: Vec<f64>,
+    /// Second-derivative blend term at the edge's cell-1 side.
+    pub d2fdx2_cell1: Vec<f64>,
+    /// Second-derivative blend term at the edge's cell-2 side.
+    pub d2fdx2_cell2: Vec<f64>,
+}
+
+impl Diagnostics {
+    /// Zero-initialized diagnostics sized for a mesh.
+    pub fn zeros(mesh: &Mesh) -> Self {
+        let (nc, ne, nv) = (mesh.n_cells(), mesh.n_edges(), mesh.n_vertices());
+        Diagnostics {
+            h_edge: vec![0.0; ne],
+            ke: vec![0.0; nc],
+            vorticity: vec![0.0; nv],
+            vorticity_cell: vec![0.0; nc],
+            divergence: vec![0.0; nc],
+            pv_vertex: vec![0.0; nv],
+            pv_cell: vec![0.0; nc],
+            pv_edge: vec![0.0; ne],
+            v: vec![0.0; ne],
+            d2fdx2_cell1: vec![0.0; ne],
+            d2fdx2_cell2: vec![0.0; ne],
+        }
+    }
+}
+
+/// Tendencies produced by `compute_tend`.
+#[derive(Debug, Clone)]
+pub struct Tendencies {
+    /// Thickness tendency at cells.
+    pub tend_h: Vec<f64>,
+    /// Normal-velocity tendency at edges.
+    pub tend_u: Vec<f64>,
+}
+
+impl Tendencies {
+    /// Zero-initialized tendencies sized for a mesh.
+    pub fn zeros(mesh: &Mesh) -> Self {
+        Tendencies {
+            tend_h: vec![0.0; mesh.n_cells()],
+            tend_u: vec![0.0; mesh.n_edges()],
+        }
+    }
+}
+
+/// Output of `mpas_reconstruct`: Cartesian and zonal/meridional velocity at
+/// cell centers.
+#[derive(Debug, Clone)]
+pub struct Reconstruction {
+    /// Cartesian x component at cells.
+    pub ux: Vec<f64>,
+    /// Cartesian y component at cells.
+    pub uy: Vec<f64>,
+    /// Cartesian z component at cells.
+    pub uz: Vec<f64>,
+    /// Zonal (eastward) component at cells.
+    pub zonal: Vec<f64>,
+    /// Meridional (northward) component at cells.
+    pub meridional: Vec<f64>,
+}
+
+impl Reconstruction {
+    /// Zero-initialized reconstruction sized for a mesh.
+    pub fn zeros(mesh: &Mesh) -> Self {
+        let nc = mesh.n_cells();
+        Reconstruction {
+            ux: vec![0.0; nc],
+            uy: vec![0.0; nc],
+            uz: vec![0.0; nc],
+            zonal: vec![0.0; nc],
+            meridional: vec![0.0; nc],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_follow_mesh() {
+        let mesh = mpas_mesh::generate(2, 0);
+        let s = State::zeros(&mesh);
+        assert_eq!(s.h.len(), mesh.n_cells());
+        assert_eq!(s.u.len(), mesh.n_edges());
+        let d = Diagnostics::zeros(&mesh);
+        assert_eq!(d.vorticity.len(), mesh.n_vertices());
+        assert_eq!(d.pv_edge.len(), mesh.n_edges());
+        let r = Reconstruction::zeros(&mesh);
+        assert_eq!(r.zonal.len(), mesh.n_cells());
+    }
+
+    #[test]
+    fn max_abs_diff_and_copy() {
+        let mesh = mpas_mesh::generate(1, 0);
+        let mut a = State::zeros(&mesh);
+        let mut b = State::zeros(&mesh);
+        a.h[3] = 2.5;
+        a.u[7] = -1.0;
+        assert_eq!(a.max_abs_diff(&b), 2.5);
+        b.copy_from(&a);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+}

@@ -1,0 +1,380 @@
+//! Williamson et al. (1992) standard shallow-water test cases 2, 5 and 6.
+//!
+//! * **Case 2** — steady-state zonal geostrophic flow (optionally tilted by
+//!   `alpha`); the exact solution equals the initial condition, giving
+//!   clean error norms.
+//! * **Case 5** — zonal flow over an isolated conical mountain; the case
+//!   the paper's Fig. 5 validates against (total height `h + b` at day 15).
+//! * **Case 6** — Rossby–Haurwitz wavenumber-4 wave.
+
+use crate::state::State;
+use mpas_geom::{east_at, north_at, to_lonlat, LonLat, Vec3, EARTH_RADIUS, GRAVITY, OMEGA, SECONDS_PER_DAY};
+use mpas_mesh::Mesh;
+
+/// A Williamson test case: initial condition, topography and Coriolis field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TestCase {
+    /// Advection of a cosine bell by solid-body rotation (requires
+    /// `ModelConfig::advection_only`); the bell returns to its starting
+    /// point after exactly 12 days.
+    Case1 {
+        /// Tilt of the advecting flow's axis from the planetary axis, radians.
+        alpha: f64,
+    },
+    /// Steady zonal geostrophic flow, rotation axis tilted by `alpha`
+    /// radians from the planetary axis.
+    Case2 {
+        /// Tilt of the flow axis from the planetary axis, radians.
+        alpha: f64,
+    },
+    /// Zonal flow over an isolated mountain (the paper's validation case).
+    Case5,
+    /// Rossby–Haurwitz wave, wavenumber 4.
+    Case6,
+}
+
+impl TestCase {
+    /// Short identifier used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TestCase::Case1 { .. } => "williamson-1",
+            TestCase::Case2 { .. } => "williamson-2",
+            TestCase::Case5 => "williamson-5",
+            TestCase::Case6 => "williamson-6",
+        }
+    }
+
+    /// True when the analytic solution is time-independent.
+    pub fn is_steady(&self) -> bool {
+        matches!(self, TestCase::Case2 { .. })
+    }
+
+    /// Analytic velocity vector (tangent to the sphere) at a unit-sphere
+    /// point, at t = 0.
+    pub fn velocity_at(&self, p: Vec3) -> Vec3 {
+        let ll = to_lonlat(p);
+        let (lon, lat) = (ll.lon, ll.lat);
+        match *self {
+            TestCase::Case1 { alpha } | TestCase::Case2 { alpha } => {
+                let u0 = 2.0 * std::f64::consts::PI * EARTH_RADIUS
+                    / (12.0 * SECONDS_PER_DAY);
+                let uz =
+                    u0 * (lat.cos() * alpha.cos() + lon.cos() * lat.sin() * alpha.sin());
+                let vm = -u0 * lon.sin() * alpha.sin();
+                east_at(p) * uz + north_at(p) * vm
+            }
+            TestCase::Case5 => {
+                let u0 = 20.0;
+                east_at(p) * (u0 * lat.cos())
+            }
+            TestCase::Case6 => {
+                let (omega, k, r) = (7.848e-6, 7.848e-6, 4.0);
+                let a = EARTH_RADIUS;
+                let c = lat.cos();
+                let uz = a * omega * c
+                    + a * k * c.powf(r - 1.0)
+                        * (r * lat.sin().powi(2) - c * c)
+                        * (r * lon).cos();
+                let vm = -a * k * r * c.powf(r - 1.0) * lat.sin() * (r * lon).sin();
+                east_at(p) * uz + north_at(p) * vm
+            }
+        }
+    }
+
+    /// Bottom topography at a unit-sphere point.
+    pub fn topography_at(&self, p: Vec3) -> f64 {
+        match self {
+            TestCase::Case5 => {
+                let ll = to_lonlat(p);
+                let b0 = 2000.0;
+                let big_r = std::f64::consts::PI / 9.0;
+                let lon_c = 1.5 * std::f64::consts::PI;
+                let lat_c = std::f64::consts::PI / 6.0;
+                let mut dlon = (ll.lon - lon_c).abs();
+                if dlon > std::f64::consts::PI {
+                    dlon = 2.0 * std::f64::consts::PI - dlon;
+                }
+                let r = big_r.min((dlon.powi(2) + (ll.lat - lat_c).powi(2)).sqrt());
+                b0 * (1.0 - r / big_r)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Analytic fluid thickness `h` (total height minus topography) at a
+    /// unit-sphere point, at t = 0.
+    pub fn thickness_at(&self, p: Vec3) -> f64 {
+        let ll = to_lonlat(p);
+        let (lon, lat) = (ll.lon, ll.lat);
+        match *self {
+            TestCase::Case1 { .. } => {
+                // 1000 m background plus a 1000 m cosine bell of radius a/3
+                // centered at (3pi/2, 0). The background makes the PV-free
+                // advection-only diagnostics trivially well-defined.
+                let center = LonLat::new(1.5 * std::f64::consts::PI, 0.0)
+                    .to_unit_vector();
+                let r = mpas_geom::arc_length(p.normalized(), center)
+                    * EARTH_RADIUS;
+                let big_r = EARTH_RADIUS / 3.0;
+                let bell = if r < big_r {
+                    500.0 * (1.0 + (std::f64::consts::PI * r / big_r).cos())
+                } else {
+                    0.0
+                };
+                1000.0 + bell
+            }
+            TestCase::Case2 { alpha } => {
+                let u0 = 2.0 * std::f64::consts::PI * EARTH_RADIUS
+                    / (12.0 * SECONDS_PER_DAY);
+                let gh0 = 2.94e4;
+                let s = lat.sin() * alpha.cos() - lon.cos() * lat.cos() * alpha.sin();
+                let gh = gh0 - (EARTH_RADIUS * OMEGA * u0 + 0.5 * u0 * u0) * s * s;
+                gh / GRAVITY
+            }
+            TestCase::Case5 => {
+                let u0 = 20.0;
+                let gh0 = GRAVITY * 5960.0;
+                let s = lat.sin();
+                let gh = gh0 - (EARTH_RADIUS * OMEGA * u0 + 0.5 * u0 * u0) * s * s;
+                gh / GRAVITY - self.topography_at(p)
+            }
+            TestCase::Case6 => {
+                let (omega, k, r) = (7.848e-6_f64, 7.848e-6_f64, 4.0_f64);
+                let a = EARTH_RADIUS;
+                let gh0 = GRAVITY * 8000.0;
+                let c = lat.cos();
+                let c2 = c * c;
+                let aa = 0.5 * omega * (2.0 * OMEGA + omega) * c2
+                    + 0.25
+                        * k
+                        * k
+                        * c.powf(2.0 * r)
+                        * ((r + 1.0) * c2 + (2.0 * r * r - r - 2.0)
+                            - 2.0 * r * r / c2);
+                let bb = (2.0 * (OMEGA + omega) * k) / ((r + 1.0) * (r + 2.0))
+                    * c.powf(r)
+                    * ((r * r + 2.0 * r + 2.0) - (r + 1.0).powi(2) * c2);
+                let cc = 0.25
+                    * k
+                    * k
+                    * c.powf(2.0 * r)
+                    * ((r + 1.0) * c2 - (r + 2.0));
+                let gh = gh0
+                    + a * a
+                        * (aa + bb * (r * lon).cos() + cc * (2.0 * r * lon).cos());
+                gh / GRAVITY
+            }
+        }
+    }
+
+    /// Coriolis parameter at a unit-sphere point (tilted for Case 2).
+    pub fn coriolis_at(&self, p: Vec3) -> f64 {
+        let ll = to_lonlat(p);
+        match *self {
+            TestCase::Case1 { alpha } | TestCase::Case2 { alpha } => {
+                2.0 * OMEGA
+                    * (ll.lat.sin() * alpha.cos()
+                        - ll.lat.cos() * ll.lon.cos() * alpha.sin())
+            }
+            _ => 2.0 * OMEGA * ll.lat.sin(),
+        }
+    }
+
+    /// Analytic thickness at time `t` seconds. Equal to the initial field
+    /// for steady cases; for Case 1 the bell is rigidly rotated about the
+    /// flow axis by the solid-body angle `u0 t / a`.
+    pub fn reference_thickness_at(&self, p: Vec3, t: f64) -> f64 {
+        match *self {
+            TestCase::Case1 { alpha } => {
+                let u0 = 2.0 * std::f64::consts::PI * EARTH_RADIUS
+                    / (12.0 * SECONDS_PER_DAY);
+                let theta = u0 * t / EARTH_RADIUS;
+                let axis = Vec3::new(-alpha.sin(), 0.0, alpha.cos());
+                let back = mpas_geom::rotate_about_axis(p, axis, -theta);
+                self.thickness_at(back)
+            }
+            _ => self.thickness_at(p),
+        }
+    }
+
+    /// Sample the initial prognostic state on a mesh.
+    pub fn initial_state(&self, mesh: &Mesh) -> State {
+        let h = (0..mesh.n_cells())
+            .map(|i| self.thickness_at(mesh.x_cell[i]))
+            .collect();
+        let u = (0..mesh.n_edges())
+            .map(|e| self.velocity_at(mesh.x_edge[e]).dot(mesh.normal_edge[e]))
+            .collect();
+        State { h, u }
+    }
+
+    /// Sample the topography on a mesh.
+    pub fn topography(&self, mesh: &Mesh) -> Vec<f64> {
+        (0..mesh.n_cells())
+            .map(|i| self.topography_at(mesh.x_cell[i]))
+            .collect()
+    }
+
+    /// Sample the Coriolis parameter at the vorticity points.
+    pub fn coriolis_vertex(&self, mesh: &Mesh) -> Vec<f64> {
+        (0..mesh.n_vertices())
+            .map(|v| self.coriolis_at(mesh.x_vertex[v]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case1_bell_shape_and_background() {
+        let tc = TestCase::Case1 { alpha: 0.0 };
+        let center =
+            LonLat::new(1.5 * std::f64::consts::PI, 0.0).to_unit_vector();
+        assert!((tc.thickness_at(center) - 2000.0).abs() < 1e-9);
+        let far = LonLat::new(0.0, 0.8).to_unit_vector();
+        assert_eq!(tc.thickness_at(far), 1000.0);
+        // Smooth at the bell edge (cosine taper reaches exactly zero).
+        let edge_angle = 1.0 / 3.0;
+        let edge = LonLat::new(1.5 * std::f64::consts::PI + edge_angle, 0.0)
+            .to_unit_vector();
+        assert!(tc.thickness_at(edge) - 1000.0 < 1e-6);
+    }
+
+    #[test]
+    fn case1_reference_rotates_with_the_flow() {
+        let tc = TestCase::Case1 { alpha: 0.0 };
+        let center =
+            LonLat::new(1.5 * std::f64::consts::PI, 0.0).to_unit_vector();
+        // After a quarter period (3 days) the bell peak has moved 90 deg east.
+        let t = 3.0 * SECONDS_PER_DAY;
+        let new_center = LonLat::new(0.0, 0.0).to_unit_vector();
+        assert!(
+            (tc.reference_thickness_at(new_center, t) - 2000.0).abs() < 1e-6,
+            "peak not at the advected position"
+        );
+        assert!(tc.reference_thickness_at(center, t) - 1000.0 < 1e-6);
+        // Full revolution returns the initial field.
+        let t_full = 12.0 * SECONDS_PER_DAY;
+        for k in 0..20 {
+            let p = LonLat::new(k as f64 * 0.3, (k as f64 * 0.17).sin())
+                .to_unit_vector();
+            assert!(
+                (tc.reference_thickness_at(p, t_full) - tc.thickness_at(p)).abs()
+                    < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn case1_tilted_velocity_matches_rotation_axis() {
+        let alpha = 0.9;
+        let tc = TestCase::Case1 { alpha };
+        let axis = Vec3::new(-alpha.sin(), 0.0, alpha.cos());
+        let u0 = 2.0 * std::f64::consts::PI * EARTH_RADIUS / (12.0 * SECONDS_PER_DAY);
+        for k in 0..30 {
+            let p = LonLat::new(k as f64 * 0.21, (k as f64 * 0.13).sin() * 1.2)
+                .to_unit_vector();
+            let expect = (axis * u0).cross(p);
+            assert!(tc.velocity_at(p).dist(expect) < 1e-9, "point {k}");
+        }
+    }
+
+    #[test]
+    fn case2_velocity_is_zonal_without_tilt() {
+        let tc = TestCase::Case2 { alpha: 0.0 };
+        let p = LonLat::new(1.0, 0.5).to_unit_vector();
+        let v = tc.velocity_at(p);
+        // Purely eastward: no component along north.
+        assert!(v.dot(north_at(p)).abs() < 1e-9);
+        let u0 = 2.0 * std::f64::consts::PI * EARTH_RADIUS / (12.0 * SECONDS_PER_DAY);
+        assert!((v.dot(east_at(p)) - u0 * 0.5f64.cos()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn case2_thickness_positive_everywhere() {
+        let tc = TestCase::Case2 { alpha: 0.3 };
+        for k in 0..200 {
+            let lon = k as f64 * 0.0314;
+            let lat = (k as f64 * 0.017).sin() * 1.5;
+            let h = tc.thickness_at(LonLat::new(lon, lat).to_unit_vector());
+            assert!(h > 500.0, "h = {h} at ({lon},{lat})");
+        }
+    }
+
+    #[test]
+    fn case5_mountain_peak_and_extent() {
+        let tc = TestCase::Case5;
+        let center =
+            LonLat::new(1.5 * std::f64::consts::PI, std::f64::consts::PI / 6.0)
+                .to_unit_vector();
+        assert!((tc.topography_at(center) - 2000.0).abs() < 1e-9);
+        // Outside radius pi/9 the mountain vanishes.
+        let far = LonLat::new(0.0, -1.0).to_unit_vector();
+        assert_eq!(tc.topography_at(far), 0.0);
+        // Total height h+b is smooth across the mountain edge.
+        let edge = LonLat::new(
+            1.5 * std::f64::consts::PI + std::f64::consts::PI / 9.0,
+            std::f64::consts::PI / 6.0,
+        )
+        .to_unit_vector();
+        assert!(tc.topography_at(edge).abs() < 1e-9);
+    }
+
+    #[test]
+    fn case6_velocity_has_wavenumber_4_symmetry() {
+        let tc = TestCase::Case6;
+        let lat = 0.6;
+        for k in 0..4 {
+            let lon0 = 0.35;
+            let lon1 = lon0 + k as f64 * std::f64::consts::PI / 2.0;
+            let p0 = LonLat::new(lon0, lat).to_unit_vector();
+            let p1 = LonLat::new(lon1, lat).to_unit_vector();
+            let (z0, m0) = (
+                tc.velocity_at(p0).dot(east_at(p0)),
+                tc.velocity_at(p0).dot(north_at(p0)),
+            );
+            let (z1, m1) = (
+                tc.velocity_at(p1).dot(east_at(p1)),
+                tc.velocity_at(p1).dot(north_at(p1)),
+            );
+            assert!((z0 - z1).abs() < 1e-9);
+            assert!((m0 - m1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn case6_thickness_in_physical_range() {
+        let tc = TestCase::Case6;
+        for k in 0..400 {
+            let lon = k as f64 * 0.0157;
+            let lat = ((k * 7) % 400) as f64 / 400.0 * 3.0 - 1.5;
+            let h = tc.thickness_at(LonLat::new(lon, lat).to_unit_vector());
+            assert!((6000.0..11000.0).contains(&h), "h = {h}");
+        }
+    }
+
+    #[test]
+    fn coriolis_tilt_moves_the_pole() {
+        let alpha = 0.7;
+        let tc = TestCase::Case2 { alpha };
+        // The effective pole is at (lon=0 tilted): f is maximal where
+        // sin(lat)cos(a) - cos(lat)cos(lon)sin(a) = 1.
+        let pole = LonLat::new(std::f64::consts::PI, std::f64::consts::PI / 2.0 - alpha)
+            .to_unit_vector();
+        assert!((tc.coriolis_at(pole) - 2.0 * OMEGA).abs() < 1e-9);
+    }
+
+    #[test]
+    fn initial_state_samples_consistently() {
+        let mesh = mpas_mesh::generate(2, 0);
+        let tc = TestCase::Case5;
+        let s = tc.initial_state(&mesh);
+        assert_eq!(s.h.len(), mesh.n_cells());
+        assert_eq!(s.u.len(), mesh.n_edges());
+        assert!(s.h.iter().all(|&h| h > 3000.0));
+        let b = tc.topography(&mesh);
+        assert!(b.iter().any(|&x| x > 1000.0), "mountain missing from mesh");
+    }
+}

@@ -1,0 +1,67 @@
+//! Variable-resolution SCVT meshes — MPAS's defining feature (Ringler et
+//! al. 2011, cited in the paper). A density bump over the TC5 mountain
+//! refines the mesh locally; the same kernels run unchanged, and the
+//! pattern-driven machinery is resolution-agnostic.
+//!
+//! ```text
+//! cargo run --release --example variable_resolution -- [lloyd_sweeps]
+//! ```
+
+use mpas_repro::mesh::{bump_density, generate_variable, MeshQuality};
+use mpas_repro::swe::{ModelConfig, ShallowWaterModel, TestCase};
+use std::sync::Arc;
+
+fn main() {
+    let sweeps: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+
+    // Refine around the TC5 mountain at (lon = 3π/2, lat = π/6).
+    let center = mpas_geom::LonLat::new(
+        1.5 * std::f64::consts::PI,
+        std::f64::consts::PI / 6.0,
+    )
+    .to_unit_vector();
+    let density = bump_density(center, 0.5, 6.0);
+
+    println!("relaxing a level-4 mesh with {sweeps} density-weighted Lloyd sweeps...");
+    let mesh = Arc::new(generate_variable(4, sweeps, density));
+    println!("quality: {}", MeshQuality::of(&mesh));
+
+    // Report the local spacing contrast.
+    let spacing = |near: bool| -> f64 {
+        let mut acc = (0.0, 0usize);
+        for e in 0..mesh.n_edges() {
+            let d = mpas_geom::arc_length(mesh.x_edge[e], center);
+            if (d < 0.35) == near && (near || d > 1.8) {
+                acc.0 += mesh.dc_edge[e];
+                acc.1 += 1;
+            }
+        }
+        acc.0 / acc.1 as f64 / 1000.0
+    };
+    println!(
+        "mean cell spacing: {:.0} km near the mountain vs {:.0} km far away",
+        spacing(true),
+        spacing(false)
+    );
+
+    // The model runs unmodified on the multiresolution mesh.
+    let mut m = ShallowWaterModel::new(
+        mesh.clone(),
+        ModelConfig::default(),
+        TestCase::Case5,
+        None,
+    );
+    let mass0 = m.total_mass();
+    m.run_steps(m.steps_for_days(0.25));
+    println!(
+        "0.25 days: max Courant {:.2}, mass drift {:+.1e}",
+        m.max_courant(),
+        (m.total_mass() - mass0) / mass0
+    );
+    assert!(m.max_courant() < 1.0, "unstable step size");
+    assert!(((m.total_mass() - mass0) / mass0).abs() < 1e-12);
+    println!("OK: multiresolution run conserved mass at a stable Courant number.");
+}

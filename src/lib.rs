@@ -1,0 +1,12 @@
+//! Workspace facade crate.
+//!
+//! Re-exports every crate of the reproduction so the `examples/` and
+//! `tests/` directories at the repository root can exercise the full stack.
+
+pub use mpas_core as core;
+pub use mpas_geom as geom;
+pub use mpas_hybrid as hybrid;
+pub use mpas_mesh as mesh;
+pub use mpas_msg as msg;
+pub use mpas_patterns as patterns;
+pub use mpas_swe as swe;

@@ -1,0 +1,100 @@
+//! Cross-crate property tests: invariants that tie the mesh, pattern, and
+//! message-passing layers together under randomized inputs.
+
+use mpas_repro::mesh::{build_mesh, IcosaGrid, Mesh, MeshPartition};
+use mpas_repro::patterns::reduction::{EdgeCellReduction, LabelMatrix};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn mesh() -> Mesh {
+    build_mesh(&IcosaGrid::subdivide(2))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// All three reduction loop forms agree on random edge fields.
+    #[test]
+    fn reduction_forms_agree_on_random_fields(seed in 0u64..1000) {
+        let m = mesh();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let x: Vec<f64> = (0..m.n_edges()).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let mut a = vec![0.0; m.n_cells()];
+        let mut b = vec![0.0; m.n_cells()];
+        let mut c = vec![0.0; m.n_cells()];
+        EdgeCellReduction::scatter(&m, &x, &mut a);
+        EdgeCellReduction::gather(&m, &x, &mut b);
+        LabelMatrix::build(&m).apply(&x, &mut c);
+        for i in 0..m.n_cells() {
+            prop_assert!((a[i] - b[i]).abs() < 1e-10);
+            prop_assert_eq!(b[i], c[i]);
+        }
+    }
+
+    /// Any partition (random rank count and halo depth) covers all cells
+    /// exactly once and its exchange lists are mutually consistent.
+    #[test]
+    fn partitions_are_always_well_formed(n_ranks in 1usize..9, halo in 1usize..4) {
+        let m = mesh();
+        let p = MeshPartition::build(&m, n_ranks, halo);
+        let mut owned = vec![0u32; m.n_cells()];
+        for r in &p.ranks {
+            for &c in &r.cells[..r.n_owned_cells] {
+                owned[c as usize] += 1;
+            }
+            // Send lists reference owned entries; recv lists halo entries.
+            for (_, list) in &r.send_cells {
+                prop_assert!(list.iter().all(|&l| (l as usize) < r.n_owned_cells));
+            }
+            for (_, list) in &r.recv_cells {
+                prop_assert!(list.iter().all(|&l| (l as usize) >= r.n_owned_cells));
+            }
+        }
+        prop_assert!(owned.iter().all(|&c| c == 1));
+    }
+
+    /// Halo exchange delivers exactly the owner's values for arbitrary
+    /// rank counts and field contents.
+    #[test]
+    fn halo_exchange_is_exact(n_ranks in 2usize..6, seed in 0u64..100) {
+        use mpas_repro::msg::comm::run_ranks;
+        use mpas_repro::msg::halo::{FieldKind, HaloExchanger};
+        let m = mesh();
+        let p = MeshPartition::build(&m, n_ranks, 2);
+        let parts = p.ranks.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let global: Vec<f64> = (0..m.n_cells()).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let global = std::sync::Arc::new(global);
+        let ok = run_ranks(n_ranks, |mut ctx| {
+            let mut hx = HaloExchanger::new(parts[ctx.rank].clone());
+            let mut field: Vec<f64> = hx
+                .local()
+                .cells
+                .iter()
+                .enumerate()
+                .map(|(l, &g)| {
+                    if l < hx.local().n_owned_cells {
+                        global[g as usize]
+                    } else {
+                        f64::NAN
+                    }
+                })
+                .collect();
+            hx.exchange(&mut ctx, FieldKind::Cell, &mut field);
+            hx.local()
+                .cells
+                .iter()
+                .enumerate()
+                .all(|(l, &g)| field[l] == global[g as usize])
+        });
+        prop_assert!(ok.iter().all(|&b| b));
+    }
+}
+
+/// Sanity outside proptest: a level-3 mesh validates fully (the expensive
+/// antisymmetry check included).
+#[test]
+fn level3_mesh_validates_in_integration() {
+    build_mesh(&IcosaGrid::subdivide(3)).validate();
+}

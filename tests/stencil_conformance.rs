@@ -1,0 +1,190 @@
+//! Stencil conformance: each kernel operator must depend on exactly the
+//! neighborhood its Table-I pattern declares — verified experimentally by
+//! perturbation. Perturbing an input *outside* the declared stencil of an
+//! output point must leave that output bit-identical; perturbing *inside*
+//! must change it. This pins the code to the paper's Fig. 3 taxonomy.
+
+use mpas_repro::mesh::Mesh;
+use mpas_repro::swe::kernels::ops;
+use std::collections::HashSet;
+
+fn mesh() -> Mesh {
+    mpas_repro::mesh::generate(3, 0)
+}
+
+fn edge_field(m: &Mesh) -> Vec<f64> {
+    (0..m.n_edges()).map(|e| (e as f64 * 0.37).sin() * 10.0).collect()
+}
+
+/// Edges belonging to cell `i`'s declared class-A stencil.
+fn edges_of_cell(m: &Mesh, i: usize) -> HashSet<usize> {
+    m.edges_of_cell(i).iter().map(|&e| e as usize).collect()
+}
+
+/// Find an entity far from a set (not contained in it).
+fn far_member(n: usize, exclude: &HashSet<usize>) -> usize {
+    (0..n).rev().find(|k| !exclude.contains(k)).expect("no far entity")
+}
+
+#[test]
+fn class_a_ke_depends_exactly_on_cell_edges() {
+    let m = mesh();
+    let mut u = edge_field(&m);
+    let cell = 37usize;
+    let stencil = edges_of_cell(&m, cell);
+
+    let mut out = vec![0.0; m.n_cells()];
+    ops::ke(&m, &u, &mut out, 0..m.n_cells());
+    let before = out[cell];
+
+    // Outside the stencil: no change.
+    let far = far_member(m.n_edges(), &stencil);
+    u[far] += 5.0;
+    ops::ke(&m, &u, &mut out, 0..m.n_cells());
+    assert_eq!(out[cell], before, "ke leaked beyond its stencil");
+    u[far] -= 5.0;
+
+    // Inside: must change.
+    let near = *stencil.iter().next().unwrap();
+    u[near] += 5.0;
+    ops::ke(&m, &u, &mut out, 0..m.n_cells());
+    assert_ne!(out[cell], before, "ke ignored an in-stencil edge");
+}
+
+#[test]
+fn class_c_vorticity_depends_exactly_on_vertex_edges() {
+    let m = mesh();
+    let mut u = edge_field(&m);
+    let vertex = 101usize;
+    let stencil: HashSet<usize> = m.edges_on_vertex[vertex]
+        .iter()
+        .map(|&e| e as usize)
+        .collect();
+
+    let mut out = vec![0.0; m.n_vertices()];
+    ops::vorticity(&m, &u, &mut out, 0..m.n_vertices());
+    let before = out[vertex];
+
+    let far = far_member(m.n_edges(), &stencil);
+    u[far] += 3.0;
+    ops::vorticity(&m, &u, &mut out, 0..m.n_vertices());
+    assert_eq!(out[vertex], before);
+
+    let near = *stencil.iter().next().unwrap();
+    u[near] += 3.0;
+    ops::vorticity(&m, &u, &mut out, 0..m.n_vertices());
+    assert_ne!(out[vertex], before);
+}
+
+#[test]
+fn class_h_tangential_velocity_depends_exactly_on_edges_on_edge() {
+    let m = mesh();
+    let mut u = edge_field(&m);
+    let edge = 55usize;
+    let stencil: HashSet<usize> =
+        m.edges_of_edge(edge).iter().map(|&e| e as usize).collect();
+    // The edge itself is NOT in its own TRiSK neighborhood.
+    assert!(!stencil.contains(&edge));
+
+    let mut out = vec![0.0; m.n_edges()];
+    ops::tangential_velocity(&m, &u, &mut out, 0..m.n_edges());
+    let before = out[edge];
+
+    // Perturbing the edge's own normal velocity leaves v unchanged.
+    u[edge] += 2.0;
+    ops::tangential_velocity(&m, &u, &mut out, 0..m.n_edges());
+    assert_eq!(out[edge], before, "v_e must not depend on u_e");
+    u[edge] -= 2.0;
+
+    let far = far_member(m.n_edges(), &stencil);
+    assert_ne!(far, edge);
+    u[far] += 2.0;
+    ops::tangential_velocity(&m, &u, &mut out, 0..m.n_edges());
+    assert_eq!(out[edge], before);
+
+    let near = *stencil.iter().next().unwrap();
+    u[near] += 2.0;
+    ops::tangential_velocity(&m, &u, &mut out, 0..m.n_edges());
+    assert_ne!(out[edge], before);
+}
+
+#[test]
+fn class_f_pv_cell_depends_exactly_on_cell_vertices() {
+    let m = mesh();
+    let mut pv: Vec<f64> =
+        (0..m.n_vertices()).map(|v| (v as f64 * 0.11).cos()).collect();
+    let cell = 12usize;
+    let stencil: HashSet<usize> =
+        m.vertices_of_cell(cell).iter().map(|&v| v as usize).collect();
+
+    let mut out = vec![0.0; m.n_cells()];
+    ops::pv_cell(&m, &pv, &mut out, 0..m.n_cells());
+    let before = out[cell];
+
+    let far = far_member(m.n_vertices(), &stencil);
+    pv[far] += 1.0;
+    ops::pv_cell(&m, &pv, &mut out, 0..m.n_cells());
+    assert_eq!(out[cell], before);
+
+    let near = *stencil.iter().next().unwrap();
+    pv[near] += 1.0;
+    ops::pv_cell(&m, &pv, &mut out, 0..m.n_cells());
+    assert_ne!(out[cell], before);
+}
+
+#[test]
+fn class_b_tend_u_reaches_edges_on_edge_but_no_further() {
+    let m = mesh();
+    let g = 9.80616;
+    let h: Vec<f64> = (0..m.n_cells()).map(|i| 5000.0 + i as f64).collect();
+    let b = vec![0.0; m.n_cells()];
+    let ke = vec![0.0; m.n_cells()];
+    let pv: Vec<f64> = (0..m.n_edges()).map(|e| 1e-8 + e as f64 * 1e-12).collect();
+    let mut u = edge_field(&m);
+    let h_edge: Vec<f64> = vec![5000.0; m.n_edges()];
+
+    let edge = 200usize;
+    let mut stencil: HashSet<usize> =
+        m.edges_of_edge(edge).iter().map(|&e| e as usize).collect();
+    stencil.insert(edge); // pv_edge[e] and the gradient use the edge itself
+
+    let run = |u: &[f64], out: &mut Vec<f64>| {
+        ops::tend_u(&m, g, &pv, u, &h_edge, &ke, &h, &b, out, 0..m.n_edges());
+    };
+    let mut out = vec![0.0; m.n_edges()];
+    run(&u, &mut out);
+    let before = out[edge];
+
+    let far = far_member(m.n_edges(), &stencil);
+    u[far] += 4.0;
+    run(&u, &mut out);
+    assert_eq!(out[edge], before, "tend_u leaked beyond edgesOnEdge");
+
+    let near = *m.edges_of_edge(edge).first().unwrap() as usize;
+    u[near] += 4.0;
+    run(&u, &mut out);
+    assert_ne!(out[edge], before);
+}
+
+#[test]
+fn local_class_axpy_is_pointwise() {
+    let m = mesh();
+    let base = edge_field(&m);
+    let mut tend = edge_field(&m);
+    let n = m.n_edges();
+    let mut out = vec![0.0; n];
+    ops::axpy(&base, &tend, 0.5, &mut out, 0..n);
+    let k = 77usize;
+    let before = out[k];
+    // Perturb every OTHER entry: out[k] must not move.
+    for j in 0..n {
+        if j != k {
+            tend[j] += 1.0;
+        }
+    }
+    ops::axpy(&base, &tend, 0.5, &mut out, 0..n);
+    assert_eq!(out[k], before);
+    tend[k] += 1.0;
+    ops::axpy(&base, &tend, 0.5, &mut out, 0..n);
+    assert_ne!(out[k], before);
+}
