@@ -40,23 +40,27 @@ fn bench_patterns(c: &mut Criterion) {
     g.bench_function("B1_tend_u", |bch| {
         bch.iter(|| {
             ops::tend_u(
-                &mesh, config.gravity, &d.pv_edge, &state.u, &d.h_edge, &d.ke,
-                &state.h, &b, &mut out_e, 0..ne,
+                &mesh,
+                config.gravity,
+                &d.pv_edge,
+                &state.u,
+                &d.h_edge,
+                &d.ke,
+                &state.h,
+                &b,
+                &mut out_e,
+                0..ne,
             )
         })
     });
     g.bench_function("C1_tend_u_del2", |bch| {
-        bch.iter(|| {
-            ops::tend_u_del2(&mesh, 1e4, &d.divergence, &d.vorticity, &mut out_e, 0..ne)
-        })
+        bch.iter(|| ops::tend_u_del2(&mesh, 1e4, &d.divergence, &d.vorticity, &mut out_e, 0..ne))
     });
     g.bench_function("D_d2fdx2", |bch| {
         bch.iter(|| ops::d2fdx2(&mesh, &state.h, &mut out_e, &mut out_e2, 0..ne))
     });
     g.bench_function("H2_h_edge", |bch| {
-        bch.iter(|| {
-            ops::h_edge(&mesh, &config, &state.h, &[], &[], &mut out_e, 0..ne)
-        })
+        bch.iter(|| ops::h_edge(&mesh, &config, &state.h, &[], &[], &mut out_e, 0..ne))
     });
     g.bench_function("C2_vorticity", |bch| {
         bch.iter(|| ops::vorticity(&mesh, &state.u, &mut out_v, 0..nv))
@@ -74,9 +78,7 @@ fn bench_patterns(c: &mut Criterion) {
         bch.iter(|| ops::vorticity_cell(&mesh, &d.vorticity, &mut out_c, 0..nc))
     });
     g.bench_function("E_pv_vertex", |bch| {
-        bch.iter(|| {
-            ops::pv_vertex(&mesh, &state.h, &d.vorticity, &f_vertex, &mut out_v, 0..nv)
-        })
+        bch.iter(|| ops::pv_vertex(&mesh, &state.h, &d.vorticity, &f_vertex, &mut out_v, 0..nv))
     });
     g.bench_function("F_pv_cell", |bch| {
         bch.iter(|| ops::pv_cell(&mesh, &d.pv_vertex, &mut out_c, 0..nc))
@@ -84,22 +86,41 @@ fn bench_patterns(c: &mut Criterion) {
     g.bench_function("G_pv_edge", |bch| {
         bch.iter(|| {
             ops::pv_edge(
-                &mesh, 0.5, 100.0, &d.pv_vertex, &d.pv_cell, &state.u, &d.v,
-                &mut out_e, 0..ne,
+                &mesh,
+                0.5,
+                100.0,
+                &d.pv_vertex,
+                &d.pv_cell,
+                &state.u,
+                &d.v,
+                &mut out_e,
+                0..ne,
             )
         })
     });
     g.bench_function("A4_reconstruct", |bch| {
         bch.iter(|| {
             ops::reconstruct_xyz(
-                &mesh, &coeffs, &state.u, &mut xyz.0, &mut xyz.1, &mut xyz.2, 0..nc,
+                &mesh,
+                &coeffs,
+                &state.u,
+                &mut xyz.0,
+                &mut xyz.1,
+                &mut xyz.2,
+                0..nc,
             )
         })
     });
     g.bench_function("X6_zonal_meridional", |bch| {
         bch.iter(|| {
             ops::zonal_meridional(
-                &mesh, &xyz.0, &xyz.1, &xyz.2, &mut out_c, &mut out_c2, 0..nc,
+                &mesh,
+                &xyz.0,
+                &xyz.1,
+                &xyz.2,
+                &mut out_c,
+                &mut out_c2,
+                0..nc,
             )
         })
     });

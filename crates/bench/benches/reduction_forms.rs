@@ -11,10 +11,12 @@ use std::time::Duration;
 
 fn bench_reduction_forms(c: &mut Criterion) {
     let mesh = mpas_mesh::generate(5, 0); // 10 242 cells
-    let u: Vec<f64> =
-        (0..mesh.n_edges()).map(|e| (e as f64 * 0.17).sin()).collect();
-    let h_edge: Vec<f64> =
-        (0..mesh.n_edges()).map(|e| 1000.0 + (e % 13) as f64).collect();
+    let u: Vec<f64> = (0..mesh.n_edges())
+        .map(|e| (e as f64 * 0.17).sin())
+        .collect();
+    let h_edge: Vec<f64> = (0..mesh.n_edges())
+        .map(|e| 1000.0 + (e % 13) as f64)
+        .collect();
     let lm = LabelMatrix::build(&mesh);
     let mut y = vec![0.0; mesh.n_cells()];
 

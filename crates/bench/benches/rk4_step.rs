@@ -22,7 +22,9 @@ fn bench_step(c: &mut Criterion) {
     let mut serial = ShallowWaterModel::new(mesh.clone(), cfg, tc, None);
     g.bench_function("serial", |b| b.iter(|| serial.step()));
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut par = ParallelModel::new(mesh.clone(), cfg, tc, None, threads);
     g.bench_function(format!("threaded_{threads}"), |b| b.iter(|| par.step()));
 

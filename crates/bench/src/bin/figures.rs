@@ -2,8 +2,11 @@
 //!
 //! ```text
 //! figures <experiment> [options]
-//!   table1 | table2 | table3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9
-//!   | ablations | trace | profile | convergence | partitioners | all
+//!   table1 | table2 | table3 | fig4 | fig5 | fig6 | fig7 | fig7x | fig8
+//!   | fig9 | ablations | trace | profile | convergence | partitioners | all
+//!
+//! `fig7x` extends Fig. 7 with every policy registered in `mpas-sched`
+//! (HEFT, CPOP, lookahead, dynamic-list, ...) on the Table III meshes.
 //!
 //! options:
 //!   --level N     mesh subdivision level for measured runs (default 5)
@@ -38,16 +41,16 @@ struct Opts {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Vec<String> = Vec::new();
-    let mut opts = Opts { level: 5, days: 0.5, full: false };
+    let mut opts = Opts {
+        level: 5,
+        days: 0.5,
+        full: false,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--level" => {
-                opts.level = it.next().expect("--level N").parse().expect("level")
-            }
-            "--days" => {
-                opts.days = it.next().expect("--days X").parse().expect("days")
-            }
+            "--level" => opts.level = it.next().expect("--level N").parse().expect("level"),
+            "--days" => opts.days = it.next().expect("--days X").parse().expect("days"),
             "--full" => opts.full = true,
             other => which.push(other.to_string()),
         }
@@ -64,6 +67,7 @@ fn main() {
             "fig5" => fig5(&opts),
             "fig6" => fig6(&opts),
             "fig7" => fig7(&opts),
+            "fig7x" => fig7x(),
             "fig8" => fig8(),
             "fig9" => fig9(),
             "ablations" => ablations(),
@@ -79,6 +83,7 @@ fn main() {
                 fig5(&opts);
                 fig6(&opts);
                 fig7(&opts);
+                fig7x();
                 fig8();
                 fig9();
                 ablations();
@@ -121,11 +126,7 @@ fn table1() {
 fn table2() {
     let p = Platform::paper_node();
     let rows = vec![
-        vec![
-            "name".into(),
-            p.cpu.name.into(),
-            p.acc.name.into(),
-        ],
+        vec!["name".into(), p.cpu.name.into(), p.acc.name.into()],
         vec![
             "workers".into(),
             p.cpu.n_workers.to_string(),
@@ -232,15 +233,8 @@ fn fig5(opts: &Opts) {
     let tc = TestCase::Case5;
     let mut serial = ShallowWaterModel::new(mesh.clone(), cfg, tc, None);
     let steps = serial.steps_for_days(opts.days);
-    let mut hybrid = mpas_hybrid::HybridModel::new(
-        mesh.clone(),
-        cfg,
-        tc,
-        None,
-        2,
-        2,
-        &Platform::paper_node(),
-    );
+    let mut hybrid =
+        mpas_hybrid::HybridModel::new(mesh.clone(), cfg, tc, None, 2, 2, &Platform::paper_node());
     serial.run_steps(steps);
     hybrid.run_steps(steps);
 
@@ -284,9 +278,7 @@ fn fig5(opts: &Opts) {
             ],
         ],
     );
-    println!(
-        "max |difference| = {maxdiff:.3e} m  (paper: consistent within machine precision)"
-    );
+    println!("max |difference| = {maxdiff:.3e} m  (paper: consistent within machine precision)");
     println!("steps = {steps}, dt = {:.1} s", serial.dt);
 
     // Render the Fig. 5 panels as PPM images.
@@ -350,7 +342,9 @@ fn fig6(opts: &Opts) {
 
     // Measured companion: loop forms on this host (single core).
     let mesh = mpas_mesh::generate(opts.level, 0);
-    let u: Vec<f64> = (0..mesh.n_edges()).map(|e| (e as f64 * 0.1).sin()).collect();
+    let u: Vec<f64> = (0..mesh.n_edges())
+        .map(|e| (e as f64 * 0.1).sin())
+        .collect();
     let h_edge: Vec<f64> = (0..mesh.n_edges()).map(|e| 1e3 + (e % 7) as f64).collect();
     let mut y = vec![0.0; mesh.n_cells()];
     let lm = LabelMatrix::build(&mesh);
@@ -358,8 +352,10 @@ fn fig6(opts: &Opts) {
     let t_scatter = time_per_call(|| EdgeCellReduction::scatter(&mesh, &u, &mut y), iters);
     let t_gather = time_per_call(|| EdgeCellReduction::gather(&mesh, &u, &mut y), iters);
     let t_label = time_per_call(|| lm.apply(&u, &mut y), iters);
-    let t_tendh_scatter =
-        time_per_call(|| scatter::tend_h_scatter(&mesh, &u, &h_edge, &mut y), iters);
+    let t_tendh_scatter = time_per_call(
+        || scatter::tend_h_scatter(&mesh, &u, &h_edge, &mut y),
+        iters,
+    );
     let t_tendh_gather = time_per_call(
         || ops::tend_h(&mesh, &u, &h_edge, &mut y, 0..mesh.n_cells()),
         iters,
@@ -414,15 +410,21 @@ fn fig7(opts: &Opts) {
     }
     print_table(
         "Fig. 7 — time/step (s, modeled) and speedup vs single-core CPU",
-        &["cells", "CPU", "kernel-level", "pattern-driven", "kernel spdup", "pattern spdup"],
+        &[
+            "cells",
+            "CPU",
+            "kernel-level",
+            "pattern-driven",
+            "kernel spdup",
+            "pattern spdup",
+        ],
         &rows,
     );
     println!("paper: kernel-level 4.59-6.05x, pattern-driven 5.63-8.35x (growing with size)");
 
     // Grounding: one measured serial step on this host.
     let mesh = Arc::new(mpas_mesh::generate(opts.level, 0));
-    let mut m =
-        ShallowWaterModel::new(mesh.clone(), ModelConfig::default(), TestCase::Case5, None);
+    let mut m = ShallowWaterModel::new(mesh.clone(), ModelConfig::default(), TestCase::Case5, None);
     let t = time_per_call(|| m.step(), 3);
     println!(
         "measured serial step on this host at level {} ({} cells): {}",
@@ -443,19 +445,62 @@ fn fig7(opts: &Opts) {
     );
 }
 
+/// Fig. 7x (extension): every policy in the `mpas-sched` registry across
+/// the Table III meshes — modeled time/step with speedup vs the serial
+/// reference, plus the intermediate-substep device imbalance at 30 km.
+fn fig7x() {
+    let p = Platform::paper_node();
+    let meshes = [40_962usize, 163_842, 655_362, 2_621_442];
+    let serial: Vec<f64> = meshes
+        .iter()
+        .map(|&cells| time_per_step(&MeshCounts::icosahedral(cells), &p, Policy::Serial))
+        .collect();
+    let g = DataflowGraph::for_substep(RkPhase::Intermediate);
+    let mut rows = Vec::new();
+    for spec in mpas_sched::registered_names() {
+        let policy = mpas_sched::resolve(spec).expect("registered policy");
+        let mut row = vec![policy.name()];
+        for (k, &cells) in meshes.iter().enumerate() {
+            let t = time_per_step(&MeshCounts::icosahedral(cells), &p, &policy);
+            row.push(format!("{t:.3} ({:.2}x)", serial[k] / t));
+        }
+        let s = schedule_substep(&g, &MeshCounts::icosahedral(655_362), &p, &policy);
+        row.push(format!("{:.0}%", s.imbalance() * 100.0));
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 7x — time/step (s, modeled) and speedup vs serial, all registered policies",
+        &[
+            "policy",
+            "40,962",
+            "163,842",
+            "655,362",
+            "2,621,442",
+            "imb@30km",
+        ],
+        &rows,
+    );
+    println!(
+        "policy-name grammar: name[key=val,...] — see `mpas_sched::resolve`; \
+         list schedulers (heft, cpop, lookahead, dynamic-list) price work on \
+         the same Table-II roofline as the paper's policies"
+    );
+}
+
 /// Fig. 8: strong scaling on the 30-km and 15-km meshes.
 fn fig8() {
     let p = Platform::paper_node();
     let comm = CommCostModel::fdr_infiniband();
-    for &(label, cells) in &[("30-km (655,362 cells)", 655_362usize), ("15-km (2,621,442 cells)", 2_621_442)] {
+    for &(label, cells) in &[
+        ("30-km (655,362 cells)", 655_362usize),
+        ("15-km (2,621,442 cells)", 2_621_442),
+    ] {
         let mut rows = Vec::new();
         for &ranks in &[1usize, 2, 4, 8, 16, 32, 64] {
             let t_cpu = time_per_step_multirank(cells, ranks, &p, Policy::Serial, &comm);
-            let t_pat =
-                time_per_step_multirank(cells, ranks, &p, Policy::PatternDriven, &comm);
+            let t_pat = time_per_step_multirank(cells, ranks, &p, Policy::PatternDriven, &comm);
             let t1_cpu = time_per_step_multirank(cells, 1, &p, Policy::Serial, &comm);
-            let t1_pat =
-                time_per_step_multirank(cells, 1, &p, Policy::PatternDriven, &comm);
+            let t1_pat = time_per_step_multirank(cells, 1, &p, Policy::PatternDriven, &comm);
             rows.push(vec![
                 ranks.to_string(),
                 format!("{t_cpu:.4}"),
@@ -466,7 +511,13 @@ fn fig8() {
         }
         print_table(
             &format!("Fig. 8 — strong scaling, {label} (time/step s, modeled)"),
-            &["P", "CPU version", "pattern-driven", "CPU eff.", "hybrid eff."],
+            &[
+                "P",
+                "CPU version",
+                "pattern-driven",
+                "CPU eff.",
+                "hybrid eff.",
+            ],
             &rows,
         );
     }
@@ -527,11 +578,9 @@ fn partitioners(opts: &Opts) {
     for &parts in &[4usize, 8, 16, 32] {
         let rcb = cut(&rcb_partition(&mesh, parts));
         let sfc = cut(&sfc_partition(&mesh, parts));
-        let cyclic = cut(
-            &(0..mesh.n_cells() as u32)
-                .map(|c| c % parts as u32)
-                .collect::<Vec<_>>(),
-        );
+        let cyclic = cut(&(0..mesh.n_cells() as u32)
+            .map(|c| c % parts as u32)
+            .collect::<Vec<_>>());
         rows.push(vec![
             parts.to_string(),
             rcb.to_string(),
@@ -575,7 +624,8 @@ fn convergence() {
             format!("{:.3e}", n.l1),
             format!("{:.3e}", n.l2),
             format!("{:.3e}", n.linf),
-            rate.map(|r| format!("{r:.2}")).unwrap_or_else(|| "-".into()),
+            rate.map(|r| format!("{r:.2}"))
+                .unwrap_or_else(|| "-".into()),
         ]);
         prev = Some(n.l2);
     }
@@ -601,8 +651,7 @@ fn trace() {
         (Policy::PatternDriven, "trace_pattern_driven.json"),
     ] {
         let s = schedule_substep(&g, &mc, &p, policy);
-        std::fs::write(out_dir.join(name), mpas_hybrid::to_chrome_trace(&s))
-            .unwrap();
+        std::fs::write(out_dir.join(name), mpas_hybrid::to_chrome_trace(&s)).unwrap();
         println!(
             "{name}: makespan {:.2} ms, imbalance {:.0}%",
             s.makespan * 1e3,
@@ -623,14 +672,16 @@ fn ablations() {
     print_table(
         "Ablation — adjustability (split) threshold, 655,362 cells",
         &["threshold", "pattern ms", "kernel ms", "advantage"],
-        &pts
-            .iter()
+        &pts.iter()
             .map(|s| {
                 vec![
                     format!("{:.2}", s.x),
                     format!("{:.2}", s.pattern_makespan * 1e3),
                     format!("{:.2}", s.kernel_makespan * 1e3),
-                    format!("{:.0}%", (s.kernel_makespan / s.pattern_makespan - 1.0) * 100.0),
+                    format!(
+                        "{:.0}%",
+                        (s.kernel_makespan / s.pattern_makespan - 1.0) * 100.0
+                    ),
                 ]
             })
             .collect::<Vec<_>>(),
@@ -640,14 +691,16 @@ fn ablations() {
     print_table(
         "Ablation — accelerator:host throughput ratio (fixed node total)",
         &["acc/cpu", "pattern ms", "kernel ms", "advantage"],
-        &pts
-            .iter()
+        &pts.iter()
             .map(|s| {
                 vec![
                     format!("{:.2}", s.x),
                     format!("{:.2}", s.pattern_makespan * 1e3),
                     format!("{:.2}", s.kernel_makespan * 1e3),
-                    format!("{:.0}%", (s.kernel_makespan / s.pattern_makespan - 1.0) * 100.0),
+                    format!(
+                        "{:.0}%",
+                        (s.kernel_makespan / s.pattern_makespan - 1.0) * 100.0
+                    ),
                 ]
             })
             .collect::<Vec<_>>(),
@@ -657,8 +710,7 @@ fn ablations() {
     print_table(
         "Ablation — PCIe link bandwidth",
         &["GB/s", "pattern ms", "kernel ms"],
-        &pts
-            .iter()
+        &pts.iter()
             .map(|s| {
                 vec![
                     format!("{:.1}", s.x / 1e9),

@@ -19,6 +19,7 @@ struct Args {
     lloyd: u32,
     days: f64,
     executor: String,
+    policy: String,
     frames: usize,
     out: PathBuf,
 }
@@ -31,6 +32,7 @@ fn parse_args() -> Args {
         lloyd: 0,
         days: 1.0,
         executor: "serial".into(),
+        policy: "pattern-driven".into(),
         frames: 0,
         out: PathBuf::from("target/frames"),
     };
@@ -44,13 +46,16 @@ fn parse_args() -> Args {
             "--lloyd" => args.lloyd = val().parse().expect("lloyd"),
             "--days" => args.days = val().parse().expect("days"),
             "--executor" => args.executor = val(),
+            "--policy" => args.policy = val(),
             "--frames" => args.frames = val().parse().expect("frames"),
             "--out" => args.out = PathBuf::from(val()),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: swe-run [--case 2|5|6] [--alpha RAD] [--level N] \
                      [--lloyd N] [--days X] [--executor serial|threaded:N|hybrid:N:M] \
-                     [--frames K] [--out DIR]"
+                     [--policy NAME] [--frames K] [--out DIR]\n\
+                     policies: {}",
+                    mpas_sched::registered_names().join(", ")
                 );
                 std::process::exit(0);
             }
@@ -84,16 +89,19 @@ fn main() {
         other => panic!("unsupported case {other} (2, 5 or 6)"),
     };
 
-    println!("generating level-{} mesh (lloyd {})...", args.level, args.lloyd);
+    println!(
+        "generating level-{} mesh (lloyd {})...",
+        args.level, args.lloyd
+    );
     let mut sim = Simulation::builder()
         .mesh_level(args.level)
         .lloyd_iters(args.lloyd)
         .test_case(tc)
         .executor(parse_executor(&args.executor))
+        .sched_policy(&args.policy)
         .build();
 
-    let total_steps =
-        ((args.days * 86_400.0) / sim.dt()).ceil().max(1.0) as usize;
+    let total_steps = ((args.days * 86_400.0) / sim.dt()).ceil().max(1.0) as usize;
     println!(
         "{}: {} cells, dt {:.0} s, {} steps, executor {}",
         tc.name(),
@@ -101,6 +109,11 @@ fn main() {
         sim.dt(),
         total_steps,
         args.executor
+    );
+    println!(
+        "policy {}: modeled {:.1} ms/step on the Table-II node",
+        sim.sched_policy().name(),
+        sim.modeled_time_per_step(&mpas_hybrid::Platform::paper_node()) * 1e3
     );
 
     if args.frames > 0 {

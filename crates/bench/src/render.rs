@@ -32,13 +32,18 @@ impl<'m> CellLocator<'m> {
             let (bx, by) = Self::bucket_of(ll, nlon, nlat);
             buckets[by * nlon + bx].push(i as u32);
         }
-        CellLocator { mesh, nlon, nlat, buckets }
+        CellLocator {
+            mesh,
+            nlon,
+            nlat,
+            buckets,
+        }
     }
 
     fn bucket_of(ll: LonLat, nlon: usize, nlat: usize) -> (usize, usize) {
         let bx = ((ll.lon / std::f64::consts::TAU) * nlon as f64) as usize;
-        let by = (((ll.lat + std::f64::consts::FRAC_PI_2) / std::f64::consts::PI)
-            * nlat as f64) as usize;
+        let by = (((ll.lat + std::f64::consts::FRAC_PI_2) / std::f64::consts::PI) * nlat as f64)
+            as usize;
         (bx.min(nlon - 1), by.min(nlat - 1))
     }
 
@@ -95,8 +100,8 @@ pub fn sample_lonlat(mesh: &Mesh, field: &[f64], width: usize, height: usize) ->
     let locator = CellLocator::new(mesh);
     let mut out = Vec::with_capacity(width * height);
     for row in 0..height {
-        let lat = std::f64::consts::FRAC_PI_2
-            - (row as f64 + 0.5) / height as f64 * std::f64::consts::PI;
+        let lat =
+            std::f64::consts::FRAC_PI_2 - (row as f64 + 0.5) / height as f64 * std::f64::consts::PI;
         for col in 0..width {
             let lon = (col as f64 + 0.5) / width as f64 * std::f64::consts::TAU;
             let p = LonLat::new(lon, lat).to_unit_vector();
@@ -112,10 +117,18 @@ fn diverging_rgb(t: f64) -> [u8; 3] {
     let lerp = |a: f64, b: f64, s: f64| (a + (b - a) * s) as u8;
     if t < 0.5 {
         let s = t * 2.0;
-        [lerp(40.0, 245.0, s), lerp(70.0, 245.0, s), lerp(160.0, 245.0, s)]
+        [
+            lerp(40.0, 245.0, s),
+            lerp(70.0, 245.0, s),
+            lerp(160.0, 245.0, s),
+        ]
     } else {
         let s = (t - 0.5) * 2.0;
-        [lerp(245.0, 180.0, s), lerp(245.0, 40.0, s), lerp(245.0, 50.0, s)]
+        [
+            lerp(245.0, 180.0, s),
+            lerp(245.0, 40.0, s),
+            lerp(245.0, 50.0, s),
+        ]
     }
 }
 
@@ -165,15 +178,12 @@ mod tests {
     #[test]
     fn sampling_reproduces_a_latitude_gradient() {
         let mesh = mpas_mesh::generate(3, 0);
-        let field: Vec<f64> =
-            (0..mesh.n_cells()).map(|i| mesh.x_cell[i].z).collect();
+        let field: Vec<f64> = (0..mesh.n_cells()).map(|i| mesh.x_cell[i].z).collect();
         let (w, h) = (64, 32);
         let img = sample_lonlat(&mesh, &field, w, h);
         assert_eq!(img.len(), w * h);
         // Row means decrease monotonically from north to south.
-        let row_mean = |r: usize| -> f64 {
-            img[r * w..(r + 1) * w].iter().sum::<f64>() / w as f64
-        };
+        let row_mean = |r: usize| -> f64 { img[r * w..(r + 1) * w].iter().sum::<f64>() / w as f64 };
         assert!(row_mean(0) > 0.8);
         assert!(row_mean(h - 1) < -0.8);
         for r in 0..h - 1 {

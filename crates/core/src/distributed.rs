@@ -40,7 +40,10 @@ pub struct DistributedConfig {
 /// Run the model on `n_ranks` ranks and gather the global prognostic state
 /// on return.
 pub fn run_distributed(mesh: &Mesh, cfg: DistributedConfig) -> State {
-    assert!(cfg.halo_layers >= 3, "TRiSK stencils need at least 3 halo layers");
+    assert!(
+        cfg.halo_layers >= 3,
+        "TRiSK stencils need at least 3 halo layers"
+    );
     let part = MeshPartition::build(mesh, cfg.n_ranks, cfg.halo_layers);
     let locals: Vec<_> = part
         .ranks
@@ -94,9 +97,7 @@ fn rank_main(
     let n_owned_cells = lm.n_owned_cells;
     let n_owned_edges = lm.n_owned_edges;
 
-    kernels::compute_solve_diagnostics(
-        mesh, mcfg, &state.h, &state.u, &f_vertex, dt, &mut diag,
-    );
+    kernels::compute_solve_diagnostics(mesh, mcfg, &state.h, &state.u, &f_vertex, dt, &mut diag);
 
     for _step in 0..cfg.n_steps {
         acc.copy_from(&state);
@@ -152,14 +153,7 @@ fn rank_main(
     )
 }
 
-fn update_owned(
-    base: &State,
-    tend: &Tendencies,
-    coef: f64,
-    out: &mut State,
-    nc: usize,
-    ne: usize,
-) {
+fn update_owned(base: &State, tend: &Tendencies, coef: f64, out: &mut State, nc: usize, ne: usize) {
     for i in 0..nc {
         out.h[i] = base.h[i] + coef * tend.tend_h[i];
     }
@@ -168,13 +162,7 @@ fn update_owned(
     }
 }
 
-fn accumulate_owned(
-    tend: &Tendencies,
-    weight: f64,
-    acc: &mut State,
-    nc: usize,
-    ne: usize,
-) {
+fn accumulate_owned(tend: &Tendencies, weight: f64, acc: &mut State, nc: usize, ne: usize) {
     for i in 0..nc {
         acc.h[i] += weight * tend.tend_h[i];
     }
@@ -189,12 +177,8 @@ mod tests {
     use std::sync::Arc;
 
     fn serial_reference(mesh: &Arc<Mesh>, tc: TestCase, dt: f64, steps: usize) -> State {
-        let mut m = mpas_swe::ShallowWaterModel::new(
-            mesh.clone(),
-            ModelConfig::default(),
-            tc,
-            Some(dt),
-        );
+        let mut m =
+            mpas_swe::ShallowWaterModel::new(mesh.clone(), ModelConfig::default(), tc, Some(dt));
         m.run_steps(steps);
         m.state.clone()
     }

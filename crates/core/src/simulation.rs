@@ -2,6 +2,8 @@
 
 use mpas_hybrid::{HybridModel, ParallelModel, Platform};
 use mpas_mesh::Mesh;
+use mpas_patterns::dataflow::MeshCounts;
+use mpas_sched::SchedulerPolicy;
 use mpas_swe::config::ModelConfig;
 use mpas_swe::norms::ErrorNorms;
 use mpas_swe::state::State;
@@ -37,6 +39,7 @@ pub struct SimulationBuilder {
     config: ModelConfig,
     dt: Option<f64>,
     executor: Executor,
+    sched_policy: String,
 }
 
 impl Default for SimulationBuilder {
@@ -49,6 +52,7 @@ impl Default for SimulationBuilder {
             config: ModelConfig::default(),
             dt: None,
             executor: Executor::Serial,
+            sched_policy: "pattern-driven".to_string(),
         }
     }
 }
@@ -96,6 +100,15 @@ impl SimulationBuilder {
         self
     }
 
+    /// Scheduling policy for the modeled makespans
+    /// ([`Simulation::modeled_time_per_step`]), by registry name — any of
+    /// [`mpas_sched::registered_names`], e.g. `"heft"` or
+    /// `"lookahead[depth=3]"`. Default: `"pattern-driven"` (the paper's).
+    pub fn sched_policy(mut self, spec: &str) -> Self {
+        self.sched_policy = spec.to_string();
+        self
+    }
+
     /// Build the simulation (generates the mesh if none was supplied).
     pub fn build(self) -> Simulation {
         let mesh = self
@@ -115,23 +128,32 @@ impl SimulationBuilder {
                 self.dt,
                 threads,
             )),
-            Executor::Hybrid { cpu_threads, acc_threads } => {
-                Engine::Hybrid(HybridModel::new(
-                    mesh.clone(),
-                    self.config,
-                    self.test_case,
-                    self.dt,
-                    cpu_threads,
-                    acc_threads,
-                    &Platform::paper_node(),
-                ))
-            }
+            Executor::Hybrid {
+                cpu_threads,
+                acc_threads,
+            } => Engine::Hybrid(HybridModel::new(
+                mesh.clone(),
+                self.config,
+                self.test_case,
+                self.dt,
+                cpu_threads,
+                acc_threads,
+                &Platform::paper_node(),
+            )),
         };
+        let policy = mpas_sched::resolve(&self.sched_policy)
+            .unwrap_or_else(|e| panic!("invalid sched_policy {:?}: {e}", self.sched_policy));
         let initial_mass = match &engine {
             Engine::Serial(m) => Some(m.total_mass()),
             _ => None,
         };
-        let mut sim = Simulation { mesh, engine, test_case: self.test_case, initial_mass: 0.0 };
+        let mut sim = Simulation {
+            mesh,
+            engine,
+            test_case: self.test_case,
+            initial_mass: 0.0,
+            policy,
+        };
         sim.initial_mass = initial_mass.unwrap_or_else(|| sim.total_mass());
         sim
     }
@@ -151,6 +173,7 @@ pub struct Simulation {
     /// The configured scenario.
     pub test_case: TestCase,
     initial_mass: f64,
+    policy: Box<dyn SchedulerPolicy>,
 }
 
 impl Simulation {
@@ -207,12 +230,33 @@ impl Simulation {
         ErrorNorms::compute(&self.state().h, &reference, &self.mesh.area_cell)
     }
 
+    /// The configured scheduling policy.
+    pub fn sched_policy(&self) -> &dyn SchedulerPolicy {
+        &*self.policy
+    }
+
+    /// Modeled wall-clock time of one RK-4 step on `platform` under the
+    /// configured scheduling policy (the Fig. 7 quantity, for this mesh).
+    pub fn modeled_time_per_step(&self, platform: &Platform) -> f64 {
+        let mc = MeshCounts {
+            n_cells: self.mesh.n_cells() as f64,
+            n_edges: self.mesh.n_edges() as f64,
+            n_vertices: self.mesh.n_vertices() as f64,
+        };
+        mpas_hybrid::time_per_step(&mc, platform, &self.policy)
+    }
+
     /// Total height field `h + b` (the paper's Fig. 5 quantity).
     pub fn total_height(&self) -> Vec<f64> {
         let b: Vec<f64> = (0..self.mesh.n_cells())
             .map(|i| self.test_case.topography_at(self.mesh.x_cell[i]))
             .collect();
-        self.state().h.iter().zip(&b).map(|(&h, &b)| h + b).collect()
+        self.state()
+            .h
+            .iter()
+            .zip(&b)
+            .map(|(&h, &b)| h + b)
+            .collect()
     }
 }
 
@@ -239,8 +283,10 @@ mod tests {
         };
         let mut serial = mk(Executor::Serial);
         let mut threaded = mk(Executor::Threaded { threads: 3 });
-        let mut hybrid =
-            mk(Executor::Hybrid { cpu_threads: 2, acc_threads: 2 });
+        let mut hybrid = mk(Executor::Hybrid {
+            cpu_threads: 2,
+            acc_threads: 2,
+        });
         serial.run_steps(3);
         threaded.run_steps(3);
         hybrid.run_steps(3);
@@ -254,7 +300,10 @@ mod tests {
         for e in [
             Executor::Serial,
             Executor::Threaded { threads: 2 },
-            Executor::Hybrid { cpu_threads: 1, acc_threads: 1 },
+            Executor::Hybrid {
+                cpu_threads: 1,
+                acc_threads: 1,
+            },
         ] {
             let sim = Simulation::builder()
                 .mesh(mesh.clone())
@@ -263,6 +312,36 @@ mod tests {
                 .build();
             assert_eq!(sim.dt(), 123.0, "{e:?}");
         }
+    }
+
+    #[test]
+    fn sched_policy_threads_through_the_facade() {
+        let mesh = Arc::new(mpas_mesh::generate(3, 0));
+        let mk = |spec: &str| {
+            Simulation::builder()
+                .mesh(mesh.clone())
+                .sched_policy(spec)
+                .build()
+        };
+        let platform = Platform::paper_node();
+        let default = Simulation::builder().mesh(mesh.clone()).build();
+        assert_eq!(default.sched_policy().name(), "pattern-driven");
+        let serial = mk("serial").modeled_time_per_step(&platform);
+        for spec in ["heft", "cpop", "lookahead[depth=2]", "pattern-driven"] {
+            let sim = mk(spec);
+            assert_eq!(sim.sched_policy().name(), spec);
+            let t = sim.modeled_time_per_step(&platform);
+            assert!(t > 0.0 && t <= serial, "{spec}: {t} vs serial {serial}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sched_policy")]
+    fn bad_sched_policy_name_panics_with_context() {
+        let _ = Simulation::builder()
+            .mesh_level(1)
+            .sched_policy("fifo")
+            .build();
     }
 
     #[test]

@@ -136,9 +136,7 @@ mod tests {
         let [a, b, c] = OCTANT;
         assert!((spherical_triangle_area(a, b, c) - PI / 2.0).abs() < 1e-13);
         // Signed area flips with orientation.
-        assert!(
-            (spherical_triangle_area_signed(a, c, b) + PI / 2.0).abs() < 1e-13
-        );
+        assert!((spherical_triangle_area_signed(a, c, b) + PI / 2.0).abs() < 1e-13);
     }
 
     #[test]
@@ -150,11 +148,7 @@ mod tests {
         let ring: Vec<Vec3> = (0..32)
             .map(|k| {
                 let lon = 2.0 * PI * k as f64 / 32.0;
-                Vec3::new(
-                    lat.cos() * lon.cos(),
-                    lat.cos() * lon.sin(),
-                    lat.sin(),
-                )
+                Vec3::new(lat.cos() * lon.cos(), lat.cos() * lon.sin(), lat.sin())
             })
             .collect();
         // Exact polar-cap area: 2*pi*(1 - sin(lat)); the 32-gon slightly less.
@@ -179,7 +173,10 @@ mod tests {
         let b = Vec3::new(1.0, 0.0, 0.01).normalized();
         let c = Vec3::new(1.0, -0.01, -0.01).normalized();
         let cc = spherical_circumcenter(a, b, c);
-        assert!(cc.dot(a) > 0.9, "circumcenter flipped to the far hemisphere");
+        assert!(
+            cc.dot(a) > 0.9,
+            "circumcenter flipped to the far hemisphere"
+        );
     }
 
     #[test]

@@ -170,7 +170,10 @@ mod tests {
             simd / refac
         );
         let fin = get(OptStage::Others);
-        assert!((85.0..115.0).contains(&fin), "final stage {fin} (expect ~100x)");
+        assert!(
+            (85.0..115.0).contains(&fin),
+            "final stage {fin} (expect ~100x)"
+        );
     }
 
     #[test]

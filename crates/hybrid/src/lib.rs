@@ -5,18 +5,25 @@
 //!
 //! * [`device`] — descriptors of the Table-II node (Xeon E5-2680 v2 host,
 //!   Xeon Phi 5110P accelerator, PCIe link), with roofline execution-time
-//!   models. The Phi is simulated (DESIGN.md §1 documents the
-//!   substitution); the scheduling code is real.
+//!   models, re-exported from the `mpas-sched` subsystem. The Phi is
+//!   simulated (DESIGN.md §1 documents the substitution); the scheduling
+//!   code is real.
 //! * [`sched`] + [`sim`] — makespan scheduling of the data-flow diagram
 //!   under the paper's three policies (serial reference, kernel-level
 //!   hybrid of Fig. 2, pattern-driven hybrid of Fig. 4 (b) with adjustable
-//!   splits), and the multi-process scaling model (Figs. 7–9).
+//!   splits) and any registered `mpas_sched::SchedulerPolicy` (HEFT, CPOP,
+//!   lookahead, dynamic-list), plus the multi-process scaling model
+//!   (Figs. 7–9).
+//! * [`calibrate`] — measurement-driven cost calibration: times the real
+//!   host executors per Table-I pattern and fits per-pattern coefficients
+//!   back into the scheduling cost model.
 //! * [`parallel`] — real, measured executors: a rayon "OpenMP" analog and
 //!   a two-pool hybrid executor, both verified bit-for-bit against the
 //!   serial kernels (the §V.A validation).
 //! * [`ladder`] — the Fig. 6 single-device optimization ladder.
 
 pub mod ablation;
+pub mod calibrate;
 pub mod device;
 pub mod ladder;
 pub mod parallel;
@@ -24,9 +31,10 @@ pub mod sched;
 pub mod sim;
 pub mod trace;
 
+pub use calibrate::{calibrate_host, CalibrationReport};
 pub use device::{DeviceSpec, Platform, TransferLink};
 pub use ladder::{fig6_ladder, OptStage};
 pub use parallel::{HybridModel, ParallelModel};
-pub use sched::{schedule_substep, Placement, Policy, SchedOptions, Schedule};
+pub use sched::{schedule_substep, Placement, Policy, SchedOptions, Schedule, SchedulerPolicy};
 pub use sim::{time_per_step, time_per_step_multirank};
 pub use trace::to_chrome_trace;

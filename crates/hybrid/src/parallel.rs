@@ -168,7 +168,9 @@ impl ParallelModel {
                 ops::h_edge(mesh, config, h, &[], &[], o, r)
             });
         }
-        par_run(pool, &mut d.vorticity, chunk, |r, o| ops::vorticity(mesh, u, o, r));
+        par_run(pool, &mut d.vorticity, chunk, |r, o| {
+            ops::vorticity(mesh, u, o, r)
+        });
         par_run(pool, &mut d.ke, chunk, |r, o| ops::ke(mesh, u, o, r));
         par_run(pool, &mut d.divergence, chunk, |r, o| {
             ops::divergence(mesh, u, o, r)
@@ -185,7 +187,9 @@ impl ParallelModel {
             ops::pv_vertex(mesh, h, vort, f_vertex, o, r)
         });
         let pvv = &d.pv_vertex;
-        par_run(pool, &mut d.pv_cell, chunk, |r, o| ops::pv_cell(mesh, pvv, o, r));
+        par_run(pool, &mut d.pv_cell, chunk, |r, o| {
+            ops::pv_cell(mesh, pvv, o, r)
+        });
         let pvc = &d.pv_cell;
         let v = &d.v;
         par_run(pool, &mut d.pv_edge, chunk, |r, o| {
@@ -205,16 +209,33 @@ impl ParallelModel {
             ops::tend_h(mesh, u, &d.h_edge, o, r)
         });
         par_run(pool, &mut self.tend.tend_u, chunk, |r, o| {
-            ops::tend_u(mesh, config.gravity, &d.pv_edge, u, &d.h_edge, &d.ke, h, b, o, r)
+            ops::tend_u(
+                mesh,
+                config.gravity,
+                &d.pv_edge,
+                u,
+                &d.h_edge,
+                &d.ke,
+                h,
+                b,
+                o,
+                r,
+            )
         });
         if config.del2_viscosity != 0.0 {
             par_run(pool, &mut self.tend.tend_u, chunk, |r, o| {
-                ops::tend_u_del2(mesh, config.del2_viscosity, &d.divergence, &d.vorticity, o, r)
+                ops::tend_u_del2(
+                    mesh,
+                    config.del2_viscosity,
+                    &d.divergence,
+                    &d.vorticity,
+                    o,
+                    r,
+                )
             });
         }
         if config.del4_viscosity != 0.0 {
-            let (ne, nc, nv) =
-                (mesh.n_edges(), mesh.n_cells(), mesh.n_vertices());
+            let (ne, nc, nv) = (mesh.n_edges(), mesh.n_cells(), mesh.n_vertices());
             let mut lap = vec![0.0; ne];
             par_run(pool, &mut lap, chunk, |r, o| {
                 ops::lap_u(mesh, &d.divergence, &d.vorticity, o, r)
@@ -240,6 +261,8 @@ impl ParallelModel {
     pub fn step(&mut self) {
         self.acc_state.copy_from(&self.state);
         self.provis.copy_from(&self.state);
+        // `stage` is the RK stage number, not just an index into RK_SUBSTEP.
+        #[allow(clippy::needless_range_loop)]
         for stage in 0..4 {
             self.compute_tend_on();
             let dt = self.dt;
@@ -293,8 +316,7 @@ impl ParallelModel {
         let r = &mut self.recon;
         pool.install(|| {
             use rayon::prelude::*;
-            r.ux
-                .par_chunks_mut(chunk)
+            r.ux.par_chunks_mut(chunk)
                 .zip(r.uy.par_chunks_mut(chunk))
                 .zip(r.uz.par_chunks_mut(chunk))
                 .enumerate()
@@ -352,15 +374,17 @@ impl HybridModel {
         acc_threads: usize,
         platform: &Platform,
     ) -> Self {
-        let inner =
-            ParallelModel::new(mesh, config, test_case, dt, cpu_threads);
+        let inner = ParallelModel::new(mesh, config, test_case, dt, cpu_threads);
         let acc_pool = rayon::ThreadPoolBuilder::new()
             .num_threads(acc_threads)
             .build()
             .expect("pool");
-        let acc_fraction =
-            platform.acc.mem_bw / (platform.acc.mem_bw + platform.cpu.mem_bw);
-        HybridModel { inner, acc_pool, acc_fraction }
+        let acc_fraction = platform.acc.mem_bw / (platform.acc.mem_bw + platform.cpu.mem_bw);
+        HybridModel {
+            inner,
+            acc_pool,
+            acc_fraction,
+        }
     }
 
     /// The prognostic state.
@@ -388,6 +412,8 @@ impl HybridModel {
         let m = &mut self.inner;
         m.acc_state.copy_from(&m.state);
         m.provis.copy_from(&m.state);
+        // `stage` is the RK stage number, not just an index into RK_SUBSTEP.
+        #[allow(clippy::needless_range_loop)]
         for stage in 0..4 {
             {
                 let mesh = &m.mesh;
@@ -395,8 +421,7 @@ impl HybridModel {
                 let (h, u) = (&m.provis.h, &m.provis.u);
                 let d = &m.diag;
                 let b = &m.b;
-                let mid =
-                    ((1.0 - self.acc_fraction) * mesh.n_edges() as f64) as usize;
+                let mid = ((1.0 - self.acc_fraction) * mesh.n_edges() as f64) as usize;
                 split_run(
                     &m.pool,
                     &self.acc_pool,
@@ -418,8 +443,7 @@ impl HybridModel {
                         )
                     },
                 );
-                let mid_c =
-                    ((1.0 - self.acc_fraction) * mesh.n_cells() as f64) as usize;
+                let mid_c = ((1.0 - self.acc_fraction) * mesh.n_cells() as f64) as usize;
                 split_run(
                     &m.pool,
                     &self.acc_pool,
@@ -492,8 +516,7 @@ mod tests {
         let mesh = mesh();
         let tc = TestCase::Case5;
         let cfg = ModelConfig::default();
-        let mut serial =
-            mpas_swe::ShallowWaterModel::new(mesh.clone(), cfg, tc, None);
+        let mut serial = mpas_swe::ShallowWaterModel::new(mesh.clone(), cfg, tc, None);
         let mut par = ParallelModel::new(mesh, cfg, tc, None, 3);
         serial.run_steps(5);
         par.run_steps(5);
@@ -509,17 +532,8 @@ mod tests {
         let mesh = mesh();
         let tc = TestCase::Case6;
         let cfg = ModelConfig::default();
-        let mut serial =
-            mpas_swe::ShallowWaterModel::new(mesh.clone(), cfg, tc, None);
-        let mut hyb = HybridModel::new(
-            mesh,
-            cfg,
-            tc,
-            None,
-            2,
-            2,
-            &Platform::paper_node(),
-        );
+        let mut serial = mpas_swe::ShallowWaterModel::new(mesh.clone(), cfg, tc, None);
+        let mut hyb = HybridModel::new(mesh, cfg, tc, None, 2, 2, &Platform::paper_node());
         serial.run_steps(4);
         hyb.run_steps(4);
         assert_eq!(serial.state.max_abs_diff(hyb.state()), 0.0);
@@ -537,7 +551,10 @@ mod tests {
             1,
             &p,
         );
-        assert!(hm.acc_fraction > 0.5, "accelerator should take the majority");
+        assert!(
+            hm.acc_fraction > 0.5,
+            "accelerator should take the majority"
+        );
         assert!(hm.acc_fraction < 0.8);
     }
 

@@ -1,78 +1,32 @@
 //! Makespan scheduling of the data-flow diagram onto the simulated node.
 //!
-//! Three executable policies, mirroring the paper's comparison:
-//!
-//! * **Serial** — every pattern on one CPU core, in program order (the
-//!   "original CPU code").
-//! * **KernelLevel** (Fig. 2) — whole kernels are the scheduling unit;
-//!   independent kernels may overlap across devices, but a kernel never
-//!   splits, so load balance is coarse.
-//! * **PatternDriven** (Fig. 4 (b)) — individual pattern instances are
-//!   scheduled with an earliest-finish-time heuristic, and heavy
-//!   "adjustable" patterns are split between CPU and accelerator at the
-//!   fraction that equalizes their finish times.
+//! Since the `mpas-sched` subsystem landed, the actual scheduling
+//! algorithms live there: the paper's policies in [`mpas_sched::paper`],
+//! the classic list schedulers (HEFT, CPOP, lookahead, dynamic-list) in
+//! [`mpas_sched::list`], all operating on a [`TaskDag`] extracted from the
+//! data-flow diagram. This module is the compatibility layer: the closed
+//! [`Policy`] enum (which now also implements [`SchedulerPolicy`]), the
+//! [`schedule_substep`] entry point, and the ablation helpers keep their
+//! historical signatures.
 //!
 //! Cross-device data dependencies pay for a transfer on the (serialized)
 //! link; variables made on one device become resident on both after the
 //! transfer, modeling the paper's keep-data-resident strategy (§IV.A).
 
 use crate::device::Platform;
-use mpas_patterns::dataflow::{DataflowGraph, Kernel, MeshCounts};
-use mpas_patterns::pattern::Variable;
-use std::collections::HashMap;
+use mpas_patterns::dataflow::{DataflowGraph, MeshCounts};
+use mpas_sched::{DagOptions, RooflineCost, TaskDag};
 
-/// Where a node (or part of it) ran.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Placement {
-    /// Entirely on the host CPU.
-    Cpu,
-    /// Entirely on the accelerator.
-    Acc,
-    /// Split with this fraction of the output range on the accelerator.
-    Split(f64),
-}
+pub use mpas_sched::schedule::{NodeSchedule, Placement, Schedule};
+pub use mpas_sched::{SchedulerPolicy, DEFAULT_SPLIT_THRESHOLD};
 
-/// Scheduling decision and timing for one node.
-#[derive(Debug, Clone)]
-pub struct NodeSchedule {
-    /// Table-I pattern-instance label.
-    pub name: &'static str,
-    /// Device assignment (possibly split).
-    pub placement: Placement,
-    /// Start time, seconds from substep entry.
-    pub start: f64,
-    /// Finish time, seconds from substep entry.
-    pub finish: f64,
-}
-
-/// Result of scheduling one substep graph.
-#[derive(Debug, Clone)]
-pub struct Schedule {
-    /// Completion time of the whole substep, seconds.
-    pub makespan: f64,
-    /// Per-node decisions and timings, in scheduling order.
-    pub nodes: Vec<NodeSchedule>,
-    /// CPU busy time (for utilization/load-balance reporting).
-    pub cpu_busy: f64,
-    /// Accelerator busy time.
-    pub acc_busy: f64,
-}
-
-impl Schedule {
-    /// Fraction of the makespan during which the less-used device idles —
-    /// the load-imbalance the pattern-driven design attacks.
-    pub fn imbalance(&self) -> f64 {
-        let lo = self.cpu_busy.min(self.acc_busy);
-        let hi = self.cpu_busy.max(self.acc_busy);
-        if hi == 0.0 {
-            0.0
-        } else {
-            (hi - lo) / hi
-        }
-    }
-}
-
-/// The scheduling policy.
+/// The scheduling policy (the paper's closed set).
+///
+/// This enum predates the open [`SchedulerPolicy`] registry and is kept as
+/// a compatibility shim: every variant delegates to the equivalent
+/// `mpas-sched` policy, and the enum itself implements [`SchedulerPolicy`]
+/// so it can be passed wherever a policy is expected. New code should
+/// prefer [`mpas_sched::resolve`] with a policy name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Policy {
     /// The original single-core CPU code.
@@ -87,13 +41,30 @@ pub enum Policy {
     PatternDriven,
 }
 
-/// Bytes of one field of a variable at the given mesh size.
-fn var_bytes(v: Variable, mc: &MeshCounts) -> f64 {
-    use mpas_patterns::pattern::MeshLocation::*;
-    8.0 * match v.location() {
-        Cell => mc.n_cells,
-        Edge => mc.n_edges,
-        Vertex => mc.n_vertices,
+impl Policy {
+    /// The equivalent open-registry policy.
+    pub fn as_policy(self) -> Box<dyn SchedulerPolicy> {
+        match self {
+            Policy::Serial => Box::new(mpas_sched::Serial),
+            Policy::CpuOnly => Box::new(mpas_sched::CpuOnly),
+            Policy::AccOnly => Box::new(mpas_sched::AccOnly),
+            Policy::KernelLevel => Box::new(mpas_sched::KernelLevel),
+            Policy::PatternDriven => Box::new(mpas_sched::PatternDriven::default()),
+        }
+    }
+}
+
+impl SchedulerPolicy for Policy {
+    fn name(&self) -> String {
+        self.as_policy().name()
+    }
+
+    fn uses_accelerator(&self) -> bool {
+        self.as_policy().uses_accelerator()
+    }
+
+    fn schedule(&self, dag: &TaskDag, platform: &Platform) -> Schedule {
+        self.as_policy().schedule(dag, platform)
     }
 }
 
@@ -102,218 +73,10 @@ pub fn schedule_substep(
     graph: &DataflowGraph,
     mc: &MeshCounts,
     platform: &Platform,
-    policy: Policy,
+    policy: impl SchedulerPolicy,
 ) -> Schedule {
-    match policy {
-        Policy::Serial => serial_schedule(graph, mc, platform),
-        Policy::CpuOnly | Policy::AccOnly => {
-            single_device_schedule(graph, mc, platform, policy)
-        }
-        Policy::KernelLevel => kernel_level_schedule(graph, mc, platform),
-        Policy::PatternDriven => pattern_driven_schedule(graph, mc, platform),
-    }
-}
-
-fn serial_schedule(
-    graph: &DataflowGraph,
-    mc: &MeshCounts,
-    platform: &Platform,
-) -> Schedule {
-    let core = crate::device::DeviceSpec::cpu_single_core();
-    let _ = platform;
-    let mut t = 0.0;
-    let mut nodes = Vec::with_capacity(graph.len());
-    for n in &graph.nodes {
-        let dt = core.node_time(n.work(mc));
-        nodes.push(NodeSchedule {
-            name: n.name,
-            placement: Placement::Cpu,
-            start: t,
-            finish: t + dt,
-        });
-        t += dt;
-    }
-    Schedule { makespan: t, nodes, cpu_busy: t, acc_busy: 0.0 }
-}
-
-fn single_device_schedule(
-    graph: &DataflowGraph,
-    mc: &MeshCounts,
-    platform: &Platform,
-    policy: Policy,
-) -> Schedule {
-    let dev = if policy == Policy::CpuOnly { &platform.cpu } else { &platform.acc };
-    let mut t = 0.0;
-    let mut nodes = Vec::with_capacity(graph.len());
-    for n in &graph.nodes {
-        let dt = dev.node_time(n.work(mc));
-        let placement = if policy == Policy::CpuOnly {
-            Placement::Cpu
-        } else {
-            Placement::Acc
-        };
-        nodes.push(NodeSchedule { name: n.name, placement, start: t, finish: t + dt });
-        t += dt;
-    }
-    let (cpu_busy, acc_busy) =
-        if policy == Policy::CpuOnly { (t, 0.0) } else { (0.0, t) };
-    Schedule { makespan: t, nodes, cpu_busy, acc_busy }
-}
-
-/// Tracks which devices hold a current copy of each variable.
-struct Residency {
-    map: HashMap<Variable, (bool, bool)>, // (on_cpu, on_acc)
-}
-
-impl Residency {
-    /// At substep entry every input is synchronized on both devices
-    /// (the paper keeps mesh and state resident; boundaries sync at the
-    /// halo-exchange points).
-    fn fresh() -> Self {
-        Residency { map: HashMap::new() }
-    }
-
-    fn present(&self, v: Variable, on_acc: bool) -> bool {
-        match self.map.get(&v) {
-            None => true, // substep input: everywhere
-            Some(&(c, a)) => {
-                if on_acc {
-                    a
-                } else {
-                    c
-                }
-            }
-        }
-    }
-
-    fn write(&mut self, v: Variable, placement: Placement) {
-        let entry = match placement {
-            Placement::Cpu => (true, false),
-            Placement::Acc => (false, true),
-            Placement::Split(_) => (true, true), // halves merged via link
-        };
-        self.map.insert(v, entry);
-    }
-
-    fn mark_everywhere(&mut self, v: Variable) {
-        self.map.insert(v, (true, true));
-    }
-}
-
-/// Static kernel→device map of the paper's Fig. 2: the heavy kernels live
-/// on the accelerator; `accumulative_update` (independent of the
-/// diagnostics) and the output-only `mpas_reconstruct` overlap on the CPU.
-fn kernel_level_device(kernel: Kernel) -> usize {
-    match kernel {
-        Kernel::AccumulativeUpdate | Kernel::MpasReconstruct => 0, // CPU
-        _ => 1,                                                    // MIC
-    }
-}
-
-fn kernel_level_schedule(
-    graph: &DataflowGraph,
-    mc: &MeshCounts,
-    platform: &Platform,
-) -> Schedule {
-    // Group node ids by kernel, preserving program order of first touch.
-    let mut kernel_order: Vec<Kernel> = Vec::new();
-    let mut groups: HashMap<Kernel, Vec<usize>> = HashMap::new();
-    for (id, n) in graph.nodes.iter().enumerate() {
-        if !groups.contains_key(&n.kernel) {
-            kernel_order.push(n.kernel);
-        }
-        groups.entry(n.kernel).or_default().push(id);
-    }
-
-    let mut avail = [0.0f64; 2]; // cpu, acc
-    let mut link_avail = 0.0f64;
-    let mut node_finish = vec![0.0f64; graph.len()];
-    let mut res = Residency::fresh();
-    let mut out_nodes: Vec<Option<NodeSchedule>> = vec![None; graph.len()];
-    let mut busy = [0.0f64; 2];
-
-    for kernel in kernel_order {
-        let ids = &groups[&kernel];
-        // Dependency-ready time of the whole kernel.
-        let ready = ids
-            .iter()
-            .flat_map(|&id| graph.preds[id].iter())
-            .map(|&p| node_finish[p])
-            .fold(0.0f64, f64::max);
-        // Fig. 2 static placement.
-        let dev_idx = kernel_level_device(kernel);
-        let dev = if dev_idx == 0 { &platform.cpu } else { &platform.acc };
-        let mut xfer_bytes = 0.0;
-        for &id in ids {
-            for &v in &graph.nodes[id].inputs {
-                if !res.present(v, dev_idx == 1) {
-                    xfer_bytes += var_bytes(v, mc);
-                }
-            }
-        }
-        let xfer_time =
-            if xfer_bytes > 0.0 { platform.link.time(xfer_bytes) } else { 0.0 };
-        let start = ready
-            .max(avail[dev_idx])
-            .max(if xfer_bytes > 0.0 { link_avail } else { 0.0 })
-            + xfer_time;
-        let exec: f64 = ids
-            .iter()
-            .map(|&id| dev.node_time(graph.nodes[id].work(mc)))
-            .sum();
-        let finish = start + exec;
-        if xfer_time > 0.0 {
-            link_avail = start; // link busy until kernel start
-            // Transferred inputs become resident on both devices.
-            for &id in ids {
-                for &v in &graph.nodes[id].inputs {
-                    if !res.present(v, dev_idx == 1) {
-                        res.mark_everywhere(v);
-                    }
-                }
-            }
-        }
-        avail[dev_idx] = finish;
-        busy[dev_idx] += finish - start;
-        // Lay nodes back-to-back inside the kernel for reporting.
-        let mut t = start;
-        for &id in ids {
-            let dt = dev.node_time(graph.nodes[id].work(mc));
-            node_finish[id] = t + dt;
-            out_nodes[id] = Some(NodeSchedule {
-                name: graph.nodes[id].name,
-                placement: if dev_idx == 0 { Placement::Cpu } else { Placement::Acc },
-                start: t,
-                finish: t + dt,
-            });
-            for &v in &graph.nodes[id].outputs {
-                res.write(
-                    v,
-                    if dev_idx == 0 { Placement::Cpu } else { Placement::Acc },
-                );
-            }
-            t += dt;
-        }
-    }
-
-    let makespan = avail[0].max(avail[1]);
-    Schedule {
-        makespan,
-        nodes: out_nodes.into_iter().map(Option::unwrap).collect(),
-        cpu_busy: busy[0],
-        acc_busy: busy[1],
-    }
-}
-
-/// Share of substep work above which a node is "adjustable" (splittable).
-pub const DEFAULT_SPLIT_THRESHOLD: f64 = 0.08;
-
-fn pattern_driven_schedule(
-    graph: &DataflowGraph,
-    mc: &MeshCounts,
-    platform: &Platform,
-) -> Schedule {
-    pattern_driven_schedule_with(graph, mc, platform, DEFAULT_SPLIT_THRESHOLD)
+    let dag = TaskDag::from_dataflow(graph, mc, platform);
+    policy.schedule(&dag, platform)
 }
 
 /// Tunables of the pattern-driven scheduler, exposed for ablations.
@@ -352,7 +115,10 @@ pub fn pattern_driven_schedule_with(
         graph,
         mc,
         platform,
-        SchedOptions { split_threshold, ..Default::default() },
+        SchedOptions {
+            split_threshold,
+            ..Default::default()
+        },
     )
 }
 
@@ -363,146 +129,19 @@ pub fn pattern_driven_schedule_opts(
     platform: &Platform,
     opts: SchedOptions,
 ) -> Schedule {
-    let split_threshold = opts.split_threshold;
-    let total_bytes: f64 = graph.nodes.iter().map(|n| n.work(mc).bytes).sum();
-    let mut avail = [0.0f64; 2];
-    let mut link_avail = 0.0f64;
-    let mut node_finish = vec![0.0f64; graph.len()];
-    let mut res = Residency::fresh();
-    let mut out_nodes = Vec::with_capacity(graph.len());
-    let mut busy = [0.0f64; 2];
-
-    for (id, node) in graph.nodes.iter().enumerate() {
-        let work = node.work(mc);
-        let ready = graph.preds[id]
-            .iter()
-            .map(|&p| node_finish[p])
-            .fold(0.0f64, f64::max);
-
-        // Earliest start on each device including any required transfer.
-        let mut est = [0.0f64; 2];
-        let mut xfer = [0.0f64; 2];
-        for dev_idx in 0..2 {
-            let mut xfer_bytes = 0.0;
-            for &v in &node.inputs {
-                if !res.present(v, dev_idx == 1) {
-                    xfer_bytes += var_bytes(v, mc);
-                }
-            }
-            xfer[dev_idx] = if xfer_bytes > 0.0 {
-                platform.link.time(xfer_bytes)
-            } else {
-                0.0
-            };
-            est[dev_idx] = if xfer_bytes == 0.0 {
-                ready.max(avail[dev_idx])
-            } else if opts.overlap_transfers {
-                // The transfer starts as soon as the data and the link are
-                // free, hiding under the device's other work.
-                let xfer_done = ready.max(link_avail) + xfer[dev_idx];
-                ready.max(avail[dev_idx]).max(xfer_done)
-            } else {
-                ready.max(avail[dev_idx]).max(link_avail) + xfer[dev_idx]
-            };
-        }
-        let t_cpu = platform.cpu.node_time(work);
-        let t_acc = platform.acc.node_time(work);
-
-        let splittable = work.bytes / total_bytes > split_threshold
-            && node.class != mpas_patterns::PatternClass::Local;
-
-        // Candidate A: whole-node EFT.
-        let fin_cpu = est[0] + t_cpu;
-        let fin_acc = est[1] + t_acc;
-
-        // Candidate B: split so both devices finish together:
-        //   est_a + f·A = est_c + (1−f)·C  ⇒  f = (est_c + C − est_a)/(A + C)
-        let mut chosen: (Placement, f64, f64); // (placement, start, finish)
-        if splittable {
-            let a = t_acc - platform.acc.launch_overhead;
-            let c = t_cpu - platform.cpu.launch_overhead;
-            let f = ((est[0] + c - est[1]) / (a + c)).clamp(0.0, 1.0);
-            if f > 0.02 && f < 0.98 {
-                let fin_split = (est[1]
-                    + platform.acc.launch_overhead
-                    + a * f)
-                    .max(est[0] + platform.cpu.launch_overhead + c * (1.0 - f))
-                    // Merge the two halves across the link.
-                    + platform
-                        .link
-                        .time(node.outputs.iter().map(|&v| var_bytes(v, mc)).sum::<f64>() * 0.5);
-                if fin_split < fin_cpu.min(fin_acc) {
-                    chosen = (Placement::Split(f), est[0].min(est[1]), fin_split);
-                    // Both devices busy until the split finishes.
-                    avail[0] = avail[0].max(fin_split);
-                    avail[1] = avail[1].max(fin_split);
-                    busy[0] += c * (1.0 - f) + platform.cpu.launch_overhead;
-                    busy[1] += a * f + platform.acc.launch_overhead;
-                    link_avail = fin_split;
-                    finalize(
-                        &mut out_nodes,
-                        &mut node_finish,
-                        &mut res,
-                        graph,
-                        id,
-                        chosen.clone(),
-                    );
-                    continue;
-                }
-            }
-        }
-        // Whole-node assignment.
-        if fin_cpu <= fin_acc {
-            chosen = (Placement::Cpu, est[0], fin_cpu);
-            avail[0] = fin_cpu;
-            busy[0] += t_cpu;
-            if xfer[0] > 0.0 {
-                link_avail = est[0];
-                for &v in &node.inputs {
-                    if !res.present(v, false) {
-                        res.mark_everywhere(v);
-                    }
-                }
-            }
-        } else {
-            chosen = (Placement::Acc, est[1], fin_acc);
-            avail[1] = fin_acc;
-            busy[1] += t_acc;
-            if xfer[1] > 0.0 {
-                link_avail = est[1];
-                for &v in &node.inputs {
-                    if !res.present(v, true) {
-                        res.mark_everywhere(v);
-                    }
-                }
-            }
-        }
-        chosen.1 = chosen.1.max(0.0);
-        finalize(&mut out_nodes, &mut node_finish, &mut res, graph, id, chosen);
+    let dag = TaskDag::from_dataflow_with(
+        graph,
+        mc,
+        platform,
+        &RooflineCost,
+        DagOptions {
+            split_threshold: opts.split_threshold,
+        },
+    );
+    mpas_sched::PatternDriven {
+        overlap_transfers: opts.overlap_transfers,
     }
-
-    let makespan = avail[0].max(avail[1]);
-    Schedule { makespan, nodes: out_nodes, cpu_busy: busy[0], acc_busy: busy[1] }
-}
-
-fn finalize(
-    out_nodes: &mut Vec<NodeSchedule>,
-    node_finish: &mut [f64],
-    res: &mut Residency,
-    graph: &DataflowGraph,
-    id: usize,
-    (placement, start, finish): (Placement, f64, f64),
-) {
-    node_finish[id] = finish;
-    for &v in &graph.nodes[id].outputs {
-        res.write(v, placement);
-    }
-    out_nodes.push(NodeSchedule {
-        name: graph.nodes[id].name,
-        placement,
-        start,
-        finish,
-    });
+    .schedule(&dag, platform)
 }
 
 #[cfg(test)]
@@ -542,7 +181,11 @@ mod tests {
         let s_p = serial / pattern;
         assert!((4.0..8.0).contains(&s_k), "kernel-level speedup {s_k}");
         assert!((6.0..11.0).contains(&s_p), "pattern speedup {s_p}");
-        assert!(s_p / s_k > 1.15, "pattern advantage too small: {}", s_p / s_k);
+        assert!(
+            s_p / s_k > 1.15,
+            "pattern advantage too small: {}",
+            s_p / s_k
+        );
     }
 
     #[test]
@@ -604,5 +247,23 @@ mod tests {
             serial / pat
         };
         assert!(ratio(2_621_442) > ratio(40_962));
+    }
+
+    #[test]
+    fn enum_and_registry_policies_agree() {
+        // The compat shim must produce exactly what the registry produces.
+        let (g, mc, p) = setup();
+        for (policy, name) in [
+            (Policy::Serial, "serial"),
+            (Policy::CpuOnly, "cpu-only"),
+            (Policy::AccOnly, "acc-only"),
+            (Policy::KernelLevel, "kernel-level"),
+            (Policy::PatternDriven, "pattern-driven"),
+        ] {
+            let via_enum = schedule_substep(&g, &mc, &p, policy).makespan;
+            let via_name =
+                schedule_substep(&g, &mc, &p, mpas_sched::resolve(name).unwrap()).makespan;
+            assert_eq!(via_enum, via_name, "{name}");
+        }
     }
 }

@@ -5,18 +5,23 @@
 //! communication model on top for the strong/weak scaling experiments
 //! (Figs. 8–9). The underlying schedules come from [`crate::sched`]; the
 //! communication model from [`mpas_msg::CommCostModel`].
+//!
+//! Every entry point is generic over [`SchedulerPolicy`], so the classic
+//! list schedulers (`mpas_sched::resolve("heft")`, …) drop into the same
+//! scaling experiments as the paper's [`Policy`](crate::sched::Policy)
+//! enum — pass either the enum by value or any `&dyn SchedulerPolicy`.
 
 use crate::device::Platform;
-use crate::sched::{schedule_substep, Policy};
-use mpas_patterns::dataflow::{DataflowGraph, MeshCounts, RkPhase};
+use crate::sched::{schedule_substep, SchedulerPolicy};
 use mpas_msg::CommCostModel;
+use mpas_patterns::dataflow::{DataflowGraph, MeshCounts, RkPhase};
 
 /// Simulated execution time of one RK-4 step on a single process.
-pub fn time_per_step(mc: &MeshCounts, platform: &Platform, policy: Policy) -> f64 {
+pub fn time_per_step(mc: &MeshCounts, platform: &Platform, policy: impl SchedulerPolicy) -> f64 {
     let inter = DataflowGraph::for_substep(RkPhase::Intermediate);
     let fin = DataflowGraph::for_substep(RkPhase::Final);
-    let t_inter = schedule_substep(&inter, mc, platform, policy).makespan;
-    let t_final = schedule_substep(&fin, mc, platform, policy).makespan;
+    let t_inter = schedule_substep(&inter, mc, platform, &policy).makespan;
+    let t_final = schedule_substep(&fin, mc, platform, &policy).makespan;
     3.0 * t_inter + t_final
 }
 
@@ -37,14 +42,15 @@ pub const HALO_NEIGHBORS: usize = 6;
 /// Simulated time per RK-4 step of a multi-process run.
 ///
 /// Each rank advances `n_cells / n_ranks` cells under `policy`, then pays a
-/// halo exchange per substep. Hybrid policies additionally ship the halo
-/// over the PCIe link (device-resident state must be synchronized at the
+/// halo exchange per substep. Policies that place work on the accelerator
+/// ([`SchedulerPolicy::uses_accelerator`]) additionally ship the halo over
+/// the PCIe link (device-resident state must be synchronized at the
 /// exchange points — the red arrows in the paper's Figs. 2 and 4).
 pub fn time_per_step_multirank(
     n_cells: usize,
     n_ranks: usize,
     platform: &Platform,
-    policy: Policy,
+    policy: impl SchedulerPolicy,
     comm: &CommCostModel,
 ) -> f64 {
     let cells_per_rank = n_cells as f64 / n_ranks as f64;
@@ -53,14 +59,13 @@ pub fn time_per_step_multirank(
         n_edges: 3.0 * cells_per_rank,
         n_vertices: 2.0 * cells_per_rank,
     };
-    let compute = time_per_step(&mc, platform, policy);
+    let compute = time_per_step(&mc, platform, &policy);
     if n_ranks == 1 {
         return compute;
     }
     let halo = halo_bytes_per_substep(cells_per_rank);
     let mut comm_time = 4.0 * comm.halo_time(halo as usize, HALO_NEIGHBORS);
-    if matches!(policy, Policy::KernelLevel | Policy::PatternDriven | Policy::AccOnly)
-    {
+    if policy.uses_accelerator() {
         // Device-side halo data crosses PCIe before it can hit the wire.
         comm_time += 4.0 * 2.0 * platform.link.time(halo);
     }
@@ -72,17 +77,18 @@ pub fn strong_efficiency(
     n_cells: usize,
     n_ranks: usize,
     platform: &Platform,
-    policy: Policy,
+    policy: impl SchedulerPolicy,
     comm: &CommCostModel,
 ) -> f64 {
-    let t1 = time_per_step_multirank(n_cells, 1, platform, policy, comm);
-    let tp = time_per_step_multirank(n_cells, n_ranks, platform, policy, comm);
+    let t1 = time_per_step_multirank(n_cells, 1, platform, &policy, comm);
+    let tp = time_per_step_multirank(n_cells, n_ranks, platform, &policy, comm);
     t1 / (tp * n_ranks as f64)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::Policy;
 
     #[test]
     fn paper_fig7_shape_serial_vs_hybrid() {
@@ -94,7 +100,11 @@ mod tests {
         let serial = time_per_step(&mc, &p, Policy::Serial);
         let pattern = time_per_step(&mc, &p, Policy::PatternDriven);
         assert!((0.1..0.6).contains(&serial), "serial {serial}");
-        assert!((3.5..11.0).contains(&(serial / pattern)), "speedup {}", serial / pattern);
+        assert!(
+            (3.5..11.0).contains(&(serial / pattern)),
+            "speedup {}",
+            serial / pattern
+        );
     }
 
     #[test]
@@ -103,8 +113,7 @@ mod tests {
         let p = Platform::paper_node();
         let comm = CommCostModel::fdr_infiniband();
         let t1 = time_per_step_multirank(40_962, 1, &p, Policy::PatternDriven, &comm);
-        let t64 =
-            time_per_step_multirank(64 * 40_962, 64, &p, Policy::PatternDriven, &comm);
+        let t64 = time_per_step_multirank(64 * 40_962, 64, &p, Policy::PatternDriven, &comm);
         assert!(t64 / t1 < 1.15, "weak scaling degraded: {} -> {}", t1, t64);
         // CPU version too.
         let c1 = time_per_step_multirank(40_962, 1, &p, Policy::Serial, &comm);
@@ -131,7 +140,10 @@ mod tests {
         let hybrid8 = strong_efficiency(655_362, 8, &p, Policy::PatternDriven, &comm);
         let cpu64 = strong_efficiency(655_362, 64, &p, Policy::Serial, &comm);
         assert!(hybrid8 > hybrid64, "no saturation: {hybrid8} vs {hybrid64}");
-        assert!(cpu64 > hybrid64, "CPU version should hold efficiency longer");
+        assert!(
+            cpu64 > hybrid64,
+            "CPU version should hold efficiency longer"
+        );
     }
 
     #[test]
@@ -144,8 +156,7 @@ mod tests {
         for &n in &[655_362usize, 2_621_442] {
             for &ranks in &[1usize, 4, 16, 64] {
                 let cpu = time_per_step_multirank(n, ranks, &p, Policy::Serial, &comm);
-                let hyb =
-                    time_per_step_multirank(n, ranks, &p, Policy::PatternDriven, &comm);
+                let hyb = time_per_step_multirank(n, ranks, &p, Policy::PatternDriven, &comm);
                 assert!(hyb < cpu, "n={n} P={ranks}: {hyb} !< {cpu}");
             }
         }
@@ -157,5 +168,34 @@ mod tests {
         let b = halo_bytes_per_substep(40_000.0);
         assert!((b / a - 2.0).abs() < 1e-9);
         assert_eq!(halo_bytes_per_substep(0.0), 0.0);
+    }
+
+    #[test]
+    fn halo_bytes_are_zero_at_zero_and_monotone() {
+        // Satellite regression: exact zero at 0 (and below), strictly
+        // monotone growth in cells_per_rank.
+        assert_eq!(halo_bytes_per_substep(0.0), 0.0);
+        assert_eq!(halo_bytes_per_substep(-5.0), 0.0);
+        let mut prev = 0.0;
+        for cells in [1.0, 10.0, 100.0, 1e4, 1e6, 1e8] {
+            let h = halo_bytes_per_substep(cells);
+            assert!(h > prev, "halo bytes must grow with local size");
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn list_schedulers_drop_into_the_scaling_model() {
+        // The generic signature accepts registry policies by reference.
+        let p = Platform::paper_node();
+        let comm = CommCostModel::fdr_infiniband();
+        let mc = MeshCounts::icosahedral(40_962);
+        let heft = mpas_sched::resolve("heft").unwrap();
+        let t = time_per_step(&mc, &p, &heft);
+        assert!(t > 0.0 && t.is_finite());
+        let tm = time_per_step_multirank(655_362, 8, &p, &heft, &comm);
+        assert!(tm > 0.0 && tm.is_finite());
+        // HEFT schedules on both devices, so it pays the PCIe halo tax.
+        assert!(heft.uses_accelerator());
     }
 }

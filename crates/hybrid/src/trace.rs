@@ -35,12 +35,8 @@ pub fn to_chrome_trace(schedule: &Schedule) -> String {
         let start = ns.start * 1e6;
         let dur = ((ns.finish - ns.start) * 1e6).max(0.001);
         match ns.placement {
-            Placement::Cpu => {
-                push_event(&mut out, &mut first, ns.name, "cpu", start, dur)
-            }
-            Placement::Acc => {
-                push_event(&mut out, &mut first, ns.name, "mic", start, dur)
-            }
+            Placement::Cpu => push_event(&mut out, &mut first, ns.name, "cpu", start, dur),
+            Placement::Acc => push_event(&mut out, &mut first, ns.name, "mic", start, dur),
             Placement::Split(f) => {
                 let label_cpu = format!("{} ({:.0}%)", ns.name, (1.0 - f) * 100.0);
                 let label_acc = format!("{} ({:.0}%)", ns.name, f * 100.0);

@@ -8,9 +8,18 @@ use proptest::prelude::*;
 
 fn platform(cpu_bw: f64, acc_bw: f64, link_bw: f64) -> Platform {
     let mut p = Platform::paper_node();
-    p.cpu = DeviceSpec { mem_bw: cpu_bw, ..p.cpu };
-    p.acc = DeviceSpec { mem_bw: acc_bw, ..p.acc };
-    p.link = TransferLink { latency: 1e-5, bandwidth: link_bw };
+    p.cpu = DeviceSpec {
+        mem_bw: cpu_bw,
+        ..p.cpu
+    };
+    p.acc = DeviceSpec {
+        mem_bw: acc_bw,
+        ..p.acc
+    };
+    p.link = TransferLink {
+        latency: 1e-5,
+        bandwidth: link_bw,
+    };
     p
 }
 

@@ -57,11 +57,7 @@ pub fn lloyd_step_weighted(
 
 /// Generate a variable-resolution mesh: subdivide to `level`, then apply
 /// `iters` density-weighted Lloyd sweeps.
-pub fn generate_variable(
-    level: u32,
-    iters: u32,
-    density: impl Fn(Vec3) -> f64 + Copy,
-) -> Mesh {
+pub fn generate_variable(level: u32, iters: u32, density: impl Fn(Vec3) -> f64 + Copy) -> Mesh {
     let mut grid = IcosaGrid::subdivide(level);
     let mut mesh = build_mesh(&grid);
     for _ in 0..iters {
@@ -134,19 +130,15 @@ mod tests {
         // The pattern machinery is resolution-agnostic: the label matrix on
         // a variable mesh still matches the gather form bit-for-bit.
         use crate::Mesh;
-        let mesh: Mesh = generate_variable(
-            2,
-            5,
-            bump_density(Vec3::new(0.0, 0.0, 1.0), 0.8, 4.0),
-        );
-        let x: Vec<f64> =
-            (0..mesh.n_edges()).map(|e| (e as f64 * 0.7).sin()).collect();
+        let mesh: Mesh = generate_variable(2, 5, bump_density(Vec3::new(0.0, 0.0, 1.0), 0.8, 4.0));
+        let x: Vec<f64> = (0..mesh.n_edges())
+            .map(|e| (e as f64 * 0.7).sin())
+            .collect();
         let mut gather = vec![0.0; mesh.n_cells()];
         for i in 0..mesh.n_cells() {
             let mut acc = 0.0;
             for slot in mesh.cell_range(i) {
-                acc += mesh.edge_sign_on_cell[slot] as f64
-                    * x[mesh.edges_on_cell[slot] as usize];
+                acc += mesh.edge_sign_on_cell[slot] as f64 * x[mesh.edges_on_cell[slot] as usize];
             }
             gather[i] = acc;
         }

@@ -122,7 +122,11 @@ impl IcosaGrid {
             triangles.push([ab, bc, ca]);
         }
 
-        IcosaGrid { points, triangles, level: self.level + 1 }
+        IcosaGrid {
+            points,
+            triangles,
+            level: self.level + 1,
+        }
     }
 
     /// Number of generator points, `10*4^level + 2`.
@@ -149,9 +153,8 @@ impl IcosaGrid {
     /// mean cell area on an Earth-radius sphere. Level 6 comes out near the
     /// paper's "120-km" label, level 9 near "15-km".
     pub fn nominal_resolution_km(level: u32) -> f64 {
-        let area =
-            4.0 * std::f64::consts::PI * mpas_geom::EARTH_RADIUS.powi(2)
-                / Self::expected_points(level) as f64;
+        let area = 4.0 * std::f64::consts::PI * mpas_geom::EARTH_RADIUS.powi(2)
+            / Self::expected_points(level) as f64;
         area.sqrt() / 1000.0
     }
 }

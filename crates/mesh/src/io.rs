@@ -110,12 +110,8 @@ pub fn save_mesh(mesh: &Mesh, path: impl AsRef<Path>) -> io::Result<()> {
     write_vec3s(&mut w, &mesh.x_cell)?;
     write_vec3s(&mut w, &mesh.x_edge)?;
     write_vec3s(&mut w, &mesh.x_vertex)?;
-    let flat2 = |xs: &Vec<[u32; 2]>| -> Vec<u32> {
-        xs.iter().flatten().copied().collect()
-    };
-    let flat3 = |xs: &Vec<[u32; 3]>| -> Vec<u32> {
-        xs.iter().flatten().copied().collect()
-    };
+    let flat2 = |xs: &Vec<[u32; 2]>| -> Vec<u32> { xs.iter().flatten().copied().collect() };
+    let flat3 = |xs: &Vec<[u32; 3]>| -> Vec<u32> { xs.iter().flatten().copied().collect() };
     write_u32s(&mut w, &flat2(&mesh.cells_on_edge))?;
     write_u32s(&mut w, &flat2(&mesh.vertices_on_edge))?;
     write_u32s(&mut w, &flat3(&mesh.cells_on_vertex))?;
@@ -141,12 +137,7 @@ pub fn save_mesh(mesh: &Mesh, path: impl AsRef<Path>) -> io::Result<()> {
     write_f64s(&mut w, &kites)?;
     write_vec3s(&mut w, &mesh.normal_edge)?;
     write_vec3s(&mut w, &mesh.tangent_edge)?;
-    let vsigns: Vec<i8> = mesh
-        .edge_sign_on_vertex
-        .iter()
-        .flatten()
-        .copied()
-        .collect();
+    let vsigns: Vec<i8> = mesh.edge_sign_on_vertex.iter().flatten().copied().collect();
     write_i8s(&mut w, &vsigns)?;
     let boundary: Vec<i8> = mesh
         .boundary_edge
@@ -175,9 +166,8 @@ pub fn load_mesh(path: impl AsRef<Path>) -> io::Result<Mesh> {
     let x_cell = read_vec3s(&mut r)?;
     let x_edge = read_vec3s(&mut r)?;
     let x_vertex = read_vec3s(&mut r)?;
-    let unflat2 = |xs: Vec<u32>| -> Vec<[u32; 2]> {
-        xs.chunks_exact(2).map(|c| [c[0], c[1]]).collect()
-    };
+    let unflat2 =
+        |xs: Vec<u32>| -> Vec<[u32; 2]> { xs.chunks_exact(2).map(|c| [c[0], c[1]]).collect() };
     let unflat3 = |xs: Vec<u32>| -> Vec<[u32; 3]> {
         xs.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect()
     };
@@ -205,8 +195,7 @@ pub fn load_mesh(path: impl AsRef<Path>) -> io::Result<Mesh> {
     let vsigns = read_i8s(&mut r)?;
     let edge_sign_on_vertex: Vec<[i8; 3]> =
         vsigns.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
-    let boundary_edge: Vec<bool> =
-        read_i8s(&mut r)?.into_iter().map(|b| b != 0).collect();
+    let boundary_edge: Vec<bool> = read_i8s(&mut r)?.into_iter().map(|b| b != 0).collect();
 
     Ok(Mesh {
         sphere_radius,

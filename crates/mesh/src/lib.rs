@@ -32,13 +32,13 @@ pub mod sfc;
 pub mod submesh;
 pub mod voronoi;
 
+pub use density::{bump_density, generate_variable};
 pub use icosahedron::{IcosaGrid, TABLE3_LEVELS};
+pub use io::{load_mesh, save_mesh};
 pub use mesh::{CellId, EdgeId, Mesh, VertexId};
 pub use partition::{MeshPartition, RankLocal};
 pub use quality::MeshQuality;
 pub use sfc::sfc_partition;
-pub use density::{bump_density, generate_variable};
-pub use io::{load_mesh, save_mesh};
 pub use submesh::{extract_local_mesh, LocalMesh};
 pub use voronoi::build_mesh;
 

@@ -43,10 +43,8 @@ pub fn centroidal_defect(mesh: &Mesh) -> f64 {
                 .map(|&v| mesh.x_vertex[v as usize]),
         );
         let centroid = spherical_polygon_centroid(&ring);
-        let cell_radius =
-            (mesh.area_cell[i] / std::f64::consts::PI).sqrt() / mesh.sphere_radius;
-        let defect =
-            mpas_geom::arc_length(mesh.x_cell[i], centroid) / cell_radius;
+        let cell_radius = (mesh.area_cell[i] / std::f64::consts::PI).sqrt() / mesh.sphere_radius;
+        let defect = mpas_geom::arc_length(mesh.x_cell[i], centroid) / cell_radius;
         worst = worst.max(defect);
     }
     worst

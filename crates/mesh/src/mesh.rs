@@ -205,7 +205,10 @@ impl Mesh {
         );
         assert_eq!(self.cell_offsets.len(), nc + 1);
         assert_eq!(self.eoe_offsets.len(), ne + 1);
-        assert_eq!(*self.cell_offsets.last().unwrap() as usize, self.edges_on_cell.len());
+        assert_eq!(
+            *self.cell_offsets.last().unwrap() as usize,
+            self.edges_on_cell.len()
+        );
         assert_eq!(self.edges_on_cell.len(), self.vertices_on_cell.len());
         assert_eq!(self.edges_on_cell.len(), self.cells_on_cell.len());
         assert_eq!(self.edges_on_cell.len(), self.edge_sign_on_cell.len());
@@ -222,7 +225,11 @@ impl Mesh {
 
         for i in 0..nc {
             let edges = self.edges_of_cell(i);
-            assert!((5..=7).contains(&edges.len()), "cell {i} degree {}", edges.len());
+            assert!(
+                (5..=7).contains(&edges.len()),
+                "cell {i} degree {}",
+                edges.len()
+            );
             for (slot, &e) in edges.iter().enumerate() {
                 let [c1, c2] = self.cells_on_edge[e as usize];
                 assert!(
@@ -231,10 +238,16 @@ impl Mesh {
                 );
                 let sign = self.edge_signs_of_cell(i)[slot];
                 let expect = if c1 as usize == i { 1 } else { -1 };
-                assert_eq!(sign, expect, "edge_sign_on_cell wrong at cell {i} slot {slot}");
+                assert_eq!(
+                    sign, expect,
+                    "edge_sign_on_cell wrong at cell {i} slot {slot}"
+                );
                 let neighbor = self.cells_of_cell(i)[slot];
                 let expect_n = if c1 as usize == i { c2 } else { c1 };
-                assert_eq!(neighbor, expect_n, "cells_on_cell wrong at cell {i} slot {slot}");
+                assert_eq!(
+                    neighbor, expect_n,
+                    "cells_on_cell wrong at cell {i} slot {slot}"
+                );
             }
         }
 
@@ -250,7 +263,10 @@ impl Mesh {
                 );
                 let sign = self.edge_sign_on_vertex[v][k];
                 let expect = if c1 == a { 1 } else { -1 };
-                assert_eq!(sign, expect, "edge_sign_on_vertex wrong at vertex {v} slot {k}");
+                assert_eq!(
+                    sign, expect,
+                    "edge_sign_on_vertex wrong at vertex {v} slot {k}"
+                );
                 let [v1, v2] = self.vertices_on_edge[e];
                 assert!(v1 as usize == v || v2 as usize == v);
             }
@@ -296,8 +312,14 @@ impl Mesh {
             let t = self.tangent_edge[e];
             assert!((n.norm() - 1.0).abs() < 1e-12);
             assert!((t.norm() - 1.0).abs() < 1e-12);
-            assert!(n.dot(r).abs() < 1e-9, "normal not tangent to sphere at edge {e}");
-            assert!(t.dist(r.normalized().cross(n)) < 1e-9, "t != r x n at edge {e}");
+            assert!(
+                n.dot(r).abs() < 1e-9,
+                "normal not tangent to sphere at edge {e}"
+            );
+            assert!(
+                t.dist(r.normalized().cross(n)) < 1e-9,
+                "t != r x n at edge {e}"
+            );
             let [c1, c2] = self.cells_on_edge[e];
             let d = self.x_cell[c2 as usize] - self.x_cell[c1 as usize];
             assert!(n.dot(d) > 0.0, "normal does not point c1->c2 at edge {e}");

@@ -88,13 +88,7 @@ pub fn rcb_partition(mesh: &Mesh, n_parts: usize) -> Vec<u32> {
     owner
 }
 
-fn rcb_recurse(
-    mesh: &Mesh,
-    idx: &mut [u32],
-    first_part: usize,
-    n_parts: usize,
-    owner: &mut [u32],
-) {
+fn rcb_recurse(mesh: &Mesh, idx: &mut [u32], first_part: usize, n_parts: usize, owner: &mut [u32]) {
     if n_parts == 1 {
         for &i in idx.iter() {
             owner[i as usize] = first_part as u32;
@@ -161,7 +155,12 @@ impl MeshPartition {
                 halo_layers,
             ));
         }
-        let mut part = MeshPartition { n_ranks, owner_cell, owner_edge, ranks };
+        let mut part = MeshPartition {
+            n_ranks,
+            owner_cell,
+            owner_edge,
+            ranks,
+        };
         part.wire_exchange_lists(mesh);
         part
     }
@@ -172,9 +171,7 @@ impl MeshPartition {
     pub fn edge_cut(&self, mesh: &Mesh) -> usize {
         mesh.cells_on_edge
             .iter()
-            .filter(|&&[a, b]| {
-                self.owner_cell[a as usize] != self.owner_cell[b as usize]
-            })
+            .filter(|&&[a, b]| self.owner_cell[a as usize] != self.owner_cell[b as usize])
             .count()
     }
 
@@ -315,31 +312,19 @@ impl MeshPartition {
                     continue;
                 }
                 if let Some(globals) = cell_flows.get(&(r, other)) {
-                    let locals = globals
-                        .iter()
-                        .map(|g| self.ranks[r].cell_g2l[g])
-                        .collect();
+                    let locals = globals.iter().map(|g| self.ranks[r].cell_g2l[g]).collect();
                     send_cells.push((other, locals));
                 }
                 if let Some(globals) = cell_flows.get(&(other, r)) {
-                    let locals = globals
-                        .iter()
-                        .map(|g| self.ranks[r].cell_g2l[g])
-                        .collect();
+                    let locals = globals.iter().map(|g| self.ranks[r].cell_g2l[g]).collect();
                     recv_cells.push((other, locals));
                 }
                 if let Some(globals) = edge_flows.get(&(r, other)) {
-                    let locals = globals
-                        .iter()
-                        .map(|g| self.ranks[r].edge_g2l[g])
-                        .collect();
+                    let locals = globals.iter().map(|g| self.ranks[r].edge_g2l[g]).collect();
                     send_edges.push((other, locals));
                 }
                 if let Some(globals) = edge_flows.get(&(other, r)) {
-                    let locals = globals
-                        .iter()
-                        .map(|g| self.ranks[r].edge_g2l[g])
-                        .collect();
+                    let locals = globals.iter().map(|g| self.ranks[r].edge_g2l[g]).collect();
                     recv_edges.push((other, locals));
                 }
             }
@@ -375,7 +360,10 @@ mod tests {
         // Balance within 2%.
         let ideal = m.n_cells() as f64 / 4.0;
         for &c in &counts {
-            assert!((c as f64 / ideal - 1.0).abs() < 0.02, "imbalance: {counts:?}");
+            assert!(
+                (c as f64 / ideal - 1.0).abs() < 0.02,
+                "imbalance: {counts:?}"
+            );
         }
     }
 

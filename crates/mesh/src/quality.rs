@@ -25,15 +25,13 @@ pub struct MeshQuality {
 impl MeshQuality {
     /// Compute quality statistics for a mesh.
     pub fn of(mesh: &Mesh) -> MeshQuality {
-        let mean_area =
-            mesh.area_cell.iter().sum::<f64>() / mesh.n_cells() as f64;
+        let mean_area = mesh.area_cell.iter().sum::<f64>() / mesh.n_cells() as f64;
         let (mut amin, mut amax) = (f64::INFINITY, 0.0f64);
         for &a in &mesh.area_cell {
             amin = amin.min(a);
             amax = amax.max(a);
         }
-        let mean_dc =
-            mesh.dc_edge.iter().sum::<f64>() / mesh.n_edges() as f64;
+        let mean_dc = mesh.dc_edge.iter().sum::<f64>() / mesh.n_edges() as f64;
         let min_dv_dc = mesh
             .dv_edge
             .iter()

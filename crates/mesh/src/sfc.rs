@@ -91,7 +91,10 @@ mod tests {
                 .map(|c| (c.wrapping_mul(2654435761)) % parts as u32)
                 .collect::<Vec<_>>(),
         );
-        assert!(sfc < pseudo_random / 3, "sfc {sfc} vs random {pseudo_random}");
+        assert!(
+            sfc < pseudo_random / 3,
+            "sfc {sfc} vs random {pseudo_random}"
+        );
         assert!(
             (sfc as f64) < 2.5 * rcb as f64,
             "sfc cut {sfc} too far above rcb {rcb}"

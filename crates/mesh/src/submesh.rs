@@ -131,8 +131,7 @@ pub fn extract_local_mesh(global: &Mesh, local: &RankLocal) -> LocalMesh {
             let range = global.cell_range(g);
             for slot in range {
                 edges_on_cell.push(edge_g2l[&global.edges_on_cell[slot]]);
-                vertices_on_cell
-                    .push(vertex_g2l[&global.vertices_on_cell[slot]]);
+                vertices_on_cell.push(vertex_g2l[&global.vertices_on_cell[slot]]);
                 cells_on_cell.push(cell_g2l[&global.cells_on_cell[slot]]);
                 edge_sign_on_cell.push(global.edge_sign_on_cell[slot]);
             }
@@ -155,13 +154,18 @@ pub fn extract_local_mesh(global: &Mesh, local: &RankLocal) -> LocalMesh {
     }
 
     // ---- geometry copies -------------------------------------------------------
-    let gather_cells = |src: &Vec<f64>| -> Vec<f64> {
-        cell_l2g.iter().map(|&g| src[g as usize]).collect()
-    };
+    let gather_cells =
+        |src: &Vec<f64>| -> Vec<f64> { cell_l2g.iter().map(|&g| src[g as usize]).collect() };
     let mesh = Mesh {
         sphere_radius: global.sphere_radius,
-        x_cell: cell_l2g.iter().map(|&g| global.x_cell[g as usize]).collect(),
-        x_edge: edge_l2g.iter().map(|&g| global.x_edge[g as usize]).collect(),
+        x_cell: cell_l2g
+            .iter()
+            .map(|&g| global.x_cell[g as usize])
+            .collect(),
+        x_edge: edge_l2g
+            .iter()
+            .map(|&g| global.x_edge[g as usize])
+            .collect(),
         x_vertex: vertex_l2g
             .iter()
             .map(|&g| global.x_vertex[g as usize])
@@ -178,8 +182,14 @@ pub fn extract_local_mesh(global: &Mesh, local: &RankLocal) -> LocalMesh {
         eoe_offsets,
         edges_on_edge,
         weights_on_edge,
-        dc_edge: edge_l2g.iter().map(|&g| global.dc_edge[g as usize]).collect(),
-        dv_edge: edge_l2g.iter().map(|&g| global.dv_edge[g as usize]).collect(),
+        dc_edge: edge_l2g
+            .iter()
+            .map(|&g| global.dc_edge[g as usize])
+            .collect(),
+        dv_edge: edge_l2g
+            .iter()
+            .map(|&g| global.dv_edge[g as usize])
+            .collect(),
         area_cell: gather_cells(&global.area_cell),
         area_triangle: vertex_l2g
             .iter()

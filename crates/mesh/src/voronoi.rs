@@ -61,8 +61,7 @@ pub fn build_mesh_with_radius(grid: &IcosaGrid, sphere_radius: f64) -> Mesh {
 
     // ---- enumerate edges: one per Delaunay edge -----------------------------
     // Key: sorted cell pair. Value: edge id.
-    let mut edge_ids: HashMap<(u32, u32), EdgeId> =
-        HashMap::with_capacity(grid.n_edges());
+    let mut edge_ids: HashMap<(u32, u32), EdgeId> = HashMap::with_capacity(grid.n_edges());
     let mut cells_on_edge: Vec<[CellId; 2]> = Vec::with_capacity(grid.n_edges());
     // Adjacent triangles per edge, in discovery order.
     let mut tris_on_edge: Vec<[u32; 2]> = Vec::with_capacity(grid.n_edges());
@@ -109,7 +108,11 @@ pub fn build_mesh_with_radius(grid: &IcosaGrid, sphere_radius: f64) -> Mesh {
         let t = m.cross(n); // r̂ × n̂, unit by construction
         let [ta, tb] = tris_on_edge[e];
         let (va, vb) = (x_vertex[ta as usize], x_vertex[tb as usize]);
-        let pair = if (vb - va).dot(t) >= 0.0 { [ta, tb] } else { [tb, ta] };
+        let pair = if (vb - va).dot(t) >= 0.0 {
+            [ta, tb]
+        } else {
+            [tb, ta]
+        };
         x_edge.push(m);
         normal_edge.push(n);
         tangent_edge.push(t);
@@ -129,8 +132,11 @@ pub fn build_mesh_with_radius(grid: &IcosaGrid, sphere_radius: f64) -> Mesh {
             let e = edge_ids[&key];
             edges_on_vertex[v][k] = e;
             // +1 when +n̂ (c1->c2) runs CCW around v, i.e. from slot k to k+1.
-            edge_sign_on_vertex[v][k] =
-                if cells_on_edge[e as usize][0] == a { 1 } else { -1 };
+            edge_sign_on_vertex[v][k] = if cells_on_edge[e as usize][0] == a {
+                1
+            } else {
+                -1
+            };
         }
     }
 
@@ -184,8 +190,7 @@ pub fn build_mesh_with_radius(grid: &IcosaGrid, sphere_radius: f64) -> Mesh {
             let slot = range.start + k;
             let e = edges_on_cell[slot] as usize;
             let [c1, c2] = cells_on_edge[e];
-            let (neigh, sign) =
-                if c1 as usize == i { (c2, 1) } else { (c1, -1) };
+            let (neigh, sign) = if c1 as usize == i { (c2, 1) } else { (c1, -1) };
             cells_on_cell[slot] = neigh;
             edge_sign_on_cell[slot] = sign;
             // Vertex between edge k and edge k+1: shared vertex id.
@@ -195,7 +200,10 @@ pub fn build_mesh_with_radius(grid: &IcosaGrid, sphere_radius: f64) -> Mesh {
             let shared = if a1 == b1 || a1 == b2 {
                 a1
             } else {
-                debug_assert!(a2 == b1 || a2 == b2, "edges {e} and {e_next} share no vertex");
+                debug_assert!(
+                    a2 == b1 || a2 == b2,
+                    "edges {e} and {e_next} share no vertex"
+                );
                 a2
             };
             vertices_on_cell[slot] = shared;
@@ -206,15 +214,11 @@ pub fn build_mesh_with_radius(grid: &IcosaGrid, sphere_radius: f64) -> Mesh {
     let r2 = sphere_radius * sphere_radius;
     let dc_edge: Vec<f64> = cells_on_edge
         .iter()
-        .map(|&[a, b]| {
-            arc_length(grid.points[a as usize], grid.points[b as usize]) * sphere_radius
-        })
+        .map(|&[a, b]| arc_length(grid.points[a as usize], grid.points[b as usize]) * sphere_radius)
         .collect();
     let dv_edge: Vec<f64> = vertices_on_edge
         .iter()
-        .map(|&[a, b]| {
-            arc_length(x_vertex[a as usize], x_vertex[b as usize]) * sphere_radius
-        })
+        .map(|&[a, b]| arc_length(x_vertex[a as usize], x_vertex[b as usize]) * sphere_radius)
         .collect();
     let area_triangle: Vec<f64> = cells_on_vertex
         .iter()
@@ -233,7 +237,9 @@ pub fn build_mesh_with_radius(grid: &IcosaGrid, sphere_radius: f64) -> Mesh {
             ring.clear();
             let range = cell_offsets[i] as usize..cell_offsets[i + 1] as usize;
             ring.extend(
-                vertices_on_cell[range].iter().map(|&v| x_vertex[v as usize]),
+                vertices_on_cell[range]
+                    .iter()
+                    .map(|&v| x_vertex[v as usize]),
             );
             area_cell[i] = spherical_polygon_area(&ring) * r2;
         }
@@ -252,9 +258,8 @@ pub fn build_mesh_with_radius(grid: &IcosaGrid, sphere_radius: f64) -> Mesh {
             let e_b = edges_on_vertex[v][(k + 2) % 3] as usize; // joins k+2, k
             let (ma, mb) = (x_edge[e_a], x_edge[e_b]);
             let c = grid.points[cell];
-            kite_areas_on_vertex[v][k] = (spherical_triangle_area(c, ma, xv)
-                + spherical_triangle_area(c, xv, mb))
-                * r2;
+            kite_areas_on_vertex[v][k] =
+                (spherical_triangle_area(c, ma, xv) + spherical_triangle_area(c, xv, mb)) * r2;
         }
     }
 
@@ -264,9 +269,7 @@ pub fn build_mesh_with_radius(grid: &IcosaGrid, sphere_radius: f64) -> Mesh {
     let mut eoe_offsets = vec![0u32; n_edges + 1];
     for e in 0..n_edges {
         let [c1, c2] = cells_on_edge[e];
-        let deg = |c: CellId| {
-            (cell_offsets[c as usize + 1] - cell_offsets[c as usize]) as u32
-        };
+        let deg = |c: CellId| (cell_offsets[c as usize + 1] - cell_offsets[c as usize]) as u32;
         eoe_offsets[e + 1] = eoe_offsets[e] + (deg(c1) - 1) + (deg(c2) - 1);
     }
     let mut edges_on_edge = vec![0 as EdgeId; eoe_offsets[n_edges] as usize];
@@ -300,8 +303,7 @@ pub fn build_mesh_with_radius(grid: &IcosaGrid, sphere_radius: f64) -> Mesh {
                 let ep = local_edges[jj] as usize;
                 let o = local_signs[jj] as f64;
                 edges_on_edge[cursor] = ep as EdgeId;
-                weights_on_edge[cursor] =
-                    s_i * (0.5 - r_cum) * o * dv_edge[ep] / d_e;
+                weights_on_edge[cursor] = s_i * (0.5 - r_cum) * o * dv_edge[ep] / d_e;
                 cursor += 1;
             }
         }
@@ -450,9 +452,7 @@ mod tests {
         for v in 0..m.n_vertices() {
             for k in 0..3 {
                 let e = m.edges_on_vertex[v][k] as usize;
-                total += m.edge_sign_on_vertex[v][k] as f64
-                    * u[e]
-                    * m.dc_edge[e];
+                total += m.edge_sign_on_vertex[v][k] as f64 * u[e] * m.dc_edge[e];
             }
         }
         assert!(total.abs() < 1e-6 * 5.0 * m.n_edges() as f64);

@@ -36,7 +36,11 @@ impl RankCtx {
     /// like an eager-protocol MPI send).
     pub fn send(&self, to: usize, tag: u64, payload: Vec<f64>) {
         self.senders[to]
-            .send(Message { from: self.rank, tag, payload })
+            .send(Message {
+                from: self.rank,
+                tag,
+                payload,
+            })
             .expect("peer rank hung up");
     }
 

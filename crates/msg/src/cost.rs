@@ -17,7 +17,10 @@ pub struct CommCostModel {
 impl CommCostModel {
     /// FDR InfiniBand (56 Gb/s, ~1.5 µs MPI latency) — the paper's fabric.
     pub fn fdr_infiniband() -> Self {
-        CommCostModel { alpha: 1.5e-6, beta: 56.0e9 / 8.0 * 0.8 }
+        CommCostModel {
+            alpha: 1.5e-6,
+            beta: 56.0e9 / 8.0 * 0.8,
+        }
     }
 
     /// Time to move one message of `bytes`.

@@ -27,7 +27,10 @@ pub struct HaloExchanger {
 impl HaloExchanger {
     /// Wrap a rank's local view.
     pub fn new(local: RankLocal) -> Self {
-        HaloExchanger { local, generation: 0 }
+        HaloExchanger {
+            local,
+            generation: 0,
+        }
     }
 
     /// The wrapped local view.
@@ -49,8 +52,7 @@ impl HaloExchanger {
             FieldKind::Edge => (&self.local.send_edges, &self.local.recv_edges),
         };
         for (to, list) in sends {
-            let buf: Vec<f64> =
-                list.iter().map(|&l| field[l as usize]).collect();
+            let buf: Vec<f64> = list.iter().map(|&l| field[l as usize]).collect();
             ctx.send(*to, tag_base, buf);
         }
         for (from, list) in recvs {
@@ -88,14 +90,10 @@ impl HaloExchanger {
         neighbors.dedup();
         for &to in &neighbors {
             let mut buf = Vec::new();
-            if let Some((_, list)) =
-                self.local.send_cells.iter().find(|&&(r, _)| r == to)
-            {
+            if let Some((_, list)) = self.local.send_cells.iter().find(|&&(r, _)| r == to) {
                 buf.extend(list.iter().map(|&l| cell_field[l as usize]));
             }
-            if let Some((_, list)) =
-                self.local.send_edges.iter().find(|&&(r, _)| r == to)
-            {
+            if let Some((_, list)) = self.local.send_edges.iter().find(|&&(r, _)| r == to) {
                 buf.extend(list.iter().map(|&l| edge_field[l as usize]));
             }
             ctx.send(to, tag, buf);
@@ -112,17 +110,13 @@ impl HaloExchanger {
         for &from in &senders {
             let buf = ctx.recv(from, tag);
             let mut cursor = 0usize;
-            if let Some((_, list)) =
-                self.local.recv_cells.iter().find(|&&(r, _)| r == from)
-            {
+            if let Some((_, list)) = self.local.recv_cells.iter().find(|&&(r, _)| r == from) {
                 for &l in list {
                     cell_field[l as usize] = buf[cursor];
                     cursor += 1;
                 }
             }
-            if let Some((_, list)) =
-                self.local.recv_edges.iter().find(|&&(r, _)| r == from)
-            {
+            if let Some((_, list)) = self.local.recv_edges.iter().find(|&&(r, _)| r == from) {
                 for &l in list {
                     edge_field[l as usize] = buf[cursor];
                     cursor += 1;
@@ -235,8 +229,7 @@ mod tests {
             for round in 0..5 {
                 let owned = hx.local().n_owned_cells;
                 for l in 0..owned {
-                    field[l] =
-                        hx.local().cells[l] as f64 + 1000.0 * round as f64;
+                    field[l] = hx.local().cells[l] as f64 + 1000.0 * round as f64;
                 }
                 hx.exchange(&mut ctx, FieldKind::Cell, &mut field);
                 for (l, &g) in hx.local().cells.iter().enumerate() {

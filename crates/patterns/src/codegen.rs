@@ -90,8 +90,7 @@ pub fn generate_gather_fn(instance: &PatternInstance, accum_expr: &str) -> Strin
     writeln!(s, "    let off = range.start;").unwrap();
     writeln!(s, "    for {} in range {{", shape.out_var).unwrap();
     if shape.inner.is_empty() {
-        writeln!(s, "        out[{} - off] = {};", shape.out_var, accum_expr)
-            .unwrap();
+        writeln!(s, "        out[{} - off] = {};", shape.out_var, accum_expr).unwrap();
     } else {
         writeln!(s, "        let mut acc = 0.0;").unwrap();
         s.push_str(shape.inner);
@@ -172,14 +171,10 @@ mod tests {
         let module = generate_stencil_module();
         for inst in table_i() {
             if inst.class == PatternClass::Local {
-                assert!(!module
-                    .contains(&format!("pattern_{}(", inst.name.to_lowercase())));
+                assert!(!module.contains(&format!("pattern_{}(", inst.name.to_lowercase())));
             } else {
                 assert!(
-                    module.contains(&format!(
-                        "pub fn pattern_{}(",
-                        inst.name.to_lowercase()
-                    )),
+                    module.contains(&format!("pub fn pattern_{}(", inst.name.to_lowercase())),
                     "{} missing",
                     inst.name
                 );

@@ -79,7 +79,11 @@ impl MeshCounts {
     /// (edges ~3x, vertices ~2x by Euler's formula).
     pub fn icosahedral(n_cells: usize) -> Self {
         let c = n_cells as f64;
-        MeshCounts { n_cells: c, n_edges: 3.0 * (c - 2.0), n_vertices: 2.0 * (c - 2.0) }
+        MeshCounts {
+            n_cells: c,
+            n_edges: 3.0 * (c - 2.0),
+            n_vertices: 2.0 * (c - 2.0),
+        }
     }
 
     fn at(&self, loc: MeshLocation) -> f64 {
@@ -118,8 +122,7 @@ impl PatternInstance {
         let width = self.class.stencil_width();
         let nin = self.inputs.len() as f64;
         let flops = out * (2.0 * width * nin.max(1.0) + 4.0);
-        let bytes =
-            TRAFFIC_FACTOR * out * (8.0 + width * (8.0 * nin.max(1.0) + 4.0));
+        let bytes = TRAFFIC_FACTOR * out * (8.0 + width * (8.0 * nin.max(1.0) + 4.0));
         Work { flops, bytes }
     }
 }
@@ -157,18 +160,48 @@ pub fn table_i() -> Vec<PatternInstance> {
             &[PvEdge, ProvisU, HEdge, Ke, ProvisH],
             &[TendU],
         ),
-        inst("C1", P::C, ComputeTend, &[Divergence, Vorticity, TendU], &[TendU]),
+        inst(
+            "C1",
+            P::C,
+            ComputeTend,
+            &[Divergence, Vorticity, TendU],
+            &[TendU],
+        ),
         // -- enforce_boundary_edge
         inst("X1", P::Local, EnforceBoundaryEdge, &[TendU], &[TendU]),
         // -- compute_next_substep_state
-        inst("X2", P::Local, ComputeNextSubstepState, &[H, TendH], &[ProvisH]),
-        inst("X3", P::Local, ComputeNextSubstepState, &[U, TendU], &[ProvisU]),
+        inst(
+            "X2",
+            P::Local,
+            ComputeNextSubstepState,
+            &[H, TendH],
+            &[ProvisH],
+        ),
+        inst(
+            "X3",
+            P::Local,
+            ComputeNextSubstepState,
+            &[U, TendU],
+            &[ProvisU],
+        ),
         // -- accumulative_update (depends only on tendencies!)
         inst("X4", P::Local, AccumulativeUpdate, &[H, TendH], &[H]),
         inst("X5", P::Local, AccumulativeUpdate, &[U, TendU], &[U]),
         // -- compute_solve_diagnostics (on the provisional state)
-        inst("D1", P::D, ComputeSolveDiagnostics, &[ProvisH], &[D2fdx2Cell1]),
-        inst("D2", P::D, ComputeSolveDiagnostics, &[ProvisH], &[D2fdx2Cell2]),
+        inst(
+            "D1",
+            P::D,
+            ComputeSolveDiagnostics,
+            &[ProvisH],
+            &[D2fdx2Cell1],
+        ),
+        inst(
+            "D2",
+            P::D,
+            ComputeSolveDiagnostics,
+            &[ProvisH],
+            &[D2fdx2Cell2],
+        ),
         inst(
             "H2",
             P::H,
@@ -176,16 +209,40 @@ pub fn table_i() -> Vec<PatternInstance> {
             &[ProvisH, D2fdx2Cell1, D2fdx2Cell2],
             &[HEdge],
         ),
-        inst("C2", P::C, ComputeSolveDiagnostics, &[ProvisU], &[Vorticity]),
+        inst(
+            "C2",
+            P::C,
+            ComputeSolveDiagnostics,
+            &[ProvisU],
+            &[Vorticity],
+        ),
         inst("A2", P::A, ComputeSolveDiagnostics, &[ProvisU], &[Ke]),
-        inst("B2", P::B, ComputeSolveDiagnostics, &[ProvisU], &[Divergence]),
+        inst(
+            "B2",
+            P::B,
+            ComputeSolveDiagnostics,
+            &[ProvisU],
+            &[Divergence],
+        ),
         inst("H1", P::H, ComputeSolveDiagnostics, &[ProvisU], &[V]),
         // Cell vorticity is kite-interpolated from the vertex vorticity;
         // the paper's Table I lists `provis_u` as the input because the
         // vertex vorticity is itself diagnosed from it — we surface the
         // intermediate dependency explicitly.
-        inst("A3", P::A, ComputeSolveDiagnostics, &[Vorticity], &[VorticityCell]),
-        inst("E", P::E, ComputeSolveDiagnostics, &[ProvisH, Vorticity], &[PvVertex]),
+        inst(
+            "A3",
+            P::A,
+            ComputeSolveDiagnostics,
+            &[Vorticity],
+            &[VorticityCell],
+        ),
+        inst(
+            "E",
+            P::E,
+            ComputeSolveDiagnostics,
+            &[ProvisH, Vorticity],
+            &[PvVertex],
+        ),
         inst("F", P::F, ComputeSolveDiagnostics, &[PvVertex], &[PvCell]),
         inst(
             "G",
@@ -227,21 +284,22 @@ impl DataflowGraph {
             names
                 .iter()
                 .map(|n| {
-                    all.iter().find(|p| p.name == *n).cloned().unwrap_or_else(
-                        || panic!("unknown pattern instance {n}"),
-                    )
+                    all.iter()
+                        .find(|p| p.name == *n)
+                        .cloned()
+                        .unwrap_or_else(|| panic!("unknown pattern instance {n}"))
                 })
                 .collect()
         };
         let nodes = match phase {
             RkPhase::Intermediate => pick(&[
-                "A1", "B1", "C1", "X1", "X2", "X3", "X4", "X5", "D1", "D2",
-                "H2", "C2", "A2", "B2", "H1", "A3", "E", "F", "G",
+                "A1", "B1", "C1", "X1", "X2", "X3", "X4", "X5", "D1", "D2", "H2", "C2", "A2", "B2",
+                "H1", "A3", "E", "F", "G",
             ]),
             RkPhase::Final => {
                 let mut nodes = pick(&[
-                    "A1", "B1", "C1", "X1", "X4", "X5", "D1", "D2", "H2",
-                    "C2", "A2", "B2", "H1", "A3", "E", "F", "G", "A4", "X6",
+                    "A1", "B1", "C1", "X1", "X4", "X5", "D1", "D2", "H2", "C2", "A2", "B2", "H1",
+                    "A3", "E", "F", "G", "A4", "X6",
                 ]);
                 // In the final substep the diagnostics (and reconstruction)
                 // run on the freshly accumulated state, not the provisional
@@ -295,7 +353,12 @@ impl DataflowGraph {
                 succs[p].push(id);
             }
         }
-        DataflowGraph { phase, nodes, preds, succs }
+        DataflowGraph {
+            phase,
+            nodes,
+            preds,
+            succs,
+        }
     }
 
     /// Number of nodes.
@@ -335,10 +398,7 @@ impl DataflowGraph {
 
     /// Critical-path length under a per-node cost function, plus the total
     /// (serial) cost. Their ratio bounds the achievable parallel speedup.
-    pub fn critical_path<Fc: Fn(&PatternInstance) -> f64>(
-        &self,
-        cost: Fc,
-    ) -> (f64, f64) {
+    pub fn critical_path<Fc: Fn(&PatternInstance) -> f64>(&self, cost: Fc) -> (f64, f64) {
         let mut finish = vec![0.0f64; self.len()];
         let mut total = 0.0;
         for id in 0..self.len() {
@@ -409,7 +469,9 @@ mod tests {
         let g = DataflowGraph::for_substep(RkPhase::Intermediate);
         let x4 = g.node("X4").unwrap();
         let x5 = g.node("X5").unwrap();
-        for diag in ["D1", "D2", "H2", "C2", "A2", "B2", "A3", "E", "F", "H1", "G"] {
+        for diag in [
+            "D1", "D2", "H2", "C2", "A2", "B2", "A3", "E", "F", "H1", "G",
+        ] {
             let d = g.node(diag).unwrap();
             assert!(!g.preds[x4].contains(&d));
             assert!(!g.preds[x5].contains(&d));

@@ -36,9 +36,12 @@ pub fn to_dot(graph: &DataflowGraph) -> String {
         writeln!(s, "    label=\"{}\";", kernel_label(k)).unwrap();
         for (id, n) in graph.nodes.iter().enumerate() {
             if n.kernel == k {
-                let shape = if n.name.starts_with('X') { "box" } else { "circle" };
-                writeln!(s, "    n{id} [label=\"{}\", shape={shape}];", n.name)
-                    .unwrap();
+                let shape = if n.name.starts_with('X') {
+                    "box"
+                } else {
+                    "circle"
+                };
+                writeln!(s, "    n{id} [label=\"{}\", shape={shape}];", n.name).unwrap();
             }
         }
         writeln!(s, "  }}").unwrap();
@@ -50,8 +53,7 @@ pub fn to_dot(graph: &DataflowGraph) -> String {
                 .outputs
                 .iter()
                 .filter(|v| {
-                    graph.nodes[id].inputs.contains(v)
-                        || graph.nodes[id].outputs.contains(v)
+                    graph.nodes[id].inputs.contains(v) || graph.nodes[id].outputs.contains(v)
                 })
                 .map(|v| format!("{v:?}"))
                 .collect();
@@ -72,8 +74,7 @@ pub fn to_dot(graph: &DataflowGraph) -> String {
 pub fn concurrency_report(graph: &DataflowGraph) -> String {
     let mut s = String::new();
     for (l, nodes) in graph.topo_levels().iter().enumerate() {
-        let names: Vec<&str> =
-            nodes.iter().map(|&n| graph.nodes[n].name).collect();
+        let names: Vec<&str> = nodes.iter().map(|&n| graph.nodes[n].name).collect();
         writeln!(s, "level {l}: {}", names.join(" ")).unwrap();
     }
     s
@@ -118,10 +119,7 @@ mod tests {
         let g = DataflowGraph::for_substep(RkPhase::Intermediate);
         let rep = concurrency_report(&g);
         for n in &g.nodes {
-            let count = rep
-                .split_whitespace()
-                .filter(|w| *w == n.name)
-                .count();
+            let count = rep.split_whitespace().filter(|w| *w == n.name).count();
             assert_eq!(count, 1, "{} appears {count} times", n.name);
         }
         // The diagnostics fan-out makes at least one wide level.

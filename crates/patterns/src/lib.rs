@@ -26,9 +26,9 @@ pub mod pattern;
 pub mod profile;
 pub mod reduction;
 
-pub use dataflow::{DataflowGraph, Kernel, NodeId, PatternInstance, RkPhase};
 pub use codegen::{generate_gather_fn, generate_stencil_module};
+pub use dataflow::{DataflowGraph, Kernel, NodeId, PatternInstance, RkPhase};
 pub use export::{concurrency_report, to_dot};
-pub use profile::{kernel_profile, pattern_profile};
 pub use pattern::{MeshLocation, PatternClass, Variable};
+pub use profile::{kernel_profile, pattern_profile};
 pub use reduction::{EdgeCellReduction, LabelMatrix};

@@ -129,15 +129,14 @@ impl Variable {
     pub fn location(self) -> MeshLocation {
         use Variable::*;
         match self {
-            H | ProvisH | TendH | Ke | VorticityCell | Divergence | PvCell
-            | URecX | URecY | URecZ | URecZonal | URecMeridional => {
-                MeshLocation::Cell
-            }
+            H | ProvisH | TendH | Ke | VorticityCell | Divergence | PvCell | URecX | URecY
+            | URecZ | URecZonal | URecMeridional => MeshLocation::Cell,
             // The second-derivative blend terms are stored per edge (one
             // value for each of the edge's two cells), as in the MPAS
             // `deriv_two` machinery.
-            U | ProvisU | TendU | HEdge | PvEdge | V | D2fdx2Cell1
-            | D2fdx2Cell2 => MeshLocation::Edge,
+            U | ProvisU | TendU | HEdge | PvEdge | V | D2fdx2Cell1 | D2fdx2Cell2 => {
+                MeshLocation::Edge
+            }
             Vorticity | PvVertex => MeshLocation::Vertex,
         }
     }

@@ -48,8 +48,7 @@ pub fn kernel_profile(phase: RkPhase, mc: &MeshCounts) -> Vec<KernelProfile> {
     let mut out: Vec<KernelProfile> = order
         .into_iter()
         .map(|kernel| {
-            let nodes: Vec<_> =
-                g.nodes.iter().filter(|n| n.kernel == kernel).collect();
+            let nodes: Vec<_> = g.nodes.iter().filter(|n| n.kernel == kernel).collect();
             let bytes: f64 = nodes.iter().map(|n| n.work(mc).bytes).sum();
             let flops: f64 = nodes.iter().map(|n| n.work(mc).flops).sum();
             KernelProfile {
@@ -129,8 +128,7 @@ mod tests {
         // Shares shift only through the (tiny) "+2 cells" Euler correction
         // in the edge/vertex counts.
         let small = pattern_profile(RkPhase::Final, &MeshCounts::icosahedral(40_962));
-        let large =
-            pattern_profile(RkPhase::Final, &MeshCounts::icosahedral(2_621_442));
+        let large = pattern_profile(RkPhase::Final, &MeshCounts::icosahedral(2_621_442));
         for a in &small {
             let b = large.iter().find(|p| p.name == a.name).unwrap();
             assert!(

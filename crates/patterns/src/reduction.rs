@@ -90,7 +90,12 @@ impl LabelMatrix {
                 edges[i * width + j] = e;
             }
         }
-        LabelMatrix { n_cells, width, labels, edges }
+        LabelMatrix {
+            n_cells,
+            width,
+            labels,
+            edges,
+        }
     }
 
     /// Algorithm 4: branch-free fixed-width gather. `y` is overwritten.
@@ -132,7 +137,9 @@ mod tests {
     }
 
     fn test_field(n: usize) -> Vec<f64> {
-        (0..n).map(|e| (e as f64 * 0.37).sin() * 3.0 + 0.1).collect()
+        (0..n)
+            .map(|e| (e as f64 * 0.37).sin() * 3.0 + 0.1)
+            .collect()
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! The task-DAG view the scheduling policies consume.
+//!
+//! [`TaskDag`] is extracted from a [`DataflowGraph`] for a concrete mesh
+//! size and platform: every node carries its per-device execution cost, its
+//! output bytes (what a cross-device consumer must move), and whether the
+//! pattern-driven policy may split it across devices. Policies therefore
+//! never re-derive costs — swap the [`CostModel`] at extraction time and
+//! every registered policy schedules against the new coefficients.
+
+use crate::platform::{DeviceSpec, Platform};
+use mpas_patterns::dataflow::{DataflowGraph, Kernel, MeshCounts, PatternInstance};
+use mpas_patterns::pattern::{PatternClass, Variable};
+use std::collections::HashMap;
+
+/// Device index of the host CPU in cost arrays and timelines.
+pub const DEV_CPU: usize = 0;
+/// Device index of the accelerator in cost arrays and timelines.
+pub const DEV_ACC: usize = 1;
+
+/// Share of substep bytes above which a node is "adjustable" (splittable).
+pub const DEFAULT_SPLIT_THRESHOLD: f64 = 0.08;
+
+/// Maps a pattern instance to an execution time on a device.
+///
+/// The default [`RooflineCost`] evaluates the Table-II roofline; a
+/// [`CalibratedCost`] rescales it with per-pattern coefficients fitted from
+/// measured executor timings (see `mpas_hybrid::calibrate`).
+pub trait CostModel {
+    /// Execution time of `node` run entirely on `dev`, seconds.
+    fn node_cost(&self, node: &PatternInstance, mc: &MeshCounts, dev: &DeviceSpec) -> f64;
+}
+
+/// The pure Table-II roofline model: `max(flops/F, bytes/B) + launch`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RooflineCost;
+
+impl CostModel for RooflineCost {
+    fn node_cost(&self, node: &PatternInstance, mc: &MeshCounts, dev: &DeviceSpec) -> f64 {
+        dev.node_time(node.work(mc))
+    }
+}
+
+/// Roofline costs rescaled by measured per-pattern throughput coefficients.
+///
+/// A coefficient of `c` for pattern `"B1"` means the measured executor ran
+/// `c`× slower (c > 1) or faster (c < 1) than the roofline predicted on the
+/// reference device; unmeasured patterns fall back to the plain roofline.
+#[derive(Debug, Clone, Default)]
+pub struct CalibratedCost {
+    /// Per-pattern `measured / predicted` time ratios, keyed by Table-I name.
+    pub coeffs: HashMap<String, f64>,
+}
+
+impl CalibratedCost {
+    /// Build from per-pattern coefficients.
+    pub fn new(coeffs: HashMap<String, f64>) -> Self {
+        CalibratedCost { coeffs }
+    }
+}
+
+impl CostModel for CalibratedCost {
+    fn node_cost(&self, node: &PatternInstance, mc: &MeshCounts, dev: &DeviceSpec) -> f64 {
+        let c = self.coeffs.get(node.name).copied().unwrap_or(1.0);
+        c * dev.node_time(node.work(mc))
+    }
+}
+
+/// Options applied while extracting a [`TaskDag`].
+#[derive(Debug, Clone, Copy)]
+pub struct DagOptions {
+    /// Fraction of substep bytes above which a non-local pattern may split.
+    pub split_threshold: f64,
+}
+
+impl Default for DagOptions {
+    fn default() -> Self {
+        DagOptions {
+            split_threshold: DEFAULT_SPLIT_THRESHOLD,
+        }
+    }
+}
+
+/// One schedulable task: a pattern instance annotated with everything a
+/// policy needs to place it.
+#[derive(Debug, Clone)]
+pub struct TaskNode {
+    /// Table-I pattern-instance label.
+    pub name: &'static str,
+    /// Algorithm-1 kernel the instance belongs to (kernel-level policy).
+    pub kernel: Kernel,
+    /// Stencil class (Fig. 3 letter).
+    pub class: PatternClass,
+    /// Execution time on `[cpu, acc]`, seconds, including launch overhead.
+    pub cost: [f64; 2],
+    /// Execution time on the single-core reference CPU, seconds.
+    pub serial_cost: f64,
+    /// Total bytes of the written fields (cross-device transfer size).
+    pub out_bytes: f64,
+    /// Model memory traffic of the node, bytes (splittability share).
+    pub work_bytes: f64,
+    /// Whether the pattern-driven policy may split this node across devices.
+    pub splittable: bool,
+    /// Variables read.
+    pub inputs: Vec<Variable>,
+    /// Variables written.
+    pub outputs: Vec<Variable>,
+}
+
+/// A scheduling-ready task DAG for one RK substep at one mesh size.
+#[derive(Debug, Clone)]
+pub struct TaskDag {
+    /// Tasks in Algorithm-1 program order (node id = index).
+    pub nodes: Vec<TaskNode>,
+    /// `preds[n]` = nodes that must complete before `n` starts.
+    pub preds: Vec<Vec<usize>>,
+    /// `succs[n]` = nodes unlocked by `n`.
+    pub succs: Vec<Vec<usize>>,
+    /// Bytes of one field of each variable touched by the graph.
+    pub var_bytes: HashMap<Variable, f64>,
+}
+
+/// Bytes of one field of a variable at the given mesh size.
+pub fn variable_bytes(v: Variable, mc: &MeshCounts) -> f64 {
+    use mpas_patterns::pattern::MeshLocation::*;
+    8.0 * match v.location() {
+        Cell => mc.n_cells,
+        Edge => mc.n_edges,
+        Vertex => mc.n_vertices,
+    }
+}
+
+impl TaskDag {
+    /// Extract the scheduling view with the roofline cost model and the
+    /// default split threshold.
+    pub fn from_dataflow(graph: &DataflowGraph, mc: &MeshCounts, platform: &Platform) -> Self {
+        Self::from_dataflow_with(graph, mc, platform, &RooflineCost, DagOptions::default())
+    }
+
+    /// Extract the scheduling view under an explicit cost model and options.
+    pub fn from_dataflow_with(
+        graph: &DataflowGraph,
+        mc: &MeshCounts,
+        platform: &Platform,
+        cost: &dyn CostModel,
+        opts: DagOptions,
+    ) -> Self {
+        let serial_core = DeviceSpec::cpu_single_core();
+        let total_bytes: f64 = graph.nodes.iter().map(|n| n.work(mc).bytes).sum();
+        let mut var_bytes = HashMap::new();
+        let nodes = graph
+            .nodes
+            .iter()
+            .map(|n| {
+                for &v in n.inputs.iter().chain(&n.outputs) {
+                    var_bytes.entry(v).or_insert_with(|| variable_bytes(v, mc));
+                }
+                let work_bytes = n.work(mc).bytes;
+                TaskNode {
+                    name: n.name,
+                    kernel: n.kernel,
+                    class: n.class,
+                    cost: [
+                        cost.node_cost(n, mc, &platform.cpu),
+                        cost.node_cost(n, mc, &platform.acc),
+                    ],
+                    serial_cost: cost.node_cost(n, mc, &serial_core),
+                    out_bytes: n.outputs.iter().map(|&v| variable_bytes(v, mc)).sum(),
+                    work_bytes,
+                    splittable: work_bytes / total_bytes > opts.split_threshold
+                        && n.class != PatternClass::Local,
+                    inputs: n.inputs.clone(),
+                    outputs: n.outputs.clone(),
+                }
+            })
+            .collect();
+        TaskDag {
+            nodes,
+            preds: graph.preds.clone(),
+            succs: graph.succs.clone(),
+            var_bytes,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the DAG has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Mean (over the two devices) execution cost of each node — the `w̄`
+    /// of the HEFT/CPOP literature.
+    pub fn mean_costs(&self) -> Vec<f64> {
+        self.nodes
+            .iter()
+            .map(|n| (n.cost[0] + n.cost[1]) / 2.0)
+            .collect()
+    }
+
+    /// Mean communication cost charged to edge `producer → consumer`: the
+    /// producer's output transfer halved (two devices — same-device
+    /// placement, which costs nothing, happens half the time).
+    pub fn mean_edge_comm(&self, producer: usize, platform: &Platform) -> f64 {
+        0.5 * platform.link.time(self.nodes[producer].out_bytes)
+    }
+
+    /// Upward ranks: `rank_u(i) = w̄_i + max_{j ∈ succ(i)} (c̄_ij + rank_u(j))`.
+    /// Scheduling in decreasing `rank_u` order is a topological order.
+    pub fn upward_ranks(&self, platform: &Platform) -> Vec<f64> {
+        let w = self.mean_costs();
+        let mut rank = vec![0.0f64; self.len()];
+        for i in (0..self.len()).rev() {
+            let tail = self.succs[i]
+                .iter()
+                .map(|&j| self.mean_edge_comm(i, platform) + rank[j])
+                .fold(0.0f64, f64::max);
+            rank[i] = w[i] + tail;
+        }
+        rank
+    }
+
+    /// Downward ranks: `rank_d(i) = max_{p ∈ pred(i)} (rank_d(p) + w̄_p + c̄_pi)`.
+    pub fn downward_ranks(&self, platform: &Platform) -> Vec<f64> {
+        let w = self.mean_costs();
+        let mut rank = vec![0.0f64; self.len()];
+        for i in 0..self.len() {
+            rank[i] = self.preds[i]
+                .iter()
+                .map(|&p| rank[p] + w[p] + self.mean_edge_comm(p, platform))
+                .fold(0.0f64, f64::max);
+        }
+        rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpas_patterns::dataflow::RkPhase;
+
+    fn dag() -> (TaskDag, Platform) {
+        let p = Platform::paper_node();
+        let g = DataflowGraph::for_substep(RkPhase::Intermediate);
+        let mc = MeshCounts::icosahedral(655_362);
+        (TaskDag::from_dataflow(&g, &mc, &p), p)
+    }
+
+    #[test]
+    fn costs_match_the_roofline_model() {
+        let p = Platform::paper_node();
+        let g = DataflowGraph::for_substep(RkPhase::Intermediate);
+        let mc = MeshCounts::icosahedral(655_362);
+        let dag = TaskDag::from_dataflow(&g, &mc, &p);
+        for (t, n) in dag.nodes.iter().zip(&g.nodes) {
+            assert_eq!(t.cost[DEV_CPU], p.cpu.node_time(n.work(&mc)));
+            assert_eq!(t.cost[DEV_ACC], p.acc.node_time(n.work(&mc)));
+            assert_eq!(
+                t.serial_cost,
+                DeviceSpec::cpu_single_core().node_time(n.work(&mc))
+            );
+        }
+    }
+
+    #[test]
+    fn splittability_follows_threshold_and_class() {
+        let (dag, _) = dag();
+        let b1 = dag.nodes.iter().find(|n| n.name == "B1").unwrap();
+        assert!(b1.splittable, "the heaviest pattern must be adjustable");
+        for n in &dag.nodes {
+            if n.class == PatternClass::Local {
+                assert!(!n.splittable, "{} is local", n.name);
+            }
+        }
+        // Threshold above every share disables splitting entirely.
+        let p = Platform::paper_node();
+        let g = DataflowGraph::for_substep(RkPhase::Intermediate);
+        let mc = MeshCounts::icosahedral(655_362);
+        let none = TaskDag::from_dataflow_with(
+            &g,
+            &mc,
+            &p,
+            &RooflineCost,
+            DagOptions {
+                split_threshold: 1.1,
+            },
+        );
+        assert!(none.nodes.iter().all(|n| !n.splittable));
+    }
+
+    #[test]
+    fn upward_ranks_decrease_along_edges() {
+        let (dag, p) = dag();
+        let r = dag.upward_ranks(&p);
+        for i in 0..dag.len() {
+            for &j in &dag.succs[i] {
+                assert!(r[i] > r[j], "rank must strictly decrease along edges");
+            }
+        }
+    }
+
+    #[test]
+    fn downward_ranks_increase_along_edges() {
+        let (dag, p) = dag();
+        let r = dag.downward_ranks(&p);
+        for i in 0..dag.len() {
+            for &j in &dag.succs[i] {
+                assert!(r[j] > r[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn calibrated_cost_rescales_only_named_patterns() {
+        let p = Platform::paper_node();
+        let g = DataflowGraph::for_substep(RkPhase::Intermediate);
+        let mc = MeshCounts::icosahedral(40_962);
+        let mut coeffs = HashMap::new();
+        coeffs.insert("B1".to_string(), 2.0);
+        let cal = CalibratedCost::new(coeffs);
+        let plain = TaskDag::from_dataflow(&g, &mc, &p);
+        let scaled = TaskDag::from_dataflow_with(&g, &mc, &p, &cal, DagOptions::default());
+        for (a, b) in plain.nodes.iter().zip(&scaled.nodes) {
+            if a.name == "B1" {
+                assert!((b.cost[0] / a.cost[0] - 2.0).abs() < 1e-12);
+            } else {
+                assert_eq!(a.cost, b.cost);
+            }
+        }
+    }
+}

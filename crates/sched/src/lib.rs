@@ -1,0 +1,63 @@
+//! # mpas-sched — pluggable DAG scheduling policies for the hybrid node
+//!
+//! This crate turns the paper's closed set of scheduling strategies into an
+//! open subsystem: the Table-I pattern instances of one RK substep are
+//! extracted into a [`TaskDag`] (per-device costs, output bytes,
+//! splittability), and any [`SchedulerPolicy`] maps that DAG onto the
+//! two-device [`Platform`] producing a [`Schedule`] with makespan, per-node
+//! placements, and busy times. The paper's own policies (serial,
+//! kernel-level offload of Fig. 2, pattern-driven EFT-with-splits of
+//! Fig. 4 (b)) live in [`paper`]; the classic heterogeneous list schedulers
+//! (HEFT, CPOP, depth-bounded lookahead, parameterized dynamic-list) live
+//! in [`list`]. All policies share one device/transfer/residency model, so
+//! their makespans are directly comparable.
+//!
+//! ## Policy-name grammar
+//!
+//! Policies are resolved from strings by [`resolve`]:
+//!
+//! ```text
+//! spec   := name | name "[" param ("," param)* "]"
+//! param  := key "=" value
+//! ```
+//!
+//! Registered names and their parameters:
+//!
+//! | name | parameters |
+//! |------|------------|
+//! | `serial` | — |
+//! | `cpu-only` | — |
+//! | `acc-only` | — |
+//! | `kernel-level` | — |
+//! | `pattern-driven` | `overlap=true\|false` (default `false`) |
+//! | `heft` | — |
+//! | `cpop` | — |
+//! | `lookahead` | `depth=N` (default `2`, N ≥ 1) |
+//! | `dynamic-list` | `task=comp\|rank\|bytes\|order` (default `rank`), `resource=eft\|fastest\|balanced` (default `eft`) |
+//!
+//! Examples: `lookahead[depth=4]`, `dynamic-list[task=comp,resource=eft]`.
+//!
+//! ## Cost calibration
+//!
+//! [`TaskDag::from_dataflow_with`] accepts any [`CostModel`]. The default
+//! [`RooflineCost`] evaluates the Table-II roofline; a [`CalibratedCost`]
+//! rescales it with per-pattern `measured / predicted` coefficients fitted
+//! by timing the real host executors (`mpas_hybrid::calibrate`), replacing
+//! pure paper constants with measurements from the machine at hand.
+
+pub mod dag;
+pub mod list;
+pub mod paper;
+pub mod platform;
+pub mod policy;
+pub mod schedule;
+
+pub use dag::{
+    CalibratedCost, CostModel, DagOptions, RooflineCost, TaskDag, TaskNode,
+    DEFAULT_SPLIT_THRESHOLD, DEV_ACC, DEV_CPU,
+};
+pub use list::{Cpop, DynamicList, Heft, Lookahead, ResourceCriterion, TaskCriterion};
+pub use paper::{AccOnly, CpuOnly, KernelLevel, PatternDriven, Serial};
+pub use platform::{DeviceSpec, Platform, TransferLink};
+pub use policy::{registered, registered_names, resolve, SchedulerPolicy};
+pub use schedule::{Candidate, ListState, NodeSchedule, Placement, Residency, Schedule};

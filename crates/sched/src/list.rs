@@ -1,0 +1,308 @@
+//! Classic DAG list schedulers over the [`TaskDag`] view: HEFT, CPOP, a
+//! depth-bounded lookahead variant of HEFT, and a parameterized
+//! dynamic-list scheduler in the dslab style.
+//!
+//! All of them share the [`ListState`] machinery: insertion-based EFT on
+//! per-device timelines, a serialized transfer link, and residency-aware
+//! staging transfers — the same device model the paper's policies use, so
+//! makespans are directly comparable.
+
+use crate::dag::{TaskDag, DEV_ACC, DEV_CPU};
+use crate::platform::Platform;
+use crate::policy::SchedulerPolicy;
+use crate::schedule::{ListState, Schedule};
+
+/// Order node ids by decreasing key, breaking ties by program order
+/// (stable, deterministic).
+fn order_by_desc(keys: &[f64]) -> Vec<usize> {
+    let mut ids: Vec<usize> = (0..keys.len()).collect();
+    ids.sort_by(|&a, &b| keys[b].partial_cmp(&keys[a]).unwrap().then(a.cmp(&b)));
+    ids
+}
+
+/// Heterogeneous Earliest Finish Time (Topcuoglu et al. 2002): schedule in
+/// decreasing upward-rank order, placing each task on the device that
+/// finishes it earliest with insertion-based gap filling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Heft;
+
+impl SchedulerPolicy for Heft {
+    fn name(&self) -> String {
+        "heft".into()
+    }
+
+    fn schedule(&self, dag: &TaskDag, platform: &Platform) -> Schedule {
+        let ranks = dag.upward_ranks(platform);
+        let mut state = ListState::new(dag, platform);
+        for id in order_by_desc(&ranks) {
+            let c_cpu = state.eft(id, DEV_CPU);
+            let c_acc = state.eft(id, DEV_ACC);
+            let best = if c_cpu.finish <= c_acc.finish {
+                c_cpu
+            } else {
+                c_acc
+            };
+            state.commit(id, best);
+        }
+        state.into_schedule()
+    }
+}
+
+/// Critical Path On Processor (Topcuoglu et al. 2002): tasks on the
+/// critical path (maximal `rank_u + rank_d`) are pinned to the single
+/// device that executes the whole path fastest; everything else is placed
+/// by EFT, in decreasing `rank_u + rank_d` priority.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cpop;
+
+impl SchedulerPolicy for Cpop {
+    fn name(&self) -> String {
+        "cpop".into()
+    }
+
+    fn schedule(&self, dag: &TaskDag, platform: &Platform) -> Schedule {
+        let up = dag.upward_ranks(platform);
+        let down = dag.downward_ranks(platform);
+        let prio: Vec<f64> = up.iter().zip(&down).map(|(u, d)| u + d).collect();
+        let cp_len = prio.iter().copied().fold(0.0f64, f64::max);
+        let on_cp: Vec<bool> = prio
+            .iter()
+            .map(|&p| (cp_len - p).abs() <= 1e-12 * cp_len.max(1.0))
+            .collect();
+        // Pin the critical path to the device that runs its sum fastest.
+        let cp_cost = |dev: usize| -> f64 {
+            dag.nodes
+                .iter()
+                .zip(&on_cp)
+                .filter(|(_, &cp)| cp)
+                .map(|(n, _)| n.cost[dev])
+                .sum()
+        };
+        let cp_dev = if cp_cost(DEV_CPU) <= cp_cost(DEV_ACC) {
+            DEV_CPU
+        } else {
+            DEV_ACC
+        };
+
+        // Priority order is the longest path *through* each node, which is
+        // not topological (a join node can outrank one of its parents), so
+        // CPOP schedules the highest-priority node of the *ready set*.
+        let mut state = ListState::new(dag, platform);
+        let mut unplaced_preds: Vec<usize> = dag.preds.iter().map(Vec::len).collect();
+        let mut ready: Vec<usize> = (0..dag.len()).filter(|&i| unplaced_preds[i] == 0).collect();
+        let mut done = 0usize;
+        while done < dag.len() {
+            let (pos, &id) = ready
+                .iter()
+                .enumerate()
+                .max_by(|(_, &a), (_, &b)| prio[a].partial_cmp(&prio[b]).unwrap().then(b.cmp(&a)))
+                .expect("acyclic DAG always has a ready task");
+            ready.swap_remove(pos);
+            let best = if on_cp[id] {
+                state.eft(id, cp_dev)
+            } else {
+                let c_cpu = state.eft(id, DEV_CPU);
+                let c_acc = state.eft(id, DEV_ACC);
+                if c_cpu.finish <= c_acc.finish {
+                    c_cpu
+                } else {
+                    c_acc
+                }
+            };
+            state.commit(id, best);
+            done += 1;
+            for &s in &dag.succs[id] {
+                unplaced_preds[s] -= 1;
+                if unplaced_preds[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        state.into_schedule()
+    }
+}
+
+/// HEFT with depth-bounded lookahead (Bittencourt et al. 2010): each
+/// device candidate for the current task is evaluated by tentatively
+/// committing it and greedily EFT-scheduling the next `depth` tasks of the
+/// rank order; the candidate minimizing that horizon's makespan wins.
+#[derive(Debug, Clone, Copy)]
+pub struct Lookahead {
+    /// How many successors in rank order to schedule tentatively (≥ 1).
+    pub depth: usize,
+}
+
+impl Default for Lookahead {
+    fn default() -> Self {
+        Lookahead { depth: 2 }
+    }
+}
+
+impl SchedulerPolicy for Lookahead {
+    fn name(&self) -> String {
+        format!("lookahead[depth={}]", self.depth)
+    }
+
+    fn schedule(&self, dag: &TaskDag, platform: &Platform) -> Schedule {
+        let ranks = dag.upward_ranks(platform);
+        let order = order_by_desc(&ranks);
+        let mut state = ListState::new(dag, platform);
+        for (pos, &id) in order.iter().enumerate() {
+            let horizon = &order[pos + 1..(pos + 1 + self.depth).min(order.len())];
+            let mut best: Option<(f64, f64, usize)> = None; // (horizon makespan, own finish, dev)
+            for dev in [DEV_CPU, DEV_ACC] {
+                let cand = state.eft(id, dev);
+                let mut trial = state.clone();
+                trial.commit(id, cand);
+                for &h in horizon {
+                    let c_cpu = trial.eft(h, DEV_CPU);
+                    let c_acc = trial.eft(h, DEV_ACC);
+                    let c = if c_cpu.finish <= c_acc.finish {
+                        c_cpu
+                    } else {
+                        c_acc
+                    };
+                    trial.commit(h, c);
+                }
+                let key = (trial.makespan(), cand.finish, dev);
+                let better = match best {
+                    None => true,
+                    Some(b) => (key.0, key.1) < (b.0, b.1),
+                };
+                if better {
+                    best = Some(key);
+                }
+            }
+            let dev = best.unwrap().2;
+            let cand = state.eft(id, dev);
+            state.commit(id, cand);
+        }
+        state.into_schedule()
+    }
+}
+
+/// Task-selection criterion of the [`DynamicList`] scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskCriterion {
+    /// Largest mean compute cost first.
+    Comp,
+    /// Largest upward rank first (HEFT ordering restricted to ready tasks).
+    Rank,
+    /// Largest output bytes first (unblock the most data movement).
+    Bytes,
+    /// Program order (Algorithm-1 textual order).
+    Order,
+}
+
+/// Resource-selection criterion of the [`DynamicList`] scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceCriterion {
+    /// Earliest finish time across devices (insertion-based).
+    Eft,
+    /// The device with the smaller execution cost, ignoring queues.
+    Fastest,
+    /// The device with the least accumulated busy time.
+    Balanced,
+}
+
+/// Dynamic list scheduling in the dslab style: repeatedly pick the
+/// highest-priority *ready* task and place it by the resource criterion.
+/// Unlike HEFT the priority is evaluated over the ready set only, so the
+/// schedule adapts to what earlier placements unlocked.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicList {
+    /// Which ready task to schedule next.
+    pub task: TaskCriterion,
+    /// Which device receives it.
+    pub resource: ResourceCriterion,
+}
+
+impl Default for DynamicList {
+    fn default() -> Self {
+        DynamicList {
+            task: TaskCriterion::Rank,
+            resource: ResourceCriterion::Eft,
+        }
+    }
+}
+
+impl SchedulerPolicy for DynamicList {
+    fn name(&self) -> String {
+        let task = match self.task {
+            TaskCriterion::Comp => "comp",
+            TaskCriterion::Rank => "rank",
+            TaskCriterion::Bytes => "bytes",
+            TaskCriterion::Order => "order",
+        };
+        let resource = match self.resource {
+            ResourceCriterion::Eft => "eft",
+            ResourceCriterion::Fastest => "fastest",
+            ResourceCriterion::Balanced => "balanced",
+        };
+        format!("dynamic-list[task={task},resource={resource}]")
+    }
+
+    fn schedule(&self, dag: &TaskDag, platform: &Platform) -> Schedule {
+        let mean = dag.mean_costs();
+        let ranks = dag.upward_ranks(platform);
+        let key = |id: usize| -> f64 {
+            match self.task {
+                TaskCriterion::Comp => mean[id],
+                TaskCriterion::Rank => ranks[id],
+                TaskCriterion::Bytes => dag.nodes[id].out_bytes,
+                TaskCriterion::Order => -(id as f64),
+            }
+        };
+
+        let mut state = ListState::new(dag, platform);
+        let mut unplaced_preds: Vec<usize> = dag.preds.iter().map(Vec::len).collect();
+        let mut ready: Vec<usize> = (0..dag.len()).filter(|&i| unplaced_preds[i] == 0).collect();
+        let mut done = 0usize;
+        while done < dag.len() {
+            // Highest key wins; ties go to program order.
+            let (pos, &id) = ready
+                .iter()
+                .enumerate()
+                .max_by(|(_, &a), (_, &b)| key(a).partial_cmp(&key(b)).unwrap().then(b.cmp(&a)))
+                .expect("acyclic DAG always has a ready task");
+            ready.swap_remove(pos);
+
+            let cand = match self.resource {
+                ResourceCriterion::Eft => {
+                    let c_cpu = state.eft(id, DEV_CPU);
+                    let c_acc = state.eft(id, DEV_ACC);
+                    if c_cpu.finish <= c_acc.finish {
+                        c_cpu
+                    } else {
+                        c_acc
+                    }
+                }
+                ResourceCriterion::Fastest => {
+                    let dev = if dag.nodes[id].cost[DEV_CPU] <= dag.nodes[id].cost[DEV_ACC] {
+                        DEV_CPU
+                    } else {
+                        DEV_ACC
+                    };
+                    state.eft(id, dev)
+                }
+                ResourceCriterion::Balanced => {
+                    let dev = if state.busy(DEV_CPU) <= state.busy(DEV_ACC) {
+                        DEV_CPU
+                    } else {
+                        DEV_ACC
+                    };
+                    state.eft(id, dev)
+                }
+            };
+            state.commit(id, cand);
+            done += 1;
+            for &s in &dag.succs[id] {
+                unplaced_preds[s] -= 1;
+                if unplaced_preds[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        state.into_schedule()
+    }
+}

@@ -1,0 +1,227 @@
+//! Simulated devices and the host↔device transfer link (Table II).
+//!
+//! The paper's node pairs a 10-core Xeon E5-2680 v2 with a 60-core Xeon Phi
+//! 5110P. Neither is available here (and Rust has no LEO offload), so the
+//! hybrid engine runs against *device descriptors*: peak and effective
+//! throughputs calibrated from Table II plus published STREAM-class
+//! measurements, and a PCIe-like transfer link. The scheduling code is
+//! exactly what a real backend would drive; only the clock is simulated.
+//!
+//! The shallow-water kernels are strongly memory-bound (arithmetic
+//! intensity ≈ 0.2 flop/byte), so the roofline in [`DeviceSpec::node_time`]
+//! is almost always the bandwidth leg — as on the real machines.
+
+use mpas_patterns::dataflow::Work;
+
+/// One computing device (a CPU socket group or an accelerator).
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceSpec {
+    /// Human-readable device identifier.
+    pub name: &'static str,
+    /// Worker threads usable for kernels.
+    pub n_workers: usize,
+    /// Effective attainable flop rate with all workers, flop/s.
+    pub flops: f64,
+    /// Effective memory bandwidth with all workers, bytes/s (gather-heavy
+    /// workload, well below STREAM peak).
+    pub mem_bw: f64,
+    /// Effective bandwidth of a single worker, bytes/s.
+    pub mem_bw_one: f64,
+    /// Fixed cost of launching one parallel region (OpenMP fork/join or
+    /// offload kernel launch), seconds.
+    pub launch_overhead: f64,
+}
+
+impl DeviceSpec {
+    /// One core of the Xeon E5-2680 v2 — the paper's "original CPU code"
+    /// baseline. Calibrated so a full RK4 step on the 40 962-cell mesh
+    /// costs ≈ 0.27 s (the paper's Fig. 7 leftmost bar).
+    pub fn cpu_single_core() -> Self {
+        DeviceSpec {
+            name: "xeon-e5-2680v2-1core",
+            n_workers: 1,
+            flops: 4.5e9,
+            mem_bw: 5.2e9,
+            mem_bw_one: 5.2e9,
+            launch_overhead: 0.0,
+        }
+    }
+
+    /// The full 10-core Xeon E5-2680 v2 (Table II, left column).
+    pub fn xeon_e5_2680v2() -> Self {
+        DeviceSpec {
+            name: "xeon-e5-2680v2",
+            n_workers: 10,
+            flops: 45.0e9,
+            mem_bw: 20.0e9,
+            mem_bw_one: 5.2e9,
+            launch_overhead: 1.0e-5,
+        }
+    }
+
+    /// The Xeon Phi 5110P with one core reserved for the offload engine
+    /// (Table II, right column; §IV.B of the paper).
+    pub fn xeon_phi_5110p() -> Self {
+        DeviceSpec {
+            name: "xeon-phi-5110p",
+            n_workers: 236,
+            flops: 120.0e9,
+            mem_bw: 28.0e9,
+            mem_bw_one: 0.35e9,
+            launch_overhead: 4.0e-5,
+        }
+    }
+
+    /// One scalar, unoptimized Xeon Phi core — the Fig. 6 baseline.
+    pub fn phi_single_core() -> Self {
+        DeviceSpec {
+            name: "xeon-phi-1core",
+            n_workers: 1,
+            flops: 1.0e9,
+            mem_bw: 0.35e9,
+            mem_bw_one: 0.35e9,
+            launch_overhead: 0.0,
+        }
+    }
+
+    /// Roofline execution time of a chunk of work using a `share` of the
+    /// device (`0 < share <= 1`), plus the launch overhead.
+    pub fn node_time_share(&self, work: Work, share: f64) -> f64 {
+        assert!(share > 0.0 && share <= 1.0 + 1e-12);
+        // Workers are integral: even a tiny share keeps one whole worker.
+        let workers = (self.n_workers as f64 * share).max(1.0);
+        let bw = self.mem_bw.min(self.mem_bw_one * workers);
+        let fl = (self.flops * share).max(self.flops / self.n_workers as f64);
+        (work.flops / fl).max(work.bytes / bw) + self.launch_overhead
+    }
+
+    /// Roofline execution time using the whole device.
+    pub fn node_time(&self, work: Work) -> f64 {
+        self.node_time_share(work, 1.0)
+    }
+}
+
+/// Host↔device transfer link (PCIe 2.0 x16 for the 5110P).
+#[derive(Debug, Clone, Copy)]
+pub struct TransferLink {
+    /// One-way latency per transfer, seconds.
+    pub latency: f64,
+    /// Sustained bandwidth, bytes/s.
+    pub bandwidth: f64,
+}
+
+impl TransferLink {
+    /// PCIe 2.0 x16 as shipped with the 5110P: ~6 GB/s sustained, ~10 µs
+    /// per offload transfer setup.
+    pub fn pcie2_x16() -> Self {
+        TransferLink {
+            latency: 1.0e-5,
+            bandwidth: 6.0e9,
+        }
+    }
+
+    /// Time to move `bytes` across the link.
+    pub fn time(&self, bytes: f64) -> f64 {
+        self.latency + bytes / self.bandwidth
+    }
+}
+
+/// The simulated heterogeneous node: host CPU + accelerator + link.
+#[derive(Debug, Clone, Copy)]
+pub struct Platform {
+    /// The host multi-core CPU.
+    pub cpu: DeviceSpec,
+    /// The many-core accelerator.
+    pub acc: DeviceSpec,
+    /// The host↔device transfer link.
+    pub link: TransferLink,
+}
+
+impl Platform {
+    /// The paper's node (Table II).
+    pub fn paper_node() -> Self {
+        Platform {
+            cpu: DeviceSpec::xeon_e5_2680v2(),
+            acc: DeviceSpec::xeon_phi_5110p(),
+            link: TransferLink::pcie2_x16(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(flops: f64, bytes: f64) -> Work {
+        Work { flops, bytes }
+    }
+
+    #[test]
+    fn kernels_are_bandwidth_bound_on_every_device() {
+        // Arithmetic intensity 0.2 flop/byte: the bandwidth leg must bind.
+        let work = w(0.2e9, 1.0e9);
+        for d in [
+            DeviceSpec::cpu_single_core(),
+            DeviceSpec::xeon_e5_2680v2(),
+            DeviceSpec::xeon_phi_5110p(),
+        ] {
+            let t = d.node_time(work);
+            let bw_leg = work.bytes / d.mem_bw + d.launch_overhead;
+            assert!(
+                (t - bw_leg).abs() < 1e-12,
+                "{}: not bandwidth bound",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn full_devices_beat_single_cores() {
+        let work = w(1e9, 5e9);
+        assert!(
+            DeviceSpec::xeon_e5_2680v2().node_time(work)
+                < DeviceSpec::cpu_single_core().node_time(work)
+        );
+        assert!(
+            DeviceSpec::xeon_phi_5110p().node_time(work)
+                < DeviceSpec::phi_single_core().node_time(work)
+        );
+    }
+
+    #[test]
+    fn share_scaling_is_monotone() {
+        let d = DeviceSpec::xeon_phi_5110p();
+        let work = w(1e8, 1e9);
+        let t_full = d.node_time_share(work, 1.0);
+        let t_half = d.node_time_share(work, 0.5);
+        let t_tenth = d.node_time_share(work, 0.1);
+        // Half the Phi already saturates the aggregate bandwidth (the real
+        // 5110P behaves the same); a tenth does not.
+        assert!(t_half >= t_full);
+        assert!(t_tenth > t_half);
+    }
+
+    #[test]
+    fn small_shares_clamp_to_one_worker() {
+        let d = DeviceSpec::xeon_e5_2680v2();
+        let work = w(0.0, 1e9);
+        // 1/100 of a 10-worker device still has one whole worker's bw.
+        let t = d.node_time_share(work, 0.01);
+        assert!(t <= work.bytes / d.mem_bw_one + d.launch_overhead + 1e-9);
+    }
+
+    #[test]
+    fn link_time_has_latency_floor() {
+        let l = TransferLink::pcie2_x16();
+        assert!(l.time(0.0) >= 1.0e-5);
+        assert!(l.time(6.0e9) > 1.0);
+    }
+
+    #[test]
+    fn phi_aggregate_beats_cpu_aggregate_in_bandwidth() {
+        // Table II: the accelerator is the faster device overall — the
+        // premise of putting the heavy kernels there.
+        let p = Platform::paper_node();
+        assert!(p.acc.mem_bw > p.cpu.mem_bw);
+    }
+}

@@ -1,0 +1,272 @@
+//! The [`SchedulerPolicy`] trait and the string-keyed policy registry.
+//!
+//! Policy names follow a `name[key=value,...]` grammar (see the crate-level
+//! docs); [`resolve`] parses a name into a boxed policy and [`registered`]
+//! enumerates the canonical set used by the comparison experiments.
+
+use crate::dag::TaskDag;
+use crate::list::{Cpop, DynamicList, Heft, Lookahead, ResourceCriterion, TaskCriterion};
+use crate::paper::{AccOnly, CpuOnly, KernelLevel, PatternDriven, Serial};
+use crate::platform::Platform;
+use crate::schedule::Schedule;
+
+/// A scheduling policy: maps a task DAG onto the platform's devices.
+///
+/// Implementations must place every node of the DAG and must respect the
+/// dependency edges (no node starts before its predecessors finish and any
+/// required staging transfer completes).
+pub trait SchedulerPolicy {
+    /// Canonical registry name, including parameters (e.g.
+    /// `"lookahead[depth=2]"`). Resolving this name yields an equivalent
+    /// policy.
+    fn name(&self) -> String;
+
+    /// Whether the policy places work on the accelerator. Multi-rank halo
+    /// accounting charges the PCIe staging surcharge only when true.
+    fn uses_accelerator(&self) -> bool {
+        true
+    }
+
+    /// Schedule one substep DAG onto the platform.
+    fn schedule(&self, dag: &TaskDag, platform: &Platform) -> Schedule;
+}
+
+impl<T: SchedulerPolicy + ?Sized> SchedulerPolicy for &T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn uses_accelerator(&self) -> bool {
+        (**self).uses_accelerator()
+    }
+
+    fn schedule(&self, dag: &TaskDag, platform: &Platform) -> Schedule {
+        (**self).schedule(dag, platform)
+    }
+}
+
+impl<T: SchedulerPolicy + ?Sized> SchedulerPolicy for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn uses_accelerator(&self) -> bool {
+        (**self).uses_accelerator()
+    }
+
+    fn schedule(&self, dag: &TaskDag, platform: &Platform) -> Schedule {
+        (**self).schedule(dag, platform)
+    }
+}
+
+/// A parsed policy spec: the base name plus its `k=v` parameter pairs.
+type ParsedSpec<'a> = (&'a str, Vec<(&'a str, &'a str)>);
+
+/// Split `"name[k=v,...]"` into the base name and its key/value pairs.
+fn parse_name(spec: &str) -> Result<ParsedSpec<'_>, String> {
+    let spec = spec.trim();
+    let Some(open) = spec.find('[') else {
+        return Ok((spec, Vec::new()));
+    };
+    let base = &spec[..open];
+    let rest = &spec[open + 1..];
+    let Some(inner) = rest.strip_suffix(']') else {
+        return Err(format!("unterminated '[' in policy name {spec:?}"));
+    };
+    let mut params = Vec::new();
+    for kv in inner.split(',').filter(|s| !s.trim().is_empty()) {
+        let (k, v) = kv
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got {kv:?} in {spec:?}"))?;
+        params.push((k.trim(), v.trim()));
+    }
+    Ok((base, params))
+}
+
+fn no_params(base: &str, params: &[(&str, &str)]) -> Result<(), String> {
+    if params.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("policy {base:?} takes no parameters"))
+    }
+}
+
+/// Resolve a policy name (see the crate-level grammar) into a policy.
+///
+/// Unknown names, unknown parameter keys, and malformed values are errors
+/// listing what was expected.
+pub fn resolve(spec: &str) -> Result<Box<dyn SchedulerPolicy>, String> {
+    let (base, params) = parse_name(spec)?;
+    match base {
+        "serial" => {
+            no_params(base, &params)?;
+            Ok(Box::new(Serial))
+        }
+        "cpu-only" => {
+            no_params(base, &params)?;
+            Ok(Box::new(CpuOnly))
+        }
+        "acc-only" => {
+            no_params(base, &params)?;
+            Ok(Box::new(AccOnly))
+        }
+        "kernel-level" => {
+            no_params(base, &params)?;
+            Ok(Box::new(KernelLevel))
+        }
+        "pattern-driven" => {
+            let mut policy = PatternDriven::default();
+            for (k, v) in params {
+                match k {
+                    "overlap" => {
+                        policy.overlap_transfers = v
+                            .parse::<bool>()
+                            .map_err(|_| format!("overlap must be true/false, got {v:?}"))?;
+                    }
+                    _ => return Err(format!("unknown pattern-driven parameter {k:?}")),
+                }
+            }
+            Ok(Box::new(policy))
+        }
+        "heft" => {
+            no_params(base, &params)?;
+            Ok(Box::new(Heft))
+        }
+        "cpop" => {
+            no_params(base, &params)?;
+            Ok(Box::new(Cpop))
+        }
+        "lookahead" => {
+            let mut policy = Lookahead::default();
+            for (k, v) in params {
+                match k {
+                    "depth" => {
+                        let d = v
+                            .parse::<usize>()
+                            .map_err(|_| format!("depth must be an integer, got {v:?}"))?;
+                        if d == 0 {
+                            return Err("lookahead depth must be ≥ 1".into());
+                        }
+                        policy.depth = d;
+                    }
+                    _ => return Err(format!("unknown lookahead parameter {k:?}")),
+                }
+            }
+            Ok(Box::new(policy))
+        }
+        "dynamic-list" => {
+            let mut policy = DynamicList::default();
+            for (k, v) in params {
+                match k {
+                    "task" => {
+                        policy.task = match v {
+                            "comp" => TaskCriterion::Comp,
+                            "rank" => TaskCriterion::Rank,
+                            "bytes" => TaskCriterion::Bytes,
+                            "order" => TaskCriterion::Order,
+                            _ => {
+                                return Err(format!(
+                                    "task must be comp|rank|bytes|order, got {v:?}"
+                                ))
+                            }
+                        };
+                    }
+                    "resource" => {
+                        policy.resource = match v {
+                            "eft" => ResourceCriterion::Eft,
+                            "fastest" => ResourceCriterion::Fastest,
+                            "balanced" => ResourceCriterion::Balanced,
+                            _ => {
+                                return Err(format!(
+                                    "resource must be eft|fastest|balanced, got {v:?}"
+                                ))
+                            }
+                        };
+                    }
+                    _ => return Err(format!("unknown dynamic-list parameter {k:?}")),
+                }
+            }
+            Ok(Box::new(policy))
+        }
+        other => Err(format!(
+            "unknown policy {other:?}; registered: {}",
+            registered_names().join(", ")
+        )),
+    }
+}
+
+/// Canonical policy names covering every registered family (parameterized
+/// families appear with their default parameters spelled out).
+pub fn registered_names() -> Vec<&'static str> {
+    vec![
+        "serial",
+        "cpu-only",
+        "acc-only",
+        "kernel-level",
+        "pattern-driven",
+        "heft",
+        "cpop",
+        "lookahead[depth=2]",
+        "dynamic-list[task=rank,resource=eft]",
+    ]
+}
+
+/// One instance of every registered policy family, with defaults.
+pub fn registered() -> Vec<Box<dyn SchedulerPolicy>> {
+    registered_names()
+        .into_iter()
+        .map(|n| resolve(n).expect("registered names resolve"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_names_round_trip() {
+        for name in registered_names() {
+            let p = resolve(name).unwrap();
+            assert_eq!(p.name(), name, "resolve/name must round-trip");
+        }
+    }
+
+    #[test]
+    fn parameterized_names_parse() {
+        assert_eq!(
+            resolve("lookahead[depth=4]").unwrap().name(),
+            "lookahead[depth=4]"
+        );
+        assert_eq!(
+            resolve("dynamic-list[task=comp,resource=fastest]")
+                .unwrap()
+                .name(),
+            "dynamic-list[task=comp,resource=fastest]"
+        );
+        assert_eq!(resolve(" lookahead ").unwrap().name(), "lookahead[depth=2]");
+        assert_eq!(
+            resolve("pattern-driven[overlap=true]").unwrap().name(),
+            "pattern-driven"
+        );
+    }
+
+    #[test]
+    fn bad_names_error_helpfully() {
+        let err = |spec: &str| resolve(spec).err().expect("should be rejected");
+        assert!(err("peft").contains("registered"));
+        assert!(err("lookahead[depth=x]").contains("integer"));
+        assert!(resolve("lookahead[depth=0]").is_err());
+        assert!(err("lookahead[deep=2]").contains("unknown"));
+        assert!(err("heft[depth=2]").contains("no parameters"));
+        assert!(resolve("dynamic-list[task=zzz]").is_err());
+        assert!(err("lookahead[depth=2").contains("unterminated"));
+    }
+
+    #[test]
+    fn serial_and_cpu_only_do_not_use_the_accelerator() {
+        assert!(!resolve("serial").unwrap().uses_accelerator());
+        assert!(!resolve("cpu-only").unwrap().uses_accelerator());
+        assert!(resolve("kernel-level").unwrap().uses_accelerator());
+        assert!(resolve("heft").unwrap().uses_accelerator());
+    }
+}

@@ -1,0 +1,323 @@
+//! Schedule results and the shared scheduling state (device timelines,
+//! serialized transfer link, variable residency) used by every policy.
+
+use crate::dag::{TaskDag, DEV_ACC, DEV_CPU};
+use crate::platform::Platform;
+use mpas_patterns::pattern::Variable;
+use std::collections::HashMap;
+
+/// Where a node (or part of it) ran.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Placement {
+    /// Entirely on the host CPU.
+    Cpu,
+    /// Entirely on the accelerator.
+    Acc,
+    /// Split with this fraction of the output range on the accelerator.
+    Split(f64),
+}
+
+/// Scheduling decision and timing for one node.
+#[derive(Debug, Clone)]
+pub struct NodeSchedule {
+    /// Table-I pattern-instance label.
+    pub name: &'static str,
+    /// Device assignment (possibly split).
+    pub placement: Placement,
+    /// Start time, seconds from substep entry.
+    pub start: f64,
+    /// Finish time, seconds from substep entry.
+    pub finish: f64,
+}
+
+/// Result of scheduling one substep graph.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Completion time of the whole substep, seconds.
+    pub makespan: f64,
+    /// Per-node decisions and timings, indexed by DAG node id.
+    pub nodes: Vec<NodeSchedule>,
+    /// CPU busy time (for utilization/load-balance reporting).
+    pub cpu_busy: f64,
+    /// Accelerator busy time.
+    pub acc_busy: f64,
+}
+
+impl Schedule {
+    /// Fraction of the makespan during which the less-used device idles —
+    /// the load-imbalance the pattern-driven design attacks.
+    pub fn imbalance(&self) -> f64 {
+        let lo = self.cpu_busy.min(self.acc_busy);
+        let hi = self.cpu_busy.max(self.acc_busy);
+        if hi == 0.0 {
+            0.0
+        } else {
+            (hi - lo) / hi
+        }
+    }
+}
+
+/// Tracks which devices hold a current copy of each variable.
+///
+/// At substep entry every input is synchronized on both devices (the paper
+/// keeps mesh and state resident; boundaries sync at the halo-exchange
+/// points). A write leaves the value only where it was produced; a transfer
+/// makes it resident everywhere.
+#[derive(Debug, Clone, Default)]
+pub struct Residency {
+    map: HashMap<Variable, (bool, bool)>, // (on_cpu, on_acc)
+}
+
+impl Residency {
+    /// Fresh substep-entry state: everything resident everywhere.
+    pub fn fresh() -> Self {
+        Residency {
+            map: HashMap::new(),
+        }
+    }
+
+    /// Is `v` resident on the given device?
+    pub fn present(&self, v: Variable, on_acc: bool) -> bool {
+        match self.map.get(&v) {
+            None => true, // substep input: everywhere
+            Some(&(c, a)) => {
+                if on_acc {
+                    a
+                } else {
+                    c
+                }
+            }
+        }
+    }
+
+    /// Record a write of `v` under the given placement.
+    pub fn write(&mut self, v: Variable, placement: Placement) {
+        let entry = match placement {
+            Placement::Cpu => (true, false),
+            Placement::Acc => (false, true),
+            Placement::Split(_) => (true, true), // halves merged via link
+        };
+        self.map.insert(v, entry);
+    }
+
+    /// Mark `v` resident on both devices (after a transfer).
+    pub fn mark_everywhere(&mut self, v: Variable) {
+        self.map.insert(v, (true, true));
+    }
+}
+
+/// Mutable state shared by the list schedulers: per-device busy intervals
+/// (supporting insertion-based EFT), the serialized transfer link, variable
+/// residency, and the per-node results.
+#[derive(Debug, Clone)]
+pub struct ListState<'a> {
+    dag: &'a TaskDag,
+    platform: &'a Platform,
+    /// Sorted, disjoint busy intervals per device.
+    slots: [Vec<(f64, f64)>; 2],
+    link_avail: f64,
+    res: Residency,
+    node_finish: Vec<f64>,
+    placed: Vec<Option<NodeSchedule>>,
+    busy: [f64; 2],
+}
+
+/// One placement candidate evaluated by [`ListState::eft`].
+#[derive(Debug, Clone, Copy)]
+pub struct Candidate {
+    /// Candidate device index ([`DEV_CPU`] or [`DEV_ACC`]).
+    pub dev: usize,
+    /// Start of execution on the device.
+    pub start: f64,
+    /// End of execution.
+    pub finish: f64,
+    /// Bytes transferred to stage missing inputs (0 when resident).
+    pub xfer_bytes: f64,
+    /// Completion time of the staging transfer (start of link occupancy
+    /// release); equals data readiness when `xfer_bytes > 0`.
+    pub xfer_done: f64,
+}
+
+impl<'a> ListState<'a> {
+    /// Fresh state over a DAG and platform.
+    pub fn new(dag: &'a TaskDag, platform: &'a Platform) -> Self {
+        ListState {
+            dag,
+            platform,
+            slots: [Vec::new(), Vec::new()],
+            link_avail: 0.0,
+            res: Residency::fresh(),
+            node_finish: vec![0.0; dag.len()],
+            placed: vec![None; dag.len()],
+            busy: [0.0; 2],
+        }
+    }
+
+    /// Dependency-ready time of `id` (max predecessor finish).
+    pub fn ready_time(&self, id: usize) -> f64 {
+        self.dag.preds[id]
+            .iter()
+            .map(|&p| self.node_finish[p])
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Earliest gap of length `dur` on `dev` starting no earlier than
+    /// `ready` (insertion-based scheduling).
+    fn earliest_fit(&self, dev: usize, ready: f64, dur: f64) -> f64 {
+        let mut t = ready;
+        for &(s, e) in &self.slots[dev] {
+            if t + dur <= s + 1e-18 {
+                break;
+            }
+            if e > t {
+                t = e;
+            }
+        }
+        t
+    }
+
+    fn occupy(&mut self, dev: usize, start: f64, end: f64) {
+        let idx = self.slots[dev]
+            .iter()
+            .position(|&(s, _)| s >= start)
+            .unwrap_or(self.slots[dev].len());
+        self.slots[dev].insert(idx, (start, end));
+        self.busy[dev] += end - start;
+    }
+
+    /// Evaluate the earliest finish of `id` on `dev`, accounting for a
+    /// blocking staging transfer of any inputs not resident there.
+    pub fn eft(&self, id: usize, dev: usize) -> Candidate {
+        let ready = self.ready_time(id);
+        let node = &self.dag.nodes[id];
+        let xfer_bytes: f64 = node
+            .inputs
+            .iter()
+            .filter(|&&v| !self.res.present(v, dev == DEV_ACC))
+            .map(|&v| self.dag.var_bytes[&v])
+            .sum();
+        let (data_ready, xfer_done) = if xfer_bytes > 0.0 {
+            let done = ready.max(self.link_avail) + self.platform.link.time(xfer_bytes);
+            (done, done)
+        } else {
+            (ready, ready)
+        };
+        let dur = node.cost[dev];
+        let start = self.earliest_fit(dev, data_ready, dur);
+        Candidate {
+            dev,
+            start,
+            finish: start + dur,
+            xfer_bytes,
+            xfer_done,
+        }
+    }
+
+    /// Commit a candidate placement for `id`.
+    pub fn commit(&mut self, id: usize, c: Candidate) {
+        if c.xfer_bytes > 0.0 {
+            self.link_avail = c.xfer_done;
+            // Transferred inputs become resident on both devices.
+            let inputs = self.dag.nodes[id].inputs.clone();
+            for v in inputs {
+                if !self.res.present(v, c.dev == DEV_ACC) {
+                    self.res.mark_everywhere(v);
+                }
+            }
+        }
+        self.occupy(c.dev, c.start, c.finish);
+        let placement = if c.dev == DEV_CPU {
+            Placement::Cpu
+        } else {
+            Placement::Acc
+        };
+        for &v in &self.dag.nodes[id].outputs {
+            self.res.write(v, placement);
+        }
+        self.node_finish[id] = c.finish;
+        self.placed[id] = Some(NodeSchedule {
+            name: self.dag.nodes[id].name,
+            placement,
+            start: c.start,
+            finish: c.finish,
+        });
+    }
+
+    /// Current busy time of a device.
+    pub fn busy(&self, dev: usize) -> f64 {
+        self.busy[dev]
+    }
+
+    /// Makespan over everything committed so far.
+    pub fn makespan(&self) -> f64 {
+        self.node_finish.iter().copied().fold(0.0f64, f64::max)
+    }
+
+    /// Finalize into a [`Schedule`] (every node must be committed).
+    pub fn into_schedule(self) -> Schedule {
+        let makespan = self.makespan();
+        Schedule {
+            makespan,
+            nodes: self
+                .placed
+                .into_iter()
+                .map(|n| n.expect("every node must be scheduled"))
+                .collect(),
+            cpu_busy: self.busy[DEV_CPU],
+            acc_busy: self.busy[DEV_ACC],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(cpu_busy: f64, acc_busy: f64) -> Schedule {
+        Schedule {
+            makespan: 1.0,
+            nodes: Vec::new(),
+            cpu_busy,
+            acc_busy,
+        }
+    }
+
+    #[test]
+    fn imbalance_of_idle_schedule_is_zero() {
+        // Zero busy time on both devices: no imbalance, no division by zero.
+        assert_eq!(sched(0.0, 0.0).imbalance(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_of_single_device_schedule_is_total() {
+        // All work on one device: the other idles 100% of the busy span.
+        assert_eq!(sched(1.0, 0.0).imbalance(), 1.0);
+        assert_eq!(sched(0.0, 2.5).imbalance(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_of_balanced_schedule_is_zero() {
+        assert_eq!(sched(3.0, 3.0).imbalance(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_is_symmetric_and_fractional() {
+        let a = sched(1.0, 4.0).imbalance();
+        let b = sched(4.0, 1.0).imbalance();
+        assert_eq!(a, b);
+        assert!((a - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn residency_starts_everywhere_and_tracks_writes() {
+        use mpas_patterns::pattern::Variable::*;
+        let mut r = Residency::fresh();
+        assert!(r.present(TendU, false) && r.present(TendU, true));
+        r.write(TendU, Placement::Acc);
+        assert!(!r.present(TendU, false) && r.present(TendU, true));
+        r.mark_everywhere(TendU);
+        assert!(r.present(TendU, false) && r.present(TendU, true));
+        r.write(TendU, Placement::Split(0.5));
+        assert!(r.present(TendU, false) && r.present(TendU, true));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests of the policy registry: dominance relations and
+//! structural validity over randomized mesh counts.
+//!
+//! On the fixed Table-II platform, every list scheduler must beat the
+//! single-core serial reference (they can always fall back to the faster
+//! multicore host), the pattern-driven policy must beat the kernel-level
+//! static map it refines (Fig. 4 (b) vs Fig. 2), and no schedule may start
+//! a node before its DAG predecessors finish.
+
+use mpas_patterns::dataflow::{DataflowGraph, MeshCounts, RkPhase};
+use mpas_sched::{resolve, Platform, SchedulerPolicy, TaskDag};
+use proptest::prelude::*;
+
+/// Randomized mesh counts: cell count spans the paper's Table III range
+/// and beyond, with the edge/vertex ratios perturbed off the exact
+/// icosahedral 3:2 to model partition remainders.
+fn mesh_counts() -> impl Strategy<Value = MeshCounts> {
+    (5_000usize..3_000_000, 2.8f64..3.2, 1.8f64..2.2).prop_map(|(n_cells, edge_mul, vert_mul)| {
+        let c = n_cells as f64;
+        MeshCounts {
+            n_cells: c,
+            n_edges: edge_mul * c,
+            n_vertices: vert_mul * c,
+        }
+    })
+}
+
+fn substep(final_phase: bool) -> DataflowGraph {
+    DataflowGraph::for_substep(if final_phase {
+        RkPhase::Final
+    } else {
+        RkPhase::Intermediate
+    })
+}
+
+/// The list schedulers under test, including parameterized variants.
+const LIST_POLICIES: [&str; 8] = [
+    "heft",
+    "cpop",
+    "lookahead[depth=1]",
+    "lookahead[depth=3]",
+    "dynamic-list[task=rank,resource=eft]",
+    "dynamic-list[task=comp,resource=fastest]",
+    "dynamic-list[task=bytes,resource=balanced]",
+    "dynamic-list[task=order,resource=eft]",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every list scheduler beats the serial reference, and every schedule
+    /// (list or paper policy) respects the DAG dependency edges.
+    #[test]
+    fn list_schedulers_dominate_serial_and_respect_deps(
+        mc in mesh_counts(),
+        final_phase in proptest::bool::ANY,
+    ) {
+        let g = substep(final_phase);
+        let p = Platform::paper_node();
+        let dag = TaskDag::from_dataflow(&g, &mc, &p);
+        let serial = resolve("serial").unwrap().schedule(&dag, &p).makespan;
+        prop_assert!(serial.is_finite() && serial > 0.0);
+        for spec in LIST_POLICIES {
+            let policy = resolve(spec).unwrap();
+            let s = policy.schedule(&dag, &p);
+            prop_assert!(
+                s.makespan <= serial * (1.0 + 1e-12),
+                "{spec}: {} > serial {}",
+                s.makespan,
+                serial
+            );
+            for (id, ns) in s.nodes.iter().enumerate() {
+                prop_assert!(ns.finish >= ns.start - 1e-12, "{spec}: negative interval");
+                for &pred in &dag.preds[id] {
+                    prop_assert!(
+                        s.nodes[pred].finish <= ns.start + 1e-9,
+                        "{spec}: {} starts before {} finishes",
+                        ns.name,
+                        s.nodes[pred].name
+                    );
+                }
+            }
+        }
+    }
+
+    /// The pattern-driven refinement never loses to the kernel-level
+    /// static map, on any mesh size.
+    #[test]
+    fn pattern_driven_dominates_kernel_level(
+        mc in mesh_counts(),
+        final_phase in proptest::bool::ANY,
+    ) {
+        let g = substep(final_phase);
+        let p = Platform::paper_node();
+        let dag = TaskDag::from_dataflow(&g, &mc, &p);
+        let kernel = resolve("kernel-level").unwrap().schedule(&dag, &p);
+        let pattern = resolve("pattern-driven").unwrap().schedule(&dag, &p);
+        prop_assert!(
+            pattern.makespan <= kernel.makespan * (1.0 + 1e-12),
+            "pattern {} > kernel {}",
+            pattern.makespan,
+            kernel.makespan
+        );
+        // Both also respect dependencies.
+        for s in [&kernel, &pattern] {
+            for (id, ns) in s.nodes.iter().enumerate() {
+                for &pred in &dag.preds[id] {
+                    prop_assert!(s.nodes[pred].finish <= ns.start + 1e-9);
+                }
+            }
+        }
+    }
+}

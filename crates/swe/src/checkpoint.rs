@@ -14,11 +14,7 @@ use std::path::Path;
 const MAGIC: &[u8; 8] = b"MPASSTA1";
 
 /// Write a state snapshot.
-pub fn save_state(
-    state: &State,
-    time: f64,
-    path: impl AsRef<Path>,
-) -> io::Result<()> {
+pub fn save_state(state: &State, time: f64, path: impl AsRef<Path>) -> io::Result<()> {
     let mut w = BufWriter::new(std::fs::File::create(path)?);
     w.write_all(MAGIC)?;
     w.write_all(&time.to_le_bytes())?;
@@ -77,9 +73,7 @@ impl crate::model::ShallowWaterModel {
     /// the run had never stopped.
     pub fn load_checkpoint(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
         let (state, time) = load_state(path)?;
-        if state.h.len() != self.mesh.n_cells()
-            || state.u.len() != self.mesh.n_edges()
-        {
+        if state.h.len() != self.mesh.n_cells() || state.u.len() != self.mesh.n_edges() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "checkpoint size does not match the mesh",
@@ -96,12 +90,7 @@ impl crate::model::ShallowWaterModel {
             self.dt,
             &mut self.diag,
         );
-        crate::kernels::mpas_reconstruct(
-            &self.mesh,
-            &self.coeffs,
-            &self.state.u,
-            &mut self.recon,
-        );
+        crate::kernels::mpas_reconstruct(&self.mesh, &self.coeffs, &self.state.u, &mut self.recon);
         Ok(())
     }
 }

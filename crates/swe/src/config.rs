@@ -43,11 +43,7 @@ impl ModelConfig {
     /// A conservative stable time step for a mesh: CFL 0.25 against a
     /// 300 m/s external gravity wave on the smallest cell spacing.
     pub fn suggested_dt(mesh: &mpas_mesh::Mesh) -> f64 {
-        let min_dc = mesh
-            .dc_edge
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
+        let min_dc = mesh.dc_edge.iter().copied().fold(f64::INFINITY, f64::min);
         0.25 * min_dc / 300.0
     }
 }

@@ -31,7 +31,13 @@ pub fn compute_solve_diagnostics(
 ) {
     let (nc, ne, nv) = (mesh.n_cells(), mesh.n_edges(), mesh.n_vertices());
     if config.high_order_h_edge {
-        ops::d2fdx2(mesh, h, &mut diag.d2fdx2_cell1, &mut diag.d2fdx2_cell2, 0..ne);
+        ops::d2fdx2(
+            mesh,
+            h,
+            &mut diag.d2fdx2_cell1,
+            &mut diag.d2fdx2_cell2,
+            0..ne,
+        );
     }
     if config.advection_only {
         // Williamson TC1: only the thickness flux is needed; the PV chain
@@ -61,7 +67,14 @@ pub fn compute_solve_diagnostics(
     ops::divergence(mesh, u, &mut diag.divergence, 0..nc);
     ops::tangential_velocity(mesh, u, &mut diag.v, 0..ne);
     ops::vorticity_cell(mesh, &diag.vorticity, &mut diag.vorticity_cell, 0..nc);
-    ops::pv_vertex(mesh, h, &diag.vorticity, f_vertex, &mut diag.pv_vertex, 0..nv);
+    ops::pv_vertex(
+        mesh,
+        h,
+        &diag.vorticity,
+        f_vertex,
+        &mut diag.pv_vertex,
+        0..nv,
+    );
     ops::pv_cell(mesh, &diag.pv_vertex, &mut diag.pv_cell, 0..nc);
     ops::pv_edge(
         mesh,
@@ -150,17 +163,24 @@ pub fn compute_next_substep_state(
     coef: f64,
     provis: &mut State,
 ) {
-    ops::axpy(&base.h, &tend.tend_h, coef, &mut provis.h, 0..mesh.n_cells());
-    ops::axpy(&base.u, &tend.tend_u, coef, &mut provis.u, 0..mesh.n_edges());
+    ops::axpy(
+        &base.h,
+        &tend.tend_h,
+        coef,
+        &mut provis.h,
+        0..mesh.n_cells(),
+    );
+    ops::axpy(
+        &base.u,
+        &tend.tend_u,
+        coef,
+        &mut provis.u,
+        0..mesh.n_edges(),
+    );
 }
 
 /// `accumulative_update`: `acc += weight * tend` (the RK quadrature).
-pub fn accumulative_update(
-    mesh: &Mesh,
-    tend: &Tendencies,
-    weight: f64,
-    acc: &mut State,
-) {
+pub fn accumulative_update(mesh: &Mesh, tend: &Tendencies, weight: f64, acc: &mut State) {
     ops::accumulate(&tend.tend_h, weight, &mut acc.h, 0..mesh.n_cells());
     ops::accumulate(&tend.tend_u, weight, &mut acc.u, 0..mesh.n_edges());
 }
@@ -211,10 +231,12 @@ mod tests {
     fn mass_tendency_integrates_to_zero() {
         // ∮ tend_h dA = 0 exactly (flux telescoping): discrete conservation.
         let (mesh, config, f_vertex) = setup();
-        let h: Vec<f64> =
-            (0..mesh.n_cells()).map(|i| 1000.0 + (i as f64).sin()).collect();
-        let u: Vec<f64> =
-            (0..mesh.n_edges()).map(|e| (e as f64 * 0.1).cos()).collect();
+        let h: Vec<f64> = (0..mesh.n_cells())
+            .map(|i| 1000.0 + (i as f64).sin())
+            .collect();
+        let u: Vec<f64> = (0..mesh.n_edges())
+            .map(|e| (e as f64 * 0.1).cos())
+            .collect();
         let b = vec![0.0; mesh.n_cells()];
         let mut diag = Diagnostics::zeros(&mesh);
         compute_solve_diagnostics(&mesh, &config, &h, &u, &f_vertex, 100.0, &mut diag);

@@ -15,13 +15,7 @@ use mpas_mesh::Mesh;
 use std::ops::Range;
 
 /// A1 — thickness tendency: `tend_h(i) = −(1/A_i) Σ_e s_ie u_e h_edge_e l_e`.
-pub fn tend_h(
-    mesh: &Mesh,
-    u: &[f64],
-    h_edge: &[f64],
-    out: &mut [f64],
-    cells: Range<usize>,
-) {
+pub fn tend_h(mesh: &Mesh, u: &[f64], h_edge: &[f64], out: &mut [f64], cells: Range<usize>) {
     let off = cells.start;
     for i in cells {
         let range = mesh.cell_range(i);
@@ -62,9 +56,7 @@ pub fn tend_u(
             q += w * u[eoe] * h_edge[eoe] * workpv;
             let _ = j;
         }
-        let grad = (ke[c2] - ke[c1]
-            + gravity * (h[c2] + b[c2] - h[c1] - b[c1]))
-            / mesh.dc_edge[e];
+        let grad = (ke[c2] - ke[c1] + gravity * (h[c2] + b[c2] - h[c1] - b[c1])) / mesh.dc_edge[e];
         out[e - off] = q - grad;
     }
 }
@@ -84,10 +76,8 @@ pub fn tend_u_del2(
     for e in edges {
         let [c1, c2] = mesh.cells_on_edge[e];
         let [v1, v2] = mesh.vertices_on_edge[e];
-        let d = (divergence[c2 as usize] - divergence[c1 as usize])
-            / mesh.dc_edge[e];
-        let z = (vorticity[v2 as usize] - vorticity[v1 as usize])
-            / mesh.dv_edge[e];
+        let d = (divergence[c2 as usize] - divergence[c1 as usize]) / mesh.dc_edge[e];
+        let z = (vorticity[v2 as usize] - vorticity[v1 as usize]) / mesh.dv_edge[e];
         out[e - off] += nu * (d - z);
     }
 }
@@ -105,10 +95,8 @@ pub fn lap_u(
     for e in edges {
         let [c1, c2] = mesh.cells_on_edge[e];
         let [v1, v2] = mesh.vertices_on_edge[e];
-        let d = (divergence[c2 as usize] - divergence[c1 as usize])
-            / mesh.dc_edge[e];
-        let z = (vorticity[v2 as usize] - vorticity[v1 as usize])
-            / mesh.dv_edge[e];
+        let d = (divergence[c2 as usize] - divergence[c1 as usize]) / mesh.dc_edge[e];
+        let z = (vorticity[v2 as usize] - vorticity[v1 as usize]) / mesh.dv_edge[e];
         out[e - off] = d - z;
     }
 }
@@ -145,13 +133,7 @@ pub fn enforce_boundary(mesh: &Mesh, tend_u: &mut [f64], edges: Range<usize>) {
 }
 
 /// X2/X3 — provisional state: `out = base + coef·tend`.
-pub fn axpy(
-    base: &[f64],
-    tend: &[f64],
-    coef: f64,
-    out: &mut [f64],
-    range: Range<usize>,
-) {
+pub fn axpy(base: &[f64], tend: &[f64], coef: f64, out: &mut [f64], range: Range<usize>) {
     let off = range.start;
     for k in range {
         out[k - off] = base[k] + coef * tend[k];
@@ -172,13 +154,7 @@ pub fn accumulate(tend: &[f64], weight: f64, acc: &mut [f64], range: Range<usize
 /// MPAS fits a quadratic (`deriv_two`); the cell Laplacian gives the same
 /// O(dc²) correction on quasi-uniform meshes with a 7-point stencil of the
 /// same shape (DESIGN.md §5 documents the substitution).
-pub fn d2fdx2(
-    mesh: &Mesh,
-    h: &[f64],
-    out1: &mut [f64],
-    out2: &mut [f64],
-    edges: Range<usize>,
-) {
+pub fn d2fdx2(mesh: &Mesh, h: &[f64], out1: &mut [f64], out2: &mut [f64], edges: Range<usize>) {
     let lap = |c: usize| -> f64 {
         let mut acc = 0.0;
         for slot in mesh.cell_range(c) {
@@ -265,18 +241,12 @@ pub fn divergence(mesh: &Mesh, u: &[f64], out: &mut [f64], cells: Range<usize>) 
 }
 
 /// H1 — tangential velocity by the TRiSK reconstruction.
-pub fn tangential_velocity(
-    mesh: &Mesh,
-    u: &[f64],
-    out: &mut [f64],
-    edges: Range<usize>,
-) {
+pub fn tangential_velocity(mesh: &Mesh, u: &[f64], out: &mut [f64], edges: Range<usize>) {
     let off = edges.start;
     for e in edges {
         let mut acc = 0.0;
         for slot in mesh.eoe_range(e) {
-            acc += mesh.weights_on_edge[slot]
-                * u[mesh.edges_on_edge[slot] as usize];
+            acc += mesh.weights_on_edge[slot] * u[mesh.edges_on_edge[slot] as usize];
         }
         out[e - off] = acc;
     }
@@ -284,12 +254,7 @@ pub fn tangential_velocity(
 
 /// A3 — relative vorticity at cells: kite-area average of the vertex
 /// vorticity (the same interpolation MPAS uses for `pv_cell`).
-pub fn vorticity_cell(
-    mesh: &Mesh,
-    vorticity: &[f64],
-    out: &mut [f64],
-    cells: Range<usize>,
-) {
+pub fn vorticity_cell(mesh: &Mesh, vorticity: &[f64], out: &mut [f64], cells: Range<usize>) {
     let off = cells.start;
     for i in cells {
         let mut acc = 0.0;
@@ -319,8 +284,7 @@ pub fn pv_vertex(
     for v in vertices {
         let mut hv = 0.0;
         for k in 0..3 {
-            hv += mesh.kite_areas_on_vertex[v][k]
-                * h[mesh.cells_on_vertex[v][k] as usize];
+            hv += mesh.kite_areas_on_vertex[v][k] * h[mesh.cells_on_vertex[v][k] as usize];
         }
         hv /= mesh.area_triangle[v];
         out[v - off] = (f_vertex[v] + vorticity[v]) / hv;
@@ -328,12 +292,7 @@ pub fn pv_vertex(
 }
 
 /// F — potential vorticity at cells: kite-area average of the vertex PV.
-pub fn pv_cell(
-    mesh: &Mesh,
-    pv_vertex: &[f64],
-    out: &mut [f64],
-    cells: Range<usize>,
-) {
+pub fn pv_cell(mesh: &Mesh, pv_vertex: &[f64], out: &mut [f64], cells: Range<usize>) {
     let off = cells.start;
     for i in cells {
         let mut acc = 0.0;
@@ -368,10 +327,8 @@ pub fn pv_edge(
         let [v1, v2] = mesh.vertices_on_edge[e];
         let [c1, c2] = mesh.cells_on_edge[e];
         let base = 0.5 * (pv_vertex[v1 as usize] + pv_vertex[v2 as usize]);
-        let grad_t =
-            (pv_vertex[v2 as usize] - pv_vertex[v1 as usize]) / mesh.dv_edge[e];
-        let grad_n =
-            (pv_cell[c2 as usize] - pv_cell[c1 as usize]) / mesh.dc_edge[e];
+        let grad_t = (pv_vertex[v2 as usize] - pv_vertex[v1 as usize]) / mesh.dv_edge[e];
+        let grad_n = (pv_cell[c2 as usize] - pv_cell[c1 as usize]) / mesh.dc_edge[e];
         out[e - off] = base - apvm_factor * dt * (u[e] * grad_n + v[e] * grad_t);
     }
 }
@@ -429,8 +386,9 @@ mod tests {
         // which is −2z/R² on the unit sphere scaled — just check sign
         // structure: positive divergence where z < 0, negative where z > 0.
         let mesh = mpas_mesh::generate(3, 0);
-        let phi: Vec<f64> =
-            (0..mesh.n_cells()).map(|i| mesh.x_cell[i].z * 1e6).collect();
+        let phi: Vec<f64> = (0..mesh.n_cells())
+            .map(|i| mesh.x_cell[i].z * 1e6)
+            .collect();
         let u: Vec<f64> = (0..mesh.n_edges())
             .map(|e| {
                 let [c1, c2] = mesh.cells_on_edge[e];
@@ -535,13 +493,22 @@ mod tests {
     #[test]
     fn apvm_disabled_gives_plain_average() {
         let mesh = mpas_mesh::generate(2, 0);
-        let pv_v: Vec<f64> =
-            (0..mesh.n_vertices()).map(|v| (v as f64).sin()).collect();
+        let pv_v: Vec<f64> = (0..mesh.n_vertices()).map(|v| (v as f64).sin()).collect();
         let pv_c = vec![0.0; mesh.n_cells()];
         let u = vec![10.0; mesh.n_edges()];
         let v = vec![5.0; mesh.n_edges()];
         let mut out = vec![0.0; mesh.n_edges()];
-        pv_edge(&mesh, 0.0, 300.0, &pv_v, &pv_c, &u, &v, &mut out, 0..mesh.n_edges());
+        pv_edge(
+            &mesh,
+            0.0,
+            300.0,
+            &pv_v,
+            &pv_c,
+            &u,
+            &v,
+            &mut out,
+            0..mesh.n_edges(),
+        );
         for e in 0..mesh.n_edges() {
             let [v1, v2] = mesh.vertices_on_edge[e];
             let expect = 0.5 * (pv_v[v1 as usize] + pv_v[v2 as usize]);
@@ -553,8 +520,9 @@ mod tests {
     fn range_splitting_is_exact() {
         // Any op computed in two chunks equals the full-range result.
         let mesh = mpas_mesh::generate(2, 0);
-        let u: Vec<f64> =
-            (0..mesh.n_edges()).map(|e| (e as f64 * 0.31).sin()).collect();
+        let u: Vec<f64> = (0..mesh.n_edges())
+            .map(|e| (e as f64 * 0.31).sin())
+            .collect();
         let mut full = vec![0.0; mesh.n_cells()];
         ke(&mesh, &u, &mut full, 0..mesh.n_cells());
         let mut split = vec![0.0; mesh.n_cells()];

@@ -80,8 +80,9 @@ mod tests {
 
     fn setup() -> (Mesh, Vec<f64>, Vec<f64>) {
         let mesh = mpas_mesh::generate(3, 0);
-        let u: Vec<f64> =
-            (0..mesh.n_edges()).map(|e| (e as f64 * 0.17).sin() * 8.0).collect();
+        let u: Vec<f64> = (0..mesh.n_edges())
+            .map(|e| (e as f64 * 0.17).sin() * 8.0)
+            .collect();
         let h_edge: Vec<f64> = (0..mesh.n_edges())
             .map(|e| 1000.0 + (e as f64 * 0.05).cos() * 50.0)
             .collect();

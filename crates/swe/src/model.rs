@@ -2,12 +2,12 @@
 //! implementation the paper's hybrid versions are compared against.
 
 use crate::config::ModelConfig;
+use crate::kernels;
 use crate::norms::ErrorNorms;
 use crate::reconstruct::ReconstructCoeffs;
 use crate::rk4::{rk4_step, Rk4Workspace};
 use crate::state::{Diagnostics, Reconstruction, State};
 use crate::testcases::TestCase;
-use crate::kernels;
 use mpas_mesh::Mesh;
 use std::sync::Arc;
 
@@ -41,12 +41,7 @@ pub struct ShallowWaterModel {
 impl ShallowWaterModel {
     /// Initialize a model from a test case. `dt = None` picks the
     /// mesh-dependent stable default.
-    pub fn new(
-        mesh: Arc<Mesh>,
-        config: ModelConfig,
-        test_case: TestCase,
-        dt: Option<f64>,
-    ) -> Self {
+    pub fn new(mesh: Arc<Mesh>, config: ModelConfig, test_case: TestCase, dt: Option<f64>) -> Self {
         let state = test_case.initial_state(&mesh);
         let b = test_case.topography(&mesh);
         let f_vertex = test_case.coriolis_vertex(&mesh);
@@ -118,9 +113,7 @@ impl ShallowWaterModel {
             .map(|i| {
                 let h = self.state.h[i];
                 let b = self.b[i];
-                (h * self.diag.ke[i]
-                    + 0.5 * g * ((h + b).powi(2) - b * b))
-                    * self.mesh.area_cell[i]
+                (h * self.diag.ke[i] + 0.5 * g * ((h + b).powi(2) - b * b)) * self.mesh.area_cell[i]
             })
             .sum()
     }
@@ -161,8 +154,7 @@ impl ShallowWaterModel {
         let g = self.config.gravity;
         (0..self.mesh.n_edges())
             .map(|e| {
-                let c =
-                    self.state.u[e].abs() + (g * self.diag.h_edge[e].max(0.0)).sqrt();
+                let c = self.state.u[e].abs() + (g * self.diag.h_edge[e].max(0.0)).sqrt();
                 c * self.dt / self.mesh.dc_edge[e]
             })
             .fold(0.0f64, f64::max)
@@ -215,7 +207,11 @@ mod tests {
         let e0 = m.total_energy();
         m.run_steps(20);
         let e1 = m.total_energy();
-        assert!(((e1 - e0) / e0).abs() < 1e-6, "energy drift {}", (e1 - e0) / e0);
+        assert!(
+            ((e1 - e0) / e0).abs() < 1e-6,
+            "energy drift {}",
+            (e1 - e0) / e0
+        );
     }
 
     #[test]
@@ -224,7 +220,11 @@ mod tests {
         let s0 = m.potential_enstrophy();
         m.run_steps(20);
         let s1 = m.potential_enstrophy();
-        assert!(((s1 - s0) / s0).abs() < 1e-4, "enstrophy drift {}", (s1 - s0) / s0);
+        assert!(
+            ((s1 - s0) / s0).abs() < 1e-4,
+            "enstrophy drift {}",
+            (s1 - s0) / s0
+        );
     }
 
     #[test]

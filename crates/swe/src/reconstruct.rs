@@ -46,8 +46,7 @@ impl ReconstructCoeffs {
             accumulate_dyad(&mut m, r);
             let minv = invert3(&m);
             for slot in range {
-                let n =
-                    project(mesh.normal_edge[mesh.edges_on_cell[slot] as usize]);
+                let n = project(mesh.normal_edge[mesh.edges_on_cell[slot] as usize]);
                 coeffs[slot] = mat_vec(&minv, n);
             }
         }
@@ -89,8 +88,7 @@ fn invert3(m: &[[f64; 3]; 3]) -> [[f64; 3]; 3] {
             let (r1, r2) = ((r + 1) % 3, (r + 2) % 3);
             let (c1, c2) = ((c + 1) % 3, (c + 2) % 3);
             // Transposed cofactor (adjugate).
-            out[c][r] =
-                (m[r1][c1] * m[r2][c2] - m[r1][c2] * m[r2][c1]) * inv_det;
+            out[c][r] = (m[r1][c1] * m[r2][c2] - m[r1][c2] * m[r2][c1]) * inv_det;
         }
     }
     out
@@ -130,11 +128,7 @@ mod tests {
             .collect();
         for i in 0..mesh.n_cells() {
             let mut v = Vec3::ZERO;
-            for (slot, &e) in mesh
-                .edges_on_cell[mesh.cell_range(i)]
-                .iter()
-                .enumerate()
-            {
+            for (slot, &e) in mesh.edges_on_cell[mesh.cell_range(i)].iter().enumerate() {
                 v += rc.coeffs[mesh.cell_range(i).start + slot] * u[e as usize];
             }
             let exact_full = omega.cross(mesh.x_cell[i] * mesh.sphere_radius);
@@ -151,8 +145,9 @@ mod tests {
     fn reconstruction_is_tangent_to_sphere() {
         let mesh = mpas_mesh::generate(2, 0);
         let rc = ReconstructCoeffs::build(&mesh);
-        let u: Vec<f64> =
-            (0..mesh.n_edges()).map(|e| (e as f64 * 0.13).sin()).collect();
+        let u: Vec<f64> = (0..mesh.n_edges())
+            .map(|e| (e as f64 * 0.13).sin())
+            .collect();
         for i in 0..mesh.n_cells() {
             let mut v = Vec3::ZERO;
             let range = mesh.cell_range(i);

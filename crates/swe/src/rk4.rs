@@ -90,19 +90,9 @@ pub fn rk4_step(
                 dt,
                 diag,
             );
-            kernels::accumulative_update(
-                mesh,
-                &ws.tend,
-                RK_WEIGHTS[stage] * dt,
-                &mut ws.acc,
-            );
+            kernels::accumulative_update(mesh, &ws.tend, RK_WEIGHTS[stage] * dt, &mut ws.acc);
         } else {
-            kernels::accumulative_update(
-                mesh,
-                &ws.tend,
-                RK_WEIGHTS[stage] * dt,
-                &mut ws.acc,
-            );
+            kernels::accumulative_update(mesh, &ws.tend, RK_WEIGHTS[stage] * dt, &mut ws.acc);
             state.copy_from(&ws.acc);
             kernels::compute_solve_diagnostics(
                 mesh, config, &state.h, &state.u, f_vertex, dt, diag,

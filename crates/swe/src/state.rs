@@ -18,7 +18,10 @@ pub struct State {
 impl State {
     /// Zero-initialized state sized for a mesh.
     pub fn zeros(mesh: &Mesh) -> Self {
-        State { h: vec![0.0; mesh.n_cells()], u: vec![0.0; mesh.n_edges()] }
+        State {
+            h: vec![0.0; mesh.n_cells()],
+            u: vec![0.0; mesh.n_edges()],
+        }
     }
 
     /// `self = a` (copy without reallocating).

@@ -8,7 +8,9 @@
 //! * **Case 6** — Rossby–Haurwitz wavenumber-4 wave.
 
 use crate::state::State;
-use mpas_geom::{east_at, north_at, to_lonlat, LonLat, Vec3, EARTH_RADIUS, GRAVITY, OMEGA, SECONDS_PER_DAY};
+use mpas_geom::{
+    east_at, north_at, to_lonlat, LonLat, Vec3, EARTH_RADIUS, GRAVITY, OMEGA, SECONDS_PER_DAY,
+};
 use mpas_mesh::Mesh;
 
 /// A Williamson test case: initial condition, topography and Coriolis field.
@@ -56,10 +58,8 @@ impl TestCase {
         let (lon, lat) = (ll.lon, ll.lat);
         match *self {
             TestCase::Case1 { alpha } | TestCase::Case2 { alpha } => {
-                let u0 = 2.0 * std::f64::consts::PI * EARTH_RADIUS
-                    / (12.0 * SECONDS_PER_DAY);
-                let uz =
-                    u0 * (lat.cos() * alpha.cos() + lon.cos() * lat.sin() * alpha.sin());
+                let u0 = 2.0 * std::f64::consts::PI * EARTH_RADIUS / (12.0 * SECONDS_PER_DAY);
+                let uz = u0 * (lat.cos() * alpha.cos() + lon.cos() * lat.sin() * alpha.sin());
                 let vm = -u0 * lon.sin() * alpha.sin();
                 east_at(p) * uz + north_at(p) * vm
             }
@@ -72,9 +72,7 @@ impl TestCase {
                 let a = EARTH_RADIUS;
                 let c = lat.cos();
                 let uz = a * omega * c
-                    + a * k * c.powf(r - 1.0)
-                        * (r * lat.sin().powi(2) - c * c)
-                        * (r * lon).cos();
+                    + a * k * c.powf(r - 1.0) * (r * lat.sin().powi(2) - c * c) * (r * lon).cos();
                 let vm = -a * k * r * c.powf(r - 1.0) * lat.sin() * (r * lon).sin();
                 east_at(p) * uz + north_at(p) * vm
             }
@@ -111,10 +109,8 @@ impl TestCase {
                 // 1000 m background plus a 1000 m cosine bell of radius a/3
                 // centered at (3pi/2, 0). The background makes the PV-free
                 // advection-only diagnostics trivially well-defined.
-                let center = LonLat::new(1.5 * std::f64::consts::PI, 0.0)
-                    .to_unit_vector();
-                let r = mpas_geom::arc_length(p.normalized(), center)
-                    * EARTH_RADIUS;
+                let center = LonLat::new(1.5 * std::f64::consts::PI, 0.0).to_unit_vector();
+                let r = mpas_geom::arc_length(p.normalized(), center) * EARTH_RADIUS;
                 let big_r = EARTH_RADIUS / 3.0;
                 let bell = if r < big_r {
                     500.0 * (1.0 + (std::f64::consts::PI * r / big_r).cos())
@@ -124,8 +120,7 @@ impl TestCase {
                 1000.0 + bell
             }
             TestCase::Case2 { alpha } => {
-                let u0 = 2.0 * std::f64::consts::PI * EARTH_RADIUS
-                    / (12.0 * SECONDS_PER_DAY);
+                let u0 = 2.0 * std::f64::consts::PI * EARTH_RADIUS / (12.0 * SECONDS_PER_DAY);
                 let gh0 = 2.94e4;
                 let s = lat.sin() * alpha.cos() - lon.cos() * lat.cos() * alpha.sin();
                 let gh = gh0 - (EARTH_RADIUS * OMEGA * u0 + 0.5 * u0 * u0) * s * s;
@@ -149,19 +144,12 @@ impl TestCase {
                         * k
                         * k
                         * c.powf(2.0 * r)
-                        * ((r + 1.0) * c2 + (2.0 * r * r - r - 2.0)
-                            - 2.0 * r * r / c2);
+                        * ((r + 1.0) * c2 + (2.0 * r * r - r - 2.0) - 2.0 * r * r / c2);
                 let bb = (2.0 * (OMEGA + omega) * k) / ((r + 1.0) * (r + 2.0))
                     * c.powf(r)
                     * ((r * r + 2.0 * r + 2.0) - (r + 1.0).powi(2) * c2);
-                let cc = 0.25
-                    * k
-                    * k
-                    * c.powf(2.0 * r)
-                    * ((r + 1.0) * c2 - (r + 2.0));
-                let gh = gh0
-                    + a * a
-                        * (aa + bb * (r * lon).cos() + cc * (2.0 * r * lon).cos());
+                let cc = 0.25 * k * k * c.powf(2.0 * r) * ((r + 1.0) * c2 - (r + 2.0));
+                let gh = gh0 + a * a * (aa + bb * (r * lon).cos() + cc * (2.0 * r * lon).cos());
                 gh / GRAVITY
             }
         }
@@ -173,8 +161,7 @@ impl TestCase {
         match *self {
             TestCase::Case1 { alpha } | TestCase::Case2 { alpha } => {
                 2.0 * OMEGA
-                    * (ll.lat.sin() * alpha.cos()
-                        - ll.lat.cos() * ll.lon.cos() * alpha.sin())
+                    * (ll.lat.sin() * alpha.cos() - ll.lat.cos() * ll.lon.cos() * alpha.sin())
             }
             _ => 2.0 * OMEGA * ll.lat.sin(),
         }
@@ -186,8 +173,7 @@ impl TestCase {
     pub fn reference_thickness_at(&self, p: Vec3, t: f64) -> f64 {
         match *self {
             TestCase::Case1 { alpha } => {
-                let u0 = 2.0 * std::f64::consts::PI * EARTH_RADIUS
-                    / (12.0 * SECONDS_PER_DAY);
+                let u0 = 2.0 * std::f64::consts::PI * EARTH_RADIUS / (12.0 * SECONDS_PER_DAY);
                 let theta = u0 * t / EARTH_RADIUS;
                 let axis = Vec3::new(-alpha.sin(), 0.0, alpha.cos());
                 let back = mpas_geom::rotate_about_axis(p, axis, -theta);
@@ -230,23 +216,20 @@ mod tests {
     #[test]
     fn case1_bell_shape_and_background() {
         let tc = TestCase::Case1 { alpha: 0.0 };
-        let center =
-            LonLat::new(1.5 * std::f64::consts::PI, 0.0).to_unit_vector();
+        let center = LonLat::new(1.5 * std::f64::consts::PI, 0.0).to_unit_vector();
         assert!((tc.thickness_at(center) - 2000.0).abs() < 1e-9);
         let far = LonLat::new(0.0, 0.8).to_unit_vector();
         assert_eq!(tc.thickness_at(far), 1000.0);
         // Smooth at the bell edge (cosine taper reaches exactly zero).
         let edge_angle = 1.0 / 3.0;
-        let edge = LonLat::new(1.5 * std::f64::consts::PI + edge_angle, 0.0)
-            .to_unit_vector();
+        let edge = LonLat::new(1.5 * std::f64::consts::PI + edge_angle, 0.0).to_unit_vector();
         assert!(tc.thickness_at(edge) - 1000.0 < 1e-6);
     }
 
     #[test]
     fn case1_reference_rotates_with_the_flow() {
         let tc = TestCase::Case1 { alpha: 0.0 };
-        let center =
-            LonLat::new(1.5 * std::f64::consts::PI, 0.0).to_unit_vector();
+        let center = LonLat::new(1.5 * std::f64::consts::PI, 0.0).to_unit_vector();
         // After a quarter period (3 days) the bell peak has moved 90 deg east.
         let t = 3.0 * SECONDS_PER_DAY;
         let new_center = LonLat::new(0.0, 0.0).to_unit_vector();
@@ -258,12 +241,8 @@ mod tests {
         // Full revolution returns the initial field.
         let t_full = 12.0 * SECONDS_PER_DAY;
         for k in 0..20 {
-            let p = LonLat::new(k as f64 * 0.3, (k as f64 * 0.17).sin())
-                .to_unit_vector();
-            assert!(
-                (tc.reference_thickness_at(p, t_full) - tc.thickness_at(p)).abs()
-                    < 1e-9
-            );
+            let p = LonLat::new(k as f64 * 0.3, (k as f64 * 0.17).sin()).to_unit_vector();
+            assert!((tc.reference_thickness_at(p, t_full) - tc.thickness_at(p)).abs() < 1e-9);
         }
     }
 
@@ -274,8 +253,7 @@ mod tests {
         let axis = Vec3::new(-alpha.sin(), 0.0, alpha.cos());
         let u0 = 2.0 * std::f64::consts::PI * EARTH_RADIUS / (12.0 * SECONDS_PER_DAY);
         for k in 0..30 {
-            let p = LonLat::new(k as f64 * 0.21, (k as f64 * 0.13).sin() * 1.2)
-                .to_unit_vector();
+            let p = LonLat::new(k as f64 * 0.21, (k as f64 * 0.13).sin() * 1.2).to_unit_vector();
             let expect = (axis * u0).cross(p);
             assert!(tc.velocity_at(p).dist(expect) < 1e-9, "point {k}");
         }
@@ -307,8 +285,7 @@ mod tests {
     fn case5_mountain_peak_and_extent() {
         let tc = TestCase::Case5;
         let center =
-            LonLat::new(1.5 * std::f64::consts::PI, std::f64::consts::PI / 6.0)
-                .to_unit_vector();
+            LonLat::new(1.5 * std::f64::consts::PI, std::f64::consts::PI / 6.0).to_unit_vector();
         assert!((tc.topography_at(center) - 2000.0).abs() < 1e-9);
         // Outside radius pi/9 the mountain vanishes.
         let far = LonLat::new(0.0, -1.0).to_unit_vector();
@@ -361,8 +338,8 @@ mod tests {
         let tc = TestCase::Case2 { alpha };
         // The effective pole is at (lon=0 tilted): f is maximal where
         // sin(lat)cos(a) - cos(lat)cos(lon)sin(a) = 1.
-        let pole = LonLat::new(std::f64::consts::PI, std::f64::consts::PI / 2.0 - alpha)
-            .to_unit_vector();
+        let pole =
+            LonLat::new(std::f64::consts::PI, std::f64::consts::PI / 2.0 - alpha).to_unit_vector();
         assert!((tc.coriolis_at(pole) - 2.0 * OMEGA).abs() < 1e-9);
     }
 

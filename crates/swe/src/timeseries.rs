@@ -73,11 +73,7 @@ impl History {
 
 /// Run `n_steps`, sampling every `every` steps (and at start/end).
 /// Convenience driver for examples and the CLI.
-pub fn run_with_history(
-    model: &mut ShallowWaterModel,
-    n_steps: usize,
-    every: usize,
-) -> History {
+pub fn run_with_history(model: &mut ShallowWaterModel, n_steps: usize, every: usize) -> History {
     let mut h = History::new();
     h.record(model);
     let every = every.max(1);
@@ -138,8 +134,7 @@ mod tests {
         assert_eq!(lines.len(), 1 + h.samples.len());
         // Every data row parses back to six floats.
         for row in &lines[1..] {
-            let fields: Vec<f64> =
-                row.split(',').map(|f| f.parse().unwrap()).collect();
+            let fields: Vec<f64> = row.split(',').map(|f| f.parse().unwrap()).collect();
             assert_eq!(fields.len(), 6);
         }
     }

@@ -37,8 +37,7 @@ fn coriolis_term_is_energy_neutral() {
                 let qbar = 0.5 * (q[e] + q[eoe]);
                 q_term += m.weights_on_edge[slot] * u[eoe] * h_edge[eoe] * qbar;
             }
-            let contrib =
-                m.dc_edge[e] * m.dv_edge[e] * h_edge[e] * u[e] * q_term;
+            let contrib = m.dc_edge[e] * m.dv_edge[e] * h_edge[e] * u[e] * q_term;
             work += contrib;
             scale += contrib.abs();
         }
@@ -61,14 +60,16 @@ fn discrete_integration_by_parts() {
     let phi: Vec<f64> = (0..m.n_cells())
         .map(|i| (m.x_cell[i].z * 2.0).sin() * 100.0 + m.x_cell[i].x * 40.0)
         .collect();
-    let flux: Vec<f64> =
-        (0..m.n_edges()).map(|e| ((e as f64) * 0.11).cos() * 8.0).collect();
+    let flux: Vec<f64> = (0..m.n_edges())
+        .map(|e| ((e as f64) * 0.11).cos() * 8.0)
+        .collect();
 
     // lhs = Σ_i φ_i (div F)_i A_i
     let mut div = vec![0.0; m.n_cells()];
     ops::divergence(&m, &flux, &mut div, 0..m.n_cells());
-    let lhs: f64 =
-        (0..m.n_cells()).map(|i| phi[i] * div[i] * m.area_cell[i]).sum();
+    let lhs: f64 = (0..m.n_cells())
+        .map(|i| phi[i] * div[i] * m.area_cell[i])
+        .sum();
 
     // rhs = −Σ_e (δφ)_e F_e l_e  with (δφ)_e = φ(c2) − φ(c1)
     let rhs: f64 = -(0..m.n_edges())
@@ -131,23 +132,24 @@ fn apvm_damps_pv_extremes() {
     let h: Vec<f64> = (0..m.n_cells())
         .map(|i| 5000.0 + (m.x_cell[i].z * 4.0).sin() * 300.0)
         .collect();
-    let u: Vec<f64> =
-        (0..m.n_edges()).map(|e| ((e as f64) * 0.21).sin() * 15.0).collect();
+    let u: Vec<f64> = (0..m.n_edges())
+        .map(|e| ((e as f64) * 0.21).sin() * 15.0)
+        .collect();
     let f_v: Vec<f64> = (0..m.n_vertices())
         .map(|v| 2.0 * mpas_geom::OMEGA * m.x_vertex[v].z)
         .collect();
     let mut d_on = Diagnostics::zeros(&m);
     mpas_swe::kernels::compute_solve_diagnostics(&m, &config, &h, &u, &f_v, 600.0, &mut d_on);
-    let off = ModelConfig { apvm_factor: 0.0, ..config };
+    let off = ModelConfig {
+        apvm_factor: 0.0,
+        ..config
+    };
     let mut d_off = Diagnostics::zeros(&m);
     mpas_swe::kernels::compute_solve_diagnostics(&m, &off, &h, &u, &f_v, 600.0, &mut d_off);
     // Same centered part; the APVM correction is a small fraction of the
     // global PV magnitude (pointwise relative comparisons are meaningless
     // where f + ζ crosses zero near the equator).
-    let pv_scale = d_off
-        .pv_edge
-        .iter()
-        .fold(0.0f64, |a, &b| a.max(b.abs()));
+    let pv_scale = d_off.pv_edge.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
     let max_corr = (0..m.n_edges())
         .map(|e| (d_on.pv_edge[e] - d_off.pv_edge[e]).abs())
         .fold(0.0f64, f64::max);

@@ -41,8 +41,7 @@ fn main() {
     println!("distributed run: {:.2?}", t0.elapsed());
 
     let t1 = std::time::Instant::now();
-    let mut serial =
-        ShallowWaterModel::new(mesh.clone(), ModelConfig::default(), tc, Some(dt));
+    let mut serial = ShallowWaterModel::new(mesh.clone(), ModelConfig::default(), tc, Some(dt));
     serial.run_steps(steps);
     println!("serial run:      {:.2?}", t1.elapsed());
 

@@ -23,8 +23,7 @@ fn main() {
     let tc = TestCase::Case5;
 
     let mut serial = ShallowWaterModel::new(mesh.clone(), cfg, tc, None);
-    let mut hybrid =
-        HybridModel::new(mesh.clone(), cfg, tc, None, 2, 2, &Platform::paper_node());
+    let mut hybrid = HybridModel::new(mesh.clone(), cfg, tc, None, 2, 2, &Platform::paper_node());
     let steps = serial.steps_for_days(days);
     println!(
         "running {steps} steps (dt = {:.0} s, {} cells) twice...",
@@ -62,6 +61,9 @@ fn main() {
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
     println!("serial vs hybrid max |Δ(h+b)| = {maxdiff:.3e} m");
-    assert_eq!(maxdiff, 0.0, "hybrid executor diverged from the serial code");
+    assert_eq!(
+        maxdiff, 0.0,
+        "hybrid executor diverged from the serial code"
+    );
     println!("OK: hybrid implementation matches the original bit-for-bit.");
 }

@@ -16,12 +16,7 @@ fn main() {
     let level: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
 
     let mesh = Arc::new(mpas_repro::mesh::generate(level, 0));
-    let mut m = ShallowWaterModel::new(
-        mesh.clone(),
-        ModelConfig::default(),
-        TestCase::Case6,
-        None,
-    );
+    let mut m = ShallowWaterModel::new(mesh.clone(), ModelConfig::default(), TestCase::Case6, None);
     let steps = ((hours * 3600.0) / m.dt).ceil() as usize;
     println!(
         "Rossby–Haurwitz wave on {} cells, dt = {:.0} s, {steps} steps",
@@ -46,12 +41,7 @@ fn main() {
         }
     }
 
-    let zonal_max = m
-        .recon
-        .zonal
-        .iter()
-        .cloned()
-        .fold(f64::MIN, f64::max);
+    let zonal_max = m.recon.zonal.iter().cloned().fold(f64::MIN, f64::max);
     println!("max reconstructed zonal wind: {zonal_max:.1} m/s");
     assert!(((m.total_mass() - mass0) / mass0).abs() < 1e-12);
     println!("OK: mass conserved to machine precision.");

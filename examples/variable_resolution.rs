@@ -18,11 +18,8 @@ fn main() {
         .unwrap_or(60);
 
     // Refine around the TC5 mountain at (lon = 3π/2, lat = π/6).
-    let center = mpas_geom::LonLat::new(
-        1.5 * std::f64::consts::PI,
-        std::f64::consts::PI / 6.0,
-    )
-    .to_unit_vector();
+    let center = mpas_geom::LonLat::new(1.5 * std::f64::consts::PI, std::f64::consts::PI / 6.0)
+        .to_unit_vector();
     let density = bump_density(center, 0.5, 6.0);
 
     println!("relaxing a level-4 mesh with {sweeps} density-weighted Lloyd sweeps...");
@@ -48,12 +45,7 @@ fn main() {
     );
 
     // The model runs unmodified on the multiresolution mesh.
-    let mut m = ShallowWaterModel::new(
-        mesh.clone(),
-        ModelConfig::default(),
-        TestCase::Case5,
-        None,
-    );
+    let mut m = ShallowWaterModel::new(mesh.clone(), ModelConfig::default(), TestCase::Case5, None);
     let mass0 = m.total_mass();
     m.run_steps(m.steps_for_days(0.25));
     println!(

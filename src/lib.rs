@@ -9,4 +9,5 @@ pub use mpas_hybrid as hybrid;
 pub use mpas_mesh as mesh;
 pub use mpas_msg as msg;
 pub use mpas_patterns as patterns;
+pub use mpas_sched as sched;
 pub use mpas_swe as swe;

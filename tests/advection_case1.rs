@@ -7,7 +7,10 @@ use std::sync::Arc;
 
 fn advection_model(level: u32, alpha: f64) -> ShallowWaterModel {
     let mesh = Arc::new(mpas_repro::mesh::generate(level, 0));
-    let config = ModelConfig { advection_only: true, ..Default::default() };
+    let config = ModelConfig {
+        advection_only: true,
+        ..Default::default()
+    };
     ShallowWaterModel::new(mesh, config, TestCase::Case1 { alpha }, None)
 }
 
@@ -34,11 +37,8 @@ fn bell_advects_with_bounded_error_over_a_quarter_revolution() {
     let initial_ref: Vec<f64> = (0..m.mesh.n_cells())
         .map(|i| m.test_case.thickness_at(m.mesh.x_cell[i]))
         .collect();
-    let against_initial = mpas_repro::swe::ErrorNorms::compute(
-        &m.state.h,
-        &initial_ref,
-        &m.mesh.area_cell,
-    );
+    let against_initial =
+        mpas_repro::swe::ErrorNorms::compute(&m.state.h, &initial_ref, &m.mesh.area_cell);
     // (The 1000 m background dilutes the relative norms, so the contrast
     // factor is modest even for a fully displaced bell.)
     assert!(

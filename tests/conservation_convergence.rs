@@ -8,12 +8,7 @@ use std::sync::Arc;
 #[test]
 fn mass_conserved_over_hundred_steps() {
     let mesh = Arc::new(mpas_repro::mesh::generate(3, 0));
-    let mut m = ShallowWaterModel::new(
-        mesh,
-        ModelConfig::default(),
-        TestCase::Case5,
-        None,
-    );
+    let mut m = ShallowWaterModel::new(mesh, ModelConfig::default(), TestCase::Case5, None);
     let m0 = m.total_mass();
     m.run_steps(100);
     assert!(((m.total_mass() - m0) / m0).abs() < 1e-12);
@@ -22,12 +17,7 @@ fn mass_conserved_over_hundred_steps() {
 #[test]
 fn energy_and_enstrophy_drift_slowly() {
     let mesh = Arc::new(mpas_repro::mesh::generate(3, 0));
-    let mut m = ShallowWaterModel::new(
-        mesh,
-        ModelConfig::default(),
-        TestCase::Case6,
-        None,
-    );
+    let mut m = ShallowWaterModel::new(mesh, ModelConfig::default(), TestCase::Case6, None);
     let e0 = m.total_energy();
     let s0 = m.potential_enstrophy();
     m.run_steps(100);
@@ -85,8 +75,14 @@ fn tilted_case2_is_also_steady() {
 #[test]
 fn apvm_upwinding_stabilizes_pv_without_changing_mass() {
     let mesh = Arc::new(mpas_repro::mesh::generate(3, 0));
-    let on = ModelConfig { apvm_factor: 0.5, ..Default::default() };
-    let off = ModelConfig { apvm_factor: 0.0, ..Default::default() };
+    let on = ModelConfig {
+        apvm_factor: 0.5,
+        ..Default::default()
+    };
+    let off = ModelConfig {
+        apvm_factor: 0.0,
+        ..Default::default()
+    };
     let mut m_on = ShallowWaterModel::new(mesh.clone(), on, TestCase::Case6, None);
     let mut m_off = ShallowWaterModel::new(mesh.clone(), off, TestCase::Case6, None);
     let mass0 = m_on.total_mass();
@@ -118,8 +114,5 @@ fn rk4_is_time_reversible_to_truncation_error() {
     let diff = m.state.max_abs_diff(&initial);
     // Forward-then-backward RK4 is the identity up to O(dt^4) truncation
     // accumulated over 10 steps (~1e-6 relative on this coarse mesh).
-    assert!(
-        diff / h_scale < 1e-5,
-        "not reversible: max diff {diff:e}"
-    );
+    assert!(diff / h_scale < 1e-5, "not reversible: max diff {diff:e}");
 }

@@ -73,12 +73,7 @@ fn fig5_total_height_stays_in_band_under_mountain_flow() {
     // The Fig. 5 color scale spans roughly 5050-5950 m at day 15; a short
     // run must stay within the same physical band.
     let mesh = Arc::new(mpas_repro::mesh::generate(4, 0));
-    let mut m = ShallowWaterModel::new(
-        mesh.clone(),
-        ModelConfig::default(),
-        TestCase::Case5,
-        None,
-    );
+    let mut m = ShallowWaterModel::new(mesh.clone(), ModelConfig::default(), TestCase::Case5, None);
     m.run_steps(m.steps_for_days(0.5));
     let th = m.total_height();
     let min = th.iter().cloned().fold(f64::MAX, f64::min);
@@ -90,7 +85,10 @@ fn fig5_total_height_stays_in_band_under_mountain_flow() {
 #[test]
 fn high_order_h_edge_configuration_also_agrees_across_executors() {
     let mesh = Arc::new(mpas_repro::mesh::generate(3, 0));
-    let cfg = ModelConfig { high_order_h_edge: true, ..Default::default() };
+    let cfg = ModelConfig {
+        high_order_h_edge: true,
+        ..Default::default()
+    };
     let tc = TestCase::Case5;
     let mut serial = ShallowWaterModel::new(mesh.clone(), cfg, tc, None);
     let mut threaded = ParallelModel::new(mesh.clone(), cfg, tc, None, 2);
@@ -102,11 +100,13 @@ fn high_order_h_edge_configuration_also_agrees_across_executors() {
 #[test]
 fn del2_dissipation_configuration_agrees_and_damps() {
     let mesh = Arc::new(mpas_repro::mesh::generate(3, 0));
-    let cfg = ModelConfig { del2_viscosity: 1.0e5, ..Default::default() };
+    let cfg = ModelConfig {
+        del2_viscosity: 1.0e5,
+        ..Default::default()
+    };
     let tc = TestCase::Case6;
     let mut with_nu = ShallowWaterModel::new(mesh.clone(), cfg, tc, None);
-    let mut without =
-        ShallowWaterModel::new(mesh.clone(), ModelConfig::default(), tc, None);
+    let mut without = ShallowWaterModel::new(mesh.clone(), ModelConfig::default(), tc, None);
     let mut threaded = ParallelModel::new(mesh.clone(), cfg, tc, None, 2);
     with_nu.run_steps(10);
     without.run_steps(10);

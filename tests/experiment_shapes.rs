@@ -45,9 +45,7 @@ fn fig7_absolute_times_near_paper() {
     // Calibration check: the modeled absolute step times should sit within
     // ~35% of the paper's reported values at both ends of Table III.
     let p = Platform::paper_node();
-    let near = |modeled: f64, paper: f64| {
-        (modeled / paper - 1.0).abs() < 0.35
-    };
+    let near = |modeled: f64, paper: f64| (modeled / paper - 1.0).abs() < 0.35;
     let small = MeshCounts::icosahedral(40_962);
     let large = MeshCounts::icosahedral(2_621_442);
     assert!(
@@ -83,14 +81,16 @@ fn fig8_strong_scaling_crossover() {
     let comm = CommCostModel::fdr_infiniband();
     let eff = |cells: usize, ranks: usize| {
         let t1 = time_per_step_multirank(cells, 1, &p, Policy::PatternDriven, &comm);
-        let tp =
-            time_per_step_multirank(cells, ranks, &p, Policy::PatternDriven, &comm);
+        let tp = time_per_step_multirank(cells, ranks, &p, Policy::PatternDriven, &comm);
         t1 / (tp * ranks as f64)
     };
     let small64 = eff(655_362, 64);
     let large64 = eff(2_621_442, 64);
     assert!(large64 > small64 + 0.1, "no size-dependent saturation");
-    assert!(large64 > 0.8, "large mesh should stay near-ideal: {large64}");
+    assert!(
+        large64 > 0.8,
+        "large mesh should stay near-ideal: {large64}"
+    );
     assert!(small64 < 0.8, "small mesh should saturate: {small64}");
 }
 
@@ -101,13 +101,33 @@ fn fig9_weak_scaling_flat_for_both_versions() {
     for policy in [Policy::Serial, Policy::PatternDriven] {
         let t1 = time_per_step_multirank(40_962, 1, &p, policy, &comm);
         for &ranks in &[4usize, 16, 64] {
-            let tp =
-                time_per_step_multirank(40_962 * ranks, ranks, &p, policy, &comm);
-            assert!(
-                tp / t1 < 1.12,
-                "{policy:?} at P={ranks}: {tp} vs {t1}"
-            );
+            let tp = time_per_step_multirank(40_962 * ranks, ranks, &p, policy, &comm);
+            assert!(tp / t1 < 1.12, "{policy:?} at P={ranks}: {tp} vs {t1}");
         }
+    }
+}
+
+#[test]
+fn fig7x_policy_table_covers_registry_and_heft_beats_kernel_level() {
+    // The `figures -- fig7x` acceptance: every registered policy schedules
+    // every Table III mesh, and HEFT's makespan is never worse than the
+    // kernel-level static map on any of them.
+    use mpas_repro::sched::{registered_names, resolve};
+    let p = Platform::paper_node();
+    let names = registered_names();
+    assert!(names.len() >= 6, "registry too small: {names:?}");
+    for &cells in &TABLE3_CELLS {
+        let mc = MeshCounts::icosahedral(cells);
+        for spec in &names {
+            let t = time_per_step(&mc, &p, resolve(spec).unwrap());
+            assert!(t > 0.0 && t.is_finite(), "{spec} on {cells}: {t}");
+        }
+        let heft = time_per_step(&mc, &p, resolve("heft").unwrap());
+        let kernel = time_per_step(&mc, &p, Policy::KernelLevel);
+        assert!(
+            heft <= kernel,
+            "{cells}: heft {heft} worse than kernel-level {kernel}"
+        );
     }
 }
 

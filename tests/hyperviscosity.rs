@@ -13,10 +13,16 @@ fn del4_damps_grid_noise_more_selectively_than_del2() {
     // tendency than del2 does (scale selectivity).
     let mesh = mpas_mesh::generate(3, 0);
     let smooth: Vec<f64> = (0..mesh.n_edges())
-        .map(|e| mpas_geom::Vec3::Z.cross(mesh.x_edge[e]).dot(mesh.normal_edge[e]) * 10.0)
+        .map(|e| {
+            mpas_geom::Vec3::Z
+                .cross(mesh.x_edge[e])
+                .dot(mesh.normal_edge[e])
+                * 10.0
+        })
         .collect();
-    let noise: Vec<f64> =
-        (0..mesh.n_edges()).map(|e| if e % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let noise: Vec<f64> = (0..mesh.n_edges())
+        .map(|e| if e % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
 
     // Magnitude of each operator's response to each field.
     let respond = |u: &[f64], del2: f64, del4: f64| -> f64 {
@@ -42,10 +48,8 @@ fn del4_damps_grid_noise_more_selectively_than_del2() {
 
     let nu2 = 1.0e5;
     let nu4 = 1.0e15;
-    let selectivity_del2 =
-        respond(&noise, nu2, 0.0) / respond(&smooth, nu2, 0.0);
-    let selectivity_del4 =
-        respond(&noise, 0.0, nu4) / respond(&smooth, 0.0, nu4);
+    let selectivity_del2 = respond(&noise, nu2, 0.0) / respond(&smooth, nu2, 0.0);
+    let selectivity_del4 = respond(&noise, 0.0, nu4) / respond(&smooth, 0.0, nu4);
     assert!(
         selectivity_del4 > 5.0 * selectivity_del2,
         "del4 not scale-selective: {selectivity_del4} vs {selectivity_del2}"
@@ -55,10 +59,14 @@ fn del4_damps_grid_noise_more_selectively_than_del2() {
 #[test]
 fn del4_dissipates_noise_energy() {
     let mesh = mpas_mesh::generate(3, 0);
-    let config = ModelConfig { del4_viscosity: 1.0e15, ..Default::default() };
+    let config = ModelConfig {
+        del4_viscosity: 1.0e15,
+        ..Default::default()
+    };
     let h = vec![5000.0; mesh.n_cells()];
-    let u: Vec<f64> =
-        (0..mesh.n_edges()).map(|e| if e % 2 == 0 { 0.5 } else { -0.5 }).collect();
+    let u: Vec<f64> = (0..mesh.n_edges())
+        .map(|e| if e % 2 == 0 { 0.5 } else { -0.5 })
+        .collect();
     let b = vec![0.0; mesh.n_cells()];
     let f_v = vec![0.0; mesh.n_vertices()];
     let mut diag = Diagnostics::zeros(&mesh);
@@ -75,7 +83,10 @@ fn del4_dissipates_noise_energy() {
 #[test]
 fn del4_configuration_matches_across_executors() {
     let mesh = Arc::new(mpas_mesh::generate(3, 0));
-    let cfg = ModelConfig { del4_viscosity: 5.0e14, ..Default::default() };
+    let cfg = ModelConfig {
+        del4_viscosity: 5.0e14,
+        ..Default::default()
+    };
     let tc = TestCase::Case6;
     let mut serial = ShallowWaterModel::new(mesh.clone(), cfg, tc, None);
     let mut threaded = ParallelModel::new(mesh, cfg, tc, None, 3);
@@ -89,7 +100,10 @@ fn del4_configuration_matches_across_executors() {
 #[test]
 fn del4_preserves_mass_exactly() {
     let mesh = Arc::new(mpas_mesh::generate(3, 0));
-    let cfg = ModelConfig { del4_viscosity: 5.0e14, ..Default::default() };
+    let cfg = ModelConfig {
+        del4_viscosity: 5.0e14,
+        ..Default::default()
+    };
     let mut m = ShallowWaterModel::new(mesh, cfg, TestCase::Case5, None);
     let m0 = m.total_mass();
     m.run_steps(20);

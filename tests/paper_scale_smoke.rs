@@ -16,8 +16,7 @@ fn level6_mesh_generates_validates_and_steps() {
     mesh.validate();
 
     // Resolution label check: mean cell spacing ~120 km.
-    let mean_dc =
-        mesh.dc_edge.iter().sum::<f64>() / mesh.n_edges() as f64 / 1000.0;
+    let mean_dc = mesh.dc_edge.iter().sum::<f64>() / mesh.n_edges() as f64 / 1000.0;
     assert!(
         (90.0..150.0).contains(&mean_dc),
         "mean spacing {mean_dc} km (expected ~120)"
@@ -25,12 +24,7 @@ fn level6_mesh_generates_validates_and_steps() {
 
     // Three RK4 steps of the Fig. 5 scenario stay physical and conserve
     // mass at machine precision.
-    let mut m = ShallowWaterModel::new(
-        mesh.clone(),
-        ModelConfig::default(),
-        TestCase::Case5,
-        None,
-    );
+    let mut m = ShallowWaterModel::new(mesh.clone(), ModelConfig::default(), TestCase::Case5, None);
     let mass0 = m.total_mass();
     m.run_steps(3);
     assert!(((m.total_mass() - mass0) / mass0).abs() < 1e-13);

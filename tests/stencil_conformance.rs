@@ -13,7 +13,9 @@ fn mesh() -> Mesh {
 }
 
 fn edge_field(m: &Mesh) -> Vec<f64> {
-    (0..m.n_edges()).map(|e| (e as f64 * 0.37).sin() * 10.0).collect()
+    (0..m.n_edges())
+        .map(|e| (e as f64 * 0.37).sin() * 10.0)
+        .collect()
 }
 
 /// Edges belonging to cell `i`'s declared class-A stencil.
@@ -23,7 +25,10 @@ fn edges_of_cell(m: &Mesh, i: usize) -> HashSet<usize> {
 
 /// Find an entity far from a set (not contained in it).
 fn far_member(n: usize, exclude: &HashSet<usize>) -> usize {
-    (0..n).rev().find(|k| !exclude.contains(k)).expect("no far entity")
+    (0..n)
+        .rev()
+        .find(|k| !exclude.contains(k))
+        .expect("no far entity")
 }
 
 #[test]
@@ -81,8 +86,7 @@ fn class_h_tangential_velocity_depends_exactly_on_edges_on_edge() {
     let m = mesh();
     let mut u = edge_field(&m);
     let edge = 55usize;
-    let stencil: HashSet<usize> =
-        m.edges_of_edge(edge).iter().map(|&e| e as usize).collect();
+    let stencil: HashSet<usize> = m.edges_of_edge(edge).iter().map(|&e| e as usize).collect();
     // The edge itself is NOT in its own TRiSK neighborhood.
     assert!(!stencil.contains(&edge));
 
@@ -111,11 +115,15 @@ fn class_h_tangential_velocity_depends_exactly_on_edges_on_edge() {
 #[test]
 fn class_f_pv_cell_depends_exactly_on_cell_vertices() {
     let m = mesh();
-    let mut pv: Vec<f64> =
-        (0..m.n_vertices()).map(|v| (v as f64 * 0.11).cos()).collect();
+    let mut pv: Vec<f64> = (0..m.n_vertices())
+        .map(|v| (v as f64 * 0.11).cos())
+        .collect();
     let cell = 12usize;
-    let stencil: HashSet<usize> =
-        m.vertices_of_cell(cell).iter().map(|&v| v as usize).collect();
+    let stencil: HashSet<usize> = m
+        .vertices_of_cell(cell)
+        .iter()
+        .map(|&v| v as usize)
+        .collect();
 
     let mut out = vec![0.0; m.n_cells()];
     ops::pv_cell(&m, &pv, &mut out, 0..m.n_cells());
@@ -144,8 +152,7 @@ fn class_b_tend_u_reaches_edges_on_edge_but_no_further() {
     let h_edge: Vec<f64> = vec![5000.0; m.n_edges()];
 
     let edge = 200usize;
-    let mut stencil: HashSet<usize> =
-        m.edges_of_edge(edge).iter().map(|&e| e as usize).collect();
+    let mut stencil: HashSet<usize> = m.edges_of_edge(edge).iter().map(|&e| e as usize).collect();
     stencil.insert(edge); // pv_edge[e] and the gradient use the edge itself
 
     let run = |u: &[f64], out: &mut Vec<f64>| {
