@@ -2,11 +2,16 @@
 //!
 //! ```text
 //! figures <experiment> [options]
-//!   table1 | table2 | table3 | fig4 | fig5 | fig6 | fig7 | fig7x | fig8
-//!   | fig9 | ablations | trace | profile | convergence | partitioners | all
+//!   table1 | table2 | table3 | fig4 | fig4x | fig5 | fig6 | fig7 | fig7x
+//!   | fig8 | fig9 | ablations | trace | profile | convergence
+//!   | partitioners | all
 //!
 //! `fig7x` extends Fig. 7 with every policy registered in `mpas-sched`
 //! (HEFT, CPOP, lookahead, dynamic-list, ...) on the Table III meshes.
+//!
+//! `fig4x` runs the real threaded executor under the telemetry recorder
+//! and prints the measured per-pattern times next to the roofline model's
+//! predictions, writing one combined modeled+measured Chrome trace.
 //!
 //! options:
 //!   --level N     mesh subdivision level for measured runs (default 5)
@@ -64,6 +69,7 @@ fn main() {
             "table2" => table2(),
             "table3" => table3(&opts),
             "fig4" => fig4(),
+            "fig4x" => fig4x(&opts),
             "fig5" => fig5(&opts),
             "fig6" => fig6(&opts),
             "fig7" => fig7(&opts),
@@ -633,6 +639,72 @@ fn convergence() {
         "Convergence — Williamson TC2 thickness error after 6 h",
         &["level", "cells", "l1", "l2", "linf", "l2 rate"],
         &rows,
+    );
+}
+
+/// Fig. 4 extension: measured-vs-modeled per-pattern report. Runs the real
+/// threaded executor under a telemetry recorder, fits per-pattern measured
+/// times from the collected `hybrid.kernel.*` histograms, and prints them
+/// against the roofline predictions; also writes a combined Chrome trace
+/// with the modeled schedule (track group 1) and the measured spans (track
+/// group 2) side by side.
+fn fig4x(opts: &Opts) {
+    use mpas_core::{Executor, Simulation};
+    use mpas_telemetry::Recorder;
+
+    let rec = Recorder::new();
+    let mesh = Arc::new(mpas_mesh::generate(opts.level, 0));
+    let mut sim = Simulation::builder()
+        .mesh(mesh.clone())
+        .test_case(TestCase::Case5)
+        .config(ModelConfig {
+            high_order_h_edge: true,
+            ..ModelConfig::default()
+        })
+        .executor(Executor::Threaded { threads: 2 })
+        .recorder(rec.clone())
+        .build();
+    sim.run_steps(2);
+
+    let mc = MeshCounts {
+        n_cells: mesh.n_cells() as f64,
+        n_edges: mesh.n_edges() as f64,
+        n_vertices: mesh.n_vertices() as f64,
+    };
+    let report = mpas_hybrid::calibration_from_metrics(&rec.snapshot(), &mc);
+    let rows: Vec<Vec<String>> = report
+        .entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.name.clone(),
+                fmt_secs(e.measured),
+                fmt_secs(e.predicted),
+                format!("{:.2}", e.coeff()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Fig. 4x — measured (p50 of telemetry histograms) vs roofline, level {} ({} cells)",
+            opts.level,
+            mesh.n_cells()
+        ),
+        &["pattern", "measured", "modeled", "ratio"],
+        &rows,
+    );
+
+    let out_dir = std::path::Path::new("target/figures");
+    std::fs::create_dir_all(out_dir).expect("create target/figures");
+    let schedule = sim.modeled_schedule(&Platform::paper_node());
+    let json = mpas_hybrid::to_combined_trace(&schedule, &rec);
+    let path = out_dir.join("fig4x_combined.json");
+    std::fs::write(&path, &json).expect("write combined trace");
+    println!(
+        "wrote {} ({} measured spans + {}-node modeled schedule)",
+        path.display(),
+        rec.spans().len(),
+        schedule.nodes.len()
     );
 }
 

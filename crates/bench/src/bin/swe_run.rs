@@ -6,10 +6,18 @@
 //! swe-run --case 5 --level 5 --days 2 --executor threaded:4 \
 //!         --frames 4 --out target/frames
 //! ```
+//!
+//! With `--trace trace.json` the run is recorded and a combined
+//! Chrome-trace is written: track group "modeled" holds the scheduler's
+//! predicted substep timeline, "measured" the recorded execution. With
+//! `--metrics metrics.json` a metrics snapshot (per-kernel timing
+//! histograms, halo byte counters, per-step norms) is written as JSON
+//! (`.csv` extension switches to CSV).
 
 use mpas_bench::render::{sample_lonlat, write_ppm};
 use mpas_core::{Executor, Simulation};
 use mpas_swe::TestCase;
+use mpas_telemetry::Recorder;
 use std::path::PathBuf;
 
 struct Args {
@@ -22,6 +30,8 @@ struct Args {
     policy: String,
     frames: usize,
     out: PathBuf,
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +45,8 @@ fn parse_args() -> Args {
         policy: "pattern-driven".into(),
         frames: 0,
         out: PathBuf::from("target/frames"),
+        trace: None,
+        metrics: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -49,11 +61,14 @@ fn parse_args() -> Args {
             "--policy" => args.policy = val(),
             "--frames" => args.frames = val().parse().expect("frames"),
             "--out" => args.out = PathBuf::from(val()),
+            "--trace" => args.trace = Some(PathBuf::from(val())),
+            "--metrics" => args.metrics = Some(PathBuf::from(val())),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: swe-run [--case 2|5|6] [--alpha RAD] [--level N] \
                      [--lloyd N] [--days X] [--executor serial|threaded:N|hybrid:N:M] \
-                     [--policy NAME] [--frames K] [--out DIR]\n\
+                     [--policy NAME] [--frames K] [--out DIR] \
+                     [--trace FILE.json] [--metrics FILE.json|FILE.csv]\n\
                      policies: {}",
                     mpas_sched::registered_names().join(", ")
                 );
@@ -93,12 +108,19 @@ fn main() {
         "generating level-{} mesh (lloyd {})...",
         args.level, args.lloyd
     );
+    let telemetry_on = args.trace.is_some() || args.metrics.is_some();
+    let rec = if telemetry_on {
+        Recorder::new()
+    } else {
+        Recorder::noop()
+    };
     let mut sim = Simulation::builder()
         .mesh_level(args.level)
         .lloyd_iters(args.lloyd)
         .test_case(tc)
         .executor(parse_executor(&args.executor))
         .sched_policy(&args.policy)
+        .recorder(rec.clone())
         .build();
 
     let total_steps = ((args.days * 86_400.0) / sim.dt()).ceil().max(1.0) as usize;
@@ -152,5 +174,37 @@ fn main() {
     );
     if args.frames > 0 {
         println!("wrote {frame} frames to {}", args.out.display());
+    }
+
+    if telemetry_on {
+        // One real halo-exchange round on a 4-way partition so the metrics
+        // carry measured halo byte counters next to the analytic estimate.
+        mpas_core::halo_probe(&sim.mesh, 4, &rec);
+    }
+    if let Some(path) = &args.trace {
+        let schedule = sim.modeled_schedule(&mpas_hybrid::Platform::paper_node());
+        let json = mpas_hybrid::to_combined_trace(&schedule, &rec);
+        std::fs::write(path, &json).expect("write trace");
+        println!(
+            "wrote combined modeled+measured trace ({} spans) to {}",
+            rec.spans().len(),
+            path.display()
+        );
+    }
+    if let Some(path) = &args.metrics {
+        let snap = rec.snapshot();
+        let body = if path.extension().is_some_and(|e| e == "csv") {
+            snap.to_csv()
+        } else {
+            snap.to_json()
+        };
+        std::fs::write(path, &body).expect("write metrics");
+        println!(
+            "wrote {} counters / {} gauges / {} histograms to {}",
+            snap.counters.len(),
+            snap.gauges.len(),
+            snap.histograms.len(),
+            path.display()
+        );
     }
 }

@@ -1,0 +1,89 @@
+//! Satellite guard: disabled telemetry must cost nothing measurable.
+//!
+//! The instrumented executors hit a telemetry hook a bounded number of
+//! times per RK-4 step (`kernel_timer` per pattern per stage, step/stage
+//! spans, per-step gauges — comfortably under `CALLS_PER_STEP` below).
+//! Rather than an A/B wall-clock comparison of two whole builds (noisy on
+//! shared CI), this microbenchmarks the no-op recorder's primitives with
+//! the same harness the paper figures use and asserts that a whole step's
+//! worth of hooks stays within 5% of one measured step.
+
+use mpas_bench::time_per_call;
+use mpas_core::{Executor, Simulation};
+use mpas_telemetry::Recorder;
+
+/// Upper bound on telemetry hook invocations per RK-4 step: 4 stages x
+/// (~16 kernel timers + 1 stage span) + step span + facade gauges/counter.
+const CALLS_PER_STEP: f64 = 150.0;
+
+#[test]
+fn noop_recorder_overhead_is_within_5_percent_of_a_step() {
+    let rec = Recorder::noop();
+
+    // The hooks the hot path executes: the enabled check (taken on every
+    // kernel), and the full guard create/drop + counter/gauge writes the
+    // disabled recorder short-circuits.
+    let iters = 100_000;
+    let t_enabled_check = time_per_call(
+        || {
+            std::hint::black_box(rec.is_enabled());
+        },
+        iters,
+    );
+    let t_guard = time_per_call(
+        || {
+            let g = rec.time("bench.guard_seconds");
+            std::hint::black_box(&g);
+        },
+        iters,
+    );
+    let t_counter = time_per_call(
+        || {
+            rec.add("bench.counter", 1);
+        },
+        iters,
+    );
+    let t_gauge = time_per_call(
+        || {
+            rec.set_gauge("bench.gauge", 1.0);
+        },
+        iters,
+    );
+    let per_call = t_enabled_check.max(t_guard).max(t_counter).max(t_gauge);
+    let overhead_per_step = CALLS_PER_STEP * per_call;
+
+    // One real step of the instrumented threaded executor (recorder off —
+    // exactly the uninstrumented configuration every non-traced run uses).
+    let mut sim = Simulation::builder()
+        .mesh_level(3)
+        .executor(Executor::Threaded { threads: 2 })
+        .build();
+    sim.run_steps(1); // warm-up
+    let t0 = std::time::Instant::now();
+    sim.run_steps(4);
+    let step_seconds = t0.elapsed().as_secs_f64() / 4.0;
+
+    assert!(
+        overhead_per_step <= 0.05 * step_seconds,
+        "no-op telemetry overhead {:.3e}s/step ({CALLS_PER_STEP} x {per_call:.3e}s) \
+         exceeds 5% of a measured step ({step_seconds:.3e}s)",
+        overhead_per_step
+    );
+}
+
+#[test]
+fn noop_recorder_stores_nothing() {
+    let rec = Recorder::noop();
+    {
+        let _g = rec.span_timed("measured", "step", "hybrid.step_seconds");
+        rec.add("c", 1);
+        rec.set_gauge("g", 1.0);
+        rec.record("h", 1.0);
+        rec.event("e", &[]);
+    }
+    assert!(!rec.is_enabled());
+    assert!(rec.spans().is_empty());
+    assert!(rec.events().is_empty());
+    let snap = rec.snapshot();
+    assert!(snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty());
+}

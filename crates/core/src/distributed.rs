@@ -18,6 +18,7 @@ use mpas_swe::reconstruct::ReconstructCoeffs;
 use mpas_swe::rk4::{RK_SUBSTEP, RK_WEIGHTS};
 use mpas_swe::state::{Diagnostics, Reconstruction, State, Tendencies};
 use mpas_swe::testcases::TestCase;
+use mpas_telemetry::Recorder;
 
 /// Parameters of a distributed run.
 #[derive(Debug, Clone, Copy)]
@@ -40,6 +41,13 @@ pub struct DistributedConfig {
 /// Run the model on `n_ranks` ranks and gather the global prognostic state
 /// on return.
 pub fn run_distributed(mesh: &Mesh, cfg: DistributedConfig) -> State {
+    run_distributed_recorded(mesh, cfg, &Recorder::noop())
+}
+
+/// [`run_distributed`] with telemetry: every rank's communicator and halo
+/// exchanger report into `rec` (`msg.comm.*` / `msg.halo.*`), which is
+/// shared across ranks — counters aggregate over the whole job.
+pub fn run_distributed_recorded(mesh: &Mesh, cfg: DistributedConfig, rec: &Recorder) -> State {
     assert!(
         cfg.halo_layers >= 3,
         "TRiSK stencils need at least 3 halo layers"
@@ -52,8 +60,9 @@ pub fn run_distributed(mesh: &Mesh, cfg: DistributedConfig) -> State {
         .collect();
 
     let results = run_ranks(cfg.n_ranks, |mut ctx| {
+        ctx.set_recorder(rec.clone());
         let (lm, rl) = &locals[ctx.rank];
-        rank_main(&mut ctx, lm, rl.clone(), &cfg)
+        rank_main(&mut ctx, lm, rl.clone(), &cfg, rec)
     });
 
     // Assemble the global state from each rank's owned entries.
@@ -77,6 +86,7 @@ fn rank_main(
     lm: &mpas_mesh::LocalMesh,
     rl: mpas_mesh::RankLocal,
     cfg: &DistributedConfig,
+    rec: &Recorder,
 ) -> (Vec<f64>, Vec<f64>) {
     let mesh = &lm.mesh;
     let mcfg = &cfg.model;
@@ -92,7 +102,7 @@ fn rank_main(
     let mut provis = State::zeros(mesh);
     let mut acc = State::zeros(mesh);
     let mut recon = Reconstruction::zeros(mesh);
-    let mut hx = HaloExchanger::new(rl);
+    let mut hx = HaloExchanger::new(rl).with_recorder(rec.clone());
 
     let n_owned_cells = lm.n_owned_cells;
     let n_owned_edges = lm.n_owned_edges;
@@ -151,6 +161,41 @@ fn rank_main(
         state.h[..n_owned_cells].to_vec(),
         state.u[..n_owned_edges].to_vec(),
     )
+}
+
+/// Partition `mesh` across `n_ranks` (3 halo layers), run one real packed
+/// halo exchange under `rec`, and return the exact per-substep halo bytes
+/// implied by the partition's send lists (summed over all ranks, one
+/// direction, 8 bytes per `f64`).
+///
+/// Also sets two gauges on `rec` so a metrics snapshot can compare the
+/// measurement against the analytic √n estimate the scaling model uses:
+/// `msg.halo.exact_bytes_per_substep` (this function's return value) and
+/// `msg.halo.modeled_bytes_per_substep`
+/// ([`mpas_hybrid::sim::halo_bytes_per_substep`] summed over ranks).
+pub fn halo_probe(mesh: &Mesh, n_ranks: usize, rec: &Recorder) -> u64 {
+    let part = MeshPartition::build(mesh, n_ranks, 3);
+    let exact: u64 = part
+        .ranks
+        .iter()
+        .flat_map(|p| p.send_cells.iter().chain(p.send_edges.iter()))
+        .map(|(_, list)| (list.len() * 8) as u64)
+        .sum();
+    let parts = part.ranks;
+    run_ranks(n_ranks, |mut ctx| {
+        ctx.set_recorder(rec.clone());
+        let mut hx = HaloExchanger::new(parts[ctx.rank].clone()).with_recorder(rec.clone());
+        let mut cells = vec![0.0; hx.local().n_cells()];
+        let mut edges = vec![0.0; hx.local().edges.len()];
+        hx.exchange_state(&mut ctx, &mut cells, &mut edges);
+    });
+    rec.set_gauge("msg.halo.exact_bytes_per_substep", exact as f64);
+    rec.set_gauge(
+        "msg.halo.modeled_bytes_per_substep",
+        n_ranks as f64
+            * mpas_hybrid::sim::halo_bytes_per_substep(mesh.n_cells() as f64 / n_ranks as f64),
+    );
+    exact
 }
 
 fn update_owned(base: &State, tend: &Tendencies, coef: f64, out: &mut State, nc: usize, ne: usize) {

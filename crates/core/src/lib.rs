@@ -22,5 +22,5 @@
 pub mod distributed;
 pub mod simulation;
 
-pub use distributed::{run_distributed, DistributedConfig};
+pub use distributed::{halo_probe, run_distributed, run_distributed_recorded, DistributedConfig};
 pub use simulation::{Executor, Simulation, SimulationBuilder};

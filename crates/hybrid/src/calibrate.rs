@@ -30,6 +30,7 @@ use mpas_swe::config::ModelConfig;
 use mpas_swe::kernels::ops;
 use mpas_swe::rk4::{RK_SUBSTEP, RK_WEIGHTS};
 use mpas_swe::testcases::TestCase;
+use mpas_telemetry::MetricsSnapshot;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -359,6 +360,46 @@ pub fn calibrate_on(mesh: Arc<mpas_mesh::Mesh>, reps: usize) -> CalibrationRepor
     }
 }
 
+/// Fit a calibration from the `hybrid.kernel.<label>.seconds` histograms a
+/// telemetry [`Recorder`](mpas_telemetry::Recorder) collected while a
+/// [`ParallelModel`]/[`crate::parallel::HybridModel`] ran — the in-situ
+/// alternative to [`calibrate_on`]'s dedicated timing loop.
+///
+/// The p50 of each histogram is the measured time (robust to warm-up
+/// outliers the best-of-`reps` loop avoids by construction). The shared
+/// `D1D2` timer covers one [`ops::d2fdx2`] call that produces both `D1` and
+/// `D2`; its time is split evenly, mirroring [`calibrate_on`]. Patterns
+/// with no recorded histogram (e.g. `C1` when `del2_viscosity == 0`) are
+/// simply absent from the report; [`CalibratedCost`] falls back to the
+/// plain roofline for them.
+pub fn calibration_from_metrics(snapshot: &MetricsSnapshot, mc: &MeshCounts) -> CalibrationReport {
+    let cpu = DeviceSpec::cpu_single_core();
+    let instances = table_i();
+    let mut entries = Vec::new();
+    for inst in &instances {
+        let measured = match inst.name {
+            "D1" | "D2" => snapshot
+                .histogram("hybrid.kernel.D1D2.seconds")
+                .map(|h| 0.5 * h.p50),
+            name => snapshot
+                .histogram(&format!("hybrid.kernel.{name}.seconds"))
+                .map(|h| h.p50),
+        };
+        if let Some(measured) = measured {
+            entries.push(PatternCalibration {
+                name: inst.name.to_string(),
+                measured,
+                predicted: cpu.node_time(inst.work(mc)),
+            });
+        }
+    }
+    CalibrationReport {
+        n_cells: mc.n_cells as usize,
+        reps: 1,
+        entries,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,6 +443,48 @@ mod tests {
             let s = policy.schedule(&dag, &platform);
             assert!(s.makespan > 0.0 && s.makespan.is_finite(), "{spec}");
         }
+    }
+
+    #[test]
+    fn metrics_driven_calibration_covers_instrumented_patterns() {
+        // Run the instrumented executor under a live recorder, then fit a
+        // calibration from the collected histograms.
+        let rec = mpas_telemetry::Recorder::new();
+        let mesh = Arc::new(mpas_mesh::generate(3, 0));
+        let config = ModelConfig {
+            high_order_h_edge: true,
+            ..ModelConfig::default()
+        };
+        let mut m = ParallelModel::new(mesh.clone(), config, TestCase::Case5, None, 1)
+            .with_recorder(rec.clone());
+        m.step();
+        let mc = MeshCounts {
+            n_cells: mesh.n_cells() as f64,
+            n_edges: mesh.n_edges() as f64,
+            n_vertices: mesh.n_vertices() as f64,
+        };
+        let report = calibration_from_metrics(&rec.snapshot(), &mc);
+        // Everything the executor timed must be fitted: the step runs
+        // D1/D2+H2 (high-order), the full diagnostics chain, tendencies
+        // (del2 off by default, so no C1), updates, and reconstruction.
+        let names: Vec<&str> = report.entries.iter().map(|e| e.name.as_str()).collect();
+        for expected in [
+            "D1", "D2", "H2", "C2", "A2", "B2", "H1", "A3", "E", "F", "G", "A1", "B1", "X1", "X2",
+            "X3", "X4", "X5", "A4", "X6",
+        ] {
+            assert!(names.contains(&expected), "{expected} not fitted");
+        }
+        for e in &report.entries {
+            assert!(e.measured > 0.0 && e.measured.is_finite(), "{}", e.name);
+            assert!(e.coeff() > 0.0 && e.coeff().is_finite(), "{}", e.name);
+        }
+        // D1 and D2 split one timer evenly.
+        let d1 = report.entries.iter().find(|e| e.name == "D1").unwrap();
+        let d2 = report.entries.iter().find(|e| e.name == "D2").unwrap();
+        assert_eq!(d1.measured, d2.measured);
+        // And the report drives the scheduler cost model like any other.
+        let cost = report.cost_model();
+        assert!(cost.coeffs["B1"] > 0.0);
     }
 
     #[test]

@@ -16,10 +16,14 @@
 //!   (Figs. 7–9).
 //! * [`calibrate`] — measurement-driven cost calibration: times the real
 //!   host executors per Table-I pattern and fits per-pattern coefficients
-//!   back into the scheduling cost model.
+//!   back into the scheduling cost model; alternatively fits them from the
+//!   `hybrid.kernel.*` histograms a telemetry
+//!   [`Recorder`](mpas_telemetry::Recorder) collected during a real run
+//!   ([`calibration_from_metrics`]).
 //! * [`parallel`] — real, measured executors: a rayon "OpenMP" analog and
 //!   a two-pool hybrid executor, both verified bit-for-bit against the
-//!   serial kernels (the §V.A validation).
+//!   serial kernels (the §V.A validation). Both accept a telemetry
+//!   recorder and emit per-kernel timers keyed by Table-I label.
 //! * [`ladder`] — the Fig. 6 single-device optimization ladder.
 
 pub mod ablation;
@@ -31,10 +35,10 @@ pub mod sched;
 pub mod sim;
 pub mod trace;
 
-pub use calibrate::{calibrate_host, CalibrationReport};
+pub use calibrate::{calibrate_host, calibration_from_metrics, CalibrationReport};
 pub use device::{DeviceSpec, Platform, TransferLink};
 pub use ladder::{fig6_ladder, OptStage};
 pub use parallel::{HybridModel, ParallelModel};
 pub use sched::{schedule_substep, Placement, Policy, SchedOptions, Schedule, SchedulerPolicy};
 pub use sim::{time_per_step, time_per_step_multirank};
-pub use trace::to_chrome_trace;
+pub use trace::{to_chrome_trace, to_combined_trace};

@@ -22,9 +22,21 @@ use mpas_swe::rk4::{RK_SUBSTEP, RK_WEIGHTS};
 use mpas_swe::state::{Diagnostics, Reconstruction, State};
 use mpas_swe::testcases::TestCase;
 use mpas_swe::Tendencies;
+use mpas_telemetry::{Recorder, SpanGuard};
 use rayon::ThreadPool;
 use std::ops::Range;
 use std::sync::Arc;
+
+/// Open a `measured`-track span + `hybrid.kernel.<label>.seconds` histogram
+/// timer for one Table-I kernel, or `None` (no allocation, one branch) when
+/// telemetry is off.
+fn kernel_timer(rec: &Recorder, label: &str) -> Option<SpanGuard> {
+    if rec.is_enabled() {
+        Some(rec.span_timed("measured", label, &format!("hybrid.kernel.{label}.seconds")))
+    } else {
+        None
+    }
+}
 
 /// Run a range-convention op over `out` in parallel chunks on a pool.
 fn par_run<F>(pool: &ThreadPool, out: &mut [f64], chunk: usize, f: F)
@@ -52,6 +64,47 @@ where
     rayon::join(
         || par_run(cpu, lo, chunk, |r, c| f(r, c)),
         || {
+            par_run(acc, hi, chunk, |r, c| {
+                let shifted = (r.start + mid)..(r.end + mid).min(n);
+                f(shifted, c)
+            })
+        },
+    );
+}
+
+/// [`split_run`] with telemetry: the whole pattern is timed under
+/// `hybrid.kernel.<label>.seconds`, and each half under
+/// `hybrid.split.<label>.{cpu,acc}.seconds` so the two pools' shares of one
+/// adjustable pattern can be compared in the metrics snapshot.
+#[allow(clippy::too_many_arguments)]
+fn split_run_timed<F>(
+    cpu: &ThreadPool,
+    acc: &ThreadPool,
+    rec: &Recorder,
+    label: &str,
+    out: &mut [f64],
+    mid: usize,
+    chunk: usize,
+    f: F,
+) where
+    F: Fn(Range<usize>, &mut [f64]) + Sync,
+{
+    let _g = kernel_timer(rec, label);
+    if !rec.is_enabled() {
+        return split_run(cpu, acc, out, mid, chunk, f);
+    }
+    let metric_cpu = format!("hybrid.split.{label}.cpu.seconds");
+    let metric_acc = format!("hybrid.split.{label}.acc.seconds");
+    let mid = mid.min(out.len());
+    let (lo, hi) = out.split_at_mut(mid);
+    let n = mid + hi.len();
+    rayon::join(
+        || {
+            let _t = rec.time(&metric_cpu);
+            par_run(cpu, lo, chunk, |r, c| f(r, c))
+        },
+        || {
+            let _t = rec.time(&metric_acc);
             par_run(acc, hi, chunk, |r, c| {
                 let shifted = (r.start + mid)..(r.end + mid).min(n);
                 f(shifted, c)
@@ -88,6 +141,8 @@ pub struct ParallelModel {
     pub time: f64,
     /// Time-step size in seconds.
     pub dt: f64,
+    /// Telemetry sink (`hybrid.kernel.*` timers, step spans); no-op by default.
+    recorder: Recorder,
 }
 
 impl ParallelModel {
@@ -125,9 +180,27 @@ impl ParallelModel {
             time: 0.0,
             dt,
             mesh,
+            recorder: Recorder::noop(),
         };
         m.solve_diagnostics_on(Which::State);
         m
+    }
+
+    /// Route this model's `hybrid.*` telemetry (per-kernel timers keyed by
+    /// Table-I label, step spans) into `rec`.
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = rec;
+        self
+    }
+
+    /// Route this model's `hybrid.*` telemetry into `rec`.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.recorder = rec;
+    }
+
+    /// The telemetry sink.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     fn solve_diagnostics_on(&mut self, which: Which) {
@@ -140,11 +213,13 @@ impl ParallelModel {
         let dt = self.dt;
         let chunk = self.chunk;
         let pool = &self.pool;
+        let rec = self.recorder.clone();
         let d = &mut self.diag;
         if config.high_order_h_edge {
             // Two outputs: run serially chunked on the pool via zip ranges.
             // (d2fdx2 writes two arrays; parallelize over edges by chunking
             // both with the same geometry.)
+            let _g = kernel_timer(&rec, "D1D2");
             let (o1, o2) = (&mut d.d2fdx2_cell1, &mut d.d2fdx2_cell2);
             pool.install(|| {
                 use rayon::prelude::*;
@@ -157,44 +232,71 @@ impl ParallelModel {
                     });
             });
         }
-        if config.high_order_h_edge {
-            let d1 = d.d2fdx2_cell1.clone();
-            let d2 = d.d2fdx2_cell2.clone();
-            par_run(pool, &mut d.h_edge, chunk, |r, o| {
-                ops::h_edge(mesh, config, h, &d1, &d2, o, r)
-            });
-        } else {
-            par_run(pool, &mut d.h_edge, chunk, |r, o| {
-                ops::h_edge(mesh, config, h, &[], &[], o, r)
+        {
+            let _g = kernel_timer(&rec, "H2");
+            if config.high_order_h_edge {
+                let d1 = d.d2fdx2_cell1.clone();
+                let d2 = d.d2fdx2_cell2.clone();
+                par_run(pool, &mut d.h_edge, chunk, |r, o| {
+                    ops::h_edge(mesh, config, h, &d1, &d2, o, r)
+                });
+            } else {
+                par_run(pool, &mut d.h_edge, chunk, |r, o| {
+                    ops::h_edge(mesh, config, h, &[], &[], o, r)
+                });
+            }
+        }
+        {
+            let _g = kernel_timer(&rec, "C2");
+            par_run(pool, &mut d.vorticity, chunk, |r, o| {
+                ops::vorticity(mesh, u, o, r)
             });
         }
-        par_run(pool, &mut d.vorticity, chunk, |r, o| {
-            ops::vorticity(mesh, u, o, r)
-        });
-        par_run(pool, &mut d.ke, chunk, |r, o| ops::ke(mesh, u, o, r));
-        par_run(pool, &mut d.divergence, chunk, |r, o| {
-            ops::divergence(mesh, u, o, r)
-        });
-        par_run(pool, &mut d.v, chunk, |r, o| {
-            ops::tangential_velocity(mesh, u, o, r)
-        });
+        {
+            let _g = kernel_timer(&rec, "A2");
+            par_run(pool, &mut d.ke, chunk, |r, o| ops::ke(mesh, u, o, r));
+        }
+        {
+            let _g = kernel_timer(&rec, "B2");
+            par_run(pool, &mut d.divergence, chunk, |r, o| {
+                ops::divergence(mesh, u, o, r)
+            });
+        }
+        {
+            let _g = kernel_timer(&rec, "H1");
+            par_run(pool, &mut d.v, chunk, |r, o| {
+                ops::tangential_velocity(mesh, u, o, r)
+            });
+        }
         let vort = &d.vorticity;
-        par_run(pool, &mut d.vorticity_cell, chunk, |r, o| {
-            ops::vorticity_cell(mesh, vort, o, r)
-        });
+        {
+            let _g = kernel_timer(&rec, "A3");
+            par_run(pool, &mut d.vorticity_cell, chunk, |r, o| {
+                ops::vorticity_cell(mesh, vort, o, r)
+            });
+        }
         let f_vertex = &self.f_vertex;
-        par_run(pool, &mut d.pv_vertex, chunk, |r, o| {
-            ops::pv_vertex(mesh, h, vort, f_vertex, o, r)
-        });
+        {
+            let _g = kernel_timer(&rec, "E");
+            par_run(pool, &mut d.pv_vertex, chunk, |r, o| {
+                ops::pv_vertex(mesh, h, vort, f_vertex, o, r)
+            });
+        }
         let pvv = &d.pv_vertex;
-        par_run(pool, &mut d.pv_cell, chunk, |r, o| {
-            ops::pv_cell(mesh, pvv, o, r)
-        });
+        {
+            let _g = kernel_timer(&rec, "F");
+            par_run(pool, &mut d.pv_cell, chunk, |r, o| {
+                ops::pv_cell(mesh, pvv, o, r)
+            });
+        }
         let pvc = &d.pv_cell;
         let v = &d.v;
-        par_run(pool, &mut d.pv_edge, chunk, |r, o| {
-            ops::pv_edge(mesh, config.apvm_factor, dt, pvv, pvc, u, v, o, r)
-        });
+        {
+            let _g = kernel_timer(&rec, "G");
+            par_run(pool, &mut d.pv_edge, chunk, |r, o| {
+                ops::pv_edge(mesh, config.apvm_factor, dt, pvv, pvc, u, v, o, r)
+            });
+        }
     }
 
     fn compute_tend_on(&mut self) {
@@ -202,27 +304,35 @@ impl ParallelModel {
         let config = &self.config;
         let chunk = self.chunk;
         let pool = &self.pool;
+        let rec = self.recorder.clone();
         let (h, u) = (&self.provis.h, &self.provis.u);
         let d = &self.diag;
         let b = &self.b;
-        par_run(pool, &mut self.tend.tend_h, chunk, |r, o| {
-            ops::tend_h(mesh, u, &d.h_edge, o, r)
-        });
-        par_run(pool, &mut self.tend.tend_u, chunk, |r, o| {
-            ops::tend_u(
-                mesh,
-                config.gravity,
-                &d.pv_edge,
-                u,
-                &d.h_edge,
-                &d.ke,
-                h,
-                b,
-                o,
-                r,
-            )
-        });
+        {
+            let _g = kernel_timer(&rec, "A1");
+            par_run(pool, &mut self.tend.tend_h, chunk, |r, o| {
+                ops::tend_h(mesh, u, &d.h_edge, o, r)
+            });
+        }
+        {
+            let _g = kernel_timer(&rec, "B1");
+            par_run(pool, &mut self.tend.tend_u, chunk, |r, o| {
+                ops::tend_u(
+                    mesh,
+                    config.gravity,
+                    &d.pv_edge,
+                    u,
+                    &d.h_edge,
+                    &d.ke,
+                    h,
+                    b,
+                    o,
+                    r,
+                )
+            });
+        }
         if config.del2_viscosity != 0.0 {
+            let _g = kernel_timer(&rec, "C1");
             par_run(pool, &mut self.tend.tend_u, chunk, |r, o| {
                 ops::tend_u_del2(
                     mesh,
@@ -235,6 +345,8 @@ impl ParallelModel {
             });
         }
         if config.del4_viscosity != 0.0 {
+            // The del4 chain has no single Table-I label; time it as a unit.
+            let _g = kernel_timer(&rec, "del4");
             let (ne, nc, nv) = (mesh.n_edges(), mesh.n_cells(), mesh.n_vertices());
             let mut lap = vec![0.0; ne];
             par_run(pool, &mut lap, chunk, |r, o| {
@@ -252,18 +364,32 @@ impl ParallelModel {
                 ops::tend_u_del4(mesh, config.del4_viscosity, &div_lap, &vort_lap, o, r)
             });
         }
-        par_run(pool, &mut self.tend.tend_u, chunk, |r, o| {
-            ops::enforce_boundary(mesh, o, r)
-        });
+        {
+            let _g = kernel_timer(&rec, "X1");
+            par_run(pool, &mut self.tend.tend_u, chunk, |r, o| {
+                ops::enforce_boundary(mesh, o, r)
+            });
+        }
     }
 
     /// One RK-4 step, multithreaded.
     pub fn step(&mut self) {
+        let rec = self.recorder.clone();
+        let _step = if rec.is_enabled() {
+            Some(rec.span_timed("measured", "step", "hybrid.step_seconds"))
+        } else {
+            None
+        };
         self.acc_state.copy_from(&self.state);
         self.provis.copy_from(&self.state);
         // `stage` is the RK stage number, not just an index into RK_SUBSTEP.
         #[allow(clippy::needless_range_loop)]
         for stage in 0..4 {
+            let _sub = if rec.is_enabled() {
+                Some(rec.span("measured", &format!("rk.stage{stage}")))
+            } else {
+                None
+            };
             self.compute_tend_on();
             let dt = self.dt;
             let chunk = self.chunk;
@@ -273,11 +399,14 @@ impl ParallelModel {
                     let _ = mesh;
                     let base_h = &self.state.h;
                     let tend_h = &self.tend.tend_h;
+                    let _g = kernel_timer(&rec, "X2");
                     par_run(pool, &mut self.provis.h, chunk, |r, o| {
                         ops::axpy(base_h, tend_h, RK_SUBSTEP[stage] * dt, o, r)
                     });
+                    drop(_g);
                     let base_u = &self.state.u;
                     let tend_u = &self.tend.tend_u;
+                    let _g = kernel_timer(&rec, "X3");
                     par_run(pool, &mut self.provis.u, chunk, |r, o| {
                         ops::axpy(base_u, tend_u, RK_SUBSTEP[stage] * dt, o, r)
                     });
@@ -297,14 +426,21 @@ impl ParallelModel {
     fn accumulate(&mut self, stage: usize) {
         let (chunk, dt) = (self.chunk, self.dt);
         let pool = &self.pool;
+        let rec = self.recorder.clone();
         let tend_h = &self.tend.tend_h;
-        par_run(pool, &mut self.acc_state.h, chunk, |r, o| {
-            ops::accumulate(tend_h, RK_WEIGHTS[stage] * dt, o, r)
-        });
+        {
+            let _g = kernel_timer(&rec, "X4");
+            par_run(pool, &mut self.acc_state.h, chunk, |r, o| {
+                ops::accumulate(tend_h, RK_WEIGHTS[stage] * dt, o, r)
+            });
+        }
         let tend_u = &self.tend.tend_u;
-        par_run(pool, &mut self.acc_state.u, chunk, |r, o| {
-            ops::accumulate(tend_u, RK_WEIGHTS[stage] * dt, o, r)
-        });
+        {
+            let _g = kernel_timer(&rec, "X5");
+            par_run(pool, &mut self.acc_state.u, chunk, |r, o| {
+                ops::accumulate(tend_u, RK_WEIGHTS[stage] * dt, o, r)
+            });
+        }
     }
 
     fn reconstruct(&mut self) {
@@ -313,30 +449,37 @@ impl ParallelModel {
         let u = &self.state.u;
         let chunk = self.chunk;
         let pool = &self.pool;
+        let rec = self.recorder.clone();
         let r = &mut self.recon;
-        pool.install(|| {
-            use rayon::prelude::*;
-            r.ux.par_chunks_mut(chunk)
-                .zip(r.uy.par_chunks_mut(chunk))
-                .zip(r.uz.par_chunks_mut(chunk))
-                .enumerate()
-                .for_each(|(k, ((cx, cy), cz))| {
-                    let s = k * chunk;
-                    ops::reconstruct_xyz(mesh, coeffs, u, cx, cy, cz, s..s + cx.len());
-                });
-        });
+        {
+            let _g = kernel_timer(&rec, "A4");
+            pool.install(|| {
+                use rayon::prelude::*;
+                r.ux.par_chunks_mut(chunk)
+                    .zip(r.uy.par_chunks_mut(chunk))
+                    .zip(r.uz.par_chunks_mut(chunk))
+                    .enumerate()
+                    .for_each(|(k, ((cx, cy), cz))| {
+                        let s = k * chunk;
+                        ops::reconstruct_xyz(mesh, coeffs, u, cx, cy, cz, s..s + cx.len());
+                    });
+            });
+        }
         let (ux, uy, uz) = (r.ux.clone(), r.uy.clone(), r.uz.clone());
-        pool.install(|| {
-            use rayon::prelude::*;
-            r.zonal
-                .par_chunks_mut(chunk)
-                .zip(r.meridional.par_chunks_mut(chunk))
-                .enumerate()
-                .for_each(|(k, (cz, cm))| {
-                    let s = k * chunk;
-                    ops::zonal_meridional(mesh, &ux, &uy, &uz, cz, cm, s..s + cz.len());
-                });
-        });
+        {
+            let _g = kernel_timer(&rec, "X6");
+            pool.install(|| {
+                use rayon::prelude::*;
+                r.zonal
+                    .par_chunks_mut(chunk)
+                    .zip(r.meridional.par_chunks_mut(chunk))
+                    .enumerate()
+                    .for_each(|(k, (cz, cm))| {
+                        let s = k * chunk;
+                        ops::zonal_meridional(mesh, &ux, &uy, &uz, cz, cm, s..s + cz.len());
+                    });
+            });
+        }
     }
 
     /// Advance `n` steps.
@@ -387,6 +530,23 @@ impl HybridModel {
         }
     }
 
+    /// Route this model's `hybrid.*` telemetry (per-kernel and per-pool
+    /// split timers, step spans) into `rec`.
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.inner.set_recorder(rec);
+        self
+    }
+
+    /// Route this model's `hybrid.*` telemetry into `rec`.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.inner.set_recorder(rec);
+    }
+
+    /// The telemetry sink.
+    pub fn recorder(&self) -> &Recorder {
+        self.inner.recorder()
+    }
+
     /// The prognostic state.
     pub fn state(&self) -> &State {
         &self.inner.state
@@ -410,11 +570,22 @@ impl HybridModel {
         // The diagnostics + tendency patterns dominate; exercise the split
         // machinery on the three biggest edge-space patterns each stage.
         let m = &mut self.inner;
+        let rec = m.recorder.clone();
+        let _step = if rec.is_enabled() {
+            Some(rec.span_timed("measured", "step", "hybrid.step_seconds"))
+        } else {
+            None
+        };
         m.acc_state.copy_from(&m.state);
         m.provis.copy_from(&m.state);
         // `stage` is the RK stage number, not just an index into RK_SUBSTEP.
         #[allow(clippy::needless_range_loop)]
         for stage in 0..4 {
+            let _sub = if rec.is_enabled() {
+                Some(rec.span("measured", &format!("rk.stage{stage}")))
+            } else {
+                None
+            };
             {
                 let mesh = &m.mesh;
                 let config = &m.config;
@@ -422,9 +593,11 @@ impl HybridModel {
                 let d = &m.diag;
                 let b = &m.b;
                 let mid = ((1.0 - self.acc_fraction) * mesh.n_edges() as f64) as usize;
-                split_run(
+                split_run_timed(
                     &m.pool,
                     &self.acc_pool,
+                    &rec,
+                    "B1",
                     &mut m.tend.tend_u,
                     mid,
                     m.chunk,
@@ -444,15 +617,18 @@ impl HybridModel {
                     },
                 );
                 let mid_c = ((1.0 - self.acc_fraction) * mesh.n_cells() as f64) as usize;
-                split_run(
+                split_run_timed(
                     &m.pool,
                     &self.acc_pool,
+                    &rec,
+                    "A1",
                     &mut m.tend.tend_h,
                     mid_c,
                     m.chunk,
                     |r, o| ops::tend_h(mesh, u, &d.h_edge, o, r),
                 );
                 if config.del2_viscosity != 0.0 {
+                    let _g = kernel_timer(&rec, "C1");
                     par_run(&m.pool, &mut m.tend.tend_u, m.chunk, |r, o| {
                         ops::tend_u_del2(
                             mesh,
@@ -464,9 +640,12 @@ impl HybridModel {
                         )
                     });
                 }
-                par_run(&m.pool, &mut m.tend.tend_u, m.chunk, |r, o| {
-                    ops::enforce_boundary(mesh, o, r)
-                });
+                {
+                    let _g = kernel_timer(&rec, "X1");
+                    par_run(&m.pool, &mut m.tend.tend_u, m.chunk, |r, o| {
+                        ops::enforce_boundary(mesh, o, r)
+                    });
+                }
             }
             let dt = m.dt;
             if stage < 3 {

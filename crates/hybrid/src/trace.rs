@@ -3,50 +3,57 @@
 //! The paper argues about load balance with timeline pictures; this module
 //! turns any [`Schedule`] into a `trace.json` you can load into a trace
 //! viewer: one row per device, one slice per pattern execution, with split
-//! patterns appearing on both rows.
+//! patterns appearing on both rows. Serialization rides on
+//! [`mpas_telemetry::export::ChromeTrace`], so names are JSON-escaped and
+//! a modeled schedule can share one file with measured telemetry spans
+//! ([`to_combined_trace`]): track group (pid) 1 carries the model, group 2
+//! the measurement.
 
 use crate::sched::{Placement, Schedule};
-use std::fmt::Write as _;
+use mpas_telemetry::export::ChromeTrace;
+use mpas_telemetry::Recorder;
 
-fn push_event(
-    out: &mut String,
-    first: &mut bool,
-    name: &str,
-    device: &str,
-    start_us: f64,
-    dur_us: f64,
-) {
-    if !*first {
-        out.push(',');
-    }
-    *first = false;
-    write!(
-        out,
-        "{{\"name\":\"{name}\",\"cat\":\"pattern\",\"ph\":\"X\",\"ts\":{start_us:.3},\"dur\":{dur_us:.3},\"pid\":1,\"tid\":\"{device}\"}}"
-    )
-    .unwrap();
-}
+/// Track-group id of the modeled schedule in emitted traces.
+pub const PID_MODELED: u32 = 1;
+/// Track-group id of measured telemetry spans in emitted traces.
+pub const PID_MEASURED: u32 = 2;
 
-/// Serialize a schedule as Chrome trace-event JSON.
-pub fn to_chrome_trace(schedule: &Schedule) -> String {
-    let mut out = String::from("{\"traceEvents\":[");
-    let mut first = true;
+fn push_schedule(trace: &mut ChromeTrace, schedule: &Schedule) {
+    trace.process_name(PID_MODELED, "modeled");
     for ns in &schedule.nodes {
         let start = ns.start * 1e6;
         let dur = ((ns.finish - ns.start) * 1e6).max(0.001);
         match ns.placement {
-            Placement::Cpu => push_event(&mut out, &mut first, ns.name, "cpu", start, dur),
-            Placement::Acc => push_event(&mut out, &mut first, ns.name, "mic", start, dur),
+            Placement::Cpu => trace.complete(PID_MODELED, "cpu", ns.name, start, dur),
+            Placement::Acc => trace.complete(PID_MODELED, "mic", ns.name, start, dur),
             Placement::Split(f) => {
                 let label_cpu = format!("{} ({:.0}%)", ns.name, (1.0 - f) * 100.0);
                 let label_acc = format!("{} ({:.0}%)", ns.name, f * 100.0);
-                push_event(&mut out, &mut first, &label_cpu, "cpu", start, dur);
-                push_event(&mut out, &mut first, &label_acc, "mic", start, dur);
+                trace.complete(PID_MODELED, "cpu", &label_cpu, start, dur);
+                trace.complete(PID_MODELED, "mic", &label_acc, start, dur);
             }
         }
     }
-    out.push_str("]}");
-    out
+}
+
+/// Serialize a schedule as Chrome trace-event JSON.
+pub fn to_chrome_trace(schedule: &Schedule) -> String {
+    let mut trace = ChromeTrace::new();
+    push_schedule(&mut trace, schedule);
+    trace.finish()
+}
+
+/// Serialize a modeled schedule and the measured spans/events of `rec`
+/// into one Chrome trace: track group "modeled" (pid 1) holds the
+/// scheduler's predicted timeline, track group "measured" (pid 2) the
+/// recorded execution, so the two line up side by side in a trace viewer.
+pub fn to_combined_trace(schedule: &Schedule, rec: &Recorder) -> String {
+    let mut trace = ChromeTrace::new();
+    push_schedule(&mut trace, schedule);
+    trace.process_name(PID_MEASURED, "measured");
+    trace.add_spans(PID_MEASURED, &rec.spans());
+    trace.add_events(PID_MEASURED, "events", &rec.events());
+    trace.finish()
 }
 
 #[cfg(test)]
@@ -55,6 +62,7 @@ mod tests {
     use crate::sched::{schedule_substep, Policy};
     use crate::Platform;
     use mpas_patterns::dataflow::{DataflowGraph, MeshCounts, RkPhase};
+    use mpas_telemetry::export::validate_json;
 
     fn sched(policy: Policy) -> Schedule {
         schedule_substep(
@@ -69,11 +77,9 @@ mod tests {
     fn trace_is_valid_json_with_all_nodes() {
         let s = sched(Policy::PatternDriven);
         let json = to_chrome_trace(&s);
-        // Structure sanity without a JSON parser dependency: balanced
-        // braces/brackets, one event per placement row.
+        validate_json(&json).expect("trace must be valid JSON");
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.ends_with("]}"));
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
         let n_events = json.matches("\"ph\":\"X\"").count();
         let expect: usize = s
             .nodes
@@ -100,5 +106,44 @@ mod tests {
     fn events_have_nonnegative_timestamps() {
         let json = to_chrome_trace(&sched(Policy::KernelLevel));
         assert!(!json.contains("\"ts\":-"));
+    }
+
+    #[test]
+    fn hostile_node_names_are_escaped() {
+        // A schedule whose node names contain JSON-hostile characters must
+        // still serialize to parseable JSON (regression test: names used to
+        // be written into the event stream without escaping).
+        let s = Schedule {
+            makespan: 1.0,
+            nodes: vec![crate::sched::NodeSchedule {
+                name: "bad\"name\\with{json}\n\tchars",
+                placement: Placement::Split(0.5),
+                start: 0.0,
+                finish: 1.0,
+            }],
+            cpu_busy: 1.0,
+            acc_busy: 0.0,
+        };
+        let json = to_chrome_trace(&s);
+        validate_json(&json).expect("escaped trace must be valid JSON");
+        assert!(json.contains("bad\\\"name\\\\with{json}\\n\\tchars"));
+    }
+
+    #[test]
+    fn combined_trace_has_both_track_groups() {
+        let s = sched(Policy::PatternDriven);
+        let rec = Recorder::new();
+        {
+            let _step = rec.span("measured", "step");
+            let _k = rec.span_timed("measured", "B1", "hybrid.kernel.B1.seconds");
+        }
+        rec.event("sched.decision", &[("task", "B1".to_string())]);
+        let json = to_combined_trace(&s, &rec);
+        validate_json(&json).expect("combined trace must be valid JSON");
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"pid\":2"));
+        assert!(json.contains("\"name\":\"modeled\""));
+        assert!(json.contains("\"name\":\"measured\""));
+        assert!(json.contains("\"ph\":\"i\""));
     }
 }

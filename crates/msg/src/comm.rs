@@ -7,6 +7,7 @@
 //! without global locks.
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
+use mpas_telemetry::Recorder;
 use std::collections::HashMap;
 use std::sync::{Arc, Barrier};
 
@@ -29,12 +30,28 @@ pub struct RankCtx {
     /// Messages received but not yet requested, keyed by (from, tag).
     stash: HashMap<(usize, u64), Vec<Vec<f64>>>,
     barrier: Arc<Barrier>,
+    /// Telemetry sink (`msg.comm.*` counters); no-op unless set.
+    recorder: Recorder,
 }
 
 impl RankCtx {
+    /// Route this context's `msg.comm.*` telemetry (message/byte counters,
+    /// receive-wait timings) into `rec`. Defaults to the no-op recorder.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.recorder = rec;
+    }
+
+    /// The telemetry sink for this context.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
     /// Send `payload` to `to` with a tag. Never blocks (unbounded buffering,
     /// like an eager-protocol MPI send).
     pub fn send(&self, to: usize, tag: u64, payload: Vec<f64>) {
+        self.recorder.add("msg.comm.messages_sent", 1);
+        self.recorder
+            .add("msg.comm.bytes_sent", (payload.len() * 8) as u64);
         self.senders[to]
             .send(Message {
                 from: self.rank,
@@ -47,6 +64,15 @@ impl RankCtx {
     /// Receive the next message from `from` with `tag`, blocking until it
     /// arrives. Messages with other (from, tag) keys are stashed.
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        let _wait = self.recorder.time("msg.comm.recv_wait_seconds");
+        let payload = self.recv_inner(from, tag);
+        self.recorder.add("msg.comm.messages_recv", 1);
+        self.recorder
+            .add("msg.comm.bytes_recv", (payload.len() * 8) as u64);
+        payload
+    }
+
+    fn recv_inner(&mut self, from: usize, tag: u64) -> Vec<f64> {
         if let Some(q) = self.stash.get_mut(&(from, tag)) {
             if !q.is_empty() {
                 return q.remove(0);
@@ -124,6 +150,7 @@ where
             receiver,
             stash: HashMap::new(),
             barrier: barrier.clone(),
+            recorder: Recorder::noop(),
         })
         .collect();
     drop(senders);

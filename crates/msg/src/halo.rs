@@ -8,6 +8,7 @@
 
 use crate::comm::RankCtx;
 use mpas_mesh::RankLocal;
+use mpas_telemetry::Recorder;
 
 /// Which index space a field lives on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +23,8 @@ pub enum FieldKind {
 pub struct HaloExchanger {
     local: RankLocal,
     generation: u64,
+    /// Telemetry sink (`msg.halo.*` timers and byte counters); no-op by default.
+    recorder: Recorder,
 }
 
 impl HaloExchanger {
@@ -30,7 +33,19 @@ impl HaloExchanger {
         HaloExchanger {
             local,
             generation: 0,
+            recorder: Recorder::noop(),
         }
+    }
+
+    /// Route this exchanger's `msg.halo.*` telemetry into `rec`.
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = rec;
+        self
+    }
+
+    /// Route this exchanger's `msg.halo.*` telemetry into `rec`.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.recorder = rec;
     }
 
     /// The wrapped local view.
@@ -42,6 +57,7 @@ impl HaloExchanger {
     /// Every rank of the partition must call this collectively with the
     /// same `kind` sequence.
     pub fn exchange(&mut self, ctx: &mut RankCtx, kind: FieldKind, field: &mut [f64]) {
+        let _t = self.recorder.time("msg.halo.exchange_seconds");
         self.generation += 1;
         let tag_base = match kind {
             FieldKind::Cell => 1_000_000,
@@ -53,15 +69,20 @@ impl HaloExchanger {
         };
         for (to, list) in sends {
             let buf: Vec<f64> = list.iter().map(|&l| field[l as usize]).collect();
+            self.recorder
+                .add("msg.halo.bytes_sent", (buf.len() * 8) as u64);
             ctx.send(*to, tag_base, buf);
         }
         for (from, list) in recvs {
             let buf = ctx.recv(*from, tag_base);
             assert_eq!(buf.len(), list.len(), "halo length mismatch");
+            self.recorder
+                .add("msg.halo.bytes_recv", (buf.len() * 8) as u64);
             for (&l, &v) in list.iter().zip(&buf) {
                 field[l as usize] = v;
             }
         }
+        self.recorder.add("msg.halo.exchanges", 1);
     }
 }
 
@@ -75,6 +96,7 @@ impl HaloExchanger {
         cell_field: &mut [f64],
         edge_field: &mut [f64],
     ) {
+        let _t = self.recorder.time("msg.halo.exchange_seconds");
         self.generation += 1;
         let tag = 3_000_000 + self.generation * 4;
         // Pack cells then edges for each neighbor. Neighbor sets for cells
@@ -96,6 +118,8 @@ impl HaloExchanger {
             if let Some((_, list)) = self.local.send_edges.iter().find(|&&(r, _)| r == to) {
                 buf.extend(list.iter().map(|&l| edge_field[l as usize]));
             }
+            self.recorder
+                .add("msg.halo.bytes_sent", (buf.len() * 8) as u64);
             ctx.send(to, tag, buf);
         }
         let mut senders: Vec<usize> = self
@@ -109,6 +133,8 @@ impl HaloExchanger {
         senders.dedup();
         for &from in &senders {
             let buf = ctx.recv(from, tag);
+            self.recorder
+                .add("msg.halo.bytes_recv", (buf.len() * 8) as u64);
             let mut cursor = 0usize;
             if let Some((_, list)) = self.local.recv_cells.iter().find(|&&(r, _)| r == from) {
                 for &l in list {
@@ -124,6 +150,7 @@ impl HaloExchanger {
             }
             assert_eq!(cursor, buf.len(), "packed halo length mismatch");
         }
+        self.recorder.add("msg.halo.exchanges", 1);
     }
 }
 
@@ -212,6 +239,34 @@ mod tests {
                 assert_eq!(hc_a[l], fill(g, 2.0));
             }
         });
+    }
+
+    /// Byte counters recorded by the telemetry sink must equal exactly the
+    /// bytes implied by the partition's send/recv lists (8 bytes per f64).
+    #[test]
+    fn telemetry_counts_list_derived_bytes() {
+        let mesh = mpas_mesh::generate(3, 0);
+        let n_ranks = 4;
+        let part = MeshPartition::build(&mesh, n_ranks, 2);
+        let parts: Vec<RankLocal> = part.ranks.clone();
+        let rec = Recorder::new();
+        let expected: u64 = parts
+            .iter()
+            .flat_map(|p| p.send_cells.iter().chain(p.send_edges.iter()))
+            .map(|(_, list)| (list.len() * 8) as u64)
+            .sum();
+
+        run_ranks(n_ranks, |mut ctx| {
+            let mut hx = HaloExchanger::new(parts[ctx.rank].clone()).with_recorder(rec.clone());
+            let mut cells = vec![1.0; hx.local().n_cells()];
+            let mut edges = vec![2.0; hx.local().edges.len()];
+            hx.exchange_state(&mut ctx, &mut cells, &mut edges);
+        });
+
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("msg.halo.bytes_sent"), Some(expected));
+        assert_eq!(snap.counter("msg.halo.bytes_recv"), Some(expected));
+        assert_eq!(snap.counter("msg.halo.exchanges"), Some(n_ranks as u64));
     }
 
     /// Repeated exchanges with changing data keep halos current

@@ -51,6 +51,7 @@ pub mod paper;
 pub mod platform;
 pub mod policy;
 pub mod schedule;
+pub mod telemetry;
 
 pub use dag::{
     CalibratedCost, CostModel, DagOptions, RooflineCost, TaskDag, TaskNode,
@@ -61,3 +62,4 @@ pub use paper::{AccOnly, CpuOnly, KernelLevel, PatternDriven, Serial};
 pub use platform::{DeviceSpec, Platform, TransferLink};
 pub use policy::{registered, registered_names, resolve, SchedulerPolicy};
 pub use schedule::{Candidate, ListState, NodeSchedule, Placement, Residency, Schedule};
+pub use telemetry::record_schedule;

@@ -9,6 +9,7 @@ use crate::rk4::{rk4_step, Rk4Workspace};
 use crate::state::{Diagnostics, Reconstruction, State};
 use crate::testcases::TestCase;
 use mpas_mesh::Mesh;
+use mpas_telemetry::Recorder;
 use std::sync::Arc;
 
 /// A complete shallow-water simulation on one mesh.
@@ -36,6 +37,8 @@ pub struct ShallowWaterModel {
     pub time: f64,
     /// Time-step size in seconds.
     pub dt: f64,
+    /// Telemetry sink (`swe.model.*` spans and timers); no-op by default.
+    recorder: Recorder,
 }
 
 impl ShallowWaterModel {
@@ -67,11 +70,26 @@ impl ShallowWaterModel {
             time: 0.0,
             dt,
             mesh,
+            recorder: Recorder::noop(),
         }
+    }
+
+    /// Route this model's `swe.model.*` telemetry into `rec`.
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = rec;
+        self
+    }
+
+    /// Route this model's `swe.model.*` telemetry into `rec`.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.recorder = rec;
     }
 
     /// Advance one RK-4 step.
     pub fn step(&mut self) {
+        let _t = self
+            .recorder
+            .span_timed("measured", "swe.step", "swe.model.step_seconds");
         rk4_step(
             &self.mesh,
             &self.config,

@@ -1,0 +1,527 @@
+//! Exporters: Chrome-trace (Perfetto) JSON, metrics snapshots as JSON and
+//! CSV, and the shared JSON string escaper.
+//!
+//! The Chrome trace-event format puts every slice on a `(pid, tid)` row;
+//! Perfetto renders each `pid` as a collapsible *track group* named by its
+//! `process_name` metadata event. [`ChromeTrace`] exploits that to carry a
+//! **modeled** schedule (pid 1) and the **measured** execution (pid 2) in
+//! one file — the paper's Fig. 4 comparison, diffable in one viewer window.
+//!
+//! Everything here is hand-rolled JSON (the crate is dependency-free);
+//! [`json_escape`] is the single escaper every writer in the workspace
+//! shares, and [`validate_json`] is a strict syntax checker used by tests
+//! and the CI smoke job to prove emitted artifacts parse.
+
+use crate::{EventRecord, MetricsSnapshot, SpanRecord};
+use std::fmt::Write as _;
+
+/// Escape a string for embedding inside a JSON string literal
+/// (quotes, backslashes, and control characters).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builder for a Chrome trace-event JSON document with named track groups.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        ChromeTrace::default()
+    }
+
+    /// Name the track group `pid` (a `process_name` metadata event).
+    pub fn process_name(&mut self, pid: u32, name: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        ));
+    }
+
+    /// Add a complete slice (`ph:"X"`) on row `(pid, tid)`.
+    pub fn complete(&mut self, pid: u32, tid: &str, name: &str, ts_us: f64, dur_us: f64) {
+        self.complete_with_args(pid, tid, name, ts_us, dur_us, &[]);
+    }
+
+    /// Add a complete slice with key/value `args`.
+    pub fn complete_with_args(
+        &mut self,
+        pid: u32,
+        tid: &str,
+        name: &str,
+        ts_us: f64,
+        dur_us: f64,
+        args: &[(&str, String)],
+    ) {
+        let mut ev = format!(
+            "{{\"name\":\"{}\",\"cat\":\"pattern\",\"ph\":\"X\",\"ts\":{ts_us:.3},\"dur\":{dur_us:.3},\"pid\":{pid},\"tid\":\"{}\"",
+            json_escape(name),
+            json_escape(tid),
+        );
+        push_args(&mut ev, args);
+        ev.push('}');
+        self.events.push(ev);
+    }
+
+    /// Add an instantaneous event (`ph:"i"`) with key/value `args`.
+    pub fn instant(
+        &mut self,
+        pid: u32,
+        tid: &str,
+        name: &str,
+        ts_us: f64,
+        args: &[(&str, String)],
+    ) {
+        let mut ev = format!(
+            "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts_us:.3},\"pid\":{pid},\"tid\":\"{}\"",
+            json_escape(name),
+            json_escape(tid),
+        );
+        push_args(&mut ev, args);
+        ev.push('}');
+        self.events.push(ev);
+    }
+
+    /// Add every span as a slice in track group `pid` (tid = span track).
+    pub fn add_spans(&mut self, pid: u32, spans: &[SpanRecord]) {
+        for s in spans {
+            self.complete(
+                pid,
+                &s.track,
+                &s.name,
+                s.start_s * 1e6,
+                (s.dur_s * 1e6).max(0.001),
+            );
+        }
+    }
+
+    /// Add every event as an instant in track group `pid` on one row.
+    pub fn add_events(&mut self, pid: u32, tid: &str, events: &[EventRecord]) {
+        for e in events {
+            let args: Vec<(&str, String)> = e
+                .args
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.clone()))
+                .collect();
+            self.instant(pid, tid, &e.name, e.ts_s * 1e6, &args);
+        }
+    }
+
+    /// Serialize as `{"traceEvents":[...]}`.
+    pub fn finish(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        out.push_str(&self.events.join(","));
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_args(ev: &mut String, args: &[(&str, String)]) {
+    if args.is_empty() {
+        return;
+    }
+    ev.push_str(",\"args\":{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            ev.push(',');
+        }
+        let _ = write!(ev, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+    }
+    ev.push('}');
+}
+
+impl MetricsSnapshot {
+    /// Serialize as a JSON document:
+    /// `{"counters":{...},"gauges":{...},"histograms":{name:{count,...}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json_escape(k));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json_escape(k), json_num(*v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"total\":{},\"mean\":{},\"min\":{},\"p50\":{},\"p95\":{},\"max\":{}}}",
+                json_escape(k),
+                h.count,
+                json_num(h.total),
+                json_num(h.mean),
+                json_num(h.min),
+                json_num(h.p50),
+                json_num(h.p95),
+                json_num(h.max),
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Serialize as CSV with one row per metric:
+    /// `kind,name,value,count,total,mean,min,p50,p95,max`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,value,count,total,mean,min,p50,p95,max\n");
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "counter,{},{v},,,,,,,", csv_field(k));
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "gauge,{},{v},,,,,,,", csv_field(k));
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram,{},,{},{},{},{},{},{},{}",
+                csv_field(k),
+                h.count,
+                h.total,
+                h.mean,
+                h.min,
+                h.p50,
+                h.p95,
+                h.max
+            );
+        }
+        out
+    }
+}
+
+/// Render a float as a JSON-legal number (JSON has no NaN/Infinity).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Strict JSON syntax check (objects, arrays, strings, numbers, literals).
+///
+/// Returns the byte offset of the first syntax error, if any. This exists
+/// so the workspace can assert its emitted artifacts parse without pulling
+/// a JSON dependency into test builds.
+pub fn validate_json(s: &str) -> Result<(), usize> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.ws();
+    p.value()?;
+    p.ws();
+    if p.i == b.len() {
+        Ok(())
+    } else {
+        Err(p.i)
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), usize> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.i)
+        }
+    }
+
+    fn value(&mut self) -> Result<(), usize> {
+        match self.peek().ok_or(self.i)? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string(),
+            b't' => self.literal(b"true"),
+            b'f' => self.literal(b"false"),
+            b'n' => self.literal(b"null"),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => Err(self.i),
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8]) -> Result<(), usize> {
+        if self.b[self.i..].starts_with(lit) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(self.i)
+        }
+    }
+
+    fn object(&mut self) -> Result<(), usize> {
+        self.eat(b'{')?;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek().ok_or(self.i)? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.i),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), usize> {
+        self.eat(b'[')?;
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek().ok_or(self.i)? {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.i),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), usize> {
+        self.eat(b'"')?;
+        while let Some(c) = self.peek() {
+            match c {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.peek().ok_or(self.i)? {
+                        b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => self.i += 1,
+                        b'u' => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                if !self.peek().is_some_and(|h| h.is_ascii_hexdigit()) {
+                                    return Err(self.i);
+                                }
+                                self.i += 1;
+                            }
+                        }
+                        _ => return Err(self.i),
+                    }
+                }
+                0x00..=0x1f => return Err(self.i),
+                _ => self.i += 1,
+            }
+        }
+        Err(self.i)
+    }
+
+    fn number(&mut self) -> Result<(), usize> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        match self.peek() {
+            Some(b'0') => {
+                self.i += 1;
+                // Strict JSON: no leading zeros.
+                if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    return Err(self.i);
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.i += 1;
+                }
+            }
+            _ => return Err(start),
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            let mut frac = 0;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(self.i);
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.i += 1;
+            }
+            let mut exp = 0;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(self.i);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    #[test]
+    fn escaper_handles_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        assert!(validate_json("{\"a\":[1,2.5,-3e4],\"b\":\"x\\\"y\",\"c\":null}").is_ok());
+        assert!(validate_json("  [true, false] ").is_ok());
+        assert!(validate_json("{\"a\":}").is_err());
+        assert!(validate_json("{'a':1}").is_err());
+        assert!(validate_json("{\"a\":1,}").is_err());
+        assert!(validate_json("[1 2]").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("01").is_err()); // trailing garbage after 0
+    }
+
+    #[test]
+    fn chrome_trace_with_two_track_groups_is_valid_json() {
+        let mut t = ChromeTrace::new();
+        t.process_name(1, "modeled");
+        t.process_name(2, "measured");
+        t.complete(1, "cpu", "B1", 0.0, 10.0);
+        t.complete_with_args(2, "cpu-pool", "B1", 1.0, 9.0, &[("chunk", "0".into())]);
+        t.instant(1, "sched", "decision", 0.0, &[("placement", "acc".into())]);
+        let json = t.finish();
+        validate_json(&json).unwrap_or_else(|p| panic!("invalid JSON at byte {p}: {json}"));
+        assert!(json.contains("\"pid\":1") && json.contains("\"pid\":2"));
+        assert!(json.contains("modeled") && json.contains("measured"));
+    }
+
+    #[test]
+    fn hostile_names_stay_valid_json() {
+        let mut t = ChromeTrace::new();
+        t.complete(1, "tid\"quote", "name\\back\nslash", 0.5, 1.5);
+        let json = t.finish();
+        validate_json(&json).unwrap_or_else(|p| panic!("invalid JSON at byte {p}: {json}"));
+    }
+
+    #[test]
+    fn spans_and_events_export_to_trace() {
+        let rec = Recorder::new();
+        {
+            let _a = rec.span("main", "step");
+            let _b = rec.span("main", "kernel");
+        }
+        rec.event("sched.decision", &[("task", "A1".to_string())]);
+        let mut t = ChromeTrace::new();
+        t.process_name(2, "measured");
+        t.add_spans(2, &rec.spans());
+        t.add_events(2, "sched", &rec.events());
+        let json = t.finish();
+        validate_json(&json).unwrap_or_else(|p| panic!("invalid JSON at byte {p}"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_json_and_csv_roundtrip_shapes() {
+        let rec = Recorder::new();
+        rec.add("msg.halo.bytes_sent", 4096);
+        rec.set_gauge("core.sim.mass_drift", -3.5e-15);
+        rec.record("hybrid.kernel.A1.seconds", 0.001);
+        rec.record("hybrid.kernel.A1.seconds", 0.002);
+        let snap = rec.snapshot();
+        let json = snap.to_json();
+        validate_json(&json).unwrap_or_else(|p| panic!("invalid JSON at byte {p}: {json}"));
+        assert!(json.contains("\"msg.halo.bytes_sent\":4096"));
+        assert!(json.contains("\"count\":2"));
+        let csv = snap.to_csv();
+        assert!(csv.lines().count() == 4); // header + 3 metrics
+        assert!(csv.starts_with("kind,name,value"));
+        assert!(csv.contains("counter,msg.halo.bytes_sent,4096"));
+    }
+
+    #[test]
+    fn empty_snapshot_serializes_cleanly() {
+        let snap = Recorder::noop().snapshot();
+        assert!(validate_json(&snap.to_json()).is_ok());
+        assert_eq!(snap.to_csv().lines().count(), 1);
+    }
+
+    #[test]
+    fn nonfinite_gauges_become_null() {
+        let rec = Recorder::new();
+        rec.set_gauge("bad", f64::NAN);
+        let json = rec.snapshot().to_json();
+        assert!(validate_json(&json).is_ok());
+        assert!(json.contains("\"bad\":null"));
+    }
+}

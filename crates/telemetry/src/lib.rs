@@ -1,0 +1,531 @@
+#![warn(missing_docs)]
+//! Runtime telemetry core for the whole reproduction.
+//!
+//! The paper's argument rests on observability artifacts — the §II.C kernel
+//! cost profile, the Fig. 4 timeline pictures, the Fig. 6–9 makespan
+//! comparisons. This crate is the measurement layer those artifacts are
+//! produced through at runtime:
+//!
+//! * [`Recorder`] — a cheaply-cloneable handle onto a shared recording
+//!   buffer: hierarchical [spans](Recorder::span) (step → RK substep →
+//!   kernel → pattern chunk, nesting tracked per thread), instantaneous
+//!   [events](Recorder::event) with key/value arguments, and a typed
+//!   metrics registry ([counters](Recorder::add),
+//!   [gauges](Recorder::set_gauge), monotonic-clock
+//!   [histograms](Recorder::record) summarized as p50/p95/max).
+//! * [`Recorder::noop`] — the disabled recorder: every call is a single
+//!   branch on an empty `Option`, no clock reads, no allocation, no locks,
+//!   so instrumented code paths cost nothing when telemetry is off (the
+//!   overhead-guard test in `crates/bench` asserts this).
+//! * [`export`] — Chrome-trace (Perfetto) JSON with multiple track groups
+//!   (so one `trace.json` carries both a *modeled* schedule and the
+//!   *measured* execution), plus JSON and CSV metrics snapshots, and the
+//!   shared JSON string escaper every exporter uses.
+//!
+//! Metric names follow the `crate.subsystem.name` scheme documented in
+//! DESIGN.md §8 (e.g. `hybrid.kernel.B1.seconds`, `msg.halo.bytes_sent`,
+//! `core.sim.step_seconds`).
+//!
+//! The crate is dependency-free and thread-safe: a [`Recorder`] can be
+//! cloned into rayon pools and rank threads; all clones append to the same
+//! buffers.
+
+pub mod export;
+
+pub use export::{json_escape, ChromeTrace};
+
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One completed span: a named interval on a track, with its nesting depth
+/// at creation time (per thread).
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name (e.g. a Table-I pattern label or `"rk-substep"`).
+    pub name: String,
+    /// Track the span ran on (a trace-viewer row, e.g. `"cpu-pool"`).
+    pub track: String,
+    /// Start, seconds since the recorder's epoch.
+    pub start_s: f64,
+    /// Duration in seconds.
+    pub dur_s: f64,
+    /// Nesting depth on the creating thread (0 = top level).
+    pub depth: usize,
+}
+
+/// One instantaneous event with key/value arguments (e.g. a scheduler
+/// placement decision).
+#[derive(Debug, Clone)]
+pub struct EventRecord {
+    /// Event name (e.g. `"sched.decision"`).
+    pub name: String,
+    /// Timestamp, seconds since the recorder's epoch.
+    pub ts_s: f64,
+    /// Arbitrary key/value payload.
+    pub args: Vec<(String, String)>,
+}
+
+/// Summary statistics of one histogram metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: usize,
+    /// Sum of all samples.
+    pub total: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Smallest sample.
+    pub min: f64,
+}
+
+/// A point-in-time copy of every metric, ordered by name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, if it was ever incremented.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Last value written to a gauge, if any.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Summary of a histogram, if it has any samples.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(name)
+    }
+}
+
+#[derive(Default)]
+struct Buffers {
+    spans: Vec<SpanRecord>,
+    events: Vec<EventRecord>,
+    counters: HashMap<String, u64>,
+    gauges: HashMap<String, f64>,
+    histograms: HashMap<String, Vec<f64>>,
+}
+
+struct Inner {
+    epoch: Instant,
+    buf: Mutex<Buffers>,
+}
+
+thread_local! {
+    /// Per-thread span nesting depth (spans are strictly nested per thread
+    /// by guard drop order).
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// A handle onto a shared telemetry buffer.
+///
+/// Cloning is an `Arc` clone; all clones record into the same buffers. The
+/// [no-op recorder](Recorder::noop) (also the `Default`) carries no buffer
+/// at all, so every recording call reduces to one branch.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Recorder({})",
+            if self.inner.is_some() {
+                "recording"
+            } else {
+                "noop"
+            }
+        )
+    }
+}
+
+impl Recorder {
+    /// A live recorder with its epoch at the call instant.
+    pub fn new() -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                buf: Mutex::new(Buffers::default()),
+            })),
+        }
+    }
+
+    /// The disabled recorder: records nothing, costs one branch per call.
+    pub fn noop() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// Whether this recorder actually records. Use this to guard any
+    /// telemetry work that allocates (e.g. building a metric name with
+    /// `format!`) so the no-op path stays allocation-free.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Seconds elapsed since the recorder's epoch (0.0 on a no-op).
+    pub fn now_s(&self) -> f64 {
+        match &self.inner {
+            Some(i) => i.epoch.elapsed().as_secs_f64(),
+            None => 0.0,
+        }
+    }
+
+    /// Open a span on `track`. The span closes (and is recorded) when the
+    /// returned guard drops.
+    pub fn span(&self, track: &str, name: &str) -> SpanGuard {
+        self.span_inner(track, name, None, true)
+    }
+
+    /// Open a span that additionally records its duration into the
+    /// histogram `metric` when it closes.
+    pub fn span_timed(&self, track: &str, name: &str, metric: &str) -> SpanGuard {
+        self.span_inner(track, name, Some(metric), true)
+    }
+
+    /// Time a scope into the histogram `metric` without emitting a span.
+    pub fn time(&self, metric: &str) -> SpanGuard {
+        self.span_inner("", metric, Some(metric), false)
+    }
+
+    fn span_inner(&self, track: &str, name: &str, metric: Option<&str>, emit: bool) -> SpanGuard {
+        match &self.inner {
+            None => SpanGuard::noop(),
+            Some(_) => {
+                let depth = DEPTH.with(|d| {
+                    let v = d.get();
+                    d.set(v + 1);
+                    v
+                });
+                SpanGuard {
+                    rec: self.clone(),
+                    track: track.to_string(),
+                    name: name.to_string(),
+                    metric: metric.map(|m| m.to_string()),
+                    emit_span: emit,
+                    depth,
+                    start: Some(Instant::now()),
+                }
+            }
+        }
+    }
+
+    /// Record an instantaneous event with key/value arguments.
+    pub fn event(&self, name: &str, args: &[(&str, String)]) {
+        if let Some(inner) = &self.inner {
+            let ts_s = inner.epoch.elapsed().as_secs_f64();
+            let mut buf = inner.buf.lock().unwrap();
+            buf.events.push(EventRecord {
+                name: name.to_string(),
+                ts_s,
+                args: args
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            });
+        }
+    }
+
+    /// Add `delta` to the counter `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            let mut buf = inner.buf.lock().unwrap();
+            match buf.counters.get_mut(name) {
+                Some(c) => *c += delta,
+                None => {
+                    buf.counters.insert(name.to_string(), delta);
+                }
+            }
+        }
+    }
+
+    /// Set the gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            let mut buf = inner.buf.lock().unwrap();
+            match buf.gauges.get_mut(name) {
+                Some(g) => *g = value,
+                None => {
+                    buf.gauges.insert(name.to_string(), value);
+                }
+            }
+        }
+    }
+
+    /// Record one sample into the histogram `name`.
+    pub fn record(&self, name: &str, sample: f64) {
+        if let Some(inner) = &self.inner {
+            let mut buf = inner.buf.lock().unwrap();
+            match buf.histograms.get_mut(name) {
+                Some(h) => h.push(sample),
+                None => {
+                    buf.histograms.insert(name.to_string(), vec![sample]);
+                }
+            }
+        }
+    }
+
+    /// All completed spans, in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        match &self.inner {
+            Some(inner) => inner.buf.lock().unwrap().spans.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// All recorded events, in recording order.
+    pub fn events(&self) -> Vec<EventRecord> {
+        match &self.inner {
+            Some(inner) => inner.buf.lock().unwrap().events.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Snapshot every metric (name-ordered; histograms summarized).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let Some(inner) = &self.inner else {
+            return MetricsSnapshot::default();
+        };
+        let buf = inner.buf.lock().unwrap();
+        MetricsSnapshot {
+            counters: buf.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: buf.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: buf
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), HistogramSummary::from_samples(v)))
+                .collect(),
+        }
+    }
+}
+
+impl HistogramSummary {
+    /// Summarize a non-empty sample set (nearest-rank percentiles).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = sorted.len();
+        let pick = |q: f64| -> f64 {
+            if n == 0 {
+                return 0.0;
+            }
+            let idx = ((n as f64 - 1.0) * q).round() as usize;
+            sorted[idx.min(n - 1)]
+        };
+        let total: f64 = sorted.iter().sum();
+        HistogramSummary {
+            count: n,
+            total,
+            mean: if n == 0 { 0.0 } else { total / n as f64 },
+            p50: pick(0.50),
+            p95: pick(0.95),
+            max: sorted.last().copied().unwrap_or(0.0),
+            min: sorted.first().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// RAII guard for an open span or timer; records on drop.
+///
+/// Must be dropped on the thread that created it (span nesting depth is
+/// tracked per thread).
+pub struct SpanGuard {
+    rec: Recorder,
+    track: String,
+    name: String,
+    metric: Option<String>,
+    emit_span: bool,
+    depth: usize,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    fn noop() -> Self {
+        SpanGuard {
+            rec: Recorder::noop(),
+            track: String::new(),
+            name: String::new(),
+            metric: None,
+            emit_span: false,
+            depth: 0,
+            start: None,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let (Some(inner), Some(start)) = (&self.rec.inner, self.start) else {
+            return;
+        };
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let dur_s = start.elapsed().as_secs_f64();
+        let start_s = start.duration_since(inner.epoch).as_secs_f64();
+        let mut buf = inner.buf.lock().unwrap();
+        if self.emit_span {
+            buf.spans.push(SpanRecord {
+                name: std::mem::take(&mut self.name),
+                track: std::mem::take(&mut self.track),
+                start_s,
+                dur_s,
+                depth: self.depth,
+            });
+        }
+        if let Some(metric) = self.metric.take() {
+            match buf.histograms.get_mut(&metric) {
+                Some(h) => h.push(dur_s),
+                None => {
+                    buf.histograms.insert(metric, vec![dur_s]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_records_nothing_and_reports_disabled() {
+        let rec = Recorder::noop();
+        assert!(!rec.is_enabled());
+        {
+            let _s = rec.span("t", "a");
+            let _t = rec.time("m");
+            rec.add("c", 3);
+            rec.set_gauge("g", 1.0);
+            rec.record("h", 0.5);
+            rec.event("e", &[("k", "v".to_string())]);
+        }
+        assert!(rec.spans().is_empty());
+        assert!(rec.events().is_empty());
+        let snap = rec.snapshot();
+        assert!(snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_by_depth_and_contain_by_time() {
+        let rec = Recorder::new();
+        {
+            let _step = rec.span("main", "step");
+            {
+                let _sub = rec.span("main", "substep");
+                let _k = rec.span("main", "kernel");
+            }
+        }
+        let spans = rec.spans();
+        // Completion order: innermost first.
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "kernel");
+        assert_eq!(spans[0].depth, 2);
+        assert_eq!(spans[1].name, "substep");
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[2].name, "step");
+        assert_eq!(spans[2].depth, 0);
+        // Parent intervals contain children.
+        let eps = 1e-9;
+        assert!(spans[2].start_s <= spans[1].start_s + eps);
+        assert!(spans[2].start_s + spans[2].dur_s + eps >= spans[1].start_s + spans[1].dur_s);
+    }
+
+    #[test]
+    fn counters_gauges_histograms_snapshot() {
+        let rec = Recorder::new();
+        rec.add("msg.halo.bytes_sent", 100);
+        rec.add("msg.halo.bytes_sent", 20);
+        rec.set_gauge("core.sim.mass_drift", 1e-14);
+        rec.set_gauge("core.sim.mass_drift", 2e-14);
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0] {
+            rec.record("hybrid.kernel.B1.seconds", v);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["msg.halo.bytes_sent"], 120);
+        assert_eq!(snap.gauges["core.sim.mass_drift"], 2e-14);
+        let h = snap.histograms["hybrid.kernel.B1.seconds"];
+        assert_eq!(h.count, 5);
+        assert_eq!(h.total, 110.0);
+        assert_eq!(h.p50, 3.0);
+        assert_eq!(h.max, 100.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.p95, 100.0);
+    }
+
+    #[test]
+    fn span_timed_feeds_the_histogram() {
+        let rec = Recorder::new();
+        {
+            let _g = rec.span_timed("cpu", "B1", "hybrid.kernel.B1.seconds");
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.histograms["hybrid.kernel.B1.seconds"].count, 1);
+        assert_eq!(rec.spans().len(), 1);
+        // `time` records the histogram but not a span.
+        {
+            let _g = rec.time("only.metric");
+        }
+        assert_eq!(rec.spans().len(), 1);
+        assert_eq!(rec.snapshot().histograms["only.metric"].count, 1);
+    }
+
+    #[test]
+    fn clones_share_one_buffer_across_threads() {
+        let rec = Recorder::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = rec.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        r.add("n", 1);
+                    }
+                    let _g = r.span("worker", "chunk");
+                });
+            }
+        });
+        assert_eq!(rec.snapshot().counters["n"], 400);
+        assert_eq!(rec.spans().len(), 4);
+    }
+
+    #[test]
+    fn events_carry_args() {
+        let rec = Recorder::new();
+        rec.event(
+            "sched.decision",
+            &[
+                ("task", "B1".to_string()),
+                ("placement", "split(0.6)".to_string()),
+            ],
+        );
+        let ev = rec.events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].name, "sched.decision");
+        assert_eq!(ev[0].args[0], ("task".to_string(), "B1".to_string()));
+    }
+
+    #[test]
+    fn histogram_summary_of_single_sample() {
+        let h = HistogramSummary::from_samples(&[7.0]);
+        assert_eq!(h.count, 1);
+        assert_eq!(h.p50, 7.0);
+        assert_eq!(h.p95, 7.0);
+        assert_eq!(h.mean, 7.0);
+    }
+}

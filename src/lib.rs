@@ -11,3 +11,4 @@ pub use mpas_msg as msg;
 pub use mpas_patterns as patterns;
 pub use mpas_sched as sched;
 pub use mpas_swe as swe;
+pub use mpas_telemetry as telemetry;
