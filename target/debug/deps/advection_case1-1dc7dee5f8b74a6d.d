@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/advection_case1-1dc7dee5f8b74a6d.d: tests/advection_case1.rs
+
+/root/repo/target/debug/deps/advection_case1-1dc7dee5f8b74a6d: tests/advection_case1.rs
+
+tests/advection_case1.rs:

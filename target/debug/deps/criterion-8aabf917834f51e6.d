@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-8aabf917834f51e6.d: /tmp/polyfill/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-8aabf917834f51e6.rlib: /tmp/polyfill/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-8aabf917834f51e6.rmeta: /tmp/polyfill/criterion/src/lib.rs
+
+/tmp/polyfill/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-9fa6274b9d97a011.d: /tmp/polyfill/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-9fa6274b9d97a011.rmeta: /tmp/polyfill/criterion/src/lib.rs
+
+/tmp/polyfill/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-1f6661cc3e832e3b.d: /tmp/polyfill/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-1f6661cc3e832e3b.rlib: /tmp/polyfill/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-1f6661cc3e832e3b.rmeta: /tmp/polyfill/crossbeam/src/lib.rs
+
+/tmp/polyfill/crossbeam/src/lib.rs:

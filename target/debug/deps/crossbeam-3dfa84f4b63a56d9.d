@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-3dfa84f4b63a56d9.d: /tmp/polyfill/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-3dfa84f4b63a56d9.rmeta: /tmp/polyfill/crossbeam/src/lib.rs
+
+/tmp/polyfill/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam_channel-08953c329e3e62bb.d: /tmp/polyfill/crossbeam-channel/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam_channel-08953c329e3e62bb.rlib: /tmp/polyfill/crossbeam-channel/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam_channel-08953c329e3e62bb.rmeta: /tmp/polyfill/crossbeam-channel/src/lib.rs
+
+/tmp/polyfill/crossbeam-channel/src/lib.rs:

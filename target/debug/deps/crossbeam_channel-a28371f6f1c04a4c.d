@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam_channel-a28371f6f1c04a4c.d: /tmp/polyfill/crossbeam-channel/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam_channel-a28371f6f1c04a4c.rmeta: /tmp/polyfill/crossbeam-channel/src/lib.rs
+
+/tmp/polyfill/crossbeam-channel/src/lib.rs:

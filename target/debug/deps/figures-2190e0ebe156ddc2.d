@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-2190e0ebe156ddc2.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-2190e0ebe156ddc2: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-83b0315a04505142.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-83b0315a04505142: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

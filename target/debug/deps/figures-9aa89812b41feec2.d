@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-9aa89812b41feec2.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-9aa89812b41feec2.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

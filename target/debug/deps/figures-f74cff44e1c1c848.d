@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-f74cff44e1c1c848.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-f74cff44e1c1c848: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpas_bench-1c57ae74b88e9db1.d: crates/bench/src/lib.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/libmpas_bench-1c57ae74b88e9db1.rlib: crates/bench/src/lib.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/libmpas_bench-1c57ae74b88e9db1.rmeta: crates/bench/src/lib.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:

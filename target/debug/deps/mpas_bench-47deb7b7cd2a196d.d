@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpas_bench-47deb7b7cd2a196d.d: crates/bench/src/lib.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/libmpas_bench-47deb7b7cd2a196d.rlib: crates/bench/src/lib.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/libmpas_bench-47deb7b7cd2a196d.rmeta: crates/bench/src/lib.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpas_bench-76074fe2b4ea2999.d: crates/bench/src/lib.rs crates/bench/src/render.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpas_bench-76074fe2b4ea2999.rmeta: crates/bench/src/lib.rs crates/bench/src/render.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mpas_bench-8c47418ec2645c13.d: crates/bench/src/lib.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/mpas_bench-8c47418ec2645c13: crates/bench/src/lib.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpas_bench-b97eff80270b3ee7.d: crates/bench/src/lib.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/libmpas_bench-b97eff80270b3ee7.rlib: crates/bench/src/lib.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/libmpas_bench-b97eff80270b3ee7.rmeta: crates/bench/src/lib.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:

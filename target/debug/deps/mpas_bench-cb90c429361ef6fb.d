@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mpas_bench-cb90c429361ef6fb.d: crates/bench/src/lib.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/libmpas_bench-cb90c429361ef6fb.rmeta: crates/bench/src/lib.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:

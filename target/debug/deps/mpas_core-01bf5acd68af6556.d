@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpas_core-01bf5acd68af6556.d: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpas_core-01bf5acd68af6556.rmeta: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/simulation.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/distributed.rs:
+crates/core/src/simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpas_core-3a8dfd38356a21d1.d: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/simulation.rs
+
+/root/repo/target/debug/deps/libmpas_core-3a8dfd38356a21d1.rlib: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/simulation.rs
+
+/root/repo/target/debug/deps/libmpas_core-3a8dfd38356a21d1.rmeta: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/simulation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/distributed.rs:
+crates/core/src/simulation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mpas_core-cbfb41c04c8a3c11.d: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/simulation.rs
+
+/root/repo/target/debug/deps/mpas_core-cbfb41c04c8a3c11: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/simulation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/distributed.rs:
+crates/core/src/simulation.rs:

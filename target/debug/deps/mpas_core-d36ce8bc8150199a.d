@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpas_core-d36ce8bc8150199a.d: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/simulation.rs
+
+/root/repo/target/debug/deps/libmpas_core-d36ce8bc8150199a.rlib: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/simulation.rs
+
+/root/repo/target/debug/deps/libmpas_core-d36ce8bc8150199a.rmeta: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/simulation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/distributed.rs:
+crates/core/src/simulation.rs:

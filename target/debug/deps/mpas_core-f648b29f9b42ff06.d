@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mpas_core-f648b29f9b42ff06.d: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/simulation.rs
+
+/root/repo/target/debug/deps/libmpas_core-f648b29f9b42ff06.rmeta: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/simulation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/distributed.rs:
+crates/core/src/simulation.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mpas_geom-62413941da07d915.d: crates/geom/src/lib.rs crates/geom/src/constants.rs crates/geom/src/lonlat.rs crates/geom/src/rotation.rs crates/geom/src/sphere.rs crates/geom/src/vec3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpas_geom-62413941da07d915.rmeta: crates/geom/src/lib.rs crates/geom/src/constants.rs crates/geom/src/lonlat.rs crates/geom/src/rotation.rs crates/geom/src/sphere.rs crates/geom/src/vec3.rs Cargo.toml
+
+crates/geom/src/lib.rs:
+crates/geom/src/constants.rs:
+crates/geom/src/lonlat.rs:
+crates/geom/src/rotation.rs:
+crates/geom/src/sphere.rs:
+crates/geom/src/vec3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

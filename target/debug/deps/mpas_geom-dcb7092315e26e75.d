@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpas_geom-dcb7092315e26e75.d: crates/geom/src/lib.rs crates/geom/src/constants.rs crates/geom/src/lonlat.rs crates/geom/src/rotation.rs crates/geom/src/sphere.rs crates/geom/src/vec3.rs
+
+/root/repo/target/debug/deps/libmpas_geom-dcb7092315e26e75.rmeta: crates/geom/src/lib.rs crates/geom/src/constants.rs crates/geom/src/lonlat.rs crates/geom/src/rotation.rs crates/geom/src/sphere.rs crates/geom/src/vec3.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/constants.rs:
+crates/geom/src/lonlat.rs:
+crates/geom/src/rotation.rs:
+crates/geom/src/sphere.rs:
+crates/geom/src/vec3.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpas_geom-e657966d20501a27.d: crates/geom/src/lib.rs crates/geom/src/constants.rs crates/geom/src/lonlat.rs crates/geom/src/rotation.rs crates/geom/src/sphere.rs crates/geom/src/vec3.rs
+
+/root/repo/target/debug/deps/libmpas_geom-e657966d20501a27.rlib: crates/geom/src/lib.rs crates/geom/src/constants.rs crates/geom/src/lonlat.rs crates/geom/src/rotation.rs crates/geom/src/sphere.rs crates/geom/src/vec3.rs
+
+/root/repo/target/debug/deps/libmpas_geom-e657966d20501a27.rmeta: crates/geom/src/lib.rs crates/geom/src/constants.rs crates/geom/src/lonlat.rs crates/geom/src/rotation.rs crates/geom/src/sphere.rs crates/geom/src/vec3.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/constants.rs:
+crates/geom/src/lonlat.rs:
+crates/geom/src/rotation.rs:
+crates/geom/src/sphere.rs:
+crates/geom/src/vec3.rs:

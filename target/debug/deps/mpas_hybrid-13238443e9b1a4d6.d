@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mpas_hybrid-13238443e9b1a4d6.d: crates/hybrid/src/lib.rs crates/hybrid/src/ablation.rs crates/hybrid/src/calibrate.rs crates/hybrid/src/device.rs crates/hybrid/src/ladder.rs crates/hybrid/src/parallel.rs crates/hybrid/src/sched.rs crates/hybrid/src/sim.rs crates/hybrid/src/trace.rs
+
+/root/repo/target/debug/deps/libmpas_hybrid-13238443e9b1a4d6.rlib: crates/hybrid/src/lib.rs crates/hybrid/src/ablation.rs crates/hybrid/src/calibrate.rs crates/hybrid/src/device.rs crates/hybrid/src/ladder.rs crates/hybrid/src/parallel.rs crates/hybrid/src/sched.rs crates/hybrid/src/sim.rs crates/hybrid/src/trace.rs
+
+/root/repo/target/debug/deps/libmpas_hybrid-13238443e9b1a4d6.rmeta: crates/hybrid/src/lib.rs crates/hybrid/src/ablation.rs crates/hybrid/src/calibrate.rs crates/hybrid/src/device.rs crates/hybrid/src/ladder.rs crates/hybrid/src/parallel.rs crates/hybrid/src/sched.rs crates/hybrid/src/sim.rs crates/hybrid/src/trace.rs
+
+crates/hybrid/src/lib.rs:
+crates/hybrid/src/ablation.rs:
+crates/hybrid/src/calibrate.rs:
+crates/hybrid/src/device.rs:
+crates/hybrid/src/ladder.rs:
+crates/hybrid/src/parallel.rs:
+crates/hybrid/src/sched.rs:
+crates/hybrid/src/sim.rs:
+crates/hybrid/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpas_hybrid-7c4b612a472d0a6c.d: crates/hybrid/src/lib.rs crates/hybrid/src/ablation.rs crates/hybrid/src/calibrate.rs crates/hybrid/src/device.rs crates/hybrid/src/ladder.rs crates/hybrid/src/parallel.rs crates/hybrid/src/sched.rs crates/hybrid/src/sim.rs crates/hybrid/src/trace.rs
+
+/root/repo/target/debug/deps/libmpas_hybrid-7c4b612a472d0a6c.rmeta: crates/hybrid/src/lib.rs crates/hybrid/src/ablation.rs crates/hybrid/src/calibrate.rs crates/hybrid/src/device.rs crates/hybrid/src/ladder.rs crates/hybrid/src/parallel.rs crates/hybrid/src/sched.rs crates/hybrid/src/sim.rs crates/hybrid/src/trace.rs
+
+crates/hybrid/src/lib.rs:
+crates/hybrid/src/ablation.rs:
+crates/hybrid/src/calibrate.rs:
+crates/hybrid/src/device.rs:
+crates/hybrid/src/ladder.rs:
+crates/hybrid/src/parallel.rs:
+crates/hybrid/src/sched.rs:
+crates/hybrid/src/sim.rs:
+crates/hybrid/src/trace.rs:

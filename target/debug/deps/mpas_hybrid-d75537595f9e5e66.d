@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpas_hybrid-d75537595f9e5e66.d: crates/hybrid/src/lib.rs crates/hybrid/src/ablation.rs crates/hybrid/src/calibrate.rs crates/hybrid/src/device.rs crates/hybrid/src/ladder.rs crates/hybrid/src/parallel.rs crates/hybrid/src/sched.rs crates/hybrid/src/sim.rs crates/hybrid/src/trace.rs
+
+/root/repo/target/debug/deps/libmpas_hybrid-d75537595f9e5e66.rmeta: crates/hybrid/src/lib.rs crates/hybrid/src/ablation.rs crates/hybrid/src/calibrate.rs crates/hybrid/src/device.rs crates/hybrid/src/ladder.rs crates/hybrid/src/parallel.rs crates/hybrid/src/sched.rs crates/hybrid/src/sim.rs crates/hybrid/src/trace.rs
+
+crates/hybrid/src/lib.rs:
+crates/hybrid/src/ablation.rs:
+crates/hybrid/src/calibrate.rs:
+crates/hybrid/src/device.rs:
+crates/hybrid/src/ladder.rs:
+crates/hybrid/src/parallel.rs:
+crates/hybrid/src/sched.rs:
+crates/hybrid/src/sim.rs:
+crates/hybrid/src/trace.rs:

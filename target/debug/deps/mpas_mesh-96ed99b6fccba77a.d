@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mpas_mesh-96ed99b6fccba77a.d: crates/mesh/src/lib.rs crates/mesh/src/density.rs crates/mesh/src/icosahedron.rs crates/mesh/src/io.rs crates/mesh/src/lloyd.rs crates/mesh/src/mesh.rs crates/mesh/src/partition.rs crates/mesh/src/quality.rs crates/mesh/src/sfc.rs crates/mesh/src/submesh.rs crates/mesh/src/voronoi.rs
+
+/root/repo/target/debug/deps/libmpas_mesh-96ed99b6fccba77a.rmeta: crates/mesh/src/lib.rs crates/mesh/src/density.rs crates/mesh/src/icosahedron.rs crates/mesh/src/io.rs crates/mesh/src/lloyd.rs crates/mesh/src/mesh.rs crates/mesh/src/partition.rs crates/mesh/src/quality.rs crates/mesh/src/sfc.rs crates/mesh/src/submesh.rs crates/mesh/src/voronoi.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/density.rs:
+crates/mesh/src/icosahedron.rs:
+crates/mesh/src/io.rs:
+crates/mesh/src/lloyd.rs:
+crates/mesh/src/mesh.rs:
+crates/mesh/src/partition.rs:
+crates/mesh/src/quality.rs:
+crates/mesh/src/sfc.rs:
+crates/mesh/src/submesh.rs:
+crates/mesh/src/voronoi.rs:

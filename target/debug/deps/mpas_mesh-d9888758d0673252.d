@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mpas_mesh-d9888758d0673252.d: crates/mesh/src/lib.rs crates/mesh/src/density.rs crates/mesh/src/icosahedron.rs crates/mesh/src/io.rs crates/mesh/src/lloyd.rs crates/mesh/src/mesh.rs crates/mesh/src/partition.rs crates/mesh/src/quality.rs crates/mesh/src/sfc.rs crates/mesh/src/submesh.rs crates/mesh/src/voronoi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpas_mesh-d9888758d0673252.rmeta: crates/mesh/src/lib.rs crates/mesh/src/density.rs crates/mesh/src/icosahedron.rs crates/mesh/src/io.rs crates/mesh/src/lloyd.rs crates/mesh/src/mesh.rs crates/mesh/src/partition.rs crates/mesh/src/quality.rs crates/mesh/src/sfc.rs crates/mesh/src/submesh.rs crates/mesh/src/voronoi.rs Cargo.toml
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/density.rs:
+crates/mesh/src/icosahedron.rs:
+crates/mesh/src/io.rs:
+crates/mesh/src/lloyd.rs:
+crates/mesh/src/mesh.rs:
+crates/mesh/src/partition.rs:
+crates/mesh/src/quality.rs:
+crates/mesh/src/sfc.rs:
+crates/mesh/src/submesh.rs:
+crates/mesh/src/voronoi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpas_msg-03b2a0a2b51e7d43.d: crates/msg/src/lib.rs crates/msg/src/comm.rs crates/msg/src/cost.rs crates/msg/src/halo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpas_msg-03b2a0a2b51e7d43.rmeta: crates/msg/src/lib.rs crates/msg/src/comm.rs crates/msg/src/cost.rs crates/msg/src/halo.rs Cargo.toml
+
+crates/msg/src/lib.rs:
+crates/msg/src/comm.rs:
+crates/msg/src/cost.rs:
+crates/msg/src/halo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpas_msg-6b1a96505e9e9e17.d: crates/msg/src/lib.rs crates/msg/src/comm.rs crates/msg/src/cost.rs crates/msg/src/halo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpas_msg-6b1a96505e9e9e17.rmeta: crates/msg/src/lib.rs crates/msg/src/comm.rs crates/msg/src/cost.rs crates/msg/src/halo.rs Cargo.toml
+
+crates/msg/src/lib.rs:
+crates/msg/src/comm.rs:
+crates/msg/src/cost.rs:
+crates/msg/src/halo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpas_msg-9cfe0f5e6be58136.d: crates/msg/src/lib.rs crates/msg/src/comm.rs crates/msg/src/cost.rs crates/msg/src/halo.rs
+
+/root/repo/target/debug/deps/libmpas_msg-9cfe0f5e6be58136.rmeta: crates/msg/src/lib.rs crates/msg/src/comm.rs crates/msg/src/cost.rs crates/msg/src/halo.rs
+
+crates/msg/src/lib.rs:
+crates/msg/src/comm.rs:
+crates/msg/src/cost.rs:
+crates/msg/src/halo.rs:

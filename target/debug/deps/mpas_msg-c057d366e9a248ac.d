@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpas_msg-c057d366e9a248ac.d: crates/msg/src/lib.rs crates/msg/src/comm.rs crates/msg/src/cost.rs crates/msg/src/halo.rs
+
+/root/repo/target/debug/deps/libmpas_msg-c057d366e9a248ac.rmeta: crates/msg/src/lib.rs crates/msg/src/comm.rs crates/msg/src/cost.rs crates/msg/src/halo.rs
+
+crates/msg/src/lib.rs:
+crates/msg/src/comm.rs:
+crates/msg/src/cost.rs:
+crates/msg/src/halo.rs:

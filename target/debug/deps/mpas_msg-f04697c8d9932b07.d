@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpas_msg-f04697c8d9932b07.d: crates/msg/src/lib.rs crates/msg/src/comm.rs crates/msg/src/cost.rs crates/msg/src/halo.rs
+
+/root/repo/target/debug/deps/mpas_msg-f04697c8d9932b07: crates/msg/src/lib.rs crates/msg/src/comm.rs crates/msg/src/cost.rs crates/msg/src/halo.rs
+
+crates/msg/src/lib.rs:
+crates/msg/src/comm.rs:
+crates/msg/src/cost.rs:
+crates/msg/src/halo.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpas_msg-f1fa5235ee9bb2b5.d: crates/msg/src/lib.rs crates/msg/src/comm.rs crates/msg/src/cost.rs crates/msg/src/halo.rs
+
+/root/repo/target/debug/deps/libmpas_msg-f1fa5235ee9bb2b5.rlib: crates/msg/src/lib.rs crates/msg/src/comm.rs crates/msg/src/cost.rs crates/msg/src/halo.rs
+
+/root/repo/target/debug/deps/libmpas_msg-f1fa5235ee9bb2b5.rmeta: crates/msg/src/lib.rs crates/msg/src/comm.rs crates/msg/src/cost.rs crates/msg/src/halo.rs
+
+crates/msg/src/lib.rs:
+crates/msg/src/comm.rs:
+crates/msg/src/cost.rs:
+crates/msg/src/halo.rs:

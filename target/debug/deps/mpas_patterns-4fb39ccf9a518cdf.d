@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpas_patterns-4fb39ccf9a518cdf.d: crates/patterns/src/lib.rs crates/patterns/src/codegen.rs crates/patterns/src/dataflow.rs crates/patterns/src/export.rs crates/patterns/src/pattern.rs crates/patterns/src/profile.rs crates/patterns/src/reduction.rs
+
+/root/repo/target/debug/deps/libmpas_patterns-4fb39ccf9a518cdf.rlib: crates/patterns/src/lib.rs crates/patterns/src/codegen.rs crates/patterns/src/dataflow.rs crates/patterns/src/export.rs crates/patterns/src/pattern.rs crates/patterns/src/profile.rs crates/patterns/src/reduction.rs
+
+/root/repo/target/debug/deps/libmpas_patterns-4fb39ccf9a518cdf.rmeta: crates/patterns/src/lib.rs crates/patterns/src/codegen.rs crates/patterns/src/dataflow.rs crates/patterns/src/export.rs crates/patterns/src/pattern.rs crates/patterns/src/profile.rs crates/patterns/src/reduction.rs
+
+crates/patterns/src/lib.rs:
+crates/patterns/src/codegen.rs:
+crates/patterns/src/dataflow.rs:
+crates/patterns/src/export.rs:
+crates/patterns/src/pattern.rs:
+crates/patterns/src/profile.rs:
+crates/patterns/src/reduction.rs:

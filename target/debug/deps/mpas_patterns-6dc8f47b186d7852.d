@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpas_patterns-6dc8f47b186d7852.d: crates/patterns/src/lib.rs crates/patterns/src/codegen.rs crates/patterns/src/dataflow.rs crates/patterns/src/export.rs crates/patterns/src/pattern.rs crates/patterns/src/profile.rs crates/patterns/src/reduction.rs
+
+/root/repo/target/debug/deps/libmpas_patterns-6dc8f47b186d7852.rmeta: crates/patterns/src/lib.rs crates/patterns/src/codegen.rs crates/patterns/src/dataflow.rs crates/patterns/src/export.rs crates/patterns/src/pattern.rs crates/patterns/src/profile.rs crates/patterns/src/reduction.rs
+
+crates/patterns/src/lib.rs:
+crates/patterns/src/codegen.rs:
+crates/patterns/src/dataflow.rs:
+crates/patterns/src/export.rs:
+crates/patterns/src/pattern.rs:
+crates/patterns/src/profile.rs:
+crates/patterns/src/reduction.rs:

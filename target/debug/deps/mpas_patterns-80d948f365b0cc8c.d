@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpas_patterns-80d948f365b0cc8c.d: crates/patterns/src/lib.rs crates/patterns/src/codegen.rs crates/patterns/src/dataflow.rs crates/patterns/src/export.rs crates/patterns/src/pattern.rs crates/patterns/src/profile.rs crates/patterns/src/reduction.rs
+
+/root/repo/target/debug/deps/libmpas_patterns-80d948f365b0cc8c.rlib: crates/patterns/src/lib.rs crates/patterns/src/codegen.rs crates/patterns/src/dataflow.rs crates/patterns/src/export.rs crates/patterns/src/pattern.rs crates/patterns/src/profile.rs crates/patterns/src/reduction.rs
+
+/root/repo/target/debug/deps/libmpas_patterns-80d948f365b0cc8c.rmeta: crates/patterns/src/lib.rs crates/patterns/src/codegen.rs crates/patterns/src/dataflow.rs crates/patterns/src/export.rs crates/patterns/src/pattern.rs crates/patterns/src/profile.rs crates/patterns/src/reduction.rs
+
+crates/patterns/src/lib.rs:
+crates/patterns/src/codegen.rs:
+crates/patterns/src/dataflow.rs:
+crates/patterns/src/export.rs:
+crates/patterns/src/pattern.rs:
+crates/patterns/src/profile.rs:
+crates/patterns/src/reduction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpas_repro-7dd59e33aa32fa60.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpas_repro-7dd59e33aa32fa60.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mpas_repro-bfc3af75827d9ed4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmpas_repro-bfc3af75827d9ed4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmpas_repro-bfc3af75827d9ed4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpas_repro-d099baa6c2c0573e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmpas_repro-d099baa6c2c0573e.rmeta: src/lib.rs
+
+src/lib.rs:

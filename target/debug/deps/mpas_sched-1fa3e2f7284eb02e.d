@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpas_sched-1fa3e2f7284eb02e.d: crates/sched/src/lib.rs crates/sched/src/dag.rs crates/sched/src/list.rs crates/sched/src/paper.rs crates/sched/src/platform.rs crates/sched/src/policy.rs crates/sched/src/schedule.rs
+
+/root/repo/target/debug/deps/libmpas_sched-1fa3e2f7284eb02e.rlib: crates/sched/src/lib.rs crates/sched/src/dag.rs crates/sched/src/list.rs crates/sched/src/paper.rs crates/sched/src/platform.rs crates/sched/src/policy.rs crates/sched/src/schedule.rs
+
+/root/repo/target/debug/deps/libmpas_sched-1fa3e2f7284eb02e.rmeta: crates/sched/src/lib.rs crates/sched/src/dag.rs crates/sched/src/list.rs crates/sched/src/paper.rs crates/sched/src/platform.rs crates/sched/src/policy.rs crates/sched/src/schedule.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/dag.rs:
+crates/sched/src/list.rs:
+crates/sched/src/paper.rs:
+crates/sched/src/platform.rs:
+crates/sched/src/policy.rs:
+crates/sched/src/schedule.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpas_sched-3135b6507bb93f39.d: crates/sched/src/lib.rs crates/sched/src/dag.rs crates/sched/src/list.rs crates/sched/src/paper.rs crates/sched/src/platform.rs crates/sched/src/policy.rs crates/sched/src/schedule.rs crates/sched/src/telemetry.rs
+
+/root/repo/target/debug/deps/mpas_sched-3135b6507bb93f39: crates/sched/src/lib.rs crates/sched/src/dag.rs crates/sched/src/list.rs crates/sched/src/paper.rs crates/sched/src/platform.rs crates/sched/src/policy.rs crates/sched/src/schedule.rs crates/sched/src/telemetry.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/dag.rs:
+crates/sched/src/list.rs:
+crates/sched/src/paper.rs:
+crates/sched/src/platform.rs:
+crates/sched/src/policy.rs:
+crates/sched/src/schedule.rs:
+crates/sched/src/telemetry.rs:

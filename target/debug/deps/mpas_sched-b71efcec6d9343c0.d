@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mpas_sched-b71efcec6d9343c0.d: crates/sched/src/lib.rs crates/sched/src/dag.rs crates/sched/src/list.rs crates/sched/src/paper.rs crates/sched/src/platform.rs crates/sched/src/policy.rs crates/sched/src/schedule.rs crates/sched/src/telemetry.rs
+
+/root/repo/target/debug/deps/libmpas_sched-b71efcec6d9343c0.rlib: crates/sched/src/lib.rs crates/sched/src/dag.rs crates/sched/src/list.rs crates/sched/src/paper.rs crates/sched/src/platform.rs crates/sched/src/policy.rs crates/sched/src/schedule.rs crates/sched/src/telemetry.rs
+
+/root/repo/target/debug/deps/libmpas_sched-b71efcec6d9343c0.rmeta: crates/sched/src/lib.rs crates/sched/src/dag.rs crates/sched/src/list.rs crates/sched/src/paper.rs crates/sched/src/platform.rs crates/sched/src/policy.rs crates/sched/src/schedule.rs crates/sched/src/telemetry.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/dag.rs:
+crates/sched/src/list.rs:
+crates/sched/src/paper.rs:
+crates/sched/src/platform.rs:
+crates/sched/src/policy.rs:
+crates/sched/src/schedule.rs:
+crates/sched/src/telemetry.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpas_sched-bcab990472bb7b00.d: crates/sched/src/lib.rs crates/sched/src/dag.rs crates/sched/src/list.rs crates/sched/src/paper.rs crates/sched/src/platform.rs crates/sched/src/policy.rs crates/sched/src/schedule.rs
+
+/root/repo/target/debug/deps/libmpas_sched-bcab990472bb7b00.rmeta: crates/sched/src/lib.rs crates/sched/src/dag.rs crates/sched/src/list.rs crates/sched/src/paper.rs crates/sched/src/platform.rs crates/sched/src/policy.rs crates/sched/src/schedule.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/dag.rs:
+crates/sched/src/list.rs:
+crates/sched/src/paper.rs:
+crates/sched/src/platform.rs:
+crates/sched/src/policy.rs:
+crates/sched/src/schedule.rs:

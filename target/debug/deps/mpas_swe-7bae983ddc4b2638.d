@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mpas_swe-7bae983ddc4b2638.d: crates/swe/src/lib.rs crates/swe/src/checkpoint.rs crates/swe/src/config.rs crates/swe/src/kernels/mod.rs crates/swe/src/kernels/ops.rs crates/swe/src/kernels/scatter.rs crates/swe/src/model.rs crates/swe/src/norms.rs crates/swe/src/reconstruct.rs crates/swe/src/rk4.rs crates/swe/src/state.rs crates/swe/src/testcases.rs crates/swe/src/timeseries.rs
+
+/root/repo/target/debug/deps/libmpas_swe-7bae983ddc4b2638.rmeta: crates/swe/src/lib.rs crates/swe/src/checkpoint.rs crates/swe/src/config.rs crates/swe/src/kernels/mod.rs crates/swe/src/kernels/ops.rs crates/swe/src/kernels/scatter.rs crates/swe/src/model.rs crates/swe/src/norms.rs crates/swe/src/reconstruct.rs crates/swe/src/rk4.rs crates/swe/src/state.rs crates/swe/src/testcases.rs crates/swe/src/timeseries.rs
+
+crates/swe/src/lib.rs:
+crates/swe/src/checkpoint.rs:
+crates/swe/src/config.rs:
+crates/swe/src/kernels/mod.rs:
+crates/swe/src/kernels/ops.rs:
+crates/swe/src/kernels/scatter.rs:
+crates/swe/src/model.rs:
+crates/swe/src/norms.rs:
+crates/swe/src/reconstruct.rs:
+crates/swe/src/rk4.rs:
+crates/swe/src/state.rs:
+crates/swe/src/testcases.rs:
+crates/swe/src/timeseries.rs:

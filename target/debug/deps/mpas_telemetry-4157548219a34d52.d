@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpas_telemetry-4157548219a34d52.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpas_telemetry-4157548219a34d52.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpas_telemetry-7f7749a9f411ba20.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs
+
+/root/repo/target/debug/deps/libmpas_telemetry-7f7749a9f411ba20.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs
+
+/root/repo/target/debug/deps/libmpas_telemetry-7f7749a9f411ba20.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:

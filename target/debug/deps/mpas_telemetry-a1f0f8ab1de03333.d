@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mpas_telemetry-a1f0f8ab1de03333.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs
+
+/root/repo/target/debug/deps/libmpas_telemetry-a1f0f8ab1de03333.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:

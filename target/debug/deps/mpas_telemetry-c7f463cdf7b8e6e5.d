@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpas_telemetry-c7f463cdf7b8e6e5.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpas_telemetry-c7f463cdf7b8e6e5.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

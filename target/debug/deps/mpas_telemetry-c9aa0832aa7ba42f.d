@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpas_telemetry-c9aa0832aa7ba42f.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs
+
+/root/repo/target/debug/deps/libmpas_telemetry-c9aa0832aa7ba42f.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs
+
+/root/repo/target/debug/deps/libmpas_telemetry-c9aa0832aa7ba42f.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:

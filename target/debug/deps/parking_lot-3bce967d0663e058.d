@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-3bce967d0663e058.d: /tmp/polyfill/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-3bce967d0663e058.rmeta: /tmp/polyfill/parking_lot/src/lib.rs
+
+/tmp/polyfill/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-af9146c30246d1e0.d: /tmp/polyfill/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-af9146c30246d1e0.rlib: /tmp/polyfill/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-af9146c30246d1e0.rmeta: /tmp/polyfill/parking_lot/src/lib.rs
+
+/tmp/polyfill/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_cross_crate-4be59b7b84fcba42.d: tests/prop_cross_crate.rs
+
+/root/repo/target/debug/deps/prop_cross_crate-4be59b7b84fcba42: tests/prop_cross_crate.rs
+
+tests/prop_cross_crate.rs:

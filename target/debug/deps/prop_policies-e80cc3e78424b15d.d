@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_policies-e80cc3e78424b15d.d: crates/sched/tests/prop_policies.rs
+
+/root/repo/target/debug/deps/prop_policies-e80cc3e78424b15d: crates/sched/tests/prop_policies.rs
+
+crates/sched/tests/prop_policies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-820d759184434282.d: /tmp/polyfill/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-820d759184434282.rmeta: /tmp/polyfill/proptest/src/lib.rs
+
+/tmp/polyfill/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-c9df3c7865eaedcb.d: /tmp/polyfill/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c9df3c7865eaedcb.rlib: /tmp/polyfill/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c9df3c7865eaedcb.rmeta: /tmp/polyfill/proptest/src/lib.rs
+
+/tmp/polyfill/proptest/src/lib.rs:

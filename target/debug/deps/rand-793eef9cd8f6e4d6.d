@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-793eef9cd8f6e4d6.d: /tmp/polyfill/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-793eef9cd8f6e4d6.rmeta: /tmp/polyfill/rand/src/lib.rs
+
+/tmp/polyfill/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-d301b9c4604f8184.d: /tmp/polyfill/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d301b9c4604f8184.rlib: /tmp/polyfill/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d301b9c4604f8184.rmeta: /tmp/polyfill/rand/src/lib.rs
+
+/tmp/polyfill/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-2687b75bd9d89360.d: /tmp/polyfill/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-2687b75bd9d89360.rmeta: /tmp/polyfill/rand_chacha/src/lib.rs
+
+/tmp/polyfill/rand_chacha/src/lib.rs:

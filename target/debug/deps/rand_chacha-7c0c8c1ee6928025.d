@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-7c0c8c1ee6928025.d: /tmp/polyfill/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-7c0c8c1ee6928025.rlib: /tmp/polyfill/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-7c0c8c1ee6928025.rmeta: /tmp/polyfill/rand_chacha/src/lib.rs
+
+/tmp/polyfill/rand_chacha/src/lib.rs:

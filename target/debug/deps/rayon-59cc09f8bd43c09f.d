@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-59cc09f8bd43c09f.d: /tmp/polyfill/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-59cc09f8bd43c09f.rlib: /tmp/polyfill/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-59cc09f8bd43c09f.rmeta: /tmp/polyfill/rayon/src/lib.rs
+
+/tmp/polyfill/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-754b39a30d8ae5ed.d: /tmp/polyfill/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-754b39a30d8ae5ed.rmeta: /tmp/polyfill/rayon/src/lib.rs
+
+/tmp/polyfill/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-40aa352dac7ec332.d: /tmp/polyfill/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-40aa352dac7ec332.rlib: /tmp/polyfill/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-40aa352dac7ec332.rmeta: /tmp/polyfill/serde/src/lib.rs
+
+/tmp/polyfill/serde/src/lib.rs:

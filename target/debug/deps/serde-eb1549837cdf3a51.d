@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-eb1549837cdf3a51.d: /tmp/polyfill/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-eb1549837cdf3a51.rmeta: /tmp/polyfill/serde/src/lib.rs
+
+/tmp/polyfill/serde/src/lib.rs:

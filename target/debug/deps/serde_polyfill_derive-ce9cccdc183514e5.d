@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_polyfill_derive-ce9cccdc183514e5.d: /tmp/polyfill/serde_polyfill_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_polyfill_derive-ce9cccdc183514e5.so: /tmp/polyfill/serde_polyfill_derive/src/lib.rs
+
+/tmp/polyfill/serde_polyfill_derive/src/lib.rs:

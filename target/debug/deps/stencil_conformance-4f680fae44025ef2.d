@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stencil_conformance-4f680fae44025ef2.d: tests/stencil_conformance.rs
+
+/root/repo/target/debug/deps/stencil_conformance-4f680fae44025ef2: tests/stencil_conformance.rs
+
+tests/stencil_conformance.rs:

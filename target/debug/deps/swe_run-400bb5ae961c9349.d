@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swe_run-400bb5ae961c9349.d: crates/bench/src/bin/swe_run.rs
+
+/root/repo/target/debug/deps/swe_run-400bb5ae961c9349: crates/bench/src/bin/swe_run.rs
+
+crates/bench/src/bin/swe_run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swe_run-76f431b34fb576fd.d: crates/bench/src/bin/swe_run.rs
+
+/root/repo/target/debug/deps/swe_run-76f431b34fb576fd: crates/bench/src/bin/swe_run.rs
+
+crates/bench/src/bin/swe_run.rs:

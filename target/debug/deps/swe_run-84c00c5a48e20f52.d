@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swe_run-84c00c5a48e20f52.d: crates/bench/src/bin/swe_run.rs
+
+/root/repo/target/debug/deps/libswe_run-84c00c5a48e20f52.rmeta: crates/bench/src/bin/swe_run.rs
+
+crates/bench/src/bin/swe_run.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swe_run-9a30144a301be84f.d: crates/bench/src/bin/swe_run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswe_run-9a30144a301be84f.rmeta: crates/bench/src/bin/swe_run.rs Cargo.toml
+
+crates/bench/src/bin/swe_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swe_run-e4a9ad15cb73dd86.d: crates/bench/src/bin/swe_run.rs
+
+/root/repo/target/debug/deps/swe_run-e4a9ad15cb73dd86: crates/bench/src/bin/swe_run.rs
+
+crates/bench/src/bin/swe_run.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_integration-294c12a9cc057579.d: tests/telemetry_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_integration-294c12a9cc057579.rmeta: tests/telemetry_integration.rs Cargo.toml
+
+tests/telemetry_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_overhead-19cad767046f4164.d: crates/bench/tests/telemetry_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_overhead-19cad767046f4164.rmeta: crates/bench/tests/telemetry_overhead.rs Cargo.toml
+
+crates/bench/tests/telemetry_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_overhead-f64b2abd86a97065.d: crates/bench/tests/telemetry_overhead.rs
+
+/root/repo/target/debug/deps/telemetry_overhead-f64b2abd86a97065: crates/bench/tests/telemetry_overhead.rs
+
+crates/bench/tests/telemetry_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_run-2ae1ca1dd235b979.d: examples/distributed_run.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_run-2ae1ca1dd235b979.rmeta: examples/distributed_run.rs Cargo.toml
+
+examples/distributed_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hybrid_speedup-4b52a60bacfa1146.d: examples/hybrid_speedup.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhybrid_speedup-4b52a60bacfa1146.rmeta: examples/hybrid_speedup.rs Cargo.toml
+
+examples/hybrid_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_speedup-f2d5a0915debed0c.d: examples/hybrid_speedup.rs
+
+/root/repo/target/debug/examples/hybrid_speedup-f2d5a0915debed0c: examples/hybrid_speedup.rs
+
+examples/hybrid_speedup.rs:

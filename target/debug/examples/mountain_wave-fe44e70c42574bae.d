@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mountain_wave-fe44e70c42574bae.d: examples/mountain_wave.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmountain_wave-fe44e70c42574bae.rmeta: examples/mountain_wave.rs Cargo.toml
+
+examples/mountain_wave.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

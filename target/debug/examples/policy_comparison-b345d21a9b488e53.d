@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/policy_comparison-b345d21a9b488e53.d: examples/policy_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpolicy_comparison-b345d21a9b488e53.rmeta: examples/policy_comparison.rs Cargo.toml
+
+examples/policy_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-ace6080f6ada7812.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-ace6080f6ada7812.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

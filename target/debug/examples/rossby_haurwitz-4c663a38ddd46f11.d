@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rossby_haurwitz-4c663a38ddd46f11.d: examples/rossby_haurwitz.rs
+
+/root/repo/target/debug/examples/rossby_haurwitz-4c663a38ddd46f11: examples/rossby_haurwitz.rs
+
+examples/rossby_haurwitz.rs:

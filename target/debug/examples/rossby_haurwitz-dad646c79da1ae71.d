@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rossby_haurwitz-dad646c79da1ae71.d: examples/rossby_haurwitz.rs Cargo.toml
+
+/root/repo/target/debug/examples/librossby_haurwitz-dad646c79da1ae71.rmeta: examples/rossby_haurwitz.rs Cargo.toml
+
+examples/rossby_haurwitz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

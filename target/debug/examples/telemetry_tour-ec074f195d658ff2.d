@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/telemetry_tour-ec074f195d658ff2.d: examples/telemetry_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtelemetry_tour-ec074f195d658ff2.rmeta: examples/telemetry_tour.rs Cargo.toml
+
+examples/telemetry_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

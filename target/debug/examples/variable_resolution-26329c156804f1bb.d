@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/variable_resolution-26329c156804f1bb.d: examples/variable_resolution.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvariable_resolution-26329c156804f1bb.rmeta: examples/variable_resolution.rs Cargo.toml
+
+examples/variable_resolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/advection_case1-2a5412bcf5e71e5d.d: tests/advection_case1.rs
+
+/root/repo/target/release/deps/advection_case1-2a5412bcf5e71e5d: tests/advection_case1.rs
+
+tests/advection_case1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/conservation_convergence-61ede3fc7523c8d3.d: tests/conservation_convergence.rs
+
+/root/repo/target/release/deps/conservation_convergence-61ede3fc7523c8d3: tests/conservation_convergence.rs
+
+tests/conservation_convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/correctness_validation-8443eefe00112059.d: tests/correctness_validation.rs
+
+/root/repo/target/release/deps/correctness_validation-8443eefe00112059: tests/correctness_validation.rs
+
+tests/correctness_validation.rs:

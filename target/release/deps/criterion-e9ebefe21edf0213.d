@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-e9ebefe21edf0213.d: /tmp/polyfill/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-e9ebefe21edf0213.rlib: /tmp/polyfill/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-e9ebefe21edf0213.rmeta: /tmp/polyfill/criterion/src/lib.rs
+
+/tmp/polyfill/criterion/src/lib.rs:

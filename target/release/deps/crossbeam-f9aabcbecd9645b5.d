@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-f9aabcbecd9645b5.d: /tmp/polyfill/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-f9aabcbecd9645b5.rlib: /tmp/polyfill/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-f9aabcbecd9645b5.rmeta: /tmp/polyfill/crossbeam/src/lib.rs
+
+/tmp/polyfill/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam_channel-ca01074d3405e48b.d: /tmp/polyfill/crossbeam-channel/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_channel-ca01074d3405e48b.rlib: /tmp/polyfill/crossbeam-channel/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_channel-ca01074d3405e48b.rmeta: /tmp/polyfill/crossbeam-channel/src/lib.rs
+
+/tmp/polyfill/crossbeam-channel/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiment_shapes-b16d5ea158474d05.d: tests/experiment_shapes.rs
+
+/root/repo/target/release/deps/experiment_shapes-b16d5ea158474d05: tests/experiment_shapes.rs
+
+tests/experiment_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-c36b87a95db020e4.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-c36b87a95db020e4: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

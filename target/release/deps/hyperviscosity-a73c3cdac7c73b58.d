@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hyperviscosity-a73c3cdac7c73b58.d: tests/hyperviscosity.rs
+
+/root/repo/target/release/deps/hyperviscosity-a73c3cdac7c73b58: tests/hyperviscosity.rs
+
+tests/hyperviscosity.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/mpas_bench-4bb04c0d4f495506.d: crates/bench/src/lib.rs crates/bench/src/render.rs
+
+/root/repo/target/release/deps/mpas_bench-4bb04c0d4f495506: crates/bench/src/lib.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:

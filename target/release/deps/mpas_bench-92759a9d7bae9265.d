@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mpas_bench-92759a9d7bae9265.d: crates/bench/src/lib.rs crates/bench/src/render.rs
+
+/root/repo/target/release/deps/libmpas_bench-92759a9d7bae9265.rlib: crates/bench/src/lib.rs crates/bench/src/render.rs
+
+/root/repo/target/release/deps/libmpas_bench-92759a9d7bae9265.rmeta: crates/bench/src/lib.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:

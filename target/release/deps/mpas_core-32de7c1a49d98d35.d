@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mpas_core-32de7c1a49d98d35.d: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/simulation.rs
+
+/root/repo/target/release/deps/libmpas_core-32de7c1a49d98d35.rlib: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/simulation.rs
+
+/root/repo/target/release/deps/libmpas_core-32de7c1a49d98d35.rmeta: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/simulation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/distributed.rs:
+crates/core/src/simulation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mpas_core-613387342fa4b276.d: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/simulation.rs
+
+/root/repo/target/release/deps/mpas_core-613387342fa4b276: crates/core/src/lib.rs crates/core/src/distributed.rs crates/core/src/simulation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/distributed.rs:
+crates/core/src/simulation.rs:

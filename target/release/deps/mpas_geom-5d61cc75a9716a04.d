@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mpas_geom-5d61cc75a9716a04.d: crates/geom/src/lib.rs crates/geom/src/constants.rs crates/geom/src/lonlat.rs crates/geom/src/rotation.rs crates/geom/src/sphere.rs crates/geom/src/vec3.rs
+
+/root/repo/target/release/deps/mpas_geom-5d61cc75a9716a04: crates/geom/src/lib.rs crates/geom/src/constants.rs crates/geom/src/lonlat.rs crates/geom/src/rotation.rs crates/geom/src/sphere.rs crates/geom/src/vec3.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/constants.rs:
+crates/geom/src/lonlat.rs:
+crates/geom/src/rotation.rs:
+crates/geom/src/sphere.rs:
+crates/geom/src/vec3.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mpas_geom-c9ecf714a71c8d25.d: crates/geom/src/lib.rs crates/geom/src/constants.rs crates/geom/src/lonlat.rs crates/geom/src/rotation.rs crates/geom/src/sphere.rs crates/geom/src/vec3.rs
+
+/root/repo/target/release/deps/libmpas_geom-c9ecf714a71c8d25.rlib: crates/geom/src/lib.rs crates/geom/src/constants.rs crates/geom/src/lonlat.rs crates/geom/src/rotation.rs crates/geom/src/sphere.rs crates/geom/src/vec3.rs
+
+/root/repo/target/release/deps/libmpas_geom-c9ecf714a71c8d25.rmeta: crates/geom/src/lib.rs crates/geom/src/constants.rs crates/geom/src/lonlat.rs crates/geom/src/rotation.rs crates/geom/src/sphere.rs crates/geom/src/vec3.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/constants.rs:
+crates/geom/src/lonlat.rs:
+crates/geom/src/rotation.rs:
+crates/geom/src/sphere.rs:
+crates/geom/src/vec3.rs:

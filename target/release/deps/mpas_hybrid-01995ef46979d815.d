@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mpas_hybrid-01995ef46979d815.d: crates/hybrid/src/lib.rs crates/hybrid/src/ablation.rs crates/hybrid/src/calibrate.rs crates/hybrid/src/device.rs crates/hybrid/src/ladder.rs crates/hybrid/src/parallel.rs crates/hybrid/src/sched.rs crates/hybrid/src/sim.rs crates/hybrid/src/trace.rs
+
+/root/repo/target/release/deps/mpas_hybrid-01995ef46979d815: crates/hybrid/src/lib.rs crates/hybrid/src/ablation.rs crates/hybrid/src/calibrate.rs crates/hybrid/src/device.rs crates/hybrid/src/ladder.rs crates/hybrid/src/parallel.rs crates/hybrid/src/sched.rs crates/hybrid/src/sim.rs crates/hybrid/src/trace.rs
+
+crates/hybrid/src/lib.rs:
+crates/hybrid/src/ablation.rs:
+crates/hybrid/src/calibrate.rs:
+crates/hybrid/src/device.rs:
+crates/hybrid/src/ladder.rs:
+crates/hybrid/src/parallel.rs:
+crates/hybrid/src/sched.rs:
+crates/hybrid/src/sim.rs:
+crates/hybrid/src/trace.rs:

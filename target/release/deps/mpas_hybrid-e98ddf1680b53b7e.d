@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mpas_hybrid-e98ddf1680b53b7e.d: crates/hybrid/src/lib.rs crates/hybrid/src/ablation.rs crates/hybrid/src/calibrate.rs crates/hybrid/src/device.rs crates/hybrid/src/ladder.rs crates/hybrid/src/parallel.rs crates/hybrid/src/sched.rs crates/hybrid/src/sim.rs crates/hybrid/src/trace.rs
+
+/root/repo/target/release/deps/libmpas_hybrid-e98ddf1680b53b7e.rlib: crates/hybrid/src/lib.rs crates/hybrid/src/ablation.rs crates/hybrid/src/calibrate.rs crates/hybrid/src/device.rs crates/hybrid/src/ladder.rs crates/hybrid/src/parallel.rs crates/hybrid/src/sched.rs crates/hybrid/src/sim.rs crates/hybrid/src/trace.rs
+
+/root/repo/target/release/deps/libmpas_hybrid-e98ddf1680b53b7e.rmeta: crates/hybrid/src/lib.rs crates/hybrid/src/ablation.rs crates/hybrid/src/calibrate.rs crates/hybrid/src/device.rs crates/hybrid/src/ladder.rs crates/hybrid/src/parallel.rs crates/hybrid/src/sched.rs crates/hybrid/src/sim.rs crates/hybrid/src/trace.rs
+
+crates/hybrid/src/lib.rs:
+crates/hybrid/src/ablation.rs:
+crates/hybrid/src/calibrate.rs:
+crates/hybrid/src/device.rs:
+crates/hybrid/src/ladder.rs:
+crates/hybrid/src/parallel.rs:
+crates/hybrid/src/sched.rs:
+crates/hybrid/src/sim.rs:
+crates/hybrid/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mpas_mesh-6b13f87048a4cf4f.d: crates/mesh/src/lib.rs crates/mesh/src/density.rs crates/mesh/src/icosahedron.rs crates/mesh/src/io.rs crates/mesh/src/lloyd.rs crates/mesh/src/mesh.rs crates/mesh/src/partition.rs crates/mesh/src/quality.rs crates/mesh/src/sfc.rs crates/mesh/src/submesh.rs crates/mesh/src/voronoi.rs
+
+/root/repo/target/release/deps/mpas_mesh-6b13f87048a4cf4f: crates/mesh/src/lib.rs crates/mesh/src/density.rs crates/mesh/src/icosahedron.rs crates/mesh/src/io.rs crates/mesh/src/lloyd.rs crates/mesh/src/mesh.rs crates/mesh/src/partition.rs crates/mesh/src/quality.rs crates/mesh/src/sfc.rs crates/mesh/src/submesh.rs crates/mesh/src/voronoi.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/density.rs:
+crates/mesh/src/icosahedron.rs:
+crates/mesh/src/io.rs:
+crates/mesh/src/lloyd.rs:
+crates/mesh/src/mesh.rs:
+crates/mesh/src/partition.rs:
+crates/mesh/src/quality.rs:
+crates/mesh/src/sfc.rs:
+crates/mesh/src/submesh.rs:
+crates/mesh/src/voronoi.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mpas_msg-420880c1a5616863.d: crates/msg/src/lib.rs crates/msg/src/comm.rs crates/msg/src/cost.rs crates/msg/src/halo.rs
+
+/root/repo/target/release/deps/mpas_msg-420880c1a5616863: crates/msg/src/lib.rs crates/msg/src/comm.rs crates/msg/src/cost.rs crates/msg/src/halo.rs
+
+crates/msg/src/lib.rs:
+crates/msg/src/comm.rs:
+crates/msg/src/cost.rs:
+crates/msg/src/halo.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mpas_msg-d00574d1b0de69ea.d: crates/msg/src/lib.rs crates/msg/src/comm.rs crates/msg/src/cost.rs crates/msg/src/halo.rs
+
+/root/repo/target/release/deps/libmpas_msg-d00574d1b0de69ea.rlib: crates/msg/src/lib.rs crates/msg/src/comm.rs crates/msg/src/cost.rs crates/msg/src/halo.rs
+
+/root/repo/target/release/deps/libmpas_msg-d00574d1b0de69ea.rmeta: crates/msg/src/lib.rs crates/msg/src/comm.rs crates/msg/src/cost.rs crates/msg/src/halo.rs
+
+crates/msg/src/lib.rs:
+crates/msg/src/comm.rs:
+crates/msg/src/cost.rs:
+crates/msg/src/halo.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mpas_patterns-2159335ad4effc33.d: crates/patterns/src/lib.rs crates/patterns/src/codegen.rs crates/patterns/src/dataflow.rs crates/patterns/src/export.rs crates/patterns/src/pattern.rs crates/patterns/src/profile.rs crates/patterns/src/reduction.rs
+
+/root/repo/target/release/deps/mpas_patterns-2159335ad4effc33: crates/patterns/src/lib.rs crates/patterns/src/codegen.rs crates/patterns/src/dataflow.rs crates/patterns/src/export.rs crates/patterns/src/pattern.rs crates/patterns/src/profile.rs crates/patterns/src/reduction.rs
+
+crates/patterns/src/lib.rs:
+crates/patterns/src/codegen.rs:
+crates/patterns/src/dataflow.rs:
+crates/patterns/src/export.rs:
+crates/patterns/src/pattern.rs:
+crates/patterns/src/profile.rs:
+crates/patterns/src/reduction.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mpas_patterns-3d1a3702465f3f45.d: crates/patterns/src/lib.rs crates/patterns/src/codegen.rs crates/patterns/src/dataflow.rs crates/patterns/src/export.rs crates/patterns/src/pattern.rs crates/patterns/src/profile.rs crates/patterns/src/reduction.rs
+
+/root/repo/target/release/deps/libmpas_patterns-3d1a3702465f3f45.rlib: crates/patterns/src/lib.rs crates/patterns/src/codegen.rs crates/patterns/src/dataflow.rs crates/patterns/src/export.rs crates/patterns/src/pattern.rs crates/patterns/src/profile.rs crates/patterns/src/reduction.rs
+
+/root/repo/target/release/deps/libmpas_patterns-3d1a3702465f3f45.rmeta: crates/patterns/src/lib.rs crates/patterns/src/codegen.rs crates/patterns/src/dataflow.rs crates/patterns/src/export.rs crates/patterns/src/pattern.rs crates/patterns/src/profile.rs crates/patterns/src/reduction.rs
+
+crates/patterns/src/lib.rs:
+crates/patterns/src/codegen.rs:
+crates/patterns/src/dataflow.rs:
+crates/patterns/src/export.rs:
+crates/patterns/src/pattern.rs:
+crates/patterns/src/profile.rs:
+crates/patterns/src/reduction.rs:

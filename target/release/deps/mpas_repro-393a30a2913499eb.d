@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mpas_repro-393a30a2913499eb.d: src/lib.rs
+
+/root/repo/target/release/deps/libmpas_repro-393a30a2913499eb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmpas_repro-393a30a2913499eb.rmeta: src/lib.rs
+
+src/lib.rs:

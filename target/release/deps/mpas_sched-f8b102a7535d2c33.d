@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mpas_sched-f8b102a7535d2c33.d: crates/sched/src/lib.rs crates/sched/src/dag.rs crates/sched/src/list.rs crates/sched/src/paper.rs crates/sched/src/platform.rs crates/sched/src/policy.rs crates/sched/src/schedule.rs crates/sched/src/telemetry.rs
+
+/root/repo/target/release/deps/libmpas_sched-f8b102a7535d2c33.rlib: crates/sched/src/lib.rs crates/sched/src/dag.rs crates/sched/src/list.rs crates/sched/src/paper.rs crates/sched/src/platform.rs crates/sched/src/policy.rs crates/sched/src/schedule.rs crates/sched/src/telemetry.rs
+
+/root/repo/target/release/deps/libmpas_sched-f8b102a7535d2c33.rmeta: crates/sched/src/lib.rs crates/sched/src/dag.rs crates/sched/src/list.rs crates/sched/src/paper.rs crates/sched/src/platform.rs crates/sched/src/policy.rs crates/sched/src/schedule.rs crates/sched/src/telemetry.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/dag.rs:
+crates/sched/src/list.rs:
+crates/sched/src/paper.rs:
+crates/sched/src/platform.rs:
+crates/sched/src/policy.rs:
+crates/sched/src/schedule.rs:
+crates/sched/src/telemetry.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/mpas_telemetry-7885f471f3355d3e.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs
+
+/root/repo/target/release/deps/mpas_telemetry-7885f471f3355d3e: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mpas_telemetry-c935c34034e62037.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs
+
+/root/repo/target/release/deps/libmpas_telemetry-c935c34034e62037.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs
+
+/root/repo/target/release/deps/libmpas_telemetry-c935c34034e62037.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:

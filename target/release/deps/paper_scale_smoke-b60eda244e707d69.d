@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_scale_smoke-b60eda244e707d69.d: tests/paper_scale_smoke.rs
+
+/root/repo/target/release/deps/paper_scale_smoke-b60eda244e707d69: tests/paper_scale_smoke.rs
+
+tests/paper_scale_smoke.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-fe76314b66fbd4fd.d: /tmp/polyfill/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-fe76314b66fbd4fd.rlib: /tmp/polyfill/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-fe76314b66fbd4fd.rmeta: /tmp/polyfill/parking_lot/src/lib.rs
+
+/tmp/polyfill/parking_lot/src/lib.rs:

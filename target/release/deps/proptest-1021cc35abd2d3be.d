@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-1021cc35abd2d3be.d: /tmp/polyfill/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1021cc35abd2d3be.rlib: /tmp/polyfill/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1021cc35abd2d3be.rmeta: /tmp/polyfill/proptest/src/lib.rs
+
+/tmp/polyfill/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-6cbad3bb3440ec0a.d: /tmp/polyfill/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-6cbad3bb3440ec0a.rlib: /tmp/polyfill/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-6cbad3bb3440ec0a.rmeta: /tmp/polyfill/rand/src/lib.rs
+
+/tmp/polyfill/rand/src/lib.rs:

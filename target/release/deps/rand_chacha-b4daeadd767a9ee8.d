@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-b4daeadd767a9ee8.d: /tmp/polyfill/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-b4daeadd767a9ee8.rlib: /tmp/polyfill/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-b4daeadd767a9ee8.rmeta: /tmp/polyfill/rand_chacha/src/lib.rs
+
+/tmp/polyfill/rand_chacha/src/lib.rs:

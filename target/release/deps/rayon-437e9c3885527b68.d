@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-437e9c3885527b68.d: /tmp/polyfill/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-437e9c3885527b68.rlib: /tmp/polyfill/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-437e9c3885527b68.rmeta: /tmp/polyfill/rayon/src/lib.rs
+
+/tmp/polyfill/rayon/src/lib.rs:

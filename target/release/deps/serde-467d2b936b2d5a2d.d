@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-467d2b936b2d5a2d.d: /tmp/polyfill/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-467d2b936b2d5a2d.rlib: /tmp/polyfill/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-467d2b936b2d5a2d.rmeta: /tmp/polyfill/serde/src/lib.rs
+
+/tmp/polyfill/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_polyfill_derive-5ec4d6a640444553.d: /tmp/polyfill/serde_polyfill_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_polyfill_derive-5ec4d6a640444553.so: /tmp/polyfill/serde_polyfill_derive/src/lib.rs
+
+/tmp/polyfill/serde_polyfill_derive/src/lib.rs:

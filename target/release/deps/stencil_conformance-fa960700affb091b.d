@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stencil_conformance-fa960700affb091b.d: tests/stencil_conformance.rs
+
+/root/repo/target/release/deps/stencil_conformance-fa960700affb091b: tests/stencil_conformance.rs
+
+tests/stencil_conformance.rs:

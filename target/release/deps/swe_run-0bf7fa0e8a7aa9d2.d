@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/swe_run-0bf7fa0e8a7aa9d2.d: crates/bench/src/bin/swe_run.rs
+
+/root/repo/target/release/deps/swe_run-0bf7fa0e8a7aa9d2: crates/bench/src/bin/swe_run.rs
+
+crates/bench/src/bin/swe_run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_integration-61f9abf2b29da3cc.d: tests/telemetry_integration.rs
+
+/root/repo/target/release/deps/telemetry_integration-61f9abf2b29da3cc: tests/telemetry_integration.rs
+
+tests/telemetry_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_overhead-bfe6abd063885495.d: crates/bench/tests/telemetry_overhead.rs
+
+/root/repo/target/release/deps/telemetry_overhead-bfe6abd063885495: crates/bench/tests/telemetry_overhead.rs
+
+crates/bench/tests/telemetry_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/telemetry_tour-28e8089578cabae1.d: examples/telemetry_tour.rs
+
+/root/repo/target/release/examples/telemetry_tour-28e8089578cabae1: examples/telemetry_tour.rs
+
+examples/telemetry_tour.rs:
