@@ -41,5 +41,47 @@ fn bench_step(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_step);
+/// The PR-4 acceptance benchmark: full RK-4 step at level 6 (40 962
+/// cells), seed per-slot kernels on the natural cell ordering against the
+/// precomputed-coefficient fast path on the Morton/SFC reordered mesh, on
+/// both the serial and the threaded executor. The fused+reordered variants
+/// are the ones BENCH_pr4.json records.
+fn bench_layout(c: &mut Criterion) {
+    use mpas_mesh::Reordering;
+
+    let level = 6;
+    let base = Arc::new(mpas_mesh::generate(level, 0));
+    let sfc = Arc::new(base.reordered(&Reordering::Sfc.permutation(&base)));
+    let seed_cfg = ModelConfig {
+        fused_coeffs: false,
+        ..ModelConfig::default()
+    };
+    let fused_cfg = ModelConfig::default();
+    let tc = TestCase::Case5;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut g = c.benchmark_group("pr4_rk4_layout");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    let mut m = ShallowWaterModel::new(base.clone(), seed_cfg, tc, None);
+    g.bench_function("serial_seed_natural", |b| b.iter(|| m.step()));
+    let mut m = ShallowWaterModel::new(base.clone(), fused_cfg, tc, None);
+    g.bench_function("serial_fused_natural", |b| b.iter(|| m.step()));
+    let mut m = ShallowWaterModel::new(sfc.clone(), fused_cfg, tc, None);
+    g.bench_function("serial_fused_sfc", |b| b.iter(|| m.step()));
+
+    let mut m = ParallelModel::new(base.clone(), seed_cfg, tc, None, threads);
+    g.bench_function(format!("threaded{threads}_seed_natural"), |b| {
+        b.iter(|| m.step())
+    });
+    let mut m = ParallelModel::new(sfc.clone(), fused_cfg, tc, None, threads);
+    g.bench_function(format!("threaded{threads}_fused_sfc"), |b| {
+        b.iter(|| m.step())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_step, bench_layout);
 criterion_main!(benches);

@@ -4,7 +4,11 @@
 //! figures <experiment> [options]
 //!   table1 | table2 | table3 | fig4 | fig4x | fig5 | fig6 | fig7 | fig7x
 //!   | fig8 | fig9 | ablations | trace | profile | convergence
-//!   | partitioners | all
+//!   | partitioners | fig_layout | all
+//!
+//! `fig_layout` measures the PR-4 data-layout ladder: RK-4 step time by
+//! cell ordering (natural, Morton SFC, BFS) × mesh level × executor, seed
+//! per-slot kernels against the precomputed fused-coefficient fast path.
 //!
 //! `fig7x` extends Fig. 7 with every policy registered in `mpas-sched`
 //! (HEFT, CPOP, lookahead, dynamic-list, ...) on the Table III meshes.
@@ -81,6 +85,7 @@ fn main() {
             "profile" => profile(),
             "convergence" => convergence(),
             "partitioners" => partitioners(&opts),
+            "fig_layout" => fig_layout(&opts),
             "all" => {
                 table1();
                 table2();
@@ -823,4 +828,75 @@ fn fig9() {
         &rows,
     );
     println!("paper: CPU ~0.271-0.274 s flat; pattern-driven ~0.045-0.047 s flat");
+}
+
+/// `fig_layout` — the PR-4 locality ladder: full RK-4 step time by cell
+/// ordering (natural, Morton SFC, BFS/Cuthill–McKee), mesh level and
+/// executor. Each row times the seed per-slot kernels and the
+/// precomputed-coefficient fast path ([`mpas_swe::KernelCoeffs`] +
+/// `kernels::fused`); the speedup column is fused-on-this-ordering over
+/// seed-on-the-natural-ordering for the same executor — the Fig. 6-style
+/// ladder for data layout rather than kernel form.
+fn fig_layout(opts: &Opts) {
+    use mpas_hybrid::ParallelModel;
+    use mpas_mesh::Reordering;
+
+    let tc = TestCase::Case5;
+    let seed_cfg = ModelConfig {
+        fused_coeffs: false,
+        ..ModelConfig::default()
+    };
+    let fused_cfg = ModelConfig::default();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    let levels = [opts.level.saturating_sub(1).max(3), opts.level];
+    let mut rows = Vec::new();
+    for &level in &levels {
+        let base = Arc::new(mpas_mesh::generate(level, 0));
+        let iters = if level >= 6 { 2 } else { 6 };
+        // Per-executor baseline: seed kernels on the natural ordering.
+        let mut base_ms = [f64::NAN; 2];
+        for ord in [Reordering::None, Reordering::Sfc, Reordering::Bfs] {
+            let mesh = if ord == Reordering::None {
+                base.clone()
+            } else {
+                Arc::new(base.reordered(&ord.permutation(&base)))
+            };
+            for (xi, serial) in [(0usize, true), (1, false)] {
+                let step_ms = |cfg: ModelConfig| -> f64 {
+                    if serial {
+                        let mut m = ShallowWaterModel::new(mesh.clone(), cfg, tc, None);
+                        time_per_call(|| m.step(), iters) * 1e3
+                    } else {
+                        let mut m = ParallelModel::new(mesh.clone(), cfg, tc, None, threads);
+                        time_per_call(|| m.step(), iters) * 1e3
+                    }
+                };
+                let seed_ms = step_ms(seed_cfg);
+                let fused_ms = step_ms(fused_cfg);
+                if ord == Reordering::None {
+                    base_ms[xi] = seed_ms;
+                }
+                rows.push(vec![
+                    level.to_string(),
+                    mesh.n_cells().to_string(),
+                    ord.name().to_string(),
+                    if serial {
+                        "serial".to_string()
+                    } else {
+                        format!("threaded:{threads}")
+                    },
+                    format!("{seed_ms:.2}"),
+                    format!("{fused_ms:.2}"),
+                    format!("{:.2}x", base_ms[xi] / fused_ms),
+                ]);
+            }
+        }
+    }
+    print_table(
+        "fig_layout — RK-4 step: ordering x level x executor (speedup vs seed kernels, natural order)",
+        &["level", "cells", "ordering", "executor", "seed ms/step", "fused ms/step", "speedup"],
+        &rows,
+    );
 }

@@ -16,7 +16,8 @@
 
 use mpas_bench::render::{sample_lonlat, write_ppm};
 use mpas_core::{Executor, Simulation};
-use mpas_swe::TestCase;
+use mpas_mesh::Reordering;
+use mpas_swe::{ModelConfig, TestCase};
 use mpas_telemetry::Recorder;
 use std::path::PathBuf;
 
@@ -28,10 +29,13 @@ struct Args {
     days: f64,
     executor: String,
     policy: String,
+    reorder: Reordering,
+    fused: bool,
     frames: usize,
     out: PathBuf,
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    bench_json: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -43,10 +47,13 @@ fn parse_args() -> Args {
         days: 1.0,
         executor: "serial".into(),
         policy: "pattern-driven".into(),
+        reorder: Reordering::None,
+        fused: true,
         frames: 0,
         out: PathBuf::from("target/frames"),
         trace: None,
         metrics: None,
+        bench_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -59,16 +66,32 @@ fn parse_args() -> Args {
             "--days" => args.days = val().parse().expect("days"),
             "--executor" => args.executor = val(),
             "--policy" => args.policy = val(),
+            "--reorder" => {
+                let v = val();
+                args.reorder = Reordering::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown reorder {v} (none, sfc or bfs)"));
+            }
+            "--fused" => {
+                let v = val();
+                args.fused = match v.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => panic!("unknown fused {other} (on or off)"),
+                };
+            }
             "--frames" => args.frames = val().parse().expect("frames"),
             "--out" => args.out = PathBuf::from(val()),
             "--trace" => args.trace = Some(PathBuf::from(val())),
             "--metrics" => args.metrics = Some(PathBuf::from(val())),
+            "--bench-json" => args.bench_json = Some(PathBuf::from(val())),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: swe-run [--case 2|5|6] [--alpha RAD] [--level N] \
                      [--lloyd N] [--days X] [--executor serial|threaded:N|hybrid:N:M] \
-                     [--policy NAME] [--frames K] [--out DIR] \
-                     [--trace FILE.json] [--metrics FILE.json|FILE.csv]\n\
+                     [--policy NAME] [--reorder none|sfc|bfs] [--fused on|off] \
+                     [--frames K] [--out DIR] \
+                     [--trace FILE.json] [--metrics FILE.json|FILE.csv] \
+                     [--bench-json FILE.json]\n\
                      policies: {}",
                     mpas_sched::registered_names().join(", ")
                 );
@@ -119,18 +142,25 @@ fn main() {
         .lloyd_iters(args.lloyd)
         .test_case(tc)
         .executor(parse_executor(&args.executor))
+        .config(ModelConfig {
+            fused_coeffs: args.fused,
+            ..Default::default()
+        })
+        .reorder(args.reorder)
         .sched_policy(&args.policy)
         .recorder(rec.clone())
         .build();
 
     let total_steps = ((args.days * 86_400.0) / sim.dt()).ceil().max(1.0) as usize;
     println!(
-        "{}: {} cells, dt {:.0} s, {} steps, executor {}",
+        "{}: {} cells, dt {:.0} s, {} steps, executor {}, reorder {}, fused {}",
         tc.name(),
         sim.mesh.n_cells(),
         sim.dt(),
         total_steps,
-        args.executor
+        args.executor,
+        args.reorder.name(),
+        args.fused
     );
     println!(
         "policy {}: modeled {:.1} ms/step on the Table-II node",
@@ -145,10 +175,13 @@ fn main() {
     let (w, h) = (480, 240);
     let mut done = 0usize;
     let mut frame = 0usize;
+    let mut run_secs = 0.0f64;
     let t0 = std::time::Instant::now();
     while done < total_steps {
         let n = chunk.min(total_steps - done);
+        let ts = std::time::Instant::now();
         sim.run_steps(n);
+        run_secs += ts.elapsed().as_secs_f64();
         done += n;
         let norms = sim.h_error_norms();
         println!(
@@ -190,6 +223,29 @@ fn main() {
             rec.spans().len(),
             path.display()
         );
+    }
+    if let Some(path) = &args.bench_json {
+        // Machine-readable timing record (the BENCH_pr4.json shape): one
+        // object per run so CI and `figures fig_layout` can diff configs.
+        let json = format!(
+            "{{\n  \"case\": \"{}\",\n  \"level\": {},\n  \"executor\": \"{}\",\n  \
+             \"reorder\": \"{}\",\n  \"fused\": {},\n  \"n_cells\": {},\n  \
+             \"steps\": {},\n  \"run_seconds\": {:.6},\n  \"ms_per_step\": {:.4},\n  \
+             \"mass_drift\": {:e},\n  \"h_err_l2\": {:e}\n}}\n",
+            args.case,
+            args.level,
+            args.executor,
+            args.reorder.name(),
+            args.fused,
+            sim.mesh.n_cells(),
+            total_steps,
+            run_secs,
+            run_secs * 1e3 / total_steps as f64,
+            sim.mass_drift(),
+            sim.h_error_norms().l2,
+        );
+        std::fs::write(path, &json).expect("write bench json");
+        println!("wrote bench record to {}", path.display());
     }
     if let Some(path) = &args.metrics {
         let snap = rec.snapshot();

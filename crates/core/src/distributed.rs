@@ -12,6 +12,7 @@
 use mpas_mesh::{extract_local_mesh, Mesh, MeshPartition};
 use mpas_msg::comm::{run_ranks, RankCtx};
 use mpas_msg::halo::HaloExchanger;
+use mpas_swe::coeffs::KernelCoeffs;
 use mpas_swe::config::ModelConfig;
 use mpas_swe::kernels;
 use mpas_swe::reconstruct::ReconstructCoeffs;
@@ -97,6 +98,18 @@ fn rank_main(
     let b = tc.topography(mesh);
     let f_vertex = tc.coriolis_vertex(mesh);
     let coeffs = ReconstructCoeffs::build(mesh);
+    let kc = KernelCoeffs::build(mesh, mcfg);
+    let fused = mcfg.fused_coeffs;
+    // Same branch the single-address-space executors take: per-entity the
+    // local coefficients equal the global ones, so owned outputs stay
+    // bit-for-bit identical to the serial run on either path.
+    let solve_diag = |h: &[f64], u: &[f64], diag: &mut Diagnostics| {
+        if fused {
+            kernels::compute_solve_diagnostics_fused(mesh, mcfg, &kc, h, u, &f_vertex, dt, diag);
+        } else {
+            kernels::compute_solve_diagnostics(mesh, mcfg, h, u, &f_vertex, dt, diag);
+        }
+    };
     let mut diag = Diagnostics::zeros(mesh);
     let mut tend = Tendencies::zeros(mesh);
     let mut provis = State::zeros(mesh);
@@ -107,13 +120,19 @@ fn rank_main(
     let n_owned_cells = lm.n_owned_cells;
     let n_owned_edges = lm.n_owned_edges;
 
-    kernels::compute_solve_diagnostics(mesh, mcfg, &state.h, &state.u, &f_vertex, dt, &mut diag);
+    solve_diag(&state.h, &state.u, &mut diag);
 
     for _step in 0..cfg.n_steps {
         acc.copy_from(&state);
         provis.copy_from(&state);
         for stage in 0..4 {
-            kernels::compute_tend(mesh, mcfg, &provis.h, &provis.u, &b, &diag, &mut tend);
+            if fused {
+                kernels::compute_tend_fused(
+                    mesh, mcfg, &kc, &provis.h, &provis.u, &b, &diag, &mut tend,
+                );
+            } else {
+                kernels::compute_tend(mesh, mcfg, &provis.h, &provis.u, &b, &diag, &mut tend);
+            }
             kernels::enforce_boundary_edge(mesh, &mut tend);
             if stage < 3 {
                 // Owned region only; halos come from the owners.
@@ -127,9 +146,7 @@ fn rank_main(
                 );
                 let ncl = hx.local().n_cells();
                 hx.exchange_state(ctx, &mut provis.h[..ncl], &mut provis.u);
-                kernels::compute_solve_diagnostics(
-                    mesh, mcfg, &provis.h, &provis.u, &f_vertex, dt, &mut diag,
-                );
+                solve_diag(&provis.h, &provis.u, &mut diag);
                 accumulate_owned(
                     &tend,
                     RK_WEIGHTS[stage] * dt,
@@ -149,9 +166,7 @@ fn rank_main(
                 state.u[..n_owned_edges].copy_from_slice(&acc.u[..n_owned_edges]);
                 let ncl = hx.local().n_cells();
                 hx.exchange_state(ctx, &mut state.h[..ncl], &mut state.u);
-                kernels::compute_solve_diagnostics(
-                    mesh, mcfg, &state.h, &state.u, &f_vertex, dt, &mut diag,
-                );
+                solve_diag(&state.h, &state.u, &mut diag);
                 kernels::mpas_reconstruct(mesh, &coeffs, &state.u, &mut recon);
             }
         }

@@ -1,7 +1,7 @@
 //! The user-facing `Simulation` facade.
 
 use mpas_hybrid::{HybridModel, ParallelModel, Platform, Schedule};
-use mpas_mesh::Mesh;
+use mpas_mesh::{Mesh, Reordering};
 use mpas_patterns::dataflow::{DataflowGraph, MeshCounts, RkPhase};
 use mpas_sched::SchedulerPolicy;
 use mpas_swe::config::ModelConfig;
@@ -40,6 +40,7 @@ pub struct SimulationBuilder {
     config: ModelConfig,
     dt: Option<f64>,
     executor: Executor,
+    reorder: Reordering,
     sched_policy: String,
     recorder: Recorder,
 }
@@ -54,6 +55,7 @@ impl Default for SimulationBuilder {
             config: ModelConfig::default(),
             dt: None,
             executor: Executor::Serial,
+            reorder: Reordering::None,
             sched_policy: "pattern-driven".to_string(),
             recorder: Recorder::noop(),
         }
@@ -103,6 +105,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Renumber the mesh for gather locality before the model is built
+    /// (Morton/SFC or Cuthill–McKee BFS cell order with first-touch edge
+    /// and vertex numbering). Test-case initializers are position-based,
+    /// so results are independent of the ordering; only memory-access
+    /// locality changes. Default: construction order.
+    pub fn reorder(mut self, r: Reordering) -> Self {
+        self.reorder = r;
+        self
+    }
+
     /// Scheduling policy for the modeled makespans
     /// ([`Simulation::modeled_time_per_step`]), by registry name — any of
     /// [`mpas_sched::registered_names`], e.g. `"heft"` or
@@ -122,9 +134,13 @@ impl SimulationBuilder {
 
     /// Build the simulation (generates the mesh if none was supplied).
     pub fn build(self) -> Simulation {
-        let mesh = self
+        let mut mesh = self
             .mesh
             .unwrap_or_else(|| Arc::new(mpas_mesh::generate(self.mesh_level, self.lloyd_iters)));
+        if self.reorder != Reordering::None {
+            let perm = self.reorder.permutation(&mesh);
+            mesh = Arc::new(mesh.reordered(&perm));
+        }
         let engine = match self.executor {
             Executor::Serial => Engine::Serial(
                 ShallowWaterModel::new(mesh.clone(), self.config, self.test_case, self.dt)

@@ -38,7 +38,7 @@ proptest! {
     fn triangle_area_respects_girard_bounds(a in unit_vec(), b in unit_vec(), c in unit_vec()) {
         let area = spherical_triangle_area(a, b, c);
         // Any spherical triangle has area in [0, 2*pi).
-        prop_assert!(area >= 0.0 && area < std::f64::consts::TAU);
+        prop_assert!((0.0..std::f64::consts::TAU).contains(&area));
     }
 
     #[test]

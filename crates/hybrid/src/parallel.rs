@@ -15,8 +15,9 @@
 
 use crate::device::Platform;
 use mpas_mesh::Mesh;
+use mpas_swe::coeffs::KernelCoeffs;
 use mpas_swe::config::ModelConfig;
-use mpas_swe::kernels::ops;
+use mpas_swe::kernels::{fused, ops};
 use mpas_swe::reconstruct::ReconstructCoeffs;
 use mpas_swe::rk4::{RK_SUBSTEP, RK_WEIGHTS};
 use mpas_swe::state::{Diagnostics, Reconstruction, State};
@@ -132,6 +133,9 @@ pub struct ParallelModel {
     pub f_vertex: Vec<f64>,
     /// Velocity-reconstruction coefficients.
     pub coeffs: ReconstructCoeffs,
+    /// Precomputed fused kernel coefficients (used when
+    /// `config.fused_coeffs` is set).
+    pub kcoeffs: KernelCoeffs,
     tend: Tendencies,
     provis: State,
     acc_state: State,
@@ -162,6 +166,7 @@ impl ParallelModel {
         let b = test_case.topography(&mesh);
         let f_vertex = test_case.coriolis_vertex(&mesh);
         let coeffs = ReconstructCoeffs::build(&mesh);
+        let kcoeffs = KernelCoeffs::build(&mesh, &config);
         let dt = dt.unwrap_or_else(|| ModelConfig::suggested_dt(&mesh));
         let chunk = (mesh.n_edges() / (4 * n_threads).max(1)).max(512);
         let mut m = ParallelModel {
@@ -174,6 +179,7 @@ impl ParallelModel {
             b,
             f_vertex,
             coeffs,
+            kcoeffs,
             pool,
             chunk,
             config,
@@ -210,6 +216,8 @@ impl ParallelModel {
         };
         let mesh = &self.mesh;
         let config = &self.config;
+        let kc = &self.kcoeffs;
+        let fu = config.fused_coeffs;
         let dt = self.dt;
         let chunk = self.chunk;
         let pool = &self.pool;
@@ -228,7 +236,11 @@ impl ParallelModel {
                     .enumerate()
                     .for_each(|(k, (c1, c2))| {
                         let s = k * chunk;
-                        ops::d2fdx2(mesh, h, c1, c2, s..s + c1.len());
+                        if fu {
+                            fused::d2fdx2(mesh, kc, h, c1, c2, s..s + c1.len());
+                        } else {
+                            ops::d2fdx2(mesh, h, c1, c2, s..s + c1.len());
+                        }
                     });
             });
         }
@@ -238,7 +250,11 @@ impl ParallelModel {
                 let d1 = d.d2fdx2_cell1.clone();
                 let d2 = d.d2fdx2_cell2.clone();
                 par_run(pool, &mut d.h_edge, chunk, |r, o| {
-                    ops::h_edge(mesh, config, h, &d1, &d2, o, r)
+                    if fu {
+                        fused::h_edge(mesh, kc, config, h, &d1, &d2, o, r)
+                    } else {
+                        ops::h_edge(mesh, config, h, &d1, &d2, o, r)
+                    }
                 });
             } else {
                 par_run(pool, &mut d.h_edge, chunk, |r, o| {
@@ -249,17 +265,31 @@ impl ParallelModel {
         {
             let _g = kernel_timer(&rec, "C2");
             par_run(pool, &mut d.vorticity, chunk, |r, o| {
-                ops::vorticity(mesh, u, o, r)
+                if fu {
+                    fused::vorticity(mesh, kc, u, o, r)
+                } else {
+                    ops::vorticity(mesh, u, o, r)
+                }
             });
         }
         {
             let _g = kernel_timer(&rec, "A2");
-            par_run(pool, &mut d.ke, chunk, |r, o| ops::ke(mesh, u, o, r));
+            par_run(pool, &mut d.ke, chunk, |r, o| {
+                if fu {
+                    fused::ke(mesh, kc, u, o, r)
+                } else {
+                    ops::ke(mesh, u, o, r)
+                }
+            });
         }
         {
             let _g = kernel_timer(&rec, "B2");
             par_run(pool, &mut d.divergence, chunk, |r, o| {
-                ops::divergence(mesh, u, o, r)
+                if fu {
+                    fused::divergence(mesh, kc, u, o, r)
+                } else {
+                    ops::divergence(mesh, u, o, r)
+                }
             });
         }
         {
@@ -272,7 +302,11 @@ impl ParallelModel {
         {
             let _g = kernel_timer(&rec, "A3");
             par_run(pool, &mut d.vorticity_cell, chunk, |r, o| {
-                ops::vorticity_cell(mesh, vort, o, r)
+                if fu {
+                    fused::vorticity_cell(mesh, kc, vort, o, r)
+                } else {
+                    ops::vorticity_cell(mesh, vort, o, r)
+                }
             });
         }
         let f_vertex = &self.f_vertex;
@@ -286,7 +320,11 @@ impl ParallelModel {
         {
             let _g = kernel_timer(&rec, "F");
             par_run(pool, &mut d.pv_cell, chunk, |r, o| {
-                ops::pv_cell(mesh, pvv, o, r)
+                if fu {
+                    fused::pv_cell(mesh, kc, pvv, o, r)
+                } else {
+                    ops::pv_cell(mesh, pvv, o, r)
+                }
             });
         }
         let pvc = &d.pv_cell;
@@ -294,7 +332,11 @@ impl ParallelModel {
         {
             let _g = kernel_timer(&rec, "G");
             par_run(pool, &mut d.pv_edge, chunk, |r, o| {
-                ops::pv_edge(mesh, config.apvm_factor, dt, pvv, pvc, u, v, o, r)
+                if fu {
+                    fused::pv_edge(mesh, kc, config.apvm_factor, dt, pvv, pvc, u, v, o, r)
+                } else {
+                    ops::pv_edge(mesh, config.apvm_factor, dt, pvv, pvc, u, v, o, r)
+                }
             });
         }
     }
@@ -302,6 +344,8 @@ impl ParallelModel {
     fn compute_tend_on(&mut self) {
         let mesh = &self.mesh;
         let config = &self.config;
+        let kc = &self.kcoeffs;
+        let fu = config.fused_coeffs;
         let chunk = self.chunk;
         let pool = &self.pool;
         let rec = self.recorder.clone();
@@ -311,37 +355,69 @@ impl ParallelModel {
         {
             let _g = kernel_timer(&rec, "A1");
             par_run(pool, &mut self.tend.tend_h, chunk, |r, o| {
-                ops::tend_h(mesh, u, &d.h_edge, o, r)
+                if fu {
+                    fused::tend_h(mesh, kc, u, &d.h_edge, o, r)
+                } else {
+                    ops::tend_h(mesh, u, &d.h_edge, o, r)
+                }
             });
         }
         {
             let _g = kernel_timer(&rec, "B1");
             par_run(pool, &mut self.tend.tend_u, chunk, |r, o| {
-                ops::tend_u(
-                    mesh,
-                    config.gravity,
-                    &d.pv_edge,
-                    u,
-                    &d.h_edge,
-                    &d.ke,
-                    h,
-                    b,
-                    o,
-                    r,
-                )
+                if fu {
+                    fused::tend_u(
+                        mesh,
+                        kc,
+                        config.gravity,
+                        &d.pv_edge,
+                        u,
+                        &d.h_edge,
+                        &d.ke,
+                        h,
+                        b,
+                        o,
+                        r,
+                    )
+                } else {
+                    ops::tend_u(
+                        mesh,
+                        config.gravity,
+                        &d.pv_edge,
+                        u,
+                        &d.h_edge,
+                        &d.ke,
+                        h,
+                        b,
+                        o,
+                        r,
+                    )
+                }
             });
         }
         if config.del2_viscosity != 0.0 {
             let _g = kernel_timer(&rec, "C1");
             par_run(pool, &mut self.tend.tend_u, chunk, |r, o| {
-                ops::tend_u_del2(
-                    mesh,
-                    config.del2_viscosity,
-                    &d.divergence,
-                    &d.vorticity,
-                    o,
-                    r,
-                )
+                if fu {
+                    fused::tend_u_del2(
+                        mesh,
+                        kc,
+                        config.del2_viscosity,
+                        &d.divergence,
+                        &d.vorticity,
+                        o,
+                        r,
+                    )
+                } else {
+                    ops::tend_u_del2(
+                        mesh,
+                        config.del2_viscosity,
+                        &d.divergence,
+                        &d.vorticity,
+                        o,
+                        r,
+                    )
+                }
             });
         }
         if config.del4_viscosity != 0.0 {
@@ -350,18 +426,34 @@ impl ParallelModel {
             let (ne, nc, nv) = (mesh.n_edges(), mesh.n_cells(), mesh.n_vertices());
             let mut lap = vec![0.0; ne];
             par_run(pool, &mut lap, chunk, |r, o| {
-                ops::lap_u(mesh, &d.divergence, &d.vorticity, o, r)
+                if fu {
+                    fused::lap_u(mesh, kc, &d.divergence, &d.vorticity, o, r)
+                } else {
+                    ops::lap_u(mesh, &d.divergence, &d.vorticity, o, r)
+                }
             });
             let mut div_lap = vec![0.0; nc];
             par_run(pool, &mut div_lap, chunk, |r, o| {
-                ops::divergence(mesh, &lap, o, r)
+                if fu {
+                    fused::divergence(mesh, kc, &lap, o, r)
+                } else {
+                    ops::divergence(mesh, &lap, o, r)
+                }
             });
             let mut vort_lap = vec![0.0; nv];
             par_run(pool, &mut vort_lap, chunk, |r, o| {
-                ops::vorticity(mesh, &lap, o, r)
+                if fu {
+                    fused::vorticity(mesh, kc, &lap, o, r)
+                } else {
+                    ops::vorticity(mesh, &lap, o, r)
+                }
             });
             par_run(pool, &mut self.tend.tend_u, chunk, |r, o| {
-                ops::tend_u_del4(mesh, config.del4_viscosity, &div_lap, &vort_lap, o, r)
+                if fu {
+                    fused::tend_u_del4(mesh, kc, config.del4_viscosity, &div_lap, &vort_lap, o, r)
+                } else {
+                    ops::tend_u_del4(mesh, config.del4_viscosity, &div_lap, &vort_lap, o, r)
+                }
             });
         }
         {
@@ -589,6 +681,8 @@ impl HybridModel {
             {
                 let mesh = &m.mesh;
                 let config = &m.config;
+                let kc = &m.kcoeffs;
+                let fu = config.fused_coeffs;
                 let (h, u) = (&m.provis.h, &m.provis.u);
                 let d = &m.diag;
                 let b = &m.b;
@@ -602,18 +696,34 @@ impl HybridModel {
                     mid,
                     m.chunk,
                     |r, o| {
-                        ops::tend_u(
-                            mesh,
-                            config.gravity,
-                            &d.pv_edge,
-                            u,
-                            &d.h_edge,
-                            &d.ke,
-                            h,
-                            b,
-                            o,
-                            r,
-                        )
+                        if fu {
+                            fused::tend_u(
+                                mesh,
+                                kc,
+                                config.gravity,
+                                &d.pv_edge,
+                                u,
+                                &d.h_edge,
+                                &d.ke,
+                                h,
+                                b,
+                                o,
+                                r,
+                            )
+                        } else {
+                            ops::tend_u(
+                                mesh,
+                                config.gravity,
+                                &d.pv_edge,
+                                u,
+                                &d.h_edge,
+                                &d.ke,
+                                h,
+                                b,
+                                o,
+                                r,
+                            )
+                        }
                     },
                 );
                 let mid_c = ((1.0 - self.acc_fraction) * mesh.n_cells() as f64) as usize;
@@ -625,19 +735,37 @@ impl HybridModel {
                     &mut m.tend.tend_h,
                     mid_c,
                     m.chunk,
-                    |r, o| ops::tend_h(mesh, u, &d.h_edge, o, r),
+                    |r, o| {
+                        if fu {
+                            fused::tend_h(mesh, kc, u, &d.h_edge, o, r)
+                        } else {
+                            ops::tend_h(mesh, u, &d.h_edge, o, r)
+                        }
+                    },
                 );
                 if config.del2_viscosity != 0.0 {
                     let _g = kernel_timer(&rec, "C1");
                     par_run(&m.pool, &mut m.tend.tend_u, m.chunk, |r, o| {
-                        ops::tend_u_del2(
-                            mesh,
-                            config.del2_viscosity,
-                            &d.divergence,
-                            &d.vorticity,
-                            o,
-                            r,
-                        )
+                        if fu {
+                            fused::tend_u_del2(
+                                mesh,
+                                kc,
+                                config.del2_viscosity,
+                                &d.divergence,
+                                &d.vorticity,
+                                o,
+                                r,
+                            )
+                        } else {
+                            ops::tend_u_del2(
+                                mesh,
+                                config.del2_viscosity,
+                                &d.divergence,
+                                &d.vorticity,
+                                o,
+                                r,
+                            )
+                        }
                     });
                 }
                 {

@@ -135,12 +135,12 @@ mod tests {
             .map(|e| (e as f64 * 0.7).sin())
             .collect();
         let mut gather = vec![0.0; mesh.n_cells()];
-        for i in 0..mesh.n_cells() {
+        for (i, g) in gather.iter_mut().enumerate() {
             let mut acc = 0.0;
             for slot in mesh.cell_range(i) {
                 acc += mesh.edge_sign_on_cell[slot] as f64 * x[mesh.edges_on_cell[slot] as usize];
             }
-            gather[i] = acc;
+            *g = acc;
         }
         let total: f64 = gather.iter().sum();
         assert!(total.abs() < 1e-9);

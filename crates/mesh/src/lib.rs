@@ -28,6 +28,7 @@ pub mod lloyd;
 pub mod mesh;
 pub mod partition;
 pub mod quality;
+pub mod reorder;
 pub mod sfc;
 pub mod submesh;
 pub mod voronoi;
@@ -38,6 +39,7 @@ pub use io::{load_mesh, save_mesh};
 pub use mesh::{CellId, EdgeId, Mesh, VertexId};
 pub use partition::{MeshPartition, RankLocal};
 pub use quality::MeshQuality;
+pub use reorder::{gather_spread, MeshPermutation, Reordering};
 pub use sfc::sfc_partition;
 pub use submesh::{extract_local_mesh, LocalMesh};
 pub use voronoi::build_mesh;

@@ -298,9 +298,9 @@ impl Mesh {
                     self.kite_areas_on_vertex[v][k];
             }
         }
-        for i in 0..nc {
+        for (i, &kite) in kite_per_cell.iter().enumerate() {
             assert!(
-                (kite_per_cell[i] / self.area_cell[i] - 1.0).abs() < 1e-6,
+                (kite / self.area_cell[i] - 1.0).abs() < 1e-6,
                 "kites do not tile cell {i}"
             );
         }

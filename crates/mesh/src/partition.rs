@@ -210,8 +210,8 @@ impl MeshPartition {
             for k in frontier_start..frontier_end {
                 let g = cells[k] as usize;
                 for &nb in mesh.cells_of_cell(g) {
-                    if !in_set.contains_key(&nb) {
-                        in_set.insert(nb, (cells.len() + next.len()) as u32);
+                    if let std::collections::hash_map::Entry::Vacant(slot) = in_set.entry(nb) {
+                        slot.insert((cells.len() + next.len()) as u32);
                         next.push(nb);
                     }
                 }
@@ -463,9 +463,9 @@ mod tests {
                     covered[l as usize] += 1;
                 }
             }
-            for l in 0..r.n_cells() {
+            for (l, &c) in covered.iter().enumerate() {
                 let expect = if l < r.n_owned_cells { 0 } else { 1 };
-                assert_eq!(covered[l], expect, "cell local {l} of rank {}", r.rank);
+                assert_eq!(c, expect, "cell local {l} of rank {}", r.rank);
             }
         }
     }

@@ -10,8 +10,9 @@
 
 use crate::mesh::Mesh;
 
-/// 3-D Morton key from coordinates in `[-1, 1]`, 21 bits per axis.
-fn morton_key(x: f64, y: f64, z: f64) -> u64 {
+/// 3-D Morton key from coordinates in `[-1, 1]`, 21 bits per axis. Shared
+/// with [`crate::reorder`], whose SFC cell ordering sorts by the same key.
+pub(crate) fn morton_key(x: f64, y: f64, z: f64) -> u64 {
     const BITS: u32 = 21;
     let q = |v: f64| -> u64 {
         let t = ((v + 1.0) / 2.0).clamp(0.0, 1.0);

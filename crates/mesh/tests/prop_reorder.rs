@@ -1,0 +1,59 @@
+//! Property tests of the PR-4 renumbering layer: every ordering at every
+//! small level yields a permutation whose reordered mesh re-passes the
+//! full structural [`Mesh::validate`] sweep, and whose field helpers
+//! round-trip exactly.
+
+use mpas_mesh::{gather_spread, MeshPermutation, Reordering};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `reordered(perm)` re-validates for both non-trivial orderings at
+    /// the paper's small levels, and the cell gather spread (mean |i - j|
+    /// over cell adjacencies, the locality proxy) does not regress versus
+    /// the construction order.
+    #[test]
+    fn reordered_mesh_revalidates(level in 3u32..6, use_sfc in proptest::bool::ANY) {
+        let mesh = mpas_mesh::generate(level, 0);
+        let ord = if use_sfc { Reordering::Sfc } else { Reordering::Bfs };
+        let perm = ord.permutation(&mesh);
+        perm.validate(&mesh);
+        let re = mesh.reordered(&perm);
+        re.validate();
+        prop_assert_eq!(re.n_cells(), mesh.n_cells());
+        prop_assert_eq!(re.n_edges(), mesh.n_edges());
+        prop_assert_eq!(re.n_vertices(), mesh.n_vertices());
+        prop_assert!(gather_spread(&re) <= gather_spread(&mesh));
+    }
+
+    /// permute ∘ unpermute is the identity on all three entity classes,
+    /// for random fields.
+    #[test]
+    fn field_permutation_round_trips(level in 3u32..6, use_sfc in proptest::bool::ANY, seed in 0.0f64..1.0) {
+        let mesh = mpas_mesh::generate(level, 0);
+        let ord = if use_sfc { Reordering::Sfc } else { Reordering::Bfs };
+        let perm = ord.permutation(&mesh);
+
+        let cf: Vec<f64> = (0..mesh.n_cells()).map(|i| (i as f64 * 0.7 + seed).sin()).collect();
+        let ef: Vec<f64> = (0..mesh.n_edges()).map(|i| (i as f64 * 0.3 + seed).cos()).collect();
+        let vf: Vec<f64> = (0..mesh.n_vertices()).map(|i| (i as f64 * 0.9 + seed).sin()).collect();
+
+        prop_assert_eq!(perm.unpermute_cell_field(&perm.permute_cell_field(&cf)), cf);
+        prop_assert_eq!(perm.unpermute_edge_field(&perm.permute_edge_field(&ef)), ef);
+        prop_assert_eq!(perm.unpermute_vertex_field(&perm.permute_vertex_field(&vf)), vf);
+    }
+
+    /// The identity permutation reproduces the mesh exactly (spot-checked
+    /// on the connectivity arrays a non-trivial ordering rewrites).
+    #[test]
+    fn identity_reorder_is_a_no_op(level in 3u32..5) {
+        let mesh = mpas_mesh::generate(level, 0);
+        let re = mesh.reordered(&MeshPermutation::identity(&mesh));
+        prop_assert_eq!(&re.edges_on_cell, &mesh.edges_on_cell);
+        prop_assert_eq!(&re.cells_on_edge, &mesh.cells_on_edge);
+        prop_assert_eq!(&re.edges_on_vertex, &mesh.edges_on_vertex);
+        prop_assert_eq!(&re.dc_edge, &mesh.dc_edge);
+        prop_assert_eq!(&re.area_cell, &mesh.area_cell);
+    }
+}

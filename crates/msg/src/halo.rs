@@ -176,8 +176,8 @@ mod tests {
             let nl = hx.local().n_cells();
             let owned = hx.local().n_owned_cells;
             let mut field = vec![f64::NAN; nl];
-            for l in 0..owned {
-                field[l] = f(hx.local().cells[l]);
+            for (l, fl) in field.iter_mut().enumerate().take(owned) {
+                *fl = f(hx.local().cells[l]);
             }
             ctx.barrier();
             let mut field2: Vec<f64> = hx
@@ -283,8 +283,8 @@ mod tests {
             let mut field = vec![0.0; hx.local().n_cells()];
             for round in 0..5 {
                 let owned = hx.local().n_owned_cells;
-                for l in 0..owned {
-                    field[l] = hx.local().cells[l] as f64 + 1000.0 * round as f64;
+                for (l, fl) in field.iter_mut().enumerate().take(owned) {
+                    *fl = hx.local().cells[l] as f64 + 1000.0 * round as f64;
                 }
                 hx.exchange(&mut ctx, FieldKind::Cell, &mut field);
                 for (l, &g) in hx.local().cells.iter().enumerate() {

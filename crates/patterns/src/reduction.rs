@@ -34,10 +34,10 @@ impl EdgeCellReduction {
         assert_eq!(x.len(), mesh.n_edges());
         assert_eq!(y.len(), mesh.n_cells());
         y.fill(0.0);
-        for e in 0..mesh.n_edges() {
+        for (e, &xe) in x.iter().enumerate() {
             let [c1, c2] = mesh.cells_on_edge[e];
-            y[c1 as usize] += x[e];
-            y[c2 as usize] -= x[e];
+            y[c1 as usize] += xe;
+            y[c2 as usize] -= xe;
         }
     }
 

@@ -81,15 +81,28 @@ impl crate::model::ShallowWaterModel {
         }
         self.state = state;
         self.time = time;
-        crate::kernels::compute_solve_diagnostics(
-            &self.mesh,
-            &self.config,
-            &self.state.h,
-            &self.state.u,
-            &self.f_vertex,
-            self.dt,
-            &mut self.diag,
-        );
+        if self.config.fused_coeffs {
+            crate::kernels::compute_solve_diagnostics_fused(
+                &self.mesh,
+                &self.config,
+                &self.kernel_coeffs,
+                &self.state.h,
+                &self.state.u,
+                &self.f_vertex,
+                self.dt,
+                &mut self.diag,
+            );
+        } else {
+            crate::kernels::compute_solve_diagnostics(
+                &self.mesh,
+                &self.config,
+                &self.state.h,
+                &self.state.u,
+                &self.f_vertex,
+                self.dt,
+                &mut self.diag,
+            );
+        }
         crate::kernels::mpas_reconstruct(&self.mesh, &self.coeffs, &self.state.u, &mut self.recon);
         Ok(())
     }

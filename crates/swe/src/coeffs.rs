@@ -1,0 +1,201 @@
+//! Precomputed fused kernel coefficients (the hot-path data layout).
+//!
+//! Every RK-4 substep the Table-I kernels re-derive the same geometric
+//! factors from the mesh: the signed flux weight `s_ie·dv_e` of A1/B2, the
+//! KE quadrature weight `¼·dc_e·dv_e` of A2, the kite area matching a
+//! `(vertex, cell)` pair in A3/F (found by a 3-way `position()` search per
+//! slot!), and edge reciprocals `1/dc_e`, `1/dv_e` behind every gradient in
+//! B1/C1/G. [`KernelCoeffs`] computes each factor once per
+//! `(Mesh, ModelConfig)` and stores it in flat arrays aligned with the CSR
+//! slot order, so the fused kernels in [`crate::kernels::fused`] stream one
+//! contiguous coefficient array instead of gathering two or three mesh
+//! arrays through an indirection (and never search).
+//!
+//! Rounding contract (how DESIGN.md §9's ≤1e-12 drift budget is met):
+//!
+//! * **Exact fusions** — multiplying by a `±1` sign (`flux_div`,
+//!   `vort_sign_dc`) and halving a weight (`half_weights`) are exact in
+//!   IEEE-754, and `kite_cell` merely hoists a value the seed kernels
+//!   already gather. Kernels that fuse only these (C2, A3, F) stay
+//!   **bit-identical** to the seed path.
+//! * **1-ulp fusions** — reassociating `s·u·h·dv` to `(s·dv)·u·h` (A1/B2),
+//!   `¼·dc·dv·u²` to `(¼·dc·dv)·u²` (A2), and replacing `x/dc` with
+//!   `x·(1/dc)` (B1, C1 family, G) each perturb a single rounding, well
+//!   inside the 1e-12 relative budget.
+//! * **Conservation-critical divisions are kept.** The `/area` at the end
+//!   of the cell reductions is *not* turned into a multiplication: mass
+//!   conservation rests on the `+dv` / `−dv` flux pair of each edge having
+//!   exactly equal magnitude in its two cells, and `s·dv` preserves that
+//!   exactly while a per-cell `1/area` factor would not.
+
+use crate::config::ModelConfig;
+use mpas_mesh::Mesh;
+
+/// Fused per-slot/per-edge coefficient tables for the Table-I kernels.
+///
+/// Build once with [`KernelCoeffs::build`]; the arrays are keyed exactly
+/// like the mesh CSR arrays they fuse (`cell_offsets` slots, edge ids,
+/// vertex ids, `eoe_offsets` slots), so a kernel walks its coefficients in
+/// the same loop that walks the connectivity.
+#[derive(Debug, Clone)]
+pub struct KernelCoeffs {
+    /// Per cell slot: `edge_sign_on_cell · dv_edge` — the signed face
+    /// length of the A1/B2 flux divergence.
+    pub flux_div: Vec<f64>,
+    /// Per cell slot: `¼ · dc_edge · dv_edge` — the A2 kinetic-energy
+    /// quadrature weight.
+    pub ke_weight: Vec<f64>,
+    /// Per cell slot: the kite area joining `vertices_on_cell[slot]` to
+    /// this cell — the A3/F interpolation weight, precomputed so the
+    /// kernels skip the per-slot `cells_on_vertex` search.
+    pub kite_cell: Vec<f64>,
+    /// Per vertex and corner: `edge_sign_on_vertex · dc_edge` — the signed
+    /// circulation length of C2.
+    pub vort_sign_dc: Vec<[f64; 3]>,
+    /// Per edge: `1 / dc_edge` (normal-gradient factor of B1/C1/G).
+    pub inv_dc: Vec<f64>,
+    /// Per edge: `1 / dv_edge` (tangential-gradient factor of C1/G).
+    pub inv_dv: Vec<f64>,
+    /// Per TRiSK slot: `½ · weights_on_edge` — folds the PV-average half
+    /// of B1 into the quadrature weight.
+    pub half_weights: Vec<f64>,
+    /// Per cell slot: `dv_edge / dc_edge` — the D1/D2 cell-Laplacian flux
+    /// ratio. Empty unless `high_order_h_edge` is set.
+    pub grad_ratio: Vec<f64>,
+    /// Per edge: `dc_edge² / 12` — the H2 high-order blend factor. Empty
+    /// unless `high_order_h_edge` is set.
+    pub dc2_12: Vec<f64>,
+}
+
+impl KernelCoeffs {
+    /// Precompute every fused coefficient table for `mesh` under `config`
+    /// (the D1/D2/H2 tables are built only when the config's high-order
+    /// thickness blend can reach them).
+    pub fn build(mesh: &Mesh, config: &ModelConfig) -> Self {
+        let n_slots = mesh.edges_on_cell.len();
+        let ne = mesh.n_edges();
+        let nv = mesh.n_vertices();
+
+        let mut flux_div = vec![0.0; n_slots];
+        let mut ke_weight = vec![0.0; n_slots];
+        let mut kite_cell = vec![0.0; n_slots];
+        for i in 0..mesh.n_cells() {
+            for slot in mesh.cell_range(i) {
+                let e = mesh.edges_on_cell[slot] as usize;
+                flux_div[slot] = mesh.edge_sign_on_cell[slot] as f64 * mesh.dv_edge[e];
+                ke_weight[slot] = 0.25 * mesh.dc_edge[e] * mesh.dv_edge[e];
+                let v = mesh.vertices_on_cell[slot] as usize;
+                let kslot = mesh.cells_on_vertex[v]
+                    .iter()
+                    .position(|&c| c as usize == i)
+                    .expect("vertex/cell inconsistency");
+                kite_cell[slot] = mesh.kite_areas_on_vertex[v][kslot];
+            }
+        }
+
+        let mut vort_sign_dc = vec![[0.0; 3]; nv];
+        for (v, signed) in vort_sign_dc.iter_mut().enumerate() {
+            for (k, s) in signed.iter_mut().enumerate() {
+                let e = mesh.edges_on_vertex[v][k] as usize;
+                *s = mesh.edge_sign_on_vertex[v][k] as f64 * mesh.dc_edge[e];
+            }
+        }
+
+        let inv_dc: Vec<f64> = mesh.dc_edge.iter().map(|&d| 1.0 / d).collect();
+        let inv_dv: Vec<f64> = mesh.dv_edge.iter().map(|&d| 1.0 / d).collect();
+        let half_weights: Vec<f64> = mesh.weights_on_edge.iter().map(|&w| 0.5 * w).collect();
+
+        let (grad_ratio, dc2_12) = if config.high_order_h_edge {
+            let mut gr = vec![0.0; n_slots];
+            for (slot, g) in gr.iter_mut().enumerate() {
+                let e = mesh.edges_on_cell[slot] as usize;
+                *g = mesh.dv_edge[e] / mesh.dc_edge[e];
+            }
+            let d12: Vec<f64> = (0..ne)
+                .map(|e| mesh.dc_edge[e] * mesh.dc_edge[e] / 12.0)
+                .collect();
+            (gr, d12)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        KernelCoeffs {
+            flux_div,
+            ke_weight,
+            kite_cell,
+            vort_sign_dc,
+            inv_dc,
+            inv_dv,
+            half_weights,
+            grad_ratio,
+            dc2_12,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Mesh, KernelCoeffs) {
+        let mesh = mpas_mesh::generate(3, 0);
+        let config = ModelConfig {
+            high_order_h_edge: true,
+            ..Default::default()
+        };
+        let kc = KernelCoeffs::build(&mesh, &config);
+        (mesh, kc)
+    }
+
+    #[test]
+    fn slot_tables_match_their_definitions() {
+        let (mesh, kc) = setup();
+        for i in 0..mesh.n_cells() {
+            for slot in mesh.cell_range(i) {
+                let e = mesh.edges_on_cell[slot] as usize;
+                let s = mesh.edge_sign_on_cell[slot] as f64;
+                assert_eq!(kc.flux_div[slot], s * mesh.dv_edge[e]);
+                assert_eq!(kc.ke_weight[slot], 0.25 * mesh.dc_edge[e] * mesh.dv_edge[e]);
+                assert_eq!(kc.grad_ratio[slot], mesh.dv_edge[e] / mesh.dc_edge[e]);
+            }
+        }
+        for e in 0..mesh.n_edges() {
+            assert_eq!(kc.inv_dc[e], 1.0 / mesh.dc_edge[e]);
+            assert_eq!(kc.inv_dv[e], 1.0 / mesh.dv_edge[e]);
+            assert_eq!(kc.dc2_12[e], mesh.dc_edge[e] * mesh.dc_edge[e] / 12.0);
+        }
+    }
+
+    #[test]
+    fn kite_cell_resolves_the_vertex_search() {
+        let (mesh, kc) = setup();
+        for i in 0..mesh.n_cells() {
+            for slot in mesh.cell_range(i) {
+                let v = mesh.vertices_on_cell[slot] as usize;
+                let kslot = mesh.cells_on_vertex[v]
+                    .iter()
+                    .position(|&c| c as usize == i)
+                    .unwrap();
+                assert_eq!(kc.kite_cell[slot], mesh.kite_areas_on_vertex[v][kslot]);
+            }
+        }
+    }
+
+    #[test]
+    fn signed_tables_carry_both_orientations() {
+        let (_, kc) = setup();
+        assert!(kc.flux_div.iter().any(|&x| x > 0.0));
+        assert!(kc.flux_div.iter().any(|&x| x < 0.0));
+        assert!(kc.vort_sign_dc.iter().flatten().any(|&x| x > 0.0));
+        assert!(kc.vort_sign_dc.iter().flatten().any(|&x| x < 0.0));
+    }
+
+    #[test]
+    fn low_order_config_skips_blend_tables() {
+        let mesh = mpas_mesh::generate(2, 0);
+        let kc = KernelCoeffs::build(&mesh, &ModelConfig::default());
+        assert!(kc.grad_ratio.is_empty());
+        assert!(kc.dc2_12.is_empty());
+        assert_eq!(kc.flux_div.len(), mesh.edges_on_cell.len());
+    }
+}

@@ -24,6 +24,16 @@ pub struct ModelConfig {
     /// held fixed and only the continuity equation advances; the momentum
     /// tendency and the PV diagnostic chain are skipped.
     pub advection_only: bool,
+    /// Take the precomputed-coefficient fast path
+    /// ([`crate::coeffs::KernelCoeffs`] + [`crate::kernels::fused`]) in
+    /// every executor. Off reproduces the seed kernels exactly — the
+    /// baseline the PR-4 benchmarks compare against.
+    #[serde(default = "default_fused_coeffs")]
+    pub fused_coeffs: bool,
+}
+
+fn default_fused_coeffs() -> bool {
+    true
 }
 
 impl Default for ModelConfig {
@@ -35,6 +45,7 @@ impl Default for ModelConfig {
             del4_viscosity: 0.0,
             high_order_h_edge: false,
             advection_only: false,
+            fused_coeffs: default_fused_coeffs(),
         }
     }
 }

@@ -1,0 +1,370 @@
+//! Fused-coefficient forms of the Table-I operators.
+//!
+//! Each function mirrors its namesake in [`super::ops`] — same output-range
+//! convention (`out[k - range.start]` is the value at global `k`), same
+//! stencil, same results within the rounding contract documented in
+//! [`crate::coeffs`] — but reads the precomputed [`KernelCoeffs`] tables
+//! instead of re-deriving geometric factors per call. The win is fewer
+//! indirect gathers (one contiguous coefficient stream replaces two or
+//! three `mesh.*[e]` lookups), no per-slot `position()` search in the
+//! kite-area interpolations, and no divisions inside edge loops.
+//!
+//! Ops with nothing to fuse (H1, E, A4, X1–X6) have no fused form; the
+//! drivers in [`crate::kernels`] call the seed versions for those.
+
+use super::ops;
+use crate::coeffs::KernelCoeffs;
+use crate::config::ModelConfig;
+use mpas_mesh::Mesh;
+use std::ops::Range;
+
+/// A1 — thickness tendency with the signed face length `s·dv` fused.
+pub fn tend_h(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    u: &[f64],
+    h_edge: &[f64],
+    out: &mut [f64],
+    cells: Range<usize>,
+) {
+    let off = cells.start;
+    for i in cells {
+        let mut acc = 0.0;
+        for slot in mesh.cell_range(i) {
+            let e = mesh.edges_on_cell[slot] as usize;
+            acc += kc.flux_div[slot] * u[e] * h_edge[e];
+        }
+        out[i - off] = -acc / mesh.area_cell[i];
+    }
+}
+
+/// B2 — velocity divergence with `s·dv` fused.
+pub fn divergence(mesh: &Mesh, kc: &KernelCoeffs, u: &[f64], out: &mut [f64], cells: Range<usize>) {
+    let off = cells.start;
+    for i in cells {
+        let mut acc = 0.0;
+        for slot in mesh.cell_range(i) {
+            let e = mesh.edges_on_cell[slot] as usize;
+            acc += kc.flux_div[slot] * u[e];
+        }
+        out[i - off] = acc / mesh.area_cell[i];
+    }
+}
+
+/// A2 — kinetic energy with the quadrature weight `¼·dc·dv` fused.
+pub fn ke(mesh: &Mesh, kc: &KernelCoeffs, u: &[f64], out: &mut [f64], cells: Range<usize>) {
+    let off = cells.start;
+    for i in cells {
+        let mut acc = 0.0;
+        for slot in mesh.cell_range(i) {
+            let e = mesh.edges_on_cell[slot] as usize;
+            acc += kc.ke_weight[slot] * u[e] * u[e];
+        }
+        out[i - off] = acc / mesh.area_cell[i];
+    }
+}
+
+/// C2 — vertex vorticity with the signed circulation length `s·dc` fused
+/// (bit-identical to the seed op: the sign flip is exact and `u·dc`
+/// commutes).
+pub fn vorticity(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    u: &[f64],
+    out: &mut [f64],
+    vertices: Range<usize>,
+) {
+    let off = vertices.start;
+    for v in vertices {
+        let mut circ = 0.0;
+        for k in 0..3 {
+            let e = mesh.edges_on_vertex[v][k] as usize;
+            circ += kc.vort_sign_dc[v][k] * u[e];
+        }
+        out[v - off] = circ / mesh.area_triangle[v];
+    }
+}
+
+/// A3 — cell vorticity via the precomputed per-slot kite area
+/// (bit-identical to the seed op; only the 3-way search is eliminated).
+pub fn vorticity_cell(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    vorticity: &[f64],
+    out: &mut [f64],
+    cells: Range<usize>,
+) {
+    let off = cells.start;
+    for i in cells {
+        let mut acc = 0.0;
+        for slot in mesh.cell_range(i) {
+            let v = mesh.vertices_on_cell[slot] as usize;
+            acc += kc.kite_cell[slot] * vorticity[v];
+        }
+        out[i - off] = acc / mesh.area_cell[i];
+    }
+}
+
+/// F — cell PV via the precomputed per-slot kite area (bit-identical to the
+/// seed op; only the 3-way search is eliminated).
+pub fn pv_cell(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    pv_vertex: &[f64],
+    out: &mut [f64],
+    cells: Range<usize>,
+) {
+    let off = cells.start;
+    for i in cells {
+        let mut acc = 0.0;
+        for slot in mesh.cell_range(i) {
+            let v = mesh.vertices_on_cell[slot] as usize;
+            acc += kc.kite_cell[slot] * pv_vertex[v];
+        }
+        out[i - off] = acc / mesh.area_cell[i];
+    }
+}
+
+/// G — edge PV with the APVM gradients taking `1/dv`, `1/dc` as
+/// multiplications.
+#[allow(clippy::too_many_arguments)]
+pub fn pv_edge(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    apvm_factor: f64,
+    dt: f64,
+    pv_vertex: &[f64],
+    pv_cell: &[f64],
+    u: &[f64],
+    v: &[f64],
+    out: &mut [f64],
+    edges: Range<usize>,
+) {
+    let off = edges.start;
+    for e in edges {
+        let [v1, v2] = mesh.vertices_on_edge[e];
+        let [c1, c2] = mesh.cells_on_edge[e];
+        let base = 0.5 * (pv_vertex[v1 as usize] + pv_vertex[v2 as usize]);
+        let grad_t = (pv_vertex[v2 as usize] - pv_vertex[v1 as usize]) * kc.inv_dv[e];
+        let grad_n = (pv_cell[c2 as usize] - pv_cell[c1 as usize]) * kc.inv_dc[e];
+        out[e - off] = base - apvm_factor * dt * (u[e] * grad_n + v[e] * grad_t);
+    }
+}
+
+/// B1 — momentum tendency with the halved TRiSK weight `½·w` and the
+/// Bernoulli gradient's `1/dc` fused.
+#[allow(clippy::too_many_arguments)]
+pub fn tend_u(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    gravity: f64,
+    pv_edge: &[f64],
+    u: &[f64],
+    h_edge: &[f64],
+    ke: &[f64],
+    h: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    edges: Range<usize>,
+) {
+    let off = edges.start;
+    for e in edges {
+        let [c1, c2] = mesh.cells_on_edge[e];
+        let (c1, c2) = (c1 as usize, c2 as usize);
+        let mut q = 0.0;
+        for slot in mesh.eoe_range(e) {
+            let eoe = mesh.edges_on_edge[slot] as usize;
+            q += kc.half_weights[slot] * u[eoe] * h_edge[eoe] * (pv_edge[e] + pv_edge[eoe]);
+        }
+        let grad = (ke[c2] - ke[c1] + gravity * (h[c2] + b[c2] - h[c1] - b[c1])) * kc.inv_dc[e];
+        out[e - off] = q - grad;
+    }
+}
+
+/// C1 — del2 dissipation with `1/dc`, `1/dv` fused. Read-modify-write.
+pub fn tend_u_del2(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    nu: f64,
+    divergence: &[f64],
+    vorticity: &[f64],
+    out: &mut [f64],
+    edges: Range<usize>,
+) {
+    let off = edges.start;
+    for e in edges {
+        let [c1, c2] = mesh.cells_on_edge[e];
+        let [v1, v2] = mesh.vertices_on_edge[e];
+        let d = (divergence[c2 as usize] - divergence[c1 as usize]) * kc.inv_dc[e];
+        let z = (vorticity[v2 as usize] - vorticity[v1 as usize]) * kc.inv_dv[e];
+        out[e - off] += nu * (d - z);
+    }
+}
+
+/// C1 (chained) — inner vector Laplacian with `1/dc`, `1/dv` fused.
+pub fn lap_u(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    divergence: &[f64],
+    vorticity: &[f64],
+    out: &mut [f64],
+    edges: Range<usize>,
+) {
+    let off = edges.start;
+    for e in edges {
+        let [c1, c2] = mesh.cells_on_edge[e];
+        let [v1, v2] = mesh.vertices_on_edge[e];
+        let d = (divergence[c2 as usize] - divergence[c1 as usize]) * kc.inv_dc[e];
+        let z = (vorticity[v2 as usize] - vorticity[v1 as usize]) * kc.inv_dv[e];
+        out[e - off] = d - z;
+    }
+}
+
+/// C1 (chained) — outer del4 stage with `1/dc`, `1/dv` fused.
+/// Read-modify-write.
+pub fn tend_u_del4(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    nu4: f64,
+    div_lap: &[f64],
+    vort_lap: &[f64],
+    out: &mut [f64],
+    edges: Range<usize>,
+) {
+    let off = edges.start;
+    for e in edges {
+        let [c1, c2] = mesh.cells_on_edge[e];
+        let [v1, v2] = mesh.vertices_on_edge[e];
+        let d = (div_lap[c2 as usize] - div_lap[c1 as usize]) * kc.inv_dc[e];
+        let z = (vort_lap[v2 as usize] - vort_lap[v1 as usize]) * kc.inv_dv[e];
+        out[e - off] -= nu4 * (d - z);
+    }
+}
+
+/// D1/D2 — second-derivative blend terms with the cell-Laplacian flux ratio
+/// `dv/dc` fused per slot.
+pub fn d2fdx2(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    h: &[f64],
+    out1: &mut [f64],
+    out2: &mut [f64],
+    edges: Range<usize>,
+) {
+    let lap = |c: usize| -> f64 {
+        let mut acc = 0.0;
+        for slot in mesh.cell_range(c) {
+            let nb = mesh.cells_on_cell[slot] as usize;
+            acc += (h[nb] - h[c]) * kc.grad_ratio[slot];
+        }
+        acc / mesh.area_cell[c]
+    };
+    let off = edges.start;
+    for e in edges {
+        let [c1, c2] = mesh.cells_on_edge[e];
+        out1[e - off] = lap(c1 as usize);
+        out2[e - off] = lap(c2 as usize);
+    }
+}
+
+/// H2 — thickness at edges; the high-order branch reads the precomputed
+/// `dc²/12` (bit-identical to the seed op), the low-order branch is the
+/// seed mid-edge average unchanged.
+#[allow(clippy::too_many_arguments)]
+pub fn h_edge(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    config: &ModelConfig,
+    h: &[f64],
+    d2fdx2_cell1: &[f64],
+    d2fdx2_cell2: &[f64],
+    out: &mut [f64],
+    edges: Range<usize>,
+) {
+    if config.high_order_h_edge {
+        let off = edges.start;
+        for e in edges {
+            let [c1, c2] = mesh.cells_on_edge[e];
+            out[e - off] = 0.5 * (h[c1 as usize] + h[c2 as usize])
+                - kc.dc2_12[e] * 0.5 * (d2fdx2_cell1[e] + d2fdx2_cell2[e]);
+        }
+    } else {
+        ops::h_edge(mesh, config, h, d2fdx2_cell1, d2fdx2_cell2, out, edges);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coeffs::KernelCoeffs;
+
+    fn setup() -> (Mesh, KernelCoeffs, Vec<f64>, Vec<f64>) {
+        let mesh = mpas_mesh::generate(3, 0);
+        let kc = KernelCoeffs::build(&mesh, &ModelConfig::default());
+        let u: Vec<f64> = (0..mesh.n_edges())
+            .map(|e| (e as f64 * 0.37).sin())
+            .collect();
+        let h_edge: Vec<f64> = (0..mesh.n_edges())
+            .map(|e| 1000.0 + (e as f64 * 0.11).cos())
+            .collect();
+        (mesh, kc, u, h_edge)
+    }
+
+    #[test]
+    fn exact_fusions_are_bit_identical() {
+        // C2, A3 and F fuse only sign flips and hoisted gathers, so the
+        // fused forms must agree with the seed ops bit for bit.
+        let (mesh, kc, u, _) = setup();
+        let (nv, nc) = (mesh.n_vertices(), mesh.n_cells());
+        let mut seed_v = vec![0.0; nv];
+        let mut fused_v = vec![0.0; nv];
+        ops::vorticity(&mesh, &u, &mut seed_v, 0..nv);
+        vorticity(&mesh, &kc, &u, &mut fused_v, 0..nv);
+        assert_eq!(seed_v, fused_v);
+
+        let mut seed_c = vec![0.0; nc];
+        let mut fused_c = vec![0.0; nc];
+        ops::vorticity_cell(&mesh, &seed_v, &mut seed_c, 0..nc);
+        vorticity_cell(&mesh, &kc, &seed_v, &mut fused_c, 0..nc);
+        assert_eq!(seed_c, fused_c);
+
+        ops::pv_cell(&mesh, &seed_v, &mut seed_c, 0..nc);
+        pv_cell(&mesh, &kc, &seed_v, &mut fused_c, 0..nc);
+        assert_eq!(seed_c, fused_c);
+    }
+
+    #[test]
+    fn reassociated_fusions_stay_within_drift_budget() {
+        let (mesh, kc, u, h_edge) = setup();
+        let nc = mesh.n_cells();
+        let mut seed = vec![0.0; nc];
+        let mut fused = vec![0.0; nc];
+        ops::tend_h(&mesh, &u, &h_edge, &mut seed, 0..nc);
+        tend_h(&mesh, &kc, &u, &h_edge, &mut fused, 0..nc);
+        for i in 0..nc {
+            let scale = seed[i].abs().max(1e-30);
+            assert!(
+                ((seed[i] - fused[i]) / scale).abs() < 1e-12,
+                "cell {i}: {} vs {}",
+                seed[i],
+                fused[i]
+            );
+        }
+    }
+
+    #[test]
+    fn fused_range_splitting_is_exact() {
+        // The range convention survives fusion: two chunks equal the full
+        // range bit for bit.
+        let (mesh, kc, u, _) = setup();
+        let nc = mesh.n_cells();
+        let mut full = vec![0.0; nc];
+        ke(&mesh, &kc, &u, &mut full, 0..nc);
+        let mut split = vec![0.0; nc];
+        let mid = nc / 2;
+        let (lo, hi) = split.split_at_mut(mid);
+        ke(&mesh, &kc, &u, lo, 0..mid);
+        ke(&mesh, &kc, &u, hi, mid..nc);
+        assert_eq!(full, split);
+    }
+}

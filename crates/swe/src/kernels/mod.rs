@@ -8,10 +8,15 @@
 //!
 //! [`scatter`] holds the original edge-order (irregular-reduction) forms of
 //! the class-A/C reductions — the Fig. 6 "Baseline"/naive-OpenMP story.
+//! [`fused`] holds the precomputed-coefficient fast path driven by
+//! [`crate::coeffs::KernelCoeffs`]; the `*_fused` drivers below compose it
+//! into the same Algorithm 1 call sequence.
 
+pub mod fused;
 pub mod ops;
 pub mod scatter;
 
+use crate::coeffs::KernelCoeffs;
 use crate::config::ModelConfig;
 use crate::reconstruct::ReconstructCoeffs;
 use crate::state::{Diagnostics, Reconstruction, State, Tendencies};
@@ -89,6 +94,72 @@ pub fn compute_solve_diagnostics(
     );
 }
 
+/// [`compute_solve_diagnostics`] on the fused-coefficient fast path: the
+/// same kernel sequence with every fusible op reading `kc` (H1 and E have
+/// nothing to fuse and run the seed forms).
+#[allow(clippy::too_many_arguments)]
+pub fn compute_solve_diagnostics_fused(
+    mesh: &Mesh,
+    config: &ModelConfig,
+    kc: &KernelCoeffs,
+    h: &[f64],
+    u: &[f64],
+    f_vertex: &[f64],
+    dt: f64,
+    diag: &mut Diagnostics,
+) {
+    let (nc, ne, nv) = (mesh.n_cells(), mesh.n_edges(), mesh.n_vertices());
+    if config.high_order_h_edge {
+        fused::d2fdx2(
+            mesh,
+            kc,
+            h,
+            &mut diag.d2fdx2_cell1,
+            &mut diag.d2fdx2_cell2,
+            0..ne,
+        );
+    }
+    fused::h_edge(
+        mesh,
+        kc,
+        config,
+        h,
+        &diag.d2fdx2_cell1,
+        &diag.d2fdx2_cell2,
+        &mut diag.h_edge,
+        0..ne,
+    );
+    if config.advection_only {
+        return;
+    }
+    fused::vorticity(mesh, kc, u, &mut diag.vorticity, 0..nv);
+    fused::ke(mesh, kc, u, &mut diag.ke, 0..nc);
+    fused::divergence(mesh, kc, u, &mut diag.divergence, 0..nc);
+    ops::tangential_velocity(mesh, u, &mut diag.v, 0..ne);
+    fused::vorticity_cell(mesh, kc, &diag.vorticity, &mut diag.vorticity_cell, 0..nc);
+    ops::pv_vertex(
+        mesh,
+        h,
+        &diag.vorticity,
+        f_vertex,
+        &mut diag.pv_vertex,
+        0..nv,
+    );
+    fused::pv_cell(mesh, kc, &diag.pv_vertex, &mut diag.pv_cell, 0..nc);
+    fused::pv_edge(
+        mesh,
+        kc,
+        config.apvm_factor,
+        dt,
+        &diag.pv_vertex,
+        &diag.pv_cell,
+        u,
+        &diag.v,
+        &mut diag.pv_edge,
+        0..ne,
+    );
+}
+
 /// `compute_tend`: thickness and momentum tendencies from the current
 /// provisional state and its diagnostics.
 pub fn compute_tend(
@@ -140,6 +211,68 @@ pub fn compute_tend(
         ops::vorticity(mesh, &lap, &mut vort_lap, 0..nv);
         ops::tend_u_del4(
             mesh,
+            config.del4_viscosity,
+            &div_lap,
+            &vort_lap,
+            &mut tend.tend_u,
+            0..ne,
+        );
+    }
+}
+
+/// [`compute_tend`] on the fused-coefficient fast path.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_tend_fused(
+    mesh: &Mesh,
+    config: &ModelConfig,
+    kc: &KernelCoeffs,
+    h: &[f64],
+    u: &[f64],
+    b: &[f64],
+    diag: &Diagnostics,
+    tend: &mut Tendencies,
+) {
+    let (nc, ne) = (mesh.n_cells(), mesh.n_edges());
+    fused::tend_h(mesh, kc, u, &diag.h_edge, &mut tend.tend_h, 0..nc);
+    if config.advection_only {
+        tend.tend_u.fill(0.0);
+        return;
+    }
+    fused::tend_u(
+        mesh,
+        kc,
+        config.gravity,
+        &diag.pv_edge,
+        u,
+        &diag.h_edge,
+        &diag.ke,
+        h,
+        b,
+        &mut tend.tend_u,
+        0..ne,
+    );
+    if config.del2_viscosity != 0.0 {
+        fused::tend_u_del2(
+            mesh,
+            kc,
+            config.del2_viscosity,
+            &diag.divergence,
+            &diag.vorticity,
+            &mut tend.tend_u,
+            0..ne,
+        );
+    }
+    if config.del4_viscosity != 0.0 {
+        let nv = mesh.n_vertices();
+        let mut lap = vec![0.0; ne];
+        fused::lap_u(mesh, kc, &diag.divergence, &diag.vorticity, &mut lap, 0..ne);
+        let mut div_lap = vec![0.0; nc];
+        fused::divergence(mesh, kc, &lap, &mut div_lap, 0..nc);
+        let mut vort_lap = vec![0.0; nv];
+        fused::vorticity(mesh, kc, &lap, &mut vort_lap, 0..nv);
+        fused::tend_u_del4(
+            mesh,
+            kc,
             config.del4_viscosity,
             &div_lap,
             &vort_lap,

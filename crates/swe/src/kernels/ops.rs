@@ -49,12 +49,11 @@ pub fn tend_u(
         let [c1, c2] = mesh.cells_on_edge[e];
         let (c1, c2) = (c1 as usize, c2 as usize);
         let mut q = 0.0;
-        for (j, slot) in mesh.eoe_range(e).enumerate() {
+        for slot in mesh.eoe_range(e) {
             let eoe = mesh.edges_on_edge[slot] as usize;
             let w = mesh.weights_on_edge[slot];
             let workpv = 0.5 * (pv_edge[e] + pv_edge[eoe]);
             q += w * u[eoe] * h_edge[eoe] * workpv;
-            let _ = j;
         }
         let grad = (ke[c2] - ke[c1] + gravity * (h[c2] + b[c2] - h[c1] - b[c1])) / mesh.dc_edge[e];
         out[e - off] = q - grad;
@@ -397,13 +396,13 @@ mod tests {
             .collect();
         let mut div = vec![0.0; mesh.n_cells()];
         divergence(&mesh, &u, &mut div, 0..mesh.n_cells());
-        for i in 0..mesh.n_cells() {
+        for (i, &d) in div.iter().enumerate() {
             let z = mesh.x_cell[i].z;
             if z > 0.3 {
-                assert!(div[i] < 0.0, "cell {i}: div {} at z {z}", div[i]);
+                assert!(d < 0.0, "cell {i}: div {d} at z {z}");
             }
             if z < -0.3 {
-                assert!(div[i] > 0.0, "cell {i}");
+                assert!(d > 0.0, "cell {i}");
             }
         }
     }
@@ -423,13 +422,11 @@ mod tests {
             .collect();
         let mut vort = vec![0.0; mesh.n_vertices()];
         vorticity(&mesh, &u, &mut vort, 0..mesh.n_vertices());
-        for v in 0..mesh.n_vertices() {
+        for (v, &z) in vort.iter().enumerate() {
             let expect = 2.0 * om * mesh.x_vertex[v].z;
             assert!(
-                (vort[v] - expect).abs() < 0.02 * om.abs().max(expect.abs()),
-                "vertex {v}: {} vs {}",
-                vort[v],
-                expect
+                (z - expect).abs() < 0.02 * om.abs().max(expect.abs()),
+                "vertex {v}: {z} vs {expect}"
             );
         }
     }
@@ -450,15 +447,10 @@ mod tests {
         vorticity(&mesh, &u, &mut vort, 0..mesh.n_vertices());
         let mut vc = vec![0.0; mesh.n_cells()];
         vorticity_cell(&mesh, &vort, &mut vc, 0..mesh.n_cells());
-        for i in 0..mesh.n_cells() {
+        for (i, &z) in vc.iter().enumerate() {
             let expect = 2.0 * om * mesh.x_cell[i].z;
             // Pentagon cells carry the largest interpolation error.
-            assert!(
-                (vc[i] - expect).abs() < 0.1 * om,
-                "cell {i}: {} vs {}",
-                vc[i],
-                expect
-            );
+            assert!((z - expect).abs() < 0.1 * om, "cell {i}: {z} vs {expect}");
         }
     }
 
@@ -485,8 +477,8 @@ mod tests {
         let pv = vec![3.25e-8; mesh.n_vertices()];
         let mut out = vec![0.0; mesh.n_cells()];
         pv_cell(&mesh, &pv, &mut out, 0..mesh.n_cells());
-        for i in 0..mesh.n_cells() {
-            assert!((out[i] - 3.25e-8).abs() < 1e-14 * 3.25e-8 + 1e-20);
+        for &o in &out {
+            assert!((o - 3.25e-8).abs() < 1e-14 * 3.25e-8 + 1e-20);
         }
     }
 
@@ -509,10 +501,10 @@ mod tests {
             &mut out,
             0..mesh.n_edges(),
         );
-        for e in 0..mesh.n_edges() {
+        for (e, &o) in out.iter().enumerate() {
             let [v1, v2] = mesh.vertices_on_edge[e];
             let expect = 0.5 * (pv_v[v1 as usize] + pv_v[v2 as usize]);
-            assert_eq!(out[e], expect);
+            assert_eq!(o, expect);
         }
     }
 

@@ -11,42 +11,42 @@ use mpas_mesh::Mesh;
 /// A1 in scatter form: accumulate thickness fluxes edge-by-edge.
 pub fn tend_h_scatter(mesh: &Mesh, u: &[f64], h_edge: &[f64], out: &mut [f64]) {
     out.fill(0.0);
-    for e in 0..mesh.n_edges() {
+    for (e, &ue) in u.iter().enumerate() {
         let [c1, c2] = mesh.cells_on_edge[e];
-        let flux = u[e] * h_edge[e] * mesh.dv_edge[e];
+        let flux = ue * h_edge[e] * mesh.dv_edge[e];
         out[c1 as usize] -= flux; // outward from c1 ⇒ mass loss
         out[c2 as usize] += flux;
     }
-    for i in 0..mesh.n_cells() {
-        out[i] /= mesh.area_cell[i];
+    for (o, a) in out.iter_mut().zip(&mesh.area_cell) {
+        *o /= a;
     }
 }
 
 /// A2 in scatter form: kinetic energy accumulated edge-by-edge.
 pub fn ke_scatter(mesh: &Mesh, u: &[f64], out: &mut [f64]) {
     out.fill(0.0);
-    for e in 0..mesh.n_edges() {
+    for (e, &ue) in u.iter().enumerate() {
         let [c1, c2] = mesh.cells_on_edge[e];
-        let contrib = 0.25 * mesh.dc_edge[e] * mesh.dv_edge[e] * u[e] * u[e];
+        let contrib = 0.25 * mesh.dc_edge[e] * mesh.dv_edge[e] * ue * ue;
         out[c1 as usize] += contrib;
         out[c2 as usize] += contrib;
     }
-    for i in 0..mesh.n_cells() {
-        out[i] /= mesh.area_cell[i];
+    for (o, a) in out.iter_mut().zip(&mesh.area_cell) {
+        *o /= a;
     }
 }
 
 /// B2 in scatter form: divergence accumulated edge-by-edge.
 pub fn divergence_scatter(mesh: &Mesh, u: &[f64], out: &mut [f64]) {
     out.fill(0.0);
-    for e in 0..mesh.n_edges() {
+    for (e, &ue) in u.iter().enumerate() {
         let [c1, c2] = mesh.cells_on_edge[e];
-        let flux = u[e] * mesh.dv_edge[e];
+        let flux = ue * mesh.dv_edge[e];
         out[c1 as usize] += flux;
         out[c2 as usize] -= flux;
     }
-    for i in 0..mesh.n_cells() {
-        out[i] /= mesh.area_cell[i];
+    for (o, a) in out.iter_mut().zip(&mesh.area_cell) {
+        *o /= a;
     }
 }
 
@@ -54,9 +54,9 @@ pub fn divergence_scatter(mesh: &Mesh, u: &[f64], out: &mut [f64]) {
 /// adjacent vertices.
 pub fn vorticity_scatter(mesh: &Mesh, u: &[f64], out: &mut [f64]) {
     out.fill(0.0);
-    for e in 0..mesh.n_edges() {
+    for (e, &ue) in u.iter().enumerate() {
         let [v1, v2] = mesh.vertices_on_edge[e];
-        let circ = u[e] * mesh.dc_edge[e];
+        let circ = ue * mesh.dc_edge[e];
         // The dual edge (+n̂ direction) runs CCW around exactly one of the
         // two adjacent vertices; find the slot signs from the vertex tables.
         for &v in &[v1, v2] {
@@ -68,8 +68,8 @@ pub fn vorticity_scatter(mesh: &Mesh, u: &[f64], out: &mut [f64]) {
             }
         }
     }
-    for v in 0..mesh.n_vertices() {
-        out[v] /= mesh.area_triangle[v];
+    for (o, a) in out.iter_mut().zip(&mesh.area_triangle) {
+        *o /= a;
     }
 }
 

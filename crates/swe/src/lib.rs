@@ -17,6 +17,9 @@
 //! * [`state`] — prognostic/diagnostic field containers.
 //! * [`config`] — numerical options (APVM upwinding, del2 dissipation,
 //!   thickness-advection order).
+//! * [`coeffs`] — precomputed fused kernel coefficients: the per-slot
+//!   geometric factors every substep would otherwise re-derive, laid out
+//!   flat in CSR order for the [`kernels::fused`] fast path.
 //! * [`kernels`] — the six kernels of Algorithm 1 as free functions over
 //!   explicit output ranges, one per Table-I pattern instance, so executors
 //!   can slice them across devices. Includes the original scatter
@@ -28,6 +31,7 @@
 //! * [`reconstruct`] — least-squares edge→cell velocity reconstruction.
 
 pub mod checkpoint;
+pub mod coeffs;
 pub mod config;
 pub mod kernels;
 pub mod model;
@@ -39,6 +43,7 @@ pub mod testcases;
 pub mod timeseries;
 
 pub use checkpoint::{load_state, save_state};
+pub use coeffs::KernelCoeffs;
 pub use config::ModelConfig;
 pub use model::ShallowWaterModel;
 pub use norms::ErrorNorms;

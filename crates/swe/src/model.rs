@@ -1,6 +1,7 @@
 //! Single-address-space model facade: the reference ("original CPU code")
 //! implementation the paper's hybrid versions are compared against.
 
+use crate::coeffs::KernelCoeffs;
 use crate::config::ModelConfig;
 use crate::kernels;
 use crate::norms::ErrorNorms;
@@ -32,6 +33,9 @@ pub struct ShallowWaterModel {
     pub f_vertex: Vec<f64>,
     /// Velocity-reconstruction coefficients.
     pub coeffs: ReconstructCoeffs,
+    /// Precomputed fused kernel coefficients (used when
+    /// `config.fused_coeffs` is set).
+    pub kernel_coeffs: KernelCoeffs,
     ws: Rk4Workspace,
     /// Model time in seconds.
     pub time: f64,
@@ -49,11 +53,25 @@ impl ShallowWaterModel {
         let b = test_case.topography(&mesh);
         let f_vertex = test_case.coriolis_vertex(&mesh);
         let coeffs = ReconstructCoeffs::build(&mesh);
+        let kernel_coeffs = KernelCoeffs::build(&mesh, &config);
         let dt = dt.unwrap_or_else(|| ModelConfig::suggested_dt(&mesh));
         let mut diag = Diagnostics::zeros(&mesh);
-        kernels::compute_solve_diagnostics(
-            &mesh, &config, &state.h, &state.u, &f_vertex, dt, &mut diag,
-        );
+        if config.fused_coeffs {
+            kernels::compute_solve_diagnostics_fused(
+                &mesh,
+                &config,
+                &kernel_coeffs,
+                &state.h,
+                &state.u,
+                &f_vertex,
+                dt,
+                &mut diag,
+            );
+        } else {
+            kernels::compute_solve_diagnostics(
+                &mesh, &config, &state.h, &state.u, &f_vertex, dt, &mut diag,
+            );
+        }
         let mut recon = Reconstruction::zeros(&mesh);
         kernels::mpas_reconstruct(&mesh, &coeffs, &state.u, &mut recon);
         let ws = Rk4Workspace::new(&mesh);
@@ -65,6 +83,7 @@ impl ShallowWaterModel {
             b,
             f_vertex,
             coeffs,
+            kernel_coeffs,
             config,
             test_case,
             time: 0.0,
@@ -94,6 +113,7 @@ impl ShallowWaterModel {
             &self.mesh,
             &self.config,
             &self.coeffs,
+            &self.kernel_coeffs,
             &self.f_vertex,
             &self.b,
             self.dt,

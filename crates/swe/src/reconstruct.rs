@@ -76,6 +76,7 @@ fn mat_vec(m: &[[f64; 3]; 3], v: Vec3) -> Vec3 {
 /// # Panics
 /// Panics if the matrix is singular (cannot happen for a cell with ≥2
 /// non-parallel edge normals plus the radial dyad).
+#[allow(clippy::needless_range_loop)]
 fn invert3(m: &[[f64; 3]; 3]) -> [[f64; 3]; 3] {
     let det = m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
         - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
@@ -99,6 +100,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn invert3_roundtrip() {
         let m = [[2.0, 1.0, 0.0], [1.0, 3.0, 0.5], [0.0, 0.5, 1.5]];
         let inv = invert3(&m);

@@ -6,6 +6,7 @@
 //! the branch at the fourth substep where the accumulation precedes the
 //! diagnostics and the velocity reconstruction runs).
 
+use crate::coeffs::KernelCoeffs;
 use crate::config::ModelConfig;
 use crate::kernels;
 use crate::reconstruct::ReconstructCoeffs;
@@ -49,6 +50,7 @@ pub fn rk4_step(
     mesh: &Mesh,
     config: &ModelConfig,
     coeffs: &ReconstructCoeffs,
+    kcoeffs: &KernelCoeffs,
     f_vertex: &[f64],
     b: &[f64],
     dt: f64,
@@ -59,18 +61,41 @@ pub fn rk4_step(
 ) {
     ws.acc.copy_from(state);
     ws.provis.copy_from(state);
+    let fused = config.fused_coeffs;
+    let solve_diag = |h: &[f64], u: &[f64], diag: &mut Diagnostics| {
+        if fused {
+            kernels::compute_solve_diagnostics_fused(
+                mesh, config, kcoeffs, h, u, f_vertex, dt, diag,
+            );
+        } else {
+            kernels::compute_solve_diagnostics(mesh, config, h, u, f_vertex, dt, diag);
+        }
+    };
 
     for stage in 0..4 {
         // compute_tend on the provisional state and its diagnostics.
-        kernels::compute_tend(
-            mesh,
-            config,
-            &ws.provis.h,
-            &ws.provis.u,
-            b,
-            diag,
-            &mut ws.tend,
-        );
+        if fused {
+            kernels::compute_tend_fused(
+                mesh,
+                config,
+                kcoeffs,
+                &ws.provis.h,
+                &ws.provis.u,
+                b,
+                diag,
+                &mut ws.tend,
+            );
+        } else {
+            kernels::compute_tend(
+                mesh,
+                config,
+                &ws.provis.h,
+                &ws.provis.u,
+                b,
+                diag,
+                &mut ws.tend,
+            );
+        }
         kernels::enforce_boundary_edge(mesh, &mut ws.tend);
 
         if stage < 3 {
@@ -81,22 +106,12 @@ pub fn rk4_step(
                 RK_SUBSTEP[stage] * dt,
                 &mut ws.provis,
             );
-            kernels::compute_solve_diagnostics(
-                mesh,
-                config,
-                &ws.provis.h,
-                &ws.provis.u,
-                f_vertex,
-                dt,
-                diag,
-            );
+            solve_diag(&ws.provis.h, &ws.provis.u, diag);
             kernels::accumulative_update(mesh, &ws.tend, RK_WEIGHTS[stage] * dt, &mut ws.acc);
         } else {
             kernels::accumulative_update(mesh, &ws.tend, RK_WEIGHTS[stage] * dt, &mut ws.acc);
             state.copy_from(&ws.acc);
-            kernels::compute_solve_diagnostics(
-                mesh, config, &state.h, &state.u, f_vertex, dt, diag,
-            );
+            solve_diag(&state.h, &state.u, diag);
             kernels::mpas_reconstruct(mesh, coeffs, &state.u, recon);
         }
     }

@@ -112,11 +112,11 @@ fn tangential_reconstruction_of_gradient_flow() {
     // ∇_s(a·x) = a − (a·r̂)r̂ ; tangential component = that · t̂.
     let mut rms_err = 0.0;
     let mut rms_ref = 0.0;
-    for e in 0..m.n_edges() {
+    for (e, &ve) in v.iter().enumerate() {
         let r = m.x_edge[e].normalized();
         let grad = a - r * a.dot(r);
         let exact = grad.dot(m.tangent_edge[e]);
-        rms_err += (v[e] - exact).powi(2);
+        rms_err += (ve - exact).powi(2);
         rms_ref += exact.powi(2);
     }
     let rel = (rms_err / rms_ref).sqrt();

@@ -184,9 +184,9 @@ fn local_class_axpy_is_pointwise() {
     let k = 77usize;
     let before = out[k];
     // Perturb every OTHER entry: out[k] must not move.
-    for j in 0..n {
+    for (j, t) in tend.iter_mut().enumerate() {
         if j != k {
-            tend[j] += 1.0;
+            *t += 1.0;
         }
     }
     ops::axpy(&base, &tend, 0.5, &mut out, 0..n);
