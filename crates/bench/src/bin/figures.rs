@@ -4,7 +4,7 @@
 //! figures <experiment> [options]
 //!   table1 | table2 | table3 | fig4 | fig4x | fig5 | fig6 | fig7 | fig7x
 //!   | fig8 | fig9 | ablations | trace | profile | convergence
-//!   | partitioners | fig_layout | all
+//!   | partitioners | fig_layout | fig_blame | all
 //!
 //! `fig_layout` measures the PR-4 data-layout ladder: RK-4 step time by
 //! cell ordering (natural, Morton SFC, BFS) × mesh level × executor, seed
@@ -16,6 +16,10 @@
 //! `fig4x` runs the real threaded executor under the telemetry recorder
 //! and prints the measured per-pattern times next to the roofline model's
 //! predictions, writing one combined modeled+measured Chrome trace.
+//!
+//! `fig_blame` (PR-5) runs the distributed engine at 2/4/8 ranks under
+//! the trace analyzer and tabulates each configuration's compute / wait /
+//! copy blame fractions, imbalance, and extracted critical path.
 //!
 //! options:
 //!   --level N     mesh subdivision level for measured runs (default 5)
@@ -86,6 +90,7 @@ fn main() {
             "convergence" => convergence(),
             "partitioners" => partitioners(&opts),
             "fig_layout" => fig_layout(&opts),
+            "fig_blame" => fig_blame(&opts),
             "all" => {
                 table1();
                 table2();
@@ -897,6 +902,80 @@ fn fig_layout(opts: &Opts) {
     print_table(
         "fig_layout — RK-4 step: ordering x level x executor (speedup vs seed kernels, natural order)",
         &["level", "cells", "ordering", "executor", "seed ms/step", "fused ms/step", "speedup"],
+        &rows,
+    );
+}
+
+/// `fig_blame` — the PR-5 trace-analysis figure: distributed runs at
+/// 2/4/8 ranks, decomposed by the blame analyzer into compute / wait /
+/// copy fractions (mean over ranks; waits also max), with the trace
+/// imbalance and the extracted critical path's length and wait share.
+fn fig_blame(opts: &Opts) {
+    use mpas_core::{run_distributed_recorded, DistributedConfig};
+    use mpas_telemetry::analysis::Trace;
+    use mpas_telemetry::Recorder;
+
+    let tc = TestCase::Case5;
+    let levels = [opts.level.saturating_sub(1).max(3), opts.level];
+    let mut rows = Vec::new();
+    for &level in &levels {
+        let mesh = mpas_mesh::generate(level, 0);
+        let dt = ModelConfig::suggested_dt(&mesh);
+        let n_steps = if level >= 6 { 2 } else { 4 };
+        for ranks in [2usize, 4, 8] {
+            let rec = Recorder::new();
+            run_distributed_recorded(
+                &mesh,
+                DistributedConfig {
+                    n_ranks: ranks,
+                    halo_layers: 3,
+                    model: ModelConfig::default(),
+                    test_case: tc,
+                    dt,
+                    n_steps,
+                },
+                &rec,
+            );
+            let t = Trace::from_recorder(&rec);
+            let blame = t.blame();
+            let cp = t.critical_path();
+            let n = blame.ranks.len().max(1) as f64;
+            let mean = |f: &dyn Fn(&mpas_telemetry::analysis::RankBlame) -> f64| -> f64 {
+                blame.ranks.iter().map(f).sum::<f64>() / n
+            };
+            rows.push(vec![
+                level.to_string(),
+                mesh.n_cells().to_string(),
+                ranks.to_string(),
+                format!("{:.1}", 100.0 * mean(&|r| r.compute_frac())),
+                format!("{:.1}", 100.0 * mean(&|r| r.wait_frac())),
+                format!("{:.1}", 100.0 * blame.max_wait_frac()),
+                format!("{:.1}", 100.0 * mean(&|r| r.copy_frac())),
+                format!("{:.3}", blame.imbalance),
+                format!("{:.2}", 1e3 * blame.makespan_s / n_steps as f64),
+                format!("{:.2}", 1e3 * cp.path_s() / n_steps as f64),
+                format!(
+                    "{:.1}",
+                    100.0 * cp.wait_s / cp.path_s().max(f64::MIN_POSITIVE)
+                ),
+            ]);
+        }
+    }
+    print_table(
+        "fig_blame — distributed blame decomposition x ranks x level (per-step ms; critical path from the measured trace)",
+        &[
+            "level",
+            "cells",
+            "ranks",
+            "compute%",
+            "wait%",
+            "max wait%",
+            "copy%",
+            "imbalance",
+            "step ms",
+            "cp ms",
+            "cp wait%",
+        ],
         &rows,
     );
 }

@@ -13,13 +13,38 @@
 //! `--metrics metrics.json` a metrics snapshot (per-kernel timing
 //! histograms, halo byte counters, per-step norms) is written as JSON
 //! (`.csv` extension switches to CSV).
+//!
+//! ## Trace analysis and regression gating
+//!
+//! `--ranks N` (N ≥ 2) runs the distributed engine instead of the
+//! single-address-space executors: N communicating ranks, rank-tagged
+//! step/wait/copy/barrier spans and send/recv edge events. `--report`
+//! then prints the per-rank blame table, the extracted critical path, and
+//! the measured-vs-modeled schedule diff; `--report-json FILE` writes the
+//! same as JSON.
+//!
+//! `--gate-write FILE` fits a statistical baseline (median/MAD per
+//! watched metric) from this run; `--gate FILE` compares the run against
+//! a committed baseline and exits 1 on a `fail`-severity violation
+//! (`--gate-strict` also fails on warnings). Invariant monitors (mass
+//! drift, h-error bound) always run when telemetry is on; a tripped
+//! monitor records a structured `alert` event and exits 3.
+//! `--inject-mass-drift X` deliberately offsets the drift gauge so the
+//! alarm chain can be tested end to end.
 
 use mpas_bench::render::{sample_lonlat, write_ppm};
-use mpas_core::{Executor, Simulation};
+use mpas_core::{DistributedConfig, Executor, Simulation};
 use mpas_mesh::Reordering;
-use mpas_swe::{ModelConfig, TestCase};
+use mpas_patterns::dataflow::{DataflowGraph, MeshCounts, RkPhase};
+use mpas_swe::{ErrorNorms, ModelConfig, TestCase};
+use mpas_telemetry::analysis::{
+    check_invariants, default_invariants, diff_schedule, record_blame, CriticalPath, ModeledTask,
+    Trace,
+};
+use mpas_telemetry::gate::{median_mad, Baseline, BaselineEntry, Direction, Severity};
 use mpas_telemetry::Recorder;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 struct Args {
     case: String,
@@ -31,11 +56,18 @@ struct Args {
     policy: String,
     reorder: Reordering,
     fused: bool,
+    ranks: usize,
     frames: usize,
     out: PathBuf,
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
     bench_json: Option<PathBuf>,
+    report: bool,
+    report_json: Option<PathBuf>,
+    gate: Option<PathBuf>,
+    gate_write: Option<PathBuf>,
+    gate_strict: bool,
+    inject_mass_drift: f64,
 }
 
 fn parse_args() -> Args {
@@ -49,11 +81,18 @@ fn parse_args() -> Args {
         policy: "pattern-driven".into(),
         reorder: Reordering::None,
         fused: true,
+        ranks: 0,
         frames: 0,
         out: PathBuf::from("target/frames"),
         trace: None,
         metrics: None,
         bench_json: None,
+        report: false,
+        report_json: None,
+        gate: None,
+        gate_write: None,
+        gate_strict: false,
+        inject_mass_drift: 0.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -79,19 +118,31 @@ fn parse_args() -> Args {
                     other => panic!("unknown fused {other} (on or off)"),
                 };
             }
+            "--ranks" => args.ranks = val().parse().expect("ranks"),
             "--frames" => args.frames = val().parse().expect("frames"),
             "--out" => args.out = PathBuf::from(val()),
             "--trace" => args.trace = Some(PathBuf::from(val())),
             "--metrics" => args.metrics = Some(PathBuf::from(val())),
             "--bench-json" => args.bench_json = Some(PathBuf::from(val())),
+            "--report" => args.report = true,
+            "--report-json" => args.report_json = Some(PathBuf::from(val())),
+            "--gate" => args.gate = Some(PathBuf::from(val())),
+            "--gate-write" => args.gate_write = Some(PathBuf::from(val())),
+            "--gate-strict" => args.gate_strict = true,
+            "--inject-mass-drift" => {
+                args.inject_mass_drift = val().parse().expect("inject-mass-drift")
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: swe-run [--case 2|5|6] [--alpha RAD] [--level N] \
                      [--lloyd N] [--days X] [--executor serial|threaded:N|hybrid:N:M] \
                      [--policy NAME] [--reorder none|sfc|bfs] [--fused on|off] \
-                     [--frames K] [--out DIR] \
+                     [--ranks N] [--frames K] [--out DIR] \
                      [--trace FILE.json] [--metrics FILE.json|FILE.csv] \
-                     [--bench-json FILE.json]\n\
+                     [--bench-json FILE.json] \
+                     [--report] [--report-json FILE.json] \
+                     [--gate BASELINE.json] [--gate-write BASELINE.json] \
+                     [--gate-strict] [--inject-mass-drift X]\n\
                      policies: {}",
                     mpas_sched::registered_names().join(", ")
                 );
@@ -118,25 +169,24 @@ fn parse_executor(spec: &str) -> Executor {
     }
 }
 
-fn main() {
-    let args = parse_args();
-    let tc = match args.case.as_str() {
-        "2" => TestCase::Case2 { alpha: args.alpha },
-        "5" => TestCase::Case5,
-        "6" => TestCase::Case6,
-        other => panic!("unsupported case {other} (2, 5 or 6)"),
-    };
+/// What either execution path hands back to the shared analysis tail.
+struct RunStats {
+    n_cells: usize,
+    total_steps: usize,
+    run_secs: f64,
+    mass_drift: f64,
+    h_err_l2: f64,
+    /// Modeled seconds per RK-4 step for the unit the run executed
+    /// (calibrated per-rank serial model in distributed mode, the
+    /// configured policy's roofline otherwise). 0 when not computed.
+    modeled_step_s: f64,
+    /// Modeled intermediate-substep tasks, for the per-kernel slack diff.
+    modeled_tasks: Vec<ModeledTask>,
+}
 
-    println!(
-        "generating level-{} mesh (lloyd {})...",
-        args.level, args.lloyd
-    );
-    let telemetry_on = args.trace.is_some() || args.metrics.is_some();
-    let rec = if telemetry_on {
-        Recorder::new()
-    } else {
-        Recorder::noop()
-    };
+/// Single-address-space path: the `Simulation` facade with the configured
+/// executor, frames, and modeled-trace support.
+fn run_single(args: &Args, tc: TestCase, rec: &Recorder) -> RunStats {
     let mut sim = Simulation::builder()
         .mesh_level(args.level)
         .lloyd_iters(args.lloyd)
@@ -162,11 +212,15 @@ fn main() {
         args.reorder.name(),
         args.fused
     );
+    let platform = mpas_hybrid::Platform::paper_node();
+    let modeled_step_s = sim.modeled_time_per_step(&platform);
     println!(
         "policy {}: modeled {:.1} ms/step on the Table-II node",
         sim.sched_policy().name(),
-        sim.modeled_time_per_step(&mpas_hybrid::Platform::paper_node()) * 1e3
+        modeled_step_s * 1e3
     );
+    let schedule = sim.modeled_schedule(&platform);
+    let modeled_tasks = schedule_tasks(&schedule);
 
     if args.frames > 0 {
         std::fs::create_dir_all(&args.out).expect("create output dir");
@@ -209,14 +263,13 @@ fn main() {
         println!("wrote {frame} frames to {}", args.out.display());
     }
 
-    if telemetry_on {
+    if rec.is_enabled() {
         // One real halo-exchange round on a 4-way partition so the metrics
         // carry measured halo byte counters next to the analytic estimate.
-        mpas_core::halo_probe(&sim.mesh, 4, &rec);
+        mpas_core::halo_probe(&sim.mesh, 4, rec);
     }
     if let Some(path) = &args.trace {
-        let schedule = sim.modeled_schedule(&mpas_hybrid::Platform::paper_node());
-        let json = mpas_hybrid::to_combined_trace(&schedule, &rec);
+        let json = mpas_hybrid::to_combined_trace(&schedule, rec);
         std::fs::write(path, &json).expect("write trace");
         println!(
             "wrote combined modeled+measured trace ({} spans) to {}",
@@ -224,25 +277,376 @@ fn main() {
             path.display()
         );
     }
+    RunStats {
+        n_cells: sim.mesh.n_cells(),
+        total_steps,
+        run_secs,
+        mass_drift: sim.mass_drift(),
+        h_err_l2: sim.h_error_norms().l2,
+        modeled_step_s,
+        modeled_tasks,
+    }
+}
+
+/// Distributed path: `--ranks N` communicating ranks running the serial
+/// kernel chain on RCB partitions, rank-tagged trace instrumentation, and
+/// a calibrated per-rank serial model as the comparison point.
+fn run_dist(args: &Args, tc: TestCase, rec: &Recorder) -> RunStats {
+    let mut mesh = Arc::new(mpas_mesh::generate(args.level, args.lloyd));
+    if args.reorder != Reordering::None {
+        let perm = args.reorder.permutation(&mesh);
+        mesh = Arc::new(mesh.reordered(&perm));
+    }
+    let dt = ModelConfig::suggested_dt(&mesh);
+    let total_steps = ((args.days * 86_400.0) / dt).ceil().max(1.0) as usize;
+    println!(
+        "{}: {} cells, dt {:.0} s, {} steps on {} ranks (reorder {}, fused {}; \
+         --executor is ignored in distributed mode)",
+        tc.name(),
+        mesh.n_cells(),
+        dt,
+        total_steps,
+        args.ranks,
+        args.reorder.name(),
+        args.fused
+    );
+    if args.frames > 0 {
+        eprintln!("warning: --frames is not supported with --ranks; skipping frame dumps");
+    }
+
+    let model = ModelConfig {
+        fused_coeffs: args.fused,
+        ..Default::default()
+    };
+    let initial = tc.initial_state(&mesh);
+    let mass = |h: &[f64]| -> f64 {
+        (0..mesh.n_cells())
+            .map(|i| h[i] * mesh.area_cell[i])
+            .sum::<f64>()
+    };
+    let mass0 = mass(&initial.h);
+
+    let t0 = std::time::Instant::now();
+    let final_state = mpas_core::run_distributed_recorded(
+        &mesh,
+        DistributedConfig {
+            n_ranks: args.ranks,
+            halo_layers: 3,
+            model,
+            test_case: tc,
+            dt,
+            n_steps: total_steps,
+        },
+        rec,
+    );
+    let run_secs = t0.elapsed().as_secs_f64();
+
+    let mass_drift = (mass(&final_state.h) - mass0) / mass0;
+    let time = total_steps as f64 * dt;
+    let reference: Vec<f64> = (0..mesh.n_cells())
+        .map(|i| tc.reference_thickness_at(mesh.x_cell[i], time))
+        .collect();
+    let h_err_l2 = ErrorNorms::compute(&final_state.h, &reference, &mesh.area_cell).l2;
+    rec.set_gauge("core.sim.mass_drift", mass_drift);
+    rec.set_gauge("core.sim.h_err_l2", h_err_l2);
+    println!(
+        "finished {:.2?} ({:.1} ms/step); mass drift {:+.2e}, h error l2 {:.3e}",
+        t0.elapsed(),
+        run_secs * 1e3 / total_steps as f64,
+        mass_drift,
+        h_err_l2
+    );
+
+    // Modeled comparison point: every rank runs the serial kernel chain on
+    // ~n_cells/ranks cells, so the right model is the *calibrated* serial
+    // schedule on per-rank mesh counts. Calibration coefficients are
+    // per-pattern and mesh-size-insensitive, so a small level-3 fit is
+    // enough (and cheap at CLI latency).
+    let want_model = args.report || args.report_json.is_some() || args.trace.is_some();
+    let (modeled_step_s, modeled_tasks, schedule) = if want_model {
+        let r = args.ranks as f64;
+        let mc_rank = MeshCounts {
+            n_cells: mesh.n_cells() as f64 / r,
+            n_edges: mesh.n_edges() as f64 / r,
+            n_vertices: mesh.n_vertices() as f64 / r,
+        };
+        let platform = mpas_hybrid::Platform::paper_node();
+        let policy = mpas_sched::resolve("serial").expect("serial policy");
+        let cal = mpas_hybrid::calibrate_host(args.level.min(3), 3);
+        let step = cal.modeled_time_per_step(&mc_rank, &platform, policy.as_ref());
+        let graph = DataflowGraph::for_substep(RkPhase::Intermediate);
+        let sched = mpas_hybrid::schedule_substep(&graph, &mc_rank, &platform, policy.as_ref());
+        let tasks = schedule_tasks(&sched);
+        (step, tasks, Some(sched))
+    } else {
+        (0.0, Vec::new(), None)
+    };
+    if let (Some(path), Some(sched)) = (&args.trace, &schedule) {
+        let json = mpas_hybrid::to_combined_trace(sched, rec);
+        std::fs::write(path, &json).expect("write trace");
+        println!(
+            "wrote combined modeled+measured trace ({} spans) to {}",
+            rec.spans().len(),
+            path.display()
+        );
+    }
+
+    RunStats {
+        n_cells: mesh.n_cells(),
+        total_steps,
+        run_secs,
+        mass_drift,
+        h_err_l2,
+        modeled_step_s,
+        modeled_tasks,
+    }
+}
+
+fn schedule_tasks(s: &mpas_hybrid::Schedule) -> Vec<ModeledTask> {
+    s.nodes
+        .iter()
+        .map(|n| ModeledTask {
+            name: n.name.to_string(),
+            start_s: n.start,
+            finish_s: n.finish,
+        })
+        .collect()
+}
+
+/// Fit a gate baseline from what this run recorded. Step time is fitted
+/// from the per-step samples (median/MAD) as a warn-only band — CI boxes
+/// are noisy; the invariant-adjacent metrics are fail-severity with
+/// absolute floors, because they are deterministic up to rounding.
+fn fit_baseline(name: String, rec: &Recorder) -> Baseline {
+    let snap = rec.snapshot();
+    let mut entries = Vec::new();
+    let steps = rec.histogram_samples("core.sim.step_seconds");
+    if !steps.is_empty() {
+        let (median, mad) = median_mad(&steps);
+        entries.push(BaselineEntry {
+            metric: "core.sim.step_seconds".to_string(),
+            median,
+            mad,
+            count: steps.len(),
+            k: 5.0,
+            floor: 0.25 * median,
+            direction: Direction::Above,
+            severity: Severity::Warn,
+            abs: false,
+        });
+    }
+    entries.push(BaselineEntry {
+        metric: "core.sim.mass_drift".to_string(),
+        median: 0.0,
+        mad: 0.0,
+        count: 1,
+        k: 0.0,
+        floor: 1e-9,
+        direction: Direction::Above,
+        severity: Severity::Fail,
+        abs: true,
+    });
+    if let Some(l2) = snap.gauge("core.sim.h_err_l2") {
+        entries.push(BaselineEntry {
+            metric: "core.sim.h_err_l2".to_string(),
+            median: l2,
+            mad: 0.0,
+            count: 1,
+            k: 0.0,
+            floor: 0.5 * l2.abs().max(1e-12),
+            direction: Direction::Above,
+            severity: Severity::Fail,
+            abs: false,
+        });
+    }
+    if let Some(w) = snap.gauge("analysis.blame.max_wait_frac") {
+        entries.push(BaselineEntry {
+            metric: "analysis.blame.max_wait_frac".to_string(),
+            median: w,
+            mad: 0.0,
+            count: 1,
+            k: 0.0,
+            floor: 0.2,
+            direction: Direction::Above,
+            severity: Severity::Warn,
+            abs: false,
+        });
+    }
+    Baseline { name, entries }
+}
+
+/// Blame + critical-path + schedule-diff report as a JSON document (the
+/// `--report-json` artifact CI uploads).
+fn report_json(
+    trace: &Trace,
+    cp: &CriticalPath,
+    measured_step_s: f64,
+    modeled_step_s: f64,
+) -> String {
+    use std::fmt::Write as _;
+    let blame = trace.blame();
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"makespan_s\": {:e},", blame.makespan_s);
+    let _ = writeln!(out, "  \"imbalance\": {:e},", blame.imbalance);
+    let _ = writeln!(out, "  \"measured_step_s\": {measured_step_s:e},");
+    let _ = writeln!(out, "  \"modeled_step_s\": {modeled_step_s:e},");
+    out.push_str("  \"ranks\": [");
+    for (i, r) in blame.ranks.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rank\": {}, \"total_s\": {:e}, \"compute_frac\": {:e}, \
+             \"wait_frac\": {:e}, \"copy_frac\": {:e}, \"barrier_frac\": {:e}}}",
+            r.rank,
+            r.total_s,
+            r.compute_frac(),
+            r.wait_frac(),
+            r.copy_frac(),
+            r.barrier_frac(),
+        );
+    }
+    out.push_str("\n  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"critical_path\": {{\"path_s\": {:e}, \"compute_s\": {:e}, \"wait_s\": {:e}, \
+         \"copy_s\": {:e}, \"barrier_s\": {:e}, \"ranks_visited\": {}, \"segments\": {}}}",
+        cp.path_s(),
+        cp.compute_s,
+        cp.wait_s,
+        cp.copy_s,
+        cp.barrier_s,
+        cp.ranks_visited(),
+        cp.segments.len(),
+    );
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let tc = match args.case.as_str() {
+        "2" => TestCase::Case2 { alpha: args.alpha },
+        "5" => TestCase::Case5,
+        "6" => TestCase::Case6,
+        other => panic!("unsupported case {other} (2, 5 or 6)"),
+    };
+
+    println!(
+        "generating level-{} mesh (lloyd {})...",
+        args.level, args.lloyd
+    );
+    let telemetry_on = args.trace.is_some()
+        || args.metrics.is_some()
+        || args.report
+        || args.report_json.is_some()
+        || args.gate.is_some()
+        || args.gate_write.is_some()
+        || args.inject_mass_drift != 0.0;
+    let rec = if telemetry_on {
+        Recorder::new()
+    } else {
+        Recorder::noop()
+    };
+
+    let stats = if args.ranks >= 2 {
+        run_dist(&args, tc, &rec)
+    } else {
+        run_single(&args, tc, &rec)
+    };
+
+    if args.inject_mass_drift != 0.0 {
+        println!(
+            "injecting {:+.1e} artificial mass drift (invariant-monitor test hook)",
+            args.inject_mass_drift
+        );
+        rec.set_gauge(
+            "core.sim.mass_drift",
+            stats.mass_drift + args.inject_mass_drift,
+        );
+    }
+
+    // -- trace analysis ---------------------------------------------------
+    let trace = Trace::from_recorder(&rec);
+    let measured_step_s = if args.ranks >= 2 {
+        // Distributed mode records no facade-level step timer; derive it
+        // from the per-step trace makespans and feed the same histogram
+        // the gate watches.
+        let per_step = trace.per_step_makespans();
+        for &m in &per_step {
+            rec.record("core.sim.step_seconds", m);
+        }
+        median_mad(&per_step).0
+    } else {
+        stats.run_secs / stats.total_steps as f64
+    };
+    let blame = trace.blame();
+    let cp = trace.critical_path();
+    record_blame(&rec, &blame, Some(&cp));
+    let alerts = check_invariants(&rec, &default_invariants());
+
+    if args.report {
+        println!("\n== per-rank blame ==");
+        print!("{}", blame.render());
+        println!("\n== critical path ==");
+        println!("{}", cp.render());
+        if stats.modeled_step_s > 0.0 {
+            println!("== measured vs modeled ==");
+            println!(
+                "measured {:.3} ms/step vs modeled {:.3} ms/step (x{:.2})",
+                measured_step_s * 1e3,
+                stats.modeled_step_s * 1e3,
+                measured_step_s / stats.modeled_step_s
+            );
+            let diff = diff_schedule(&stats.modeled_tasks, measured_step_s / 4.0);
+            println!(
+                "intermediate substep: modeled {:.3} ms, measured (step/4) {:.3} ms; \
+                 tightest kernels:",
+                diff.modeled_s * 1e3,
+                diff.measured_s * 1e3
+            );
+            for k in diff.kernels.iter().take(5) {
+                println!(
+                    "  {:<4} start {:.3} ms  finish {:.3} ms  slack {:.3} ms",
+                    k.name,
+                    k.start_s * 1e3,
+                    k.finish_s * 1e3,
+                    k.slack_s * 1e3
+                );
+            }
+        } else if args.ranks < 2 {
+            println!("(blame table needs rank-tagged traces: rerun with --ranks N >= 2)");
+        }
+    }
+    if let Some(path) = &args.report_json {
+        let json = report_json(&trace, &cp, measured_step_s, stats.modeled_step_s);
+        std::fs::write(path, &json).expect("write report json");
+        println!("wrote blame report to {}", path.display());
+    }
+
+    // -- artifacts --------------------------------------------------------
     if let Some(path) = &args.bench_json {
         // Machine-readable timing record (the BENCH_pr4.json shape): one
         // object per run so CI and `figures fig_layout` can diff configs.
         let json = format!(
             "{{\n  \"case\": \"{}\",\n  \"level\": {},\n  \"executor\": \"{}\",\n  \
+             \"ranks\": {},\n  \
              \"reorder\": \"{}\",\n  \"fused\": {},\n  \"n_cells\": {},\n  \
              \"steps\": {},\n  \"run_seconds\": {:.6},\n  \"ms_per_step\": {:.4},\n  \
              \"mass_drift\": {:e},\n  \"h_err_l2\": {:e}\n}}\n",
             args.case,
             args.level,
             args.executor,
+            args.ranks,
             args.reorder.name(),
             args.fused,
-            sim.mesh.n_cells(),
-            total_steps,
-            run_secs,
-            run_secs * 1e3 / total_steps as f64,
-            sim.mass_drift(),
-            sim.h_error_norms().l2,
+            stats.n_cells,
+            stats.total_steps,
+            stats.run_secs,
+            stats.run_secs * 1e3 / stats.total_steps as f64,
+            stats.mass_drift,
+            stats.h_err_l2,
         );
         std::fs::write(path, &json).expect("write bench json");
         println!("wrote bench record to {}", path.display());
@@ -262,5 +666,50 @@ fn main() {
             snap.histograms.len(),
             path.display()
         );
+    }
+
+    // -- regression gate --------------------------------------------------
+    if let Some(path) = &args.gate_write {
+        let name = format!(
+            "case{}-level{}-{}",
+            args.case,
+            args.level,
+            if args.ranks >= 2 {
+                format!("ranks{}", args.ranks)
+            } else {
+                args.executor.clone()
+            }
+        );
+        let baseline = fit_baseline(name, &rec);
+        std::fs::write(path, baseline.to_json()).expect("write baseline");
+        println!(
+            "wrote baseline ({} entries) to {}",
+            baseline.entries.len(),
+            path.display()
+        );
+    }
+    let mut exit_code = 0;
+    if let Some(path) = &args.gate {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
+        let baseline = Baseline::parse(&text)
+            .unwrap_or_else(|e| panic!("parse baseline {}: {e}", path.display()));
+        let outcome = baseline.evaluate(&rec.snapshot());
+        print!("{}", outcome.render());
+        if outcome.failed() || (args.gate_strict && outcome.warned()) {
+            exit_code = 1;
+        }
+    }
+    for a in &alerts {
+        eprintln!(
+            "ALERT: {} = {:e} exceeds |{:e}| — {}",
+            a.metric, a.value, a.threshold, a.message
+        );
+    }
+    if !alerts.is_empty() {
+        exit_code = 3;
+    }
+    if exit_code != 0 {
+        std::process::exit(exit_code);
     }
 }

@@ -1,0 +1,106 @@
+//! End-to-end exit-code tests of the `swe-run` regression-gate and
+//! invariant-alert chain: `--gate-write` → `--gate` green, a tightened
+//! baseline exits 1, an injected mass drift trips the monitor with exit 3,
+//! and `--report` prints a blame table whose artifacts parse.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn swe_run() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_swe_run"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("swe_gate_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn gate_write_then_gate_passes_and_tightened_baseline_fails() {
+    let base = tmp("base.json");
+    let status = swe_run()
+        .args(["--level", "3", "--days", "0.05", "--ranks", "2"])
+        .args(["--gate-write", base.to_str().unwrap()])
+        .status()
+        .expect("run swe_run");
+    assert!(status.success(), "gate-write run failed: {status}");
+    let text = std::fs::read_to_string(&base).expect("baseline written");
+    mpas_telemetry::export::validate_json(&text).expect("baseline is valid JSON");
+    assert!(text.contains("core.sim.step_seconds"));
+    assert!(text.contains("core.sim.mass_drift"));
+
+    // The identical configuration gates green against its own baseline.
+    let out = swe_run()
+        .args(["--level", "3", "--days", "0.05", "--ranks", "2"])
+        .args(["--gate", base.to_str().unwrap()])
+        .output()
+        .expect("run swe_run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "gate run: {stdout}");
+    assert!(stdout.contains("verdict: ok"), "gate output: {stdout}");
+
+    // A tightened fail-severity baseline must exit 1.
+    let tight = tmp("tight.json");
+    std::fs::write(
+        &tight,
+        "{\"name\":\"tight\",\"entries\":[{\"metric\":\"core.sim.step_seconds\",\
+         \"median\":1e-9,\"mad\":0,\"floor\":1e-10,\"severity\":\"fail\"}]}",
+    )
+    .unwrap();
+    let out = swe_run()
+        .args(["--level", "3", "--days", "0.05", "--ranks", "2"])
+        .args(["--gate", tight.to_str().unwrap()])
+        .output()
+        .expect("run swe_run");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verdict: FAIL"));
+}
+
+#[test]
+fn injected_mass_drift_trips_the_invariant_monitor() {
+    let out = swe_run()
+        .args([
+            "--level",
+            "3",
+            "--days",
+            "0.02",
+            "--inject-mass-drift",
+            "1e-5",
+        ])
+        .output()
+        .expect("run swe_run");
+    assert_eq!(out.status.code(), Some(3), "alert must exit 3");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("ALERT"), "stderr: {stderr}");
+    assert!(stderr.contains("core.sim.mass_drift"));
+}
+
+#[test]
+fn report_prints_blame_table_and_json_artifact_parses() {
+    let report = tmp("report.json");
+    let out = swe_run()
+        .args(["--level", "3", "--days", "0.05", "--ranks", "2", "--report"])
+        .args(["--report-json", report.to_str().unwrap()])
+        .output()
+        .expect("run swe_run");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("== per-rank blame =="), "stdout: {stdout}");
+    assert!(stdout.contains("critical path"), "stdout: {stdout}");
+    assert!(stdout.contains("measured vs modeled"), "stdout: {stdout}");
+
+    let text = std::fs::read_to_string(&report).expect("report written");
+    let v = mpas_telemetry::export::parse_json(&text).expect("report is valid JSON");
+    let ranks = v
+        .get("ranks")
+        .and_then(|r| r.as_arr())
+        .expect("ranks array");
+    assert_eq!(ranks.len(), 2);
+    for r in ranks {
+        let f = |k: &str| r.get(k).and_then(|x| x.as_f64()).expect(k);
+        let sum = f("compute_frac") + f("wait_frac") + f("copy_frac") + f("barrier_frac");
+        assert!((sum - 1.0).abs() < 1e-9, "fractions sum {sum}");
+    }
+    assert!(v.get("critical_path").is_some());
+}

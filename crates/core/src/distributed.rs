@@ -19,6 +19,7 @@ use mpas_swe::reconstruct::ReconstructCoeffs;
 use mpas_swe::rk4::{RK_SUBSTEP, RK_WEIGHTS};
 use mpas_swe::state::{Diagnostics, Reconstruction, State, Tendencies};
 use mpas_swe::testcases::TestCase;
+use mpas_telemetry::analysis::STEP_SPAN;
 use mpas_telemetry::Recorder;
 
 /// Parameters of a distributed run.
@@ -122,7 +123,22 @@ fn rank_main(
 
     solve_diag(&state.h, &state.u, &mut diag);
 
-    for _step in 0..cfg.n_steps {
+    for step in 0..cfg.n_steps {
+        // Rank-tagged per-step window: the unit the trace analyzer
+        // decomposes into compute/copy/wait/barrier blame. The begin/end
+        // events give downstream tools the step index without parsing
+        // span order.
+        let _step_span = rec.span_timed(ctx.track(), STEP_SPAN, "core.rank.step_seconds");
+        if rec.is_enabled() {
+            rec.event(
+                "core.step",
+                &[
+                    ("rank", ctx.rank.to_string()),
+                    ("step", step.to_string()),
+                    ("phase", "begin".to_string()),
+                ],
+            );
+        }
         acc.copy_from(&state);
         provis.copy_from(&state);
         for stage in 0..4 {
@@ -169,6 +185,16 @@ fn rank_main(
                 solve_diag(&state.h, &state.u, &mut diag);
                 kernels::mpas_reconstruct(mesh, &coeffs, &state.u, &mut recon);
             }
+        }
+        if rec.is_enabled() {
+            rec.event(
+                "core.step",
+                &[
+                    ("rank", ctx.rank.to_string()),
+                    ("step", step.to_string()),
+                    ("phase", "end".to_string()),
+                ],
+            );
         }
     }
 
@@ -279,6 +305,56 @@ mod tests {
         let two = run_distributed(&mesh, base);
         let five = run_distributed(&mesh, DistributedConfig { n_ranks: 5, ..base });
         assert_eq!(two.max_abs_diff(&five), 0.0);
+    }
+
+    #[test]
+    fn recorded_run_yields_analyzable_trace() {
+        use mpas_telemetry::analysis::Trace;
+        use mpas_telemetry::Recorder;
+        let mesh = Arc::new(mpas_mesh::generate(3, 0));
+        let dt = ModelConfig::suggested_dt(&mesh);
+        let rec = Recorder::new();
+        let n_steps = 2;
+        run_distributed_recorded(
+            &mesh,
+            DistributedConfig {
+                n_ranks: 3,
+                halo_layers: 3,
+                model: ModelConfig::default(),
+                test_case: TestCase::Case5,
+                dt,
+                n_steps,
+            },
+            &rec,
+        );
+        let t = Trace::from_recorder(&rec);
+        assert_eq!(t.active_ranks(), 3);
+        assert_eq!(t.per_step_makespans().len(), n_steps);
+        for tl in &t.ranks {
+            assert_eq!(tl.steps.len(), n_steps, "rank {} step spans", tl.rank);
+            assert!(!tl.waits.is_empty(), "rank {} recorded no waits", tl.rank);
+            assert!(!tl.copies.is_empty(), "rank {} recorded no copies", tl.rank);
+        }
+        let blame = t.blame();
+        for r in &blame.ranks {
+            let s = r.compute_frac() + r.wait_frac() + r.copy_frac() + r.barrier_frac();
+            assert!((s - 1.0).abs() < 1e-9, "rank {} fractions sum {s}", r.rank);
+        }
+        // 4 substeps/step, each with one packed exchange per rank; the
+        // analyzer must match every recv back to a send.
+        assert_eq!(t.sends.len(), t.recvs.len());
+        let cp = t.critical_path();
+        assert!(cp.path_s() > 0.0);
+        assert!(cp.path_s() <= cp.makespan_s + 1e-12);
+        // The begin/end step events carry rank/step indices.
+        let evs = rec.events();
+        assert_eq!(
+            evs.iter()
+                .filter(|e| e.name == "core.step"
+                    && e.args.iter().any(|(k, v)| k == "phase" && v == "begin"))
+                .count(),
+            3 * n_steps
+        );
     }
 
     #[test]

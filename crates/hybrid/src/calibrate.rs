@@ -24,8 +24,8 @@
 //! three Cartesian outputs come from one [`ops::reconstruct_xyz`] call.
 
 use crate::parallel::ParallelModel;
-use mpas_patterns::dataflow::{table_i, MeshCounts};
-use mpas_sched::{CalibratedCost, DeviceSpec};
+use mpas_patterns::dataflow::{table_i, DataflowGraph, MeshCounts, RkPhase};
+use mpas_sched::{CalibratedCost, DagOptions, DeviceSpec, Platform, SchedulerPolicy, TaskDag};
 use mpas_swe::config::ModelConfig;
 use mpas_swe::kernels::ops;
 use mpas_swe::rk4::{RK_SUBSTEP, RK_WEIGHTS};
@@ -91,6 +91,27 @@ impl CalibrationReport {
             .map(|e| (e.name.clone(), e.coeff()))
             .collect();
         CalibratedCost::new(coeffs)
+    }
+
+    /// Modeled wall-clock seconds for one full RK4 step of a mesh with
+    /// `mc` counts on `platform` under `policy`, priced with this report's
+    /// calibrated costs: three intermediate-substep schedules plus one
+    /// final-substep schedule, makespans summed. This is what the trace
+    /// analyzer's measured critical path is compared against.
+    pub fn modeled_time_per_step(
+        &self,
+        mc: &MeshCounts,
+        platform: &Platform,
+        policy: &dyn SchedulerPolicy,
+    ) -> f64 {
+        let cost = self.cost_model();
+        let substep = |phase: RkPhase| {
+            let graph = DataflowGraph::for_substep(phase);
+            let dag =
+                TaskDag::from_dataflow_with(&graph, mc, platform, &cost, DagOptions::default());
+            policy.schedule(&dag, platform).makespan
+        };
+        3.0 * substep(RkPhase::Intermediate) + substep(RkPhase::Final)
     }
 }
 
@@ -485,6 +506,22 @@ mod tests {
         // And the report drives the scheduler cost model like any other.
         let cost = report.cost_model();
         assert!(cost.coeffs["B1"] > 0.0);
+    }
+
+    #[test]
+    fn modeled_time_per_step_sums_four_substeps() {
+        let report = calibrate_host(3, 1);
+        let mc = MeshCounts::icosahedral(40_962);
+        let platform = Platform::paper_node();
+        let policy = mpas_sched::resolve("heft").unwrap();
+        let step = report.modeled_time_per_step(&mc, &platform, policy.as_ref());
+        assert!(step > 0.0 && step.is_finite());
+        // One intermediate substep alone must be cheaper than the step.
+        let cost = report.cost_model();
+        let graph = DataflowGraph::for_substep(RkPhase::Intermediate);
+        let dag = TaskDag::from_dataflow_with(&graph, &mc, &platform, &cost, DagOptions::default());
+        let one = policy.schedule(&dag, &platform).makespan;
+        assert!(step > 3.0 * one - 1e-12, "three intermediates plus a final");
     }
 
     #[test]

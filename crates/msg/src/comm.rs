@@ -7,6 +7,7 @@
 //! without global locks.
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
+use mpas_telemetry::analysis::{rank_track, BARRIER_SPAN, RECV_EVENT, SEND_EVENT, WAIT_SPAN};
 use mpas_telemetry::Recorder;
 use std::collections::HashMap;
 use std::sync::{Arc, Barrier};
@@ -32,11 +33,15 @@ pub struct RankCtx {
     barrier: Arc<Barrier>,
     /// Telemetry sink (`msg.comm.*` counters); no-op unless set.
     recorder: Recorder,
+    /// Trace track this rank's spans land on (`"rank{r}"`), cached so the
+    /// hot path never formats.
+    track: String,
 }
 
 impl RankCtx {
     /// Route this context's `msg.comm.*` telemetry (message/byte counters,
-    /// receive-wait timings) into `rec`. Defaults to the no-op recorder.
+    /// receive-wait timings, rank-tagged wait spans and send/recv edge
+    /// events) into `rec`. Defaults to the no-op recorder.
     pub fn set_recorder(&mut self, rec: Recorder) {
         self.recorder = rec;
     }
@@ -46,12 +51,30 @@ impl RankCtx {
         &self.recorder
     }
 
+    /// The trace track this rank records on (`"rank{r}"`).
+    pub fn track(&self) -> &str {
+        &self.track
+    }
+
     /// Send `payload` to `to` with a tag. Never blocks (unbounded buffering,
-    /// like an eager-protocol MPI send).
+    /// like an eager-protocol MPI send). Emits the causal
+    /// `msg.comm.send` edge event the trace analyzer matches recvs
+    /// against.
     pub fn send(&self, to: usize, tag: u64, payload: Vec<f64>) {
-        self.recorder.add("msg.comm.messages_sent", 1);
-        self.recorder
-            .add("msg.comm.bytes_sent", (payload.len() * 8) as u64);
+        let bytes = (payload.len() * 8) as u64;
+        if self.recorder.is_enabled() {
+            self.recorder.add("msg.comm.messages_sent", 1);
+            self.recorder.add("msg.comm.bytes_sent", bytes);
+            self.recorder.event(
+                SEND_EVENT,
+                &[
+                    ("from", self.rank.to_string()),
+                    ("to", to.to_string()),
+                    ("tag", tag.to_string()),
+                    ("bytes", bytes.to_string()),
+                ],
+            );
+        }
         self.senders[to]
             .send(Message {
                 from: self.rank,
@@ -63,12 +86,35 @@ impl RankCtx {
 
     /// Receive the next message from `from` with `tag`, blocking until it
     /// arrives. Messages with other (from, tag) keys are stashed.
+    ///
+    /// Only the *blocked* portion is timed (`msg.comm.recv_wait_seconds`,
+    /// plus a rank-tagged `wait` span); payload copies are the callers'
+    /// business and carry their own `copy` spans, so blame analysis never
+    /// double-counts. The matching `msg.comm.recv` edge event fires after
+    /// the wait completes.
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
-        let _wait = self.recorder.time("msg.comm.recv_wait_seconds");
-        let payload = self.recv_inner(from, tag);
-        self.recorder.add("msg.comm.messages_recv", 1);
-        self.recorder
-            .add("msg.comm.bytes_recv", (payload.len() * 8) as u64);
+        let payload = if self.recorder.is_enabled() {
+            let _wait =
+                self.recorder
+                    .span_timed(&self.track, WAIT_SPAN, "msg.comm.recv_wait_seconds");
+            self.recv_inner(from, tag)
+        } else {
+            self.recv_inner(from, tag)
+        };
+        let bytes = (payload.len() * 8) as u64;
+        if self.recorder.is_enabled() {
+            self.recorder.add("msg.comm.messages_recv", 1);
+            self.recorder.add("msg.comm.bytes_recv", bytes);
+            self.recorder.event(
+                RECV_EVENT,
+                &[
+                    ("from", from.to_string()),
+                    ("to", self.rank.to_string()),
+                    ("tag", tag.to_string()),
+                    ("bytes", bytes.to_string()),
+                ],
+            );
+        }
         payload
     }
 
@@ -90,8 +136,12 @@ impl RankCtx {
         }
     }
 
-    /// Block until every rank reaches the barrier.
+    /// Block until every rank reaches the barrier. Timed as a rank-tagged
+    /// `barrier` span (`msg.comm.barrier_seconds`).
     pub fn barrier(&self) {
+        let _span = self
+            .recorder
+            .span_timed(&self.track, BARRIER_SPAN, "msg.comm.barrier_seconds");
         self.barrier.wait();
     }
 
@@ -151,6 +201,7 @@ where
             stash: HashMap::new(),
             barrier: barrier.clone(),
             recorder: Recorder::noop(),
+            track: rank_track(rank),
         })
         .collect();
     drop(senders);
@@ -246,5 +297,49 @@ mod tests {
     fn single_rank_runs() {
         let r = run_ranks(1, |mut ctx| ctx.allreduce_sum(42.0));
         assert_eq!(r, vec![42.0]);
+    }
+
+    #[test]
+    fn recorded_ranks_emit_rank_tagged_spans_and_edge_events() {
+        use mpas_telemetry::analysis;
+        let rec = Recorder::new();
+        run_ranks(2, |mut ctx| {
+            ctx.set_recorder(rec.clone());
+            assert_eq!(ctx.track(), analysis::rank_track(ctx.rank));
+            if ctx.rank == 0 {
+                ctx.send(1, 5, vec![1.0, 2.0]);
+            } else {
+                assert_eq!(ctx.recv(0, 5), vec![1.0, 2.0]);
+            }
+            ctx.barrier();
+        });
+        let spans = rec.spans();
+        // The receive produced a wait span on rank1's track; each rank
+        // produced a barrier span on its own track.
+        assert!(spans
+            .iter()
+            .any(|s| s.name == WAIT_SPAN && s.track == "rank1"));
+        assert_eq!(
+            spans.iter().filter(|s| s.name == BARRIER_SPAN).count(),
+            2,
+            "one barrier span per rank"
+        );
+        // Edge events carry from/to/tag/bytes and reconstruct into a
+        // matched trace.
+        let t = analysis::Trace::from_records(&spans, &rec.events());
+        assert_eq!(t.sends.len(), 1);
+        assert_eq!(t.recvs.len(), 1);
+        assert_eq!(t.sends[0].from, 0);
+        assert_eq!(t.sends[0].to, 1);
+        assert_eq!(t.sends[0].tag, 5);
+        assert_eq!(t.sends[0].bytes, 16);
+        assert!(t.sends[0].ts_s <= t.recvs[0].ts_s);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("msg.comm.bytes_sent"), Some(16));
+        assert_eq!(
+            snap.histogram("msg.comm.recv_wait_seconds").unwrap().count,
+            1
+        );
+        assert_eq!(snap.histogram("msg.comm.barrier_seconds").unwrap().count, 2);
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::comm::RankCtx;
 use mpas_mesh::RankLocal;
+use mpas_telemetry::analysis::COPY_SPAN;
 use mpas_telemetry::Recorder;
 
 /// Which index space a field lives on.
@@ -67,15 +68,27 @@ impl HaloExchanger {
             FieldKind::Cell => (&self.local.send_cells, &self.local.recv_cells),
             FieldKind::Edge => (&self.local.send_edges, &self.local.recv_edges),
         };
-        for (to, list) in sends {
-            let buf: Vec<f64> = list.iter().map(|&l| field[l as usize]).collect();
-            self.recorder
-                .add("msg.halo.bytes_sent", (buf.len() * 8) as u64);
-            ctx.send(*to, tag_base, buf);
+        {
+            // Pack + eager sends: a payload-copy span on the rank track,
+            // disjoint from any wait (sends never block).
+            let _pack = self
+                .recorder
+                .span_timed(ctx.track(), COPY_SPAN, "msg.halo.pack_seconds");
+            for (to, list) in sends {
+                let buf: Vec<f64> = list.iter().map(|&l| field[l as usize]).collect();
+                self.recorder
+                    .add("msg.halo.bytes_sent", (buf.len() * 8) as u64);
+                ctx.send(*to, tag_base, buf);
+            }
         }
         for (from, list) in recvs {
+            // The blocked wait lives inside `recv`; the unpack below gets
+            // its own copy span so the two never overlap.
             let buf = ctx.recv(*from, tag_base);
             assert_eq!(buf.len(), list.len(), "halo length mismatch");
+            let _unpack =
+                self.recorder
+                    .span_timed(ctx.track(), COPY_SPAN, "msg.halo.unpack_seconds");
             self.recorder
                 .add("msg.halo.bytes_recv", (buf.len() * 8) as u64);
             for (&l, &v) in list.iter().zip(&buf) {
@@ -110,17 +123,22 @@ impl HaloExchanger {
             .collect();
         neighbors.sort_unstable();
         neighbors.dedup();
-        for &to in &neighbors {
-            let mut buf = Vec::new();
-            if let Some((_, list)) = self.local.send_cells.iter().find(|&&(r, _)| r == to) {
-                buf.extend(list.iter().map(|&l| cell_field[l as usize]));
+        {
+            let _pack = self
+                .recorder
+                .span_timed(ctx.track(), COPY_SPAN, "msg.halo.pack_seconds");
+            for &to in &neighbors {
+                let mut buf = Vec::new();
+                if let Some((_, list)) = self.local.send_cells.iter().find(|&&(r, _)| r == to) {
+                    buf.extend(list.iter().map(|&l| cell_field[l as usize]));
+                }
+                if let Some((_, list)) = self.local.send_edges.iter().find(|&&(r, _)| r == to) {
+                    buf.extend(list.iter().map(|&l| edge_field[l as usize]));
+                }
+                self.recorder
+                    .add("msg.halo.bytes_sent", (buf.len() * 8) as u64);
+                ctx.send(to, tag, buf);
             }
-            if let Some((_, list)) = self.local.send_edges.iter().find(|&&(r, _)| r == to) {
-                buf.extend(list.iter().map(|&l| edge_field[l as usize]));
-            }
-            self.recorder
-                .add("msg.halo.bytes_sent", (buf.len() * 8) as u64);
-            ctx.send(to, tag, buf);
         }
         let mut senders: Vec<usize> = self
             .local
@@ -133,6 +151,9 @@ impl HaloExchanger {
         senders.dedup();
         for &from in &senders {
             let buf = ctx.recv(from, tag);
+            let _unpack =
+                self.recorder
+                    .span_timed(ctx.track(), COPY_SPAN, "msg.halo.unpack_seconds");
             self.recorder
                 .add("msg.halo.bytes_recv", (buf.len() * 8) as u64);
             let mut cursor = 0usize;
@@ -267,6 +288,44 @@ mod tests {
         assert_eq!(snap.counter("msg.halo.bytes_sent"), Some(expected));
         assert_eq!(snap.counter("msg.halo.bytes_recv"), Some(expected));
         assert_eq!(snap.counter("msg.halo.exchanges"), Some(n_ranks as u64));
+    }
+
+    /// Wait spans (blocked receive) and copy spans (pack/unpack) recorded
+    /// during an exchange never overlap on a rank's track, so blame
+    /// analysis can sum them without double counting.
+    #[test]
+    fn wait_and_copy_spans_are_disjoint_per_rank() {
+        use mpas_telemetry::analysis::{COPY_SPAN, WAIT_SPAN};
+        let mesh = mpas_mesh::generate(3, 0);
+        let n_ranks = 3;
+        let part = MeshPartition::build(&mesh, n_ranks, 2);
+        let parts: Vec<RankLocal> = part.ranks.clone();
+        let rec = Recorder::new();
+        run_ranks(n_ranks, |mut ctx| {
+            ctx.set_recorder(rec.clone());
+            let mut hx = HaloExchanger::new(parts[ctx.rank].clone()).with_recorder(rec.clone());
+            let mut cells = vec![1.0; hx.local().n_cells()];
+            let mut edges = vec![2.0; hx.local().edges.len()];
+            hx.exchange_state(&mut ctx, &mut cells, &mut edges);
+            hx.exchange(&mut ctx, FieldKind::Cell, &mut cells);
+        });
+        let spans = rec.spans();
+        for rank in 0..n_ranks {
+            let track = mpas_telemetry::analysis::rank_track(rank);
+            let mut intervals: Vec<(f64, f64)> = spans
+                .iter()
+                .filter(|s| s.track == track && (s.name == WAIT_SPAN || s.name == COPY_SPAN))
+                .map(|s| (s.start_s, s.start_s + s.dur_s))
+                .collect();
+            assert!(!intervals.is_empty(), "rank {rank} recorded no spans");
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in intervals.windows(2) {
+                assert!(
+                    w[0].1 <= w[1].0 + 1e-9,
+                    "rank {rank}: overlapping wait/copy spans {w:?}"
+                );
+            }
+        }
     }
 
     /// Repeated exchanges with changing data keep halos current

@@ -172,10 +172,10 @@ impl MetricsSnapshot {
             }
             let _ = write!(
                 out,
-                "\"{}\":{{\"count\":{},\"total\":{},\"mean\":{},\"min\":{},\"p50\":{},\"p95\":{},\"max\":{}}}",
+                "\"{}\":{{\"count\":{},\"sum\":{},\"mean\":{},\"min\":{},\"p50\":{},\"p95\":{},\"max\":{}}}",
                 json_escape(k),
                 h.count,
-                json_num(h.total),
+                json_num(h.sum),
                 json_num(h.mean),
                 json_num(h.min),
                 json_num(h.p50),
@@ -188,9 +188,9 @@ impl MetricsSnapshot {
     }
 
     /// Serialize as CSV with one row per metric:
-    /// `kind,name,value,count,total,mean,min,p50,p95,max`.
+    /// `kind,name,value,count,sum,mean,min,p50,p95,max`.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("kind,name,value,count,total,mean,min,p50,p95,max\n");
+        let mut out = String::from("kind,name,value,count,sum,mean,min,p50,p95,max\n");
         for (k, v) in &self.counters {
             let _ = writeln!(out, "counter,{},{v},,,,,,,", csv_field(k));
         }
@@ -203,7 +203,7 @@ impl MetricsSnapshot {
                 "histogram,{},,{},{},{},{},{},{},{}",
                 csv_field(k),
                 h.count,
-                h.total,
+                h.sum,
                 h.mean,
                 h.min,
                 h.p50,
@@ -232,22 +232,93 @@ fn csv_field(s: &str) -> String {
     }
 }
 
+/// A parsed JSON value (the dependency-free reader half of this module).
+///
+/// Objects keep their key order as a `Vec` of pairs — the workspace's
+/// documents are small enough that linear [`get`](JsonValue::get) beats a
+/// map, and order-preservation makes round-trip tests deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string, with escapes resolved.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member of an object by key (first match), if this is an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document into a [`JsonValue`].
+///
+/// Strict syntax (same grammar [`validate_json`] enforces); the error is
+/// the byte offset of the first syntax error.
+pub fn parse_json(s: &str) -> Result<JsonValue, usize> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.i == b.len() {
+        Ok(v)
+    } else {
+        Err(p.i)
+    }
+}
+
 /// Strict JSON syntax check (objects, arrays, strings, numbers, literals).
 ///
 /// Returns the byte offset of the first syntax error, if any. This exists
 /// so the workspace can assert its emitted artifacts parse without pulling
 /// a JSON dependency into test builds.
 pub fn validate_json(s: &str) -> Result<(), usize> {
-    let b = s.as_bytes();
-    let mut p = Parser { b, i: 0 };
-    p.ws();
-    p.value()?;
-    p.ws();
-    if p.i == b.len() {
-        Ok(())
-    } else {
-        Err(p.i)
-    }
+    parse_json(s).map(|_| ())
 }
 
 struct Parser<'a> {
@@ -275,15 +346,15 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<(), usize> {
+    fn value(&mut self) -> Result<JsonValue, usize> {
         match self.peek().ok_or(self.i)? {
             b'{' => self.object(),
             b'[' => self.array(),
-            b'"' => self.string(),
-            b't' => self.literal(b"true"),
-            b'f' => self.literal(b"false"),
-            b'n' => self.literal(b"null"),
-            b'-' | b'0'..=b'9' => self.number(),
+            b'"' => self.string().map(JsonValue::Str),
+            b't' => self.literal(b"true").map(|_| JsonValue::Bool(true)),
+            b'f' => self.literal(b"false").map(|_| JsonValue::Bool(false)),
+            b'n' => self.literal(b"null").map(|_| JsonValue::Null),
+            b'-' | b'0'..=b'9' => self.number().map(JsonValue::Num),
             _ => Err(self.i),
         }
     }
@@ -297,86 +368,145 @@ impl Parser<'_> {
         }
     }
 
-    fn object(&mut self) -> Result<(), usize> {
+    fn object(&mut self) -> Result<JsonValue, usize> {
         self.eat(b'{')?;
         self.ws();
+        let mut pairs = Vec::new();
         if self.peek() == Some(b'}') {
             self.i += 1;
-            return Ok(());
+            return Ok(JsonValue::Obj(pairs));
         }
         loop {
             self.ws();
-            self.string()?;
+            let key = self.string()?;
             self.ws();
             self.eat(b':')?;
             self.ws();
-            self.value()?;
+            let val = self.value()?;
+            pairs.push((key, val));
             self.ws();
             match self.peek().ok_or(self.i)? {
                 b',' => self.i += 1,
                 b'}' => {
                     self.i += 1;
-                    return Ok(());
+                    return Ok(JsonValue::Obj(pairs));
                 }
                 _ => return Err(self.i),
             }
         }
     }
 
-    fn array(&mut self) -> Result<(), usize> {
+    fn array(&mut self) -> Result<JsonValue, usize> {
         self.eat(b'[')?;
         self.ws();
+        let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.i += 1;
-            return Ok(());
+            return Ok(JsonValue::Arr(items));
         }
         loop {
             self.ws();
-            self.value()?;
+            items.push(self.value()?);
             self.ws();
             match self.peek().ok_or(self.i)? {
                 b',' => self.i += 1,
                 b']' => {
                     self.i += 1;
-                    return Ok(());
+                    return Ok(JsonValue::Arr(items));
                 }
                 _ => return Err(self.i),
             }
         }
     }
 
-    fn string(&mut self) -> Result<(), usize> {
+    fn string(&mut self) -> Result<String, usize> {
         self.eat(b'"')?;
+        let mut out = String::new();
         while let Some(c) = self.peek() {
             match c {
                 b'"' => {
                     self.i += 1;
-                    return Ok(());
+                    return Ok(out);
                 }
                 b'\\' => {
                     self.i += 1;
                     match self.peek().ok_or(self.i)? {
-                        b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => self.i += 1,
+                        c @ (b'"' | b'\\' | b'/') => {
+                            out.push(c as char);
+                            self.i += 1;
+                        }
+                        b'b' => {
+                            out.push('\u{8}');
+                            self.i += 1;
+                        }
+                        b'f' => {
+                            out.push('\u{c}');
+                            self.i += 1;
+                        }
+                        b'n' => {
+                            out.push('\n');
+                            self.i += 1;
+                        }
+                        b'r' => {
+                            out.push('\r');
+                            self.i += 1;
+                        }
+                        b't' => {
+                            out.push('\t');
+                            self.i += 1;
+                        }
                         b'u' => {
                             self.i += 1;
-                            for _ in 0..4 {
-                                if !self.peek().is_some_and(|h| h.is_ascii_hexdigit()) {
+                            let cp = self.hex4()?;
+                            // Surrogate pair: a high surrogate must be
+                            // followed by \u-escaped low surrogate.
+                            let ch = if (0xd800..0xdc00).contains(&cp) {
+                                if self.peek() == Some(b'\\') {
+                                    self.i += 1;
+                                    self.eat(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xdc00..0xe000).contains(&lo) {
+                                        return Err(self.i);
+                                    }
+                                    let c = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                                    char::from_u32(c).ok_or(self.i)?
+                                } else {
                                     return Err(self.i);
                                 }
-                                self.i += 1;
-                            }
+                            } else {
+                                char::from_u32(cp).ok_or(self.i)?
+                            };
+                            out.push(ch);
                         }
                         _ => return Err(self.i),
                     }
                 }
                 0x00..=0x1f => return Err(self.i),
-                _ => self.i += 1,
+                _ => {
+                    // Copy one UTF-8 scalar (the input is a &str, so byte
+                    // boundaries are already valid).
+                    let rest = &self.b[self.i..];
+                    let len = utf8_len(rest[0]);
+                    out.push_str(std::str::from_utf8(&rest[..len]).map_err(|_| self.i)?);
+                    self.i += len;
+                }
             }
         }
         Err(self.i)
     }
 
-    fn number(&mut self) -> Result<(), usize> {
+    fn hex4(&mut self) -> Result<u32, usize> {
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            let h = self.peek().ok_or(self.i)?;
+            let d = (h as char).to_digit(16).ok_or(self.i)?;
+            cp = cp * 16 + d;
+            self.i += 1;
+        }
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<f64, usize> {
         let start = self.i;
         if self.peek() == Some(b'-') {
             self.i += 1;
@@ -421,7 +551,20 @@ impl Parser<'_> {
                 return Err(self.i);
             }
         }
-        Ok(())
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or(start)
+    }
+}
+
+/// Length in bytes of the UTF-8 sequence starting with `first`.
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
     }
 }
 
@@ -514,6 +657,40 @@ mod tests {
         let snap = Recorder::noop().snapshot();
         assert!(validate_json(&snap.to_json()).is_ok());
         assert_eq!(snap.to_csv().lines().count(), 1);
+    }
+
+    #[test]
+    fn parse_json_builds_values() {
+        let v = parse_json("{\"a\":[1,2.5,-3e4],\"b\":\"x\\\"y\\u0041\",\"c\":null,\"d\":true}")
+            .unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_f64(), Some(2.5));
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_f64(),
+            Some(-3e4)
+        );
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\"yA"));
+        assert_eq!(v.get("c"), Some(&JsonValue::Null));
+        assert_eq!(v.get("d"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_json_handles_surrogate_pairs_and_unicode() {
+        let v = parse_json("\"\\ud83d\\ude00 caf\u{e9}\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{1f600} caf\u{e9}"));
+        // Lone high surrogate is rejected.
+        assert!(parse_json("\"\\ud83d\"").is_err());
+    }
+
+    #[test]
+    fn snapshot_json_parses_back_with_sum() {
+        let rec = Recorder::new();
+        rec.record("m", 1.0);
+        rec.record("m", 3.0);
+        let v = parse_json(&rec.snapshot().to_json()).unwrap();
+        let h = v.get("histograms").unwrap().get("m").unwrap();
+        assert_eq!(h.get("count").unwrap().as_f64(), Some(2.0));
+        assert_eq!(h.get("sum").unwrap().as_f64(), Some(4.0));
     }
 
     #[test]

@@ -30,7 +30,9 @@
 //! cloned into rayon pools and rank threads; all clones append to the same
 //! buffers.
 
+pub mod analysis;
 pub mod export;
+pub mod gate;
 
 pub use export::{json_escape, ChromeTrace};
 
@@ -70,10 +72,10 @@ pub struct EventRecord {
 /// Summary statistics of one histogram metric.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistogramSummary {
-    /// Number of recorded samples.
+    /// Number of recorded samples (the gate sizes its noise bands by this).
     pub count: usize,
     /// Sum of all samples.
-    pub total: f64,
+    pub sum: f64,
     /// Arithmetic mean.
     pub mean: f64,
     /// Median (nearest-rank).
@@ -299,6 +301,23 @@ impl Recorder {
         }
     }
 
+    /// Raw samples of the histogram `name`, in recording order (empty if
+    /// the histogram was never written). The regression gate uses this to
+    /// fit median + MAD noise bands, which a summary cannot provide.
+    pub fn histogram_samples(&self, name: &str) -> Vec<f64> {
+        match &self.inner {
+            Some(inner) => inner
+                .buf
+                .lock()
+                .unwrap()
+                .histograms
+                .get(name)
+                .cloned()
+                .unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+
     /// Snapshot every metric (name-ordered; histograms summarized).
     pub fn snapshot(&self) -> MetricsSnapshot {
         let Some(inner) = &self.inner else {
@@ -330,11 +349,11 @@ impl HistogramSummary {
             let idx = ((n as f64 - 1.0) * q).round() as usize;
             sorted[idx.min(n - 1)]
         };
-        let total: f64 = sorted.iter().sum();
+        let sum: f64 = sorted.iter().sum();
         HistogramSummary {
             count: n,
-            total,
-            mean: if n == 0 { 0.0 } else { total / n as f64 },
+            sum,
+            mean: if n == 0 { 0.0 } else { sum / n as f64 },
             p50: pick(0.50),
             p95: pick(0.95),
             max: sorted.last().copied().unwrap_or(0.0),
@@ -462,7 +481,7 @@ mod tests {
         assert_eq!(snap.gauges["core.sim.mass_drift"], 2e-14);
         let h = snap.histograms["hybrid.kernel.B1.seconds"];
         assert_eq!(h.count, 5);
-        assert_eq!(h.total, 110.0);
+        assert_eq!(h.sum, 110.0);
         assert_eq!(h.p50, 3.0);
         assert_eq!(h.max, 100.0);
         assert_eq!(h.min, 1.0);

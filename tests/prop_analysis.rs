@@ -1,0 +1,132 @@
+//! Property tests for the trace analyzer (PR 5): on randomized
+//! synthetic traces the blame decomposition must always partition each
+//! rank's step time, and the critical-path walk must be total, tile the
+//! step window, and never exceed the makespan.
+
+use mpas_repro::telemetry::analysis::{
+    rank_track, Trace, BARRIER_SPAN, COPY_SPAN, RECV_EVENT, SEND_EVENT, STEP_SPAN, WAIT_SPAN,
+};
+use mpas_repro::telemetry::{EventRecord, SpanRecord};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn span(track: String, name: &str, start: f64, dur: f64) -> SpanRecord {
+    SpanRecord {
+        name: name.to_string(),
+        track,
+        start_s: start,
+        dur_s: dur,
+        depth: 0,
+    }
+}
+
+fn edge(name: &str, ts: f64, from: usize, to: usize, tag: u64) -> EventRecord {
+    EventRecord {
+        name: name.to_string(),
+        ts_s: ts,
+        args: vec![
+            ("from".to_string(), from.to_string()),
+            ("to".to_string(), to.to_string()),
+            ("tag".to_string(), tag.to_string()),
+            ("bytes".to_string(), "8".to_string()),
+        ],
+    }
+}
+
+/// One step window per rank starting at t=0, plus categorized spans whose
+/// position/length are fractions of the owning rank's window.
+fn build_spans(
+    lens: &[f64],
+    waits: &[(usize, f64, f64)],
+    copies: &[(usize, f64, f64)],
+    barriers: &[(usize, f64, f64)],
+) -> Vec<SpanRecord> {
+    let n = lens.len();
+    let mut spans: Vec<SpanRecord> = lens
+        .iter()
+        .enumerate()
+        .map(|(r, &len)| span(rank_track(r), STEP_SPAN, 0.0, len))
+        .collect();
+    for (name, items) in [
+        (WAIT_SPAN, waits),
+        (COPY_SPAN, copies),
+        (BARRIER_SPAN, barriers),
+    ] {
+        for &(r, s, d) in items {
+            let r = r % n;
+            let t = lens[r];
+            spans.push(span(rank_track(r), name, s * t, d * t));
+        }
+    }
+    spans
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blame fractions partition every rank's step time (sum to 1 within
+    /// 1e-9), for arbitrary — even overlapping or out-of-window —
+    /// wait/copy/barrier spans. And the window obeys
+    /// `critical path ≤ makespan ≤ Σ per-rank busy time`.
+    #[test]
+    fn blame_partitions_and_resource_bounds_hold(
+        lens in vec(1.0f64..100.0, 1..5),
+        waits in vec((0usize..4, 0.0f64..1.0, 0.0f64..0.6), 0..12),
+        copies in vec((0usize..4, 0.0f64..1.0, 0.0f64..0.6), 0..12),
+        barriers in vec((0usize..4, 0.0f64..1.3, 0.0f64..0.6), 0..8),
+    ) {
+        let spans = build_spans(&lens, &waits, &copies, &barriers);
+        let t = Trace::from_records(&spans, &[]);
+        let blame = t.blame();
+        prop_assert_eq!(blame.ranks.len(), lens.len());
+        for r in &blame.ranks {
+            let sum = r.compute_frac() + r.wait_frac() + r.copy_frac() + r.barrier_frac();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "rank {} fractions sum {}", r.rank, sum);
+            prop_assert!(r.compute_frac() >= 0.0 && r.wait_frac() >= 0.0);
+        }
+        // All steps start at 0, so the makespan is the longest rank's busy
+        // time — bounded above by the total busy time across ranks.
+        let busy: f64 = blame.ranks.iter().map(|r| r.total_s).sum();
+        let cp = t.critical_path();
+        prop_assert!(cp.path_s() <= cp.makespan_s + 1e-9);
+        prop_assert!(cp.makespan_s <= busy + 1e-9);
+    }
+
+    /// With arbitrary (even causally nonsensical) message events in the
+    /// mix, the critical-path walk stays total: it terminates, its
+    /// segments have positive length, tile a suffix of the window
+    /// contiguously, stay inside the window, and the per-kind seconds sum
+    /// to the path length.
+    #[test]
+    fn critical_path_is_total_and_tiles_the_window(
+        lens in vec(2.0f64..50.0, 2..5),
+        waits in vec((0usize..4, 0.0f64..1.0, 0.0f64..0.5), 1..10),
+        msgs in vec((0usize..4, 0usize..4, 0.0f64..1.0, 0.0f64..1.0, 0u64..3), 0..12),
+    ) {
+        let spans = build_spans(&lens, &waits, &[], &[]);
+        let n = lens.len();
+        let mut events = Vec::new();
+        for &(f, to, sf, rf, tag) in &msgs {
+            let (f, to) = (f % n, to % n);
+            events.push(edge(SEND_EVENT, sf * lens[f], f, to, tag));
+            events.push(edge(RECV_EVENT, rf * lens[to], f, to, tag));
+        }
+        let t = Trace::from_records(&spans, &events);
+        let cp = t.critical_path();
+        let t1 = lens.iter().cloned().fold(0.0, f64::max);
+        prop_assert!((cp.makespan_s - t1).abs() < 1e-9);
+        prop_assert!(cp.path_s() <= cp.makespan_s + 1e-9);
+        prop_assert!(!cp.segments.is_empty());
+        for s in &cp.segments {
+            prop_assert!(s.end_s > s.start_s, "empty segment survived");
+            prop_assert!(s.start_s >= -1e-9 && s.end_s <= t1 + 1e-9);
+        }
+        // Contiguous tiling ending at the window end.
+        for w in cp.segments.windows(2) {
+            prop_assert!((w[0].end_s - w[1].start_s).abs() < 1e-9);
+        }
+        prop_assert!((cp.segments.last().unwrap().end_s - t1).abs() < 1e-9);
+        let bucket_sum = cp.compute_s + cp.wait_s + cp.copy_s + cp.barrier_s;
+        prop_assert!((bucket_sum - cp.path_s()).abs() < 1e-9);
+    }
+}

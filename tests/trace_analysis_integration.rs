@@ -1,0 +1,106 @@
+//! PR-5 acceptance test: a level-6 (paper-scale, 40 962-cell) 4-rank
+//! distributed run under the trace analyzer. The blame fractions must
+//! partition each rank's step time, every recv must match a send, and the
+//! measured critical path must agree with the calibrated per-rank serial
+//! model within the band documented in DESIGN.md §10 (×12 — the model has
+//! no channel/copy overhead and CI hosts share cores across the 4 rank
+//! threads, so parity is not expected, only the order of magnitude).
+
+use mpas_repro::core::{run_distributed_recorded, DistributedConfig};
+use mpas_repro::patterns::dataflow::MeshCounts;
+use mpas_repro::swe::{ModelConfig, TestCase};
+use mpas_repro::telemetry::analysis::Trace;
+use mpas_repro::telemetry::Recorder;
+
+#[test]
+fn level6_four_rank_blame_and_critical_path_agree_with_model() {
+    let mesh = mpas_repro::mesh::generate(6, 0);
+    let dt = ModelConfig::suggested_dt(&mesh);
+    let rec = Recorder::new();
+    let n_steps = 3;
+    let n_ranks = 4;
+    run_distributed_recorded(
+        &mesh,
+        DistributedConfig {
+            n_ranks,
+            halo_layers: 3,
+            model: ModelConfig::default(),
+            test_case: TestCase::Case5,
+            dt,
+            n_steps,
+        },
+        &rec,
+    );
+
+    let t = Trace::from_recorder(&rec);
+    assert_eq!(t.active_ranks(), n_ranks);
+    assert_eq!(t.per_step_makespans().len(), n_steps);
+
+    // Blame fractions partition each rank's step time.
+    let blame = t.blame();
+    assert_eq!(blame.ranks.len(), n_ranks);
+    for r in &blame.ranks {
+        let sum = r.compute_frac() + r.wait_frac() + r.copy_frac() + r.barrier_frac();
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "rank {} fractions sum {sum}",
+            r.rank
+        );
+        assert!(r.total_s > 0.0);
+    }
+    assert!(blame.imbalance >= 0.0 && blame.imbalance < 1.0);
+
+    // Every recv pairs with a send (4 substeps/step, eager halo protocol).
+    assert_eq!(t.sends.len(), t.recvs.len());
+    assert!(!t.sends.is_empty());
+
+    // The critical path is a real multi-rank path through the window.
+    let cp = t.critical_path();
+    assert!(cp.path_s() > 0.0);
+    assert!(cp.path_s() <= cp.makespan_s + 1e-12);
+    assert!(
+        cp.compute_s > 0.0,
+        "a distributed SWE step must have compute on the critical path"
+    );
+
+    // Measured step time vs the calibrated per-rank serial model: the
+    // DESIGN.md §10 agreement band is one order of magnitude (×12). The
+    // minimum over steps is used because shared CI hosts inject load
+    // spikes that only ever make steps slower, never faster.
+    let measured_step = t
+        .per_step_makespans()
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let r = n_ranks as f64;
+    let mc_rank = MeshCounts {
+        n_cells: mesh.n_cells() as f64 / r,
+        n_edges: mesh.n_edges() as f64 / r,
+        n_vertices: mesh.n_vertices() as f64 / r,
+    };
+    let cal = mpas_repro::hybrid::calibrate_host(3, 3);
+    let policy = mpas_repro::sched::resolve("serial").expect("serial policy");
+    let modeled_step = cal.modeled_time_per_step(
+        &mc_rank,
+        &mpas_repro::hybrid::Platform::paper_node(),
+        policy.as_ref(),
+    );
+    assert!(modeled_step > 0.0 && modeled_step.is_finite());
+    let ratio = (measured_step / modeled_step).max(modeled_step / measured_step);
+    eprintln!(
+        "measured {measured_step:.4e} s/step, modeled {modeled_step:.4e} s/step (x{ratio:.2})"
+    );
+    assert!(
+        ratio < 12.0,
+        "measured {measured_step:.4e} s/step vs modeled {modeled_step:.4e} s/step (x{ratio:.2}) \
+         outside the documented x12 band"
+    );
+
+    // And the extracted critical path is consistent with the same model:
+    // it cannot be shorter than a fraction of the modeled compute time.
+    let cp_step = cp.path_s() / n_steps as f64;
+    assert!(
+        cp_step * 12.0 > modeled_step,
+        "critical path {cp_step:.4e} s/step implausibly short vs model {modeled_step:.4e}"
+    );
+}
