@@ -1,0 +1,297 @@
+//! `swe-load` — closed-loop load generator for `swe-serve`.
+//!
+//! ```text
+//! swe-load --addr 127.0.0.1:8080 --clients 8 --jobs 4 --level 5 --steps 2 \
+//!          --bench-json target/serve_bench.json --gate BENCH_baseline.json
+//! ```
+//!
+//! Spawns `--clients` tenant threads; each submits `--jobs` identical jobs
+//! one at a time (submit, poll to a terminal state, fetch the result) so
+//! offered load tracks service capacity. 429 backpressure answers are
+//! retried with backoff and counted, never dropped. At the end it checks
+//! every per-job `state_hash` is bitwise identical across tenants, prints
+//! and optionally writes (`--bench-json`) the throughput/latency summary —
+//! `serve.jobs_per_sec`, p50/p95 time-to-first-step and end-to-end job
+//! latency — and evaluates them against a committed baseline (`--gate`,
+//! exit 1 on fail-severity violations, `--gate-strict` promotes warnings).
+//! `--shutdown` drains the server afterwards.
+//!
+//! Exit codes: 0 ok, 1 gate violation, 2 job failure or divergent results.
+
+use mpas_server::http::request;
+use mpas_telemetry::export::parse_json;
+use mpas_telemetry::gate::Baseline;
+use mpas_telemetry::{names, Recorder};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    clients: usize,
+    jobs: usize,
+    level: u32,
+    steps: usize,
+    case: String,
+    executor: String,
+    policy: String,
+    bench_json: Option<PathBuf>,
+    gate: Option<PathBuf>,
+    gate_strict: bool,
+    shutdown: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: String::new(),
+        clients: 8,
+        jobs: 4,
+        level: 5,
+        steps: 2,
+        case: "5".to_string(),
+        executor: "serial".to_string(),
+        policy: "pattern-driven".to_string(),
+        bench_json: None,
+        gate: None,
+        gate_strict: false,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| panic!("missing value for {a}"));
+        match a.as_str() {
+            "--addr" => args.addr = val(),
+            "--clients" => args.clients = val().parse().expect("clients"),
+            "--jobs" => args.jobs = val().parse().expect("jobs"),
+            "--level" => args.level = val().parse().expect("level"),
+            "--steps" => args.steps = val().parse().expect("steps"),
+            "--case" => args.case = val(),
+            "--executor" => args.executor = val(),
+            "--policy" => args.policy = val(),
+            "--bench-json" => args.bench_json = Some(PathBuf::from(val())),
+            "--gate" => args.gate = Some(PathBuf::from(val())),
+            "--gate-strict" => args.gate_strict = true,
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: swe-load --addr HOST:PORT [--clients N] [--jobs M] \
+                     [--level L] [--steps S] [--case 2|5|6] [--executor SPEC] \
+                     [--policy NAME] [--bench-json FILE] [--gate BASELINE.json] \
+                     [--gate-strict] [--shutdown]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(!args.addr.is_empty(), "--addr is required");
+    args
+}
+
+/// One completed job as observed by a tenant.
+struct Sample {
+    ttfs_ms: f64,
+    latency_ms: f64,
+    state_hash: String,
+    retries_429: usize,
+}
+
+fn json_str(doc: &mpas_telemetry::export::JsonValue, key: &str) -> Option<String> {
+    doc.get(key).and_then(|v| v.as_str()).map(str::to_string)
+}
+
+fn run_one_job(addr: SocketAddr, body: &str) -> Result<Sample, String> {
+    let t0 = Instant::now();
+    let mut retries_429 = 0usize;
+    let id = loop {
+        let (status, payload) =
+            request(addr, "POST", "/jobs", body).map_err(|e| format!("submit: {e}"))?;
+        match status {
+            202 => {
+                let doc = parse_json(&payload).map_err(|at| format!("submit json @{at}"))?;
+                break doc
+                    .get("id")
+                    .and_then(|v| v.as_f64())
+                    .ok_or("submit response lacks id")? as u64;
+            }
+            429 => {
+                retries_429 += 1;
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            other => return Err(format!("submit rejected: {other} {payload}")),
+        }
+    };
+    loop {
+        let (status, payload) =
+            request(addr, "GET", &format!("/jobs/{id}"), "").map_err(|e| format!("poll: {e}"))?;
+        if status != 200 {
+            return Err(format!("poll {id}: {status}"));
+        }
+        let doc = parse_json(&payload).map_err(|at| format!("poll json @{at}"))?;
+        match json_str(&doc, "status").as_deref() {
+            Some("completed") => break,
+            Some("failed") | Some("cancelled") => return Err(format!("job {id} ended {payload}")),
+            _ => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    let latency_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (status, payload) = request(addr, "GET", &format!("/jobs/{id}/result"), "")
+        .map_err(|e| format!("result: {e}"))?;
+    if status != 200 {
+        return Err(format!("result {id}: {status}"));
+    }
+    let doc = parse_json(&payload).map_err(|at| format!("result json @{at}"))?;
+    Ok(Sample {
+        ttfs_ms: doc
+            .get("ttfs_ms")
+            .and_then(|v| v.as_f64())
+            .ok_or("result lacks ttfs_ms")?,
+        latency_ms,
+        state_hash: json_str(&doc, "state_hash").ok_or("result lacks state_hash")?,
+        retries_429,
+    })
+}
+
+/// Nearest-rank percentile of an unsorted sample set.
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * samples.len() as f64).ceil().max(1.0) as usize;
+    samples[rank.min(samples.len()) - 1]
+}
+
+fn main() {
+    let args = parse_args();
+    let addr: SocketAddr = args
+        .addr
+        .to_socket_addrs()
+        .unwrap_or_else(|e| panic!("resolve {}: {e}", args.addr))
+        .next()
+        .expect("resolved address");
+    let body = format!(
+        "{{\"case\": \"{}\", \"level\": {}, \"steps\": {}, \"executor\": \"{}\", \
+         \"policy\": \"{}\", \"progress_every\": 1}}",
+        args.case, args.level, args.steps, args.executor, args.policy
+    );
+
+    println!(
+        "swe-load: {} clients x {} jobs (case {}, level {}, {} steps) against {addr}",
+        args.clients, args.jobs, args.case, args.level, args.steps
+    );
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..args.clients)
+        .map(|_| {
+            let body = body.clone();
+            let jobs = args.jobs;
+            std::thread::spawn(move || {
+                (0..jobs)
+                    .map(|_| run_one_job(addr, &body))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let mut samples = Vec::new();
+    let mut failures = Vec::new();
+    for h in handles {
+        for outcome in h.join().expect("client thread panicked") {
+            match outcome {
+                Ok(s) => samples.push(s),
+                Err(e) => failures.push(e),
+            }
+        }
+    }
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    if args.shutdown {
+        let _ = request(addr, "POST", "/shutdown", "");
+    }
+    for f in &failures {
+        eprintln!("FAILED: {f}");
+    }
+    let hashes: Vec<&str> = samples.iter().map(|s| s.state_hash.as_str()).collect();
+    let identical = hashes.windows(2).all(|w| w[0] == w[1]);
+    if !identical {
+        eprintln!("DIVERGED: tenants disagree on the final state: {hashes:?}");
+    }
+
+    let completed = samples.len();
+    let retries: usize = samples.iter().map(|s| s.retries_429).sum();
+    let jobs_per_sec = completed as f64 / wall_secs.max(1e-9);
+    let mut ttfs: Vec<f64> = samples.iter().map(|s| s.ttfs_ms).collect();
+    let mut latency: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
+    let (ttfs_p50, ttfs_p95) = (percentile(&mut ttfs, 50.0), percentile(&mut ttfs, 95.0));
+    let (lat_p50, lat_p95) = (
+        percentile(&mut latency, 50.0),
+        percentile(&mut latency, 95.0),
+    );
+    println!(
+        "completed {completed}/{} jobs in {wall_secs:.3} s ({jobs_per_sec:.2} jobs/s, \
+         {retries} backpressure retries)",
+        args.clients * args.jobs
+    );
+    println!("ttfs    p50 {ttfs_p50:.1} ms, p95 {ttfs_p95:.1} ms");
+    println!("latency p50 {lat_p50:.1} ms, p95 {lat_p95:.1} ms");
+
+    if let Some(path) = &args.bench_json {
+        let json = format!(
+            "{{\n  \"clients\": {},\n  \"jobs_per_client\": {},\n  \"case\": \"{}\",\n  \
+             \"level\": {},\n  \"steps\": {},\n  \"executor\": \"{}\",\n  \
+             \"completed\": {completed},\n  \"failed\": {},\n  \
+             \"retries_429\": {retries},\n  \"wall_seconds\": {wall_secs:.6},\n  \
+             \"identical_results\": {identical},\n  \"state_hash\": \"{}\",\n  \
+             \"{}\": {jobs_per_sec:.4},\n  \"serve.ttfs_p50_ms\": {ttfs_p50:.3},\n  \
+             \"{}\": {ttfs_p95:.3},\n  \"serve.latency_p50_ms\": {lat_p50:.3},\n  \
+             \"{}\": {lat_p95:.3}\n}}\n",
+            args.clients,
+            args.jobs,
+            args.case,
+            args.level,
+            args.steps,
+            args.executor,
+            failures.len(),
+            hashes.first().copied().unwrap_or(""),
+            names::SERVE_JOBS_PER_SEC,
+            names::SERVE_TTFS_P95_MS,
+            names::SERVE_LATENCY_P95_MS,
+        );
+        mpas_telemetry::export::validate_json(&json)
+            .unwrap_or_else(|at| panic!("bench record is not valid JSON at byte {at}"));
+        std::fs::write(path, &json).expect("write bench json");
+        println!("wrote serve bench record to {}", path.display());
+    }
+
+    let mut exit_code = 0;
+    if let Some(path) = &args.gate {
+        // The gate machinery evaluates metric gauges, so land the summary
+        // in a recorder snapshot under the shared serve.* names.
+        let rec = Recorder::new();
+        rec.set_gauge(names::SERVE_JOBS_PER_SEC, jobs_per_sec);
+        rec.set_gauge(names::SERVE_TTFS_P95_MS, ttfs_p95);
+        rec.set_gauge(names::SERVE_LATENCY_P95_MS, lat_p95);
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
+        let mut baseline = Baseline::parse(&text)
+            .unwrap_or_else(|e| panic!("parse baseline {}: {e}", path.display()));
+        // The committed baseline also carries swe_run's core.sim.* entries;
+        // only the serving metrics are this tool's to judge.
+        baseline.entries.retain(|e| e.metric.starts_with("serve."));
+        assert!(
+            !baseline.entries.is_empty(),
+            "baseline {} has no serve.* entries",
+            path.display()
+        );
+        let outcome = baseline.evaluate(&rec.snapshot());
+        print!("{}", outcome.render());
+        if outcome.failed() || (args.gate_strict && outcome.warned()) {
+            exit_code = 1;
+        }
+    }
+    if !failures.is_empty() || !identical {
+        exit_code = 2;
+    }
+    if exit_code != 0 {
+        std::process::exit(exit_code);
+    }
+}

@@ -33,7 +33,7 @@
 //! alarm chain can be tested end to end.
 
 use mpas_bench::render::{sample_lonlat, write_ppm};
-use mpas_core::{DistributedConfig, Executor, Simulation};
+use mpas_core::{DistributedConfig, Simulation};
 use mpas_mesh::Reordering;
 use mpas_patterns::dataflow::{DataflowGraph, MeshCounts, RkPhase};
 use mpas_swe::{ErrorNorms, ModelConfig, TestCase};
@@ -44,7 +44,6 @@ use mpas_telemetry::analysis::{
 use mpas_telemetry::gate::{median_mad, Baseline, BaselineEntry, Direction, Severity};
 use mpas_telemetry::Recorder;
 use std::path::PathBuf;
-use std::sync::Arc;
 
 struct Args {
     case: String,
@@ -154,21 +153,6 @@ fn parse_args() -> Args {
     args
 }
 
-fn parse_executor(spec: &str) -> Executor {
-    let parts: Vec<&str> = spec.split(':').collect();
-    match parts[0] {
-        "serial" => Executor::Serial,
-        "threaded" => Executor::Threaded {
-            threads: parts.get(1).and_then(|s| s.parse().ok()).unwrap_or(2),
-        },
-        "hybrid" => Executor::Hybrid {
-            cpu_threads: parts.get(1).and_then(|s| s.parse().ok()).unwrap_or(2),
-            acc_threads: parts.get(2).and_then(|s| s.parse().ok()).unwrap_or(2),
-        },
-        other => panic!("unknown executor {other}"),
-    }
-}
-
 /// What either execution path hands back to the shared analysis tail.
 struct RunStats {
     n_cells: usize,
@@ -191,7 +175,7 @@ fn run_single(args: &Args, tc: TestCase, rec: &Recorder) -> RunStats {
         .mesh_level(args.level)
         .lloyd_iters(args.lloyd)
         .test_case(tc)
-        .executor(parse_executor(&args.executor))
+        .executor(mpas_core::parse_executor(&args.executor).unwrap_or_else(|e| panic!("{e}")))
         .config(ModelConfig {
             fused_coeffs: args.fused,
             ..Default::default()
@@ -292,11 +276,7 @@ fn run_single(args: &Args, tc: TestCase, rec: &Recorder) -> RunStats {
 /// kernel chain on RCB partitions, rank-tagged trace instrumentation, and
 /// a calibrated per-rank serial model as the comparison point.
 fn run_dist(args: &Args, tc: TestCase, rec: &Recorder) -> RunStats {
-    let mut mesh = Arc::new(mpas_mesh::generate(args.level, args.lloyd));
-    if args.reorder != Reordering::None {
-        let perm = args.reorder.permutation(&mesh);
-        mesh = Arc::new(mesh.reordered(&perm));
-    }
+    let mesh = mpas_core::build_mesh(args.level, args.lloyd, args.reorder);
     let dt = ModelConfig::suggested_dt(&mesh);
     let total_steps = ((args.days * 86_400.0) / dt).ceil().max(1.0) as usize;
     println!(
@@ -526,12 +506,7 @@ fn report_json(
 
 fn main() {
     let args = parse_args();
-    let tc = match args.case.as_str() {
-        "2" => TestCase::Case2 { alpha: args.alpha },
-        "5" => TestCase::Case5,
-        "6" => TestCase::Case6,
-        other => panic!("unsupported case {other} (2, 5 or 6)"),
-    };
+    let tc = mpas_core::parse_case(&args.case, args.alpha).unwrap_or_else(|e| panic!("{e}"));
 
     println!(
         "generating level-{} mesh (lloyd {})...",

@@ -1,0 +1,93 @@
+//! `swe-serve` — run the `mpas-server` job service as a process.
+//!
+//! ```text
+//! swe-serve --addr 127.0.0.1:0 --workers 4 --queue-cap 64 \
+//!           --metrics target/serve_metrics.json
+//! ```
+//!
+//! Prints `swe-serve listening on HOST:PORT` once the socket is bound (the
+//! load generator and CI parse that line), then serves until a tenant
+//! POSTs `/shutdown`, at which point it drains the worker pool — every
+//! accepted job completes — writes the telemetry snapshot, and exits 0.
+
+use mpas_server::{Server, ServerConfig};
+use mpas_telemetry::Recorder;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    workers: usize,
+    queue_cap: usize,
+    metrics: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_cap: 64,
+        metrics: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| panic!("missing value for {a}"));
+        match a.as_str() {
+            "--addr" => args.addr = val(),
+            "--workers" => args.workers = val().parse().expect("workers"),
+            "--queue-cap" => args.queue_cap = val().parse().expect("queue-cap"),
+            "--metrics" => args.metrics = Some(PathBuf::from(val())),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: swe-serve [--addr HOST:PORT] [--workers N] \
+                     [--queue-cap N] [--metrics FILE.json]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let rec = Recorder::new();
+    let mut server = Server::start(
+        ServerConfig {
+            addr: args.addr.clone(),
+            workers: args.workers,
+            queue_capacity: args.queue_cap,
+        },
+        rec.clone(),
+    )
+    .unwrap_or_else(|e| panic!("bind {}: {e}", args.addr));
+    println!("swe-serve listening on {}", server.addr());
+    println!(
+        "workers {}, queue capacity {} (POST /shutdown to drain)",
+        args.workers, args.queue_cap
+    );
+    std::io::stdout().flush().expect("flush");
+
+    while !server.draining() {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    println!("drain requested; finishing accepted jobs...");
+    server.shutdown();
+
+    let snap = rec.snapshot();
+    println!(
+        "drained: {} submitted, {} completed, {} rejected",
+        snap.counter("server.jobs.submitted").unwrap_or(0),
+        snap.counter("server.jobs.completed").unwrap_or(0),
+        snap.counter("server.jobs.rejected").unwrap_or(0),
+    );
+    if let Some(path) = &args.metrics {
+        let json = snap.to_json();
+        mpas_telemetry::export::validate_json(&json)
+            .unwrap_or_else(|at| panic!("metrics snapshot is not valid JSON at byte {at}"));
+        std::fs::write(path, &json).expect("write metrics");
+        println!("wrote metrics snapshot to {}", path.display());
+    }
+}

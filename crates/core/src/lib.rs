@@ -20,7 +20,11 @@
 //! ```
 
 pub mod distributed;
+pub mod runner;
+pub mod setup;
 pub mod simulation;
 
 pub use distributed::{halo_probe, run_distributed, run_distributed_recorded, DistributedConfig};
+pub use runner::{run_job, state_hash, JobError, JobProgress, JobResult, JobSpec};
+pub use setup::{apply_reorder, build_mesh, parse_case, parse_executor};
 pub use simulation::{Executor, Simulation, SimulationBuilder};

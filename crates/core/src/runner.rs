@@ -1,0 +1,319 @@
+//! Cancellable job runner: one simulation run as a unit of service work.
+//!
+//! `mpas-server` (and anything else that runs simulations on behalf of a
+//! caller) needs more than [`crate::Simulation::run_steps`]: cooperative
+//! cancellation, periodic progress callbacks, a time-to-first-step
+//! measurement, and a digest of the final state so identical jobs can be
+//! checked for bitwise-identical results without shipping whole fields.
+//! [`run_job`] packages exactly that on top of the builder, reusing a
+//! pre-built shared mesh and (optionally) a shared coefficient table.
+
+use crate::simulation::{Executor, Simulation};
+use mpas_mesh::Mesh;
+use mpas_swe::{KernelCoeffs, ModelConfig, State, TestCase};
+use mpas_telemetry::Recorder;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Everything that defines one simulation job (the mesh itself is handed
+/// in separately so the caller controls sharing).
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Williamson scenario.
+    pub test_case: TestCase,
+    /// RK-4 steps to run.
+    pub steps: usize,
+    /// Execution engine.
+    pub executor: Executor,
+    /// Scheduler-policy registry name (modeled placement; see
+    /// [`crate::SimulationBuilder::sched_policy`]).
+    pub policy: String,
+    /// Use the precomputed fused-coefficient kernels.
+    pub fused: bool,
+    /// Explicit dt in seconds (`None` picks the stable default).
+    pub dt: Option<f64>,
+    /// Invoke the progress callback every this many steps (0 = only on
+    /// completion). Cancellation is checked at the same cadence.
+    pub progress_every: usize,
+}
+
+impl JobSpec {
+    /// A level-agnostic default: case 5, serial, fused, 10 steps.
+    pub fn new(test_case: TestCase, steps: usize) -> Self {
+        JobSpec {
+            test_case,
+            steps,
+            executor: Executor::Serial,
+            policy: "pattern-driven".to_string(),
+            fused: true,
+            dt: None,
+            progress_every: 0,
+        }
+    }
+
+    /// The model config this spec implies.
+    pub fn config(&self) -> ModelConfig {
+        ModelConfig {
+            fused_coeffs: self.fused,
+            ..Default::default()
+        }
+    }
+}
+
+/// Periodic progress report passed to the callback of [`run_job`].
+#[derive(Debug, Clone, Copy)]
+pub struct JobProgress {
+    /// Steps completed so far.
+    pub step: usize,
+    /// Total steps requested.
+    pub total: usize,
+    /// Relative mass drift so far.
+    pub mass_drift: f64,
+}
+
+/// What a completed job hands back.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Cells in the mesh the job ran on.
+    pub n_cells: usize,
+    /// Steps actually run (equals the request for completed jobs).
+    pub steps_done: usize,
+    /// Time-step size used, seconds.
+    pub dt: f64,
+    /// Wall-clock seconds from model build to last step.
+    pub run_secs: f64,
+    /// Wall-clock seconds from entry to the end of the first step — the
+    /// serving-latency quantity (TTFS) the SLO gate watches.
+    pub ttfs_secs: f64,
+    /// Relative mass drift over the run.
+    pub mass_drift: f64,
+    /// l2 thickness error vs the analytic reference.
+    pub h_err_l2: f64,
+    /// FNV-1a digest of the final state bits (see [`state_hash`]).
+    pub state_hash: u64,
+}
+
+/// Why a job did not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The cancel flag was set; `steps_done` steps had run by then.
+    Cancelled {
+        /// Steps completed before cancellation was observed.
+        steps_done: usize,
+    },
+    /// The spec could not be run (bad policy name, zero steps, ...).
+    Invalid(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Cancelled { steps_done } => {
+                write!(f, "cancelled after {steps_done} steps")
+            }
+            JobError::Invalid(msg) => write!(f, "invalid job: {msg}"),
+        }
+    }
+}
+
+/// FNV-1a over the raw bit patterns of the prognostic fields, in index
+/// order (`h` then `u`). Bitwise-stable across executors by construction —
+/// the repo's executors agree bitwise — so equal hashes across tenants is
+/// the cheap proxy for "identical results".
+pub fn state_hash(state: &State) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for field in [&state.h, &state.u] {
+        for &x in field.iter() {
+            for byte in x.to_bits().to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(PRIME);
+            }
+        }
+    }
+    hash
+}
+
+/// Run `spec` on a pre-built `mesh`, optionally reusing a shared
+/// coefficient table (which must have been built for this mesh and
+/// `spec.config()`). The cancel flag is polled every progress chunk;
+/// `progress` fires after each chunk with the running mass drift.
+pub fn run_job(
+    spec: &JobSpec,
+    mesh: Arc<Mesh>,
+    shared_coeffs: Option<Arc<KernelCoeffs>>,
+    rec: &Recorder,
+    cancel: &AtomicBool,
+    mut progress: impl FnMut(JobProgress),
+) -> Result<JobResult, JobError> {
+    if spec.steps == 0 {
+        return Err(JobError::Invalid("steps must be >= 1".to_string()));
+    }
+    mpas_sched::resolve(&spec.policy).map_err(JobError::Invalid)?;
+    if cancel.load(Ordering::Relaxed) {
+        return Err(JobError::Cancelled { steps_done: 0 });
+    }
+
+    let t0 = Instant::now();
+    let mut builder = Simulation::builder()
+        .mesh(mesh)
+        .test_case(spec.test_case)
+        .executor(spec.executor)
+        .config(spec.config())
+        .sched_policy(&spec.policy)
+        .recorder(rec.clone());
+    if let Some(dt) = spec.dt {
+        builder = builder.dt(dt);
+    }
+    if let Some(kc) = shared_coeffs {
+        builder = builder.kernel_coeffs(kc);
+    }
+    let mut sim = builder.build();
+
+    // First step alone: its latency is the TTFS the serving SLO watches
+    // (model build + one step = what a tenant waits before any output).
+    sim.run_steps(1);
+    let ttfs_secs = t0.elapsed().as_secs_f64();
+    let mut done = 1usize;
+
+    let chunk = if spec.progress_every == 0 {
+        spec.steps
+    } else {
+        spec.progress_every
+    };
+    loop {
+        progress(JobProgress {
+            step: done,
+            total: spec.steps,
+            mass_drift: sim.mass_drift(),
+        });
+        if done >= spec.steps {
+            break;
+        }
+        if cancel.load(Ordering::Relaxed) {
+            return Err(JobError::Cancelled { steps_done: done });
+        }
+        let n = chunk.min(spec.steps - done);
+        sim.run_steps(n);
+        done += n;
+    }
+
+    Ok(JobResult {
+        n_cells: sim.mesh.n_cells(),
+        steps_done: done,
+        dt: sim.dt(),
+        run_secs: t0.elapsed().as_secs_f64(),
+        ttfs_secs,
+        mass_drift: sim.mass_drift(),
+        h_err_l2: sim.h_error_norms().l2,
+        state_hash: state_hash(sim.state()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup;
+    use mpas_mesh::Reordering;
+
+    fn spec(steps: usize) -> JobSpec {
+        JobSpec::new(TestCase::Case5, steps)
+    }
+
+    #[test]
+    fn run_job_matches_plain_simulation_bitwise() {
+        let mesh = setup::build_mesh(3, 0, Reordering::None);
+        let cancel = AtomicBool::new(false);
+        let out = run_job(
+            &spec(4),
+            mesh.clone(),
+            None,
+            &Recorder::noop(),
+            &cancel,
+            |_| {},
+        )
+        .unwrap();
+        let mut sim = Simulation::builder()
+            .mesh(mesh)
+            .test_case(TestCase::Case5)
+            .build();
+        sim.run_steps(4);
+        assert_eq!(out.state_hash, state_hash(sim.state()));
+        assert_eq!(out.steps_done, 4);
+        assert!(out.ttfs_secs > 0.0 && out.ttfs_secs <= out.run_secs);
+    }
+
+    #[test]
+    fn shared_coeffs_do_not_change_the_bits() {
+        let mesh = setup::build_mesh(3, 0, Reordering::None);
+        let s = spec(3);
+        let kc = Arc::new(KernelCoeffs::build(&mesh, &s.config()));
+        let cancel = AtomicBool::new(false);
+        let a = run_job(
+            &s,
+            mesh.clone(),
+            Some(kc),
+            &Recorder::noop(),
+            &cancel,
+            |_| {},
+        )
+        .unwrap();
+        let b = run_job(&s, mesh, None, &Recorder::noop(), &cancel, |_| {}).unwrap();
+        assert_eq!(a.state_hash, b.state_hash);
+        assert_eq!(a.mass_drift, b.mass_drift);
+    }
+
+    #[test]
+    fn progress_fires_per_chunk_and_cancel_stops_the_run() {
+        let mesh = setup::build_mesh(2, 0, Reordering::None);
+        let mut s = spec(6);
+        s.progress_every = 2;
+        let cancel = AtomicBool::new(false);
+        let mut seen = Vec::new();
+        run_job(&s, mesh.clone(), None, &Recorder::noop(), &cancel, |p| {
+            seen.push(p.step)
+        })
+        .unwrap();
+        // First step runs alone (TTFS), then 2-step chunks: 1, 3, 5, 6.
+        assert_eq!(seen, vec![1, 3, 5, 6]);
+
+        // Cancel as soon as the first progress report lands.
+        let err = run_job(&s, mesh, None, &Recorder::noop(), &cancel, |_| {
+            cancel.store(true, Ordering::Relaxed)
+        })
+        .unwrap_err();
+        assert_eq!(err, JobError::Cancelled { steps_done: 1 });
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_up_front() {
+        let mesh = setup::build_mesh(1, 0, Reordering::None);
+        let cancel = AtomicBool::new(false);
+        let err = run_job(
+            &spec(0),
+            mesh.clone(),
+            None,
+            &Recorder::noop(),
+            &cancel,
+            |_| {},
+        );
+        assert!(matches!(err, Err(JobError::Invalid(_))));
+        let mut s = spec(1);
+        s.policy = "fifo".to_string();
+        let err = run_job(&s, mesh, None, &Recorder::noop(), &cancel, |_| {});
+        assert!(matches!(err, Err(JobError::Invalid(_))));
+    }
+
+    #[test]
+    fn state_hash_distinguishes_single_bit_flips() {
+        let mut st = State {
+            h: vec![1.0, 2.0],
+            u: vec![3.0],
+        };
+        let h0 = state_hash(&st);
+        st.u[0] = f64::from_bits(st.u[0].to_bits() ^ 1);
+        assert_ne!(h0, state_hash(&st));
+    }
+}

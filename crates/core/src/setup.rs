@@ -1,0 +1,116 @@
+//! Shared case/mesh/executor setup.
+//!
+//! The CLI (`swe_run`), the job server (`swe_serve`), and the tests all
+//! translate the same external spellings — case numbers, `threaded:4`-style
+//! executor specs, reorder names — into model inputs. This module is the
+//! single home for those translations so a new spelling (or a new validity
+//! rule) lands everywhere at once.
+
+use crate::simulation::Executor;
+use mpas_mesh::{Mesh, Reordering};
+use mpas_swe::TestCase;
+use std::sync::Arc;
+
+/// Parse a Williamson case label (`"2"`, `"5"` or `"6"`); `alpha` is the
+/// flow-orientation angle used by case 2.
+pub fn parse_case(case: &str, alpha: f64) -> Result<TestCase, String> {
+    match case {
+        "2" => Ok(TestCase::Case2 { alpha }),
+        "5" => Ok(TestCase::Case5),
+        "6" => Ok(TestCase::Case6),
+        other => Err(format!("unsupported case {other} (2, 5 or 6)")),
+    }
+}
+
+/// Parse an executor spec: `serial`, `threaded:N` or `hybrid:N:M`
+/// (thread counts default to 2 when omitted).
+pub fn parse_executor(spec: &str) -> Result<Executor, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts[0] {
+        "serial" => Ok(Executor::Serial),
+        "threaded" => Ok(Executor::Threaded {
+            threads: parts.get(1).and_then(|s| s.parse().ok()).unwrap_or(2),
+        }),
+        "hybrid" => Ok(Executor::Hybrid {
+            cpu_threads: parts.get(1).and_then(|s| s.parse().ok()).unwrap_or(2),
+            acc_threads: parts.get(2).and_then(|s| s.parse().ok()).unwrap_or(2),
+        }),
+        other => Err(format!(
+            "unknown executor {other} (serial, threaded:N or hybrid:N:M)"
+        )),
+    }
+}
+
+/// Renumber `mesh` if a reordering is requested ([`Reordering::None`] is
+/// free: the input `Arc` is returned untouched).
+pub fn apply_reorder(mesh: Arc<Mesh>, reorder: Reordering) -> Arc<Mesh> {
+    if reorder == Reordering::None {
+        return mesh;
+    }
+    let perm = reorder.permutation(&mesh);
+    Arc::new(mesh.reordered(&perm))
+}
+
+/// Generate a level-`level` icosahedral mesh with `lloyd` relaxation
+/// sweeps, renumbered per `reorder`. This is the canonical mesh
+/// constructor behind [`crate::SimulationBuilder::build`] and the server's
+/// shared-mesh cache.
+pub fn build_mesh(level: u32, lloyd: u32, reorder: Reordering) -> Arc<Mesh> {
+    apply_reorder(Arc::new(mpas_mesh::generate(level, lloyd)), reorder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_labels_round_trip() {
+        assert_eq!(parse_case("5", 0.0).unwrap(), TestCase::Case5);
+        assert_eq!(parse_case("6", 0.0).unwrap(), TestCase::Case6);
+        assert_eq!(
+            parse_case("2", 0.25).unwrap(),
+            TestCase::Case2 { alpha: 0.25 }
+        );
+        assert!(parse_case("1", 0.0).is_err());
+    }
+
+    #[test]
+    fn executor_specs_parse_with_defaults() {
+        assert_eq!(parse_executor("serial").unwrap(), Executor::Serial);
+        assert_eq!(
+            parse_executor("threaded:6").unwrap(),
+            Executor::Threaded { threads: 6 }
+        );
+        assert_eq!(
+            parse_executor("threaded").unwrap(),
+            Executor::Threaded { threads: 2 }
+        );
+        assert_eq!(
+            parse_executor("hybrid:3:1").unwrap(),
+            Executor::Hybrid {
+                cpu_threads: 3,
+                acc_threads: 1
+            }
+        );
+        assert!(parse_executor("cuda").is_err());
+    }
+
+    #[test]
+    fn build_mesh_matches_inline_generate_and_reorder() {
+        let direct = {
+            let mesh = Arc::new(mpas_mesh::generate(2, 0));
+            let perm = Reordering::Sfc.permutation(&mesh);
+            Arc::new(mesh.reordered(&perm))
+        };
+        let via_setup = build_mesh(2, 0, Reordering::Sfc);
+        assert_eq!(direct.n_cells(), via_setup.n_cells());
+        assert_eq!(direct.x_cell, via_setup.x_cell);
+    }
+
+    #[test]
+    fn apply_reorder_none_is_identity() {
+        let mesh = build_mesh(1, 0, Reordering::None);
+        let same = apply_reorder(mesh.clone(), Reordering::None);
+        assert!(Arc::ptr_eq(&mesh, &same));
+    }
+}

@@ -4,6 +4,7 @@ use mpas_hybrid::{HybridModel, ParallelModel, Platform, Schedule};
 use mpas_mesh::{Mesh, Reordering};
 use mpas_patterns::dataflow::{DataflowGraph, MeshCounts, RkPhase};
 use mpas_sched::SchedulerPolicy;
+use mpas_swe::coeffs::KernelCoeffs;
 use mpas_swe::config::ModelConfig;
 use mpas_swe::norms::ErrorNorms;
 use mpas_swe::state::State;
@@ -36,6 +37,7 @@ pub struct SimulationBuilder {
     mesh_level: u32,
     lloyd_iters: u32,
     mesh: Option<Arc<Mesh>>,
+    kernel_coeffs: Option<Arc<KernelCoeffs>>,
     test_case: TestCase,
     config: ModelConfig,
     dt: Option<f64>,
@@ -51,6 +53,7 @@ impl Default for SimulationBuilder {
             mesh_level: 3,
             lloyd_iters: 0,
             mesh: None,
+            kernel_coeffs: None,
             test_case: TestCase::Case5,
             config: ModelConfig::default(),
             dt: None,
@@ -78,6 +81,16 @@ impl SimulationBuilder {
     /// Use a pre-built mesh instead of generating one.
     pub fn mesh(mut self, mesh: Arc<Mesh>) -> Self {
         self.mesh = Some(mesh);
+        self
+    }
+
+    /// Reuse an already-built fused-coefficient table instead of building
+    /// one. It must have been built for the final mesh (after any
+    /// [`SimulationBuilder::reorder`]) and the configured [`ModelConfig`];
+    /// the multi-tenant server uses this to share one table across
+    /// concurrent simulations on the same cached mesh.
+    pub fn kernel_coeffs(mut self, coeffs: Arc<KernelCoeffs>) -> Self {
+        self.kernel_coeffs = Some(coeffs);
         self
     }
 
@@ -134,27 +147,37 @@ impl SimulationBuilder {
 
     /// Build the simulation (generates the mesh if none was supplied).
     pub fn build(self) -> Simulation {
-        let mut mesh = self
-            .mesh
-            .unwrap_or_else(|| Arc::new(mpas_mesh::generate(self.mesh_level, self.lloyd_iters)));
-        if self.reorder != Reordering::None {
-            let perm = self.reorder.permutation(&mesh);
-            mesh = Arc::new(mesh.reordered(&perm));
-        }
+        let mesh = match self.mesh {
+            Some(m) => crate::setup::apply_reorder(m, self.reorder),
+            None => crate::setup::build_mesh(self.mesh_level, self.lloyd_iters, self.reorder),
+        };
         let engine = match self.executor {
             Executor::Serial => Engine::Serial(
-                ShallowWaterModel::new(mesh.clone(), self.config, self.test_case, self.dt)
-                    .with_recorder(self.recorder.clone()),
+                ShallowWaterModel::new_shared(
+                    mesh.clone(),
+                    self.config,
+                    self.test_case,
+                    self.dt,
+                    self.kernel_coeffs,
+                )
+                .with_recorder(self.recorder.clone()),
             ),
             Executor::Threaded { threads } => Engine::Threaded(
-                ParallelModel::new(mesh.clone(), self.config, self.test_case, self.dt, threads)
-                    .with_recorder(self.recorder.clone()),
+                ParallelModel::new_shared(
+                    mesh.clone(),
+                    self.config,
+                    self.test_case,
+                    self.dt,
+                    threads,
+                    self.kernel_coeffs,
+                )
+                .with_recorder(self.recorder.clone()),
             ),
             Executor::Hybrid {
                 cpu_threads,
                 acc_threads,
             } => Engine::Hybrid(
-                HybridModel::new(
+                HybridModel::new_shared(
                     mesh.clone(),
                     self.config,
                     self.test_case,
@@ -162,6 +185,7 @@ impl SimulationBuilder {
                     cpu_threads,
                     acc_threads,
                     &Platform::paper_node(),
+                    self.kernel_coeffs,
                 )
                 .with_recorder(self.recorder.clone()),
             ),

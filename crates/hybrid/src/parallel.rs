@@ -134,8 +134,9 @@ pub struct ParallelModel {
     /// Velocity-reconstruction coefficients.
     pub coeffs: ReconstructCoeffs,
     /// Precomputed fused kernel coefficients (used when
-    /// `config.fused_coeffs` is set).
-    pub kcoeffs: KernelCoeffs,
+    /// `config.fused_coeffs` is set). Shared so multi-tenant servers can
+    /// reuse one table across concurrent models on the same mesh/config.
+    pub kcoeffs: Arc<KernelCoeffs>,
     tend: Tendencies,
     provis: State,
     acc_state: State,
@@ -158,6 +159,20 @@ impl ParallelModel {
         dt: Option<f64>,
         n_threads: usize,
     ) -> Self {
+        Self::new_shared(mesh, config, test_case, dt, n_threads, None)
+    }
+
+    /// Like [`ParallelModel::new`], but reuse an already-built coefficient
+    /// table (it must have been built for this exact mesh and config).
+    /// `None` builds a fresh table.
+    pub fn new_shared(
+        mesh: Arc<Mesh>,
+        config: ModelConfig,
+        test_case: TestCase,
+        dt: Option<f64>,
+        n_threads: usize,
+        shared_coeffs: Option<Arc<KernelCoeffs>>,
+    ) -> Self {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(n_threads)
             .build()
@@ -166,7 +181,8 @@ impl ParallelModel {
         let b = test_case.topography(&mesh);
         let f_vertex = test_case.coriolis_vertex(&mesh);
         let coeffs = ReconstructCoeffs::build(&mesh);
-        let kcoeffs = KernelCoeffs::build(&mesh, &config);
+        let kcoeffs =
+            shared_coeffs.unwrap_or_else(|| Arc::new(KernelCoeffs::build(&mesh, &config)));
         let dt = dt.unwrap_or_else(|| ModelConfig::suggested_dt(&mesh));
         let chunk = (mesh.n_edges() / (4 * n_threads).max(1)).max(512);
         let mut m = ParallelModel {
@@ -609,7 +625,33 @@ impl HybridModel {
         acc_threads: usize,
         platform: &Platform,
     ) -> Self {
-        let inner = ParallelModel::new(mesh, config, test_case, dt, cpu_threads);
+        Self::new_shared(
+            mesh,
+            config,
+            test_case,
+            dt,
+            cpu_threads,
+            acc_threads,
+            platform,
+            None,
+        )
+    }
+
+    /// Like [`HybridModel::new`], but reuse an already-built coefficient
+    /// table (it must have been built for this exact mesh and config).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_shared(
+        mesh: Arc<Mesh>,
+        config: ModelConfig,
+        test_case: TestCase,
+        dt: Option<f64>,
+        cpu_threads: usize,
+        acc_threads: usize,
+        platform: &Platform,
+        shared_coeffs: Option<Arc<KernelCoeffs>>,
+    ) -> Self {
+        let inner =
+            ParallelModel::new_shared(mesh, config, test_case, dt, cpu_threads, shared_coeffs);
         let acc_pool = rayon::ThreadPoolBuilder::new()
             .num_threads(acc_threads)
             .build()

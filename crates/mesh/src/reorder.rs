@@ -33,7 +33,7 @@ use crate::sfc::morton_key;
 /// Which cell ordering a [`MeshPermutation`] is derived from.
 ///
 /// This is the user-facing knob (`swe_run --reorder {none,sfc,bfs}`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Reordering {
     /// Keep construction order (the identity permutation).
     None,

@@ -1,0 +1,239 @@
+//! Keyed build-once caches for the expensive immutable artifacts tenants
+//! share: meshes (keyed by level/lloyd/reorder) and fused-coefficient
+//! tables (keyed by mesh key + a digest of the numerical config).
+//!
+//! Concurrency contract: the first request for a key builds while holding
+//! only that key's slot lock, so concurrent first requests for the *same*
+//! key block and then all receive the one built `Arc`, while requests for
+//! *different* keys build in parallel. The cache-miss counters therefore
+//! count actual constructions — the concurrency test pins the mesh miss
+//! counter to exactly 1 for N identical tenants.
+
+use mpas_mesh::{Mesh, Reordering};
+use mpas_swe::{KernelCoeffs, ModelConfig};
+use mpas_telemetry::{names, Recorder};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Identity of a shared mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MeshKey {
+    /// Icosahedral subdivision level.
+    pub level: u32,
+    /// Lloyd relaxation sweeps.
+    pub lloyd: u32,
+    /// Cell/edge/vertex numbering.
+    pub reorder: Reordering,
+}
+
+/// Identity of a shared coefficient table: the mesh it was built for plus
+/// the numerical options that shaped it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoeffsKey {
+    /// The mesh the table was built on.
+    pub mesh: MeshKey,
+    /// FNV-1a digest of every [`ModelConfig`] field (see [`config_digest`]).
+    pub config: u64,
+}
+
+/// FNV-1a over the bit patterns of every `ModelConfig` field, so any
+/// config change — including ones that do not affect coefficient values
+/// today — gets its own cache entry rather than a silently stale table.
+pub fn config_digest(config: &ModelConfig) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let words = [
+        config.gravity.to_bits(),
+        config.apvm_factor.to_bits(),
+        config.del2_viscosity.to_bits(),
+        config.del4_viscosity.to_bits(),
+        config.high_order_h_edge as u64,
+        config.advection_only as u64,
+        config.fused_coeffs as u64,
+    ];
+    let mut hash = OFFSET;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(PRIME);
+        }
+    }
+    hash
+}
+
+type Slot<T> = Arc<Mutex<Option<Arc<T>>>>;
+
+/// The shared-artifact cache. Cheap to clone a handle to via `Arc`.
+pub struct ArtifactCache {
+    meshes: Mutex<HashMap<MeshKey, Slot<Mesh>>>,
+    coeffs: Mutex<HashMap<CoeffsKey, Slot<KernelCoeffs>>>,
+    rec: Recorder,
+}
+
+impl ArtifactCache {
+    /// An empty cache recording hit/miss/build-time telemetry into `rec`.
+    pub fn new(rec: Recorder) -> Self {
+        ArtifactCache {
+            meshes: Mutex::new(HashMap::new()),
+            coeffs: Mutex::new(HashMap::new()),
+            rec,
+        }
+    }
+
+    fn slot<K: Copy + Eq + std::hash::Hash, T>(
+        map: &Mutex<HashMap<K, Slot<T>>>,
+        key: K,
+    ) -> Slot<T> {
+        map.lock()
+            .expect("cache map poisoned")
+            .entry(key)
+            .or_default()
+            .clone()
+    }
+
+    fn get_or_build<K, T>(
+        &self,
+        map: &Mutex<HashMap<K, Slot<T>>>,
+        key: K,
+        miss_metric: &str,
+        build_ms_metric: &str,
+        build: impl FnOnce() -> T,
+    ) -> Arc<T>
+    where
+        K: Copy + Eq + std::hash::Hash,
+    {
+        let slot = Self::slot(map, key);
+        let mut guard = slot.lock().expect("cache slot poisoned");
+        if let Some(ready) = guard.as_ref() {
+            self.rec.add(names::SERVER_CACHE_HIT, 1);
+            return ready.clone();
+        }
+        let t0 = Instant::now();
+        let built = Arc::new(build());
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        *guard = Some(built.clone());
+        self.rec.add(names::SERVER_CACHE_MISS, 1);
+        self.rec.add(miss_metric, 1);
+        self.rec.set_gauge(build_ms_metric, build_ms);
+        built
+    }
+
+    /// The shared mesh for `key`, building it on first use.
+    pub fn mesh(&self, key: MeshKey) -> Arc<Mesh> {
+        self.get_or_build(
+            &self.meshes,
+            key,
+            names::SERVER_CACHE_MESH_MISS,
+            names::MESH_BUILD_MS,
+            || {
+                let mesh = mpas_core::build_mesh(key.level, key.lloyd, key.reorder);
+                Arc::try_unwrap(mesh).unwrap_or_else(|arc| (*arc).clone())
+            },
+        )
+    }
+
+    /// The shared coefficient table for `mesh` under `config`, building it
+    /// on first use. `key` must be the key `mesh` was obtained with.
+    pub fn kernel_coeffs(
+        &self,
+        key: MeshKey,
+        mesh: &Arc<Mesh>,
+        config: &ModelConfig,
+    ) -> Arc<KernelCoeffs> {
+        let ck = CoeffsKey {
+            mesh: key,
+            config: config_digest(config),
+        };
+        self.get_or_build(
+            &self.coeffs,
+            ck,
+            names::SERVER_CACHE_COEFFS_MISS,
+            names::COEFFS_BUILD_MS,
+            || KernelCoeffs::build(mesh, config),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(level: u32) -> MeshKey {
+        MeshKey {
+            level,
+            lloyd: 0,
+            reorder: Reordering::None,
+        }
+    }
+
+    #[test]
+    fn same_key_returns_the_same_arc_and_counts_one_miss() {
+        let rec = Recorder::new();
+        let cache = ArtifactCache::new(rec.clone());
+        let a = cache.mesh(key(2));
+        let b = cache.mesh(key(2));
+        assert!(Arc::ptr_eq(&a, &b));
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter(names::SERVER_CACHE_MESH_MISS), Some(1));
+        assert_eq!(snap.counter(names::SERVER_CACHE_HIT), Some(1));
+        assert!(snap.gauge(names::MESH_BUILD_MS).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn concurrent_first_requests_build_exactly_once() {
+        let rec = Recorder::new();
+        let cache = Arc::new(ArtifactCache::new(rec.clone()));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = cache.clone();
+                std::thread::spawn(move || cache.mesh(key(3)))
+            })
+            .collect();
+        let meshes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for m in &meshes[1..] {
+            assert!(Arc::ptr_eq(&meshes[0], m));
+        }
+        assert_eq!(
+            rec.snapshot().counter(names::SERVER_CACHE_MESH_MISS),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn coeffs_key_separates_configs_on_one_mesh() {
+        let rec = Recorder::new();
+        let cache = ArtifactCache::new(rec.clone());
+        let mk = key(2);
+        let mesh = cache.mesh(mk);
+        let base = ModelConfig::default();
+        let viscous = ModelConfig {
+            del2_viscosity: 1e4,
+            ..Default::default()
+        };
+        let a = cache.kernel_coeffs(mk, &mesh, &base);
+        let b = cache.kernel_coeffs(mk, &mesh, &base);
+        let c = cache.kernel_coeffs(mk, &mesh, &viscous);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(
+            rec.snapshot().counter(names::SERVER_CACHE_COEFFS_MISS),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn config_digest_is_field_sensitive() {
+        let base = ModelConfig::default();
+        let tweaked = ModelConfig {
+            apvm_factor: base.apvm_factor + 0.125,
+            ..base
+        };
+        let again = ModelConfig {
+            apvm_factor: base.apvm_factor + 0.125,
+            ..base
+        };
+        assert_ne!(config_digest(&base), config_digest(&tweaked));
+        assert_eq!(config_digest(&tweaked), config_digest(&again));
+    }
+}

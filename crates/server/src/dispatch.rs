@@ -1,0 +1,301 @@
+//! Bounded worker pool with scheduler-driven placement.
+//!
+//! Each worker owns a FIFO queue; a submitted job is placed on the worker
+//! with the smallest *modeled* backlog, where a job's cost is the
+//! `mpas-sched` policy's modeled seconds-per-step on the Table-II node
+//! (`mpas_hybrid::time_per_step` on analytic mesh counts — no mesh build
+//! needed at admission time) times its step count. Placement is therefore
+//! earliest-finish-time over the pool, priced by the same roofline model
+//! the rest of the stack uses, not round-robin.
+//!
+//! The total number of *queued* jobs is capped; `submit` refuses beyond
+//! the cap so the HTTP layer can answer 429 instead of buffering without
+//! bound. `drain()` stops intake, lets every queued job finish, and joins
+//! the workers — the graceful-shutdown path.
+
+use mpas_hybrid::Platform;
+use mpas_patterns::dataflow::MeshCounts;
+use mpas_telemetry::{names, Recorder};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of queued work: the registered job id plus its modeled cost.
+pub struct QueuedJob {
+    /// Registry id.
+    pub id: u64,
+    /// Modeled seconds of compute (see [`modeled_job_cost`]).
+    pub cost_s: f64,
+}
+
+/// Analytic mesh counts for a level-`level` icosahedral mesh
+/// (`10·4^L + 2` cells, `30·4^L` edges, `20·4^L` vertices) — exact for
+/// the generator's meshes, and available without building one.
+pub fn mesh_counts_for_level(level: u32) -> MeshCounts {
+    let f = 4f64.powi(level as i32);
+    MeshCounts {
+        n_cells: 10.0 * f + 2.0,
+        n_edges: 30.0 * f,
+        n_vertices: 20.0 * f,
+    }
+}
+
+/// Modeled seconds a job occupies a worker: the policy's modeled
+/// time-per-step on this level's counts, times the step count. Falls back
+/// to a count-proportional estimate if the policy name fails to resolve
+/// (submission validation makes that unreachable in practice).
+pub fn modeled_job_cost(level: u32, steps: usize, policy: &str) -> f64 {
+    let mc = mesh_counts_for_level(level);
+    let per_step = mpas_sched::resolve(policy)
+        .map(|p| mpas_hybrid::time_per_step(&mc, &Platform::paper_node(), p))
+        .unwrap_or(mc.n_edges * 1e-8);
+    per_step * steps as f64
+}
+
+struct PoolState {
+    queues: Vec<VecDeque<QueuedJob>>,
+    /// Modeled seconds of work queued or running per worker.
+    backlog: Vec<f64>,
+    queued: usize,
+    draining: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+    rec: Recorder,
+}
+
+/// The dispatcher: owns the queues and the worker threads.
+pub struct Dispatcher {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    capacity: usize,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue cap is reached; retry later (HTTP 429).
+    Full,
+    /// The pool is draining; no new work is accepted (HTTP 503).
+    Draining,
+}
+
+impl Dispatcher {
+    /// Start `n_workers` workers, admitting at most `capacity` queued jobs.
+    /// Each worker runs `work(worker_index, job)` for every job placed on
+    /// it, inside a `rank{w}`-tracked span so the PR 5 blame engine can
+    /// ingest server traces unchanged.
+    pub fn start(
+        n_workers: usize,
+        capacity: usize,
+        rec: Recorder,
+        work: impl Fn(usize, QueuedJob) + Send + Sync + 'static,
+    ) -> Self {
+        let n_workers = n_workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                queues: (0..n_workers).map(|_| VecDeque::new()).collect(),
+                backlog: vec![0.0; n_workers],
+                queued: 0,
+                draining: false,
+            }),
+            work_ready: Condvar::new(),
+            rec,
+        });
+        let work = Arc::new(work);
+        let workers = (0..n_workers)
+            .map(|w| {
+                let shared = shared.clone();
+                let work = work.clone();
+                std::thread::Builder::new()
+                    .name(format!("mpas-worker-{w}"))
+                    .spawn(move || worker_loop(w, &shared, &*work))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Dispatcher {
+            shared,
+            workers: Mutex::new(workers),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Place a job on the least-loaded worker (by modeled backlog).
+    /// Returns the worker index, or why the job was refused.
+    pub fn submit(&self, job: QueuedJob) -> Result<usize, SubmitError> {
+        let mut st = self.shared.state.lock().expect("pool poisoned");
+        if st.draining {
+            return Err(SubmitError::Draining);
+        }
+        if st.queued >= self.capacity {
+            self.shared.rec.add(names::SERVER_JOBS_REJECTED, 1);
+            return Err(SubmitError::Full);
+        }
+        let w = (0..st.backlog.len())
+            .min_by(|&a, &b| st.backlog[a].total_cmp(&st.backlog[b]))
+            .expect("at least one worker");
+        st.backlog[w] += job.cost_s;
+        st.queues[w].push_back(job);
+        st.queued += 1;
+        self.shared.rec.add(names::SERVER_JOBS_SUBMITTED, 1);
+        self.shared
+            .rec
+            .set_gauge(names::SERVER_QUEUE_DEPTH, st.queued as f64);
+        drop(st);
+        self.shared.work_ready.notify_all();
+        Ok(w)
+    }
+
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().expect("pool poisoned").queued
+    }
+
+    /// Stop intake, run every queued job to completion, join the workers.
+    /// Idempotent; later calls return immediately.
+    pub fn drain(&self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool poisoned");
+            st.draining = true;
+        }
+        self.shared.work_ready.notify_all();
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("workers poisoned")
+            .drain(..)
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    }
+}
+
+fn worker_loop(w: usize, shared: &Shared, work: &(impl Fn(usize, QueuedJob) + ?Sized)) {
+    let track = format!("rank{w}");
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool poisoned");
+            loop {
+                if let Some(job) = st.queues[w].pop_front() {
+                    st.queued -= 1;
+                    shared
+                        .rec
+                        .set_gauge(names::SERVER_QUEUE_DEPTH, st.queued as f64);
+                    break Some(job);
+                }
+                if st.draining {
+                    break None;
+                }
+                st = shared.work_ready.wait(st).expect("pool poisoned");
+            }
+        };
+        let Some(job) = job else { return };
+        let cost = job.cost_s;
+        {
+            let _span = shared.rec.span(&track, &format!("server.job{}", job.id));
+            work(w, job);
+        }
+        let mut st = shared.state.lock().expect("pool poisoned");
+        st.backlog[w] = (st.backlog[w] - cost).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn placement_spreads_equal_jobs_across_workers() {
+        let d = Dispatcher::start(3, 16, Recorder::noop(), |_, _| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        });
+        let mut placed = Vec::new();
+        for id in 0..3 {
+            placed.push(d.submit(QueuedJob { id, cost_s: 1.0 }).unwrap());
+        }
+        placed.sort_unstable();
+        assert_eq!(placed, vec![0, 1, 2]);
+        d.drain();
+    }
+
+    #[test]
+    fn cheap_jobs_pack_behind_the_light_worker() {
+        // Worker 0 gets a heavy job; subsequent light jobs must avoid it.
+        let d = Dispatcher::start(2, 16, Recorder::noop(), |_, _| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        });
+        assert_eq!(
+            d.submit(QueuedJob {
+                id: 0,
+                cost_s: 100.0
+            })
+            .unwrap(),
+            0
+        );
+        assert_eq!(d.submit(QueuedJob { id: 1, cost_s: 1.0 }).unwrap(), 1);
+        assert_eq!(d.submit(QueuedJob { id: 2, cost_s: 1.0 }).unwrap(), 1);
+        d.drain();
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_drain_runs_everything() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let done2 = done.clone();
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let gate2 = gate.clone();
+        let d = Dispatcher::start(1, 2, Recorder::noop(), move |_, _| {
+            let (lock, cv) = &*gate2;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            done2.fetch_add(1, Ordering::SeqCst);
+        });
+        // First job is picked up by the worker (blocked on the gate), two
+        // more fill the queue; the fourth must be refused.
+        d.submit(QueuedJob { id: 0, cost_s: 1.0 }).unwrap();
+        while d.queued() > 0 {
+            std::thread::yield_now();
+        }
+        for id in 1..3 {
+            d.submit(QueuedJob { id, cost_s: 1.0 }).unwrap();
+        }
+        assert_eq!(
+            d.submit(QueuedJob { id: 3, cost_s: 1.0 }).unwrap_err(),
+            SubmitError::Full
+        );
+        *gate.0.lock().unwrap() = true;
+        gate.1.notify_all();
+        d.drain();
+        assert_eq!(done.load(Ordering::SeqCst), 3);
+        assert_eq!(
+            d.submit(QueuedJob { id: 4, cost_s: 1.0 }).unwrap_err(),
+            SubmitError::Draining
+        );
+    }
+
+    #[test]
+    fn modeled_cost_scales_with_level_and_steps() {
+        let small = modeled_job_cost(3, 10, "pattern-driven");
+        let big = modeled_job_cost(5, 10, "pattern-driven");
+        let longer = modeled_job_cost(3, 20, "pattern-driven");
+        assert!(small > 0.0);
+        assert!(big > 4.0 * small, "level-5 job must model >= 16x the work");
+        assert!((longer / small - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mesh_counts_match_the_generator() {
+        for level in [1u32, 3] {
+            let mesh = mpas_mesh::generate(level, 0);
+            let mc = mesh_counts_for_level(level);
+            assert_eq!(mc.n_cells as usize, mesh.n_cells());
+            assert_eq!(mc.n_edges as usize, mesh.n_edges());
+            assert_eq!(mc.n_vertices as usize, mesh.n_vertices());
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Minimal HTTP/1.1 framing over `std::net` — just enough protocol for a
+//! loopback job API: request-line + headers + `Content-Length` body in,
+//! one `Connection: close` response out. No keep-alive, no chunked
+//! encoding, no TLS; tenants that need more put a real proxy in front.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on accepted request bodies (a job spec is ~200 bytes; a
+/// multi-megabyte body is a client bug or abuse, not a bigger job).
+const MAX_BODY: usize = 1 << 20;
+
+/// A parsed request.
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the request target (query strings are not used).
+    pub path: String,
+    /// Decoded body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Read one request off `stream`.
+pub fn read_request(stream: &TcpStream) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("empty request line"))?;
+    let path = parts.next().ok_or_else(|| bad("missing request target"))?;
+    let method = method.to_ascii_uppercase();
+    let path = path.to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(bad("connection closed inside headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(bad("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad("body is not utf-8"))?;
+    Ok(Request { method, path, body })
+}
+
+/// Write a complete JSON response and flush.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// One-line JSON error payload.
+pub fn error_body(msg: &str) -> String {
+    format!("{{\"error\": \"{}\"}}\n", mpas_telemetry::json_escape(msg))
+}
+
+/// Blocking one-shot client: send `method path` with a JSON `body` to
+/// `addr`, return `(status, body)`. The counterpart of [`read_request`] /
+/// [`write_response`], used by the load generator and the tests.
+pub fn request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    BufReader::new(stream).read_to_string(&mut raw)?;
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn round_trip(raw: &str) -> io::Result<Request> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw.as_bytes()).unwrap();
+        });
+        let (server, _) = listener.accept().unwrap();
+        let req = read_request(&server);
+        client.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            round_trip("POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\n{\"level\":3}")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.body, "{\"level\":3}");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = round_trip("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_bodies() {
+        let raw = format!(
+            "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(round_trip(&raw).is_err());
+    }
+}

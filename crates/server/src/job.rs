@@ -1,0 +1,221 @@
+//! The wire-level job spec: what a tenant POSTs to `/jobs`, validated and
+//! translated into the mesh-cache key and the `mpas-core` runner spec.
+
+use crate::cache::MeshKey;
+use mpas_core::{Executor, JobSpec};
+use mpas_mesh::Reordering;
+use mpas_telemetry::export::{parse_json, JsonValue};
+use mpas_telemetry::json_escape;
+
+/// A validated job submission. Every field has a default, so `{}` is a
+/// legal body (one day of case 5 on a level-4 mesh, serial, fused).
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Williamson case label (`"2"`, `"5"`, `"6"`).
+    pub case: String,
+    /// Case-2 flow-orientation angle, radians.
+    pub alpha: f64,
+    /// Icosahedral subdivision level.
+    pub level: u32,
+    /// Lloyd relaxation sweeps.
+    pub lloyd: u32,
+    /// RK-4 steps to run.
+    pub steps: usize,
+    /// Executor spec (`serial`, `threaded:N`, `hybrid:N:M`).
+    pub executor: String,
+    /// Scheduler-policy registry name.
+    pub policy: String,
+    /// Mesh numbering.
+    pub reorder: Reordering,
+    /// Use the fused-coefficient kernels.
+    pub fused: bool,
+    /// Progress/cancellation cadence in steps (0 = end only).
+    pub progress_every: usize,
+}
+
+impl Default for JobRequest {
+    fn default() -> Self {
+        JobRequest {
+            case: "5".to_string(),
+            alpha: 0.0,
+            level: 4,
+            lloyd: 0,
+            steps: 10,
+            executor: "serial".to_string(),
+            policy: "pattern-driven".to_string(),
+            reorder: Reordering::None,
+            fused: true,
+            progress_every: 1,
+        }
+    }
+}
+
+fn get_u32(obj: &JsonValue, key: &str, default: u32) -> Result<u32, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .filter(|x| *x >= 0.0 && x.fract() == 0.0)
+            .map(|x| x as u32)
+            .ok_or_else(|| format!("{key} must be a non-negative integer")),
+    }
+}
+
+fn get_str(obj: &JsonValue, key: &str, default: &str) -> Result<String, String> {
+    match obj.get(key) {
+        None => Ok(default.to_string()),
+        Some(v) => v
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("{key} must be a string")),
+    }
+}
+
+impl JobRequest {
+    /// Parse and validate a JSON submission body.
+    pub fn parse(body: &str) -> Result<JobRequest, String> {
+        let body = if body.trim().is_empty() { "{}" } else { body };
+        let v = parse_json(body).map_err(|at| format!("bad JSON at byte {at}"))?;
+        if v.as_obj().is_none() {
+            return Err("body must be a JSON object".to_string());
+        }
+        let d = JobRequest::default();
+        let req = JobRequest {
+            case: get_str(&v, "case", &d.case)?,
+            alpha: match v.get("alpha") {
+                None => d.alpha,
+                Some(a) => a
+                    .as_f64()
+                    .ok_or_else(|| "alpha must be a number".to_string())?,
+            },
+            level: get_u32(&v, "level", d.level)?,
+            lloyd: get_u32(&v, "lloyd", d.lloyd)?,
+            steps: get_u32(&v, "steps", d.steps as u32)? as usize,
+            executor: get_str(&v, "executor", &d.executor)?,
+            policy: get_str(&v, "policy", &d.policy)?,
+            reorder: {
+                let name = get_str(&v, "reorder", "none")?;
+                Reordering::parse(&name)
+                    .ok_or_else(|| format!("unknown reorder {name} (none, sfc or bfs)"))?
+            },
+            fused: match v.get("fused") {
+                None => d.fused,
+                Some(b) => b
+                    .as_bool()
+                    .ok_or_else(|| "fused must be a boolean".to_string())?,
+            },
+            progress_every: get_u32(&v, "progress_every", d.progress_every as u32)? as usize,
+        };
+        // Fail fast at submission time, not on a worker.
+        mpas_core::parse_case(&req.case, req.alpha)?;
+        mpas_core::parse_executor(&req.executor)?;
+        let _policy = mpas_sched::resolve(&req.policy)?;
+        if req.steps == 0 {
+            return Err("steps must be >= 1".to_string());
+        }
+        if req.level > 7 {
+            return Err("level must be <= 7".to_string());
+        }
+        Ok(req)
+    }
+
+    /// The mesh-cache key this job shares.
+    pub fn mesh_key(&self) -> MeshKey {
+        MeshKey {
+            level: self.level,
+            lloyd: self.lloyd,
+            reorder: self.reorder,
+        }
+    }
+
+    /// The executor (already validated in [`JobRequest::parse`]).
+    pub fn executor(&self) -> Executor {
+        mpas_core::parse_executor(&self.executor).expect("validated at parse time")
+    }
+
+    /// The `mpas-core` runner spec for this request.
+    pub fn spec(&self) -> JobSpec {
+        let mut spec = JobSpec::new(
+            mpas_core::parse_case(&self.case, self.alpha).expect("validated at parse time"),
+            self.steps,
+        );
+        spec.executor = self.executor();
+        spec.policy = self.policy.clone();
+        spec.fused = self.fused;
+        spec.progress_every = self.progress_every;
+        spec
+    }
+
+    /// The request echoed back as JSON (inside status documents).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"case\": \"{}\", \"alpha\": {}, \"level\": {}, \"lloyd\": {}, \
+             \"steps\": {}, \"executor\": \"{}\", \"policy\": \"{}\", \
+             \"reorder\": \"{}\", \"fused\": {}, \"progress_every\": {}}}",
+            json_escape(&self.case),
+            self.alpha,
+            self.level,
+            self.lloyd,
+            self.steps,
+            json_escape(&self.executor),
+            json_escape(&self.policy),
+            self.reorder.name(),
+            self.fused,
+            self.progress_every,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_body_yields_defaults() {
+        let req = JobRequest::parse("").unwrap();
+        assert_eq!(req.case, "5");
+        assert_eq!(req.level, 4);
+        assert_eq!(req.steps, 10);
+        assert!(req.fused);
+    }
+
+    #[test]
+    fn full_body_round_trips_through_to_json() {
+        let body = "{\"case\": \"6\", \"level\": 3, \"steps\": 7, \
+                    \"executor\": \"threaded:2\", \"policy\": \"heft\", \
+                    \"reorder\": \"sfc\", \"fused\": false, \"progress_every\": 2}";
+        let req = JobRequest::parse(body).unwrap();
+        assert_eq!(req.level, 3);
+        assert_eq!(req.reorder, Reordering::Sfc);
+        assert!(!req.fused);
+        let echoed = JobRequest::parse(&req.to_json()).unwrap();
+        assert_eq!(echoed.to_json(), req.to_json());
+    }
+
+    #[test]
+    fn invalid_fields_are_rejected_at_submission() {
+        assert!(JobRequest::parse("{\"case\": \"1\"}").is_err());
+        assert!(JobRequest::parse("{\"executor\": \"cuda\"}").is_err());
+        assert!(JobRequest::parse("{\"policy\": \"fifo\"}").is_err());
+        assert!(JobRequest::parse("{\"steps\": 0}").is_err());
+        assert!(JobRequest::parse("{\"level\": 9}").is_err());
+        assert!(JobRequest::parse("{\"fused\": \"yes\"}").is_err());
+        assert!(JobRequest::parse("not json").is_err());
+        assert!(JobRequest::parse("[1,2]").is_err());
+    }
+
+    #[test]
+    fn spec_translation_preserves_the_request() {
+        let req = JobRequest::parse("{\"steps\": 3, \"executor\": \"hybrid:2:1\"}").unwrap();
+        let spec = req.spec();
+        assert_eq!(spec.steps, 3);
+        assert_eq!(
+            spec.executor,
+            Executor::Hybrid {
+                cpu_threads: 2,
+                acc_threads: 1
+            }
+        );
+        assert_eq!(req.mesh_key().level, 4);
+    }
+}

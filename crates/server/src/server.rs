@@ -1,0 +1,385 @@
+//! The service itself: TCP accept loop, request routing, job handlers,
+//! and the graceful-drain shutdown protocol.
+
+use crate::cache::ArtifactCache;
+use crate::dispatch::{modeled_job_cost, Dispatcher, QueuedJob, SubmitError};
+use crate::http::{error_body, read_request, write_response, Request};
+use crate::job::JobRequest;
+use crate::registry::{JobState, Registry};
+use mpas_core::{JobError, JobProgress};
+use mpas_telemetry::{names, Recorder};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (read it back off
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Maximum jobs waiting in queues before submissions get 429.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+        }
+    }
+}
+
+struct Inner {
+    cache: ArtifactCache,
+    registry: Registry,
+    rec: Recorder,
+    draining: AtomicBool,
+}
+
+/// A running server. Dropping the handle does NOT stop the service; call
+/// [`ServerHandle::shutdown`] for the drain protocol.
+pub struct Server {
+    inner: Arc<Inner>,
+    dispatcher: Arc<Dispatcher>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Alias kept short in signatures.
+pub type ServerHandle = Server;
+
+impl Server {
+    /// Bind, spawn the worker pool and the accept loop, and return.
+    pub fn start(config: ServerConfig, rec: Recorder) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let inner = Arc::new(Inner {
+            cache: ArtifactCache::new(rec.clone()),
+            registry: Registry::new(),
+            rec: rec.clone(),
+            draining: AtomicBool::new(false),
+        });
+
+        let worker_inner = inner.clone();
+        let dispatcher = Arc::new(Dispatcher::start(
+            config.workers,
+            config.queue_capacity,
+            rec.clone(),
+            move |_w, job| execute_job(&worker_inner, job),
+        ));
+
+        let accept_inner = inner.clone();
+        let accept_dispatcher = dispatcher.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("mpas-accept".to_string())
+            .spawn(move || accept_loop(listener, &accept_inner, &accept_dispatcher))
+            .expect("spawn accept loop");
+
+        Ok(Server {
+            inner,
+            dispatcher,
+            addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (use this for port 0 binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful drain: stop accepting connections and submissions, run
+    /// every queued job to completion, join workers and the accept loop.
+    /// No accepted job is lost or run twice. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        self.dispatcher.drain();
+        if let Some(h) = self.accept_thread.take() {
+            h.join().expect("accept loop panicked");
+        }
+    }
+
+    /// Whether a drain has been requested (locally or via `POST
+    /// /shutdown`). The process owning the handle should call
+    /// [`Server::shutdown`] when this turns true.
+    pub fn draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    /// The telemetry sink (same one handed to [`Server::start`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.inner.rec
+    }
+
+    /// Direct registry access for tests and embedding.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: &Arc<Inner>, dispatcher: &Arc<Dispatcher>) {
+    loop {
+        if inner.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let inner = inner.clone();
+                let dispatcher = dispatcher.clone();
+                // Thread-per-connection: handlers are short (submission
+                // parsing or a registry lookup); the heavy work lives on
+                // the worker pool.
+                let _ = std::thread::Builder::new()
+                    .name("mpas-conn".to_string())
+                    .spawn(move || {
+                        let _ = stream.set_nodelay(true);
+                        handle_connection(stream, &inner, &dispatcher);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, inner: &Arc<Inner>, dispatcher: &Arc<Dispatcher>) {
+    let req = match read_request(&stream) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = write_response(&mut stream, 400, &error_body(&e.to_string()));
+            return;
+        }
+    };
+    let (status, body) = route(&req, inner, dispatcher);
+    let _ = write_response(&mut stream, status, &body);
+}
+
+fn route(req: &Request, inner: &Arc<Inner>, dispatcher: &Arc<Dispatcher>) -> (u16, String) {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let draining = inner.draining.load(Ordering::SeqCst);
+            (
+                200,
+                format!(
+                    "{{\"ok\": true, \"draining\": {draining}, \"active_jobs\": {}}}\n",
+                    inner.registry.active()
+                ),
+            )
+        }
+        ("GET", ["metrics"]) => (200, inner.rec.snapshot().to_json()),
+        ("POST", ["jobs"]) => submit_job(&req.body, inner, dispatcher),
+        ("GET", ["jobs", id]) => with_id(id, |id| job_status(id, inner)),
+        ("GET", ["jobs", id, "result"]) => with_id(id, |id| job_result(id, inner)),
+        ("POST", ["jobs", id, "cancel"]) => with_id(id, |id| cancel_job(id, inner)),
+        ("POST", ["shutdown"]) => {
+            // Acknowledge, then stop intake; the owner of the Server
+            // handle performs the blocking drain.
+            inner.draining.store(true, Ordering::SeqCst);
+            (200, "{\"ok\": true, \"draining\": true}\n".to_string())
+        }
+        (_, ["jobs", ..]) | (_, ["healthz"]) | (_, ["metrics"]) | (_, ["shutdown"]) => {
+            (405, error_body("method not allowed"))
+        }
+        _ => (404, error_body("no such route")),
+    }
+}
+
+fn with_id(raw: &str, f: impl FnOnce(u64) -> (u16, String)) -> (u16, String) {
+    match raw.parse::<u64>() {
+        Ok(id) => f(id),
+        Err(_) => (400, error_body("job id must be an integer")),
+    }
+}
+
+fn submit_job(body: &str, inner: &Arc<Inner>, dispatcher: &Arc<Dispatcher>) -> (u16, String) {
+    if inner.draining.load(Ordering::SeqCst) {
+        return (503, error_body("server is draining"));
+    }
+    let request = match JobRequest::parse(body) {
+        Ok(r) => r,
+        Err(e) => return (400, error_body(&e)),
+    };
+    let cost_s = modeled_job_cost(request.level, request.steps, &request.policy);
+    // Reserve the id first so the queue entry can carry it; placement
+    // fills the worker index in afterwards.
+    let (id, _cancel) = inner.registry.insert(request, usize::MAX);
+    match dispatcher.submit(QueuedJob { id, cost_s }) {
+        Ok(worker) => {
+            inner.registry.with(id, |e| e.worker = worker);
+            (
+                202,
+                format!(
+                    "{{\"id\": {id}, \"status\": \"queued\", \"worker\": {worker}, \
+                     \"modeled_cost_s\": {cost_s:e}}}\n"
+                ),
+            )
+        }
+        Err(refusal) => {
+            // Withdraw the registration: the job never entered a queue.
+            inner
+                .registry
+                .set_state(id, JobState::Failed("rejected".to_string()));
+            match refusal {
+                SubmitError::Full => (429, error_body("queue full, retry later")),
+                SubmitError::Draining => (503, error_body("server is draining")),
+            }
+        }
+    }
+}
+
+fn job_status(id: u64, inner: &Arc<Inner>) -> (u16, String) {
+    let doc = inner.registry.with(id, |e| {
+        let progress = match &e.state {
+            JobState::Running { step, total } => format!(", \"step\": {step}, \"total\": {total}"),
+            _ => String::new(),
+        };
+        let ttfs = e
+            .ttfs_ms
+            .map(|t| format!(", \"ttfs_ms\": {t:.3}"))
+            .unwrap_or_default();
+        format!(
+            "{{\"id\": {id}, \"status\": \"{}\", \"worker\": {}{progress}{ttfs}, \
+             \"request\": {}}}\n",
+            e.state.label(),
+            e.worker,
+            e.request.to_json(),
+        )
+    });
+    match doc {
+        Some(body) => (200, body),
+        None => (404, error_body("unknown job id")),
+    }
+}
+
+fn job_result(id: u64, inner: &Arc<Inner>) -> (u16, String) {
+    let state = inner.registry.with(id, |e| (e.state.clone(), e.ttfs_ms));
+    match state {
+        None => (404, error_body("unknown job id")),
+        Some((JobState::Completed(r), ttfs_ms)) => (
+            200,
+            format!(
+                "{{\"id\": {id}, \"status\": \"completed\", \"n_cells\": {}, \
+                 \"steps\": {}, \"dt\": {:e}, \"run_secs\": {:e}, \
+                 \"ttfs_ms\": {:.3}, \"mass_drift\": {:e}, \"h_err_l2\": {:e}, \
+                 \"state_hash\": \"{:016x}\"}}\n",
+                r.n_cells,
+                r.steps_done,
+                r.dt,
+                r.run_secs,
+                ttfs_ms.unwrap_or(r.ttfs_secs * 1e3),
+                r.mass_drift,
+                r.h_err_l2,
+                r.state_hash,
+            ),
+        ),
+        Some((JobState::Failed(msg), _)) => (
+            200,
+            format!(
+                "{{\"id\": {id}, \"status\": \"failed\", \"error\": \"{}\"}}\n",
+                mpas_telemetry::json_escape(&msg)
+            ),
+        ),
+        Some((JobState::Cancelled { steps_done }, _)) => (
+            200,
+            format!("{{\"id\": {id}, \"status\": \"cancelled\", \"steps_done\": {steps_done}}}\n"),
+        ),
+        Some((other, _)) => (
+            409,
+            format!(
+                "{{\"id\": {id}, \"status\": \"{}\", \"error\": \"not finished\"}}\n",
+                other.label()
+            ),
+        ),
+    }
+}
+
+fn cancel_job(id: u64, inner: &Arc<Inner>) -> (u16, String) {
+    match inner.registry.cancel(id) {
+        Some(label) => {
+            inner.rec.add(names::SERVER_JOBS_CANCELLED, 1);
+            (
+                200,
+                format!("{{\"id\": {id}, \"status\": \"{label}\", \"cancel\": true}}\n"),
+            )
+        }
+        None => (404, error_body("unknown job id")),
+    }
+}
+
+/// Worker-side job execution: resolve shared artifacts through the cache,
+/// run, and advance the registry state machine.
+fn execute_job(inner: &Arc<Inner>, job: QueuedJob) {
+    let id = job.id;
+    let Some((request, cancel)) = inner
+        .registry
+        .with(id, |e| (e.request.clone(), e.cancel.clone()))
+    else {
+        return;
+    };
+    if cancel.load(Ordering::Relaxed) {
+        inner
+            .registry
+            .set_state(id, JobState::Cancelled { steps_done: 0 });
+        return;
+    }
+    let total = request.steps;
+    inner
+        .registry
+        .set_state(id, JobState::Running { step: 0, total });
+
+    let key = request.mesh_key();
+    let mesh = inner.cache.mesh(key);
+    let spec = request.spec();
+    let coeffs = if spec.fused {
+        Some(inner.cache.kernel_coeffs(key, &mesh, &spec.config()))
+    } else {
+        None
+    };
+
+    let registry = &inner.registry;
+    let outcome = mpas_core::run_job(
+        &spec,
+        mesh,
+        coeffs,
+        &inner.rec,
+        &cancel,
+        |p: JobProgress| {
+            registry.note_first_step(id);
+            registry.set_state(
+                id,
+                JobState::Running {
+                    step: p.step,
+                    total: p.total,
+                },
+            );
+        },
+    );
+    match outcome {
+        Ok(result) => {
+            inner.rec.add(names::SERVER_JOBS_COMPLETED, 1);
+            inner.registry.set_state(id, JobState::Completed(result));
+        }
+        Err(JobError::Cancelled { steps_done }) => {
+            inner
+                .registry
+                .set_state(id, JobState::Cancelled { steps_done });
+        }
+        Err(JobError::Invalid(msg)) => {
+            inner.rec.add(names::SERVER_JOBS_FAILED, 1);
+            inner.registry.set_state(id, JobState::Failed(msg));
+        }
+    }
+}

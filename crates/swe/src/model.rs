@@ -34,8 +34,9 @@ pub struct ShallowWaterModel {
     /// Velocity-reconstruction coefficients.
     pub coeffs: ReconstructCoeffs,
     /// Precomputed fused kernel coefficients (used when
-    /// `config.fused_coeffs` is set).
-    pub kernel_coeffs: KernelCoeffs,
+    /// `config.fused_coeffs` is set). Shared so multi-tenant servers can
+    /// reuse one table across concurrent models on the same mesh/config.
+    pub kernel_coeffs: Arc<KernelCoeffs>,
     ws: Rk4Workspace,
     /// Model time in seconds.
     pub time: f64,
@@ -49,11 +50,25 @@ impl ShallowWaterModel {
     /// Initialize a model from a test case. `dt = None` picks the
     /// mesh-dependent stable default.
     pub fn new(mesh: Arc<Mesh>, config: ModelConfig, test_case: TestCase, dt: Option<f64>) -> Self {
+        Self::new_shared(mesh, config, test_case, dt, None)
+    }
+
+    /// Like [`ShallowWaterModel::new`], but reuse an already-built
+    /// coefficient table (it must have been built for this exact mesh and
+    /// config). `None` builds a fresh table.
+    pub fn new_shared(
+        mesh: Arc<Mesh>,
+        config: ModelConfig,
+        test_case: TestCase,
+        dt: Option<f64>,
+        shared_coeffs: Option<Arc<KernelCoeffs>>,
+    ) -> Self {
         let state = test_case.initial_state(&mesh);
         let b = test_case.topography(&mesh);
         let f_vertex = test_case.coriolis_vertex(&mesh);
         let coeffs = ReconstructCoeffs::build(&mesh);
-        let kernel_coeffs = KernelCoeffs::build(&mesh, &config);
+        let kernel_coeffs =
+            shared_coeffs.unwrap_or_else(|| Arc::new(KernelCoeffs::build(&mesh, &config)));
         let dt = dt.unwrap_or_else(|| ModelConfig::suggested_dt(&mesh));
         let mut diag = Diagnostics::zeros(&mesh);
         if config.fused_coeffs {

@@ -278,6 +278,14 @@ impl JsonValue {
         }
     }
 
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The elements, if this is an array.
     pub fn as_arr(&self) -> Option<&[JsonValue]> {
         match self {

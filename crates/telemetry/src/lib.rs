@@ -33,6 +33,7 @@
 pub mod analysis;
 pub mod export;
 pub mod gate;
+pub mod names;
 
 pub use export::{json_escape, ChromeTrace};
 

@@ -1,0 +1,61 @@
+//! Well-known metric names shared across crates.
+//!
+//! Most instrumentation names its metrics inline (`crate.subsystem.name`,
+//! DESIGN.md §8); the constants here are the ones that cross a crate
+//! boundary — recorded in one layer and asserted on, gated, or exported by
+//! another — so a rename cannot silently decouple producer and consumer.
+//! The serving stack (`mpas-server`, `swe_serve`/`swe_load`) is the main
+//! client: its cache layer records build costs and hit rates that the
+//! concurrency tests and the CI perf gate read back by these exact names.
+
+/// Counter: artifact-cache lookups that found a ready shared artifact.
+pub const SERVER_CACHE_HIT: &str = "server.cache.hit";
+
+/// Counter: artifact-cache lookups that had to build the artifact. The
+/// concurrency acceptance test pins the mesh component of this to exactly
+/// one build for N identical tenants (see [`SERVER_CACHE_MESH_MISS`]).
+pub const SERVER_CACHE_MISS: &str = "server.cache.miss";
+
+/// Counter: cache misses that built a shared mesh.
+pub const SERVER_CACHE_MESH_MISS: &str = "server.cache.mesh.miss";
+
+/// Counter: cache misses that built a shared coefficient table.
+pub const SERVER_CACHE_COEFFS_MISS: &str = "server.cache.coeffs.miss";
+
+/// Gauge: wall-clock milliseconds the last shared-mesh build took
+/// (cold-start cost of a mesh cache miss).
+pub const MESH_BUILD_MS: &str = "server.cache.mesh.build_ms";
+
+/// Gauge: wall-clock milliseconds the last fused-coefficient build took
+/// (cold-start cost of a coefficient cache miss).
+pub const COEFFS_BUILD_MS: &str = "server.cache.coeffs.build_ms";
+
+/// Gauge: jobs currently waiting in worker queues (backpressure signal;
+/// submissions beyond the configured capacity are rejected with 429).
+pub const SERVER_QUEUE_DEPTH: &str = "server.queue.depth";
+
+/// Counter: jobs accepted into the queue.
+pub const SERVER_JOBS_SUBMITTED: &str = "server.jobs.submitted";
+
+/// Counter: jobs that ran to completion.
+pub const SERVER_JOBS_COMPLETED: &str = "server.jobs.completed";
+
+/// Counter: submissions rejected with 429 because the queue was full.
+pub const SERVER_JOBS_REJECTED: &str = "server.jobs.rejected";
+
+/// Counter: jobs cancelled (queued or mid-run).
+pub const SERVER_JOBS_CANCELLED: &str = "server.jobs.cancelled";
+
+/// Counter: jobs that ended in an error.
+pub const SERVER_JOBS_FAILED: &str = "server.jobs.failed";
+
+/// Gauge: load-generator throughput in completed jobs per second
+/// (`swe_load`; gated with a lower-is-worse [`crate::gate::Direction`]).
+pub const SERVE_JOBS_PER_SEC: &str = "serve.jobs_per_sec";
+
+/// Gauge: load-generator p95 time-to-first-step in milliseconds
+/// (server-side submit → first completed step; higher-is-worse gate).
+pub const SERVE_TTFS_P95_MS: &str = "serve.ttfs_p95_ms";
+
+/// Gauge: load-generator p95 end-to-end job latency in milliseconds.
+pub const SERVE_LATENCY_P95_MS: &str = "serve.latency_p95_ms";
