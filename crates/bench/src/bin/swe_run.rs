@@ -30,13 +30,26 @@
 //! drift, h-error bound) always run when telemetry is on; a tripped
 //! monitor records a structured `alert` event and exits 3.
 //! `--inject-mass-drift X` deliberately offsets the drift gauge so the
-//! alarm chain can be tested end to end.
+//! alarm chain can be tested end to end; `--inject-courant X` does the
+//! same for the CFL monitor.
+//!
+//! ## Scenario catalog and validation
+//!
+//! `--case` accepts any catalog label (`1`..`6`, `williamson-N`,
+//! `galewsky`, `tracer-case5`); catalog switches (advection-only for
+//! case 1, tracer count for the tracer scenario) ride on the label.
+//! `--validate` runs the scenario at its committed `(level, days)`
+//! horizon, judges the measured error norms (and tracer-mass drift)
+//! against the reference bands in `mpas_swe::validation::SPECS`, records
+//! `validate.<case>.l2`/`.linf` gauges for the regression gate, and exits
+//! 2 on a violation. `--adaptive` switches the serial path to
+//! CFL-monitored adaptive time stepping.
 
 use mpas_bench::render::{sample_lonlat, write_ppm};
 use mpas_core::{DistributedConfig, Simulation};
 use mpas_mesh::Reordering;
 use mpas_patterns::dataflow::{DataflowGraph, MeshCounts, RkPhase};
-use mpas_swe::{ErrorNorms, ModelConfig, TestCase};
+use mpas_swe::{ErrorNorms, ModelConfig, ShallowWaterModel, TestCase};
 use mpas_telemetry::analysis::{
     check_invariants, default_invariants, diff_schedule, record_blame, CriticalPath, ModeledTask,
     Trace,
@@ -67,6 +80,9 @@ struct Args {
     gate_write: Option<PathBuf>,
     gate_strict: bool,
     inject_mass_drift: f64,
+    inject_courant: f64,
+    validate: bool,
+    adaptive: bool,
 }
 
 fn parse_args() -> Args {
@@ -92,6 +108,9 @@ fn parse_args() -> Args {
         gate_write: None,
         gate_strict: false,
         inject_mass_drift: 0.0,
+        inject_courant: 0.0,
+        validate: false,
+        adaptive: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -131,18 +150,25 @@ fn parse_args() -> Args {
             "--inject-mass-drift" => {
                 args.inject_mass_drift = val().parse().expect("inject-mass-drift")
             }
+            "--inject-courant" => args.inject_courant = val().parse().expect("inject-courant"),
+            "--validate" => args.validate = true,
+            "--adaptive" => args.adaptive = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: swe-run [--case 2|5|6] [--alpha RAD] [--level N] \
+                    "usage: swe-run [--case 1..6|williamson-N|galewsky|tracer-case5] \
+                     [--alpha RAD] [--level N] \
                      [--lloyd N] [--days X] [--executor serial|threaded:N|hybrid:N:M] \
                      [--policy NAME] [--reorder none|sfc|bfs] [--fused on|off] \
+                     [--validate] [--adaptive] \
                      [--ranks N] [--frames K] [--out DIR] \
                      [--trace FILE.json] [--metrics FILE.json|FILE.csv] \
                      [--bench-json FILE.json] \
                      [--report] [--report-json FILE.json] \
                      [--gate BASELINE.json] [--gate-write BASELINE.json] \
-                     [--gate-strict] [--inject-mass-drift X]\n\
+                     [--gate-strict] [--inject-mass-drift X] [--inject-courant X]\n\
+                     cases: {}\n\
                      policies: {}",
+                    mpas_swe::validation::catalog_names().join(", "),
                     mpas_sched::registered_names().join(", ")
                 );
                 std::process::exit(0);
@@ -159,7 +185,11 @@ struct RunStats {
     total_steps: usize,
     run_secs: f64,
     mass_drift: f64,
-    h_err_l2: f64,
+    /// Thickness error norms vs the case's reference at the final time.
+    norms: ErrorNorms,
+    /// Largest relative tracer-mass drift across tracers (`None` when the
+    /// scenario carries no tracers).
+    tracer_drift: Option<f64>,
     /// Modeled seconds per RK-4 step for the unit the run executed
     /// (calibrated per-rank serial model in distributed mode, the
     /// configured policy's roofline otherwise). 0 when not computed.
@@ -171,15 +201,17 @@ struct RunStats {
 /// Single-address-space path: the `Simulation` facade with the configured
 /// executor, frames, and modeled-trace support.
 fn run_single(args: &Args, tc: TestCase, rec: &Recorder) -> RunStats {
+    let mut config = ModelConfig {
+        fused_coeffs: args.fused,
+        ..Default::default()
+    };
+    mpas_core::apply_case_config(&args.case, &mut config);
     let mut sim = Simulation::builder()
         .mesh_level(args.level)
         .lloyd_iters(args.lloyd)
         .test_case(tc)
         .executor(mpas_core::parse_executor(&args.executor).unwrap_or_else(|e| panic!("{e}")))
-        .config(ModelConfig {
-            fused_coeffs: args.fused,
-            ..Default::default()
-        })
+        .config(config)
         .reorder(args.reorder)
         .sched_policy(&args.policy)
         .recorder(rec.clone())
@@ -243,6 +275,9 @@ fn run_single(args: &Args, tc: TestCase, rec: &Recorder) -> RunStats {
         t0.elapsed().as_secs_f64() * 1e3 / total_steps as f64,
         sim.mass_drift()
     );
+    if let Some(d) = sim.tracer_mass_drift() {
+        println!("tracer mass drift {:+.2e}", d);
+    }
     if args.frames > 0 {
         println!("wrote {frame} frames to {}", args.out.display());
     }
@@ -266,9 +301,100 @@ fn run_single(args: &Args, tc: TestCase, rec: &Recorder) -> RunStats {
         total_steps,
         run_secs,
         mass_drift: sim.mass_drift(),
-        h_err_l2: sim.h_error_norms().l2,
+        norms: sim.h_error_norms(),
+        tracer_drift: sim.tracer_mass_drift(),
         modeled_step_s,
         modeled_tasks,
+    }
+}
+
+/// Adaptive-dt path: the serial reference model with CFL-monitored step
+/// retuning. The run is judged by simulated time (`--days`), not a fixed
+/// step count, since `dt` floats inside the Courant band.
+fn run_adaptive(args: &Args, tc: TestCase, rec: &Recorder) -> RunStats {
+    const CFL_TARGET: f64 = 0.35;
+    const CFL_BAND: f64 = 0.25;
+    let mesh = mpas_core::build_mesh(args.level, args.lloyd, args.reorder);
+    let mut config = ModelConfig {
+        fused_coeffs: args.fused,
+        ..Default::default()
+    };
+    mpas_core::apply_case_config(&args.case, &mut config);
+    let mut model = ShallowWaterModel::new(mesh, config, tc, None);
+    let tracer_mass0: Vec<f64> = (0..config.n_tracers)
+        .map(|k| model.total_tracer(k))
+        .collect();
+    let mass0 = model.total_mass();
+    let horizon = args.days * 86_400.0;
+    println!(
+        "{}: {} cells, adaptive dt from {:.0} s (CFL target {CFL_TARGET} ±{:.0}%), \
+         {} days, serial, reorder {}, fused {}",
+        tc.name(),
+        model.mesh.n_cells(),
+        model.dt,
+        CFL_BAND * 100.0,
+        args.days,
+        args.reorder.name(),
+        args.fused
+    );
+
+    let t0 = std::time::Instant::now();
+    let mut steps = 0usize;
+    let mut max_c = 0.0f64;
+    let mut next_report = horizon / 8.0;
+    while model.time < horizon {
+        let ts = std::time::Instant::now();
+        let c = model.step_adaptive(CFL_TARGET, CFL_BAND);
+        rec.record("core.sim.step_seconds", ts.elapsed().as_secs_f64());
+        max_c = max_c.max(c);
+        steps += 1;
+        if model.time >= next_report {
+            println!(
+                "t = {:.2} days (step {steps}): dt {:.0} s, courant {:.3}, \
+                 h error l2 {:.3e}",
+                model.time / 86_400.0,
+                model.dt,
+                c,
+                model.h_error_norms().l2
+            );
+            next_report += horizon / 8.0;
+        }
+    }
+    let run_secs = t0.elapsed().as_secs_f64();
+
+    let mass_drift = (model.total_mass() - mass0) / mass0;
+    let norms = model.h_error_norms();
+    let tracer_drift = (!tracer_mass0.is_empty()).then(|| {
+        (0..config.n_tracers)
+            .map(|k| ((model.total_tracer(k) - tracer_mass0[k]) / tracer_mass0[k]).abs())
+            .fold(0.0f64, f64::max)
+    });
+    rec.set_gauge("core.sim.mass_drift", mass_drift);
+    rec.set_gauge("core.sim.h_err_l2", norms.l2);
+    rec.set_gauge("core.sim.max_courant", max_c);
+    if let Some(d) = tracer_drift {
+        rec.set_gauge("core.sim.tracer_mass_drift", d);
+    }
+    println!(
+        "finished {:.2?} ({:.1} ms/step, {} adaptive steps); mass drift {:+.2e}, \
+         max courant {:.3}, h error l2 {:.3e}",
+        t0.elapsed(),
+        run_secs * 1e3 / steps.max(1) as f64,
+        steps,
+        mass_drift,
+        max_c,
+        norms.l2
+    );
+
+    RunStats {
+        n_cells: model.mesh.n_cells(),
+        total_steps: steps,
+        run_secs,
+        mass_drift,
+        norms,
+        tracer_drift,
+        modeled_step_s: 0.0,
+        modeled_tasks: Vec::new(),
     }
 }
 
@@ -294,17 +420,19 @@ fn run_dist(args: &Args, tc: TestCase, rec: &Recorder) -> RunStats {
         eprintln!("warning: --frames is not supported with --ranks; skipping frame dumps");
     }
 
-    let model = ModelConfig {
+    let mut model = ModelConfig {
         fused_coeffs: args.fused,
         ..Default::default()
     };
-    let initial = tc.initial_state(&mesh);
+    mpas_core::apply_case_config(&args.case, &mut model);
+    let initial = tc.initial_state_with_tracers(&mesh, model.n_tracers);
     let mass = |h: &[f64]| -> f64 {
         (0..mesh.n_cells())
             .map(|i| h[i] * mesh.area_cell[i])
             .sum::<f64>()
     };
     let mass0 = mass(&initial.h);
+    let tracer_mass0: Vec<f64> = initial.tracers.iter().map(|tr| mass(tr)).collect();
 
     let t0 = std::time::Instant::now();
     let final_state = mpas_core::run_distributed_recorded(
@@ -326,15 +454,26 @@ fn run_dist(args: &Args, tc: TestCase, rec: &Recorder) -> RunStats {
     let reference: Vec<f64> = (0..mesh.n_cells())
         .map(|i| tc.reference_thickness_at(mesh.x_cell[i], time))
         .collect();
-    let h_err_l2 = ErrorNorms::compute(&final_state.h, &reference, &mesh.area_cell).l2;
+    let norms = ErrorNorms::compute(&final_state.h, &reference, &mesh.area_cell);
+    let tracer_drift = (!tracer_mass0.is_empty()).then(|| {
+        final_state
+            .tracers
+            .iter()
+            .zip(&tracer_mass0)
+            .map(|(tr, m0)| ((mass(tr) - m0) / m0).abs())
+            .fold(0.0f64, f64::max)
+    });
     rec.set_gauge("core.sim.mass_drift", mass_drift);
-    rec.set_gauge("core.sim.h_err_l2", h_err_l2);
+    rec.set_gauge("core.sim.h_err_l2", norms.l2);
+    if let Some(d) = tracer_drift {
+        rec.set_gauge("core.sim.tracer_mass_drift", d);
+    }
     println!(
         "finished {:.2?} ({:.1} ms/step); mass drift {:+.2e}, h error l2 {:.3e}",
         t0.elapsed(),
         run_secs * 1e3 / total_steps as f64,
         mass_drift,
-        h_err_l2
+        norms.l2
     );
 
     // Modeled comparison point: every rank runs the serial kernel chain on
@@ -376,7 +515,8 @@ fn run_dist(args: &Args, tc: TestCase, rec: &Recorder) -> RunStats {
         total_steps,
         run_secs,
         mass_drift,
-        h_err_l2,
+        norms,
+        tracer_drift,
         modeled_step_s,
         modeled_tasks,
     }
@@ -438,6 +578,23 @@ fn fit_baseline(name: String, rec: &Recorder) -> Baseline {
             severity: Severity::Fail,
             abs: false,
         });
+    }
+    // Scenario-validation norms (`--validate` runs): deterministic up to
+    // libm ulp differences, so fail-severity with a wide relative floor.
+    for (metric, &val) in snap.gauges.iter() {
+        if metric.starts_with("validate.") {
+            entries.push(BaselineEntry {
+                metric: metric.clone(),
+                median: val,
+                mad: 0.0,
+                count: 1,
+                k: 0.0,
+                floor: 0.5 * val.abs().max(1e-12),
+                direction: Direction::Above,
+                severity: Severity::Fail,
+                abs: false,
+            });
+        }
     }
     if let Some(w) = snap.gauge("analysis.blame.max_wait_frac") {
         entries.push(BaselineEntry {
@@ -505,8 +662,31 @@ fn report_json(
 }
 
 fn main() {
-    let args = parse_args();
+    let mut args = parse_args();
     let tc = mpas_core::parse_case(&args.case, args.alpha).unwrap_or_else(|e| panic!("{e}"));
+    if args.adaptive && args.ranks >= 2 {
+        panic!("--adaptive is a serial-path feature; drop --ranks");
+    }
+    if args.validate {
+        // Validation runs at the committed horizon, not the --days value:
+        // the committed norms are only meaningful at their (level, days).
+        match mpas_swe::validation::spec(&args.case, args.level) {
+            Some(sp) => {
+                args.days = sp.days;
+                println!(
+                    "validate: gating {} at level {} over {} simulated days",
+                    sp.name, args.level, sp.days
+                );
+            }
+            None => {
+                eprintln!(
+                    "validate: no committed norms for case {} at level {}",
+                    args.case, args.level
+                );
+                std::process::exit(2);
+            }
+        }
+    }
 
     println!(
         "generating level-{} mesh (lloyd {})...",
@@ -518,7 +698,10 @@ fn main() {
         || args.report_json.is_some()
         || args.gate.is_some()
         || args.gate_write.is_some()
-        || args.inject_mass_drift != 0.0;
+        || args.inject_mass_drift != 0.0
+        || args.inject_courant != 0.0
+        || args.validate
+        || args.adaptive;
     let rec = if telemetry_on {
         Recorder::new()
     } else {
@@ -527,6 +710,8 @@ fn main() {
 
     let stats = if args.ranks >= 2 {
         run_dist(&args, tc, &rec)
+    } else if args.adaptive {
+        run_adaptive(&args, tc, &rec)
     } else {
         run_single(&args, tc, &rec)
     };
@@ -540,6 +725,56 @@ fn main() {
             "core.sim.mass_drift",
             stats.mass_drift + args.inject_mass_drift,
         );
+    }
+    if args.inject_courant != 0.0 {
+        println!(
+            "injecting Courant number {} (invariant-monitor test hook)",
+            args.inject_courant
+        );
+        rec.set_gauge("core.sim.max_courant", args.inject_courant);
+    }
+
+    // -- scenario validation ----------------------------------------------
+    let mut validate_failed = false;
+    if args.validate {
+        match mpas_swe::validation::check(
+            &args.case,
+            args.level,
+            stats.total_steps,
+            stats.norms,
+            stats.tracer_drift.unwrap_or(0.0),
+        ) {
+            None => unreachable!("spec existence checked before the run"),
+            Some(r) => {
+                rec.set_gauge(&format!("validate.{}.l2", r.name), r.norms.l2);
+                rec.set_gauge(&format!("validate.{}.linf", r.name), r.norms.linf);
+                println!(
+                    "validate {} level {}: l2 {:.4e} (committed {:.4e}), \
+                     linf {:.4e} (committed {:.4e}), tolerance ±{:.0}%",
+                    r.name,
+                    r.level,
+                    r.norms.l2,
+                    r.spec.l2,
+                    r.norms.linf,
+                    r.spec.linf,
+                    r.spec.tolerance * 100.0
+                );
+                if let Some(d) = stats.tracer_drift {
+                    println!(
+                        "validate {}: tracer mass drift {:.3e} over {} steps",
+                        r.name, d, r.steps
+                    );
+                }
+                if r.passed() {
+                    println!("validate {}: PASS", r.name);
+                } else {
+                    for f in &r.failures {
+                        eprintln!("validate {}: FAIL — {f}", r.name);
+                    }
+                    validate_failed = true;
+                }
+            }
+        }
     }
 
     // -- trace analysis ---------------------------------------------------
@@ -621,7 +856,7 @@ fn main() {
             stats.run_secs,
             stats.run_secs * 1e3 / stats.total_steps as f64,
             stats.mass_drift,
-            stats.h_err_l2,
+            stats.norms.l2,
         );
         std::fs::write(path, &json).expect("write bench json");
         println!("wrote bench record to {}", path.display());
@@ -663,6 +898,8 @@ fn main() {
             path.display()
         );
     }
+    // Exit-code precedence: tripped invariant (3) > validation band (2) >
+    // statistical gate (1).
     let mut exit_code = 0;
     if let Some(path) = &args.gate {
         let text = std::fs::read_to_string(path)
@@ -674,6 +911,9 @@ fn main() {
         if outcome.failed() || (args.gate_strict && outcome.warned()) {
             exit_code = 1;
         }
+    }
+    if validate_failed {
+        exit_code = 2;
     }
     for a in &alerts {
         eprintln!(

@@ -11,7 +11,7 @@
 
 use mpas_mesh::{extract_local_mesh, Mesh, MeshPartition};
 use mpas_msg::comm::{run_ranks, RankCtx};
-use mpas_msg::halo::HaloExchanger;
+use mpas_msg::halo::{FieldKind, HaloExchanger};
 use mpas_swe::coeffs::KernelCoeffs;
 use mpas_swe::config::ModelConfig;
 use mpas_swe::kernels;
@@ -70,37 +70,48 @@ pub fn run_distributed_recorded(mesh: &Mesh, cfg: DistributedConfig, rec: &Recor
     // Assemble the global state from each rank's owned entries.
     let mut h = vec![0.0; mesh.n_cells()];
     let mut u = vec![0.0; mesh.n_edges()];
-    for (rank, (lh, lu)) in results.into_iter().enumerate() {
+    let mut tracers = vec![vec![0.0; mesh.n_cells()]; cfg.model.n_tracers];
+    for (rank, (lh, lu, ltr)) in results.into_iter().enumerate() {
         let lm = &locals[rank].0;
         for (l, &g) in lm.cell_l2g[..lm.n_owned_cells].iter().enumerate() {
             h[g as usize] = lh[l];
+            for (k, lt) in ltr.iter().enumerate() {
+                tracers[k][g as usize] = lt[l];
+            }
         }
         for (l, &g) in lm.edge_l2g[..lm.n_owned_edges].iter().enumerate() {
             u[g as usize] = lu[l];
         }
     }
-    State { h, u }
+    State { h, u, tracers }
 }
 
-/// One rank's full time loop. Returns its owned (h, u) slices.
+/// One rank's full time loop. Returns its owned (h, u, tracer) slices.
 fn rank_main(
     ctx: &mut RankCtx,
     lm: &mpas_mesh::LocalMesh,
     rl: mpas_mesh::RankLocal,
     cfg: &DistributedConfig,
     rec: &Recorder,
-) -> (Vec<f64>, Vec<f64>) {
+) -> (Vec<f64>, Vec<f64>, Vec<Vec<f64>>) {
     let mesh = &lm.mesh;
     let mcfg = &cfg.model;
     let tc = cfg.test_case;
     let dt = cfg.dt;
 
-    let mut state = tc.initial_state(mesh);
+    let mut state = tc.initial_state_with_tracers(mesh, mcfg.n_tracers);
     let b = tc.topography(mesh);
     let f_vertex = tc.coriolis_vertex(mesh);
     let coeffs = ReconstructCoeffs::build(mesh);
     let kc = KernelCoeffs::build(mesh, mcfg);
     let fused = mcfg.fused_coeffs;
+    // Case-4 forcing, computed from the rank's own local mesh: the
+    // background state is sampled analytically (exact on halos too) and
+    // three halo layers make every owned tendency entry equal the serial
+    // one, so the owned forcing entries are bitwise the serial forcing.
+    let forcing = tc.needs_forcing().then(|| {
+        mpas_swe::model::compute_equilibrium_forcing(mesh, mcfg, &kc, &tc, &b, &f_vertex, dt)
+    });
     // Same branch the single-address-space executors take: per-entity the
     // local coefficients equal the global ones, so owned outputs stay
     // bit-for-bit identical to the serial run on either path.
@@ -112,9 +123,9 @@ fn rank_main(
         }
     };
     let mut diag = Diagnostics::zeros(mesh);
-    let mut tend = Tendencies::zeros(mesh);
-    let mut provis = State::zeros(mesh);
-    let mut acc = State::zeros(mesh);
+    let mut tend = Tendencies::zeros_with_tracers(mesh, mcfg.n_tracers);
+    let mut provis = State::zeros_with_tracers(mesh, mcfg.n_tracers);
+    let mut acc = State::zeros_with_tracers(mesh, mcfg.n_tracers);
     let mut recon = Reconstruction::zeros(mesh);
     let mut hx = HaloExchanger::new(rl).with_recorder(rec.clone());
 
@@ -149,6 +160,31 @@ fn rank_main(
             } else {
                 kernels::compute_tend(mesh, mcfg, &provis.h, &provis.u, &b, &diag, &mut tend);
             }
+            if !provis.tracers.is_empty() {
+                if fused {
+                    kernels::compute_tend_tracers_fused(
+                        mesh,
+                        &kc,
+                        &provis.h,
+                        &provis.u,
+                        &diag,
+                        &provis.tracers,
+                        &mut tend,
+                    );
+                } else {
+                    kernels::compute_tend_tracers(
+                        mesh,
+                        &provis.h,
+                        &provis.u,
+                        &diag,
+                        &provis.tracers,
+                        &mut tend,
+                    );
+                }
+            }
+            if let Some(f) = &forcing {
+                kernels::apply_forcing(mesh, f, &mut tend);
+            }
             kernels::enforce_boundary_edge(mesh, &mut tend);
             if stage < 3 {
                 // Owned region only; halos come from the owners.
@@ -162,6 +198,9 @@ fn rank_main(
                 );
                 let ncl = hx.local().n_cells();
                 hx.exchange_state(ctx, &mut provis.h[..ncl], &mut provis.u);
+                for tr in provis.tracers.iter_mut() {
+                    hx.exchange(ctx, FieldKind::Cell, &mut tr[..ncl]);
+                }
                 solve_diag(&provis.h, &provis.u, &mut diag);
                 accumulate_owned(
                     &tend,
@@ -180,8 +219,14 @@ fn rank_main(
                 );
                 state.h[..n_owned_cells].copy_from_slice(&acc.h[..n_owned_cells]);
                 state.u[..n_owned_edges].copy_from_slice(&acc.u[..n_owned_edges]);
+                for (tr, atr) in state.tracers.iter_mut().zip(&acc.tracers) {
+                    tr[..n_owned_cells].copy_from_slice(&atr[..n_owned_cells]);
+                }
                 let ncl = hx.local().n_cells();
                 hx.exchange_state(ctx, &mut state.h[..ncl], &mut state.u);
+                for tr in state.tracers.iter_mut() {
+                    hx.exchange(ctx, FieldKind::Cell, &mut tr[..ncl]);
+                }
                 solve_diag(&state.h, &state.u, &mut diag);
                 kernels::mpas_reconstruct(mesh, &coeffs, &state.u, &mut recon);
             }
@@ -201,6 +246,11 @@ fn rank_main(
     (
         state.h[..n_owned_cells].to_vec(),
         state.u[..n_owned_edges].to_vec(),
+        state
+            .tracers
+            .iter()
+            .map(|tr| tr[..n_owned_cells].to_vec())
+            .collect(),
     )
 }
 
@@ -246,6 +296,11 @@ fn update_owned(base: &State, tend: &Tendencies, coef: f64, out: &mut State, nc:
     for e in 0..ne {
         out.u[e] = base.u[e] + coef * tend.tend_u[e];
     }
+    for (k, tr) in out.tracers.iter_mut().enumerate() {
+        for (i, t) in tr.iter_mut().enumerate().take(nc) {
+            *t = base.tracers[k][i] + coef * tend.tend_tracers[k][i];
+        }
+    }
 }
 
 fn accumulate_owned(tend: &Tendencies, weight: f64, acc: &mut State, nc: usize, ne: usize) {
@@ -254,6 +309,11 @@ fn accumulate_owned(tend: &Tendencies, weight: f64, acc: &mut State, nc: usize, 
     }
     for e in 0..ne {
         acc.u[e] += weight * tend.tend_u[e];
+    }
+    for (k, tr) in acc.tracers.iter_mut().enumerate() {
+        for (i, t) in tr.iter_mut().enumerate().take(nc) {
+            *t += weight * tend.tend_tracers[k][i];
+        }
     }
 }
 

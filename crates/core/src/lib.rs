@@ -26,5 +26,5 @@ pub mod simulation;
 
 pub use distributed::{halo_probe, run_distributed, run_distributed_recorded, DistributedConfig};
 pub use runner::{run_job, state_hash, JobError, JobProgress, JobResult, JobSpec};
-pub use setup::{apply_reorder, build_mesh, parse_case, parse_executor};
+pub use setup::{apply_case_config, apply_reorder, build_mesh, parse_case, parse_executor};
 pub use simulation::{Executor, Simulation, SimulationBuilder};

@@ -33,6 +33,11 @@ pub struct JobSpec {
     pub fused: bool,
     /// Explicit dt in seconds (`None` picks the stable default).
     pub dt: Option<f64>,
+    /// Passive tracers carried by the run (the catalog's tracer scenarios;
+    /// see [`crate::setup::apply_case_config`]).
+    pub n_tracers: usize,
+    /// Hold the wind fixed (Williamson case 1).
+    pub advection_only: bool,
     /// Invoke the progress callback every this many steps (0 = only on
     /// completion). Cancellation is checked at the same cadence.
     pub progress_every: usize,
@@ -48,6 +53,8 @@ impl JobSpec {
             policy: "pattern-driven".to_string(),
             fused: true,
             dt: None,
+            n_tracers: 0,
+            advection_only: false,
             progress_every: 0,
         }
     }
@@ -56,6 +63,8 @@ impl JobSpec {
     pub fn config(&self) -> ModelConfig {
         ModelConfig {
             fused_coeffs: self.fused,
+            n_tracers: self.n_tracers,
+            advection_only: self.advection_only,
             ..Default::default()
         }
     }
@@ -118,14 +127,16 @@ impl std::fmt::Display for JobError {
 }
 
 /// FNV-1a over the raw bit patterns of the prognostic fields, in index
-/// order (`h` then `u`). Bitwise-stable across executors by construction —
-/// the repo's executors agree bitwise — so equal hashes across tenants is
-/// the cheap proxy for "identical results".
+/// order (`h`, then `u`, then each tracer-mass field). Bitwise-stable
+/// across executors by construction — the repo's executors agree bitwise —
+/// so equal hashes across tenants is the cheap proxy for "identical
+/// results".
 pub fn state_hash(state: &State) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut hash = OFFSET;
-    for field in [&state.h, &state.u] {
+    let fields = [&state.h, &state.u].into_iter().chain(state.tracers.iter());
+    for field in fields {
         for &x in field.iter() {
             for byte in x.to_bits().to_le_bytes() {
                 hash ^= byte as u64;
@@ -311,9 +322,14 @@ mod tests {
         let mut st = State {
             h: vec![1.0, 2.0],
             u: vec![3.0],
+            tracers: vec![vec![4.0, 5.0]],
         };
         let h0 = state_hash(&st);
         st.u[0] = f64::from_bits(st.u[0].to_bits() ^ 1);
-        assert_ne!(h0, state_hash(&st));
+        let h1 = state_hash(&st);
+        assert_ne!(h0, h1);
+        // Tracer bits are part of the digest too.
+        st.tracers[0][1] = f64::from_bits(st.tracers[0][1].to_bits() ^ 1);
+        assert_ne!(h1, state_hash(&st));
     }
 }

@@ -8,17 +8,35 @@
 
 use crate::simulation::Executor;
 use mpas_mesh::{Mesh, Reordering};
-use mpas_swe::TestCase;
+use mpas_swe::{ModelConfig, TestCase};
 use std::sync::Arc;
 
-/// Parse a Williamson case label (`"2"`, `"5"` or `"6"`); `alpha` is the
-/// flow-orientation angle used by case 2.
+/// Parse a scenario label into its test case: a bare Williamson digit
+/// (`"1"`..`"6"`), a catalog name (`"williamson-N"`, `"galewsky"`,
+/// `"tracer-case5"`). `alpha` is the flow-orientation angle used by cases
+/// 1 and 2.
 pub fn parse_case(case: &str, alpha: f64) -> Result<TestCase, String> {
     match case {
-        "2" => Ok(TestCase::Case2 { alpha }),
-        "5" => Ok(TestCase::Case5),
-        "6" => Ok(TestCase::Case6),
-        other => Err(format!("unsupported case {other} (2, 5 or 6)")),
+        "1" | "williamson-1" => Ok(TestCase::Case1 { alpha }),
+        "2" | "williamson-2" => Ok(TestCase::Case2 { alpha }),
+        "3" | "williamson-3" => Ok(TestCase::Case3),
+        "4" | "williamson-4" => Ok(TestCase::Case4),
+        "5" | "williamson-5" | "tracer-case5" => Ok(TestCase::Case5),
+        "6" | "williamson-6" => Ok(TestCase::Case6),
+        "galewsky" => Ok(TestCase::Galewsky),
+        other => Err(format!(
+            "unsupported case {other} (1-6, williamson-1..6, galewsky or tracer-case5)"
+        )),
+    }
+}
+
+/// Fold the catalog's per-scenario config switches into `config`: case 1
+/// holds the wind fixed (`advection_only`), the tracer scenario carries
+/// passive tracers. Labels outside the catalog leave `config` untouched.
+pub fn apply_case_config(case: &str, config: &mut ModelConfig) {
+    if let Some(sc) = mpas_swe::validation::scenario(case) {
+        config.advection_only = sc.advection_only;
+        config.n_tracers = sc.n_tracers;
     }
 }
 
@@ -71,7 +89,30 @@ mod tests {
             parse_case("2", 0.25).unwrap(),
             TestCase::Case2 { alpha: 0.25 }
         );
-        assert!(parse_case("1", 0.0).is_err());
+        assert_eq!(
+            parse_case("1", 0.1).unwrap(),
+            TestCase::Case1 { alpha: 0.1 }
+        );
+        assert_eq!(parse_case("williamson-3", 0.0).unwrap(), TestCase::Case3);
+        assert_eq!(parse_case("williamson-4", 0.0).unwrap(), TestCase::Case4);
+        assert_eq!(parse_case("galewsky", 0.0).unwrap(), TestCase::Galewsky);
+        assert_eq!(parse_case("tracer-case5", 0.0).unwrap(), TestCase::Case5);
+        assert!(parse_case("7", 0.0).is_err());
+    }
+
+    #[test]
+    fn catalog_config_switches_apply() {
+        let mut cfg = ModelConfig::default();
+        apply_case_config("williamson-1", &mut cfg);
+        assert!(cfg.advection_only);
+        assert_eq!(cfg.n_tracers, 0);
+        let mut cfg = ModelConfig::default();
+        apply_case_config("tracer-case5", &mut cfg);
+        assert!(!cfg.advection_only);
+        assert_eq!(cfg.n_tracers, 2);
+        let mut cfg = ModelConfig::default();
+        apply_case_config("not-a-case", &mut cfg);
+        assert_eq!(cfg, ModelConfig::default());
     }
 
     #[test]

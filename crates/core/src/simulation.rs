@@ -200,11 +200,16 @@ impl SimulationBuilder {
             mesh,
             engine,
             test_case: self.test_case,
+            config: self.config,
             initial_mass: 0.0,
+            initial_tracer_mass: Vec::new(),
             policy,
             recorder: self.recorder,
         };
         sim.initial_mass = initial_mass.unwrap_or_else(|| sim.total_mass());
+        sim.initial_tracer_mass = (0..sim.config.n_tracers)
+            .map(|k| sim.total_tracer(k))
+            .collect();
         sim
     }
 }
@@ -222,7 +227,10 @@ pub struct Simulation {
     engine: Engine,
     /// The configured scenario.
     pub test_case: TestCase,
+    /// The numerical options the engine was built with.
+    pub config: ModelConfig,
     initial_mass: f64,
+    initial_tracer_mass: Vec<f64>,
     policy: Box<dyn SchedulerPolicy>,
     recorder: Recorder,
 }
@@ -252,6 +260,11 @@ impl Simulation {
                 .set_gauge("core.sim.mass_drift", self.mass_drift());
             self.recorder
                 .set_gauge("core.sim.h_err_l2", self.h_error_norms().l2);
+            self.recorder
+                .set_gauge("core.sim.max_courant", self.max_courant());
+            if let Some(d) = self.tracer_mass_drift() {
+                self.recorder.set_gauge("core.sim.tracer_mass_drift", d);
+            }
         }
     }
 
@@ -286,6 +299,56 @@ impl Simulation {
         }
     }
 
+    /// Model time in seconds.
+    pub fn time(&self) -> f64 {
+        match &self.engine {
+            Engine::Serial(m) => m.time,
+            Engine::Threaded(m) => m.time,
+            Engine::Hybrid(m) => m.time(),
+        }
+    }
+
+    /// Maximum Courant number over edges at the current state, using the
+    /// external gravity-wave speed `|u| + sqrt(g h_edge)` — the stability
+    /// quantity the CFL invariant monitors.
+    pub fn max_courant(&self) -> f64 {
+        let diag = match &self.engine {
+            Engine::Serial(m) => &m.diag,
+            Engine::Threaded(m) => &m.diag,
+            Engine::Hybrid(m) => m.diag(),
+        };
+        let (u, g, dt) = (&self.state().u, self.config.gravity, self.dt());
+        (0..self.mesh.n_edges())
+            .map(|e| {
+                let c = u[e].abs() + (g * diag.h_edge[e].max(0.0)).sqrt();
+                c * dt / self.mesh.dc_edge[e]
+            })
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Total mass of tracer `k` (`∫ h·q dA`, conserved to rounding).
+    pub fn total_tracer(&self, k: usize) -> f64 {
+        let tr = &self.state().tracers[k];
+        (0..self.mesh.n_cells())
+            .map(|i| tr[i] * self.mesh.area_cell[i])
+            .sum()
+    }
+
+    /// Largest relative tracer-mass drift since initialization across the
+    /// configured tracers, or `None` when the run carries no tracers.
+    pub fn tracer_mass_drift(&self) -> Option<f64> {
+        if self.initial_tracer_mass.is_empty() {
+            return None;
+        }
+        Some(
+            self.initial_tracer_mass
+                .iter()
+                .enumerate()
+                .map(|(k, &m0)| ((self.total_tracer(k) - m0) / m0).abs())
+                .fold(0.0f64, f64::max),
+        )
+    }
+
     /// Total fluid mass (exactly conserved).
     pub fn total_mass(&self) -> f64 {
         let h = &self.state().h;
@@ -299,10 +362,18 @@ impl Simulation {
         (self.total_mass() - self.initial_mass) / self.initial_mass
     }
 
-    /// Thickness error norms vs the analytic solution (steady cases).
+    /// Thickness error norms against the test case's reference solution at
+    /// the current model time (the analytic field for steady cases and the
+    /// rigidly advected bell of case 1; the initial field otherwise) —
+    /// the same quantity [`mpas_swe::ShallowWaterModel::h_error_norms`]
+    /// reports, so facade and serial-model norms agree bitwise.
     pub fn h_error_norms(&self) -> ErrorNorms {
+        let time = self.time();
         let reference: Vec<f64> = (0..self.mesh.n_cells())
-            .map(|i| self.test_case.thickness_at(self.mesh.x_cell[i]))
+            .map(|i| {
+                self.test_case
+                    .reference_thickness_at(self.mesh.x_cell[i], time)
+            })
             .collect();
         ErrorNorms::compute(&self.state().h, &reference, &self.mesh.area_cell)
     }

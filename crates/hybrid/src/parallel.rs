@@ -137,6 +137,9 @@ pub struct ParallelModel {
     /// `config.fused_coeffs` is set). Shared so multi-tenant servers can
     /// reuse one table across concurrent models on the same mesh/config.
     pub kcoeffs: Arc<KernelCoeffs>,
+    /// Fixed per-stage forcing tendency (Williamson case 4), identical to
+    /// the serial model's — computed once at init with the serial kernels.
+    pub forcing: Option<Tendencies>,
     tend: Tendencies,
     provis: State,
     acc_state: State,
@@ -177,18 +180,24 @@ impl ParallelModel {
             .num_threads(n_threads)
             .build()
             .expect("pool");
-        let state = test_case.initial_state(&mesh);
+        let state = test_case.initial_state_with_tracers(&mesh, config.n_tracers);
         let b = test_case.topography(&mesh);
         let f_vertex = test_case.coriolis_vertex(&mesh);
         let coeffs = ReconstructCoeffs::build(&mesh);
         let kcoeffs =
             shared_coeffs.unwrap_or_else(|| Arc::new(KernelCoeffs::build(&mesh, &config)));
         let dt = dt.unwrap_or_else(|| ModelConfig::suggested_dt(&mesh));
+        let forcing = test_case.needs_forcing().then(|| {
+            mpas_swe::model::compute_equilibrium_forcing(
+                &mesh, &config, &kcoeffs, &test_case, &b, &f_vertex, dt,
+            )
+        });
         let chunk = (mesh.n_edges() / (4 * n_threads).max(1)).max(512);
         let mut m = ParallelModel {
-            tend: Tendencies::zeros(&mesh),
-            provis: State::zeros(&mesh),
-            acc_state: State::zeros(&mesh),
+            forcing,
+            tend: Tendencies::zeros_with_tracers(&mesh, config.n_tracers),
+            provis: State::zeros_with_tracers(&mesh, config.n_tracers),
+            acc_state: State::zeros_with_tracers(&mesh, config.n_tracers),
             diag: Diagnostics::zeros(&mesh),
             recon: Reconstruction::zeros(&mesh),
             state,
@@ -277,6 +286,12 @@ impl ParallelModel {
                     ops::h_edge(mesh, config, h, &[], &[], o, r)
                 });
             }
+        }
+        if config.advection_only {
+            // Williamson TC1: only the thickness flux is needed (the PV
+            // chain would divide by the zero-thickness tracer field) —
+            // mirror the serial composite's early return.
+            return;
         }
         {
             let _g = kernel_timer(&rec, "C2");
@@ -378,7 +393,11 @@ impl ParallelModel {
                 }
             });
         }
-        {
+        if config.advection_only {
+            // Williamson TC1 holds the wind fixed: the u-tendency is
+            // identically zero, matching the serial composite's early-out.
+            self.tend.tend_u.fill(0.0);
+        } else {
             let _g = kernel_timer(&rec, "B1");
             par_run(pool, &mut self.tend.tend_u, chunk, |r, o| {
                 if fu {
@@ -411,7 +430,7 @@ impl ParallelModel {
                 }
             });
         }
-        if config.del2_viscosity != 0.0 {
+        if !config.advection_only && config.del2_viscosity != 0.0 {
             let _g = kernel_timer(&rec, "C1");
             par_run(pool, &mut self.tend.tend_u, chunk, |r, o| {
                 if fu {
@@ -436,7 +455,7 @@ impl ParallelModel {
                 }
             });
         }
-        if config.del4_viscosity != 0.0 {
+        if !config.advection_only && config.del4_viscosity != 0.0 {
             // The del4 chain has no single Table-I label; time it as a unit.
             let _g = kernel_timer(&rec, "del4");
             let (ne, nc, nv) = (mesh.n_edges(), mesh.n_cells(), mesh.n_vertices());
@@ -470,6 +489,32 @@ impl ParallelModel {
                 } else {
                     ops::tend_u_del4(mesh, config.del4_viscosity, &div_lap, &vort_lap, o, r)
                 }
+            });
+        }
+        if !self.provis.tracers.is_empty() {
+            let _g = kernel_timer(&rec, "T1");
+            let tracers = &self.provis.tracers;
+            let h_edge = &d.h_edge;
+            for (k, out) in self.tend.tend_tracers.iter_mut().enumerate() {
+                let hq = &tracers[k];
+                par_run(pool, out, chunk, |r, o| {
+                    if fu {
+                        fused::tend_tracer(mesh, kc, u, h_edge, h, hq, o, r)
+                    } else {
+                        ops::tend_tracer(mesh, u, h_edge, h, hq, o, r)
+                    }
+                });
+            }
+        }
+        if let Some(f) = &self.forcing {
+            // Pattern F1: exact +1.0-weighted accumulate, same as serial.
+            let _g = kernel_timer(&rec, "F1");
+            let (fh, fu_) = (&f.tend_h, &f.tend_u);
+            par_run(pool, &mut self.tend.tend_h, chunk, |r, o| {
+                ops::accumulate(fh, 1.0, o, r)
+            });
+            par_run(pool, &mut self.tend.tend_u, chunk, |r, o| {
+                ops::accumulate(fu_, 1.0, o, r)
             });
         }
         {
@@ -518,6 +563,14 @@ impl ParallelModel {
                     par_run(pool, &mut self.provis.u, chunk, |r, o| {
                         ops::axpy(base_u, tend_u, RK_SUBSTEP[stage] * dt, o, r)
                     });
+                    drop(_g);
+                    for (k, out) in self.provis.tracers.iter_mut().enumerate() {
+                        let base = &self.state.tracers[k];
+                        let tt = &self.tend.tend_tracers[k];
+                        par_run(pool, out, chunk, |r, o| {
+                            ops::axpy(base, tt, RK_SUBSTEP[stage] * dt, o, r)
+                        });
+                    }
                 }
                 self.solve_diagnostics_on(Which::Provis);
                 self.accumulate(stage);
@@ -547,6 +600,12 @@ impl ParallelModel {
             let _g = kernel_timer(&rec, "X5");
             par_run(pool, &mut self.acc_state.u, chunk, |r, o| {
                 ops::accumulate(tend_u, RK_WEIGHTS[stage] * dt, o, r)
+            });
+        }
+        for (k, out) in self.acc_state.tracers.iter_mut().enumerate() {
+            let tt = &self.tend.tend_tracers[k];
+            par_run(pool, out, chunk, |r, o| {
+                ops::accumulate(tt, RK_WEIGHTS[stage] * dt, o, r)
             });
         }
     }
@@ -686,6 +745,11 @@ impl HybridModel {
         &self.inner.state
     }
 
+    /// The current diagnostics (consistent with the state).
+    pub fn diag(&self) -> &Diagnostics {
+        &self.inner.diag
+    }
+
     /// Time-step size in seconds.
     pub fn dt(&self) -> f64 {
         self.inner.dt
@@ -729,45 +793,51 @@ impl HybridModel {
                 let d = &m.diag;
                 let b = &m.b;
                 let mid = ((1.0 - self.acc_fraction) * mesh.n_edges() as f64) as usize;
-                split_run_timed(
-                    &m.pool,
-                    &self.acc_pool,
-                    &rec,
-                    "B1",
-                    &mut m.tend.tend_u,
-                    mid,
-                    m.chunk,
-                    |r, o| {
-                        if fu {
-                            fused::tend_u(
-                                mesh,
-                                kc,
-                                config.gravity,
-                                &d.pv_edge,
-                                u,
-                                &d.h_edge,
-                                &d.ke,
-                                h,
-                                b,
-                                o,
-                                r,
-                            )
-                        } else {
-                            ops::tend_u(
-                                mesh,
-                                config.gravity,
-                                &d.pv_edge,
-                                u,
-                                &d.h_edge,
-                                &d.ke,
-                                h,
-                                b,
-                                o,
-                                r,
-                            )
-                        }
-                    },
-                );
+                if config.advection_only {
+                    // Williamson TC1 holds the wind fixed, exactly like the
+                    // serial composite's early-out.
+                    m.tend.tend_u.fill(0.0);
+                } else {
+                    split_run_timed(
+                        &m.pool,
+                        &self.acc_pool,
+                        &rec,
+                        "B1",
+                        &mut m.tend.tend_u,
+                        mid,
+                        m.chunk,
+                        |r, o| {
+                            if fu {
+                                fused::tend_u(
+                                    mesh,
+                                    kc,
+                                    config.gravity,
+                                    &d.pv_edge,
+                                    u,
+                                    &d.h_edge,
+                                    &d.ke,
+                                    h,
+                                    b,
+                                    o,
+                                    r,
+                                )
+                            } else {
+                                ops::tend_u(
+                                    mesh,
+                                    config.gravity,
+                                    &d.pv_edge,
+                                    u,
+                                    &d.h_edge,
+                                    &d.ke,
+                                    h,
+                                    b,
+                                    o,
+                                    r,
+                                )
+                            }
+                        },
+                    );
+                }
                 let mid_c = ((1.0 - self.acc_fraction) * mesh.n_cells() as f64) as usize;
                 split_run_timed(
                     &m.pool,
@@ -785,7 +855,7 @@ impl HybridModel {
                         }
                     },
                 );
-                if config.del2_viscosity != 0.0 {
+                if !config.advection_only && config.del2_viscosity != 0.0 {
                     let _g = kernel_timer(&rec, "C1");
                     par_run(&m.pool, &mut m.tend.tend_u, m.chunk, |r, o| {
                         if fu {
@@ -810,6 +880,41 @@ impl HybridModel {
                         }
                     });
                 }
+                if !m.provis.tracers.is_empty() {
+                    // Tracer advection is a heavy cell pattern: split it
+                    // across the two pools like A1.
+                    let tracers = &m.provis.tracers;
+                    let h_edge = &d.h_edge;
+                    for (k, out) in m.tend.tend_tracers.iter_mut().enumerate() {
+                        let hq = &tracers[k];
+                        split_run_timed(
+                            &m.pool,
+                            &self.acc_pool,
+                            &rec,
+                            "T1",
+                            out,
+                            mid_c,
+                            m.chunk,
+                            |r, o| {
+                                if fu {
+                                    fused::tend_tracer(mesh, kc, u, h_edge, h, hq, o, r)
+                                } else {
+                                    ops::tend_tracer(mesh, u, h_edge, h, hq, o, r)
+                                }
+                            },
+                        );
+                    }
+                }
+                if let Some(f) = &m.forcing {
+                    let _g = kernel_timer(&rec, "F1");
+                    let (fh, fu_) = (&f.tend_h, &f.tend_u);
+                    par_run(&m.pool, &mut m.tend.tend_h, m.chunk, |r, o| {
+                        ops::accumulate(fh, 1.0, o, r)
+                    });
+                    par_run(&m.pool, &mut m.tend.tend_u, m.chunk, |r, o| {
+                        ops::accumulate(fu_, 1.0, o, r)
+                    });
+                }
                 {
                     let _g = kernel_timer(&rec, "X1");
                     par_run(&m.pool, &mut m.tend.tend_u, m.chunk, |r, o| {
@@ -831,6 +936,13 @@ impl HybridModel {
                     par_run(&m.pool, &mut m.provis.u, chunk, |r, o| {
                         ops::axpy(base_u, tend_u, RK_SUBSTEP[stage] * dt, o, r)
                     });
+                    for (k, out) in m.provis.tracers.iter_mut().enumerate() {
+                        let base = &m.state.tracers[k];
+                        let tt = &m.tend.tend_tracers[k];
+                        par_run(&m.pool, out, chunk, |r, o| {
+                            ops::axpy(base, tt, RK_SUBSTEP[stage] * dt, o, r)
+                        });
+                    }
                 }
                 m.solve_diagnostics_on(Which::Provis);
                 m.accumulate(stage);

@@ -11,7 +11,8 @@ use mpas_telemetry::json_escape;
 /// legal body (one day of case 5 on a level-4 mesh, serial, fused).
 #[derive(Debug, Clone)]
 pub struct JobRequest {
-    /// Williamson case label (`"2"`, `"5"`, `"6"`).
+    /// Scenario label: a Williamson digit (`"1"`..`"6"`) or a catalog name
+    /// (`"williamson-N"`, `"galewsky"`, `"tracer-case5"`).
     pub case: String,
     /// Case-2 flow-orientation angle, radians.
     pub alpha: f64,
@@ -143,6 +144,11 @@ impl JobRequest {
         spec.policy = self.policy.clone();
         spec.fused = self.fused;
         spec.progress_every = self.progress_every;
+        // Catalog switches (tracers, advection-only) ride on the label.
+        let mut cfg = spec.config();
+        mpas_core::apply_case_config(&self.case, &mut cfg);
+        spec.n_tracers = cfg.n_tracers;
+        spec.advection_only = cfg.advection_only;
         spec
     }
 
@@ -193,8 +199,33 @@ mod tests {
     }
 
     #[test]
+    fn catalog_cases_are_accepted() {
+        for case in [
+            "1",
+            "3",
+            "4",
+            "williamson-1",
+            "williamson-6",
+            "galewsky",
+            "tracer-case5",
+        ] {
+            let req = JobRequest::parse(&format!("{{\"case\": \"{case}\"}}")).unwrap();
+            assert_eq!(req.case, case);
+            let _ = req.spec();
+        }
+        let spec = JobRequest::parse("{\"case\": \"tracer-case5\"}")
+            .unwrap()
+            .spec();
+        assert_eq!(spec.n_tracers, 2);
+        let spec = JobRequest::parse("{\"case\": \"williamson-1\"}")
+            .unwrap()
+            .spec();
+        assert!(spec.advection_only);
+    }
+
+    #[test]
     fn invalid_fields_are_rejected_at_submission() {
-        assert!(JobRequest::parse("{\"case\": \"1\"}").is_err());
+        assert!(JobRequest::parse("{\"case\": \"7\"}").is_err());
         assert!(JobRequest::parse("{\"executor\": \"cuda\"}").is_err());
         assert!(JobRequest::parse("{\"policy\": \"fifo\"}").is_err());
         assert!(JobRequest::parse("{\"steps\": 0}").is_err());

@@ -2,63 +2,97 @@
 //!
 //! MPAS's finalization phase writes the computation results back to disk
 //! (§II.B); this module provides the equivalent: a compact binary snapshot
-//! of `(time, h, u)` that restarts a run bit-for-bit (restart equivalence
-//! is asserted by integration tests — the result of `run(5); save; load;
-//! run(5)` equals `run(10)` exactly, since RK4 carries no other state
-//! between steps).
+//! of `(time, h, u, tracers)` that restarts a run bit-for-bit (restart
+//! equivalence is asserted by integration tests — the result of `run(5);
+//! save; load; run(5)` equals `run(10)` exactly, since RK4 carries no
+//! other state between steps).
+//!
+//! Two on-disk formats are understood:
+//!
+//! * `MPASSTA2` (written) — `time, n_h, n_u, n_tracers`, then the raw
+//!   little-endian f64 payload of `h`, `u` and each tracer-mass field.
+//! * `MPASSTA1` (read-only, pre-tracer) — same layout without the tracer
+//!   count/payload; loads as a zero-tracer state.
 
 use crate::state::State;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"MPASSTA1";
+const MAGIC_V1: &[u8; 8] = b"MPASSTA1";
+const MAGIC_V2: &[u8; 8] = b"MPASSTA2";
 
-/// Write a state snapshot.
+fn write_f64s(w: &mut impl Write, xs: &[f64]) -> io::Result<()> {
+    for &x in xs {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f64s(r: &mut impl Read, n: usize) -> io::Result<Vec<f64>> {
+    let mut out = Vec::with_capacity(n);
+    let mut b = [0u8; 8];
+    for _ in 0..n {
+        r.read_exact(&mut b)?;
+        out.push(f64::from_le_bytes(b));
+    }
+    Ok(out)
+}
+
+/// Write a state snapshot (current `MPASSTA2` format).
 pub fn save_state(state: &State, time: f64, path: impl AsRef<Path>) -> io::Result<()> {
     let mut w = BufWriter::new(std::fs::File::create(path)?);
-    w.write_all(MAGIC)?;
+    w.write_all(MAGIC_V2)?;
     w.write_all(&time.to_le_bytes())?;
     w.write_all(&(state.h.len() as u64).to_le_bytes())?;
     w.write_all(&(state.u.len() as u64).to_le_bytes())?;
-    for &x in &state.h {
-        w.write_all(&x.to_le_bytes())?;
-    }
-    for &x in &state.u {
-        w.write_all(&x.to_le_bytes())?;
+    w.write_all(&(state.tracers.len() as u64).to_le_bytes())?;
+    write_f64s(&mut w, &state.h)?;
+    write_f64s(&mut w, &state.u)?;
+    for tr in &state.tracers {
+        write_f64s(&mut w, tr)?;
     }
     w.flush()
 }
 
-/// Read a snapshot written by [`save_state`]. Returns `(state, time)`.
+/// Read a snapshot written by [`save_state`] (either format generation).
+/// Returns `(state, time)`; v1 files come back with no tracers.
 pub fn load_state(path: impl AsRef<Path>) -> io::Result<(State, f64)> {
     let mut r = BufReader::new(std::fs::File::open(path)?);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not an MPASSTA1 state file",
-        ));
-    }
+    let has_tracers = match &magic {
+        m if m == MAGIC_V2 => true,
+        m if m == MAGIC_V1 => false,
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an MPASSTA1/MPASSTA2 state file",
+            ))
+        }
+    };
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     let time = f64::from_le_bytes(b);
-    r.read_exact(&mut b)?;
-    let nh = u64::from_le_bytes(b) as usize;
-    r.read_exact(&mut b)?;
-    let nu = u64::from_le_bytes(b) as usize;
-    let mut read_f64s = |n: usize| -> io::Result<Vec<f64>> {
-        let mut out = Vec::with_capacity(n);
-        let mut b = [0u8; 8];
-        for _ in 0..n {
-            r.read_exact(&mut b)?;
-            out.push(f64::from_le_bytes(b));
-        }
-        Ok(out)
+    let nh = read_u64(&mut r)? as usize;
+    let nu = read_u64(&mut r)? as usize;
+    let nt = if has_tracers {
+        read_u64(&mut r)? as usize
+    } else {
+        0
     };
-    let h = read_f64s(nh)?;
-    let u = read_f64s(nu)?;
-    Ok((State { h, u }, time))
+    let h = read_f64s(&mut r, nh)?;
+    let u = read_f64s(&mut r, nu)?;
+    let mut tracers = Vec::with_capacity(nt);
+    for _ in 0..nt {
+        tracers.push(read_f64s(&mut r, nh)?);
+    }
+    Ok((State { h, u, tracers }, time))
 }
 
 impl crate::model::ShallowWaterModel {
@@ -68,9 +102,10 @@ impl crate::model::ShallowWaterModel {
     }
 
     /// Restore state and time from a checkpoint (mesh/test case must match
-    /// the one the checkpoint was written with; sizes are verified).
-    /// Diagnostics are recomputed so the next step proceeds exactly as if
-    /// the run had never stopped.
+    /// the one the checkpoint was written with; sizes are verified, and the
+    /// tracer count must match the model's configuration). Diagnostics are
+    /// recomputed so the next step proceeds exactly as if the run had never
+    /// stopped.
     pub fn load_checkpoint(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
         let (state, time) = load_state(path)?;
         if state.h.len() != self.mesh.n_cells() || state.u.len() != self.mesh.n_edges() {
@@ -79,30 +114,19 @@ impl crate::model::ShallowWaterModel {
                 "checkpoint size does not match the mesh",
             ));
         }
+        if state.n_tracers() != self.config.n_tracers {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint carries {} tracer(s), model expects {}",
+                    state.n_tracers(),
+                    self.config.n_tracers
+                ),
+            ));
+        }
         self.state = state;
         self.time = time;
-        if self.config.fused_coeffs {
-            crate::kernels::compute_solve_diagnostics_fused(
-                &self.mesh,
-                &self.config,
-                &self.kernel_coeffs,
-                &self.state.h,
-                &self.state.u,
-                &self.f_vertex,
-                self.dt,
-                &mut self.diag,
-            );
-        } else {
-            crate::kernels::compute_solve_diagnostics(
-                &self.mesh,
-                &self.config,
-                &self.state.h,
-                &self.state.u,
-                &self.f_vertex,
-                self.dt,
-                &mut self.diag,
-            );
-        }
+        self.refresh_diagnostics();
         crate::kernels::mpas_reconstruct(&self.mesh, &self.coeffs, &self.state.u, &mut self.recon);
         Ok(())
     }
@@ -117,10 +141,11 @@ mod tests {
     use std::sync::Arc;
 
     #[test]
-    fn snapshot_roundtrip() {
+    fn snapshot_roundtrip_with_tracers() {
         let state = State {
             h: vec![1.5, 2.5, -3.25],
             u: vec![0.125, 9.75],
+            tracers: vec![vec![0.5, 0.25, 4.0], vec![-1.0, 2.0, 0.0]],
         };
         let path = std::env::temp_dir().join("mpas_state_roundtrip.bin");
         save_state(&state, 1234.5, &path).unwrap();
@@ -128,6 +153,27 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert_eq!(back, state);
         assert_eq!(t, 1234.5);
+    }
+
+    #[test]
+    fn v1_files_still_load_without_tracers() {
+        // Hand-write the legacy layout: magic, time, n_h, n_u, payload.
+        let path = std::env::temp_dir().join("mpas_state_v1.bin");
+        let mut w = BufWriter::new(std::fs::File::create(&path).unwrap());
+        w.write_all(MAGIC_V1).unwrap();
+        w.write_all(&42.0f64.to_le_bytes()).unwrap();
+        w.write_all(&2u64.to_le_bytes()).unwrap();
+        w.write_all(&1u64.to_le_bytes()).unwrap();
+        write_f64s(&mut w, &[7.0, 8.0]).unwrap();
+        write_f64s(&mut w, &[9.0]).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let (back, t) = load_state(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(t, 42.0);
+        assert_eq!(back.h, vec![7.0, 8.0]);
+        assert_eq!(back.u, vec![9.0]);
+        assert!(back.tracers.is_empty());
     }
 
     #[test]
@@ -152,6 +198,49 @@ mod tests {
 
         assert_eq!(straight.state.max_abs_diff(&fresh.state), 0.0);
         assert_eq!(straight.time, fresh.time);
+    }
+
+    #[test]
+    fn restart_round_trips_tracer_fields_bitwise() {
+        let mesh = Arc::new(mpas_mesh::generate(3, 0));
+        let cfg = ModelConfig {
+            n_tracers: 2,
+            ..Default::default()
+        };
+        let tc = TestCase::Case5;
+        let path = std::env::temp_dir().join("mpas_restart_tracers.bin");
+
+        let mut straight = ShallowWaterModel::new(mesh.clone(), cfg, tc, None);
+        straight.run_steps(8);
+
+        let mut resumed = ShallowWaterModel::new(mesh.clone(), cfg, tc, None);
+        resumed.run_steps(3);
+        resumed.save_checkpoint(&path).unwrap();
+        let mut fresh = ShallowWaterModel::new(mesh, cfg, tc, None);
+        fresh.load_checkpoint(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        fresh.run_steps(5);
+
+        assert_eq!(straight.state.n_tracers(), 2);
+        assert_eq!(fresh.state.n_tracers(), 2);
+        assert_eq!(straight.state.max_abs_diff(&fresh.state), 0.0);
+    }
+
+    #[test]
+    fn tracer_count_mismatch_is_rejected() {
+        let mesh = Arc::new(mpas_mesh::generate(2, 0));
+        let tc = TestCase::Case5;
+        let with = ModelConfig {
+            n_tracers: 1,
+            ..Default::default()
+        };
+        let path = std::env::temp_dir().join("mpas_restart_tracer_mismatch.bin");
+        let m = ShallowWaterModel::new(mesh.clone(), with, tc, None);
+        m.save_checkpoint(&path).unwrap();
+        let mut without = ShallowWaterModel::new(mesh, ModelConfig::default(), tc, None);
+        let err = without.load_checkpoint(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

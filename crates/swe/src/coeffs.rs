@@ -59,6 +59,11 @@ pub struct KernelCoeffs {
     /// Per TRiSK slot: `½ · weights_on_edge` — folds the PV-average half
     /// of B1 into the quadrature weight.
     pub half_weights: Vec<f64>,
+    /// Per cell slot: `½ · edge_sign_on_cell · dv_edge` — the T1 tracer
+    /// flux weight with the edge-average half folded in (an exact halving
+    /// of `flux_div`, so the fusion stays in the exact class). Empty
+    /// unless the config advects tracers.
+    pub half_flux_div: Vec<f64>,
     /// Per cell slot: `dv_edge / dc_edge` — the D1/D2 cell-Laplacian flux
     /// ratio. Empty unless `high_order_h_edge` is set.
     pub grad_ratio: Vec<f64>,
@@ -101,6 +106,12 @@ impl KernelCoeffs {
             }
         }
 
+        let half_flux_div: Vec<f64> = if config.n_tracers > 0 {
+            flux_div.iter().map(|&x| 0.5 * x).collect()
+        } else {
+            Vec::new()
+        };
+
         let inv_dc: Vec<f64> = mesh.dc_edge.iter().map(|&d| 1.0 / d).collect();
         let inv_dv: Vec<f64> = mesh.dv_edge.iter().map(|&d| 1.0 / d).collect();
         let half_weights: Vec<f64> = mesh.weights_on_edge.iter().map(|&w| 0.5 * w).collect();
@@ -122,6 +133,7 @@ impl KernelCoeffs {
         KernelCoeffs {
             flux_div,
             ke_weight,
+            half_flux_div,
             kite_cell,
             vort_sign_dc,
             inv_dc,
@@ -196,6 +208,21 @@ mod tests {
         let kc = KernelCoeffs::build(&mesh, &ModelConfig::default());
         assert!(kc.grad_ratio.is_empty());
         assert!(kc.dc2_12.is_empty());
+        assert!(kc.half_flux_div.is_empty());
         assert_eq!(kc.flux_div.len(), mesh.edges_on_cell.len());
+    }
+
+    #[test]
+    fn tracer_table_is_an_exact_halving() {
+        let mesh = mpas_mesh::generate(2, 0);
+        let config = ModelConfig {
+            n_tracers: 2,
+            ..Default::default()
+        };
+        let kc = KernelCoeffs::build(&mesh, &config);
+        assert_eq!(kc.half_flux_div.len(), kc.flux_div.len());
+        for (h, f) in kc.half_flux_div.iter().zip(&kc.flux_div) {
+            assert_eq!(*h, 0.5 * f);
+        }
     }
 }

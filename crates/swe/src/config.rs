@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Options mirroring the MPAS `sw` core namelist entries that matter here.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ModelConfig {
     /// Gravitational acceleration, m/s².
     pub gravity: f64,
@@ -30,6 +30,11 @@ pub struct ModelConfig {
     /// baseline the PR-4 benchmarks compare against.
     #[serde(default = "default_fused_coeffs")]
     pub fused_coeffs: bool,
+    /// Number of passive tracer-mass fields advected alongside `h`
+    /// (pattern T1). Zero — the default — skips the tracer kernels
+    /// entirely, so pre-tracer configurations are bit-for-bit unchanged.
+    #[serde(default)]
+    pub n_tracers: usize,
 }
 
 fn default_fused_coeffs() -> bool {
@@ -46,6 +51,7 @@ impl Default for ModelConfig {
             high_order_h_edge: false,
             advection_only: false,
             fused_coeffs: default_fused_coeffs(),
+            n_tracers: 0,
         }
     }
 }

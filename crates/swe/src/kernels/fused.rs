@@ -38,6 +38,37 @@ pub fn tend_h(
     }
 }
 
+/// T1 — tracer-mass tendency with `½·s·dv` fused into one weight.
+///
+/// The halving is exact, but hoisting it ahead of the `u·h_edge` products
+/// reassociates the chain (`s·u·h·dv·½(a+b)` → `(½s·dv)·u·h·(a+b)`), a
+/// 1-ulp-class fusion like A1's — inside the documented 1e-12 budget. The
+/// `±` antisymmetry of each edge's two contributions is preserved exactly,
+/// so conservation matches the seed form.
+#[allow(clippy::too_many_arguments)]
+pub fn tend_tracer(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    u: &[f64],
+    h_edge: &[f64],
+    h: &[f64],
+    hq: &[f64],
+    out: &mut [f64],
+    cells: Range<usize>,
+) {
+    let off = cells.start;
+    for i in cells {
+        let mut acc = 0.0;
+        for slot in mesh.cell_range(i) {
+            let e = mesh.edges_on_cell[slot] as usize;
+            let [c1, c2] = mesh.cells_on_edge[e];
+            let q2 = hq[c1 as usize] / h[c1 as usize] + hq[c2 as usize] / h[c2 as usize];
+            acc += kc.half_flux_div[slot] * u[e] * h_edge[e] * q2;
+        }
+        out[i - off] = -acc / mesh.area_cell[i];
+    }
+}
+
 /// B2 — velocity divergence with `s·dv` fused.
 pub fn divergence(mesh: &Mesh, kc: &KernelCoeffs, u: &[f64], out: &mut [f64], cells: Range<usize>) {
     let off = cells.start;

@@ -282,6 +282,46 @@ pub fn compute_tend_fused(
     }
 }
 
+/// `compute_tend_tracers`: flux-form advection tendency (pattern T1) for
+/// every tracer-mass field, from the same-stage `(h, u)` and its `h_edge`.
+pub fn compute_tend_tracers(
+    mesh: &Mesh,
+    h: &[f64],
+    u: &[f64],
+    diag: &Diagnostics,
+    tracers: &[Vec<f64>],
+    tend: &mut Tendencies,
+) {
+    let nc = mesh.n_cells();
+    for (hq, out) in tracers.iter().zip(tend.tend_tracers.iter_mut()) {
+        ops::tend_tracer(mesh, u, &diag.h_edge, h, hq, out, 0..nc);
+    }
+}
+
+/// [`compute_tend_tracers`] on the fused-coefficient fast path.
+pub fn compute_tend_tracers_fused(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    h: &[f64],
+    u: &[f64],
+    diag: &Diagnostics,
+    tracers: &[Vec<f64>],
+    tend: &mut Tendencies,
+) {
+    let nc = mesh.n_cells();
+    for (hq, out) in tracers.iter().zip(tend.tend_tracers.iter_mut()) {
+        fused::tend_tracer(mesh, kc, u, &diag.h_edge, h, hq, out, 0..nc);
+    }
+}
+
+/// `apply_forcing`: add a fixed forcing tendency to the stage tendencies
+/// (`tend += 1.0·f`, pattern F1). Element-wise with an exact weight, so any
+/// chunking of the output range reproduces the same bits.
+pub fn apply_forcing(mesh: &Mesh, forcing: &Tendencies, tend: &mut Tendencies) {
+    ops::accumulate(&forcing.tend_h, 1.0, &mut tend.tend_h, 0..mesh.n_cells());
+    ops::accumulate(&forcing.tend_u, 1.0, &mut tend.tend_u, 0..mesh.n_edges());
+}
+
 /// `enforce_boundary_edge`: zero the velocity tendency on boundary edges
 /// (a no-op on the full sphere, kept for kernel-set fidelity).
 pub fn enforce_boundary_edge(mesh: &Mesh, tend: &mut Tendencies) {
@@ -310,12 +350,25 @@ pub fn compute_next_substep_state(
         &mut provis.u,
         0..mesh.n_edges(),
     );
+    let nc = mesh.n_cells();
+    for ((b, t), p) in base
+        .tracers
+        .iter()
+        .zip(&tend.tend_tracers)
+        .zip(provis.tracers.iter_mut())
+    {
+        ops::axpy(b, t, coef, p, 0..nc);
+    }
 }
 
 /// `accumulative_update`: `acc += weight * tend` (the RK quadrature).
 pub fn accumulative_update(mesh: &Mesh, tend: &Tendencies, weight: f64, acc: &mut State) {
     ops::accumulate(&tend.tend_h, weight, &mut acc.h, 0..mesh.n_cells());
     ops::accumulate(&tend.tend_u, weight, &mut acc.u, 0..mesh.n_edges());
+    let nc = mesh.n_cells();
+    for (t, a) in tend.tend_tracers.iter().zip(acc.tracers.iter_mut()) {
+        ops::accumulate(t, weight, a, 0..nc);
+    }
 }
 
 /// `mpas_reconstruct`: cell-center velocity vectors and their

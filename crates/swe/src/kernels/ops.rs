@@ -29,6 +29,39 @@ pub fn tend_h(mesh: &Mesh, u: &[f64], h_edge: &[f64], out: &mut [f64], cells: Ra
     }
 }
 
+/// T1 — tracer-mass tendency (flux-form advection):
+/// `tend_hq(i) = −(1/A_i) Σ_e s_ie u_e h_edge_e q_edge_e l_e` with the
+/// centered edge mixing ratio `q_edge = ½(hq₁/h₁ + hq₂/h₂)`.
+///
+/// The per-edge flux enters its two cells with exactly opposite sign
+/// (multiplying by `s = ±1` is exact in IEEE-754), so total tracer mass
+/// `Σ A_i hq_i` telescopes to rounding — the same conservation argument as
+/// A1. `h` and `hq` are the *same-stage* cell fields that produced
+/// `h_edge`.
+pub fn tend_tracer(
+    mesh: &Mesh,
+    u: &[f64],
+    h_edge: &[f64],
+    h: &[f64],
+    hq: &[f64],
+    out: &mut [f64],
+    cells: Range<usize>,
+) {
+    let off = cells.start;
+    for i in cells {
+        let mut acc = 0.0;
+        for slot in mesh.cell_range(i) {
+            let e = mesh.edges_on_cell[slot] as usize;
+            let s = mesh.edge_sign_on_cell[slot] as f64;
+            let [c1, c2] = mesh.cells_on_edge[e];
+            let q_edge =
+                0.5 * (hq[c1 as usize] / h[c1 as usize] + hq[c2 as usize] / h[c2 as usize]);
+            acc += s * u[e] * h_edge[e] * mesh.dv_edge[e] * q_edge;
+        }
+        out[i - off] = -acc / mesh.area_cell[i];
+    }
+}
+
 /// B1 — momentum tendency: TRiSK Coriolis/advection flux plus the gradient
 /// of the Bernoulli function `K + g (h + b)`.
 #[allow(clippy::too_many_arguments)]

@@ -26,8 +26,12 @@
 //!   (edge-order) forms used as the Fig. 6 baseline.
 //! * [`rk4`] — the RK-4 driver (Algorithm 1).
 //! * [`model`] — a convenient single-address-space model facade.
-//! * [`testcases`] — Williamson et al. (1992) test cases 2, 5 and 6.
+//! * [`testcases`] — Williamson et al. (1992) test cases 1–6 plus the
+//!   Galewsky et al. (2004) barotropic-instability case and passive
+//!   tracer initial fields.
 //! * [`norms`] — the standard normalized l1/l2/l∞ error norms.
+//! * [`validation`] — the named scenario catalog with committed reference
+//!   norms (the `swe_run --validate` harness).
 //! * [`reconstruct`] — least-squares edge→cell velocity reconstruction.
 
 pub mod checkpoint;
@@ -41,6 +45,7 @@ pub mod rk4;
 pub mod state;
 pub mod testcases;
 pub mod timeseries;
+pub mod validation;
 
 pub use checkpoint::{load_state, save_state};
 pub use coeffs::KernelCoeffs;
@@ -52,3 +57,4 @@ pub use rk4::Rk4Workspace;
 pub use state::{Diagnostics, Reconstruction, State, Tendencies};
 pub use testcases::TestCase;
 pub use timeseries::{run_with_history, History};
+pub use validation::{Scenario, ValidationReport};

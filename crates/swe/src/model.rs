@@ -7,11 +7,47 @@ use crate::kernels;
 use crate::norms::ErrorNorms;
 use crate::reconstruct::ReconstructCoeffs;
 use crate::rk4::{rk4_step, Rk4Workspace};
-use crate::state::{Diagnostics, Reconstruction, State};
+use crate::state::{Diagnostics, Reconstruction, State, Tendencies};
 use crate::testcases::TestCase;
 use mpas_mesh::Mesh;
 use mpas_telemetry::Recorder;
 use std::sync::Arc;
+
+/// The fixed forcing that holds a test case's background state in discrete
+/// equilibrium: `F = −N(background)` where `N` is the model's own tendency
+/// operator (same kernels, same fused/seed path, same `dt` for the APVM
+/// term). With `F` added to every stage, the unperturbed background is a
+/// bitwise fixed point — each stage tendency is `a + (−a) = 0.0` exactly —
+/// so only the superposed anomaly evolves. Distributed ranks call this on
+/// their local mesh: the analytic background samples identically at the
+/// same points and the halo covers the stencil chain, so owned forcing
+/// entries match the global computation bit for bit.
+pub fn compute_equilibrium_forcing(
+    mesh: &Mesh,
+    config: &ModelConfig,
+    kc: &KernelCoeffs,
+    test_case: &TestCase,
+    b: &[f64],
+    f_vertex: &[f64],
+    dt: f64,
+) -> Tendencies {
+    let bg = test_case.background_state(mesh);
+    let mut diag = Diagnostics::zeros(mesh);
+    let mut tend = Tendencies::zeros(mesh);
+    if config.fused_coeffs {
+        kernels::compute_solve_diagnostics_fused(
+            mesh, config, kc, &bg.h, &bg.u, f_vertex, dt, &mut diag,
+        );
+        kernels::compute_tend_fused(mesh, config, kc, &bg.h, &bg.u, b, &diag, &mut tend);
+    } else {
+        kernels::compute_solve_diagnostics(mesh, config, &bg.h, &bg.u, f_vertex, dt, &mut diag);
+        kernels::compute_tend(mesh, config, &bg.h, &bg.u, b, &diag, &mut tend);
+    }
+    for x in tend.tend_h.iter_mut().chain(tend.tend_u.iter_mut()) {
+        *x = -*x;
+    }
+    tend
+}
 
 /// A complete shallow-water simulation on one mesh.
 pub struct ShallowWaterModel {
@@ -37,6 +73,10 @@ pub struct ShallowWaterModel {
     /// `config.fused_coeffs` is set). Shared so multi-tenant servers can
     /// reuse one table across concurrent models on the same mesh/config.
     pub kernel_coeffs: Arc<KernelCoeffs>,
+    /// Fixed forcing tendency for forced cases (Williamson 4): the
+    /// discrete negation of the background jet's tendency, computed once
+    /// at init so the unperturbed jet is a bitwise equilibrium.
+    pub forcing: Option<Tendencies>,
     ws: Rk4Workspace,
     /// Model time in seconds.
     pub time: f64,
@@ -63,7 +103,7 @@ impl ShallowWaterModel {
         dt: Option<f64>,
         shared_coeffs: Option<Arc<KernelCoeffs>>,
     ) -> Self {
-        let state = test_case.initial_state(&mesh);
+        let state = test_case.initial_state_with_tracers(&mesh, config.n_tracers);
         let b = test_case.topography(&mesh);
         let f_vertex = test_case.coriolis_vertex(&mesh);
         let coeffs = ReconstructCoeffs::build(&mesh);
@@ -90,8 +130,22 @@ impl ShallowWaterModel {
         let mut recon = Reconstruction::zeros(&mesh);
         kernels::mpas_reconstruct(&mesh, &coeffs, &state.u, &mut recon);
         let ws = Rk4Workspace::new(&mesh);
+        let forcing = if test_case.needs_forcing() {
+            Some(compute_equilibrium_forcing(
+                &mesh,
+                &config,
+                &kernel_coeffs,
+                &test_case,
+                &b,
+                &f_vertex,
+                dt,
+            ))
+        } else {
+            None
+        };
         ShallowWaterModel {
             ws,
+            forcing,
             state,
             diag,
             recon,
@@ -131,6 +185,7 @@ impl ShallowWaterModel {
             &self.kernel_coeffs,
             &self.f_vertex,
             &self.b,
+            self.forcing.as_ref(),
             self.dt,
             &mut self.state,
             &mut self.diag,
@@ -147,6 +202,75 @@ impl ShallowWaterModel {
         }
     }
 
+    /// Change the step size mid-run. The diagnostics (and any forcing) are
+    /// refreshed because the APVM upwinding inside `pv_edge` — and hence
+    /// the equilibrium forcing derived from it — depends on `dt`.
+    pub fn set_dt(&mut self, dt: f64) {
+        if dt == self.dt {
+            return;
+        }
+        self.dt = dt;
+        self.refresh_diagnostics();
+        if self.forcing.is_some() {
+            self.forcing = Some(compute_equilibrium_forcing(
+                &self.mesh,
+                &self.config,
+                &self.kernel_coeffs,
+                &self.test_case,
+                &self.b,
+                &self.f_vertex,
+                dt,
+            ));
+        }
+    }
+
+    /// Recompute the diagnostics from the current prognostic state (needed
+    /// after externally mutating `state` or `dt`).
+    pub fn refresh_diagnostics(&mut self) {
+        if self.config.fused_coeffs {
+            kernels::compute_solve_diagnostics_fused(
+                &self.mesh,
+                &self.config,
+                &self.kernel_coeffs,
+                &self.state.h,
+                &self.state.u,
+                &self.f_vertex,
+                self.dt,
+                &mut self.diag,
+            );
+        } else {
+            kernels::compute_solve_diagnostics(
+                &self.mesh,
+                &self.config,
+                &self.state.h,
+                &self.state.u,
+                &self.f_vertex,
+                self.dt,
+                &mut self.diag,
+            );
+        }
+    }
+
+    /// One CFL-monitored adaptive step: measure the Courant number of the
+    /// current state, rescale `dt` toward `cfl_target` when outside the
+    /// relative `band` around it (growth/shrink clamped to [½, 2]× per
+    /// step), then advance. Returns the Courant number that was measured —
+    /// the caller feeds it to the `InvariantMonitor` gauge so a CFL
+    /// violation that adaptation cannot hold down still raises an alert.
+    pub fn step_adaptive(&mut self, cfl_target: f64, band: f64) -> f64 {
+        let c = self.max_courant();
+        if c > 0.0 {
+            let lo = cfl_target * (1.0 - band);
+            let hi = cfl_target * (1.0 + band);
+            if c < lo || c > hi {
+                let scale = (cfl_target / c).clamp(0.5, 2.0);
+                self.set_dt(self.dt * scale);
+            }
+        }
+        self.step();
+        c
+    }
+
     /// Number of steps needed to reach `days` of simulated time.
     pub fn steps_for_days(&self, days: f64) -> usize {
         (days * mpas_geom::SECONDS_PER_DAY / self.dt).ceil() as usize
@@ -156,6 +280,14 @@ impl ShallowWaterModel {
     pub fn total_mass(&self) -> f64 {
         (0..self.mesh.n_cells())
             .map(|i| self.state.h[i] * self.mesh.area_cell[i])
+            .sum()
+    }
+
+    /// Total mass of tracer `k`: `∫ h·q dA` (conserved to rounding by the
+    /// flux-form T1 kernel).
+    pub fn total_tracer(&self, k: usize) -> f64 {
+        (0..self.mesh.n_cells())
+            .map(|i| self.state.tracers[k][i] * self.mesh.area_cell[i])
             .sum()
     }
 
@@ -297,6 +429,94 @@ mod tests {
         m.run_steps(50);
         assert!(m.state.h.iter().all(|h| h.is_finite() && *h > 0.0));
         assert!(m.state.u.iter().all(|u| u.is_finite() && u.abs() < 300.0));
+    }
+
+    #[test]
+    fn case4_background_is_a_bitwise_equilibrium() {
+        let mesh = Arc::new(mpas_mesh::generate(3, 0));
+        let mut m =
+            ShallowWaterModel::new(mesh.clone(), ModelConfig::default(), TestCase::Case4, None);
+        assert!(m.forcing.is_some());
+        // Replace the perturbed initial state with the bare background:
+        // under the equilibrium forcing it must not move at all.
+        m.state = TestCase::Case4.background_state(&mesh);
+        m.refresh_diagnostics();
+        let before = m.state.clone();
+        m.run_steps(3);
+        assert_eq!(m.state.max_abs_diff(&before), 0.0, "background drifted");
+    }
+
+    #[test]
+    fn case4_anomaly_actually_evolves() {
+        let mesh = Arc::new(mpas_mesh::generate(3, 0));
+        let mut m = ShallowWaterModel::new(mesh, ModelConfig::default(), TestCase::Case4, None);
+        let before = m.state.clone();
+        let mass0 = m.total_mass();
+        m.run_steps(5);
+        assert!(m.state.max_abs_diff(&before) > 1e-3, "anomaly frozen");
+        let drift = (m.total_mass() - mass0) / mass0;
+        assert!(drift.abs() < 1e-13, "mass drift {drift:e}");
+    }
+
+    #[test]
+    fn tracer_mass_is_conserved() {
+        let mesh = Arc::new(mpas_mesh::generate(3, 0));
+        let config = ModelConfig {
+            n_tracers: 2,
+            ..Default::default()
+        };
+        let mut m = ShallowWaterModel::new(mesh, config, TestCase::Case5, None);
+        let t0: Vec<f64> = (0..2).map(|k| m.total_tracer(k)).collect();
+        m.run_steps(10);
+        for (k, &mass0) in t0.iter().enumerate() {
+            let drift = (m.total_tracer(k) - mass0) / mass0;
+            assert!(drift.abs() < 1e-12, "tracer {k} drift {drift:e}");
+        }
+    }
+
+    #[test]
+    fn constant_tracer_tracks_thickness() {
+        // Tracer 0 starts as q == 1 (hq == h); advection must keep q ~= 1.
+        let mesh = Arc::new(mpas_mesh::generate(3, 0));
+        let config = ModelConfig {
+            n_tracers: 1,
+            ..Default::default()
+        };
+        let mut m = ShallowWaterModel::new(mesh, config, TestCase::Case5, None);
+        m.run_steps(10);
+        for i in 0..m.mesh.n_cells() {
+            let q = m.state.tracers[0][i] / m.state.h[i];
+            assert!((q - 1.0).abs() < 1e-11, "cell {i}: q = {q}");
+        }
+    }
+
+    #[test]
+    fn adaptive_stepping_holds_the_target_cfl() {
+        let mesh = Arc::new(mpas_mesh::generate(3, 0));
+        let mut m = ShallowWaterModel::new(mesh, ModelConfig::default(), TestCase::Case5, None);
+        // Start far too timid: dt at a tenth of the stable default.
+        let dt0 = m.dt * 0.1;
+        m.set_dt(dt0);
+        let target = 0.2;
+        let mut last = 0.0;
+        for _ in 0..12 {
+            last = m.step_adaptive(target, 0.1);
+        }
+        assert!(m.dt > dt0 * 2.0, "dt never grew: {} vs {dt0}", m.dt);
+        assert!(
+            (last - target).abs() < 0.5 * target,
+            "courant {last} far from target"
+        );
+        assert!(m.state.h.iter().all(|h| h.is_finite() && *h > 0.0));
+    }
+
+    #[test]
+    fn set_dt_refreshes_the_apvm_diagnostics() {
+        let mesh = Arc::new(mpas_mesh::generate(2, 0));
+        let mut m = ShallowWaterModel::new(mesh, ModelConfig::default(), TestCase::Case5, None);
+        let pv_before = m.diag.pv_edge.clone();
+        m.set_dt(m.dt * 2.0);
+        assert!(m.diag.pv_edge != pv_before, "pv_edge stale after dt change");
     }
 
     #[test]

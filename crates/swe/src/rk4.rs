@@ -45,6 +45,11 @@ impl Rk4Workspace {
 /// On entry `diag` must hold the diagnostics of `state` (as maintained by
 /// this function and established once by the model constructor); on exit
 /// `state`, `diag` and `recon` all describe the new time level.
+///
+/// `forcing`, when present, is a fixed tendency added to every stage's
+/// `(tend_h, tend_u)` — the forced-case (Williamson 4) equilibrium hold.
+/// Tracer-mass fields in `state` are advanced alongside `h` with the T1
+/// kernel; the workspace is resized lazily if the tracer count changed.
 #[allow(clippy::too_many_arguments)]
 pub fn rk4_step(
     mesh: &Mesh,
@@ -53,12 +58,16 @@ pub fn rk4_step(
     kcoeffs: &KernelCoeffs,
     f_vertex: &[f64],
     b: &[f64],
+    forcing: Option<&Tendencies>,
     dt: f64,
     state: &mut State,
     diag: &mut Diagnostics,
     recon: &mut Reconstruction,
     ws: &mut Rk4Workspace,
 ) {
+    if ws.tend.tend_tracers.len() != state.n_tracers() {
+        ws.tend.resize_tracers(mesh.n_cells(), state.n_tracers());
+    }
     ws.acc.copy_from(state);
     ws.provis.copy_from(state);
     let fused = config.fused_coeffs;
@@ -95,6 +104,31 @@ pub fn rk4_step(
                 diag,
                 &mut ws.tend,
             );
+        }
+        if !ws.provis.tracers.is_empty() {
+            if fused {
+                kernels::compute_tend_tracers_fused(
+                    mesh,
+                    kcoeffs,
+                    &ws.provis.h,
+                    &ws.provis.u,
+                    diag,
+                    &ws.provis.tracers,
+                    &mut ws.tend,
+                );
+            } else {
+                kernels::compute_tend_tracers(
+                    mesh,
+                    &ws.provis.h,
+                    &ws.provis.u,
+                    diag,
+                    &ws.provis.tracers,
+                    &mut ws.tend,
+                );
+            }
+        }
+        if let Some(f) = forcing {
+            kernels::apply_forcing(mesh, f, &mut ws.tend);
         }
         kernels::enforce_boundary_edge(mesh, &mut ws.tend);
 

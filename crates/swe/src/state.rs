@@ -13,38 +13,64 @@ pub struct State {
     pub h: Vec<f64>,
     /// Normal velocity at edges (m/s).
     pub u: Vec<f64>,
+    /// Passive-tracer mass `h·q` at cells, one vector per tracer. Storing
+    /// mass (not mixing ratio) makes the flux-form tendency telescope, so
+    /// total tracer content is conserved to rounding like `h` itself.
+    pub tracers: Vec<Vec<f64>>,
 }
 
 impl State {
-    /// Zero-initialized state sized for a mesh.
+    /// Zero-initialized state sized for a mesh (no tracers).
     pub fn zeros(mesh: &Mesh) -> Self {
+        Self::zeros_with_tracers(mesh, 0)
+    }
+
+    /// Zero-initialized state with `n_tracers` tracer-mass fields.
+    pub fn zeros_with_tracers(mesh: &Mesh, n_tracers: usize) -> Self {
         State {
             h: vec![0.0; mesh.n_cells()],
             u: vec![0.0; mesh.n_edges()],
+            tracers: vec![vec![0.0; mesh.n_cells()]; n_tracers],
         }
     }
 
-    /// `self = a` (copy without reallocating).
+    /// Number of tracer fields carried.
+    pub fn n_tracers(&self) -> usize {
+        self.tracers.len()
+    }
+
+    /// Grow/shrink the tracer block to `n` zeroed fields of `n_cells`.
+    pub fn resize_tracers(&mut self, n_cells: usize, n: usize) {
+        self.tracers.resize_with(n, || vec![0.0; n_cells]);
+        for t in &mut self.tracers {
+            t.resize(n_cells, 0.0);
+        }
+    }
+
+    /// `self = a` (copy without reallocating when shapes already match).
     pub fn copy_from(&mut self, a: &State) {
         self.h.copy_from_slice(&a.h);
         self.u.copy_from_slice(&a.u);
+        self.tracers.resize_with(a.tracers.len(), Vec::new);
+        for (dst, src) in self.tracers.iter_mut().zip(&a.tracers) {
+            dst.resize(src.len(), 0.0);
+            dst.copy_from_slice(src);
+        }
     }
 
-    /// Largest absolute difference in either field vs another state.
+    /// Largest absolute difference in any field vs another state.
     pub fn max_abs_diff(&self, other: &State) -> f64 {
-        let dh = self
-            .h
-            .iter()
-            .zip(&other.h)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
-        let du = self
-            .u
-            .iter()
-            .zip(&other.u)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
-        dh.max(du)
+        fn field_diff(a: &[f64], b: &[f64]) -> f64 {
+            a.iter()
+                .zip(b)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max)
+        }
+        let mut d = field_diff(&self.h, &other.h).max(field_diff(&self.u, &other.u));
+        for (a, b) in self.tracers.iter().zip(&other.tracers) {
+            d = d.max(field_diff(a, b));
+        }
+        d
     }
 }
 
@@ -103,14 +129,30 @@ pub struct Tendencies {
     pub tend_h: Vec<f64>,
     /// Normal-velocity tendency at edges.
     pub tend_u: Vec<f64>,
+    /// Tracer-mass tendencies at cells, one vector per tracer.
+    pub tend_tracers: Vec<Vec<f64>>,
 }
 
 impl Tendencies {
-    /// Zero-initialized tendencies sized for a mesh.
+    /// Zero-initialized tendencies sized for a mesh (no tracers).
     pub fn zeros(mesh: &Mesh) -> Self {
+        Self::zeros_with_tracers(mesh, 0)
+    }
+
+    /// Zero-initialized tendencies with `n_tracers` tracer fields.
+    pub fn zeros_with_tracers(mesh: &Mesh, n_tracers: usize) -> Self {
         Tendencies {
             tend_h: vec![0.0; mesh.n_cells()],
             tend_u: vec![0.0; mesh.n_edges()],
+            tend_tracers: vec![vec![0.0; mesh.n_cells()]; n_tracers],
+        }
+    }
+
+    /// Grow/shrink the tracer block to `n` zeroed fields of `n_cells`.
+    pub fn resize_tracers(&mut self, n_cells: usize, n: usize) {
+        self.tend_tracers.resize_with(n, || vec![0.0; n_cells]);
+        for t in &mut self.tend_tracers {
+            t.resize(n_cells, 0.0);
         }
     }
 }

@@ -1,0 +1,471 @@
+//! Reference-norm validation harness: the scenario catalog and its
+//! committed error bands.
+//!
+//! Every runnable scenario (the six Williamson cases, Galewsky, and the
+//! tracer-transport variant of case 5) is described by a [`Scenario`]:
+//! which [`TestCase`] it samples, which config switches it needs
+//! (advection-only for case 1, tracer count for the tracer scenario), and
+//! what kind of reference its error norms are measured against:
+//!
+//! * **Analytic** — the case has a time-dependent (case 1) or steady
+//!   (cases 2, 3) exact solution; the thickness error norm measures true
+//!   discretization error and is gated one-sidedly (`≤ committed·(1+tol)`;
+//!   smaller is better but still flagged by the perf-gate's two-sided
+//!   baseline entries).
+//! * **Stored** — no closed-form solution (cases 4, 5, 6, Galewsky,
+//!   tracer). The norm measures deviation from the initial state — a
+//!   deterministic fingerprint of the evolved flow — and is gated
+//!   two-sidedly: a collapse to zero is as suspicious as a blow-up.
+//!
+//! The committed numbers in [`SPECS`] were harvested from the serial
+//! executor at the recorded `(level, days)`; because every executor in
+//! this repo is bitwise-identical by construction, the same bands gate all
+//! of them. Tolerances are wide enough to absorb cross-platform libm ulp
+//! differences (which perturb initial conditions) but tight enough to
+//! catch any formulation change.
+
+use crate::config::ModelConfig;
+use crate::model::ShallowWaterModel;
+use crate::norms::ErrorNorms;
+use crate::testcases::TestCase;
+
+/// How a scenario's error norms are referenced and gated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reference {
+    /// Exact solution exists; one-sided upper gate on the norms.
+    Analytic,
+    /// Deviation-from-initial-state fingerprint; two-sided gate.
+    Stored,
+}
+
+/// One catalog entry: everything needed to build and judge a scenario run.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Catalog name (`swe_run --case <name>`, server job `case` field).
+    pub name: &'static str,
+    /// The initial-condition/forcing recipe.
+    pub test_case: TestCase,
+    /// Passive tracers advected alongside the flow.
+    pub n_tracers: usize,
+    /// Hold the velocity field fixed (Williamson case 1).
+    pub advection_only: bool,
+    /// Reference kind for the norm gate.
+    pub reference: Reference,
+}
+
+impl Scenario {
+    /// The model configuration this scenario requires, on top of defaults.
+    pub fn config(&self) -> ModelConfig {
+        ModelConfig {
+            advection_only: self.advection_only,
+            n_tracers: self.n_tracers,
+            ..ModelConfig::default()
+        }
+    }
+}
+
+/// The full scenario catalog, in canonical order.
+pub const CATALOG: [Scenario; 8] = [
+    Scenario {
+        name: "williamson-1",
+        test_case: TestCase::Case1 { alpha: 0.0 },
+        n_tracers: 0,
+        advection_only: true,
+        reference: Reference::Analytic,
+    },
+    Scenario {
+        name: "williamson-2",
+        test_case: TestCase::Case2 { alpha: 0.0 },
+        n_tracers: 0,
+        advection_only: false,
+        reference: Reference::Analytic,
+    },
+    Scenario {
+        name: "williamson-3",
+        test_case: TestCase::Case3,
+        n_tracers: 0,
+        advection_only: false,
+        reference: Reference::Analytic,
+    },
+    Scenario {
+        name: "williamson-4",
+        test_case: TestCase::Case4,
+        n_tracers: 0,
+        advection_only: false,
+        reference: Reference::Stored,
+    },
+    Scenario {
+        name: "williamson-5",
+        test_case: TestCase::Case5,
+        n_tracers: 0,
+        advection_only: false,
+        reference: Reference::Stored,
+    },
+    Scenario {
+        name: "williamson-6",
+        test_case: TestCase::Case6,
+        n_tracers: 0,
+        advection_only: false,
+        reference: Reference::Stored,
+    },
+    Scenario {
+        name: "galewsky",
+        test_case: TestCase::Galewsky,
+        n_tracers: 0,
+        advection_only: false,
+        reference: Reference::Stored,
+    },
+    Scenario {
+        name: "tracer-case5",
+        test_case: TestCase::Case5,
+        n_tracers: 2,
+        advection_only: false,
+        reference: Reference::Stored,
+    },
+];
+
+/// Look up a scenario by catalog name (also accepts the bare Williamson
+/// digit, e.g. `"5"` for `"williamson-5"`).
+pub fn scenario(name: &str) -> Option<&'static Scenario> {
+    let canonical = match name {
+        "1" | "2" | "3" | "4" | "5" | "6" => return scenario(&format!("williamson-{name}")),
+        other => other,
+    };
+    CATALOG.iter().find(|s| s.name == canonical)
+}
+
+/// Names of every catalog scenario, canonical order.
+pub fn catalog_names() -> Vec<&'static str> {
+    CATALOG.iter().map(|s| s.name).collect()
+}
+
+/// A committed reference norm at one `(scenario, level)` point.
+#[derive(Debug, Clone, Copy)]
+pub struct NormSpec {
+    /// Catalog name this spec gates.
+    pub name: &'static str,
+    /// Icosahedral subdivision level of the mesh.
+    pub level: u32,
+    /// Simulated horizon in days (steps derive from the default dt).
+    pub days: f64,
+    /// Committed normalized l2 thickness norm at the horizon.
+    pub l2: f64,
+    /// Committed normalized l∞ thickness norm at the horizon.
+    pub linf: f64,
+    /// Relative half-width of the acceptance band.
+    pub tolerance: f64,
+}
+
+/// Per-step relative tracer-mass drift budget (matches the conservation
+/// proptest): flux-form T1 conserves to rounding, so `steps × 1e-12` bounds
+/// any healthy run with margin.
+pub const TRACER_DRIFT_PER_STEP: f64 = 1e-12;
+
+/// Committed reference norms. Harvested from the serial executor
+/// (bitwise-identical across executors); see EXPERIMENTS.md §"Scenario
+/// catalog" for the harvest command.
+pub const SPECS: [NormSpec; 12] = [
+    // Level-4 entries: the CI scenario-suite points (1 simulated day,
+    // 236 steps at the default dt).
+    NormSpec {
+        name: "williamson-1",
+        level: 4,
+        days: 1.0,
+        l2: 1.7357e-2,
+        linf: 1.1530e-1,
+        tolerance: 0.5,
+    },
+    NormSpec {
+        name: "williamson-2",
+        level: 4,
+        days: 1.0,
+        l2: 1.2520e-3,
+        linf: 4.6042e-3,
+        tolerance: 0.5,
+    },
+    NormSpec {
+        name: "williamson-3",
+        level: 4,
+        days: 1.0,
+        l2: 7.2772e-4,
+        linf: 4.4358e-3,
+        tolerance: 0.5,
+    },
+    NormSpec {
+        name: "williamson-4",
+        level: 4,
+        days: 1.0,
+        l2: 9.3511e-4,
+        linf: 2.1237e-2,
+        tolerance: 0.5,
+    },
+    NormSpec {
+        name: "williamson-5",
+        level: 4,
+        days: 1.0,
+        l2: 2.3319e-3,
+        linf: 1.8318e-2,
+        tolerance: 0.5,
+    },
+    NormSpec {
+        name: "williamson-6",
+        level: 4,
+        days: 1.0,
+        l2: 2.7355e-2,
+        linf: 5.4286e-2,
+        tolerance: 0.5,
+    },
+    NormSpec {
+        name: "galewsky",
+        level: 4,
+        days: 1.0,
+        l2: 9.8237e-4,
+        linf: 9.2073e-3,
+        tolerance: 0.5,
+    },
+    NormSpec {
+        name: "tracer-case5",
+        level: 4,
+        days: 1.0,
+        l2: 2.3319e-3,
+        linf: 1.8318e-2,
+        tolerance: 0.5,
+    },
+    // Level-5 entries: the golden-norm regression points (0.25 day,
+    // 118 steps at the default dt).
+    NormSpec {
+        name: "williamson-1",
+        level: 5,
+        days: 0.25,
+        l2: 1.6066e-3,
+        linf: 1.0854e-2,
+        tolerance: 0.4,
+    },
+    NormSpec {
+        name: "williamson-2",
+        level: 5,
+        days: 0.25,
+        l2: 4.5141e-4,
+        linf: 1.8254e-3,
+        tolerance: 0.4,
+    },
+    NormSpec {
+        name: "williamson-5",
+        level: 5,
+        days: 0.25,
+        l2: 9.5131e-4,
+        linf: 5.5487e-3,
+        tolerance: 0.4,
+    },
+    NormSpec {
+        name: "galewsky",
+        level: 5,
+        days: 0.25,
+        l2: 4.8106e-4,
+        linf: 8.4959e-3,
+        tolerance: 0.4,
+    },
+];
+
+/// Look up the committed norm spec for `(name, level)`.
+pub fn spec(name: &str, level: u32) -> Option<&'static NormSpec> {
+    let canonical = scenario(name)?.name;
+    SPECS
+        .iter()
+        .find(|s| s.name == canonical && s.level == level)
+}
+
+/// Outcome of validating one scenario run against its committed band.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// Catalog name.
+    pub name: String,
+    /// Mesh level the run used.
+    pub level: u32,
+    /// Steps actually run.
+    pub steps: usize,
+    /// Measured thickness error norms.
+    pub norms: ErrorNorms,
+    /// The committed spec the run was judged against.
+    pub spec: NormSpec,
+    /// Largest relative tracer-mass drift across tracers (0 without).
+    pub tracer_drift: f64,
+    /// Human-readable failure descriptions (empty = pass).
+    pub failures: Vec<String>,
+}
+
+impl ValidationReport {
+    /// Whether every gate passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn check_norm(
+    what: &str,
+    measured: f64,
+    committed: f64,
+    tolerance: f64,
+    reference: Reference,
+    failures: &mut Vec<String>,
+) {
+    let hi = committed * (1.0 + tolerance);
+    if !measured.is_finite() || measured > hi {
+        failures.push(format!(
+            "{what} = {measured:.4e} above committed band (≤ {hi:.4e})"
+        ));
+        return;
+    }
+    if reference == Reference::Stored {
+        let lo = committed / (1.0 + tolerance);
+        if measured < lo {
+            failures.push(format!(
+                "{what} = {measured:.4e} below committed band (≥ {lo:.4e}) — \
+                 reference fingerprint changed"
+            ));
+        }
+    }
+}
+
+/// Judge measured norms (and tracer drift) against the committed band for
+/// `(name, level)`. Returns `None` when no spec is registered there.
+pub fn check(
+    name: &str,
+    level: u32,
+    steps: usize,
+    norms: ErrorNorms,
+    tracer_drift: f64,
+) -> Option<ValidationReport> {
+    let sc = scenario(name)?;
+    let sp = spec(name, level)?;
+    let mut failures = Vec::new();
+    check_norm(
+        "l2",
+        norms.l2,
+        sp.l2,
+        sp.tolerance,
+        sc.reference,
+        &mut failures,
+    );
+    check_norm(
+        "linf",
+        norms.linf,
+        sp.linf,
+        sp.tolerance,
+        sc.reference,
+        &mut failures,
+    );
+    if sc.n_tracers > 0 {
+        let budget = TRACER_DRIFT_PER_STEP * steps.max(1) as f64;
+        let drift = tracer_drift.abs();
+        // NaN must fail, not slip through a `> budget` comparison.
+        if drift.is_nan() || drift > budget {
+            failures.push(format!(
+                "tracer mass drift {tracer_drift:.3e} exceeds budget {budget:.3e}"
+            ));
+        }
+    }
+    Some(ValidationReport {
+        name: sc.name.to_string(),
+        level,
+        steps,
+        norms,
+        spec: *sp,
+        tracer_drift,
+        failures,
+    })
+}
+
+/// Run a scenario on the serial reference model at `level` for the spec's
+/// committed horizon and validate it. The workhorse behind
+/// `swe_run --validate` and the golden-norm regression tests.
+pub fn run_and_validate(name: &str, level: u32) -> Option<ValidationReport> {
+    let sc = scenario(name)?;
+    let sp = spec(name, level)?;
+    let mesh = std::sync::Arc::new(mpas_mesh::generate(level, 0));
+    let mut model = ShallowWaterModel::new(mesh, sc.config(), sc.test_case, None);
+    let tracer_mass0: Vec<f64> = (0..sc.n_tracers).map(|k| model.total_tracer(k)).collect();
+    let steps = model.steps_for_days(sp.days);
+    model.run_steps(steps);
+    let tracer_drift = (0..sc.n_tracers)
+        .map(|k| ((model.total_tracer(k) - tracer_mass0[k]) / tracer_mass0[k]).abs())
+        .fold(0.0f64, f64::max);
+    check(name, level, steps, model.h_error_norms(), tracer_drift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_resolve_and_are_unique() {
+        let names = catalog_names();
+        assert_eq!(names.len(), 8);
+        for n in &names {
+            assert!(scenario(n).is_some(), "{n} missing");
+        }
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate catalog names");
+        // Digit aliases hit the Williamson entries.
+        assert_eq!(scenario("5").unwrap().name, "williamson-5");
+        assert!(scenario("7").is_none());
+        assert!(scenario("bogus").is_none());
+    }
+
+    #[test]
+    fn every_scenario_has_a_level4_spec() {
+        for sc in &CATALOG {
+            assert!(
+                spec(sc.name, 4).is_some(),
+                "{} has no level-4 spec",
+                sc.name
+            );
+        }
+    }
+
+    #[test]
+    fn check_rejects_out_of_band_norms() {
+        let sp = spec("williamson-5", 4).unwrap();
+        let good = ErrorNorms {
+            l1: sp.l2,
+            l2: sp.l2,
+            linf: sp.linf,
+        };
+        assert!(check("williamson-5", 4, 100, good, 0.0).unwrap().passed());
+        let high = ErrorNorms {
+            l1: 0.0,
+            l2: sp.l2 * 10.0,
+            linf: sp.linf,
+        };
+        assert!(!check("williamson-5", 4, 100, high, 0.0).unwrap().passed());
+        // Stored references also reject a collapse to zero.
+        let low = ErrorNorms {
+            l1: 0.0,
+            l2: 0.0,
+            linf: 0.0,
+        };
+        assert!(!check("williamson-5", 4, 100, low, 0.0).unwrap().passed());
+        // Analytic references accept better-than-committed norms.
+        assert!(check("williamson-2", 4, 100, low, 0.0).unwrap().passed());
+    }
+
+    #[test]
+    fn tracer_scenario_gates_mass_drift() {
+        let sp = spec("tracer-case5", 4).unwrap();
+        let norms = ErrorNorms {
+            l1: sp.l2,
+            l2: sp.l2,
+            linf: sp.linf,
+        };
+        assert!(check("tracer-case5", 4, 100, norms, 5e-10)
+            .unwrap()
+            .failures
+            .iter()
+            .any(|f| f.contains("tracer")));
+        assert!(check("tracer-case5", 4, 100, norms, 1e-14)
+            .unwrap()
+            .passed());
+    }
+}

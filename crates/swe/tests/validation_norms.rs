@@ -1,0 +1,43 @@
+//! Golden-norm regression tests: the level-5 committed reference norms.
+//!
+//! Each test replays one catalog scenario on the serial reference model at
+//! level 5 for the committed horizon (see `mpas_swe::validation::SPECS`)
+//! and asserts the measured thickness norms land inside the committed
+//! band. Because every executor is bitwise-identical to serial, these four
+//! runs gate the numerics of the whole executor family; the CI
+//! scenario-suite job covers the remaining catalog entries at level 4
+//! through `swe_run --validate`.
+
+use mpas_swe::validation;
+
+fn golden(name: &str) {
+    let report = validation::run_and_validate(name, 5).expect("committed level-5 spec");
+    assert!(
+        report.passed(),
+        "{name} level 5 (steps {}): l2 {:.4e}, linf {:.4e}; {:?}",
+        report.steps,
+        report.norms.l2,
+        report.norms.linf,
+        report.failures
+    );
+}
+
+#[test]
+fn williamson_1_golden_norms() {
+    golden("williamson-1");
+}
+
+#[test]
+fn williamson_2_golden_norms() {
+    golden("williamson-2");
+}
+
+#[test]
+fn williamson_5_golden_norms() {
+    golden("williamson-5");
+}
+
+#[test]
+fn galewsky_golden_norms() {
+    golden("galewsky");
+}

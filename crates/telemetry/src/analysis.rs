@@ -806,6 +806,16 @@ pub fn default_invariants() -> Vec<InvariantMonitor> {
             max_abs: 1e6,
             description: "height field must stay finite and bounded".to_string(),
         },
+        InvariantMonitor {
+            metric: "core.sim.max_courant".to_string(),
+            max_abs: 1.0,
+            description: "CFL: the gravity-wave Courant number must stay below 1".to_string(),
+        },
+        InvariantMonitor {
+            metric: "core.sim.tracer_mass_drift".to_string(),
+            max_abs: 1e-9,
+            description: "relative tracer-mass drift must stay at rounding level".to_string(),
+        },
     ]
 }
 
