@@ -16,9 +16,18 @@
 //! exit 1 on fail-severity violations, `--gate-strict` promotes warnings).
 //! `--shutdown` drains the server afterwards.
 //!
-//! Exit codes: 0 ok, 1 gate violation, 2 job failure or divergent results.
+//! The live observability plane is exercised too: every poll also samples
+//! `GET /jobs/{id}/telemetry` (validated JSON) and its latency is reported
+//! as the `live` column and the `serve.live_p95_ms` gauge. `--stream-out
+//! FILE` runs a concurrent observer that captures `--stream-lines` lines
+//! of `GET /metrics/stream` during the load (validated with
+//! `export::validate_ndjson`, first offending line reported); `--flight-out
+//! FILE` saves one job's `GET /jobs/{id}/flight` Chrome trace.
+//!
+//! Exit codes: 0 ok, 1 gate violation, 2 job failure, divergent results,
+//! or invalid live-endpoint output.
 
-use mpas_server::http::request;
+use mpas_server::http::{request, stream_lines};
 use mpas_telemetry::export::parse_json;
 use mpas_telemetry::gate::Baseline;
 use mpas_telemetry::{names, Recorder};
@@ -39,6 +48,9 @@ struct Args {
     gate: Option<PathBuf>,
     gate_strict: bool,
     shutdown: bool,
+    stream_out: Option<PathBuf>,
+    stream_lines: usize,
+    flight_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -55,6 +67,9 @@ fn parse_args() -> Args {
         gate: None,
         gate_strict: false,
         shutdown: false,
+        stream_out: None,
+        stream_lines: 5,
+        flight_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -72,12 +87,16 @@ fn parse_args() -> Args {
             "--gate" => args.gate = Some(PathBuf::from(val())),
             "--gate-strict" => args.gate_strict = true,
             "--shutdown" => args.shutdown = true,
+            "--stream-out" => args.stream_out = Some(PathBuf::from(val())),
+            "--stream-lines" => args.stream_lines = val().parse().expect("stream-lines"),
+            "--flight-out" => args.flight_out = Some(PathBuf::from(val())),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: swe-load --addr HOST:PORT [--clients N] [--jobs M] \
                      [--level L] [--steps S] [--case 2|5|6] [--executor SPEC] \
                      [--policy NAME] [--bench-json FILE] [--gate BASELINE.json] \
-                     [--gate-strict] [--shutdown]"
+                     [--gate-strict] [--shutdown] [--stream-out FILE] \
+                     [--stream-lines N] [--flight-out FILE]"
                 );
                 std::process::exit(0);
             }
@@ -90,10 +109,14 @@ fn parse_args() -> Args {
 
 /// One completed job as observed by a tenant.
 struct Sample {
+    id: u64,
     ttfs_ms: f64,
     latency_ms: f64,
     state_hash: String,
     retries_429: usize,
+    /// Latencies of the `GET /jobs/{id}/telemetry` probes taken during
+    /// polling (empty when the job finished before the first poll).
+    live_ms: Vec<f64>,
 }
 
 fn json_str(doc: &mpas_telemetry::export::JsonValue, key: &str) -> Option<String> {
@@ -121,6 +144,7 @@ fn run_one_job(addr: SocketAddr, body: &str) -> Result<Sample, String> {
             other => return Err(format!("submit rejected: {other} {payload}")),
         }
     };
+    let mut live_ms = Vec::new();
     loop {
         let (status, payload) =
             request(addr, "GET", &format!("/jobs/{id}"), "").map_err(|e| format!("poll: {e}"))?;
@@ -131,7 +155,21 @@ fn run_one_job(addr: SocketAddr, body: &str) -> Result<Sample, String> {
         match json_str(&doc, "status").as_deref() {
             Some("completed") => break,
             Some("failed") | Some("cancelled") => return Err(format!("job {id} ended {payload}")),
-            _ => std::thread::sleep(Duration::from_millis(5)),
+            _ => {
+                // Sample the live-telemetry endpoint while the job is in
+                // flight: its latency is the `live` column, and its body
+                // must always be valid JSON.
+                let t = Instant::now();
+                let (status, payload) = request(addr, "GET", &format!("/jobs/{id}/telemetry"), "")
+                    .map_err(|e| format!("telemetry: {e}"))?;
+                if status != 200 {
+                    return Err(format!("telemetry {id}: {status}"));
+                }
+                live_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                mpas_telemetry::export::validate_json(&payload)
+                    .map_err(|at| format!("telemetry {id}: invalid JSON at byte {at}"))?;
+                std::thread::sleep(Duration::from_millis(5));
+            }
         }
     }
     let latency_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -142,6 +180,7 @@ fn run_one_job(addr: SocketAddr, body: &str) -> Result<Sample, String> {
     }
     let doc = parse_json(&payload).map_err(|at| format!("result json @{at}"))?;
     Ok(Sample {
+        id,
         ttfs_ms: doc
             .get("ttfs_ms")
             .and_then(|v| v.as_f64())
@@ -149,7 +188,27 @@ fn run_one_job(addr: SocketAddr, body: &str) -> Result<Sample, String> {
         latency_ms,
         state_hash: json_str(&doc, "state_hash").ok_or("result lacks state_hash")?,
         retries_429,
+        live_ms,
     })
+}
+
+/// Fetch one completed job's flight trace and check it is a Chrome trace.
+fn flight_fetch(addr: SocketAddr, samples: &[Sample]) -> Result<String, String> {
+    let id = samples
+        .first()
+        .map(|s| s.id)
+        .ok_or("no completed job to fetch a flight trace for")?;
+    let (status, payload) = request(addr, "GET", &format!("/jobs/{id}/flight"), "")
+        .map_err(|e| format!("flight: {e}"))?;
+    if status != 200 {
+        return Err(format!("flight {id}: {status}"));
+    }
+    mpas_telemetry::export::validate_json(&payload)
+        .map_err(|at| format!("flight {id}: invalid JSON at byte {at}"))?;
+    if !payload.contains("traceEvents") {
+        return Err(format!("flight {id}: not a Chrome trace"));
+    }
+    Ok(payload)
 }
 
 /// Nearest-rank percentile of an unsorted sample set.
@@ -180,6 +239,28 @@ fn main() {
         "swe-load: {} clients x {} jobs (case {}, level {}, {} steps) against {addr}",
         args.clients, args.jobs, args.case, args.level, args.steps
     );
+    // Concurrent stream observer: captures NDJSON snapshot lines off
+    // `/metrics/stream` while the load is in flight, so the stream is
+    // exercised against a busy server, not an idle one.
+    let stream_observer = args.stream_out.as_ref().map(|path| {
+        let path = path.clone();
+        let n = args.stream_lines.max(1);
+        std::thread::spawn(move || -> Result<usize, String> {
+            let lines = stream_lines(
+                addr,
+                &format!("/metrics/stream?interval_ms=100&count={n}"),
+                n,
+            )
+            .map_err(|e| format!("stream: {e}"))?;
+            let body = lines.join("\n") + "\n";
+            let count = mpas_telemetry::export::validate_ndjson(&body)
+                .map_err(|(line, at)| format!("stream: invalid JSON on line {line}, byte {at}"))?;
+            std::fs::write(&path, &body).map_err(|e| format!("write {}: {e}", path.display()))?;
+            println!("wrote {count} stream snapshot lines to {}", path.display());
+            Ok(count)
+        })
+    });
+
     let t0 = Instant::now();
     let handles: Vec<_> = (0..args.clients)
         .map(|_| {
@@ -204,6 +285,24 @@ fn main() {
     }
     let wall_secs = t0.elapsed().as_secs_f64();
 
+    let mut live_failures = Vec::new();
+    if let Some(h) = stream_observer {
+        if let Err(e) = h.join().expect("stream observer panicked") {
+            live_failures.push(e);
+        }
+    }
+    // One job's flight-recorder dump: the ring outlives job completion,
+    // so any observed id yields its namespace's Chrome trace.
+    if let Some(path) = &args.flight_out {
+        match flight_fetch(addr, &samples) {
+            Ok(trace) => {
+                std::fs::write(path, &trace).expect("write flight trace");
+                println!("wrote flight trace to {}", path.display());
+            }
+            Err(e) => live_failures.push(e),
+        }
+    }
+
     if args.shutdown {
         let _ = request(addr, "POST", "/shutdown", "");
     }
@@ -221,11 +320,17 @@ fn main() {
     let jobs_per_sec = completed as f64 / wall_secs.max(1e-9);
     let mut ttfs: Vec<f64> = samples.iter().map(|s| s.ttfs_ms).collect();
     let mut latency: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
+    let mut live: Vec<f64> = samples
+        .iter()
+        .flat_map(|s| s.live_ms.iter().copied())
+        .collect();
+    let live_probes = live.len();
     let (ttfs_p50, ttfs_p95) = (percentile(&mut ttfs, 50.0), percentile(&mut ttfs, 95.0));
     let (lat_p50, lat_p95) = (
         percentile(&mut latency, 50.0),
         percentile(&mut latency, 95.0),
     );
+    let (live_p50, live_p95) = (percentile(&mut live, 50.0), percentile(&mut live, 95.0));
     println!(
         "completed {completed}/{} jobs in {wall_secs:.3} s ({jobs_per_sec:.2} jobs/s, \
          {retries} backpressure retries)",
@@ -233,6 +338,7 @@ fn main() {
     );
     println!("ttfs    p50 {ttfs_p50:.1} ms, p95 {ttfs_p95:.1} ms");
     println!("latency p50 {lat_p50:.1} ms, p95 {lat_p95:.1} ms");
+    println!("live    p50 {live_p50:.1} ms, p95 {live_p95:.1} ms ({live_probes} telemetry probes)");
 
     if let Some(path) = &args.bench_json {
         let json = format!(
@@ -243,7 +349,8 @@ fn main() {
              \"identical_results\": {identical},\n  \"state_hash\": \"{}\",\n  \
              \"{}\": {jobs_per_sec:.4},\n  \"serve.ttfs_p50_ms\": {ttfs_p50:.3},\n  \
              \"{}\": {ttfs_p95:.3},\n  \"serve.latency_p50_ms\": {lat_p50:.3},\n  \
-             \"{}\": {lat_p95:.3}\n}}\n",
+             \"{}\": {lat_p95:.3},\n  \"live_probes\": {live_probes},\n  \
+             \"serve.live_p50_ms\": {live_p50:.3},\n  \"{}\": {live_p95:.3}\n}}\n",
             args.clients,
             args.jobs,
             args.case,
@@ -255,6 +362,7 @@ fn main() {
             names::SERVE_JOBS_PER_SEC,
             names::SERVE_TTFS_P95_MS,
             names::SERVE_LATENCY_P95_MS,
+            names::SERVE_LIVE_P95_MS,
         );
         mpas_telemetry::export::validate_json(&json)
             .unwrap_or_else(|at| panic!("bench record is not valid JSON at byte {at}"));
@@ -270,6 +378,9 @@ fn main() {
         rec.set_gauge(names::SERVE_JOBS_PER_SEC, jobs_per_sec);
         rec.set_gauge(names::SERVE_TTFS_P95_MS, ttfs_p95);
         rec.set_gauge(names::SERVE_LATENCY_P95_MS, lat_p95);
+        // Published for visibility; only gated once the committed baseline
+        // grows a serve.live_p95_ms entry.
+        rec.set_gauge(names::SERVE_LIVE_P95_MS, live_p95);
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
         let mut baseline = Baseline::parse(&text)
@@ -288,7 +399,10 @@ fn main() {
             exit_code = 1;
         }
     }
-    if !failures.is_empty() || !identical {
+    for f in &live_failures {
+        eprintln!("LIVE-ENDPOINT FAILED: {f}");
+    }
+    if !failures.is_empty() || !identical || !live_failures.is_empty() {
         exit_code = 2;
     }
     if exit_code != 0 {

@@ -73,6 +73,7 @@ struct Args {
     out: PathBuf,
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    flight_dump: Option<PathBuf>,
     bench_json: Option<PathBuf>,
     report: bool,
     report_json: Option<PathBuf>,
@@ -101,6 +102,7 @@ fn parse_args() -> Args {
         out: PathBuf::from("target/frames"),
         trace: None,
         metrics: None,
+        flight_dump: None,
         bench_json: None,
         report: false,
         report_json: None,
@@ -141,6 +143,7 @@ fn parse_args() -> Args {
             "--out" => args.out = PathBuf::from(val()),
             "--trace" => args.trace = Some(PathBuf::from(val())),
             "--metrics" => args.metrics = Some(PathBuf::from(val())),
+            "--flight-dump" => args.flight_dump = Some(PathBuf::from(val())),
             "--bench-json" => args.bench_json = Some(PathBuf::from(val())),
             "--report" => args.report = true,
             "--report-json" => args.report_json = Some(PathBuf::from(val())),
@@ -162,7 +165,7 @@ fn parse_args() -> Args {
                      [--validate] [--adaptive] \
                      [--ranks N] [--frames K] [--out DIR] \
                      [--trace FILE.json] [--metrics FILE.json|FILE.csv] \
-                     [--bench-json FILE.json] \
+                     [--flight-dump FILE.json] [--bench-json FILE.json] \
                      [--report] [--report-json FILE.json] \
                      [--gate BASELINE.json] [--gate-write BASELINE.json] \
                      [--gate-strict] [--inject-mass-drift X] [--inject-courant X]\n\
@@ -694,6 +697,7 @@ fn main() {
     );
     let telemetry_on = args.trace.is_some()
         || args.metrics.is_some()
+        || args.flight_dump.is_some()
         || args.report
         || args.report_json.is_some()
         || args.gate.is_some()
@@ -707,6 +711,11 @@ fn main() {
     } else {
         Recorder::noop()
     };
+    // Arm dump-on-anomaly before the run: if `check_invariants` trips
+    // later, the flight ring is written to this path at alert time.
+    if let Some(path) = &args.flight_dump {
+        rec.set_flight_dump(path.clone());
+    }
 
     let stats = if args.ranks >= 2 {
         run_dist(&args, tc, &rec)
@@ -874,6 +883,20 @@ fn main() {
             snap.counters.len(),
             snap.gauges.len(),
             snap.histograms.len(),
+            path.display()
+        );
+    }
+
+    if let Some(path) = &args.flight_dump {
+        // An invariant alert may already have dumped here (dump-on-anomaly
+        // at alert time); the final write refreshes the ring to include
+        // everything up to run end, so the file always exists and is a
+        // complete Chrome trace either way.
+        rec.flight_dump_to(path).expect("write flight dump");
+        println!(
+            "wrote flight recorder ({} of {} events retained) to {}",
+            rec.flight_events().len(),
+            rec.flight_total(),
             path.display()
         );
     }

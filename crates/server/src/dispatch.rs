@@ -26,6 +26,11 @@ pub struct QueuedJob {
     pub id: u64,
     /// Modeled seconds of compute (see [`modeled_job_cost`]).
     pub cost_s: f64,
+    /// Submission stamp on the recorder's clock ([`Recorder::now_s`]);
+    /// the worker records the queued→pickup delta against
+    /// [`names::SERVER_QUEUE_WAIT_SECONDS`] so queue pressure shows up in
+    /// the live rolling windows, not just as a depth gauge.
+    pub submitted_s: f64,
 }
 
 /// Analytic mesh counts for a level-`level` icosahedral mesh
@@ -194,6 +199,10 @@ fn worker_loop(w: usize, shared: &Shared, work: &(impl Fn(usize, QueuedJob) + ?S
         };
         let Some(job) = job else { return };
         let cost = job.cost_s;
+        shared.rec.record(
+            names::SERVER_QUEUE_WAIT_SECONDS,
+            (shared.rec.now_s() - job.submitted_s).max(0.0),
+        );
         {
             let _span = shared.rec.span(&track, &format!("server.job{}", job.id));
             work(w, job);
@@ -208,6 +217,14 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
+    fn qj(id: u64, cost_s: f64) -> QueuedJob {
+        QueuedJob {
+            id,
+            cost_s,
+            submitted_s: 0.0,
+        }
+    }
+
     #[test]
     fn placement_spreads_equal_jobs_across_workers() {
         let d = Dispatcher::start(3, 16, Recorder::noop(), |_, _| {
@@ -215,7 +232,7 @@ mod tests {
         });
         let mut placed = Vec::new();
         for id in 0..3 {
-            placed.push(d.submit(QueuedJob { id, cost_s: 1.0 }).unwrap());
+            placed.push(d.submit(qj(id, 1.0)).unwrap());
         }
         placed.sort_unstable();
         assert_eq!(placed, vec![0, 1, 2]);
@@ -228,16 +245,9 @@ mod tests {
         let d = Dispatcher::start(2, 16, Recorder::noop(), |_, _| {
             std::thread::sleep(std::time::Duration::from_millis(10));
         });
-        assert_eq!(
-            d.submit(QueuedJob {
-                id: 0,
-                cost_s: 100.0
-            })
-            .unwrap(),
-            0
-        );
-        assert_eq!(d.submit(QueuedJob { id: 1, cost_s: 1.0 }).unwrap(), 1);
-        assert_eq!(d.submit(QueuedJob { id: 2, cost_s: 1.0 }).unwrap(), 1);
+        assert_eq!(d.submit(qj(0, 100.0)).unwrap(), 0);
+        assert_eq!(d.submit(qj(1, 1.0)).unwrap(), 1);
+        assert_eq!(d.submit(qj(2, 1.0)).unwrap(), 1);
         d.drain();
     }
 
@@ -257,25 +267,19 @@ mod tests {
         });
         // First job is picked up by the worker (blocked on the gate), two
         // more fill the queue; the fourth must be refused.
-        d.submit(QueuedJob { id: 0, cost_s: 1.0 }).unwrap();
+        d.submit(qj(0, 1.0)).unwrap();
         while d.queued() > 0 {
             std::thread::yield_now();
         }
         for id in 1..3 {
-            d.submit(QueuedJob { id, cost_s: 1.0 }).unwrap();
+            d.submit(qj(id, 1.0)).unwrap();
         }
-        assert_eq!(
-            d.submit(QueuedJob { id: 3, cost_s: 1.0 }).unwrap_err(),
-            SubmitError::Full
-        );
+        assert_eq!(d.submit(qj(3, 1.0)).unwrap_err(), SubmitError::Full);
         *gate.0.lock().unwrap() = true;
         gate.1.notify_all();
         d.drain();
         assert_eq!(done.load(Ordering::SeqCst), 3);
-        assert_eq!(
-            d.submit(QueuedJob { id: 4, cost_s: 1.0 }).unwrap_err(),
-            SubmitError::Draining
-        );
+        assert_eq!(d.submit(qj(4, 1.0)).unwrap_err(), SubmitError::Draining);
     }
 
     #[test]

@@ -14,10 +14,24 @@ const MAX_BODY: usize = 1 << 20;
 pub struct Request {
     /// Upper-cased method (`GET`, `POST`, ...).
     pub method: String,
-    /// Path component of the request target (query strings are not used).
+    /// Path component of the request target (query string stripped).
     pub path: String,
+    /// Raw query string after `?` (empty when none was sent).
+    pub query: String,
     /// Decoded body (empty when no `Content-Length` was sent).
     pub body: String,
+}
+
+impl Request {
+    /// The value of query parameter `key`, if present (`?a=1&b=2` style;
+    /// no percent-decoding — values here are metric prefixes and small
+    /// integers, never arbitrary text).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
+    }
 }
 
 fn bad(msg: &str) -> io::Error {
@@ -33,7 +47,9 @@ pub fn read_request(stream: &TcpStream) -> io::Result<Request> {
     let method = parts.next().ok_or_else(|| bad("empty request line"))?;
     let path = parts.next().ok_or_else(|| bad("missing request target"))?;
     let method = method.to_ascii_uppercase();
+    let (path, query) = path.split_once('?').unwrap_or((path, ""));
     let path = path.to_string();
+    let query = query.to_string();
 
     let mut content_length = 0usize;
     loop {
@@ -60,7 +76,12 @@ pub fn read_request(stream: &TcpStream) -> io::Result<Request> {
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     let body = String::from_utf8(body).map_err(|_| bad("body is not utf-8"))?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
 }
 
 /// Write a complete JSON response and flush.
@@ -81,6 +102,18 @@ pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Re
         "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
+    )?;
+    stream.flush()
+}
+
+/// Start a streaming NDJSON response: status line + headers, no
+/// `Content-Length` — the body is delimited by connection close (we never
+/// send keep-alive, so every client already reads to EOF). The caller
+/// writes one JSON line per interval and flushes after each.
+pub fn write_stream_head(stream: &mut TcpStream) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n"
     )?;
     stream.flush()
 }
@@ -119,6 +152,61 @@ pub fn request(
     Ok((status, body.to_string()))
 }
 
+/// Blocking streaming client: `GET path` against `addr` and read body
+/// lines as they arrive, up to `max_lines` (0 = until the server closes).
+/// Returns the non-empty body lines; errors if the response is not a 200.
+/// The counterpart of [`write_stream_head`], used by `swe_load`'s stream
+/// observer and the live-telemetry tests.
+pub fn stream_lines(
+    addr: std::net::SocketAddr,
+    path: &str,
+    max_lines: usize,
+) -> io::Result<Vec<String>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    if status != 200 {
+        return Err(bad(&format!("stream request returned {status}")));
+    }
+    // Skip headers.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(bad("connection closed inside headers"));
+        }
+        if header.trim_end().is_empty() {
+            break;
+        }
+    }
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break; // server closed the stream
+        }
+        let line = line.trim_end();
+        if !line.is_empty() {
+            lines.push(line.to_string());
+        }
+        if max_lines > 0 && lines.len() >= max_lines {
+            break;
+        }
+    }
+    Ok(lines)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,7 +241,18 @@ mod tests {
         let req = round_trip("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/healthz");
+        assert!(req.query.is_empty());
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn splits_and_parses_query_strings() {
+        let req =
+            round_trip("GET /metrics?prefix=server.&interval_ms=50 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.query_param("prefix"), Some("server."));
+        assert_eq!(req.query_param("interval_ms"), Some("50"));
+        assert_eq!(req.query_param("count"), None);
     }
 
     #[test]

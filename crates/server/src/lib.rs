@@ -24,9 +24,18 @@
 //! | `/jobs/{id}`           | GET  | lifecycle status + progress             |
 //! | `/jobs/{id}/result`    | GET  | result document (409 until finished)    |
 //! | `/jobs/{id}/cancel`    | POST | cooperative cancellation                |
+//! | `/jobs/{id}/telemetry` | GET  | live windowed snapshot, valid mid-run   |
+//! | `/jobs/{id}/flight`    | GET  | flight-recorder slice as a Chrome trace |
 //! | `/healthz`             | GET  | liveness + drain state                  |
-//! | `/metrics`             | GET  | telemetry snapshot as JSON              |
+//! | `/metrics`             | GET  | snapshot as JSON (`?prefix=` filters)   |
+//! | `/metrics/stream`      | GET  | chunked NDJSON snapshot stream          |
 //! | `/shutdown`            | POST | request graceful drain                  |
+//!
+//! The three live routes (telemetry/flight/stream) are the server half of
+//! the DESIGN.md §13 observability plane: each executing job records
+//! through a scoped recorder (`job{id}.` namespace) with a rolling window
+//! on its step time, so mid-run queries see per-job windowed summaries
+//! and per-job flight traces with no cross-tenant leakage.
 
 pub mod cache;
 pub mod dispatch;

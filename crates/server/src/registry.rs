@@ -81,6 +81,11 @@ pub struct JobEntry {
     /// step (the SLO'd time-to-first-step); `None` until the first
     /// progress report.
     pub ttfs_ms: Option<f64>,
+    /// Telemetry namespace for this job (`job{id}`) — the prefix its
+    /// scoped recorder puts on every metric/span it emits, and the filter
+    /// the live `/jobs/{id}/telemetry` and `/jobs/{id}/flight` endpoints
+    /// select by.
+    pub scope: String,
 }
 
 /// Thread-safe id-keyed job table.
@@ -107,6 +112,7 @@ impl Registry {
             submitted: Instant::now(),
             worker,
             ttfs_ms: None,
+            scope: format!("job{id}"),
         };
         self.jobs
             .lock()

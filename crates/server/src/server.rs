@@ -3,15 +3,16 @@
 
 use crate::cache::ArtifactCache;
 use crate::dispatch::{modeled_job_cost, Dispatcher, QueuedJob, SubmitError};
-use crate::http::{error_body, read_request, write_response, Request};
+use crate::http::{error_body, read_request, write_response, write_stream_head, Request};
 use crate::job::JobRequest;
 use crate::registry::{JobState, Registry};
 use mpas_core::{JobError, JobProgress};
-use mpas_telemetry::{names, Recorder};
-use std::io;
+use mpas_telemetry::analysis::LiveBlame;
+use mpas_telemetry::{flight, names, Recorder};
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -42,6 +43,11 @@ struct Inner {
     registry: Registry,
     rec: Recorder,
     draining: AtomicBool,
+    /// Incremental blame over the worker `rank{w}` spans: each live
+    /// endpoint hit advances the cursor and republishes the
+    /// `analysis.blame.*` gauges, so attribution is queryable mid-run
+    /// instead of only from a post-mortem trace.
+    live: Mutex<LiveBlame>,
 }
 
 /// A running server. Dropping the handle does NOT stop the service; call
@@ -63,11 +69,18 @@ impl Server {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
+        // Live windows over the serving-path metrics: queue pressure and
+        // live-endpoint latency over the last 30 s, queryable via
+        // `/metrics` and streamed by `/metrics/stream`.
+        rec.rolling_window(names::SERVER_QUEUE_WAIT_SECONDS, 30.0);
+        rec.rolling_window(names::SERVER_LIVE_SECONDS, 30.0);
+
         let inner = Arc::new(Inner {
             cache: ArtifactCache::new(rec.clone()),
             registry: Registry::new(),
             rec: rec.clone(),
             draining: AtomicBool::new(false),
+            live: Mutex::new(LiveBlame::matching("server.job")),
         });
 
         let worker_inner = inner.clone();
@@ -162,8 +175,67 @@ fn handle_connection(mut stream: TcpStream, inner: &Arc<Inner>, dispatcher: &Arc
             return;
         }
     };
+    // The stream endpoint owns the socket for its lifetime (one NDJSON
+    // line per interval until the client hangs up or the server drains),
+    // so it bypasses the one-shot route()/write_response path.
+    if req.method == "GET" && req.path == "/metrics/stream" {
+        stream_metrics(stream, &req, inner);
+        return;
+    }
     let (status, body) = route(&req, inner, dispatcher);
     let _ = write_response(&mut stream, status, &body);
+}
+
+/// `GET /metrics/stream`: NDJSON, one snapshot line per `interval_ms`
+/// (default 250, clamped to 10..=5000) for `count` lines (default 0 =
+/// until the client disconnects or the server drains). `prefix=` filters
+/// the metric sections the same way `/metrics?prefix=` does.
+fn stream_metrics(mut stream: TcpStream, req: &Request, inner: &Arc<Inner>) {
+    let interval_ms: u64 = req
+        .query_param("interval_ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250)
+        .clamp(10, 5000);
+    let count: usize = req
+        .query_param("count")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let prefix = req.query_param("prefix").map(str::to_string);
+    if write_stream_head(&mut stream).is_err() {
+        return;
+    }
+    let mut seq = 0usize;
+    loop {
+        let line = {
+            let _t = inner.rec.time(names::SERVER_LIVE_SECONDS);
+            if let Ok(mut live) = inner.live.lock() {
+                live.update(&inner.rec);
+            }
+            let mut snap = inner.rec.snapshot();
+            if let Some(p) = &prefix {
+                snap = snap.filtered(p);
+            }
+            let draining = inner.draining.load(Ordering::SeqCst);
+            format!(
+                "{{\"seq\": {seq}, \"ts_s\": {:.6}, \"active_jobs\": {}, \
+                 \"draining\": {draining}, \"metrics\": {}}}\n",
+                inner.rec.now_s(),
+                inner.registry.active(),
+                snap.to_json().trim_end(),
+            )
+        };
+        if stream.write_all(line.as_bytes()).is_err() || stream.flush().is_err() {
+            return; // client hung up
+        }
+        seq += 1;
+        if count > 0 && seq >= count {
+            return;
+        }
+        if inner.draining.load(Ordering::SeqCst) {
+            return; // last line already carried draining=true
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
 }
 
 fn route(req: &Request, inner: &Arc<Inner>, dispatcher: &Arc<Dispatcher>) -> (u16, String) {
@@ -179,8 +251,16 @@ fn route(req: &Request, inner: &Arc<Inner>, dispatcher: &Arc<Dispatcher>) -> (u1
                 ),
             )
         }
-        ("GET", ["metrics"]) => (200, inner.rec.snapshot().to_json()),
+        ("GET", ["metrics"]) => {
+            let snap = match req.query_param("prefix") {
+                Some(p) => inner.rec.snapshot().filtered(p),
+                None => inner.rec.snapshot(),
+            };
+            (200, snap.to_json())
+        }
         ("POST", ["jobs"]) => submit_job(&req.body, inner, dispatcher),
+        ("GET", ["jobs", id, "telemetry"]) => with_id(id, |id| job_telemetry(id, inner)),
+        ("GET", ["jobs", id, "flight"]) => with_id(id, |id| job_flight(id, inner)),
         ("GET", ["jobs", id]) => with_id(id, |id| job_status(id, inner)),
         ("GET", ["jobs", id, "result"]) => with_id(id, |id| job_result(id, inner)),
         ("POST", ["jobs", id, "cancel"]) => with_id(id, |id| cancel_job(id, inner)),
@@ -190,7 +270,7 @@ fn route(req: &Request, inner: &Arc<Inner>, dispatcher: &Arc<Dispatcher>) -> (u1
             inner.draining.store(true, Ordering::SeqCst);
             (200, "{\"ok\": true, \"draining\": true}\n".to_string())
         }
-        (_, ["jobs", ..]) | (_, ["healthz"]) | (_, ["metrics"]) | (_, ["shutdown"]) => {
+        (_, ["jobs", ..]) | (_, ["healthz"]) | (_, ["metrics", ..]) | (_, ["shutdown"]) => {
             (405, error_body("method not allowed"))
         }
         _ => (404, error_body("no such route")),
@@ -216,7 +296,11 @@ fn submit_job(body: &str, inner: &Arc<Inner>, dispatcher: &Arc<Dispatcher>) -> (
     // Reserve the id first so the queue entry can carry it; placement
     // fills the worker index in afterwards.
     let (id, _cancel) = inner.registry.insert(request, usize::MAX);
-    match dispatcher.submit(QueuedJob { id, cost_s }) {
+    match dispatcher.submit(QueuedJob {
+        id,
+        cost_s,
+        submitted_s: inner.rec.now_s(),
+    }) {
         Ok(worker) => {
             inner.registry.with(id, |e| e.worker = worker);
             (
@@ -306,6 +390,47 @@ fn job_result(id: u64, inner: &Arc<Inner>) -> (u16, String) {
     }
 }
 
+/// `GET /jobs/{id}/telemetry`: live windowed snapshot of the job's own
+/// namespace (`job{id}.*`), served while the job is still running — no
+/// waiting for the post-mortem export.
+fn job_telemetry(id: u64, inner: &Arc<Inner>) -> (u16, String) {
+    let _t = inner.rec.time(names::SERVER_LIVE_SECONDS);
+    let Some((label, step, scope)) = inner.registry.with(id, |e| {
+        let step = match &e.state {
+            JobState::Running { step, .. } => Some(*step),
+            _ => None,
+        };
+        (e.state.label(), step, e.scope.clone())
+    }) else {
+        return (404, error_body("unknown job id"));
+    };
+    if let Ok(mut live) = inner.live.lock() {
+        live.update(&inner.rec);
+    }
+    let snap = inner.rec.snapshot().filtered(&format!("{scope}."));
+    let step_field = step.map(|s| format!(", \"step\": {s}")).unwrap_or_default();
+    (
+        200,
+        format!(
+            "{{\"id\": {id}, \"status\": \"{label}\", \"scope\": \"{scope}\"{step_field}, \
+             \"metrics\": {}}}\n",
+            snap.to_json().trim_end(),
+        ),
+    )
+}
+
+/// `GET /jobs/{id}/flight`: the flight-recorder events in the job's
+/// namespace, exported as a self-contained Chrome trace — openable in
+/// `chrome://tracing` / Perfetto even while the job is still running.
+fn job_flight(id: u64, inner: &Arc<Inner>) -> (u16, String) {
+    let _t = inner.rec.time(names::SERVER_LIVE_SECONDS);
+    let Some(scope) = inner.registry.with(id, |e| e.scope.clone()) else {
+        return (404, error_body("unknown job id"));
+    };
+    let events = flight::filter_prefix(&inner.rec.flight_events(), &format!("{scope}."));
+    (200, flight::to_chrome_trace(&events))
+}
+
 fn cancel_job(id: u64, inner: &Arc<Inner>) -> (u16, String) {
     match inner.registry.cancel(id) {
         Some(label) => {
@@ -323,10 +448,9 @@ fn cancel_job(id: u64, inner: &Arc<Inner>) -> (u16, String) {
 /// run, and advance the registry state machine.
 fn execute_job(inner: &Arc<Inner>, job: QueuedJob) {
     let id = job.id;
-    let Some((request, cancel)) = inner
-        .registry
-        .with(id, |e| (e.request.clone(), e.cancel.clone()))
-    else {
+    let Some((request, cancel, scope)) = inner.registry.with(id, |e| {
+        (e.request.clone(), e.cancel.clone(), e.scope.clone())
+    }) else {
         return;
     };
     if cancel.load(Ordering::Relaxed) {
@@ -349,24 +473,26 @@ fn execute_job(inner: &Arc<Inner>, job: QueuedJob) {
         None
     };
 
+    // Run the simulation under a scoped view of the shared recorder:
+    // every metric, span track, and flight event it emits lands in the
+    // job's own `job{id}.` namespace (what `/jobs/{id}/telemetry` and
+    // `/jobs/{id}/flight` filter by) while still aggregating into the
+    // global snapshot. A rolling window on the per-step histogram makes
+    // the job's recent step-time p50/p95 queryable mid-run.
+    let jrec = inner.rec.scoped(&scope);
+    jrec.rolling_window("core.sim.step_seconds", 30.0);
+
     let registry = &inner.registry;
-    let outcome = mpas_core::run_job(
-        &spec,
-        mesh,
-        coeffs,
-        &inner.rec,
-        &cancel,
-        |p: JobProgress| {
-            registry.note_first_step(id);
-            registry.set_state(
-                id,
-                JobState::Running {
-                    step: p.step,
-                    total: p.total,
-                },
-            );
-        },
-    );
+    let outcome = mpas_core::run_job(&spec, mesh, coeffs, &jrec, &cancel, |p: JobProgress| {
+        registry.note_first_step(id);
+        registry.set_state(
+            id,
+            JobState::Running {
+                step: p.step,
+                total: p.total,
+            },
+        );
+    });
     match outcome {
         Ok(result) => {
             inner.rec.add(names::SERVER_JOBS_COMPLETED, 1);

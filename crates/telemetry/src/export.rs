@@ -80,6 +80,17 @@ impl ChromeTrace {
         self.events.push(ev);
     }
 
+    /// Add a counter sample (`ph:"C"`) — trace viewers render these as a
+    /// value-over-time track named `name` (the flight recorder uses this
+    /// for gauge/counter history).
+    pub fn counter(&mut self, pid: u32, name: &str, ts_us: f64, value: f64) {
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{ts_us:.3},\"pid\":{pid},\"args\":{{\"value\":{}}}}}",
+            json_escape(name),
+            json_num(value),
+        ));
+    }
+
     /// Add an instantaneous event (`ph:"i"`) with key/value `args`.
     pub fn instant(
         &mut self,
@@ -149,7 +160,7 @@ fn push_args(ev: &mut String, args: &[(&str, String)]) {
 
 impl MetricsSnapshot {
     /// Serialize as a JSON document:
-    /// `{"counters":{...},"gauges":{...},"histograms":{name:{count,...}}}`.
+    /// `{"counters":{...},"gauges":{...},"histograms":{name:{count,...}},"windows":{name:{window_s,...}}}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         for (i, (k, v)) in self.counters.iter().enumerate() {
@@ -183,6 +194,27 @@ impl MetricsSnapshot {
                 json_num(h.max),
             );
         }
+        out.push_str("},\"windows\":{");
+        for (i, (k, w)) in self.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"window_s\":{},\"count\":{},\"sum\":{},\"mean\":{},\"min\":{},\"p50\":{},\"p95\":{},\"max\":{},\"rate_per_s\":{},\"ewma\":{}}}",
+                json_escape(k),
+                json_num(w.window_s),
+                w.count,
+                json_num(w.sum),
+                json_num(w.mean),
+                json_num(w.min),
+                json_num(w.p50),
+                json_num(w.p95),
+                json_num(w.max),
+                json_num(w.rate_per_s),
+                json_num(w.ewma),
+            );
+        }
         out.push_str("}}");
         out
     }
@@ -209,6 +241,23 @@ impl MetricsSnapshot {
                 h.p50,
                 h.p95,
                 h.max
+            );
+        }
+        for (k, w) in &self.windows {
+            // `value` carries the windowed rate; the summary columns line
+            // up with the histogram rows.
+            let _ = writeln!(
+                out,
+                "window,{},{},{},{},{},{},{},{},{}",
+                csv_field(k),
+                w.rate_per_s,
+                w.count,
+                w.sum,
+                w.mean,
+                w.min,
+                w.p50,
+                w.p95,
+                w.max
             );
         }
         out
@@ -327,6 +376,25 @@ pub fn parse_json(s: &str) -> Result<JsonValue, usize> {
 /// a JSON dependency into test builds.
 pub fn validate_json(s: &str) -> Result<(), usize> {
     parse_json(s).map(|_| ())
+}
+
+/// Validate newline-delimited JSON (the `/metrics/stream` wire format):
+/// every non-empty line must be one complete JSON document.
+///
+/// Returns the number of non-empty lines validated; on failure,
+/// `(line, byte)` — the **1-based line number** of the first offending
+/// line and the byte offset of the error within that line. `swe_load`
+/// self-checks each streamed snapshot line with this.
+pub fn validate_ndjson(s: &str) -> Result<usize, (usize, usize)> {
+    let mut n = 0;
+    for (i, line) in s.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_json(line).map_err(|at| (i + 1, at))?;
+        n += 1;
+    }
+    Ok(n)
 }
 
 struct Parser<'a> {
@@ -699,6 +767,45 @@ mod tests {
         let h = v.get("histograms").unwrap().get("m").unwrap();
         assert_eq!(h.get("count").unwrap().as_f64(), Some(2.0));
         assert_eq!(h.get("sum").unwrap().as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn ndjson_validator_counts_lines_and_locates_errors() {
+        assert_eq!(validate_ndjson(""), Ok(0));
+        assert_eq!(validate_ndjson("{\"a\":1}\n[2,3]\n\n{\"b\":4}\n"), Ok(3));
+        // Line 2 is broken at byte 5 (`,]` after the 2).
+        assert_eq!(validate_ndjson("{\"a\":1}\n[1,2,]\n{\"b\":4}"), Err((2, 5)));
+        // Blank lines don't shift the reported line number.
+        assert_eq!(validate_ndjson("\n\nnot json"), Err((3, 0)));
+    }
+
+    #[test]
+    fn windows_serialize_to_json_and_csv() {
+        let rec = Recorder::new();
+        rec.rolling_window("w.metric", 30.0);
+        rec.record("w.metric", 1.5);
+        rec.record("w.metric", 2.5);
+        let snap = rec.snapshot();
+        let json = snap.to_json();
+        validate_json(&json).unwrap_or_else(|p| panic!("invalid JSON at byte {p}: {json}"));
+        let v = parse_json(&json).unwrap();
+        let w = v.get("windows").unwrap().get("w.metric").unwrap();
+        assert_eq!(w.get("count").unwrap().as_f64(), Some(2.0));
+        assert_eq!(w.get("window_s").unwrap().as_f64(), Some(30.0));
+        assert!(w.get("ewma").unwrap().as_f64().is_some());
+        let csv = snap.to_csv();
+        assert!(csv.contains("window,w.metric,"));
+    }
+
+    #[test]
+    fn chrome_counter_events_are_valid() {
+        let mut t = ChromeTrace::new();
+        t.counter(3, "queue.depth", 1000.0, 4.0);
+        t.counter(3, "bad", 2000.0, f64::NAN);
+        let json = t.finish();
+        validate_json(&json).unwrap_or_else(|p| panic!("invalid JSON at byte {p}: {json}"));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"value\":null"));
     }
 
     #[test]

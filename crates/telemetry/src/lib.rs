@@ -21,6 +21,13 @@
 //!   (so one `trace.json` carries both a *modeled* schedule and the
 //!   *measured* execution), plus JSON and CSV metrics snapshots, and the
 //!   shared JSON string escaper every exporter uses.
+//! * the **live observability plane** (DESIGN.md §13): an always-on
+//!   bounded [flight recorder](flight) dumped on demand or on an
+//!   invariant alert, [rolling-window](window) aggregation registered
+//!   per metric with [`Recorder::rolling_window`], and
+//!   [scoped](Recorder::scoped) recorder views that prefix every name
+//!   they record so one shared buffer can serve isolated per-job
+//!   namespaces.
 //!
 //! Metric names follow the `crate.subsystem.name` scheme documented in
 //! DESIGN.md §8 (e.g. `hybrid.kernel.B1.seconds`, `msg.halo.bytes_sent`,
@@ -32,13 +39,19 @@
 
 pub mod analysis;
 pub mod export;
+pub mod flight;
 pub mod gate;
 pub mod names;
+pub mod window;
 
 pub use export::{json_escape, ChromeTrace};
+pub use flight::{FlightEvent, DEFAULT_FLIGHT_CAPACITY};
+pub use window::{RollingWindow, WindowSummary};
 
+use flight::FlightRing;
 use std::cell::Cell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -98,6 +111,8 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram summaries.
     pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Rolling-window summaries (only metrics with a registered window).
+    pub windows: BTreeMap<String, WindowSummary>,
 }
 
 impl MetricsSnapshot {
@@ -115,20 +130,151 @@ impl MetricsSnapshot {
     pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
         self.histograms.get(name)
     }
+
+    /// Summary of a rolling window, if one is registered for `name`.
+    pub fn window(&self, name: &str) -> Option<&WindowSummary> {
+        self.windows.get(name)
+    }
+
+    /// The snapshot restricted to metrics whose name starts with `prefix`
+    /// (the `BTreeMap`s keep the keys stably sorted). With scoped
+    /// recorders this slices the global snapshot into one namespace.
+    pub fn filtered(&self, prefix: &str) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            windows: self
+                .windows
+                .iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        }
+    }
 }
 
+/// Word-at-a-time rotate-xor-multiply hash (the rustc-hash recipe).
+/// Metric names are short internal keys, so SipHash's DoS resistance
+/// buys nothing here, and a byte-at-a-time hash (e.g. FNV) is
+/// latency-bound at ~4 cycles per byte — a measurable slice of the
+/// per-write budget the overhead guard in `crates/bench` enforces.
 #[derive(Default)]
+struct MetricNameHasher(u64);
+
+impl std::hash::Hasher for MetricNameHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        let mut h = self.0;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let w = u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes"));
+            h = (h.rotate_left(5) ^ w).wrapping_mul(K);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut w = 0u64;
+            for (i, &b) in rem.iter().enumerate() {
+                w |= u64::from(b) << (8 * i);
+            }
+            h = (h.rotate_left(5) ^ w).wrapping_mul(K);
+        }
+        self.0 = h;
+    }
+}
+
+type NameHashBuild = std::hash::BuildHasherDefault<MetricNameHasher>;
+
+/// All state for one metric name behind a single map lookup: the hot path
+/// (`add` / `set_gauge` / `record` / timer drops) pays one hash per write
+/// — updating the store, feeding a registered rolling window, and pushing
+/// a ring event that shares the interned name instead of re-allocating it.
+struct MetricSlot {
+    /// Interned name, shared with every [`FlightEvent`] this metric emits.
+    name: Arc<str>,
+    counter: Option<u64>,
+    gauge: Option<f64>,
+    /// Raw histogram samples (empty = never recorded as a histogram).
+    samples: Vec<f64>,
+    window: Option<RollingWindow>,
+}
+
 struct Buffers {
     spans: Vec<SpanRecord>,
     events: Vec<EventRecord>,
-    counters: HashMap<String, u64>,
-    gauges: HashMap<String, f64>,
-    histograms: HashMap<String, Vec<f64>>,
+    metrics: HashMap<Arc<str>, MetricSlot, NameHashBuild>,
+    flight: FlightRing,
+}
+
+impl MetricSlot {
+    fn new(name: Arc<str>) -> Self {
+        MetricSlot {
+            name,
+            counter: None,
+            gauge: None,
+            samples: Vec::new(),
+            window: None,
+        }
+    }
+}
+
+impl Buffers {
+    fn new(flight_capacity: usize) -> Self {
+        Buffers {
+            spans: Vec::new(),
+            events: Vec::new(),
+            metrics: HashMap::default(),
+            flight: FlightRing::new(flight_capacity),
+        }
+    }
+
+    /// Run `f` on the slot for `name` (interned on first use) with the
+    /// flight ring alongside, so `f` can push a ring event that shares
+    /// the slot's interned name. The hit path pays exactly one hash;
+    /// only a miss (first write to a new name) probes twice.
+    #[inline]
+    fn with_slot(&mut self, name: &str, f: impl FnOnce(&mut MetricSlot, &mut FlightRing)) {
+        if let Some(slot) = self.metrics.get_mut(name) {
+            f(slot, &mut self.flight);
+            return;
+        }
+        let key: Arc<str> = Arc::from(name);
+        self.metrics.insert(key.clone(), MetricSlot::new(key));
+        let slot = self.metrics.get_mut(name).expect("slot just interned");
+        f(slot, &mut self.flight);
+    }
+}
+
+/// Dump-on-anomaly state: the armed path plus the set of alerted metrics
+/// that already dumped (so each alert dumps exactly once).
+#[derive(Default)]
+struct DumpState {
+    path: Option<PathBuf>,
+    dumped: HashSet<String>,
 }
 
 struct Inner {
     epoch: Instant,
     buf: Mutex<Buffers>,
+    dump: Mutex<DumpState>,
 }
 
 thread_local! {
@@ -142,39 +288,85 @@ thread_local! {
 /// Cloning is an `Arc` clone; all clones record into the same buffers. The
 /// [no-op recorder](Recorder::noop) (also the `Default`) carries no buffer
 /// at all, so every recording call reduces to one branch.
+///
+/// A [scoped view](Recorder::scoped) shares the same buffers but prefixes
+/// every metric, event and span-track name it records, so namespaces stay
+/// isolated while aggregating globally.
 #[derive(Clone, Default)]
 pub struct Recorder {
     inner: Option<Arc<Inner>>,
+    /// Namespace prefix (ends with `.`), `None` on the root view.
+    scope: Option<Arc<str>>,
 }
 
 impl std::fmt::Debug for Recorder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "Recorder({})",
-            if self.inner.is_some() {
-                "recording"
-            } else {
-                "noop"
-            }
-        )
+        match (&self.inner, &self.scope) {
+            (None, _) => write!(f, "Recorder(noop)"),
+            (Some(_), None) => write!(f, "Recorder(recording)"),
+            (Some(_), Some(s)) => write!(f, "Recorder(recording, scope={s})"),
+        }
     }
 }
 
 impl Recorder {
-    /// A live recorder with its epoch at the call instant.
+    /// A live recorder with its epoch at the call instant and the default
+    /// flight-recorder capacity ([`DEFAULT_FLIGHT_CAPACITY`] events).
     pub fn new() -> Self {
+        Recorder::with_flight_capacity(DEFAULT_FLIGHT_CAPACITY)
+    }
+
+    /// A live recorder whose flight ring keeps the most recent
+    /// `flight_capacity` events (clamped to at least 1).
+    pub fn with_flight_capacity(flight_capacity: usize) -> Self {
         Recorder {
             inner: Some(Arc::new(Inner {
                 epoch: Instant::now(),
-                buf: Mutex::new(Buffers::default()),
+                buf: Mutex::new(Buffers::new(flight_capacity)),
+                dump: Mutex::new(DumpState::default()),
             })),
+            scope: None,
         }
     }
 
     /// The disabled recorder: records nothing, costs one branch per call.
     pub fn noop() -> Self {
-        Recorder { inner: None }
+        Recorder {
+            inner: None,
+            scope: None,
+        }
+    }
+
+    /// A view onto the same buffers that records under the namespace
+    /// `prefix` — every metric, event and span-track name gets `prefix.`
+    /// prepended. Scopes nest (`scoped("job3").scoped("rk")` records
+    /// under `job3.rk.`); a scoped view of a no-op recorder is a no-op.
+    pub fn scoped(&self, prefix: &str) -> Recorder {
+        if self.inner.is_none() {
+            return Recorder::noop();
+        }
+        let scope: Arc<str> = match &self.scope {
+            Some(s) => format!("{s}{prefix}.").into(),
+            None => format!("{prefix}.").into(),
+        };
+        Recorder {
+            inner: self.inner.clone(),
+            scope: Some(scope),
+        }
+    }
+
+    /// This view's namespace prefix (`""` on the root view), including the
+    /// trailing `.` — the string to pass to
+    /// [`MetricsSnapshot::filtered`] / [`flight::filter_prefix`].
+    pub fn scope(&self) -> &str {
+        self.scope.as_deref().unwrap_or("")
+    }
+
+    fn apply_scope(&self, name: &str) -> String {
+        match &self.scope {
+            Some(s) => format!("{s}{name}"),
+            None => name.to_string(),
+        }
     }
 
     /// Whether this recorder actually records. Use this to guard any
@@ -212,17 +404,38 @@ impl Recorder {
     fn span_inner(&self, track: &str, name: &str, metric: Option<&str>, emit: bool) -> SpanGuard {
         match &self.inner {
             None => SpanGuard::noop(),
-            Some(_) => {
-                let depth = DEPTH.with(|d| {
-                    let v = d.get();
-                    d.set(v + 1);
-                    v
-                });
+            Some(inner) => {
+                // Pure timers (`Recorder::time`) never become spans, so
+                // they skip the nesting-depth bookkeeping and the
+                // track/name strings — they are the hottest guard
+                // (one per kernel per stage).
+                let depth = if emit {
+                    DEPTH.with(|d| {
+                        let v = d.get();
+                        d.set(v + 1);
+                        v
+                    })
+                } else {
+                    0
+                };
+                let metric = match (metric, &self.scope) {
+                    (None, _) => GuardName::None,
+                    (Some(m), Some(s)) => GuardName::Heap(format!("{s}{m}")),
+                    (Some(m), None) => GuardName::new(m),
+                };
                 SpanGuard {
-                    rec: self.clone(),
-                    track: track.to_string(),
-                    name: name.to_string(),
-                    metric: metric.map(|m| m.to_string()),
+                    inner: Some(inner.clone()),
+                    track: if emit {
+                        self.apply_scope(track)
+                    } else {
+                        String::new()
+                    },
+                    name: if emit {
+                        name.to_string()
+                    } else {
+                        String::new()
+                    },
+                    metric,
                     emit_span: emit,
                     depth,
                     start: Some(Instant::now()),
@@ -235,54 +448,95 @@ impl Recorder {
     pub fn event(&self, name: &str, args: &[(&str, String)]) {
         if let Some(inner) = &self.inner {
             let ts_s = inner.epoch.elapsed().as_secs_f64();
-            let mut buf = inner.buf.lock().unwrap();
-            buf.events.push(EventRecord {
-                name: name.to_string(),
+            let record = EventRecord {
+                name: self.apply_scope(name),
                 ts_s,
                 args: args
                     .iter()
                     .map(|(k, v)| (k.to_string(), v.clone()))
                     .collect(),
-            });
+            };
+            let mut buf = inner.buf.lock().unwrap();
+            buf.events.push(record.clone());
+            buf.flight.push(FlightEvent::Instant(record));
         }
     }
 
     /// Add `delta` to the counter `name`.
     pub fn add(&self, name: &str, delta: u64) {
         if let Some(inner) = &self.inner {
-            let mut buf = inner.buf.lock().unwrap();
-            match buf.counters.get_mut(name) {
-                Some(c) => *c += delta,
-                None => {
-                    buf.counters.insert(name.to_string(), delta);
+            let scoped;
+            let name = match &self.scope {
+                Some(s) => {
+                    scoped = format!("{s}{name}");
+                    scoped.as_str()
                 }
-            }
+                None => name,
+            };
+            let ts_s = inner.epoch.elapsed().as_secs_f64();
+            let mut buf = inner.buf.lock().unwrap();
+            buf.with_slot(name, |slot, ring| {
+                *slot.counter.get_or_insert(0) += delta;
+                // A windowed counter tracks its increments, so the
+                // summary's rate is the counter's recent rate.
+                if let Some(w) = &mut slot.window {
+                    w.push(ts_s, delta as f64);
+                }
+                let name = slot.name.clone();
+                ring.push(FlightEvent::Counter { name, delta, ts_s });
+            });
         }
     }
 
     /// Set the gauge `name` to `value` (last write wins).
     pub fn set_gauge(&self, name: &str, value: f64) {
         if let Some(inner) = &self.inner {
-            let mut buf = inner.buf.lock().unwrap();
-            match buf.gauges.get_mut(name) {
-                Some(g) => *g = value,
-                None => {
-                    buf.gauges.insert(name.to_string(), value);
+            let scoped;
+            let name = match &self.scope {
+                Some(s) => {
+                    scoped = format!("{s}{name}");
+                    scoped.as_str()
                 }
-            }
+                None => name,
+            };
+            let ts_s = inner.epoch.elapsed().as_secs_f64();
+            let mut buf = inner.buf.lock().unwrap();
+            buf.with_slot(name, |slot, ring| {
+                slot.gauge = Some(value);
+                if let Some(w) = &mut slot.window {
+                    w.push(ts_s, value);
+                }
+                let name = slot.name.clone();
+                ring.push(FlightEvent::Gauge { name, value, ts_s });
+            });
         }
     }
 
     /// Record one sample into the histogram `name`.
     pub fn record(&self, name: &str, sample: f64) {
         if let Some(inner) = &self.inner {
-            let mut buf = inner.buf.lock().unwrap();
-            match buf.histograms.get_mut(name) {
-                Some(h) => h.push(sample),
-                None => {
-                    buf.histograms.insert(name.to_string(), vec![sample]);
+            let scoped;
+            let name = match &self.scope {
+                Some(s) => {
+                    scoped = format!("{s}{name}");
+                    scoped.as_str()
                 }
-            }
+                None => name,
+            };
+            let ts_s = inner.epoch.elapsed().as_secs_f64();
+            let mut buf = inner.buf.lock().unwrap();
+            buf.with_slot(name, |slot, ring| {
+                slot.samples.push(sample);
+                if let Some(w) = &mut slot.window {
+                    w.push(ts_s, sample);
+                }
+                let name = slot.name.clone();
+                ring.push(FlightEvent::Sample {
+                    name,
+                    value: sample,
+                    ts_s,
+                });
+            });
         }
     }
 
@@ -292,6 +546,113 @@ impl Recorder {
             Some(inner) => inner.buf.lock().unwrap().spans.clone(),
             None => Vec::new(),
         }
+    }
+
+    /// Spans completed since a previous cursor: `(new_cursor, spans)`
+    /// where `spans` are everything recorded at index `from` and beyond.
+    /// This is the incremental-ingest primitive behind
+    /// [`analysis::LiveBlame`]: poll with the returned cursor and you see
+    /// each span exactly once.
+    pub fn spans_since(&self, from: usize) -> (usize, Vec<SpanRecord>) {
+        match &self.inner {
+            Some(inner) => {
+                let buf = inner.buf.lock().unwrap();
+                let new = buf.spans.get(from..).map(<[_]>::to_vec).unwrap_or_default();
+                (buf.spans.len(), new)
+            }
+            None => (0, Vec::new()),
+        }
+    }
+
+    /// Register a rolling window of `window_s` seconds on the metric
+    /// `name` (scoped views register under their prefixed name). From
+    /// then on every matching counter/gauge/histogram write also feeds
+    /// the window; re-registering an existing window is a no-op.
+    pub fn rolling_window(&self, name: &str, window_s: f64) {
+        if let Some(inner) = &self.inner {
+            let name = self.apply_scope(name);
+            let mut buf = inner.buf.lock().unwrap();
+            buf.with_slot(&name, |slot, _ring| {
+                if slot.window.is_none() {
+                    slot.window = Some(RollingWindow::new(window_s));
+                }
+            });
+        }
+    }
+
+    /// Windowed summary of `name` as of now, if a window is registered.
+    pub fn windowed(&self, name: &str) -> Option<WindowSummary> {
+        let inner = self.inner.as_ref()?;
+        let name = self.apply_scope(name);
+        let now_s = inner.epoch.elapsed().as_secs_f64();
+        let mut buf = inner.buf.lock().unwrap();
+        buf.metrics
+            .get_mut(name.as_str())
+            .and_then(|s| s.window.as_mut())
+            .map(|w| w.summary(now_s))
+    }
+
+    /// The flight-recorder ring contents, oldest first.
+    pub fn flight_events(&self) -> Vec<FlightEvent> {
+        match &self.inner {
+            Some(inner) => inner.buf.lock().unwrap().flight.chronological(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Events ever pushed through the flight ring (`total - len` have
+    /// been overwritten).
+    pub fn flight_total(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.buf.lock().unwrap().flight.total(),
+            None => 0,
+        }
+    }
+
+    /// The flight ring's fixed capacity (0 on a no-op recorder).
+    pub fn flight_capacity(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.buf.lock().unwrap().flight.capacity(),
+            None => 0,
+        }
+    }
+
+    /// Arm dump-on-anomaly: from now on, the first time each invariant
+    /// metric trips in [`analysis::check_invariants`], the flight ring is
+    /// written to `path` as a Chrome trace (see
+    /// [`Recorder::flight_dump_on_alert`]).
+    pub fn set_flight_dump(&self, path: impl Into<PathBuf>) {
+        if let Some(inner) = &self.inner {
+            inner.dump.lock().unwrap().path = Some(path.into());
+        }
+    }
+
+    /// Write the current flight-ring contents to `path` as a Chrome
+    /// trace, and count the write on [`names::FLIGHT_DUMPS`].
+    pub fn flight_dump_to(&self, path: &Path) -> std::io::Result<()> {
+        let trace = flight::to_chrome_trace(&self.flight_events());
+        std::fs::write(path, trace)?;
+        self.add(names::FLIGHT_DUMPS, 1);
+        Ok(())
+    }
+
+    /// Dump-on-anomaly trigger: if a dump path is armed and `metric` has
+    /// not alerted before, dump the flight ring there and return the
+    /// path. Each metric dumps exactly once per recorder, so an invariant
+    /// that stays tripped across repeated checks cannot spam the disk.
+    /// Returns `None` when unarmed, already dumped, or the write failed
+    /// (an alert path must never panic the run).
+    pub fn flight_dump_on_alert(&self, metric: &str) -> Option<PathBuf> {
+        let inner = self.inner.as_ref()?;
+        let path = {
+            let mut dump = inner.dump.lock().unwrap();
+            let path = dump.path.clone()?;
+            if !dump.dumped.insert(metric.to_string()) {
+                return None;
+            }
+            path
+        };
+        self.flight_dump_to(&path).ok().map(|_| path)
     }
 
     /// All recorded events, in recording order.
@@ -311,29 +672,41 @@ impl Recorder {
                 .buf
                 .lock()
                 .unwrap()
-                .histograms
+                .metrics
                 .get(name)
-                .cloned()
+                .map(|s| s.samples.clone())
                 .unwrap_or_default(),
             None => Vec::new(),
         }
     }
 
-    /// Snapshot every metric (name-ordered; histograms summarized).
+    /// Snapshot every metric (name-ordered; histograms summarized;
+    /// rolling windows summarized as of now).
     pub fn snapshot(&self) -> MetricsSnapshot {
         let Some(inner) = &self.inner else {
             return MetricsSnapshot::default();
         };
-        let buf = inner.buf.lock().unwrap();
-        MetricsSnapshot {
-            counters: buf.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
-            gauges: buf.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
-            histograms: buf
-                .histograms
-                .iter()
-                .map(|(k, v)| (k.clone(), HistogramSummary::from_samples(v)))
-                .collect(),
+        let now_s = inner.epoch.elapsed().as_secs_f64();
+        let mut buf = inner.buf.lock().unwrap();
+        let mut snap = MetricsSnapshot::default();
+        for slot in buf.metrics.values_mut() {
+            if let Some(c) = slot.counter {
+                snap.counters.insert(slot.name.to_string(), c);
+            }
+            if let Some(g) = slot.gauge {
+                snap.gauges.insert(slot.name.to_string(), g);
+            }
+            if !slot.samples.is_empty() {
+                snap.histograms.insert(
+                    slot.name.to_string(),
+                    HistogramSummary::from_samples(&slot.samples),
+                );
+            }
+            if let Some(w) = &mut slot.window {
+                snap.windows.insert(slot.name.to_string(), w.summary(now_s));
+            }
         }
+        snap
     }
 }
 
@@ -363,15 +736,54 @@ impl HistogramSummary {
     }
 }
 
+/// Longest metric name a [`SpanGuard`] stores without heap-allocating.
+const INLINE_NAME_LEN: usize = 46;
+
+/// Metric name carried by a [`SpanGuard`]. Timer guards are the hottest
+/// telemetry hook (one per kernel per RK stage), so the common case — a
+/// short, unscoped metric name — is copied into an inline buffer instead
+/// of allocating on every guard creation; scoped or unusually long names
+/// fall back to the heap.
+enum GuardName {
+    None,
+    Inline { len: u8, buf: [u8; INLINE_NAME_LEN] },
+    Heap(String),
+}
+
+impl GuardName {
+    fn new(name: &str) -> GuardName {
+        if name.len() <= INLINE_NAME_LEN {
+            let mut buf = [0u8; INLINE_NAME_LEN];
+            buf[..name.len()].copy_from_slice(name.as_bytes());
+            GuardName::Inline {
+                len: name.len() as u8,
+                buf,
+            }
+        } else {
+            GuardName::Heap(name.to_string())
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            GuardName::None => None,
+            GuardName::Inline { len, buf } => {
+                Some(std::str::from_utf8(&buf[..*len as usize]).expect("copied whole from a &str"))
+            }
+            GuardName::Heap(s) => Some(s.as_str()),
+        }
+    }
+}
+
 /// RAII guard for an open span or timer; records on drop.
 ///
 /// Must be dropped on the thread that created it (span nesting depth is
 /// tracked per thread).
 pub struct SpanGuard {
-    rec: Recorder,
+    inner: Option<Arc<Inner>>,
     track: String,
     name: String,
-    metric: Option<String>,
+    metric: GuardName,
     emit_span: bool,
     depth: usize,
     start: Option<Instant>,
@@ -380,10 +792,10 @@ pub struct SpanGuard {
 impl SpanGuard {
     fn noop() -> Self {
         SpanGuard {
-            rec: Recorder::noop(),
+            inner: None,
             track: String::new(),
             name: String::new(),
-            metric: None,
+            metric: GuardName::None,
             emit_span: false,
             depth: 0,
             start: None,
@@ -393,29 +805,39 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let (Some(inner), Some(start)) = (&self.rec.inner, self.start) else {
+        let (Some(inner), Some(start)) = (&self.inner, self.start) else {
             return;
         };
-        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        if self.emit_span {
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        }
         let dur_s = start.elapsed().as_secs_f64();
         let start_s = start.duration_since(inner.epoch).as_secs_f64();
         let mut buf = inner.buf.lock().unwrap();
         if self.emit_span {
-            buf.spans.push(SpanRecord {
+            let record = SpanRecord {
                 name: std::mem::take(&mut self.name),
                 track: std::mem::take(&mut self.track),
                 start_s,
                 dur_s,
                 depth: self.depth,
-            });
+            };
+            buf.spans.push(record.clone());
+            buf.flight.push(FlightEvent::Span(record));
         }
-        if let Some(metric) = self.metric.take() {
-            match buf.histograms.get_mut(&metric) {
-                Some(h) => h.push(dur_s),
-                None => {
-                    buf.histograms.insert(metric, vec![dur_s]);
+        if let Some(metric) = self.metric.as_str() {
+            let end_s = start_s + dur_s;
+            // Pure timers stay out of the flight ring: at one per kernel
+            // per stage they would wash every other event out of a
+            // fixed-capacity ring within a few dozen steps. Their samples
+            // still land in the histogram and any registered window, and
+            // `span_timed` guards ring as Span events above.
+            buf.with_slot(metric, |slot, _ring| {
+                slot.samples.push(dur_s);
+                if let Some(w) = &mut slot.window {
+                    w.push(end_s, dur_s);
                 }
-            }
+            });
         }
     }
 }
@@ -547,5 +969,90 @@ mod tests {
         assert_eq!(h.p50, 7.0);
         assert_eq!(h.p95, 7.0);
         assert_eq!(h.mean, 7.0);
+    }
+
+    #[test]
+    fn scoped_views_prefix_names_and_share_buffers() {
+        let rec = Recorder::new();
+        let a = rec.scoped("job1");
+        let b = rec.scoped("job2");
+        assert_eq!(a.scope(), "job1.");
+        assert_eq!(a.scoped("rk").scope(), "job1.rk.");
+        a.add("core.sim.steps", 2);
+        b.add("core.sim.steps", 5);
+        a.set_gauge("drift", 1e-15);
+        {
+            let _s = a.span_timed("measured", "core.step", "core.sim.step_seconds");
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["job1.core.sim.steps"], 2);
+        assert_eq!(snap.counters["job2.core.sim.steps"], 5);
+        assert_eq!(snap.histograms["job1.core.sim.step_seconds"].count, 1);
+        assert_eq!(rec.spans()[0].track, "job1.measured");
+        // Filtering slices one namespace out with stable-sorted keys.
+        let job1 = snap.filtered("job1.");
+        assert_eq!(job1.counters.len(), 1);
+        assert!(job1.counters.keys().all(|k| k.starts_with("job1.")));
+        assert!(snap.filtered("job2.").gauges.is_empty());
+    }
+
+    #[test]
+    fn scoped_view_of_noop_is_noop() {
+        let rec = Recorder::noop().scoped("job1");
+        assert!(!rec.is_enabled());
+        rec.add("c", 1);
+        assert!(rec.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn registered_windows_feed_from_all_metric_kinds() {
+        let rec = Recorder::new();
+        rec.rolling_window("h", 60.0);
+        rec.rolling_window("g", 60.0);
+        rec.rolling_window("c", 60.0);
+        for v in [1.0, 2.0, 3.0] {
+            rec.record("h", v);
+        }
+        rec.set_gauge("g", 42.0);
+        rec.add("c", 7);
+        let snap = rec.snapshot();
+        assert_eq!(snap.windows["h"].count, 3);
+        assert_eq!(snap.windows["h"].p50, 2.0);
+        assert_eq!(snap.windows["g"].max, 42.0);
+        assert_eq!(snap.windows["c"].sum, 7.0);
+        assert_eq!(rec.windowed("h").unwrap().count, 3);
+        assert!(rec.windowed("unregistered").is_none());
+        // Unregistered metrics carry no window.
+        rec.record("other", 1.0);
+        assert!(!rec.snapshot().windows.contains_key("other"));
+    }
+
+    #[test]
+    fn spans_since_is_an_exactly_once_cursor() {
+        let rec = Recorder::new();
+        {
+            let _a = rec.span("t", "one");
+        }
+        let (cur, new) = rec.spans_since(0);
+        assert_eq!((cur, new.len()), (1, 1));
+        {
+            let _b = rec.span("t", "two");
+        }
+        let (cur2, new2) = rec.spans_since(cur);
+        assert_eq!((cur2, new2.len()), (2, 1));
+        assert_eq!(new2[0].name, "two");
+        assert!(rec.spans_since(cur2).1.is_empty());
+    }
+
+    #[test]
+    fn flight_ring_is_always_on_and_bounded() {
+        let rec = Recorder::with_flight_capacity(8);
+        for _ in 0..20 {
+            rec.add("c", 1);
+        }
+        assert_eq!(rec.flight_total(), 20);
+        assert_eq!(rec.flight_events().len(), 8);
+        assert_eq!(rec.flight_capacity(), 8);
+        assert!(Recorder::noop().flight_events().is_empty());
     }
 }

@@ -59,3 +59,23 @@ pub const SERVE_TTFS_P95_MS: &str = "serve.ttfs_p95_ms";
 
 /// Gauge: load-generator p95 end-to-end job latency in milliseconds.
 pub const SERVE_LATENCY_P95_MS: &str = "serve.latency_p95_ms";
+
+/// Counter: flight-recorder dumps written (on demand or on an invariant
+/// alert; the dump-on-anomaly test pins this to exactly one per alerted
+/// metric).
+pub const FLIGHT_DUMPS: &str = "telemetry.flight.dumps";
+
+/// Histogram: seconds a job sat in a worker queue between submission and
+/// pickup (windowed by the server, so live queue pressure is queryable).
+pub const SERVER_QUEUE_WAIT_SECONDS: &str = "server.queue.wait_seconds";
+
+/// Histogram: seconds spent serving one live-telemetry request or stream
+/// tick (`/jobs/{id}/telemetry`, `/jobs/{id}/flight`, `/metrics/stream`);
+/// the server registers a rolling window on it so live-endpoint latency
+/// is itself live-observable.
+pub const SERVER_LIVE_SECONDS: &str = "server.live.request_seconds";
+
+/// Gauge: load-generator p95 latency in milliseconds of the live
+/// `/jobs/{id}/telemetry` endpoint sampled during job polling
+/// (`swe_load`'s streaming-latency column).
+pub const SERVE_LIVE_P95_MS: &str = "serve.live_p95_ms";

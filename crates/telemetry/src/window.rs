@@ -1,0 +1,177 @@
+//! Rolling-window aggregation: sliding-window gauges and decaying
+//! histograms, queryable mid-run.
+//!
+//! The post-mortem histograms in [`crate::MetricsSnapshot`] summarize a
+//! whole run; a live consumer (the server's `/jobs/{id}/telemetry` and
+//! `/metrics/stream` endpoints, or an online rescheduler) wants "the last
+//! N seconds". A [`RollingWindow`] keeps `(timestamp, value)` samples,
+//! evicts anything older than its window on every push and on every
+//! summary, and reports windowed p50/p95/min/max/mean, a per-second rate,
+//! and an exponentially-decayed mean (half-life = half the window) that
+//! keeps reacting even when the sample set is sparse.
+//!
+//! Windows are registered per metric name with
+//! [`crate::Recorder::rolling_window`]; after that, every matching
+//! counter/gauge/histogram write feeds the window transparently (counters
+//! feed their *delta*, so the windowed rate is the counter's recent
+//! rate). Memory is doubly bounded: by the time window and by
+//! [`MAX_WINDOW_SAMPLES`].
+
+use std::collections::VecDeque;
+
+/// Hard cap on retained samples per window, so a hot metric with a long
+/// window cannot grow without bound (oldest samples are dropped first).
+pub const MAX_WINDOW_SAMPLES: usize = 65_536;
+
+/// Point-in-time summary of one rolling window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WindowSummary {
+    /// Window length, seconds.
+    pub window_s: f64,
+    /// Samples currently inside the window.
+    pub count: usize,
+    /// Sum of in-window samples.
+    pub sum: f64,
+    /// Mean of in-window samples.
+    pub mean: f64,
+    /// Smallest in-window sample.
+    pub min: f64,
+    /// Windowed median (nearest-rank).
+    pub p50: f64,
+    /// Windowed 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// Largest in-window sample.
+    pub max: f64,
+    /// In-window samples per second (`count / window_s`).
+    pub rate_per_s: f64,
+    /// Exponentially-decayed mean (half-life = `window_s / 2`); unlike the
+    /// windowed mean it never empties, it just decays toward recency.
+    pub ewma: f64,
+}
+
+/// A sliding time window over one metric's samples.
+#[derive(Debug, Clone)]
+pub struct RollingWindow {
+    window_s: f64,
+    samples: VecDeque<(f64, f64)>,
+    ewma: f64,
+    ewma_primed: bool,
+    last_ts_s: f64,
+}
+
+impl RollingWindow {
+    /// A window of `window_s` seconds (clamped to a 1 ms minimum).
+    pub fn new(window_s: f64) -> Self {
+        RollingWindow {
+            window_s: window_s.max(1e-3),
+            samples: VecDeque::new(),
+            ewma: 0.0,
+            ewma_primed: false,
+            last_ts_s: 0.0,
+        }
+    }
+
+    /// The configured window length, seconds.
+    pub fn window_s(&self) -> f64 {
+        self.window_s
+    }
+
+    /// Add one sample stamped `ts_s` (seconds on the recorder's clock).
+    pub fn push(&mut self, ts_s: f64, value: f64) {
+        self.evict(ts_s);
+        if self.samples.len() >= MAX_WINDOW_SAMPLES {
+            self.samples.pop_front();
+        }
+        self.samples.push_back((ts_s, value));
+        if self.ewma_primed {
+            let dt = (ts_s - self.last_ts_s).max(0.0);
+            let half_life = self.window_s / 2.0;
+            let w = 0.5_f64.powf(dt / half_life);
+            self.ewma = w * self.ewma + (1.0 - w) * value;
+        } else {
+            self.ewma = value;
+            self.ewma_primed = true;
+        }
+        self.last_ts_s = ts_s;
+    }
+
+    fn evict(&mut self, now_s: f64) {
+        let cutoff = now_s - self.window_s;
+        while self.samples.front().is_some_and(|(ts, _)| *ts < cutoff) {
+            self.samples.pop_front();
+        }
+    }
+
+    /// Summarize the window as of `now_s` (evicting stale samples first).
+    pub fn summary(&mut self, now_s: f64) -> WindowSummary {
+        self.evict(now_s);
+        let values: Vec<f64> = self.samples.iter().map(|(_, v)| *v).collect();
+        let h = crate::HistogramSummary::from_samples(&values);
+        WindowSummary {
+            window_s: self.window_s,
+            count: h.count,
+            sum: h.sum,
+            mean: h.mean,
+            min: h.min,
+            p50: h.p50,
+            p95: h.p95,
+            max: h.max,
+            rate_per_s: h.count as f64 / self.window_s,
+            ewma: self.ewma,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_reports_windowed_percentiles() {
+        let mut w = RollingWindow::new(10.0);
+        for i in 0..10 {
+            w.push(i as f64 * 0.1, (i + 1) as f64);
+        }
+        let s = w.summary(1.0);
+        assert_eq!(s.count, 10);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10.0);
+        assert_eq!(s.p50, 6.0); // nearest-rank over 1..=10
+        assert_eq!(s.sum, 55.0);
+        assert!((s.rate_per_s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn old_samples_leave_the_window() {
+        let mut w = RollingWindow::new(1.0);
+        w.push(0.0, 100.0);
+        w.push(0.5, 200.0);
+        w.push(2.0, 300.0); // evicts both on push
+        let s = w.summary(2.0);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50, 300.0);
+        // Summary-time eviction too: everything gone 5 s later.
+        assert_eq!(w.summary(7.0).count, 0);
+    }
+
+    #[test]
+    fn ewma_decays_toward_recent_values() {
+        let mut w = RollingWindow::new(2.0); // half-life 1 s
+        w.push(0.0, 0.0);
+        w.push(1.0, 100.0); // one half-life: ewma = 50
+        assert!((w.summary(1.0).ewma - 50.0).abs() < 1e-9);
+        // Unlike count, ewma survives eviction.
+        let s = w.summary(10.0);
+        assert_eq!(s.count, 0);
+        assert!(s.ewma > 0.0);
+    }
+
+    #[test]
+    fn sample_cap_bounds_memory() {
+        let mut w = RollingWindow::new(1e6);
+        for i in 0..(MAX_WINDOW_SAMPLES + 10) {
+            w.push(i as f64 * 1e-9, 1.0);
+        }
+        assert_eq!(w.summary(1.0).count, MAX_WINDOW_SAMPLES);
+    }
+}
