@@ -53,7 +53,7 @@ fn bench_layout(c: &mut Criterion) {
     let base = Arc::new(mpas_mesh::generate(level, 0));
     let sfc = Arc::new(base.reordered(&Reordering::Sfc.permutation(&base)));
     let seed_cfg = ModelConfig {
-        fused_coeffs: false,
+        kernel_backend: mpas_swe::KernelBackend::Scalar,
         ..ModelConfig::default()
     };
     let fused_cfg = ModelConfig::default();
@@ -83,5 +83,34 @@ fn bench_layout(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_step, bench_layout);
+/// The PR-9 acceptance benchmark: the vertically batched simd tier at
+/// level 6 with k = 4 layers on the SFC ordering, next to the fused
+/// serial single-layer step (the `kernel.simd_speedup_serial` numerator)
+/// and the flat simd step (the bitwise-equal k = 1 degenerate case).
+fn bench_simd(c: &mut Criterion) {
+    use mpas_mesh::Reordering;
+    use mpas_swe::layers::LayeredModel;
+    use mpas_swe::KernelBackend;
+
+    let base = Arc::new(mpas_mesh::generate(6, 0));
+    let sfc = Arc::new(base.reordered(&Reordering::Sfc.permutation(&base)));
+    let tc = TestCase::Case5;
+    let simd_cfg = |k: usize| ModelConfig {
+        kernel_backend: KernelBackend::Simd,
+        n_layers: k,
+        ..ModelConfig::default()
+    };
+
+    let mut g = c.benchmark_group("pr9_rk4_simd");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let mut m = ShallowWaterModel::new(sfc.clone(), ModelConfig::default(), tc, None);
+    g.bench_function("serial_fused_sfc", |b| b.iter(|| m.step()));
+    let mut m = ShallowWaterModel::new(sfc.clone(), simd_cfg(1), tc, None);
+    g.bench_function("serial_simd_sfc_k1", |b| b.iter(|| m.step()));
+    let mut m = LayeredModel::new(sfc.clone(), simd_cfg(4), tc, None);
+    g.bench_function("serial_simd_sfc_k4", |b| b.iter(|| m.step()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_step, bench_layout, bench_simd);
 criterion_main!(benches);

@@ -4,11 +4,16 @@
 //! figures <experiment> [options]
 //!   table1 | table2 | table3 | fig4 | fig4x | fig5 | fig6 | fig7 | fig7x
 //!   | fig8 | fig9 | ablations | trace | profile | convergence
-//!   | partitioners | fig_layout | fig_blame | all
+//!   | partitioners | fig_layout | fig_blame | fig_simd | all
 //!
 //! `fig_layout` measures the PR-4 data-layout ladder: RK-4 step time by
 //! cell ordering (natural, Morton SFC, BFS) × mesh level × executor, seed
 //! per-slot kernels against the precomputed fused-coefficient fast path.
+//!
+//! `fig_simd` measures the PR-9 kernel-tier ladder: RK-4 step time by
+//! backend (scalar, fused, simd) × vertical layers × mesh level on the
+//! SFC ordering, with the per-layer cost and the speedup over running the
+//! fused single-layer model once per layer.
 //!
 //! `fig7x` extends Fig. 7 with every policy registered in `mpas-sched`
 //! (HEFT, CPOP, lookahead, dynamic-list, ...) on the Table III meshes.
@@ -39,7 +44,7 @@ use mpas_hybrid::{fig6_ladder, Platform};
 use mpas_msg::CommCostModel;
 use mpas_patterns::dataflow::{table_i, DataflowGraph, MeshCounts, RkPhase};
 use mpas_patterns::reduction::{EdgeCellReduction, LabelMatrix};
-use mpas_swe::config::ModelConfig;
+use mpas_swe::config::{KernelBackend, ModelConfig};
 use mpas_swe::kernels::{ops, scatter};
 use mpas_swe::testcases::TestCase;
 use mpas_swe::ShallowWaterModel;
@@ -91,6 +96,7 @@ fn main() {
             "partitioners" => partitioners(&opts),
             "fig_layout" => fig_layout(&opts),
             "fig_blame" => fig_blame(&opts),
+            "fig_simd" => fig_simd(&opts),
             "all" => {
                 table1();
                 table2();
@@ -848,7 +854,7 @@ fn fig_layout(opts: &Opts) {
 
     let tc = TestCase::Case5;
     let seed_cfg = ModelConfig {
-        fused_coeffs: false,
+        kernel_backend: KernelBackend::Scalar,
         ..ModelConfig::default()
     };
     let fused_cfg = ModelConfig::default();
@@ -902,6 +908,67 @@ fn fig_layout(opts: &Opts) {
     print_table(
         "fig_layout — RK-4 step: ordering x level x executor (speedup vs seed kernels, natural order)",
         &["level", "cells", "ordering", "executor", "seed ms/step", "fused ms/step", "speedup"],
+        &rows,
+    );
+}
+
+/// `fig_simd` — the PR-9 kernel-tier ladder: RK-4 step time by backend ×
+/// vertical layers × mesh level, on the SFC ordering the cache-blocked
+/// sweeps tile. Flat (`k = 1`) rows compare all three tiers directly;
+/// layered rows (`k = 4, 7`) time the vertically batched simd model and
+/// report the speedup over running the fused single-layer model once per
+/// layer — the `kernel.simd_speedup_serial` quantity the perf gate
+/// watches (DESIGN.md §14).
+fn fig_simd(opts: &Opts) {
+    use mpas_mesh::Reordering;
+    use mpas_swe::layers::LayeredModel;
+
+    let tc = TestCase::Case5;
+    let levels = [opts.level.saturating_sub(1).max(3), opts.level];
+    let mut rows = Vec::new();
+    for &level in &levels {
+        let base = Arc::new(mpas_mesh::generate(level, 0));
+        let mesh = Arc::new(base.reordered(&Reordering::Sfc.permutation(&base)));
+        let iters = if level >= 6 { 2 } else { 5 };
+        let cfg = |backend: KernelBackend, k: usize| ModelConfig {
+            kernel_backend: backend,
+            n_layers: k,
+            ..ModelConfig::default()
+        };
+        let mut fused_ms = f64::NAN;
+        for backend in KernelBackend::ALL {
+            let mut m = ShallowWaterModel::new(mesh.clone(), cfg(backend, 1), tc, None);
+            let ms = time_per_call(|| m.step(), iters) * 1e3;
+            if backend == KernelBackend::Fused {
+                fused_ms = ms;
+            }
+            rows.push(vec![
+                level.to_string(),
+                mesh.n_cells().to_string(),
+                backend.name().to_string(),
+                "1".to_string(),
+                format!("{ms:.2}"),
+                format!("{ms:.2}"),
+                String::new(),
+            ]);
+        }
+        for k in [4usize, 7] {
+            let mut m = LayeredModel::new(mesh.clone(), cfg(KernelBackend::Simd, k), tc, None);
+            let ms = time_per_call(|| m.step(), iters) * 1e3;
+            rows.push(vec![
+                level.to_string(),
+                mesh.n_cells().to_string(),
+                "simd".to_string(),
+                k.to_string(),
+                format!("{ms:.2}"),
+                format!("{:.2}", ms / k as f64),
+                format!("{:.2}x", fused_ms * k as f64 / ms),
+            ]);
+        }
+    }
+    print_table(
+        "fig_simd — RK-4 step: backend x layers x level on the SFC ordering (speedup vs k fused single-layer runs)",
+        &["level", "cells", "backend", "k", "ms/step", "ms/step/layer", "speedup"],
         &rows,
     );
 }

@@ -31,7 +31,19 @@
 //! monitor records a structured `alert` event and exits 3.
 //! `--inject-mass-drift X` deliberately offsets the drift gauge so the
 //! alarm chain can be tested end to end; `--inject-courant X` does the
-//! same for the CFL monitor.
+//! same for the CFL monitor. `--gate-filter PREFIX[,...]` restricts the
+//! committed baseline to metrics starting with a listed prefix, so one
+//! baseline file serves CI jobs that exercise different pipeline slices.
+//!
+//! ## Kernel tiers and vertical layers
+//!
+//! `--backend scalar|fused|simd` picks the kernel tier (DESIGN.md §14);
+//! `--fused on|off` remains as an alias for the two pre-simd tiers.
+//! `--layers K` (K > 1, simd + serial only) runs the vertically batched
+//! K-layer model; the same invocation also times the fused serial
+//! single-layer reference and records the `kernel.simd_speedup_serial`
+//! gauge — (fused per-step × K) / (simd K-layer per-step) — which the
+//! perf gate fails below 2.0×.
 //!
 //! ## Scenario catalog and validation
 //!
@@ -49,7 +61,7 @@ use mpas_bench::render::{sample_lonlat, write_ppm};
 use mpas_core::{DistributedConfig, Simulation};
 use mpas_mesh::Reordering;
 use mpas_patterns::dataflow::{DataflowGraph, MeshCounts, RkPhase};
-use mpas_swe::{ErrorNorms, ModelConfig, ShallowWaterModel, TestCase};
+use mpas_swe::{ErrorNorms, KernelBackend, ModelConfig, ShallowWaterModel, TestCase};
 use mpas_telemetry::analysis::{
     check_invariants, default_invariants, diff_schedule, record_blame, CriticalPath, ModeledTask,
     Trace,
@@ -67,7 +79,8 @@ struct Args {
     executor: String,
     policy: String,
     reorder: Reordering,
-    fused: bool,
+    backend: KernelBackend,
+    layers: usize,
     ranks: usize,
     frames: usize,
     out: PathBuf,
@@ -80,6 +93,7 @@ struct Args {
     gate: Option<PathBuf>,
     gate_write: Option<PathBuf>,
     gate_strict: bool,
+    gate_filter: Vec<String>,
     inject_mass_drift: f64,
     inject_courant: f64,
     validate: bool,
@@ -96,7 +110,8 @@ fn parse_args() -> Args {
         executor: "serial".into(),
         policy: "pattern-driven".into(),
         reorder: Reordering::None,
-        fused: true,
+        backend: KernelBackend::Fused,
+        layers: 1,
         ranks: 0,
         frames: 0,
         out: PathBuf::from("target/frames"),
@@ -109,6 +124,7 @@ fn parse_args() -> Args {
         gate: None,
         gate_write: None,
         gate_strict: false,
+        gate_filter: Vec::new(),
         inject_mass_drift: 0.0,
         inject_courant: 0.0,
         validate: false,
@@ -130,11 +146,18 @@ fn parse_args() -> Args {
                 args.reorder = Reordering::parse(&v)
                     .unwrap_or_else(|| panic!("unknown reorder {v} (none, sfc or bfs)"));
             }
+            "--backend" => {
+                let v = val();
+                args.backend = KernelBackend::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown backend {v} (scalar, fused or simd)"));
+            }
+            "--layers" => args.layers = val().parse().expect("layers"),
+            // Back-compat alias for the pre-simd tier switch.
             "--fused" => {
                 let v = val();
-                args.fused = match v.as_str() {
-                    "on" => true,
-                    "off" => false,
+                args.backend = match v.as_str() {
+                    "on" => KernelBackend::Fused,
+                    "off" => KernelBackend::Scalar,
                     other => panic!("unknown fused {other} (on or off)"),
                 };
             }
@@ -150,6 +173,10 @@ fn parse_args() -> Args {
             "--gate" => args.gate = Some(PathBuf::from(val())),
             "--gate-write" => args.gate_write = Some(PathBuf::from(val())),
             "--gate-strict" => args.gate_strict = true,
+            "--gate-filter" => {
+                args.gate_filter
+                    .extend(val().split(',').map(str::to_string));
+            }
             "--inject-mass-drift" => {
                 args.inject_mass_drift = val().parse().expect("inject-mass-drift")
             }
@@ -161,14 +188,16 @@ fn parse_args() -> Args {
                     "usage: swe-run [--case 1..6|williamson-N|galewsky|tracer-case5] \
                      [--alpha RAD] [--level N] \
                      [--lloyd N] [--days X] [--executor serial|threaded:N|hybrid:N:M] \
-                     [--policy NAME] [--reorder none|sfc|bfs] [--fused on|off] \
+                     [--policy NAME] [--reorder none|sfc|bfs] \
+                     [--backend scalar|fused|simd] [--layers K] [--fused on|off] \
                      [--validate] [--adaptive] \
                      [--ranks N] [--frames K] [--out DIR] \
                      [--trace FILE.json] [--metrics FILE.json|FILE.csv] \
                      [--flight-dump FILE.json] [--bench-json FILE.json] \
                      [--report] [--report-json FILE.json] \
                      [--gate BASELINE.json] [--gate-write BASELINE.json] \
-                     [--gate-strict] [--inject-mass-drift X] [--inject-courant X]\n\
+                     [--gate-strict] [--gate-filter PREFIX[,...]] \
+                     [--inject-mass-drift X] [--inject-courant X]\n\
                      cases: {}\n\
                      policies: {}",
                     mpas_swe::validation::catalog_names().join(", "),
@@ -205,7 +234,8 @@ struct RunStats {
 /// executor, frames, and modeled-trace support.
 fn run_single(args: &Args, tc: TestCase, rec: &Recorder) -> RunStats {
     let mut config = ModelConfig {
-        fused_coeffs: args.fused,
+        kernel_backend: args.backend,
+        n_layers: args.layers,
         ..Default::default()
     };
     mpas_core::apply_case_config(&args.case, &mut config);
@@ -222,14 +252,15 @@ fn run_single(args: &Args, tc: TestCase, rec: &Recorder) -> RunStats {
 
     let total_steps = ((args.days * 86_400.0) / sim.dt()).ceil().max(1.0) as usize;
     println!(
-        "{}: {} cells, dt {:.0} s, {} steps, executor {}, reorder {}, fused {}",
+        "{}: {} cells, dt {:.0} s, {} steps, executor {}, reorder {}, backend {}, layers {}",
         tc.name(),
         sim.mesh.n_cells(),
         sim.dt(),
         total_steps,
         args.executor,
         args.reorder.name(),
-        args.fused
+        args.backend.name(),
+        args.layers
     );
     let platform = mpas_hybrid::Platform::paper_node();
     let modeled_step_s = sim.modeled_time_per_step(&platform);
@@ -285,6 +316,50 @@ fn run_single(args: &Args, tc: TestCase, rec: &Recorder) -> RunStats {
         println!("wrote {frame} frames to {}", args.out.display());
     }
 
+    // Layered simd runs also time the PR-4 fused serial single-layer model
+    // in the same invocation, so the perf-gate metric compares like
+    // against like on this exact machine and mesh: speedup =
+    // (fused per-step × k) / (simd k-layer per-step), i.e. how much faster
+    // the batched tier advances k layers than k fused runs. The two models
+    // are timed in *interleaved* A/B batches and reduced with per-batch
+    // medians, so slow machine drift (thermal, noisy neighbours) hits both
+    // sides of the ratio and one-off stalls fall out of the median.
+    if args.backend == KernelBackend::Simd && args.layers > 1 {
+        let fused_cfg = ModelConfig {
+            kernel_backend: KernelBackend::Fused,
+            n_layers: 1,
+            ..config
+        };
+        let mut reference = ShallowWaterModel::new(sim.mesh.clone(), fused_cfg, tc, None);
+        let mut layered = mpas_swe::layers::LayeredModel::new(sim.mesh.clone(), config, tc, None);
+        reference.run_steps(1); // warm both instruction/data paths
+        layered.run_steps(1);
+        let batch = total_steps.clamp(1, 4);
+        const REPS: usize = 5;
+        let mut fused_s = Vec::with_capacity(REPS);
+        let mut simd_s = Vec::with_capacity(REPS);
+        for _ in 0..REPS {
+            let t = std::time::Instant::now();
+            reference.run_steps(batch);
+            fused_s.push(t.elapsed().as_secs_f64() / batch as f64);
+            let t = std::time::Instant::now();
+            layered.run_steps(batch);
+            simd_s.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+        let (fused_step_s, _) = median_mad(&fused_s);
+        let (simd_step_s, _) = median_mad(&simd_s);
+        let speedup = fused_step_s * args.layers as f64 / simd_step_s;
+        rec.set_gauge("kernel.simd_speedup_serial", speedup);
+        println!(
+            "simd speedup vs fused serial: {:.2}x ({} layers: fused {:.2} ms/step/layer, \
+             simd {:.2} ms/step for all layers; medians of {REPS} interleaved batches)",
+            speedup,
+            args.layers,
+            fused_step_s * 1e3,
+            simd_step_s * 1e3
+        );
+    }
+
     if rec.is_enabled() {
         // One real halo-exchange round on a 4-way partition so the metrics
         // carry measured halo byte counters next to the analytic estimate.
@@ -319,7 +394,7 @@ fn run_adaptive(args: &Args, tc: TestCase, rec: &Recorder) -> RunStats {
     const CFL_BAND: f64 = 0.25;
     let mesh = mpas_core::build_mesh(args.level, args.lloyd, args.reorder);
     let mut config = ModelConfig {
-        fused_coeffs: args.fused,
+        kernel_backend: args.backend,
         ..Default::default()
     };
     mpas_core::apply_case_config(&args.case, &mut config);
@@ -331,14 +406,14 @@ fn run_adaptive(args: &Args, tc: TestCase, rec: &Recorder) -> RunStats {
     let horizon = args.days * 86_400.0;
     println!(
         "{}: {} cells, adaptive dt from {:.0} s (CFL target {CFL_TARGET} ±{:.0}%), \
-         {} days, serial, reorder {}, fused {}",
+         {} days, serial, reorder {}, backend {}",
         tc.name(),
         model.mesh.n_cells(),
         model.dt,
         CFL_BAND * 100.0,
         args.days,
         args.reorder.name(),
-        args.fused
+        args.backend.name()
     );
 
     let t0 = std::time::Instant::now();
@@ -409,7 +484,7 @@ fn run_dist(args: &Args, tc: TestCase, rec: &Recorder) -> RunStats {
     let dt = ModelConfig::suggested_dt(&mesh);
     let total_steps = ((args.days * 86_400.0) / dt).ceil().max(1.0) as usize;
     println!(
-        "{}: {} cells, dt {:.0} s, {} steps on {} ranks (reorder {}, fused {}; \
+        "{}: {} cells, dt {:.0} s, {} steps on {} ranks (reorder {}, backend {}; \
          --executor is ignored in distributed mode)",
         tc.name(),
         mesh.n_cells(),
@@ -417,14 +492,14 @@ fn run_dist(args: &Args, tc: TestCase, rec: &Recorder) -> RunStats {
         total_steps,
         args.ranks,
         args.reorder.name(),
-        args.fused
+        args.backend.name()
     );
     if args.frames > 0 {
         eprintln!("warning: --frames is not supported with --ranks; skipping frame dumps");
     }
 
     let mut model = ModelConfig {
-        fused_coeffs: args.fused,
+        kernel_backend: args.backend,
         ..Default::default()
     };
     mpas_core::apply_case_config(&args.case, &mut model);
@@ -599,6 +674,24 @@ fn fit_baseline(name: String, rec: &Recorder) -> Baseline {
             });
         }
     }
+    // Layered simd runs measure their fused-serial speedup in-invocation;
+    // gate it from below (fail-severity) so the batched tier can never
+    // silently regress to slower-than-k-fused-runs. The committed floor is
+    // `median − 2.0`, i.e. an absolute 2.0× requirement under Below
+    // semantics (`v < median − band` trips).
+    if let Some(s) = snap.gauge("kernel.simd_speedup_serial") {
+        entries.push(BaselineEntry {
+            metric: "kernel.simd_speedup_serial".to_string(),
+            median: s,
+            mad: 0.0,
+            count: 1,
+            k: 0.0,
+            floor: s - 2.0,
+            direction: Direction::Below,
+            severity: Severity::Fail,
+            abs: false,
+        });
+    }
     if let Some(w) = snap.gauge("analysis.blame.max_wait_frac") {
         entries.push(BaselineEntry {
             metric: "analysis.blame.max_wait_frac".to_string(),
@@ -669,6 +762,20 @@ fn main() {
     let tc = mpas_core::parse_case(&args.case, args.alpha).unwrap_or_else(|e| panic!("{e}"));
     if args.adaptive && args.ranks >= 2 {
         panic!("--adaptive is a serial-path feature; drop --ranks");
+    }
+    if args.layers == 0 {
+        panic!("--layers must be >= 1");
+    }
+    if args.layers > 1 {
+        if args.backend != KernelBackend::Simd {
+            panic!("--layers {} requires --backend simd", args.layers);
+        }
+        if args.adaptive || args.ranks >= 2 {
+            panic!("--layers > 1 runs on the single-address-space serial path");
+        }
+        if args.executor != "serial" {
+            panic!("--layers > 1 requires --executor serial");
+        }
     }
     if args.validate {
         // Validation runs at the committed horizon, not the --days value:
@@ -851,7 +958,8 @@ fn main() {
         let json = format!(
             "{{\n  \"case\": \"{}\",\n  \"level\": {},\n  \"executor\": \"{}\",\n  \
              \"ranks\": {},\n  \
-             \"reorder\": \"{}\",\n  \"fused\": {},\n  \"n_cells\": {},\n  \
+             \"reorder\": \"{}\",\n  \"backend\": \"{}\",\n  \"layers\": {},\n  \
+             \"n_cells\": {},\n  \
              \"steps\": {},\n  \"run_seconds\": {:.6},\n  \"ms_per_step\": {:.4},\n  \
              \"mass_drift\": {:e},\n  \"h_err_l2\": {:e}\n}}\n",
             args.case,
@@ -859,7 +967,8 @@ fn main() {
             args.executor,
             args.ranks,
             args.reorder.name(),
-            args.fused,
+            args.backend.name(),
+            args.layers,
             stats.n_cells,
             stats.total_steps,
             stats.run_secs,
@@ -927,8 +1036,23 @@ fn main() {
     if let Some(path) = &args.gate {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
-        let baseline = Baseline::parse(&text)
+        let mut baseline = Baseline::parse(&text)
             .unwrap_or_else(|e| panic!("parse baseline {}: {e}", path.display()));
+        // `--gate-filter` restricts the committed baseline to the metric
+        // families this invocation actually produces (a missing watched
+        // metric is a fail), so one baseline file can serve CI jobs that
+        // each exercise a different slice of the pipeline.
+        if !args.gate_filter.is_empty() {
+            let before = baseline.entries.len();
+            baseline
+                .entries
+                .retain(|e| args.gate_filter.iter().any(|p| e.metric.starts_with(p)));
+            println!(
+                "gate: filtered baseline to {} of {before} entries ({})",
+                baseline.entries.len(),
+                args.gate_filter.join(",")
+            );
+        }
         let outcome = baseline.evaluate(&rec.snapshot());
         print!("{}", outcome.render());
         if outcome.failed() || (args.gate_strict && outcome.warned()) {

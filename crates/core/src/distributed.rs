@@ -104,7 +104,7 @@ fn rank_main(
     let f_vertex = tc.coriolis_vertex(mesh);
     let coeffs = ReconstructCoeffs::build(mesh);
     let kc = KernelCoeffs::build(mesh, mcfg);
-    let fused = mcfg.fused_coeffs;
+    let backend = mcfg.kernel_backend;
     // Case-4 forcing, computed from the rank's own local mesh: the
     // background state is sampled analytically (exact on halos too) and
     // three halo layers make every owned tendency entry equal the serial
@@ -116,11 +116,9 @@ fn rank_main(
     // local coefficients equal the global ones, so owned outputs stay
     // bit-for-bit identical to the serial run on either path.
     let solve_diag = |h: &[f64], u: &[f64], diag: &mut Diagnostics| {
-        if fused {
-            kernels::compute_solve_diagnostics_fused(mesh, mcfg, &kc, h, u, &f_vertex, dt, diag);
-        } else {
-            kernels::compute_solve_diagnostics(mesh, mcfg, h, u, &f_vertex, dt, diag);
-        }
+        kernels::compute_solve_diagnostics_backend(
+            backend, mesh, mcfg, &kc, h, u, &f_vertex, dt, diag,
+        );
     };
     let mut diag = Diagnostics::zeros(mesh);
     let mut tend = Tendencies::zeros_with_tracers(mesh, mcfg.n_tracers);
@@ -153,34 +151,20 @@ fn rank_main(
         acc.copy_from(&state);
         provis.copy_from(&state);
         for stage in 0..4 {
-            if fused {
-                kernels::compute_tend_fused(
-                    mesh, mcfg, &kc, &provis.h, &provis.u, &b, &diag, &mut tend,
-                );
-            } else {
-                kernels::compute_tend(mesh, mcfg, &provis.h, &provis.u, &b, &diag, &mut tend);
-            }
+            kernels::compute_tend_backend(
+                backend, mesh, mcfg, &kc, &provis.h, &provis.u, &b, &diag, &mut tend,
+            );
             if !provis.tracers.is_empty() {
-                if fused {
-                    kernels::compute_tend_tracers_fused(
-                        mesh,
-                        &kc,
-                        &provis.h,
-                        &provis.u,
-                        &diag,
-                        &provis.tracers,
-                        &mut tend,
-                    );
-                } else {
-                    kernels::compute_tend_tracers(
-                        mesh,
-                        &provis.h,
-                        &provis.u,
-                        &diag,
-                        &provis.tracers,
-                        &mut tend,
-                    );
-                }
+                kernels::compute_tend_tracers_backend(
+                    backend,
+                    mesh,
+                    &kc,
+                    &provis.h,
+                    &provis.u,
+                    &diag,
+                    &provis.tracers,
+                    &mut tend,
+                );
             }
             if let Some(f) = &forcing {
                 kernels::apply_forcing(mesh, f, &mut tend);

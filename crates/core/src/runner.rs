@@ -10,7 +10,8 @@
 
 use crate::simulation::{Executor, Simulation};
 use mpas_mesh::Mesh;
-use mpas_swe::{KernelCoeffs, ModelConfig, State, TestCase};
+use mpas_swe::{KernelBackend, KernelCoeffs, ModelConfig, State, TestCase};
+use mpas_telemetry::digest::Fnv1a;
 use mpas_telemetry::Recorder;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -29,8 +30,11 @@ pub struct JobSpec {
     /// Scheduler-policy registry name (modeled placement; see
     /// [`crate::SimulationBuilder::sched_policy`]).
     pub policy: String,
-    /// Use the precomputed fused-coefficient kernels.
-    pub fused: bool,
+    /// Kernel tier to run (scalar, fused, or simd).
+    pub backend: KernelBackend,
+    /// Vertical layers to carry (k > 1 requires the simd backend and the
+    /// serial executor; see [`crate::SimulationBuilder`]).
+    pub layers: usize,
     /// Explicit dt in seconds (`None` picks the stable default).
     pub dt: Option<f64>,
     /// Passive tracers carried by the run (the catalog's tracer scenarios;
@@ -51,7 +55,8 @@ impl JobSpec {
             steps,
             executor: Executor::Serial,
             policy: "pattern-driven".to_string(),
-            fused: true,
+            backend: KernelBackend::Fused,
+            layers: 1,
             dt: None,
             n_tracers: 0,
             advection_only: false,
@@ -62,7 +67,8 @@ impl JobSpec {
     /// The model config this spec implies.
     pub fn config(&self) -> ModelConfig {
         ModelConfig {
-            fused_coeffs: self.fused,
+            kernel_backend: self.backend,
+            n_layers: self.layers.max(1),
             n_tracers: self.n_tracers,
             advection_only: self.advection_only,
             ..Default::default()
@@ -99,7 +105,8 @@ pub struct JobResult {
     pub mass_drift: f64,
     /// l2 thickness error vs the analytic reference.
     pub h_err_l2: f64,
-    /// FNV-1a digest of the final state bits (see [`state_hash`]).
+    /// FNV-1a digest of the final state bits (see [`state_hash`]; all `k`
+    /// layers for layered jobs).
     pub state_hash: u64,
 }
 
@@ -130,21 +137,18 @@ impl std::fmt::Display for JobError {
 /// order (`h`, then `u`, then each tracer-mass field). Bitwise-stable
 /// across executors by construction — the repo's executors agree bitwise —
 /// so equal hashes across tenants is the cheap proxy for "identical
-/// results".
+/// results". Built on the shared [`Fnv1a`] digest, the same primitive
+/// the server's cache keys and the layered
+/// [`mpas_swe::LayeredState::state_hash`] (which folds in all `k` layers)
+/// use.
 pub fn state_hash(state: &State) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut hash = OFFSET;
-    let fields = [&state.h, &state.u].into_iter().chain(state.tracers.iter());
-    for field in fields {
-        for &x in field.iter() {
-            for byte in x.to_bits().to_le_bytes() {
-                hash ^= byte as u64;
-                hash = hash.wrapping_mul(PRIME);
-            }
-        }
+    let mut d = Fnv1a::new();
+    d.write_f64_slice(&state.h);
+    d.write_f64_slice(&state.u);
+    for t in &state.tracers {
+        d.write_f64_slice(t);
     }
-    hash
+    d.finish()
 }
 
 /// Run `spec` on a pre-built `mesh`, optionally reusing a shared
@@ -219,7 +223,7 @@ pub fn run_job(
         ttfs_secs,
         mass_drift: sim.mass_drift(),
         h_err_l2: sim.h_error_norms().l2,
-        state_hash: state_hash(sim.state()),
+        state_hash: sim.state_digest(),
     })
 }
 

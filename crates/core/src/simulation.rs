@@ -9,7 +9,7 @@ use mpas_swe::config::ModelConfig;
 use mpas_swe::norms::ErrorNorms;
 use mpas_swe::state::State;
 use mpas_swe::testcases::TestCase;
-use mpas_swe::ShallowWaterModel;
+use mpas_swe::{KernelBackend, LayeredModel, ShallowWaterModel};
 use mpas_telemetry::Recorder;
 use std::sync::Arc;
 
@@ -151,6 +151,45 @@ impl SimulationBuilder {
             Some(m) => crate::setup::apply_reorder(m, self.reorder),
             None => crate::setup::build_mesh(self.mesh_level, self.lloyd_iters, self.reorder),
         };
+        if self.config.n_layers > 1 {
+            assert_eq!(
+                self.config.kernel_backend,
+                KernelBackend::Simd,
+                "n_layers > 1 requires the simd kernel backend"
+            );
+            assert_eq!(
+                self.executor,
+                Executor::Serial,
+                "n_layers > 1 requires the serial executor"
+            );
+            let engine = Engine::Layered(
+                LayeredModel::new_shared(
+                    mesh.clone(),
+                    self.config,
+                    self.test_case,
+                    self.dt,
+                    self.kernel_coeffs,
+                )
+                .with_recorder(self.recorder.clone()),
+            );
+            let policy = mpas_sched::resolve(&self.sched_policy)
+                .unwrap_or_else(|e| panic!("invalid sched_policy {:?}: {e}", self.sched_policy));
+            let mut sim = Simulation {
+                mesh,
+                engine,
+                test_case: self.test_case,
+                config: self.config,
+                initial_mass: 0.0,
+                initial_tracer_mass: Vec::new(),
+                policy,
+                recorder: self.recorder,
+            };
+            sim.initial_mass = sim.total_mass();
+            sim.initial_tracer_mass = (0..sim.config.n_tracers)
+                .map(|k| sim.total_tracer(k))
+                .collect();
+            return sim;
+        }
         let engine = match self.executor {
             Executor::Serial => Engine::Serial(
                 ShallowWaterModel::new_shared(
@@ -214,10 +253,14 @@ impl SimulationBuilder {
     }
 }
 
+// One engine lives per simulation, so the variant-size spread is noise.
+#[allow(clippy::large_enum_variant)]
 enum Engine {
     Serial(ShallowWaterModel),
     Threaded(ParallelModel),
     Hybrid(HybridModel),
+    /// k-layer serial simd engine; facade views read its cached layer 0.
+    Layered(LayeredModel),
 }
 
 /// A configured shallow-water simulation.
@@ -273,6 +316,7 @@ impl Simulation {
             Engine::Serial(m) => m.run_steps(n),
             Engine::Threaded(m) => m.run_steps(n),
             Engine::Hybrid(m) => m.run_steps(n),
+            Engine::Layered(m) => m.run_steps(n),
         }
     }
 
@@ -281,12 +325,33 @@ impl Simulation {
         &self.recorder
     }
 
-    /// The prognostic state.
+    /// The prognostic state (layer 0 for layered runs — the validated
+    /// lane; use [`Simulation::state_digest`] to cover every layer).
     pub fn state(&self) -> &State {
         match &self.engine {
             Engine::Serial(m) => &m.state,
             Engine::Threaded(m) => &m.state,
             Engine::Hybrid(m) => m.state(),
+            Engine::Layered(m) => m.layer0(),
+        }
+    }
+
+    /// FNV-1a digest of the full prognostic state: all `k` layers of every
+    /// field for layered runs, the flat fields otherwise. Single-layer
+    /// layered digests equal [`crate::runner::state_hash`] of the flat
+    /// state bit for bit (k = 1 lane-interleaving is the identity).
+    pub fn state_digest(&self) -> u64 {
+        match &self.engine {
+            Engine::Layered(m) => m.state_hash(),
+            _ => crate::runner::state_hash(self.state()),
+        }
+    }
+
+    /// Number of vertical layers carried (1 for the flat engines).
+    pub fn n_layers(&self) -> usize {
+        match &self.engine {
+            Engine::Layered(m) => m.n_layers(),
+            _ => 1,
         }
     }
 
@@ -296,6 +361,7 @@ impl Simulation {
             Engine::Serial(m) => m.dt,
             Engine::Threaded(m) => m.dt,
             Engine::Hybrid(m) => m.dt(),
+            Engine::Layered(m) => m.dt,
         }
     }
 
@@ -305,6 +371,7 @@ impl Simulation {
             Engine::Serial(m) => m.time,
             Engine::Threaded(m) => m.time,
             Engine::Hybrid(m) => m.time(),
+            Engine::Layered(m) => m.time,
         }
     }
 
@@ -316,6 +383,7 @@ impl Simulation {
             Engine::Serial(m) => &m.diag,
             Engine::Threaded(m) => &m.diag,
             Engine::Hybrid(m) => m.diag(),
+            Engine::Layered(m) => m.layer0_diag(),
         };
         let (u, g, dt) = (&self.state().u, self.config.gravity, self.dt());
         (0..self.mesh.n_edges())

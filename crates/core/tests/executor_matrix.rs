@@ -6,23 +6,30 @@
 //! which pool computes which range. This test drives that contract
 //! through *every* catalog scenario (all six Williamson cases, Galewsky,
 //! and the tracer variant) on all four engines: serial, threaded, hybrid,
-//! and the 4-rank distributed driver. The FNV digest covers `h`, `u`, and
-//! every tracer-mass field, so a single flipped mantissa bit anywhere
-//! fails the matrix.
+//! and the 4-rank distributed driver — and through every kernel tier
+//! (scalar, fused, simd), since the backend switch must be invisible to
+//! the executors. The FNV digest covers `h`, `u`, and every tracer-mass
+//! field, so a single flipped mantissa bit anywhere fails the matrix.
 
 use mpas_core::{build_mesh, run_distributed, state_hash, DistributedConfig, Executor, Simulation};
 use mpas_mesh::{Mesh, Reordering};
 use mpas_swe::validation::CATALOG;
-use mpas_swe::{ModelConfig, Scenario};
+use mpas_swe::{KernelBackend, ModelConfig};
 use std::sync::Arc;
 
 const STEPS: usize = 5;
 
-fn run_engine(mesh: &Arc<Mesh>, sc: &Scenario, dt: f64, executor: Executor) -> u64 {
+fn run_engine(
+    mesh: &Arc<Mesh>,
+    config: ModelConfig,
+    tc: mpas_swe::TestCase,
+    dt: f64,
+    executor: Executor,
+) -> u64 {
     let mut sim = Simulation::builder()
         .mesh(mesh.clone())
-        .test_case(sc.test_case)
-        .config(sc.config())
+        .test_case(tc)
+        .config(config)
         .executor(executor)
         .dt(dt)
         .build();
@@ -35,40 +42,83 @@ fn every_catalog_case_is_bitwise_identical_across_executors() {
     let mesh = build_mesh(3, 0, Reordering::None);
     let dt = ModelConfig::suggested_dt(&mesh);
     for sc in &CATALOG {
-        let serial = run_engine(&mesh, sc, dt, Executor::Serial);
-        let threaded = run_engine(&mesh, sc, dt, Executor::Threaded { threads: 4 });
-        let hybrid = run_engine(
-            &mesh,
-            sc,
-            dt,
-            Executor::Hybrid {
-                cpu_threads: 2,
-                acc_threads: 2,
-            },
-        );
-        assert_eq!(
-            serial, threaded,
-            "{}: threaded differs from serial",
-            sc.name
-        );
-        assert_eq!(serial, hybrid, "{}: hybrid differs from serial", sc.name);
-
-        let dist = run_distributed(
-            &mesh,
-            DistributedConfig {
-                n_ranks: 4,
-                halo_layers: 3,
-                model: sc.config(),
-                test_case: sc.test_case,
+        for backend in KernelBackend::ALL {
+            let config = ModelConfig {
+                kernel_backend: backend,
+                ..sc.config()
+            };
+            let tag = format!("{} ({})", sc.name, backend.name());
+            let serial = run_engine(&mesh, config, sc.test_case, dt, Executor::Serial);
+            let threaded = run_engine(
+                &mesh,
+                config,
+                sc.test_case,
                 dt,
-                n_steps: STEPS,
-            },
-        );
-        assert_eq!(
-            serial,
-            state_hash(&dist),
-            "{}: distributed differs from serial",
-            sc.name
-        );
+                Executor::Threaded { threads: 4 },
+            );
+            let hybrid = run_engine(
+                &mesh,
+                config,
+                sc.test_case,
+                dt,
+                Executor::Hybrid {
+                    cpu_threads: 2,
+                    acc_threads: 2,
+                },
+            );
+            assert_eq!(serial, threaded, "{tag}: threaded differs from serial");
+            assert_eq!(serial, hybrid, "{tag}: hybrid differs from serial");
+
+            let dist = run_distributed(
+                &mesh,
+                DistributedConfig {
+                    n_ranks: 4,
+                    halo_layers: 3,
+                    model: config,
+                    test_case: sc.test_case,
+                    dt,
+                    n_steps: STEPS,
+                },
+            );
+            assert_eq!(
+                serial,
+                state_hash(&dist),
+                "{tag}: distributed differs from serial"
+            );
+        }
     }
+}
+
+/// The layered facade: a k-layer simd `Simulation` exposes its layer-0
+/// fields through the same `state()` accessor, and layer 0 must be
+/// bitwise identical to the flat fused serial run — the lane-replay
+/// contract of DESIGN.md §14 surfaced at the service-facing API.
+#[test]
+fn layered_facade_layer0_matches_flat_runs_bitwise() {
+    let mesh = build_mesh(3, 0, Reordering::None);
+    let dt = ModelConfig::suggested_dt(&mesh);
+    let tc = mpas_swe::TestCase::Case5;
+    let flat = run_engine(&mesh, ModelConfig::default(), tc, dt, Executor::Serial);
+
+    let mut sim = Simulation::builder()
+        .mesh(mesh.clone())
+        .test_case(tc)
+        .config(ModelConfig {
+            kernel_backend: KernelBackend::Simd,
+            n_layers: 4,
+            ..Default::default()
+        })
+        .executor(Executor::Serial)
+        .dt(dt)
+        .build();
+    assert_eq!(sim.n_layers(), 4);
+    sim.run_steps(STEPS);
+    assert_eq!(
+        state_hash(sim.state()),
+        flat,
+        "layer 0 of the layered facade diverged from the flat fused run"
+    );
+    // The full-state digest folds all k lanes, so it must differ from the
+    // single-layer digest (deeper layers carry perturbed thickness).
+    assert_ne!(sim.state_digest(), flat);
 }

@@ -17,7 +17,7 @@ use crate::device::Platform;
 use mpas_mesh::Mesh;
 use mpas_swe::coeffs::KernelCoeffs;
 use mpas_swe::config::ModelConfig;
-use mpas_swe::kernels::{fused, ops};
+use mpas_swe::kernels::{dispatch, ops};
 use mpas_swe::reconstruct::ReconstructCoeffs;
 use mpas_swe::rk4::{RK_SUBSTEP, RK_WEIGHTS};
 use mpas_swe::state::{Diagnostics, Reconstruction, State};
@@ -133,8 +133,8 @@ pub struct ParallelModel {
     pub f_vertex: Vec<f64>,
     /// Velocity-reconstruction coefficients.
     pub coeffs: ReconstructCoeffs,
-    /// Precomputed fused kernel coefficients (used when
-    /// `config.fused_coeffs` is set). Shared so multi-tenant servers can
+    /// Precomputed fused kernel coefficients (read by the fused and simd
+    /// backends of `config.kernel_backend`). Shared so multi-tenant servers can
     /// reuse one table across concurrent models on the same mesh/config.
     pub kcoeffs: Arc<KernelCoeffs>,
     /// Fixed per-stage forcing tendency (Williamson case 4), identical to
@@ -242,7 +242,7 @@ impl ParallelModel {
         let mesh = &self.mesh;
         let config = &self.config;
         let kc = &self.kcoeffs;
-        let fu = config.fused_coeffs;
+        let backend = config.kernel_backend;
         let dt = self.dt;
         let chunk = self.chunk;
         let pool = &self.pool;
@@ -261,11 +261,7 @@ impl ParallelModel {
                     .enumerate()
                     .for_each(|(k, (c1, c2))| {
                         let s = k * chunk;
-                        if fu {
-                            fused::d2fdx2(mesh, kc, h, c1, c2, s..s + c1.len());
-                        } else {
-                            ops::d2fdx2(mesh, h, c1, c2, s..s + c1.len());
-                        }
+                        dispatch::d2fdx2(backend, mesh, kc, h, c1, c2, s..s + c1.len())
                     });
             });
         }
@@ -275,11 +271,7 @@ impl ParallelModel {
                 let d1 = d.d2fdx2_cell1.clone();
                 let d2 = d.d2fdx2_cell2.clone();
                 par_run(pool, &mut d.h_edge, chunk, |r, o| {
-                    if fu {
-                        fused::h_edge(mesh, kc, config, h, &d1, &d2, o, r)
-                    } else {
-                        ops::h_edge(mesh, config, h, &d1, &d2, o, r)
-                    }
+                    dispatch::h_edge(backend, mesh, kc, config, h, &d1, &d2, o, r)
                 });
             } else {
                 par_run(pool, &mut d.h_edge, chunk, |r, o| {
@@ -296,31 +288,19 @@ impl ParallelModel {
         {
             let _g = kernel_timer(&rec, "C2");
             par_run(pool, &mut d.vorticity, chunk, |r, o| {
-                if fu {
-                    fused::vorticity(mesh, kc, u, o, r)
-                } else {
-                    ops::vorticity(mesh, u, o, r)
-                }
+                dispatch::vorticity(backend, mesh, kc, u, o, r)
             });
         }
         {
             let _g = kernel_timer(&rec, "A2");
             par_run(pool, &mut d.ke, chunk, |r, o| {
-                if fu {
-                    fused::ke(mesh, kc, u, o, r)
-                } else {
-                    ops::ke(mesh, u, o, r)
-                }
+                dispatch::ke(backend, mesh, kc, u, o, r)
             });
         }
         {
             let _g = kernel_timer(&rec, "B2");
             par_run(pool, &mut d.divergence, chunk, |r, o| {
-                if fu {
-                    fused::divergence(mesh, kc, u, o, r)
-                } else {
-                    ops::divergence(mesh, u, o, r)
-                }
+                dispatch::divergence(backend, mesh, kc, u, o, r)
             });
         }
         {
@@ -333,11 +313,7 @@ impl ParallelModel {
         {
             let _g = kernel_timer(&rec, "A3");
             par_run(pool, &mut d.vorticity_cell, chunk, |r, o| {
-                if fu {
-                    fused::vorticity_cell(mesh, kc, vort, o, r)
-                } else {
-                    ops::vorticity_cell(mesh, vort, o, r)
-                }
+                dispatch::vorticity_cell(backend, mesh, kc, vort, o, r)
             });
         }
         let f_vertex = &self.f_vertex;
@@ -351,11 +327,7 @@ impl ParallelModel {
         {
             let _g = kernel_timer(&rec, "F");
             par_run(pool, &mut d.pv_cell, chunk, |r, o| {
-                if fu {
-                    fused::pv_cell(mesh, kc, pvv, o, r)
-                } else {
-                    ops::pv_cell(mesh, pvv, o, r)
-                }
+                dispatch::pv_cell(backend, mesh, kc, pvv, o, r)
             });
         }
         let pvc = &d.pv_cell;
@@ -363,11 +335,19 @@ impl ParallelModel {
         {
             let _g = kernel_timer(&rec, "G");
             par_run(pool, &mut d.pv_edge, chunk, |r, o| {
-                if fu {
-                    fused::pv_edge(mesh, kc, config.apvm_factor, dt, pvv, pvc, u, v, o, r)
-                } else {
-                    ops::pv_edge(mesh, config.apvm_factor, dt, pvv, pvc, u, v, o, r)
-                }
+                dispatch::pv_edge(
+                    backend,
+                    mesh,
+                    kc,
+                    config.apvm_factor,
+                    dt,
+                    pvv,
+                    pvc,
+                    u,
+                    v,
+                    o,
+                    r,
+                )
             });
         }
     }
@@ -376,7 +356,7 @@ impl ParallelModel {
         let mesh = &self.mesh;
         let config = &self.config;
         let kc = &self.kcoeffs;
-        let fu = config.fused_coeffs;
+        let backend = config.kernel_backend;
         let chunk = self.chunk;
         let pool = &self.pool;
         let rec = self.recorder.clone();
@@ -386,11 +366,7 @@ impl ParallelModel {
         {
             let _g = kernel_timer(&rec, "A1");
             par_run(pool, &mut self.tend.tend_h, chunk, |r, o| {
-                if fu {
-                    fused::tend_h(mesh, kc, u, &d.h_edge, o, r)
-                } else {
-                    ops::tend_h(mesh, u, &d.h_edge, o, r)
-                }
+                dispatch::tend_h(backend, mesh, kc, u, &d.h_edge, o, r)
             });
         }
         if config.advection_only {
@@ -400,59 +376,35 @@ impl ParallelModel {
         } else {
             let _g = kernel_timer(&rec, "B1");
             par_run(pool, &mut self.tend.tend_u, chunk, |r, o| {
-                if fu {
-                    fused::tend_u(
-                        mesh,
-                        kc,
-                        config.gravity,
-                        &d.pv_edge,
-                        u,
-                        &d.h_edge,
-                        &d.ke,
-                        h,
-                        b,
-                        o,
-                        r,
-                    )
-                } else {
-                    ops::tend_u(
-                        mesh,
-                        config.gravity,
-                        &d.pv_edge,
-                        u,
-                        &d.h_edge,
-                        &d.ke,
-                        h,
-                        b,
-                        o,
-                        r,
-                    )
-                }
+                dispatch::tend_u(
+                    backend,
+                    mesh,
+                    kc,
+                    config.gravity,
+                    &d.pv_edge,
+                    u,
+                    &d.h_edge,
+                    &d.ke,
+                    h,
+                    b,
+                    o,
+                    r,
+                )
             });
         }
         if !config.advection_only && config.del2_viscosity != 0.0 {
             let _g = kernel_timer(&rec, "C1");
             par_run(pool, &mut self.tend.tend_u, chunk, |r, o| {
-                if fu {
-                    fused::tend_u_del2(
-                        mesh,
-                        kc,
-                        config.del2_viscosity,
-                        &d.divergence,
-                        &d.vorticity,
-                        o,
-                        r,
-                    )
-                } else {
-                    ops::tend_u_del2(
-                        mesh,
-                        config.del2_viscosity,
-                        &d.divergence,
-                        &d.vorticity,
-                        o,
-                        r,
-                    )
-                }
+                dispatch::tend_u_del2(
+                    backend,
+                    mesh,
+                    kc,
+                    config.del2_viscosity,
+                    &d.divergence,
+                    &d.vorticity,
+                    o,
+                    r,
+                )
             });
         }
         if !config.advection_only && config.del4_viscosity != 0.0 {
@@ -461,34 +413,27 @@ impl ParallelModel {
             let (ne, nc, nv) = (mesh.n_edges(), mesh.n_cells(), mesh.n_vertices());
             let mut lap = vec![0.0; ne];
             par_run(pool, &mut lap, chunk, |r, o| {
-                if fu {
-                    fused::lap_u(mesh, kc, &d.divergence, &d.vorticity, o, r)
-                } else {
-                    ops::lap_u(mesh, &d.divergence, &d.vorticity, o, r)
-                }
+                dispatch::lap_u(backend, mesh, kc, &d.divergence, &d.vorticity, o, r)
             });
             let mut div_lap = vec![0.0; nc];
             par_run(pool, &mut div_lap, chunk, |r, o| {
-                if fu {
-                    fused::divergence(mesh, kc, &lap, o, r)
-                } else {
-                    ops::divergence(mesh, &lap, o, r)
-                }
+                dispatch::divergence(backend, mesh, kc, &lap, o, r)
             });
             let mut vort_lap = vec![0.0; nv];
             par_run(pool, &mut vort_lap, chunk, |r, o| {
-                if fu {
-                    fused::vorticity(mesh, kc, &lap, o, r)
-                } else {
-                    ops::vorticity(mesh, &lap, o, r)
-                }
+                dispatch::vorticity(backend, mesh, kc, &lap, o, r)
             });
             par_run(pool, &mut self.tend.tend_u, chunk, |r, o| {
-                if fu {
-                    fused::tend_u_del4(mesh, kc, config.del4_viscosity, &div_lap, &vort_lap, o, r)
-                } else {
-                    ops::tend_u_del4(mesh, config.del4_viscosity, &div_lap, &vort_lap, o, r)
-                }
+                dispatch::tend_u_del4(
+                    backend,
+                    mesh,
+                    kc,
+                    config.del4_viscosity,
+                    &div_lap,
+                    &vort_lap,
+                    o,
+                    r,
+                )
             });
         }
         if !self.provis.tracers.is_empty() {
@@ -498,11 +443,7 @@ impl ParallelModel {
             for (k, out) in self.tend.tend_tracers.iter_mut().enumerate() {
                 let hq = &tracers[k];
                 par_run(pool, out, chunk, |r, o| {
-                    if fu {
-                        fused::tend_tracer(mesh, kc, u, h_edge, h, hq, o, r)
-                    } else {
-                        ops::tend_tracer(mesh, u, h_edge, h, hq, o, r)
-                    }
+                    dispatch::tend_tracer(backend, mesh, kc, u, h_edge, h, hq, o, r)
                 });
             }
         }
@@ -788,7 +729,7 @@ impl HybridModel {
                 let mesh = &m.mesh;
                 let config = &m.config;
                 let kc = &m.kcoeffs;
-                let fu = config.fused_coeffs;
+                let backend = config.kernel_backend;
                 let (h, u) = (&m.provis.h, &m.provis.u);
                 let d = &m.diag;
                 let b = &m.b;
@@ -807,34 +748,20 @@ impl HybridModel {
                         mid,
                         m.chunk,
                         |r, o| {
-                            if fu {
-                                fused::tend_u(
-                                    mesh,
-                                    kc,
-                                    config.gravity,
-                                    &d.pv_edge,
-                                    u,
-                                    &d.h_edge,
-                                    &d.ke,
-                                    h,
-                                    b,
-                                    o,
-                                    r,
-                                )
-                            } else {
-                                ops::tend_u(
-                                    mesh,
-                                    config.gravity,
-                                    &d.pv_edge,
-                                    u,
-                                    &d.h_edge,
-                                    &d.ke,
-                                    h,
-                                    b,
-                                    o,
-                                    r,
-                                )
-                            }
+                            dispatch::tend_u(
+                                backend,
+                                mesh,
+                                kc,
+                                config.gravity,
+                                &d.pv_edge,
+                                u,
+                                &d.h_edge,
+                                &d.ke,
+                                h,
+                                b,
+                                o,
+                                r,
+                            )
                         },
                     );
                 }
@@ -847,37 +774,21 @@ impl HybridModel {
                     &mut m.tend.tend_h,
                     mid_c,
                     m.chunk,
-                    |r, o| {
-                        if fu {
-                            fused::tend_h(mesh, kc, u, &d.h_edge, o, r)
-                        } else {
-                            ops::tend_h(mesh, u, &d.h_edge, o, r)
-                        }
-                    },
+                    |r, o| dispatch::tend_h(backend, mesh, kc, u, &d.h_edge, o, r),
                 );
                 if !config.advection_only && config.del2_viscosity != 0.0 {
                     let _g = kernel_timer(&rec, "C1");
                     par_run(&m.pool, &mut m.tend.tend_u, m.chunk, |r, o| {
-                        if fu {
-                            fused::tend_u_del2(
-                                mesh,
-                                kc,
-                                config.del2_viscosity,
-                                &d.divergence,
-                                &d.vorticity,
-                                o,
-                                r,
-                            )
-                        } else {
-                            ops::tend_u_del2(
-                                mesh,
-                                config.del2_viscosity,
-                                &d.divergence,
-                                &d.vorticity,
-                                o,
-                                r,
-                            )
-                        }
+                        dispatch::tend_u_del2(
+                            backend,
+                            mesh,
+                            kc,
+                            config.del2_viscosity,
+                            &d.divergence,
+                            &d.vorticity,
+                            o,
+                            r,
+                        )
                     });
                 }
                 if !m.provis.tracers.is_empty() {
@@ -895,13 +806,7 @@ impl HybridModel {
                             out,
                             mid_c,
                             m.chunk,
-                            |r, o| {
-                                if fu {
-                                    fused::tend_tracer(mesh, kc, u, h_edge, h, hq, o, r)
-                                } else {
-                                    ops::tend_tracer(mesh, u, h_edge, h, hq, o, r)
-                                }
-                            },
+                            |r, o| dispatch::tend_tracer(backend, mesh, kc, u, h_edge, h, hq, o, r),
                         );
                     }
                 }

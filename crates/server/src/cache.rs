@@ -10,7 +10,8 @@
 //! counter to exactly 1 for N identical tenants.
 
 use mpas_mesh::{Mesh, Reordering};
-use mpas_swe::{KernelCoeffs, ModelConfig};
+use mpas_swe::{KernelBackend, KernelCoeffs, ModelConfig};
+use mpas_telemetry::digest::Fnv1a;
 use mpas_telemetry::{names, Recorder};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -41,25 +42,25 @@ pub struct CoeffsKey {
 /// config change — including ones that do not affect coefficient values
 /// today — gets its own cache entry rather than a silently stale table.
 pub fn config_digest(config: &ModelConfig) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let words = [
+    let backend_i = KernelBackend::ALL
+        .iter()
+        .position(|b| *b == config.kernel_backend)
+        .expect("backend listed in ALL") as u64;
+    let mut d = Fnv1a::new();
+    for w in [
         config.gravity.to_bits(),
         config.apvm_factor.to_bits(),
         config.del2_viscosity.to_bits(),
         config.del4_viscosity.to_bits(),
         config.high_order_h_edge as u64,
         config.advection_only as u64,
-        config.fused_coeffs as u64,
-    ];
-    let mut hash = OFFSET;
-    for w in words {
-        for byte in w.to_le_bytes() {
-            hash ^= byte as u64;
-            hash = hash.wrapping_mul(PRIME);
-        }
+        backend_i,
+        config.n_tracers as u64,
+        config.n_layers as u64,
+    ] {
+        d.write_u64(w);
     }
-    hash
+    d.finish()
 }
 
 type Slot<T> = Arc<Mutex<Option<Arc<T>>>>;
@@ -235,5 +236,26 @@ mod tests {
         };
         assert_ne!(config_digest(&base), config_digest(&tweaked));
         assert_eq!(config_digest(&tweaked), config_digest(&again));
+        // The kernel tier and the layer count key the cache too.
+        for backend in KernelBackend::ALL {
+            if backend == base.kernel_backend {
+                continue;
+            }
+            let other = ModelConfig {
+                kernel_backend: backend,
+                ..base
+            };
+            assert_ne!(config_digest(&base), config_digest(&other));
+        }
+        let layered = ModelConfig {
+            kernel_backend: KernelBackend::Simd,
+            n_layers: 4,
+            ..base
+        };
+        let flat_simd = ModelConfig {
+            kernel_backend: KernelBackend::Simd,
+            ..base
+        };
+        assert_ne!(config_digest(&layered), config_digest(&flat_simd));
     }
 }

@@ -4,6 +4,7 @@
 use crate::cache::MeshKey;
 use mpas_core::{Executor, JobSpec};
 use mpas_mesh::Reordering;
+use mpas_swe::KernelBackend;
 use mpas_telemetry::export::{parse_json, JsonValue};
 use mpas_telemetry::json_escape;
 
@@ -28,8 +29,12 @@ pub struct JobRequest {
     pub policy: String,
     /// Mesh numbering.
     pub reorder: Reordering,
-    /// Use the fused-coefficient kernels.
-    pub fused: bool,
+    /// Kernel tier (`scalar`, `fused` or `simd`). The legacy boolean
+    /// `"fused"` body field still parses: `false` maps to scalar, `true`
+    /// to fused, and an explicit `"backend"` wins over it.
+    pub backend: KernelBackend,
+    /// Vertical layers (k > 1 requires `backend: simd` + serial executor).
+    pub layers: usize,
     /// Progress/cancellation cadence in steps (0 = end only).
     pub progress_every: usize,
 }
@@ -45,7 +50,8 @@ impl Default for JobRequest {
             executor: "serial".to_string(),
             policy: "pattern-driven".to_string(),
             reorder: Reordering::None,
-            fused: true,
+            backend: KernelBackend::Fused,
+            layers: 1,
             progress_every: 1,
         }
     }
@@ -99,12 +105,30 @@ impl JobRequest {
                 Reordering::parse(&name)
                     .ok_or_else(|| format!("unknown reorder {name} (none, sfc or bfs)"))?
             },
-            fused: match v.get("fused") {
-                None => d.fused,
-                Some(b) => b
-                    .as_bool()
-                    .ok_or_else(|| "fused must be a boolean".to_string())?,
+            backend: match v.get("backend") {
+                Some(b) => {
+                    let name = b
+                        .as_str()
+                        .ok_or_else(|| "backend must be a string".to_string())?;
+                    KernelBackend::parse(name)
+                        .ok_or_else(|| format!("unknown backend {name} (scalar, fused or simd)"))?
+                }
+                // Back-compat: the boolean `fused` field selects between
+                // the two pre-simd tiers when no `backend` is given.
+                None => match v.get("fused") {
+                    None => d.backend,
+                    Some(b) => {
+                        if b.as_bool()
+                            .ok_or_else(|| "fused must be a boolean".to_string())?
+                        {
+                            KernelBackend::Fused
+                        } else {
+                            KernelBackend::Scalar
+                        }
+                    }
+                },
             },
+            layers: get_u32(&v, "layers", d.layers as u32)? as usize,
             progress_every: get_u32(&v, "progress_every", d.progress_every as u32)? as usize,
         };
         // Fail fast at submission time, not on a worker.
@@ -116,6 +140,17 @@ impl JobRequest {
         }
         if req.level > 7 {
             return Err("level must be <= 7".to_string());
+        }
+        if req.layers == 0 {
+            return Err("layers must be >= 1".to_string());
+        }
+        if req.layers > 1 {
+            if req.backend != KernelBackend::Simd {
+                return Err("layers > 1 requires backend simd".to_string());
+            }
+            if req.executor != "serial" {
+                return Err("layers > 1 requires the serial executor".to_string());
+            }
         }
         Ok(req)
     }
@@ -142,7 +177,8 @@ impl JobRequest {
         );
         spec.executor = self.executor();
         spec.policy = self.policy.clone();
-        spec.fused = self.fused;
+        spec.backend = self.backend;
+        spec.layers = self.layers;
         spec.progress_every = self.progress_every;
         // Catalog switches (tracers, advection-only) ride on the label.
         let mut cfg = spec.config();
@@ -157,7 +193,8 @@ impl JobRequest {
         format!(
             "{{\"case\": \"{}\", \"alpha\": {}, \"level\": {}, \"lloyd\": {}, \
              \"steps\": {}, \"executor\": \"{}\", \"policy\": \"{}\", \
-             \"reorder\": \"{}\", \"fused\": {}, \"progress_every\": {}}}",
+             \"reorder\": \"{}\", \"backend\": \"{}\", \"layers\": {}, \
+             \"progress_every\": {}}}",
             json_escape(&self.case),
             self.alpha,
             self.level,
@@ -166,7 +203,8 @@ impl JobRequest {
             json_escape(&self.executor),
             json_escape(&self.policy),
             self.reorder.name(),
-            self.fused,
+            self.backend.name(),
+            self.layers,
             self.progress_every,
         )
     }
@@ -182,20 +220,50 @@ mod tests {
         assert_eq!(req.case, "5");
         assert_eq!(req.level, 4);
         assert_eq!(req.steps, 10);
-        assert!(req.fused);
+        assert_eq!(req.backend, KernelBackend::Fused);
+        assert_eq!(req.layers, 1);
     }
 
     #[test]
     fn full_body_round_trips_through_to_json() {
         let body = "{\"case\": \"6\", \"level\": 3, \"steps\": 7, \
                     \"executor\": \"threaded:2\", \"policy\": \"heft\", \
-                    \"reorder\": \"sfc\", \"fused\": false, \"progress_every\": 2}";
+                    \"reorder\": \"sfc\", \"backend\": \"scalar\", \"progress_every\": 2}";
         let req = JobRequest::parse(body).unwrap();
         assert_eq!(req.level, 3);
         assert_eq!(req.reorder, Reordering::Sfc);
-        assert!(!req.fused);
+        assert_eq!(req.backend, KernelBackend::Scalar);
         let echoed = JobRequest::parse(&req.to_json()).unwrap();
         assert_eq!(echoed.to_json(), req.to_json());
+    }
+
+    #[test]
+    fn legacy_fused_bool_still_selects_the_backend() {
+        let req = JobRequest::parse("{\"fused\": false}").unwrap();
+        assert_eq!(req.backend, KernelBackend::Scalar);
+        let req = JobRequest::parse("{\"fused\": true}").unwrap();
+        assert_eq!(req.backend, KernelBackend::Fused);
+        // An explicit backend wins over the legacy boolean.
+        let req = JobRequest::parse("{\"fused\": false, \"backend\": \"simd\"}").unwrap();
+        assert_eq!(req.backend, KernelBackend::Simd);
+    }
+
+    #[test]
+    fn layered_jobs_are_validated_and_translate_to_the_spec() {
+        let req =
+            JobRequest::parse("{\"backend\": \"simd\", \"layers\": 4, \"steps\": 2}").unwrap();
+        assert_eq!(req.layers, 4);
+        let spec = req.spec();
+        assert_eq!(spec.backend, KernelBackend::Simd);
+        assert_eq!(spec.layers, 4);
+        // Layered constraints are rejected at submission time.
+        assert!(JobRequest::parse("{\"layers\": 4}").is_err());
+        assert!(JobRequest::parse(
+            "{\"backend\": \"simd\", \"layers\": 4, \"executor\": \"threaded:2\"}"
+        )
+        .is_err());
+        assert!(JobRequest::parse("{\"layers\": 0}").is_err());
+        assert!(JobRequest::parse("{\"backend\": \"avx\"}").is_err());
     }
 
     #[test]
@@ -231,6 +299,7 @@ mod tests {
         assert!(JobRequest::parse("{\"steps\": 0}").is_err());
         assert!(JobRequest::parse("{\"level\": 9}").is_err());
         assert!(JobRequest::parse("{\"fused\": \"yes\"}").is_err());
+        assert!(JobRequest::parse("{\"backend\": 1}").is_err());
         assert!(JobRequest::parse("not json").is_err());
         assert!(JobRequest::parse("[1,2]").is_err());
     }

@@ -7,19 +7,25 @@
 //! save; load; run(5)` equals `run(10)` exactly, since RK4 carries no
 //! other state between steps).
 //!
-//! Two on-disk formats are understood:
+//! Three on-disk formats are understood:
 //!
-//! * `MPASSTA2` (written) — `time, n_h, n_u, n_tracers`, then the raw
-//!   little-endian f64 payload of `h`, `u` and each tracer-mass field.
+//! * `MPASSTA3` (written for layered runs) — `time, n_layers, n_h, n_u,
+//!   n_tracers`, then the lane-interleaved layered f64 payloads of `h`
+//!   (`n_h` = cells·k), `u` and each tracer-mass field, little-endian.
+//! * `MPASSTA2` (written for single-layer runs) — `time, n_h, n_u,
+//!   n_tracers`, then the raw little-endian f64 payload of `h`, `u` and
+//!   each tracer-mass field.
 //! * `MPASSTA1` (read-only, pre-tracer) — same layout without the tracer
 //!   count/payload; loads as a zero-tracer state.
 
+use crate::layers::LayeredState;
 use crate::state::State;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC_V1: &[u8; 8] = b"MPASSTA1";
 const MAGIC_V2: &[u8; 8] = b"MPASSTA2";
+const MAGIC_V3: &[u8; 8] = b"MPASSTA3";
 
 fn write_f64s(w: &mut impl Write, xs: &[f64]) -> io::Result<()> {
     for &x in xs {
@@ -93,6 +99,121 @@ pub fn load_state(path: impl AsRef<Path>) -> io::Result<(State, f64)> {
         tracers.push(read_f64s(&mut r, nh)?);
     }
     Ok((State { h, u, tracers }, time))
+}
+
+/// Write a layered snapshot (`MPASSTA3`). The lane-interleaved payloads
+/// are written verbatim, so the round trip is bitwise for every layer.
+pub fn save_layered_state(
+    state: &LayeredState,
+    time: f64,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(MAGIC_V3)?;
+    w.write_all(&time.to_le_bytes())?;
+    w.write_all(&(state.n_layers as u64).to_le_bytes())?;
+    w.write_all(&(state.h.len() as u64).to_le_bytes())?;
+    w.write_all(&(state.u.len() as u64).to_le_bytes())?;
+    w.write_all(&(state.tracers.len() as u64).to_le_bytes())?;
+    write_f64s(&mut w, &state.h)?;
+    write_f64s(&mut w, &state.u)?;
+    for tr in &state.tracers {
+        write_f64s(&mut w, tr)?;
+    }
+    w.flush()
+}
+
+/// Read a layered snapshot written by [`save_layered_state`]. Returns
+/// `(state, time)`.
+pub fn load_layered_state(path: impl AsRef<Path>) -> io::Result<(LayeredState, f64)> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC_V3 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an MPASSTA3 layered state file",
+        ));
+    }
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    let time = f64::from_le_bytes(b);
+    let n_layers = read_u64(&mut r)? as usize;
+    if n_layers == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "layered checkpoint declares zero layers",
+        ));
+    }
+    let nh = read_u64(&mut r)? as usize;
+    let nu = read_u64(&mut r)? as usize;
+    let nt = read_u64(&mut r)? as usize;
+    if !nh.is_multiple_of(n_layers) || !nu.is_multiple_of(n_layers) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "layered checkpoint payload is not a multiple of n_layers",
+        ));
+    }
+    let h = read_f64s(&mut r, nh)?;
+    let u = read_f64s(&mut r, nu)?;
+    let mut tracers = Vec::with_capacity(nt);
+    for _ in 0..nt {
+        tracers.push(read_f64s(&mut r, nh)?);
+    }
+    Ok((
+        LayeredState {
+            n_layers,
+            h,
+            u,
+            tracers,
+        },
+        time,
+    ))
+}
+
+impl crate::layers::LayeredModel {
+    /// Write the layered state and model time to a checkpoint file.
+    pub fn save_checkpoint(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        save_layered_state(&self.state, self.time, path)
+    }
+
+    /// Restore the layered state and time from an `MPASSTA3` checkpoint.
+    /// Layer count, mesh sizes and tracer count are all verified; the
+    /// layered diagnostics and the cached layer-0 view are rebuilt so the
+    /// next step proceeds exactly as if the run had never stopped.
+    pub fn load_checkpoint(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
+        let (state, time) = load_layered_state(path)?;
+        let k = self.n_layers();
+        if state.n_layers != k {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint carries {} layer(s), model expects {k}",
+                    state.n_layers
+                ),
+            ));
+        }
+        if state.h.len() != self.mesh.n_cells() * k || state.u.len() != self.mesh.n_edges() * k {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "checkpoint size does not match the mesh",
+            ));
+        }
+        if state.n_tracers() != self.config.n_tracers {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint carries {} tracer(s), model expects {}",
+                    state.n_tracers(),
+                    self.config.n_tracers
+                ),
+            ));
+        }
+        self.state = state;
+        self.time = time;
+        self.refresh_after_restore();
+        Ok(())
+    }
 }
 
 impl crate::model::ShallowWaterModel {
@@ -224,6 +345,74 @@ mod tests {
         assert_eq!(straight.state.n_tracers(), 2);
         assert_eq!(fresh.state.n_tracers(), 2);
         assert_eq!(straight.state.max_abs_diff(&fresh.state), 0.0);
+    }
+
+    fn layered_cfg(k: usize, n_tracers: usize) -> ModelConfig {
+        ModelConfig {
+            kernel_backend: crate::config::KernelBackend::Simd,
+            n_layers: k,
+            n_tracers,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn layered_restart_is_bitwise_exact_including_tracers() {
+        use crate::layers::LayeredModel;
+        let mesh = Arc::new(mpas_mesh::generate(3, 0));
+        let cfg = layered_cfg(3, 2);
+        let tc = TestCase::Case5;
+        let path = std::env::temp_dir().join("mpas_layered_restart.bin");
+
+        let mut straight = LayeredModel::new(mesh.clone(), cfg, tc, None);
+        straight.run_steps(6);
+
+        let mut resumed = LayeredModel::new(mesh.clone(), cfg, tc, None);
+        resumed.run_steps(3);
+        resumed.save_checkpoint(&path).unwrap();
+        let mut fresh = LayeredModel::new(mesh, cfg, tc, None);
+        fresh.run_steps(1);
+        fresh.load_checkpoint(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        fresh.run_steps(3);
+
+        // Every lane of every field — including both tracer fields — must
+        // round-trip bit for bit (compare the layered hash AND the raw
+        // payloads so a hash collision can't mask a diff).
+        assert_eq!(straight.state, fresh.state);
+        assert_eq!(straight.state.state_hash(), fresh.state.state_hash());
+        assert_eq!(straight.time, fresh.time);
+    }
+
+    #[test]
+    fn layered_checkpoint_layer_count_mismatch_is_rejected() {
+        use crate::layers::LayeredModel;
+        let mesh = Arc::new(mpas_mesh::generate(2, 0));
+        let tc = TestCase::Case5;
+        let path = std::env::temp_dir().join("mpas_layered_kmismatch.bin");
+        let m = LayeredModel::new(mesh.clone(), layered_cfg(4, 0), tc, None);
+        m.save_checkpoint(&path).unwrap();
+        let mut other = LayeredModel::new(mesh, layered_cfg(2, 0), tc, None);
+        let err = other.load_checkpoint(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn layered_loader_rejects_flat_files_and_vice_versa() {
+        let mesh = Arc::new(mpas_mesh::generate(2, 0));
+        let tc = TestCase::Case5;
+        let flat_path = std::env::temp_dir().join("mpas_flat_for_layered.bin");
+        let m = ShallowWaterModel::new(mesh.clone(), ModelConfig::default(), tc, None);
+        m.save_checkpoint(&flat_path).unwrap();
+        assert!(load_layered_state(&flat_path).is_err());
+        std::fs::remove_file(&flat_path).ok();
+
+        let layered_path = std::env::temp_dir().join("mpas_layered_for_flat.bin");
+        let lm = crate::layers::LayeredModel::new(mesh, layered_cfg(2, 0), tc, None);
+        lm.save_checkpoint(&layered_path).unwrap();
+        assert!(load_state(&layered_path).is_err());
+        std::fs::remove_file(&layered_path).ok();
     }
 
     #[test]

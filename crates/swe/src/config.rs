@@ -2,6 +2,58 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Which kernel tier executes the Table-I patterns (DESIGN.md §14).
+///
+/// * [`Scalar`](KernelBackend::Scalar) — the seed kernels in
+///   [`crate::kernels::ops`], gathering geometric factors from the mesh on
+///   every call. The PR-4 baseline.
+/// * [`Fused`](KernelBackend::Fused) — the precomputed-coefficient fast
+///   path ([`crate::coeffs::KernelCoeffs`] + [`crate::kernels::fused`]).
+/// * [`Simd`](KernelBackend::Simd) — the vertical-batching SIMD tier
+///   ([`crate::kernels::simd`]): the fused arithmetic replayed per layer
+///   lane, with AVX2 inner loops under runtime feature detection and an
+///   auto-vectorizable scalar-batch fallback. With `n_layers == 1` it
+///   reproduces the fused path bit-for-bit; with `k` layers one gathered
+///   stencil index amortizes across `k` lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum KernelBackend {
+    /// Seed kernels (`kernels::ops`), no precomputation.
+    Scalar,
+    /// Precomputed-coefficient kernels (`kernels::fused`).
+    Fused,
+    /// Vertical-batching SIMD kernels (`kernels::simd`).
+    Simd,
+}
+
+impl KernelBackend {
+    /// Lowercase CLI/JSON spelling (`scalar`, `fused`, `simd`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Fused => "fused",
+            KernelBackend::Simd => "simd",
+        }
+    }
+
+    /// Parse the lowercase spelling; `None` on anything else.
+    pub fn parse(s: &str) -> Option<KernelBackend> {
+        match s {
+            "scalar" => Some(KernelBackend::Scalar),
+            "fused" => Some(KernelBackend::Fused),
+            "simd" => Some(KernelBackend::Simd),
+            _ => None,
+        }
+    }
+
+    /// All backends, in tier order (for equivalence matrices).
+    pub const ALL: [KernelBackend; 3] = [
+        KernelBackend::Scalar,
+        KernelBackend::Fused,
+        KernelBackend::Simd,
+    ];
+}
+
 /// Options mirroring the MPAS `sw` core namelist entries that matter here.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ModelConfig {
@@ -24,21 +76,31 @@ pub struct ModelConfig {
     /// held fixed and only the continuity equation advances; the momentum
     /// tendency and the PV diagnostic chain are skipped.
     pub advection_only: bool,
-    /// Take the precomputed-coefficient fast path
-    /// ([`crate::coeffs::KernelCoeffs`] + [`crate::kernels::fused`]) in
-    /// every executor. Off reproduces the seed kernels exactly — the
-    /// baseline the PR-4 benchmarks compare against.
-    #[serde(default = "default_fused_coeffs")]
-    pub fused_coeffs: bool,
+    /// Which kernel tier runs in every executor. `Scalar` reproduces the
+    /// seed kernels exactly — the baseline the PR-4 benchmarks compare
+    /// against; `Fused` is the PR-4 fast path and the default; `Simd` is
+    /// the vertical-batching tier (required when `n_layers > 1`).
+    #[serde(default = "default_backend")]
+    pub kernel_backend: KernelBackend,
     /// Number of passive tracer-mass fields advected alongside `h`
     /// (pattern T1). Zero — the default — skips the tracer kernels
     /// entirely, so pre-tracer configurations are bit-for-bit unchanged.
     #[serde(default)]
     pub n_tracers: usize,
+    /// Number of vertical layers batched per entity (DESIGN.md §14).
+    /// 1 — the default — is the classic single-layer model; `k > 1`
+    /// requires the `Simd` backend and runs `k` independent shallow-water
+    /// instances whose fields interleave as contiguous lanes per entity.
+    #[serde(default = "default_n_layers")]
+    pub n_layers: usize,
 }
 
-fn default_fused_coeffs() -> bool {
-    true
+fn default_backend() -> KernelBackend {
+    KernelBackend::Fused
+}
+
+fn default_n_layers() -> usize {
+    1
 }
 
 impl Default for ModelConfig {
@@ -50,8 +112,9 @@ impl Default for ModelConfig {
             del4_viscosity: 0.0,
             high_order_h_edge: false,
             advection_only: false,
-            fused_coeffs: default_fused_coeffs(),
+            kernel_backend: default_backend(),
             n_tracers: 0,
+            n_layers: default_n_layers(),
         }
     }
 }
@@ -76,6 +139,16 @@ mod tests {
         assert_eq!(c.del2_viscosity, 0.0);
         assert!(!c.high_order_h_edge);
         assert!((c.gravity - 9.80616).abs() < 1e-9);
+        assert_eq!(c.kernel_backend, KernelBackend::Fused);
+        assert_eq!(c.n_layers, 1);
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in KernelBackend::ALL {
+            assert_eq!(KernelBackend::parse(b.name()), Some(b));
+        }
+        assert_eq!(KernelBackend::parse("avx512"), None);
     }
 
     #[test]

@@ -10,14 +10,24 @@
 //! the class-A/C reductions — the Fig. 6 "Baseline"/naive-OpenMP story.
 //! [`fused`] holds the precomputed-coefficient fast path driven by
 //! [`crate::coeffs::KernelCoeffs`]; the `*_fused` drivers below compose it
-//! into the same Algorithm 1 call sequence.
+//! into the same Algorithm 1 call sequence. [`simd`] is the third tier
+//! (DESIGN.md §14): the fused arithmetic replayed per vertical-layer lane
+//! with explicit SIMD inner loops — at one layer it is bit-identical to
+//! the fused tier, which is how [`dispatch`] can offer it to every
+//! executor behind [`crate::config::KernelBackend`].
+//!
+//! The `*_backend` drivers select a whole kernel sequence by backend; the
+//! [`dispatch`] module selects per kernel and per range (what the
+//! threaded/hybrid executors slice across workers).
 
+pub mod dispatch;
 pub mod fused;
 pub mod ops;
 pub mod scatter;
+pub mod simd;
 
 use crate::coeffs::KernelCoeffs;
-use crate::config::ModelConfig;
+use crate::config::{KernelBackend, ModelConfig};
 use crate::reconstruct::ReconstructCoeffs;
 use crate::state::{Diagnostics, Reconstruction, State, Tendencies};
 use mpas_mesh::Mesh;
@@ -311,6 +321,197 @@ pub fn compute_tend_tracers_fused(
     let nc = mesh.n_cells();
     for (hq, out) in tracers.iter().zip(tend.tend_tracers.iter_mut()) {
         fused::tend_tracer(mesh, kc, u, &diag.h_edge, h, hq, out, 0..nc);
+    }
+}
+
+/// [`compute_solve_diagnostics`] on the configured backend: the scalar
+/// seed path, the fused-coefficient path, or the simd tier at one layer
+/// (bit-identical to fused — DESIGN.md §14).
+#[allow(clippy::too_many_arguments)]
+pub fn compute_solve_diagnostics_backend(
+    backend: KernelBackend,
+    mesh: &Mesh,
+    config: &ModelConfig,
+    kc: &KernelCoeffs,
+    h: &[f64],
+    u: &[f64],
+    f_vertex: &[f64],
+    dt: f64,
+    diag: &mut Diagnostics,
+) {
+    match backend {
+        KernelBackend::Scalar => compute_solve_diagnostics(mesh, config, h, u, f_vertex, dt, diag),
+        KernelBackend::Fused => {
+            compute_solve_diagnostics_fused(mesh, config, kc, h, u, f_vertex, dt, diag)
+        }
+        KernelBackend::Simd => {
+            let (nc, ne, nv) = (mesh.n_cells(), mesh.n_edges(), mesh.n_vertices());
+            if config.high_order_h_edge {
+                simd::d2fdx2(
+                    mesh,
+                    kc,
+                    1,
+                    h,
+                    &mut diag.d2fdx2_cell1,
+                    &mut diag.d2fdx2_cell2,
+                    0..ne,
+                );
+            }
+            simd::h_edge(
+                mesh,
+                kc,
+                config,
+                1,
+                h,
+                &diag.d2fdx2_cell1,
+                &diag.d2fdx2_cell2,
+                &mut diag.h_edge,
+                0..ne,
+            );
+            if config.advection_only {
+                return;
+            }
+            // The fused sweeps (C2+E, A2+B2, H1+G) store exactly the bits
+            // of the standalone kernels while sharing their gathers.
+            simd::vorticity_pv(
+                mesh,
+                kc,
+                1,
+                u,
+                h,
+                f_vertex,
+                &mut diag.vorticity,
+                &mut diag.pv_vertex,
+                0..nv,
+            );
+            simd::ke_divergence(mesh, kc, 1, u, &mut diag.ke, &mut diag.divergence, 0..nc);
+            simd::kite_average(
+                mesh,
+                kc,
+                1,
+                &diag.vorticity,
+                &mut diag.vorticity_cell,
+                0..nc,
+            );
+            simd::kite_average(mesh, kc, 1, &diag.pv_vertex, &mut diag.pv_cell, 0..nc);
+            simd::tangential_pv_edge(
+                mesh,
+                kc,
+                1,
+                config.apvm_factor,
+                dt,
+                &diag.pv_vertex,
+                &diag.pv_cell,
+                u,
+                &mut diag.v,
+                &mut diag.pv_edge,
+                0..ne,
+            );
+        }
+    }
+}
+
+/// [`compute_tend`] on the configured backend.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_tend_backend(
+    backend: KernelBackend,
+    mesh: &Mesh,
+    config: &ModelConfig,
+    kc: &KernelCoeffs,
+    h: &[f64],
+    u: &[f64],
+    b: &[f64],
+    diag: &Diagnostics,
+    tend: &mut Tendencies,
+) {
+    match backend {
+        KernelBackend::Scalar => compute_tend(mesh, config, h, u, b, diag, tend),
+        KernelBackend::Fused => compute_tend_fused(mesh, config, kc, h, u, b, diag, tend),
+        KernelBackend::Simd => {
+            let (nc, ne) = (mesh.n_cells(), mesh.n_edges());
+            simd::tend_h(mesh, kc, 1, u, &diag.h_edge, &mut tend.tend_h, 0..nc);
+            if config.advection_only {
+                tend.tend_u.fill(0.0);
+                return;
+            }
+            simd::tend_u(
+                mesh,
+                kc,
+                1,
+                config.gravity,
+                &diag.pv_edge,
+                u,
+                &diag.h_edge,
+                &diag.ke,
+                h,
+                b,
+                &mut tend.tend_u,
+                0..ne,
+            );
+            if config.del2_viscosity != 0.0 {
+                simd::tend_u_del2(
+                    mesh,
+                    kc,
+                    1,
+                    config.del2_viscosity,
+                    &diag.divergence,
+                    &diag.vorticity,
+                    &mut tend.tend_u,
+                    0..ne,
+                );
+            }
+            if config.del4_viscosity != 0.0 {
+                let nv = mesh.n_vertices();
+                let mut lap = vec![0.0; ne];
+                simd::lap_u(
+                    mesh,
+                    kc,
+                    1,
+                    &diag.divergence,
+                    &diag.vorticity,
+                    &mut lap,
+                    0..ne,
+                );
+                let mut div_lap = vec![0.0; nc];
+                simd::divergence(mesh, kc, 1, &lap, &mut div_lap, 0..nc);
+                let mut vort_lap = vec![0.0; nv];
+                simd::vorticity(mesh, kc, 1, &lap, &mut vort_lap, 0..nv);
+                simd::tend_u_del4(
+                    mesh,
+                    kc,
+                    1,
+                    config.del4_viscosity,
+                    &div_lap,
+                    &vort_lap,
+                    &mut tend.tend_u,
+                    0..ne,
+                );
+            }
+        }
+    }
+}
+
+/// [`compute_tend_tracers`] on the configured backend.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_tend_tracers_backend(
+    backend: KernelBackend,
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    h: &[f64],
+    u: &[f64],
+    diag: &Diagnostics,
+    tracers: &[Vec<f64>],
+    tend: &mut Tendencies,
+) {
+    match backend {
+        KernelBackend::Scalar => compute_tend_tracers(mesh, h, u, diag, tracers, tend),
+        KernelBackend::Fused => compute_tend_tracers_fused(mesh, kc, h, u, diag, tracers, tend),
+        KernelBackend::Simd => {
+            let nc = mesh.n_cells();
+            for (hq, out) in tracers.iter().zip(tend.tend_tracers.iter_mut()) {
+                simd::tend_tracer(mesh, kc, 1, u, &diag.h_edge, h, hq, out, 0..nc);
+            }
+        }
     }
 }
 

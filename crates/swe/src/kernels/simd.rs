@@ -1,0 +1,2080 @@
+//! Vertical-batching SIMD forms of the Table-I operators (DESIGN.md §14).
+//!
+//! Each function mirrors its namesake in [`super::fused`] but operates on
+//! **layered** fields: `k` independent vertical layers interleaved as
+//! contiguous lanes per entity, `field[entity * k + lane]`. One gathered
+//! stencil index (`edges_on_cell[slot]`, `cells_on_edge[e]`, ...) is then
+//! amortized across all `k` lanes, and the lane loop is a unit-stride
+//! inner loop a vector unit can chew through.
+//!
+//! **Bitwise contract.** Every lane evaluates *exactly* the fused-tier
+//! expression for that layer: same association, same operation sequence,
+//! and only `mul/add/sub/div/xor`-class vector instructions (never FMA,
+//! which contracts two roundings into one and would change results). A
+//! `k = 1` layered field *is* a flat field, so the simd tier at one layer
+//! is bit-identical to the fused tier — the equivalence suite asserts
+//! equality, not a tolerance band. Reductions keep the fused slot order
+//! per lane, so nothing here reorders arithmetic; the documented
+//! 1-ulp/1e-13 band of DESIGN.md §9 is inherited unchanged from the
+//! fused coefficients themselves.
+//!
+//! **Two implementations per kernel, selected at runtime:**
+//!
+//! * an AVX2 path (`std::arch` x86_64 intrinsics behind
+//!   `#[target_feature]`, 4-lane `_mm256` chunks plus a scalar lane
+//!   tail), taken when [`avx2_available`] and not overridden;
+//! * a scalar-batch fallback (plain lane loops over fixed 4-lane chunks,
+//!   auto-vectorizable, builds on stable Rust and every architecture).
+//!
+//! Setting the environment variable `MPAS_SIMD_FORCE_SCALAR` (to anything
+//! but `0`) pins every dispatch to the scalar-batch path — CI runs the
+//! same simulation both ways and asserts bitwise-identical results.
+//!
+//! [`block_ranges`] tiles a sweep's index space into cache-sized blocks;
+//! with the SFC ordering from `mpas_mesh::reorder` renumbering entities
+//! along a space-filling curve, iterating cell blocks in index order *is*
+//! tiling the curve, so a block's gathered edge/vertex neighborhoods stay
+//! L2-resident across the kernels of a substep.
+
+use crate::coeffs::KernelCoeffs;
+use crate::config::ModelConfig;
+use mpas_mesh::Mesh;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Which inner-loop implementation a simd-tier kernel runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdMode {
+    /// Scalar-batch lane loops (auto-vectorizable, every architecture).
+    Batch,
+    /// Explicit AVX2 intrinsics (x86_64 with runtime-detected AVX2).
+    Avx2,
+}
+
+impl SimdMode {
+    /// Lowercase label for telemetry and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimdMode::Batch => "batch",
+            SimdMode::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Whether the host CPU offers AVX2 (always `false` off x86_64).
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether `MPAS_SIMD_FORCE_SCALAR` pins dispatch to the scalar-batch
+/// path (read once; set it before the first kernel call).
+pub fn forced_scalar() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| std::env::var_os("MPAS_SIMD_FORCE_SCALAR").is_some_and(|v| v != "0"))
+}
+
+/// The mode runtime dispatch selects: AVX2 when detected and not
+/// overridden, scalar-batch otherwise.
+pub fn active_mode() -> SimdMode {
+    if avx2_available() && !forced_scalar() {
+        SimdMode::Avx2
+    } else {
+        SimdMode::Batch
+    }
+}
+
+/// True iff the explicit-intrinsics path is active (telemetry label).
+pub fn simd_active() -> bool {
+    active_mode() == SimdMode::Avx2
+}
+
+/// Tile `0..n` into consecutive blocks of at most `block` entities
+/// (`block` is clamped to ≥ 1; the last block may be short). Every index
+/// appears in exactly one block, in order — so a blocked sweep visits the
+/// same entities in the same order as an unblocked one.
+pub fn block_ranges(n: usize, block: usize) -> impl Iterator<Item = Range<usize>> {
+    let b = block.max(1);
+    (0..n.div_ceil(b)).map(move |i| (i * b)..((i * b + b).min(n)))
+}
+
+/// An L2-sized default cell-block length for a sweep touching `streams`
+/// layered f64 fields at `k` lanes per cell (≈256 KiB of L2 kept for the
+/// block's working set, clamped to a sane range).
+pub fn default_cell_block(k: usize, streams: usize) -> usize {
+    const L2_BYTES: usize = 256 * 1024;
+    (L2_BYTES / (8 * k.max(1) * streams.max(1))).clamp(64, 1 << 20)
+}
+
+// ---------------------------------------------------------------------
+// Dispatchers: one public pair per kernel. `<op>` picks the active mode;
+// `<op>_with` pins a mode explicitly (the equivalence tests compare the
+// two paths directly through it). A pinned `Avx2` silently falls back to
+// `Batch` when the CPU lacks AVX2, keeping the API safe.
+// ---------------------------------------------------------------------
+
+macro_rules! dispatch {
+    ($(#[$doc:meta])* $name:ident, $with:ident ($($arg:ident : $ty:ty),* $(,)?)) => {
+        $(#[$doc])*
+        #[allow(clippy::too_many_arguments)]
+        pub fn $name($($arg: $ty),*) {
+            $with(active_mode(), $($arg),*)
+        }
+
+        /// Same kernel with the implementation pinned explicitly (falls
+        /// back to [`SimdMode::Batch`] when AVX2 is pinned but the CPU
+        /// lacks it, keeping the call safe everywhere).
+        #[allow(clippy::too_many_arguments)]
+        pub fn $with(mode: SimdMode, $($arg: $ty),*) {
+            #[cfg(target_arch = "x86_64")]
+            if mode == SimdMode::Avx2 && avx2_available() {
+                // SAFETY: AVX2 presence was just verified at runtime.
+                unsafe { avx2::$name($($arg),*) };
+                return;
+            }
+            let _ = mode;
+            batch::$name($($arg),*)
+        }
+    };
+}
+
+dispatch! {
+    /// A1 — layered thickness tendency (fused `s·dv` weights).
+    tend_h, tend_h_with(
+        mesh: &Mesh, kc: &KernelCoeffs, k: usize,
+        u: &[f64], h_edge: &[f64], out: &mut [f64], cells: Range<usize>,
+    )
+}
+
+dispatch! {
+    /// T1 — layered tracer-mass tendency (fused `½·s·dv` weights).
+    tend_tracer, tend_tracer_with(
+        mesh: &Mesh, kc: &KernelCoeffs, k: usize,
+        u: &[f64], h_edge: &[f64], h: &[f64], hq: &[f64],
+        out: &mut [f64], cells: Range<usize>,
+    )
+}
+
+dispatch! {
+    /// B2 — layered velocity divergence (fused `s·dv` weights).
+    divergence, divergence_with(
+        mesh: &Mesh, kc: &KernelCoeffs, k: usize,
+        u: &[f64], out: &mut [f64], cells: Range<usize>,
+    )
+}
+
+dispatch! {
+    /// A2 — layered kinetic energy (fused `¼·dc·dv` weights).
+    ke, ke_with(
+        mesh: &Mesh, kc: &KernelCoeffs, k: usize,
+        u: &[f64], out: &mut [f64], cells: Range<usize>,
+    )
+}
+
+dispatch! {
+    /// A2+B2 fused — one gather of `u` over `edges_on_cell` feeds both
+    /// the kinetic-energy and the divergence accumulator; each sum keeps
+    /// its standalone term order, so both outputs are bitwise-equal to
+    /// the separate sweeps while the edge velocities are read once.
+    ke_divergence, ke_divergence_with(
+        mesh: &Mesh, kc: &KernelCoeffs, k: usize,
+        u: &[f64], ke_out: &mut [f64], div_out: &mut [f64], cells: Range<usize>,
+    )
+}
+
+dispatch! {
+    /// C2 — layered vertex vorticity (fused `s·dc` circulation lengths).
+    vorticity, vorticity_with(
+        mesh: &Mesh, kc: &KernelCoeffs, k: usize,
+        u: &[f64], out: &mut [f64], vertices: Range<usize>,
+    )
+}
+
+dispatch! {
+    /// C2+E fused — the vertex sweep computes circulation vorticity and
+    /// immediately forms `(f + ζ)/h_v` from the value still in register,
+    /// skipping the standalone E kernel's reload of the vorticity array.
+    vorticity_pv, vorticity_pv_with(
+        mesh: &Mesh, kc: &KernelCoeffs, k: usize,
+        u: &[f64], h: &[f64], f_vertex: &[f64],
+        vort_out: &mut [f64], pv_out: &mut [f64], vertices: Range<usize>,
+    )
+}
+
+dispatch! {
+    /// A3/F — layered kite-area average of a vertex field onto cells
+    /// (`vorticity_cell` and `pv_cell` share this exact stencil).
+    kite_average, kite_average_with(
+        mesh: &Mesh, kc: &KernelCoeffs, k: usize,
+        vertex_field: &[f64], out: &mut [f64], cells: Range<usize>,
+    )
+}
+
+dispatch! {
+    /// E — layered vertex potential vorticity (`(f + ζ)/h_v`; never
+    /// fused, so the lanes replay the seed arithmetic).
+    pv_vertex, pv_vertex_with(
+        mesh: &Mesh, k: usize,
+        h: &[f64], vorticity: &[f64], f_vertex: &[f64],
+        out: &mut [f64], vertices: Range<usize>,
+    )
+}
+
+dispatch! {
+    /// G — layered edge PV with APVM upwinding (fused reciprocals).
+    pv_edge, pv_edge_with(
+        mesh: &Mesh, kc: &KernelCoeffs, k: usize,
+        apvm_factor: f64, dt: f64,
+        pv_vertex: &[f64], pv_cell: &[f64], u: &[f64], v: &[f64],
+        out: &mut [f64], edges: Range<usize>,
+    )
+}
+
+dispatch! {
+    /// B1 — layered momentum tendency (fused `½·w` and `1/dc`); `b` is
+    /// the single-layer bottom topography, broadcast across lanes.
+    tend_u, tend_u_with(
+        mesh: &Mesh, kc: &KernelCoeffs, k: usize,
+        gravity: f64, pv_edge: &[f64], u: &[f64], h_edge: &[f64],
+        ke: &[f64], h: &[f64], b: &[f64],
+        out: &mut [f64], edges: Range<usize>,
+    )
+}
+
+dispatch! {
+    /// C1 — layered del2 dissipation (read-modify-write on `out`).
+    tend_u_del2, tend_u_del2_with(
+        mesh: &Mesh, kc: &KernelCoeffs, k: usize,
+        nu: f64, divergence: &[f64], vorticity: &[f64],
+        out: &mut [f64], edges: Range<usize>,
+    )
+}
+
+dispatch! {
+    /// C1 (chained) — layered inner vector Laplacian.
+    lap_u, lap_u_with(
+        mesh: &Mesh, kc: &KernelCoeffs, k: usize,
+        divergence: &[f64], vorticity: &[f64],
+        out: &mut [f64], edges: Range<usize>,
+    )
+}
+
+dispatch! {
+    /// C1 (chained) — layered outer del4 stage (read-modify-write).
+    tend_u_del4, tend_u_del4_with(
+        mesh: &Mesh, kc: &KernelCoeffs, k: usize,
+        nu4: f64, div_lap: &[f64], vort_lap: &[f64],
+        out: &mut [f64], edges: Range<usize>,
+    )
+}
+
+dispatch! {
+    /// D1/D2 — layered second-derivative blend terms (fused `dv/dc`).
+    d2fdx2, d2fdx2_with(
+        mesh: &Mesh, kc: &KernelCoeffs, k: usize,
+        h: &[f64], out1: &mut [f64], out2: &mut [f64], edges: Range<usize>,
+    )
+}
+
+dispatch! {
+    /// H2 — layered thickness at edges (high-order blend via `dc²/12`
+    /// when configured, plain mid-edge average otherwise).
+    h_edge, h_edge_with(
+        mesh: &Mesh, kc: &KernelCoeffs, config: &ModelConfig, k: usize,
+        h: &[f64], d2fdx2_cell1: &[f64], d2fdx2_cell2: &[f64],
+        out: &mut [f64], edges: Range<usize>,
+    )
+}
+
+dispatch! {
+    /// H1 — layered tangential velocity (TRiSK reconstruction; never
+    /// fused, so the lanes replay the seed arithmetic).
+    tangential_velocity, tangential_velocity_with(
+        mesh: &Mesh, k: usize,
+        u: &[f64], out: &mut [f64], edges: Range<usize>,
+    )
+}
+
+dispatch! {
+    /// H1+G fused — the edge sweep reconstructs the tangential velocity
+    /// and feeds it straight into the APVM upwinding term, storing both
+    /// fields in one pass over the edges. `pv_vertex` and `pv_cell` must
+    /// already be complete (the sweep reads vertex/cell neighbours).
+    tangential_pv_edge, tangential_pv_edge_with(
+        mesh: &Mesh, kc: &KernelCoeffs, k: usize,
+        apvm_factor: f64, dt: f64,
+        pv_vertex: &[f64], pv_cell: &[f64], u: &[f64],
+        v_out: &mut [f64], pv_edge_out: &mut [f64], edges: Range<usize>,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Layered pointwise utilities (X1–X5). These have no gather to amortize
+// and trivially auto-vectorize, so one plain implementation suffices.
+// ---------------------------------------------------------------------
+
+/// X2/X3 — layered provisional state: `out = base + coef·tend` over the
+/// entity range (all `k` lanes of each entity).
+pub fn axpy(k: usize, base: &[f64], tend: &[f64], coef: f64, out: &mut [f64], range: Range<usize>) {
+    let off = range.start * k;
+    for x in (range.start * k)..(range.end * k) {
+        out[x - off] = base[x] + coef * tend[x];
+    }
+}
+
+/// X4/X5 — layered accumulation: `acc += weight·tend`.
+pub fn accumulate(k: usize, tend: &[f64], weight: f64, acc: &mut [f64], range: Range<usize>) {
+    let off = range.start * k;
+    for x in (range.start * k)..(range.end * k) {
+        acc[x - off] += weight * tend[x];
+    }
+}
+
+/// X2+X4 fused — one pass over `tend` feeds both the provisional state
+/// (`out = base + coef·tend`) and the RK accumulator (`acc += weight·tend`).
+/// Each output computes exactly the expression of its standalone form, so
+/// the fusion only halves the tendency reads, never the bits.
+#[allow(clippy::too_many_arguments)]
+pub fn axpy_accumulate(
+    k: usize,
+    base: &[f64],
+    tend: &[f64],
+    coef: f64,
+    weight: f64,
+    out: &mut [f64],
+    acc: &mut [f64],
+    range: Range<usize>,
+) {
+    let off = range.start * k;
+    for x in (range.start * k)..(range.end * k) {
+        let t = tend[x];
+        out[x - off] = base[x] + coef * t;
+        acc[x - off] += weight * t;
+    }
+}
+
+/// X1 — zero all lanes of masked boundary edges.
+pub fn enforce_boundary(mesh: &Mesh, k: usize, tend_u: &mut [f64], edges: Range<usize>) {
+    let off = edges.start;
+    for e in edges {
+        if mesh.boundary_edge[e] {
+            tend_u[(e - off) * k..(e - off) * k + k].fill(0.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-lane scalar forms. Each is exactly the fused-tier expression with
+// `e` → `e*k + l` on layered fields; both implementations' lane tails
+// call these, so AVX2 chunks, batch chunks and tails cannot diverge.
+// ---------------------------------------------------------------------
+
+#[inline(always)]
+fn tend_h_lane(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    k: usize,
+    i: usize,
+    l: usize,
+    u: &[f64],
+    he: &[f64],
+) -> f64 {
+    let mut acc = 0.0;
+    for slot in mesh.cell_range(i) {
+        let e = mesh.edges_on_cell[slot] as usize;
+        acc += kc.flux_div[slot] * u[e * k + l] * he[e * k + l];
+    }
+    -acc / mesh.area_cell[i]
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tend_tracer_lane(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    k: usize,
+    i: usize,
+    l: usize,
+    u: &[f64],
+    he: &[f64],
+    h: &[f64],
+    hq: &[f64],
+) -> f64 {
+    let mut acc = 0.0;
+    for slot in mesh.cell_range(i) {
+        let e = mesh.edges_on_cell[slot] as usize;
+        let [c1, c2] = mesh.cells_on_edge[e];
+        let (c1, c2) = (c1 as usize * k + l, c2 as usize * k + l);
+        let q2 = hq[c1] / h[c1] + hq[c2] / h[c2];
+        acc += kc.half_flux_div[slot] * u[e * k + l] * he[e * k + l] * q2;
+    }
+    -acc / mesh.area_cell[i]
+}
+
+#[inline(always)]
+fn divergence_lane(mesh: &Mesh, kc: &KernelCoeffs, k: usize, i: usize, l: usize, u: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for slot in mesh.cell_range(i) {
+        let e = mesh.edges_on_cell[slot] as usize;
+        acc += kc.flux_div[slot] * u[e * k + l];
+    }
+    acc / mesh.area_cell[i]
+}
+
+#[inline(always)]
+fn ke_lane(mesh: &Mesh, kc: &KernelCoeffs, k: usize, i: usize, l: usize, u: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for slot in mesh.cell_range(i) {
+        let e = mesh.edges_on_cell[slot] as usize;
+        acc += kc.ke_weight[slot] * u[e * k + l] * u[e * k + l];
+    }
+    acc / mesh.area_cell[i]
+}
+
+/// One shared gather of `u` over `edges_on_cell` feeding both the A2 and
+/// B2 accumulators. Each sum adds the same terms in the same order as its
+/// standalone kernel, so the pair is bitwise-equal to two separate sweeps.
+#[inline(always)]
+fn ke_divergence_lane(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    k: usize,
+    i: usize,
+    l: usize,
+    u: &[f64],
+) -> (f64, f64) {
+    let mut ke = 0.0;
+    let mut div = 0.0;
+    for slot in mesh.cell_range(i) {
+        let e = mesh.edges_on_cell[slot] as usize;
+        let uv = u[e * k + l];
+        ke += kc.ke_weight[slot] * uv * uv;
+        div += kc.flux_div[slot] * uv;
+    }
+    (ke / mesh.area_cell[i], div / mesh.area_cell[i])
+}
+
+#[inline(always)]
+fn vorticity_lane(mesh: &Mesh, kc: &KernelCoeffs, k: usize, v: usize, l: usize, u: &[f64]) -> f64 {
+    let mut circ = 0.0;
+    for j in 0..3 {
+        let e = mesh.edges_on_vertex[v][j] as usize;
+        circ += kc.vort_sign_dc[v][j] * u[e * k + l];
+    }
+    circ / mesh.area_triangle[v]
+}
+
+#[inline(always)]
+fn kite_average_lane(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    k: usize,
+    i: usize,
+    l: usize,
+    vf: &[f64],
+) -> f64 {
+    let mut acc = 0.0;
+    for slot in mesh.cell_range(i) {
+        let v = mesh.vertices_on_cell[slot] as usize;
+        acc += kc.kite_cell[slot] * vf[v * k + l];
+    }
+    acc / mesh.area_cell[i]
+}
+
+#[inline(always)]
+fn pv_vertex_lane(
+    mesh: &Mesh,
+    k: usize,
+    v: usize,
+    l: usize,
+    h: &[f64],
+    vorticity: &[f64],
+    f_vertex: &[f64],
+) -> f64 {
+    pv_from_vort_lane(mesh, k, v, l, h, f_vertex, vorticity[v * k + l])
+}
+
+/// `pv_vertex` with the vorticity value already in hand — the fused
+/// `vorticity_pv` sweep feeds the register it just computed, which holds
+/// the exact bits the standalone kernel would reload from memory.
+#[inline(always)]
+fn pv_from_vort_lane(
+    mesh: &Mesh,
+    k: usize,
+    v: usize,
+    l: usize,
+    h: &[f64],
+    f_vertex: &[f64],
+    vort: f64,
+) -> f64 {
+    let mut hv = 0.0;
+    for j in 0..3 {
+        hv += mesh.kite_areas_on_vertex[v][j] * h[mesh.cells_on_vertex[v][j] as usize * k + l];
+    }
+    hv /= mesh.area_triangle[v];
+    (f_vertex[v] + vort) / hv
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn pv_edge_lane(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    k: usize,
+    e: usize,
+    l: usize,
+    apvm_factor: f64,
+    dt: f64,
+    pv_v: &[f64],
+    pv_c: &[f64],
+    u: &[f64],
+    v: &[f64],
+) -> f64 {
+    pv_edge_from_v_lane(
+        mesh,
+        kc,
+        k,
+        e,
+        l,
+        apvm_factor,
+        dt,
+        pv_v,
+        pv_c,
+        u,
+        v[e * k + l],
+    )
+}
+
+/// `pv_edge` with the tangential velocity already in hand — the fused
+/// `tangential_pv_edge` sweep feeds the value it just reconstructed.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn pv_edge_from_v_lane(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    k: usize,
+    e: usize,
+    l: usize,
+    apvm_factor: f64,
+    dt: f64,
+    pv_v: &[f64],
+    pv_c: &[f64],
+    u: &[f64],
+    tv: f64,
+) -> f64 {
+    let [v1, v2] = mesh.vertices_on_edge[e];
+    let [c1, c2] = mesh.cells_on_edge[e];
+    let (v1, v2) = (v1 as usize * k + l, v2 as usize * k + l);
+    let (c1, c2) = (c1 as usize * k + l, c2 as usize * k + l);
+    let base = 0.5 * (pv_v[v1] + pv_v[v2]);
+    let grad_t = (pv_v[v2] - pv_v[v1]) * kc.inv_dv[e];
+    let grad_n = (pv_c[c2] - pv_c[c1]) * kc.inv_dc[e];
+    base - apvm_factor * dt * (u[e * k + l] * grad_n + tv * grad_t)
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tend_u_lane(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    k: usize,
+    e: usize,
+    l: usize,
+    gravity: f64,
+    pv_e: &[f64],
+    u: &[f64],
+    he: &[f64],
+    ke: &[f64],
+    h: &[f64],
+    b: &[f64],
+) -> f64 {
+    let [c1, c2] = mesh.cells_on_edge[e];
+    let (c1, c2) = (c1 as usize, c2 as usize);
+    let mut q = 0.0;
+    for slot in mesh.eoe_range(e) {
+        let eoe = mesh.edges_on_edge[slot] as usize;
+        q += kc.half_weights[slot]
+            * u[eoe * k + l]
+            * he[eoe * k + l]
+            * (pv_e[e * k + l] + pv_e[eoe * k + l]);
+    }
+    let grad = (ke[c2 * k + l] - ke[c1 * k + l]
+        + gravity * (h[c2 * k + l] + b[c2] - h[c1 * k + l] - b[c1]))
+        * kc.inv_dc[e];
+    q - grad
+}
+
+/// The shared `d − z` core of the C1 family: normal divergence gradient
+/// minus tangential vorticity gradient at one edge lane.
+#[inline(always)]
+fn del_core_lane(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    k: usize,
+    e: usize,
+    l: usize,
+    div: &[f64],
+    vort: &[f64],
+) -> f64 {
+    let [c1, c2] = mesh.cells_on_edge[e];
+    let [v1, v2] = mesh.vertices_on_edge[e];
+    let d = (div[c2 as usize * k + l] - div[c1 as usize * k + l]) * kc.inv_dc[e];
+    let z = (vort[v2 as usize * k + l] - vort[v1 as usize * k + l]) * kc.inv_dv[e];
+    d - z
+}
+
+#[inline(always)]
+fn d2fdx2_cell_lane(
+    mesh: &Mesh,
+    kc: &KernelCoeffs,
+    k: usize,
+    c: usize,
+    l: usize,
+    h: &[f64],
+) -> f64 {
+    let mut acc = 0.0;
+    for slot in mesh.cell_range(c) {
+        let nb = mesh.cells_on_cell[slot] as usize;
+        acc += (h[nb * k + l] - h[c * k + l]) * kc.grad_ratio[slot];
+    }
+    acc / mesh.area_cell[c]
+}
+
+#[inline(always)]
+fn tangential_velocity_lane(mesh: &Mesh, k: usize, e: usize, l: usize, u: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for slot in mesh.eoe_range(e) {
+        acc += mesh.weights_on_edge[slot] * u[mesh.edges_on_edge[slot] as usize * k + l];
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------
+// Scalar-batch implementations: fixed 4-lane chunks (auto-vectorizable)
+// plus a per-lane tail through the shared lane forms.
+// ---------------------------------------------------------------------
+
+mod batch {
+    use super::*;
+
+    /// Run `lane(l)` for every lane of one entity: 4-lane chunks the
+    /// optimizer can vectorize, then the tail lanes.
+    #[inline(always)]
+    fn lanes(k: usize, mut lane: impl FnMut(usize)) {
+        let mut l = 0;
+        while l + 4 <= k {
+            lane(l);
+            lane(l + 1);
+            lane(l + 2);
+            lane(l + 3);
+            l += 4;
+        }
+        while l < k {
+            lane(l);
+            l += 1;
+        }
+    }
+
+    pub(super) fn tend_h(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        u: &[f64],
+        h_edge: &[f64],
+        out: &mut [f64],
+        cells: Range<usize>,
+    ) {
+        let off = cells.start;
+        for i in cells {
+            let ob = (i - off) * k;
+            lanes(k, |l| {
+                out[ob + l] = tend_h_lane(mesh, kc, k, i, l, u, h_edge)
+            });
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn tend_tracer(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        u: &[f64],
+        h_edge: &[f64],
+        h: &[f64],
+        hq: &[f64],
+        out: &mut [f64],
+        cells: Range<usize>,
+    ) {
+        let off = cells.start;
+        for i in cells {
+            let ob = (i - off) * k;
+            lanes(k, |l| {
+                out[ob + l] = tend_tracer_lane(mesh, kc, k, i, l, u, h_edge, h, hq)
+            });
+        }
+    }
+
+    pub(super) fn divergence(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        u: &[f64],
+        out: &mut [f64],
+        cells: Range<usize>,
+    ) {
+        let off = cells.start;
+        for i in cells {
+            let ob = (i - off) * k;
+            lanes(k, |l| out[ob + l] = divergence_lane(mesh, kc, k, i, l, u));
+        }
+    }
+
+    pub(super) fn ke(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        u: &[f64],
+        out: &mut [f64],
+        cells: Range<usize>,
+    ) {
+        let off = cells.start;
+        for i in cells {
+            let ob = (i - off) * k;
+            lanes(k, |l| out[ob + l] = ke_lane(mesh, kc, k, i, l, u));
+        }
+    }
+
+    pub(super) fn ke_divergence(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        u: &[f64],
+        ke_out: &mut [f64],
+        div_out: &mut [f64],
+        cells: Range<usize>,
+    ) {
+        let off = cells.start;
+        for i in cells {
+            let ob = (i - off) * k;
+            lanes(k, |l| {
+                let (ke, div) = ke_divergence_lane(mesh, kc, k, i, l, u);
+                ke_out[ob + l] = ke;
+                div_out[ob + l] = div;
+            });
+        }
+    }
+
+    pub(super) fn vorticity(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        u: &[f64],
+        out: &mut [f64],
+        vertices: Range<usize>,
+    ) {
+        let off = vertices.start;
+        for v in vertices {
+            let ob = (v - off) * k;
+            lanes(k, |l| out[ob + l] = vorticity_lane(mesh, kc, k, v, l, u));
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn vorticity_pv(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        u: &[f64],
+        h: &[f64],
+        f_vertex: &[f64],
+        vort_out: &mut [f64],
+        pv_out: &mut [f64],
+        vertices: Range<usize>,
+    ) {
+        let off = vertices.start;
+        for v in vertices {
+            let ob = (v - off) * k;
+            lanes(k, |l| {
+                let z = vorticity_lane(mesh, kc, k, v, l, u);
+                vort_out[ob + l] = z;
+                pv_out[ob + l] = pv_from_vort_lane(mesh, k, v, l, h, f_vertex, z);
+            });
+        }
+    }
+
+    pub(super) fn kite_average(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        vertex_field: &[f64],
+        out: &mut [f64],
+        cells: Range<usize>,
+    ) {
+        let off = cells.start;
+        for i in cells {
+            let ob = (i - off) * k;
+            lanes(k, |l| {
+                out[ob + l] = kite_average_lane(mesh, kc, k, i, l, vertex_field)
+            });
+        }
+    }
+
+    pub(super) fn pv_vertex(
+        mesh: &Mesh,
+        k: usize,
+        h: &[f64],
+        vorticity: &[f64],
+        f_vertex: &[f64],
+        out: &mut [f64],
+        vertices: Range<usize>,
+    ) {
+        let off = vertices.start;
+        for v in vertices {
+            let ob = (v - off) * k;
+            lanes(k, |l| {
+                out[ob + l] = pv_vertex_lane(mesh, k, v, l, h, vorticity, f_vertex)
+            });
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn pv_edge(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        apvm_factor: f64,
+        dt: f64,
+        pv_vertex: &[f64],
+        pv_cell: &[f64],
+        u: &[f64],
+        v: &[f64],
+        out: &mut [f64],
+        edges: Range<usize>,
+    ) {
+        let off = edges.start;
+        for e in edges {
+            let ob = (e - off) * k;
+            lanes(k, |l| {
+                out[ob + l] =
+                    pv_edge_lane(mesh, kc, k, e, l, apvm_factor, dt, pv_vertex, pv_cell, u, v)
+            });
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn tend_u(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        gravity: f64,
+        pv_edge: &[f64],
+        u: &[f64],
+        h_edge: &[f64],
+        ke: &[f64],
+        h: &[f64],
+        b: &[f64],
+        out: &mut [f64],
+        edges: Range<usize>,
+    ) {
+        let off = edges.start;
+        for e in edges {
+            let ob = (e - off) * k;
+            lanes(k, |l| {
+                out[ob + l] = tend_u_lane(mesh, kc, k, e, l, gravity, pv_edge, u, h_edge, ke, h, b)
+            });
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn tend_u_del2(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        nu: f64,
+        divergence: &[f64],
+        vorticity: &[f64],
+        out: &mut [f64],
+        edges: Range<usize>,
+    ) {
+        let off = edges.start;
+        for e in edges {
+            let ob = (e - off) * k;
+            lanes(k, |l| {
+                out[ob + l] += nu * del_core_lane(mesh, kc, k, e, l, divergence, vorticity)
+            });
+        }
+    }
+
+    pub(super) fn lap_u(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        divergence: &[f64],
+        vorticity: &[f64],
+        out: &mut [f64],
+        edges: Range<usize>,
+    ) {
+        let off = edges.start;
+        for e in edges {
+            let ob = (e - off) * k;
+            lanes(k, |l| {
+                out[ob + l] = del_core_lane(mesh, kc, k, e, l, divergence, vorticity)
+            });
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn tend_u_del4(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        nu4: f64,
+        div_lap: &[f64],
+        vort_lap: &[f64],
+        out: &mut [f64],
+        edges: Range<usize>,
+    ) {
+        let off = edges.start;
+        for e in edges {
+            let ob = (e - off) * k;
+            lanes(k, |l| {
+                out[ob + l] -= nu4 * del_core_lane(mesh, kc, k, e, l, div_lap, vort_lap)
+            });
+        }
+    }
+
+    pub(super) fn d2fdx2(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        h: &[f64],
+        out1: &mut [f64],
+        out2: &mut [f64],
+        edges: Range<usize>,
+    ) {
+        let off = edges.start;
+        for e in edges {
+            let [c1, c2] = mesh.cells_on_edge[e];
+            let ob = (e - off) * k;
+            lanes(k, |l| {
+                out1[ob + l] = d2fdx2_cell_lane(mesh, kc, k, c1 as usize, l, h);
+            });
+            lanes(k, |l| {
+                out2[ob + l] = d2fdx2_cell_lane(mesh, kc, k, c2 as usize, l, h);
+            });
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn h_edge(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        config: &ModelConfig,
+        k: usize,
+        h: &[f64],
+        d2fdx2_cell1: &[f64],
+        d2fdx2_cell2: &[f64],
+        out: &mut [f64],
+        edges: Range<usize>,
+    ) {
+        let off = edges.start;
+        if config.high_order_h_edge {
+            for e in edges {
+                let [c1, c2] = mesh.cells_on_edge[e];
+                let (c1, c2) = (c1 as usize, c2 as usize);
+                let ob = (e - off) * k;
+                let eb = e * k;
+                lanes(k, |l| {
+                    out[ob + l] = 0.5 * (h[c1 * k + l] + h[c2 * k + l])
+                        - kc.dc2_12[e] * 0.5 * (d2fdx2_cell1[eb + l] + d2fdx2_cell2[eb + l]);
+                });
+            }
+        } else {
+            for e in edges {
+                let [c1, c2] = mesh.cells_on_edge[e];
+                let (c1, c2) = (c1 as usize, c2 as usize);
+                let ob = (e - off) * k;
+                lanes(k, |l| out[ob + l] = 0.5 * (h[c1 * k + l] + h[c2 * k + l]));
+            }
+        }
+    }
+
+    pub(super) fn tangential_velocity(
+        mesh: &Mesh,
+        k: usize,
+        u: &[f64],
+        out: &mut [f64],
+        edges: Range<usize>,
+    ) {
+        let off = edges.start;
+        for e in edges {
+            let ob = (e - off) * k;
+            lanes(k, |l| {
+                out[ob + l] = tangential_velocity_lane(mesh, k, e, l, u)
+            });
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn tangential_pv_edge(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        apvm_factor: f64,
+        dt: f64,
+        pv_vertex: &[f64],
+        pv_cell: &[f64],
+        u: &[f64],
+        v_out: &mut [f64],
+        pv_edge_out: &mut [f64],
+        edges: Range<usize>,
+    ) {
+        let off = edges.start;
+        for e in edges {
+            let ob = (e - off) * k;
+            lanes(k, |l| {
+                let tv = tangential_velocity_lane(mesh, k, e, l, u);
+                v_out[ob + l] = tv;
+                pv_edge_out[ob + l] = pv_edge_from_v_lane(
+                    mesh,
+                    kc,
+                    k,
+                    e,
+                    l,
+                    apvm_factor,
+                    dt,
+                    pv_vertex,
+                    pv_cell,
+                    u,
+                    tv,
+                );
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// AVX2 implementations: 4-lane `_mm256` chunks, scalar lane tails via
+// the shared lane forms. No FMA anywhere — `mul`/`add`/`sub`/`div` only,
+// so every lane rounds exactly like the scalar expression.
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// Exact sign flip (`xor` with the sign-bit mask) — matches scalar
+    /// unary negation bitwise, unlike `0.0 - x`.
+    #[inline(always)]
+    unsafe fn neg(x: __m256d) -> __m256d {
+        _mm256_xor_pd(x, _mm256_set1_pd(-0.0))
+    }
+
+    #[inline(always)]
+    unsafe fn ld(s: &[f64], idx: usize) -> __m256d {
+        debug_assert!(idx + 4 <= s.len());
+        _mm256_loadu_pd(s.as_ptr().add(idx))
+    }
+
+    #[inline(always)]
+    unsafe fn st(s: &mut [f64], idx: usize, v: __m256d) {
+        debug_assert!(idx + 4 <= s.len());
+        _mm256_storeu_pd(s.as_mut_ptr().add(idx), v)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn tend_h(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        u: &[f64],
+        h_edge: &[f64],
+        out: &mut [f64],
+        cells: Range<usize>,
+    ) {
+        let off = cells.start;
+        for i in cells {
+            let ob = (i - off) * k;
+            let area = _mm256_set1_pd(mesh.area_cell[i]);
+            let mut l = 0;
+            while l + 4 <= k {
+                let mut acc = _mm256_setzero_pd();
+                for slot in mesh.cell_range(i) {
+                    let e = mesh.edges_on_cell[slot] as usize;
+                    let c = _mm256_set1_pd(kc.flux_div[slot]);
+                    let t =
+                        _mm256_mul_pd(_mm256_mul_pd(c, ld(u, e * k + l)), ld(h_edge, e * k + l));
+                    acc = _mm256_add_pd(acc, t);
+                }
+                st(out, ob + l, _mm256_div_pd(neg(acc), area));
+                l += 4;
+            }
+            while l < k {
+                out[ob + l] = tend_h_lane(mesh, kc, k, i, l, u, h_edge);
+                l += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn tend_tracer(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        u: &[f64],
+        h_edge: &[f64],
+        h: &[f64],
+        hq: &[f64],
+        out: &mut [f64],
+        cells: Range<usize>,
+    ) {
+        let off = cells.start;
+        for i in cells {
+            let ob = (i - off) * k;
+            let area = _mm256_set1_pd(mesh.area_cell[i]);
+            let mut l = 0;
+            while l + 4 <= k {
+                let mut acc = _mm256_setzero_pd();
+                for slot in mesh.cell_range(i) {
+                    let e = mesh.edges_on_cell[slot] as usize;
+                    let [c1, c2] = mesh.cells_on_edge[e];
+                    let (c1, c2) = (c1 as usize * k + l, c2 as usize * k + l);
+                    let q2 = _mm256_add_pd(
+                        _mm256_div_pd(ld(hq, c1), ld(h, c1)),
+                        _mm256_div_pd(ld(hq, c2), ld(h, c2)),
+                    );
+                    let c = _mm256_set1_pd(kc.half_flux_div[slot]);
+                    let t = _mm256_mul_pd(
+                        _mm256_mul_pd(_mm256_mul_pd(c, ld(u, e * k + l)), ld(h_edge, e * k + l)),
+                        q2,
+                    );
+                    acc = _mm256_add_pd(acc, t);
+                }
+                st(out, ob + l, _mm256_div_pd(neg(acc), area));
+                l += 4;
+            }
+            while l < k {
+                out[ob + l] = tend_tracer_lane(mesh, kc, k, i, l, u, h_edge, h, hq);
+                l += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn divergence(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        u: &[f64],
+        out: &mut [f64],
+        cells: Range<usize>,
+    ) {
+        let off = cells.start;
+        for i in cells {
+            let ob = (i - off) * k;
+            let area = _mm256_set1_pd(mesh.area_cell[i]);
+            let mut l = 0;
+            while l + 4 <= k {
+                let mut acc = _mm256_setzero_pd();
+                for slot in mesh.cell_range(i) {
+                    let e = mesh.edges_on_cell[slot] as usize;
+                    let c = _mm256_set1_pd(kc.flux_div[slot]);
+                    acc = _mm256_add_pd(acc, _mm256_mul_pd(c, ld(u, e * k + l)));
+                }
+                st(out, ob + l, _mm256_div_pd(acc, area));
+                l += 4;
+            }
+            while l < k {
+                out[ob + l] = divergence_lane(mesh, kc, k, i, l, u);
+                l += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn ke(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        u: &[f64],
+        out: &mut [f64],
+        cells: Range<usize>,
+    ) {
+        let off = cells.start;
+        for i in cells {
+            let ob = (i - off) * k;
+            let area = _mm256_set1_pd(mesh.area_cell[i]);
+            let mut l = 0;
+            while l + 4 <= k {
+                let mut acc = _mm256_setzero_pd();
+                for slot in mesh.cell_range(i) {
+                    let e = mesh.edges_on_cell[slot] as usize;
+                    let c = _mm256_set1_pd(kc.ke_weight[slot]);
+                    let uv = ld(u, e * k + l);
+                    acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_mul_pd(c, uv), uv));
+                }
+                st(out, ob + l, _mm256_div_pd(acc, area));
+                l += 4;
+            }
+            while l < k {
+                out[ob + l] = ke_lane(mesh, kc, k, i, l, u);
+                l += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn ke_divergence(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        u: &[f64],
+        ke_out: &mut [f64],
+        div_out: &mut [f64],
+        cells: Range<usize>,
+    ) {
+        let off = cells.start;
+        for i in cells {
+            let ob = (i - off) * k;
+            let area = _mm256_set1_pd(mesh.area_cell[i]);
+            let mut l = 0;
+            while l + 4 <= k {
+                let mut ke = _mm256_setzero_pd();
+                let mut div = _mm256_setzero_pd();
+                for slot in mesh.cell_range(i) {
+                    let e = mesh.edges_on_cell[slot] as usize;
+                    let uv = ld(u, e * k + l);
+                    let kw = _mm256_set1_pd(kc.ke_weight[slot]);
+                    let fd = _mm256_set1_pd(kc.flux_div[slot]);
+                    ke = _mm256_add_pd(ke, _mm256_mul_pd(_mm256_mul_pd(kw, uv), uv));
+                    div = _mm256_add_pd(div, _mm256_mul_pd(fd, uv));
+                }
+                st(ke_out, ob + l, _mm256_div_pd(ke, area));
+                st(div_out, ob + l, _mm256_div_pd(div, area));
+                l += 4;
+            }
+            while l < k {
+                let (ke, div) = ke_divergence_lane(mesh, kc, k, i, l, u);
+                ke_out[ob + l] = ke;
+                div_out[ob + l] = div;
+                l += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn vorticity(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        u: &[f64],
+        out: &mut [f64],
+        vertices: Range<usize>,
+    ) {
+        let off = vertices.start;
+        for v in vertices {
+            let ob = (v - off) * k;
+            let area = _mm256_set1_pd(mesh.area_triangle[v]);
+            let mut l = 0;
+            while l + 4 <= k {
+                let mut circ = _mm256_setzero_pd();
+                for j in 0..3 {
+                    let e = mesh.edges_on_vertex[v][j] as usize;
+                    let c = _mm256_set1_pd(kc.vort_sign_dc[v][j]);
+                    circ = _mm256_add_pd(circ, _mm256_mul_pd(c, ld(u, e * k + l)));
+                }
+                st(out, ob + l, _mm256_div_pd(circ, area));
+                l += 4;
+            }
+            while l < k {
+                out[ob + l] = vorticity_lane(mesh, kc, k, v, l, u);
+                l += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn vorticity_pv(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        u: &[f64],
+        h: &[f64],
+        f_vertex: &[f64],
+        vort_out: &mut [f64],
+        pv_out: &mut [f64],
+        vertices: Range<usize>,
+    ) {
+        let off = vertices.start;
+        for v in vertices {
+            let ob = (v - off) * k;
+            let area = _mm256_set1_pd(mesh.area_triangle[v]);
+            let fv = _mm256_set1_pd(f_vertex[v]);
+            let mut l = 0;
+            while l + 4 <= k {
+                let mut circ = _mm256_setzero_pd();
+                let mut hv = _mm256_setzero_pd();
+                for j in 0..3 {
+                    let e = mesh.edges_on_vertex[v][j] as usize;
+                    let c = mesh.cells_on_vertex[v][j] as usize;
+                    let sd = _mm256_set1_pd(kc.vort_sign_dc[v][j]);
+                    let w = _mm256_set1_pd(mesh.kite_areas_on_vertex[v][j]);
+                    circ = _mm256_add_pd(circ, _mm256_mul_pd(sd, ld(u, e * k + l)));
+                    hv = _mm256_add_pd(hv, _mm256_mul_pd(w, ld(h, c * k + l)));
+                }
+                let z = _mm256_div_pd(circ, area);
+                st(vort_out, ob + l, z);
+                hv = _mm256_div_pd(hv, area);
+                st(pv_out, ob + l, _mm256_div_pd(_mm256_add_pd(fv, z), hv));
+                l += 4;
+            }
+            while l < k {
+                let z = vorticity_lane(mesh, kc, k, v, l, u);
+                vort_out[ob + l] = z;
+                pv_out[ob + l] = pv_from_vort_lane(mesh, k, v, l, h, f_vertex, z);
+                l += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn kite_average(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        vertex_field: &[f64],
+        out: &mut [f64],
+        cells: Range<usize>,
+    ) {
+        let off = cells.start;
+        for i in cells {
+            let ob = (i - off) * k;
+            let area = _mm256_set1_pd(mesh.area_cell[i]);
+            let mut l = 0;
+            while l + 4 <= k {
+                let mut acc = _mm256_setzero_pd();
+                for slot in mesh.cell_range(i) {
+                    let v = mesh.vertices_on_cell[slot] as usize;
+                    let c = _mm256_set1_pd(kc.kite_cell[slot]);
+                    acc = _mm256_add_pd(acc, _mm256_mul_pd(c, ld(vertex_field, v * k + l)));
+                }
+                st(out, ob + l, _mm256_div_pd(acc, area));
+                l += 4;
+            }
+            while l < k {
+                out[ob + l] = kite_average_lane(mesh, kc, k, i, l, vertex_field);
+                l += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn pv_vertex(
+        mesh: &Mesh,
+        k: usize,
+        h: &[f64],
+        vorticity: &[f64],
+        f_vertex: &[f64],
+        out: &mut [f64],
+        vertices: Range<usize>,
+    ) {
+        let off = vertices.start;
+        for v in vertices {
+            let ob = (v - off) * k;
+            let area = _mm256_set1_pd(mesh.area_triangle[v]);
+            let fv = _mm256_set1_pd(f_vertex[v]);
+            let mut l = 0;
+            while l + 4 <= k {
+                let mut hv = _mm256_setzero_pd();
+                for j in 0..3 {
+                    let c = mesh.cells_on_vertex[v][j] as usize;
+                    let w = _mm256_set1_pd(mesh.kite_areas_on_vertex[v][j]);
+                    hv = _mm256_add_pd(hv, _mm256_mul_pd(w, ld(h, c * k + l)));
+                }
+                hv = _mm256_div_pd(hv, area);
+                let num = _mm256_add_pd(fv, ld(vorticity, v * k + l));
+                st(out, ob + l, _mm256_div_pd(num, hv));
+                l += 4;
+            }
+            while l < k {
+                out[ob + l] = pv_vertex_lane(mesh, k, v, l, h, vorticity, f_vertex);
+                l += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn pv_edge(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        apvm_factor: f64,
+        dt: f64,
+        pv_vertex: &[f64],
+        pv_cell: &[f64],
+        u: &[f64],
+        v: &[f64],
+        out: &mut [f64],
+        edges: Range<usize>,
+    ) {
+        let off = edges.start;
+        let half = _mm256_set1_pd(0.5);
+        let adt = _mm256_set1_pd(apvm_factor * dt);
+        for e in edges {
+            let [v1, v2] = mesh.vertices_on_edge[e];
+            let [c1, c2] = mesh.cells_on_edge[e];
+            let (v1b, v2b) = (v1 as usize * k, v2 as usize * k);
+            let (c1b, c2b) = (c1 as usize * k, c2 as usize * k);
+            let ob = (e - off) * k;
+            let idv = _mm256_set1_pd(kc.inv_dv[e]);
+            let idc = _mm256_set1_pd(kc.inv_dc[e]);
+            let mut l = 0;
+            while l + 4 <= k {
+                let p1 = ld(pv_vertex, v1b + l);
+                let p2 = ld(pv_vertex, v2b + l);
+                let base = _mm256_mul_pd(half, _mm256_add_pd(p1, p2));
+                let grad_t = _mm256_mul_pd(_mm256_sub_pd(p2, p1), idv);
+                let grad_n = _mm256_mul_pd(
+                    _mm256_sub_pd(ld(pv_cell, c2b + l), ld(pv_cell, c1b + l)),
+                    idc,
+                );
+                let upwind = _mm256_add_pd(
+                    _mm256_mul_pd(ld(u, e * k + l), grad_n),
+                    _mm256_mul_pd(ld(v, e * k + l), grad_t),
+                );
+                st(out, ob + l, _mm256_sub_pd(base, _mm256_mul_pd(adt, upwind)));
+                l += 4;
+            }
+            while l < k {
+                out[ob + l] =
+                    pv_edge_lane(mesh, kc, k, e, l, apvm_factor, dt, pv_vertex, pv_cell, u, v);
+                l += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn tend_u(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        gravity: f64,
+        pv_edge: &[f64],
+        u: &[f64],
+        h_edge: &[f64],
+        ke: &[f64],
+        h: &[f64],
+        b: &[f64],
+        out: &mut [f64],
+        edges: Range<usize>,
+    ) {
+        let off = edges.start;
+        let g = _mm256_set1_pd(gravity);
+        for e in edges {
+            let [c1, c2] = mesh.cells_on_edge[e];
+            let (c1, c2) = (c1 as usize, c2 as usize);
+            let ob = (e - off) * k;
+            let idc = _mm256_set1_pd(kc.inv_dc[e]);
+            let b1 = _mm256_set1_pd(b[c1]);
+            let b2 = _mm256_set1_pd(b[c2]);
+            let mut l = 0;
+            while l + 4 <= k {
+                let pe = ld(pv_edge, e * k + l);
+                let mut q = _mm256_setzero_pd();
+                for slot in mesh.eoe_range(e) {
+                    let eoe = mesh.edges_on_edge[slot] as usize;
+                    let w = _mm256_set1_pd(kc.half_weights[slot]);
+                    let t = _mm256_mul_pd(
+                        _mm256_mul_pd(
+                            _mm256_mul_pd(w, ld(u, eoe * k + l)),
+                            ld(h_edge, eoe * k + l),
+                        ),
+                        _mm256_add_pd(pe, ld(pv_edge, eoe * k + l)),
+                    );
+                    q = _mm256_add_pd(q, t);
+                }
+                // (ke2 − ke1 + g·(h2 + b2 − h1 − b1)) · 1/dc, replaying
+                // the scalar association term by term.
+                let hb = _mm256_sub_pd(
+                    _mm256_sub_pd(_mm256_add_pd(ld(h, c2 * k + l), b2), ld(h, c1 * k + l)),
+                    b1,
+                );
+                let grad = _mm256_mul_pd(
+                    _mm256_add_pd(
+                        _mm256_sub_pd(ld(ke, c2 * k + l), ld(ke, c1 * k + l)),
+                        _mm256_mul_pd(g, hb),
+                    ),
+                    idc,
+                );
+                st(out, ob + l, _mm256_sub_pd(q, grad));
+                l += 4;
+            }
+            while l < k {
+                out[ob + l] = tend_u_lane(mesh, kc, k, e, l, gravity, pv_edge, u, h_edge, ke, h, b);
+                l += 1;
+            }
+        }
+    }
+
+    /// Vector `d − z` core of the C1 family at lanes `l..l+4` of edge `e`.
+    #[inline(always)]
+    unsafe fn del_core(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        e: usize,
+        l: usize,
+        div: &[f64],
+        vort: &[f64],
+    ) -> __m256d {
+        let [c1, c2] = mesh.cells_on_edge[e];
+        let [v1, v2] = mesh.vertices_on_edge[e];
+        let d = _mm256_mul_pd(
+            _mm256_sub_pd(ld(div, c2 as usize * k + l), ld(div, c1 as usize * k + l)),
+            _mm256_set1_pd(kc.inv_dc[e]),
+        );
+        let z = _mm256_mul_pd(
+            _mm256_sub_pd(ld(vort, v2 as usize * k + l), ld(vort, v1 as usize * k + l)),
+            _mm256_set1_pd(kc.inv_dv[e]),
+        );
+        _mm256_sub_pd(d, z)
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn tend_u_del2(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        nu: f64,
+        divergence: &[f64],
+        vorticity: &[f64],
+        out: &mut [f64],
+        edges: Range<usize>,
+    ) {
+        let off = edges.start;
+        let nuv = _mm256_set1_pd(nu);
+        for e in edges {
+            let ob = (e - off) * k;
+            let mut l = 0;
+            while l + 4 <= k {
+                let core = del_core(mesh, kc, k, e, l, divergence, vorticity);
+                let cur = ld(out, ob + l);
+                st(out, ob + l, _mm256_add_pd(cur, _mm256_mul_pd(nuv, core)));
+                l += 4;
+            }
+            while l < k {
+                out[ob + l] += nu * del_core_lane(mesh, kc, k, e, l, divergence, vorticity);
+                l += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn lap_u(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        divergence: &[f64],
+        vorticity: &[f64],
+        out: &mut [f64],
+        edges: Range<usize>,
+    ) {
+        let off = edges.start;
+        for e in edges {
+            let ob = (e - off) * k;
+            let mut l = 0;
+            while l + 4 <= k {
+                let core = del_core(mesh, kc, k, e, l, divergence, vorticity);
+                st(out, ob + l, core);
+                l += 4;
+            }
+            while l < k {
+                out[ob + l] = del_core_lane(mesh, kc, k, e, l, divergence, vorticity);
+                l += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn tend_u_del4(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        nu4: f64,
+        div_lap: &[f64],
+        vort_lap: &[f64],
+        out: &mut [f64],
+        edges: Range<usize>,
+    ) {
+        let off = edges.start;
+        let nuv = _mm256_set1_pd(nu4);
+        for e in edges {
+            let ob = (e - off) * k;
+            let mut l = 0;
+            while l + 4 <= k {
+                let core = del_core(mesh, kc, k, e, l, div_lap, vort_lap);
+                let cur = ld(out, ob + l);
+                st(out, ob + l, _mm256_sub_pd(cur, _mm256_mul_pd(nuv, core)));
+                l += 4;
+            }
+            while l < k {
+                out[ob + l] -= nu4 * del_core_lane(mesh, kc, k, e, l, div_lap, vort_lap);
+                l += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn d2fdx2(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        h: &[f64],
+        out1: &mut [f64],
+        out2: &mut [f64],
+        edges: Range<usize>,
+    ) {
+        #[inline(always)]
+        unsafe fn lap(
+            mesh: &Mesh,
+            kc: &KernelCoeffs,
+            k: usize,
+            c: usize,
+            l: usize,
+            h: &[f64],
+        ) -> __m256d {
+            let mut acc = _mm256_setzero_pd();
+            let hc = ld(h, c * k + l);
+            for slot in mesh.cell_range(c) {
+                let nb = mesh.cells_on_cell[slot] as usize;
+                let g = _mm256_set1_pd(kc.grad_ratio[slot]);
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_sub_pd(ld(h, nb * k + l), hc), g));
+            }
+            _mm256_div_pd(acc, _mm256_set1_pd(mesh.area_cell[c]))
+        }
+        let off = edges.start;
+        for e in edges {
+            let [c1, c2] = mesh.cells_on_edge[e];
+            let ob = (e - off) * k;
+            let mut l = 0;
+            while l + 4 <= k {
+                st(out1, ob + l, lap(mesh, kc, k, c1 as usize, l, h));
+                st(out2, ob + l, lap(mesh, kc, k, c2 as usize, l, h));
+                l += 4;
+            }
+            while l < k {
+                out1[ob + l] = d2fdx2_cell_lane(mesh, kc, k, c1 as usize, l, h);
+                out2[ob + l] = d2fdx2_cell_lane(mesh, kc, k, c2 as usize, l, h);
+                l += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn h_edge(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        config: &ModelConfig,
+        k: usize,
+        h: &[f64],
+        d2fdx2_cell1: &[f64],
+        d2fdx2_cell2: &[f64],
+        out: &mut [f64],
+        edges: Range<usize>,
+    ) {
+        let off = edges.start;
+        let half = _mm256_set1_pd(0.5);
+        if config.high_order_h_edge {
+            for e in edges {
+                let [c1, c2] = mesh.cells_on_edge[e];
+                let (c1b, c2b) = (c1 as usize * k, c2 as usize * k);
+                let ob = (e - off) * k;
+                let eb = e * k;
+                let blend = _mm256_set1_pd(kc.dc2_12[e] * 0.5);
+                let mut l = 0;
+                while l + 4 <= k {
+                    let avg = _mm256_mul_pd(half, _mm256_add_pd(ld(h, c1b + l), ld(h, c2b + l)));
+                    let d2 = _mm256_add_pd(ld(d2fdx2_cell1, eb + l), ld(d2fdx2_cell2, eb + l));
+                    st(out, ob + l, _mm256_sub_pd(avg, _mm256_mul_pd(blend, d2)));
+                    l += 4;
+                }
+                while l < k {
+                    out[ob + l] = 0.5 * (h[c1b + l] + h[c2b + l])
+                        - kc.dc2_12[e] * 0.5 * (d2fdx2_cell1[eb + l] + d2fdx2_cell2[eb + l]);
+                    l += 1;
+                }
+            }
+        } else {
+            for e in edges {
+                let [c1, c2] = mesh.cells_on_edge[e];
+                let (c1b, c2b) = (c1 as usize * k, c2 as usize * k);
+                let ob = (e - off) * k;
+                let mut l = 0;
+                while l + 4 <= k {
+                    let avg = _mm256_mul_pd(half, _mm256_add_pd(ld(h, c1b + l), ld(h, c2b + l)));
+                    st(out, ob + l, avg);
+                    l += 4;
+                }
+                while l < k {
+                    out[ob + l] = 0.5 * (h[c1b + l] + h[c2b + l]);
+                    l += 1;
+                }
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn tangential_velocity(
+        mesh: &Mesh,
+        k: usize,
+        u: &[f64],
+        out: &mut [f64],
+        edges: Range<usize>,
+    ) {
+        let off = edges.start;
+        for e in edges {
+            let ob = (e - off) * k;
+            let mut l = 0;
+            while l + 4 <= k {
+                let mut acc = _mm256_setzero_pd();
+                for slot in mesh.eoe_range(e) {
+                    let eoe = mesh.edges_on_edge[slot] as usize;
+                    let w = _mm256_set1_pd(mesh.weights_on_edge[slot]);
+                    acc = _mm256_add_pd(acc, _mm256_mul_pd(w, ld(u, eoe * k + l)));
+                }
+                st(out, ob + l, acc);
+                l += 4;
+            }
+            while l < k {
+                out[ob + l] = tangential_velocity_lane(mesh, k, e, l, u);
+                l += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn tangential_pv_edge(
+        mesh: &Mesh,
+        kc: &KernelCoeffs,
+        k: usize,
+        apvm_factor: f64,
+        dt: f64,
+        pv_vertex: &[f64],
+        pv_cell: &[f64],
+        u: &[f64],
+        v_out: &mut [f64],
+        pv_edge_out: &mut [f64],
+        edges: Range<usize>,
+    ) {
+        let off = edges.start;
+        let half = _mm256_set1_pd(0.5);
+        let adt = _mm256_set1_pd(apvm_factor * dt);
+        for e in edges {
+            let [v1, v2] = mesh.vertices_on_edge[e];
+            let [c1, c2] = mesh.cells_on_edge[e];
+            let (v1b, v2b) = (v1 as usize * k, v2 as usize * k);
+            let (c1b, c2b) = (c1 as usize * k, c2 as usize * k);
+            let ob = (e - off) * k;
+            let idv = _mm256_set1_pd(kc.inv_dv[e]);
+            let idc = _mm256_set1_pd(kc.inv_dc[e]);
+            let mut l = 0;
+            while l + 4 <= k {
+                let mut tv = _mm256_setzero_pd();
+                for slot in mesh.eoe_range(e) {
+                    let eoe = mesh.edges_on_edge[slot] as usize;
+                    let w = _mm256_set1_pd(mesh.weights_on_edge[slot]);
+                    tv = _mm256_add_pd(tv, _mm256_mul_pd(w, ld(u, eoe * k + l)));
+                }
+                st(v_out, ob + l, tv);
+                let p1 = ld(pv_vertex, v1b + l);
+                let p2 = ld(pv_vertex, v2b + l);
+                let base = _mm256_mul_pd(half, _mm256_add_pd(p1, p2));
+                let grad_t = _mm256_mul_pd(_mm256_sub_pd(p2, p1), idv);
+                let grad_n = _mm256_mul_pd(
+                    _mm256_sub_pd(ld(pv_cell, c2b + l), ld(pv_cell, c1b + l)),
+                    idc,
+                );
+                let upwind = _mm256_add_pd(
+                    _mm256_mul_pd(ld(u, e * k + l), grad_n),
+                    _mm256_mul_pd(tv, grad_t),
+                );
+                st(
+                    pv_edge_out,
+                    ob + l,
+                    _mm256_sub_pd(base, _mm256_mul_pd(adt, upwind)),
+                );
+                l += 4;
+            }
+            while l < k {
+                let tv = tangential_velocity_lane(mesh, k, e, l, u);
+                v_out[ob + l] = tv;
+                pv_edge_out[ob + l] = pv_edge_from_v_lane(
+                    mesh,
+                    kc,
+                    k,
+                    e,
+                    l,
+                    apvm_factor,
+                    dt,
+                    pv_vertex,
+                    pv_cell,
+                    u,
+                    tv,
+                );
+                l += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::fused;
+
+    fn setup(k: usize) -> (Mesh, KernelCoeffs, Vec<f64>, Vec<f64>) {
+        let mesh = mpas_mesh::generate(3, 0);
+        let config = ModelConfig {
+            n_tracers: 1,
+            high_order_h_edge: true,
+            ..Default::default()
+        };
+        let kc = KernelCoeffs::build(&mesh, &config);
+        let u: Vec<f64> = (0..mesh.n_edges() * k)
+            .map(|x| (x as f64 * 0.37).sin())
+            .collect();
+        let h_edge: Vec<f64> = (0..mesh.n_edges() * k)
+            .map(|x| 1000.0 + (x as f64 * 0.11).cos())
+            .collect();
+        (mesh, kc, u, h_edge)
+    }
+
+    #[test]
+    fn k1_matches_fused_bitwise() {
+        // At one layer the layered arrays ARE flat arrays, so the simd
+        // tier must reproduce the fused tier bit for bit in both modes.
+        let (mesh, kc, u, he) = setup(1);
+        let nc = mesh.n_cells();
+        let mut want = vec![0.0; nc];
+        fused::tend_h(&mesh, &kc, &u, &he, &mut want, 0..nc);
+        for mode in [SimdMode::Batch, SimdMode::Avx2] {
+            let mut got = vec![0.0; nc];
+            tend_h_with(mode, &mesh, &kc, 1, &u, &he, &mut got, 0..nc);
+            assert_eq!(want, got, "mode {:?}", mode);
+        }
+        let mut want_ke = vec![0.0; nc];
+        fused::ke(&mesh, &kc, &u, &mut want_ke, 0..nc);
+        let mut got_ke = vec![0.0; nc];
+        ke(&mesh, &kc, 1, &u, &mut got_ke, 0..nc);
+        assert_eq!(want_ke, got_ke);
+    }
+
+    #[test]
+    fn avx2_matches_batch_bitwise_across_k() {
+        // The no-FMA AVX2 chunks must agree with the scalar-batch lanes
+        // exactly, including the ragged tail (k = 7 exercises 4 + 3).
+        for k in [1usize, 4, 7] {
+            let (mesh, kc, u, he) = setup(k);
+            let nc = mesh.n_cells();
+            let ne = mesh.n_edges();
+            let mut a = vec![0.0; nc * k];
+            let mut b = vec![0.0; nc * k];
+            tend_h_with(SimdMode::Batch, &mesh, &kc, k, &u, &he, &mut a, 0..nc);
+            tend_h_with(SimdMode::Avx2, &mesh, &kc, k, &u, &he, &mut b, 0..nc);
+            assert_eq!(a, b, "tend_h k={k}");
+            let mut ta = vec![0.0; ne * k];
+            let mut tb = vec![0.0; ne * k];
+            tangential_velocity_with(SimdMode::Batch, &mesh, k, &u, &mut ta, 0..ne);
+            tangential_velocity_with(SimdMode::Avx2, &mesh, k, &u, &mut tb, 0..ne);
+            assert_eq!(ta, tb, "tangential k={k}");
+        }
+    }
+
+    #[test]
+    fn per_lane_matches_fused_per_layer() {
+        // Extract one lane of a k=4 layered run; it must equal a flat
+        // fused run over that layer's fields bitwise.
+        let k = 4;
+        let (mesh, kc, u, he) = setup(k);
+        let nc = mesh.n_cells();
+        let mut layered = vec![0.0; nc * k];
+        tend_h(&mesh, &kc, k, &u, &he, &mut layered, 0..nc);
+        for l in 0..k {
+            let ul: Vec<f64> = (0..mesh.n_edges()).map(|e| u[e * k + l]).collect();
+            let hel: Vec<f64> = (0..mesh.n_edges()).map(|e| he[e * k + l]).collect();
+            let mut flat = vec![0.0; nc];
+            fused::tend_h(&mesh, &kc, &ul, &hel, &mut flat, 0..nc);
+            for i in 0..nc {
+                assert_eq!(layered[i * k + l], flat[i], "lane {l} cell {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_sweeps_match_their_unfused_pairs_bitwise() {
+        // The A2+B2, C2+E and H1+G fused sweeps must store exactly the
+        // bits of the standalone kernels, in both modes, tails included.
+        for k in [1usize, 4, 7] {
+            let (mesh, kc, u, he) = setup(k);
+            let nc = mesh.n_cells();
+            let ne = mesh.n_edges();
+            let nv = mesh.n_vertices();
+            let h: Vec<f64> = he[..nc * k].to_vec();
+            let f_vertex: Vec<f64> = (0..nv).map(|v| 1e-4 + v as f64 * 1e-9).collect();
+
+            let mut want_ke = vec![0.0; nc * k];
+            let mut want_div = vec![0.0; nc * k];
+            ke(&mesh, &kc, k, &u, &mut want_ke, 0..nc);
+            divergence(&mesh, &kc, k, &u, &mut want_div, 0..nc);
+            let mut want_vort = vec![0.0; nv * k];
+            vorticity(&mesh, &kc, k, &u, &mut want_vort, 0..nv);
+            let mut want_pv = vec![0.0; nv * k];
+            pv_vertex(&mesh, k, &h, &want_vort, &f_vertex, &mut want_pv, 0..nv);
+            let mut want_pvc = vec![0.0; nc * k];
+            kite_average(&mesh, &kc, k, &want_pv, &mut want_pvc, 0..nc);
+            let mut want_v = vec![0.0; ne * k];
+            tangential_velocity(&mesh, k, &u, &mut want_v, 0..ne);
+            let mut want_pve = vec![0.0; ne * k];
+            pv_edge(
+                &mesh,
+                &kc,
+                k,
+                0.5,
+                100.0,
+                &want_pv,
+                &want_pvc,
+                &u,
+                &want_v,
+                &mut want_pve,
+                0..ne,
+            );
+
+            for mode in [SimdMode::Batch, SimdMode::Avx2] {
+                let mut got_ke = vec![0.0; nc * k];
+                let mut got_div = vec![0.0; nc * k];
+                ke_divergence_with(mode, &mesh, &kc, k, &u, &mut got_ke, &mut got_div, 0..nc);
+                assert_eq!(want_ke, got_ke, "ke k={k} {mode:?}");
+                assert_eq!(want_div, got_div, "divergence k={k} {mode:?}");
+
+                let mut got_vort = vec![0.0; nv * k];
+                let mut got_pv = vec![0.0; nv * k];
+                vorticity_pv_with(
+                    mode,
+                    &mesh,
+                    &kc,
+                    k,
+                    &u,
+                    &h,
+                    &f_vertex,
+                    &mut got_vort,
+                    &mut got_pv,
+                    0..nv,
+                );
+                assert_eq!(want_vort, got_vort, "vorticity k={k} {mode:?}");
+                assert_eq!(want_pv, got_pv, "pv_vertex k={k} {mode:?}");
+
+                let mut got_v = vec![0.0; ne * k];
+                let mut got_pve = vec![0.0; ne * k];
+                tangential_pv_edge_with(
+                    mode,
+                    &mesh,
+                    &kc,
+                    k,
+                    0.5,
+                    100.0,
+                    &want_pv,
+                    &want_pvc,
+                    &u,
+                    &mut got_v,
+                    &mut got_pve,
+                    0..ne,
+                );
+                assert_eq!(want_v, got_v, "tangential k={k} {mode:?}");
+                assert_eq!(want_pve, got_pve, "pv_edge k={k} {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_accumulate_matches_separate_passes() {
+        let n = 257;
+        let base: Vec<f64> = (0..n).map(|x| (x as f64 * 0.7).sin()).collect();
+        let tend: Vec<f64> = (0..n).map(|x| (x as f64 * 0.3).cos()).collect();
+        let (coef, weight) = (0.5 * 91.0, 91.0 / 6.0);
+        let mut want_out = vec![0.0; n];
+        let mut want_acc: Vec<f64> = base.iter().map(|b| b * 1.25).collect();
+        axpy(1, &base, &tend, coef, &mut want_out, 0..n);
+        accumulate(1, &tend, weight, &mut want_acc, 0..n);
+        let mut got_out = vec![0.0; n];
+        let mut got_acc: Vec<f64> = base.iter().map(|b| b * 1.25).collect();
+        axpy_accumulate(
+            1,
+            &base,
+            &tend,
+            coef,
+            weight,
+            &mut got_out,
+            &mut got_acc,
+            0..n,
+        );
+        assert_eq!(want_out, got_out);
+        assert_eq!(want_acc, got_acc);
+    }
+
+    #[test]
+    fn block_ranges_tile_exactly() {
+        for (n, b) in [(10, 3), (10, 1), (10, 10), (10, 100), (0, 4), (7, 7)] {
+            let mut seen = vec![0usize; n];
+            let mut last_end = 0;
+            for r in block_ranges(n, b) {
+                assert_eq!(r.start, last_end, "blocks must be consecutive");
+                last_end = r.end;
+                for i in r {
+                    seen[i] += 1;
+                }
+            }
+            assert_eq!(last_end, n);
+            assert!(seen.iter().all(|&c| c == 1), "n={n} b={b}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_sweep_is_bitwise_identical() {
+        let k = 4;
+        let (mesh, kc, u, he) = setup(k);
+        let nc = mesh.n_cells();
+        let mut full = vec![0.0; nc * k];
+        tend_h(&mesh, &kc, k, &u, &he, &mut full, 0..nc);
+        for block in [1usize, 5, 64, nc, nc + 13] {
+            let mut tiled = vec![0.0; nc * k];
+            for r in block_ranges(nc, block) {
+                let (s, e) = (r.start, r.end);
+                tend_h(&mesh, &kc, k, &u, &he, &mut tiled[s * k..e * k], r);
+            }
+            assert_eq!(full, tiled, "block={block}");
+        }
+    }
+
+    #[test]
+    fn default_cell_block_is_sane() {
+        assert!(default_cell_block(1, 4) >= 64);
+        assert!(default_cell_block(4, 8) >= 64);
+        assert!(default_cell_block(1000, 1000) >= 64);
+        assert!(default_cell_block(1, 1) <= 1 << 20);
+    }
+}

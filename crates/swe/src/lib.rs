@@ -25,6 +25,8 @@
 //!   can slice them across devices. Includes the original scatter
 //!   (edge-order) forms used as the Fig. 6 baseline.
 //! * [`rk4`] — the RK-4 driver (Algorithm 1).
+//! * [`layers`] — the k-layer SoA state generalization and the serial
+//!   SIMD driver with cache-blocked sweeps (DESIGN.md §14).
 //! * [`model`] — a convenient single-address-space model facade.
 //! * [`testcases`] — Williamson et al. (1992) test cases 1–6 plus the
 //!   Galewsky et al. (2004) barotropic-instability case and passive
@@ -38,6 +40,7 @@ pub mod checkpoint;
 pub mod coeffs;
 pub mod config;
 pub mod kernels;
+pub mod layers;
 pub mod model;
 pub mod norms;
 pub mod reconstruct;
@@ -49,7 +52,8 @@ pub mod validation;
 
 pub use checkpoint::{load_state, save_state};
 pub use coeffs::KernelCoeffs;
-pub use config::ModelConfig;
+pub use config::{KernelBackend, ModelConfig};
+pub use layers::{layer_h_scale, LayeredModel, LayeredState};
 pub use model::ShallowWaterModel;
 pub use norms::ErrorNorms;
 pub use reconstruct::ReconstructCoeffs;

@@ -34,15 +34,11 @@ pub fn compute_equilibrium_forcing(
     let bg = test_case.background_state(mesh);
     let mut diag = Diagnostics::zeros(mesh);
     let mut tend = Tendencies::zeros(mesh);
-    if config.fused_coeffs {
-        kernels::compute_solve_diagnostics_fused(
-            mesh, config, kc, &bg.h, &bg.u, f_vertex, dt, &mut diag,
-        );
-        kernels::compute_tend_fused(mesh, config, kc, &bg.h, &bg.u, b, &diag, &mut tend);
-    } else {
-        kernels::compute_solve_diagnostics(mesh, config, &bg.h, &bg.u, f_vertex, dt, &mut diag);
-        kernels::compute_tend(mesh, config, &bg.h, &bg.u, b, &diag, &mut tend);
-    }
+    let backend = config.kernel_backend;
+    kernels::compute_solve_diagnostics_backend(
+        backend, mesh, config, kc, &bg.h, &bg.u, f_vertex, dt, &mut diag,
+    );
+    kernels::compute_tend_backend(backend, mesh, config, kc, &bg.h, &bg.u, b, &diag, &mut tend);
     for x in tend.tend_h.iter_mut().chain(tend.tend_u.iter_mut()) {
         *x = -*x;
     }
@@ -69,9 +65,10 @@ pub struct ShallowWaterModel {
     pub f_vertex: Vec<f64>,
     /// Velocity-reconstruction coefficients.
     pub coeffs: ReconstructCoeffs,
-    /// Precomputed fused kernel coefficients (used when
-    /// `config.fused_coeffs` is set). Shared so multi-tenant servers can
-    /// reuse one table across concurrent models on the same mesh/config.
+    /// Precomputed fused kernel coefficients (used by the fused and simd
+    /// backends of `config.kernel_backend`). Shared so multi-tenant
+    /// servers can reuse one table across concurrent models on the same
+    /// mesh/config.
     pub kernel_coeffs: Arc<KernelCoeffs>,
     /// Fixed forcing tendency for forced cases (Williamson 4): the
     /// discrete negation of the background jet's tendency, computed once
@@ -111,22 +108,17 @@ impl ShallowWaterModel {
             shared_coeffs.unwrap_or_else(|| Arc::new(KernelCoeffs::build(&mesh, &config)));
         let dt = dt.unwrap_or_else(|| ModelConfig::suggested_dt(&mesh));
         let mut diag = Diagnostics::zeros(&mesh);
-        if config.fused_coeffs {
-            kernels::compute_solve_diagnostics_fused(
-                &mesh,
-                &config,
-                &kernel_coeffs,
-                &state.h,
-                &state.u,
-                &f_vertex,
-                dt,
-                &mut diag,
-            );
-        } else {
-            kernels::compute_solve_diagnostics(
-                &mesh, &config, &state.h, &state.u, &f_vertex, dt, &mut diag,
-            );
-        }
+        kernels::compute_solve_diagnostics_backend(
+            config.kernel_backend,
+            &mesh,
+            &config,
+            &kernel_coeffs,
+            &state.h,
+            &state.u,
+            &f_vertex,
+            dt,
+            &mut diag,
+        );
         let mut recon = Reconstruction::zeros(&mesh);
         kernels::mpas_reconstruct(&mesh, &coeffs, &state.u, &mut recon);
         let ws = Rk4Workspace::new(&mesh);
@@ -227,28 +219,17 @@ impl ShallowWaterModel {
     /// Recompute the diagnostics from the current prognostic state (needed
     /// after externally mutating `state` or `dt`).
     pub fn refresh_diagnostics(&mut self) {
-        if self.config.fused_coeffs {
-            kernels::compute_solve_diagnostics_fused(
-                &self.mesh,
-                &self.config,
-                &self.kernel_coeffs,
-                &self.state.h,
-                &self.state.u,
-                &self.f_vertex,
-                self.dt,
-                &mut self.diag,
-            );
-        } else {
-            kernels::compute_solve_diagnostics(
-                &self.mesh,
-                &self.config,
-                &self.state.h,
-                &self.state.u,
-                &self.f_vertex,
-                self.dt,
-                &mut self.diag,
-            );
-        }
+        kernels::compute_solve_diagnostics_backend(
+            self.config.kernel_backend,
+            &self.mesh,
+            &self.config,
+            &self.kernel_coeffs,
+            &self.state.h,
+            &self.state.u,
+            &self.f_vertex,
+            self.dt,
+            &mut self.diag,
+        );
     }
 
     /// One CFL-monitored adaptive step: measure the Courant number of the

@@ -70,62 +70,37 @@ pub fn rk4_step(
     }
     ws.acc.copy_from(state);
     ws.provis.copy_from(state);
-    let fused = config.fused_coeffs;
+    let backend = config.kernel_backend;
     let solve_diag = |h: &[f64], u: &[f64], diag: &mut Diagnostics| {
-        if fused {
-            kernels::compute_solve_diagnostics_fused(
-                mesh, config, kcoeffs, h, u, f_vertex, dt, diag,
-            );
-        } else {
-            kernels::compute_solve_diagnostics(mesh, config, h, u, f_vertex, dt, diag);
-        }
+        kernels::compute_solve_diagnostics_backend(
+            backend, mesh, config, kcoeffs, h, u, f_vertex, dt, diag,
+        );
     };
 
     for stage in 0..4 {
         // compute_tend on the provisional state and its diagnostics.
-        if fused {
-            kernels::compute_tend_fused(
+        kernels::compute_tend_backend(
+            backend,
+            mesh,
+            config,
+            kcoeffs,
+            &ws.provis.h,
+            &ws.provis.u,
+            b,
+            diag,
+            &mut ws.tend,
+        );
+        if !ws.provis.tracers.is_empty() {
+            kernels::compute_tend_tracers_backend(
+                backend,
                 mesh,
-                config,
                 kcoeffs,
                 &ws.provis.h,
                 &ws.provis.u,
-                b,
                 diag,
+                &ws.provis.tracers,
                 &mut ws.tend,
             );
-        } else {
-            kernels::compute_tend(
-                mesh,
-                config,
-                &ws.provis.h,
-                &ws.provis.u,
-                b,
-                diag,
-                &mut ws.tend,
-            );
-        }
-        if !ws.provis.tracers.is_empty() {
-            if fused {
-                kernels::compute_tend_tracers_fused(
-                    mesh,
-                    kcoeffs,
-                    &ws.provis.h,
-                    &ws.provis.u,
-                    diag,
-                    &ws.provis.tracers,
-                    &mut ws.tend,
-                );
-            } else {
-                kernels::compute_tend_tracers(
-                    mesh,
-                    &ws.provis.h,
-                    &ws.provis.u,
-                    diag,
-                    &ws.provis.tracers,
-                    &mut ws.tend,
-                );
-            }
         }
         if let Some(f) = forcing {
             kernels::apply_forcing(mesh, f, &mut ws.tend);

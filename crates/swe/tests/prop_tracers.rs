@@ -11,10 +11,10 @@
 //!   degenerates to the continuity equation, and `h·q` tracks `h`; no new
 //!   concentration extrema appear.
 //!
-//! Both hold on random mesh levels and Lloyd relaxations, for both kernel
-//! variants (baseline and fused-coefficient), and for any tracer count.
+//! Both hold on random mesh levels and Lloyd relaxations, for every kernel
+//! backend (scalar, fused, simd), and for any tracer count.
 
-use mpas_swe::{ModelConfig, ShallowWaterModel, TestCase};
+use mpas_swe::{KernelBackend, ModelConfig, ShallowWaterModel, TestCase};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -28,13 +28,13 @@ proptest! {
         lloyd in 0u32..2,
         n_tracers in 1usize..4,
         steps in 1usize..8,
-        fused in proptest::bool::ANY,
+        backend_i in 0usize..KernelBackend::ALL.len(),
         case5 in proptest::bool::ANY,
     ) {
         let mesh = Arc::new(mpas_mesh::generate(level, lloyd));
         let cfg = ModelConfig {
             n_tracers,
-            fused_coeffs: fused,
+            kernel_backend: KernelBackend::ALL[backend_i],
             ..Default::default()
         };
         let tc = if case5 { TestCase::Case5 } else { TestCase::Case6 };
@@ -57,12 +57,12 @@ proptest! {
         level in 2u32..4,
         lloyd in 0u32..2,
         steps in 1usize..6,
-        fused in proptest::bool::ANY,
+        backend_i in 0usize..KernelBackend::ALL.len(),
     ) {
         let mesh = Arc::new(mpas_mesh::generate(level, lloyd));
         let cfg = ModelConfig {
             n_tracers: 1,
-            fused_coeffs: fused,
+            kernel_backend: KernelBackend::ALL[backend_i],
             ..Default::default()
         };
         let mut m = ShallowWaterModel::new(mesh, cfg, TestCase::Case5, None);

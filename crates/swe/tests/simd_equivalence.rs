@@ -1,0 +1,192 @@
+//! The PR-9 kernel-tier equivalence matrix (DESIGN.md §14).
+//!
+//! The simd tier batches vertically: each layer lane replays the fused
+//! tier's arithmetic in the fused tier's order, so there are no reordered
+//! reductions anywhere in the backend — equality is *bitwise*, not
+//! approximate, and these tests assert exactly that:
+//!
+//! * flat (`k = 1`) simd runs hash-match fused runs on every catalog
+//!   scenario;
+//! * layer 0 of a `k`-layer run hash-matches the flat fused run for
+//!   `k ∈ {1, 4, 7}`;
+//! * every deeper layer matches a flat fused run started from that layer's
+//!   perturbed initial state;
+//! * cache-block tiling is a pure traversal-order choice: any block size
+//!   produces bits identical to the untiled sweep, and the tiling visits
+//!   every index exactly once (property-tested).
+
+use mpas_swe::kernels::simd::block_ranges;
+use mpas_swe::layers::{layer_h_scale, LayeredModel};
+use mpas_swe::validation::CATALOG;
+use mpas_swe::{KernelBackend, ModelConfig, ShallowWaterModel};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const LEVEL: u32 = 4;
+const STEPS: usize = 3;
+
+fn state_bits(m: &ShallowWaterModel) -> Vec<u64> {
+    m.state
+        .h
+        .iter()
+        .chain(&m.state.u)
+        .chain(m.state.tracers.iter().flatten())
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+fn run_flat(
+    mesh: &Arc<mpas_mesh::Mesh>,
+    config: ModelConfig,
+    tc: mpas_swe::TestCase,
+) -> ShallowWaterModel {
+    let mut m = ShallowWaterModel::new(mesh.clone(), config, tc, None);
+    m.run_steps(STEPS);
+    m
+}
+
+#[test]
+fn flat_simd_matches_fused_bitwise_on_every_catalog_case() {
+    let mesh = Arc::new(mpas_mesh::generate(LEVEL, 0));
+    for sc in &CATALOG {
+        let fused = run_flat(&mesh, sc.config(), sc.test_case);
+        let simd = run_flat(
+            &mesh,
+            ModelConfig {
+                kernel_backend: KernelBackend::Simd,
+                ..sc.config()
+            },
+            sc.test_case,
+        );
+        assert_eq!(
+            state_bits(&fused),
+            state_bits(&simd),
+            "{}: flat simd diverged from fused",
+            sc.name
+        );
+    }
+}
+
+#[test]
+fn layered_runs_match_fused_bitwise_per_layer_across_k() {
+    let mesh = Arc::new(mpas_mesh::generate(LEVEL, 0));
+    for sc in &CATALOG {
+        // k = 7 on one representative scenario keeps the matrix fast; every
+        // scenario still runs k ∈ {1, 4}.
+        let ks: &[usize] = if sc.name == "williamson-5" {
+            &[1, 4, 7]
+        } else {
+            &[1, 4]
+        };
+        let fused = run_flat(&mesh, sc.config(), sc.test_case);
+        for &k in ks {
+            let cfg = ModelConfig {
+                kernel_backend: KernelBackend::Simd,
+                n_layers: k,
+                ..sc.config()
+            };
+            let mut layered = LayeredModel::new(mesh.clone(), cfg, sc.test_case, None);
+            layered.run_steps(STEPS);
+            let l0 = layered.extract_layer(0);
+            assert_eq!(
+                state_bits(&fused),
+                l0.h.iter()
+                    .chain(&l0.u)
+                    .chain(l0.tracers.iter().flatten())
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "{} k={k}: layer 0 diverged from the flat fused run",
+                sc.name
+            );
+        }
+    }
+}
+
+#[test]
+fn deeper_layers_match_flat_fused_runs_from_their_scaled_states() {
+    let mesh = Arc::new(mpas_mesh::generate(3, 0));
+    let tc = mpas_swe::TestCase::Case5;
+    let k = 4;
+    let cfg = ModelConfig {
+        kernel_backend: KernelBackend::Simd,
+        n_layers: k,
+        n_tracers: 1,
+        ..Default::default()
+    };
+    let mut layered = LayeredModel::new(mesh.clone(), cfg, tc, None);
+    let dt = layered.dt;
+    layered.run_steps(STEPS);
+    for l in 1..k {
+        let flat_cfg = ModelConfig {
+            n_tracers: 1,
+            ..Default::default()
+        };
+        let mut flat = ShallowWaterModel::new(mesh.clone(), flat_cfg, tc, Some(dt));
+        let s = layer_h_scale(l);
+        for h in flat.state.h.iter_mut() {
+            *h *= s;
+        }
+        for tr in flat.state.tracers.iter_mut() {
+            for q in tr.iter_mut() {
+                *q *= s;
+            }
+        }
+        flat.refresh_diagnostics();
+        flat.run_steps(STEPS);
+        let got = layered.extract_layer(l);
+        assert_eq!(
+            state_bits(&flat),
+            got.h
+                .iter()
+                .chain(&got.u)
+                .chain(got.tracers.iter().flatten())
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            "layer {l} diverged from its flat fused twin"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Tiling is exact: for any `n` and block size the emitted ranges
+    /// partition `0..n` — consecutive, disjoint, complete — so every cell
+    /// is visited exactly once no matter how the sweep is blocked.
+    #[test]
+    fn block_ranges_partition_the_index_space(n in 0usize..10_000, block in 1usize..2_048) {
+        let mut next = 0usize;
+        for r in block_ranges(n, block) {
+            prop_assert_eq!(r.start, next, "gap or overlap at {}", r.start);
+            prop_assert!(r.end > r.start, "empty block");
+            prop_assert!(r.end - r.start <= block, "oversized block");
+            next = r.end;
+        }
+        prop_assert_eq!(next, n, "tiling stopped short of n");
+    }
+
+    /// Block size is invisible in the bits: a layered run under any block
+    /// size equals the untiled (single-block) run exactly.
+    #[test]
+    fn any_block_size_matches_the_untiled_sweep_bitwise(
+        block in 1usize..4_096,
+        k in 1usize..5,
+        steps in 1usize..3,
+    ) {
+        let mesh = Arc::new(mpas_mesh::generate(2, 0));
+        let cfg = ModelConfig {
+            kernel_backend: KernelBackend::Simd,
+            n_layers: k,
+            ..Default::default()
+        };
+        let tc = mpas_swe::TestCase::Case5;
+        let mut untiled = LayeredModel::new(mesh.clone(), cfg, tc, None);
+        untiled.set_cell_block(usize::MAX);
+        untiled.run_steps(steps);
+        let mut tiled = LayeredModel::new(mesh.clone(), cfg, tc, None);
+        tiled.set_cell_block(block);
+        tiled.run_steps(steps);
+        prop_assert_eq!(untiled.state_hash(), tiled.state_hash(),
+            "block {} changed the bits", block);
+    }
+}

@@ -1,0 +1,113 @@
+//! Shared FNV-1a digest helper.
+//!
+//! Two consumers grew their own copies of the same 64-bit FNV-1a loop: the
+//! result hash `mpas_core::runner::state_hash` (tenants compare it to prove
+//! bitwise-identical runs) and the artifact-cache `config_digest` in
+//! `mpas-server` (coefficient tables are shared across jobs keyed by it).
+//! Both now fold their words through [`Fnv1a`], so the constants live in
+//! one place next to the metric names that also cross crate boundaries —
+//! and layered (k > 1) states hash every lane with the same primitive.
+//!
+//! The digest is deliberately *not* a cryptographic hash: it exists to make
+//! bitwise divergence between runs loud, not to resist adversaries.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental 64-bit FNV-1a hasher.
+///
+/// ```
+/// use mpas_telemetry::digest::Fnv1a;
+/// let mut d = Fnv1a::new();
+/// d.write_f64_slice(&[1.0, 2.0]);
+/// let a = d.finish();
+/// let mut e = Fnv1a::new();
+/// e.write_f64(1.0);
+/// e.write_f64(2.0);
+/// assert_eq!(a, e.finish());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Fold raw bytes into the digest.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Fold one word in little-endian byte order.
+    pub fn write_u64(&mut self, w: u64) {
+        self.write_bytes(&w.to_le_bytes());
+    }
+
+    /// Fold one float by its IEEE-754 bit pattern (bitwise, so `-0.0` and
+    /// `0.0` hash differently — exactly what a divergence detector wants).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Fold a whole field array, element order significant.
+    pub fn write_f64_slice(&mut self, vs: &[f64]) {
+        for &v in vs {
+            self.write_f64(v);
+        }
+    }
+
+    /// The digest accumulated so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Classic FNV-1a test vectors.
+        let mut d = Fnv1a::new();
+        d.write_bytes(b"");
+        assert_eq!(d.finish(), FNV_OFFSET);
+        let mut d = Fnv1a::new();
+        d.write_bytes(b"a");
+        assert_eq!(d.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut d = Fnv1a::new();
+        d.write_bytes(b"foobar");
+        assert_eq!(d.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn distinguishes_single_bit_flips() {
+        let mut a = Fnv1a::new();
+        a.write_f64_slice(&[1.0, 2.0, 3.0]);
+        let mut b = Fnv1a::new();
+        b.write_f64_slice(&[1.0, f64::from_bits(2.0f64.to_bits() ^ 1), 3.0]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn element_order_is_significant() {
+        let mut a = Fnv1a::new();
+        a.write_f64_slice(&[1.0, 2.0]);
+        let mut b = Fnv1a::new();
+        b.write_f64_slice(&[2.0, 1.0]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

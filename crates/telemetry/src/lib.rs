@@ -38,6 +38,7 @@
 //! buffers.
 
 pub mod analysis;
+pub mod digest;
 pub mod export;
 pub mod flight;
 pub mod gate;
