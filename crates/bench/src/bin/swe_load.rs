@@ -47,6 +47,7 @@ struct Args {
     bench_json: Option<PathBuf>,
     gate: Option<PathBuf>,
     gate_strict: bool,
+    history_dir: Option<PathBuf>,
     shutdown: bool,
     stream_out: Option<PathBuf>,
     stream_lines: usize,
@@ -66,6 +67,7 @@ fn parse_args() -> Args {
         bench_json: None,
         gate: None,
         gate_strict: false,
+        history_dir: None,
         shutdown: false,
         stream_out: None,
         stream_lines: 5,
@@ -86,6 +88,7 @@ fn parse_args() -> Args {
             "--bench-json" => args.bench_json = Some(PathBuf::from(val())),
             "--gate" => args.gate = Some(PathBuf::from(val())),
             "--gate-strict" => args.gate_strict = true,
+            "--history-dir" => args.history_dir = Some(PathBuf::from(val())),
             "--shutdown" => args.shutdown = true,
             "--stream-out" => args.stream_out = Some(PathBuf::from(val())),
             "--stream-lines" => args.stream_lines = val().parse().expect("stream-lines"),
@@ -95,8 +98,8 @@ fn parse_args() -> Args {
                     "usage: swe-load --addr HOST:PORT [--clients N] [--jobs M] \
                      [--level L] [--steps S] [--case 2|5|6] [--executor SPEC] \
                      [--policy NAME] [--bench-json FILE] [--gate BASELINE.json] \
-                     [--gate-strict] [--shutdown] [--stream-out FILE] \
-                     [--stream-lines N] [--flight-out FILE]"
+                     [--gate-strict] [--history-dir DIR] [--shutdown] \
+                     [--stream-out FILE] [--stream-lines N] [--flight-out FILE]"
                 );
                 std::process::exit(0);
             }
@@ -368,6 +371,44 @@ fn main() {
             .unwrap_or_else(|at| panic!("bench record is not valid JSON at byte {at}"));
         std::fs::write(path, &json).expect("write bench json");
         println!("wrote serve bench record to {}", path.display());
+    }
+
+    // Persist the percentile summary into the shared history store, so
+    // serving metrics are queryable (and diagnosable) alongside solver
+    // metrics. The manifest's backend axis is "serve": load runs only
+    // baseline against other load runs of the same shape.
+    if let Some(dir) = &args.history_dir {
+        use mpas_telemetry::store::{HistoryStore, RunManifest};
+        let rec = Recorder::new();
+        rec.set_gauge(names::SERVE_JOBS_PER_SEC, jobs_per_sec);
+        rec.set_gauge("serve.ttfs_p50_ms", ttfs_p50);
+        rec.set_gauge(names::SERVE_TTFS_P95_MS, ttfs_p95);
+        rec.set_gauge("serve.latency_p50_ms", lat_p50);
+        rec.set_gauge(names::SERVE_LATENCY_P95_MS, lat_p95);
+        rec.set_gauge(names::SERVE_LIVE_P50_MS, live_p50);
+        rec.set_gauge(names::SERVE_LIVE_P95_MS, live_p95);
+        let store = HistoryStore::open(dir).expect("open history store");
+        // The ranks axis carries the client count: two load runs are only
+        // comparable at equal concurrency.
+        let manifest = RunManifest::new(
+            &args.case,
+            args.level,
+            0,
+            "serve",
+            1,
+            &args.policy,
+            &args.executor,
+            args.clients,
+            args.steps,
+        );
+        let recorded = store
+            .record_recorder(&manifest, &rec, "")
+            .expect("record load run");
+        println!(
+            "history: recorded load run {} into {}",
+            recorded.run_id,
+            dir.display()
+        );
     }
 
     let mut exit_code = 0;

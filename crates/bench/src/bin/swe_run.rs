@@ -67,6 +67,7 @@ use mpas_telemetry::analysis::{
     Trace,
 };
 use mpas_telemetry::gate::{median_mad, Baseline, BaselineEntry, Direction, Severity};
+use mpas_telemetry::store::{HistoryStore, Retention, RunManifest};
 use mpas_telemetry::Recorder;
 use std::path::PathBuf;
 
@@ -92,6 +93,7 @@ struct Args {
     report_json: Option<PathBuf>,
     gate: Option<PathBuf>,
     gate_write: Option<PathBuf>,
+    history_dir: Option<PathBuf>,
     gate_strict: bool,
     gate_filter: Vec<String>,
     inject_mass_drift: f64,
@@ -123,6 +125,7 @@ fn parse_args() -> Args {
         report_json: None,
         gate: None,
         gate_write: None,
+        history_dir: None,
         gate_strict: false,
         gate_filter: Vec::new(),
         inject_mass_drift: 0.0,
@@ -172,6 +175,7 @@ fn parse_args() -> Args {
             "--report-json" => args.report_json = Some(PathBuf::from(val())),
             "--gate" => args.gate = Some(PathBuf::from(val())),
             "--gate-write" => args.gate_write = Some(PathBuf::from(val())),
+            "--history-dir" => args.history_dir = Some(PathBuf::from(val())),
             "--gate-strict" => args.gate_strict = true,
             "--gate-filter" => {
                 args.gate_filter
@@ -197,6 +201,7 @@ fn parse_args() -> Args {
                      [--report] [--report-json FILE.json] \
                      [--gate BASELINE.json] [--gate-write BASELINE.json] \
                      [--gate-strict] [--gate-filter PREFIX[,...]] \
+                     [--history-dir DIR] \
                      [--inject-mass-drift X] [--inject-courant X]\n\
                      cases: {}\n\
                      policies: {}",
@@ -809,6 +814,7 @@ fn main() {
         || args.report_json.is_some()
         || args.gate.is_some()
         || args.gate_write.is_some()
+        || args.history_dir.is_some()
         || args.inject_mass_drift != 0.0
         || args.inject_courant != 0.0
         || args.validate
@@ -1007,6 +1013,39 @@ fn main() {
             rec.flight_events().len(),
             rec.flight_total(),
             path.display()
+        );
+    }
+
+    // -- history store ----------------------------------------------------
+    // Flushed after the analysis pass so the stored run carries the
+    // `analysis.blame.*` gauges alongside solver metrics, and entirely
+    // off the step hot path (the run is over). Default retention keeps
+    // the directory bounded without any extra flags.
+    if let Some(dir) = &args.history_dir {
+        let store = HistoryStore::open(dir).expect("open history store");
+        let manifest = RunManifest::new(
+            &args.case,
+            args.level,
+            args.lloyd,
+            args.backend.name(),
+            args.layers,
+            &args.policy,
+            &args.executor,
+            args.ranks,
+            stats.total_steps,
+        );
+        let recorded = store
+            .record_recorder(&manifest, &rec, "")
+            .expect("record history run");
+        let compaction = store
+            .compact(&Retention::default())
+            .expect("compact history store");
+        println!(
+            "history: recorded run {} into {} ({} run(s) retained, {} KiB)",
+            recorded.run_id,
+            dir.display(),
+            store.runs().map(|r| r.len()).unwrap_or(0),
+            compaction.bytes_after / 1024,
         );
     }
 

@@ -21,6 +21,7 @@ struct Args {
     workers: usize,
     queue_cap: usize,
     metrics: Option<PathBuf>,
+    history_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -29,6 +30,7 @@ fn parse_args() -> Args {
         workers: 2,
         queue_cap: 64,
         metrics: None,
+        history_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -38,10 +40,11 @@ fn parse_args() -> Args {
             "--workers" => args.workers = val().parse().expect("workers"),
             "--queue-cap" => args.queue_cap = val().parse().expect("queue-cap"),
             "--metrics" => args.metrics = Some(PathBuf::from(val())),
+            "--history-dir" => args.history_dir = Some(PathBuf::from(val())),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: swe-serve [--addr HOST:PORT] [--workers N] \
-                     [--queue-cap N] [--metrics FILE.json]"
+                     [--queue-cap N] [--metrics FILE.json] [--history-dir DIR]"
                 );
                 std::process::exit(0);
             }
@@ -59,6 +62,7 @@ fn main() {
             addr: args.addr.clone(),
             workers: args.workers,
             queue_capacity: args.queue_cap,
+            history_dir: args.history_dir.clone(),
         },
         rec.clone(),
     )

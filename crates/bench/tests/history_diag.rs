@@ -1,0 +1,143 @@
+//! End-to-end root-cause attribution through real process boundaries:
+//! two `swe-run` invocations flush into one `--history-dir`, the second
+//! with `MPAS_SIMD_FORCE_SCALAR=1` pinning the SIMD tier to its scalar
+//! fallback. `swe-diag` must then exit 1 with a top-ranked FAIL finding
+//! that attributes the regression to the kernel-backend dimension via
+//! `kernel.simd_speedup_serial` — the acceptance scenario of the
+//! history plane (level 6, k=4, the paper's Table-I configuration).
+//!
+//! The forced-scalar run produces a bitwise-identical trajectory (the
+//! scalar fallback is the reference the SIMD tier is verified against),
+//! so conservation and validation metrics stay put: the *only*
+//! fail-severity signal available to the diagnoser is the vanished
+//! speedup, which is exactly what the attribution must find.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn swe_run() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_swe_run"))
+}
+
+fn swe_diag() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_swe_diag"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("swe_history_diag_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_into(history: &PathBuf, forced_scalar: bool) {
+    let mut cmd = swe_run();
+    cmd.args(["--level", "6", "--layers", "4", "--backend", "simd"])
+        .args(["--days", "0.01", "--reorder", "sfc"])
+        .args(["--history-dir", history.to_str().unwrap()]);
+    if forced_scalar {
+        cmd.env("MPAS_SIMD_FORCE_SCALAR", "1");
+    }
+    let out = cmd.output().expect("run swe_run");
+    assert!(
+        out.status.success(),
+        "swe_run (forced_scalar={forced_scalar}) failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("history: recorded run"),
+        "run did not flush history: {stdout}"
+    );
+}
+
+#[test]
+fn forced_scalar_regression_is_attributed_to_the_kernel_backend_across_processes() {
+    let history = tmp_dir("attrib");
+
+    // Baseline: the genuine SIMD tier. Regressed: same binary, same
+    // config, the kernel backend pinned to scalar by the environment.
+    run_into(&history, false);
+    run_into(&history, true);
+
+    // Human-readable report: exit 1, FAIL verdict naming the dimension
+    // and the metric.
+    let out = swe_diag()
+        .args(["--history-dir", history.to_str().unwrap()])
+        .args(["--run", "latest", "--against", "last=1"])
+        .output()
+        .expect("run swe_diag");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "swe_diag must exit 1 on a fail-severity regression:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("verdict: FAIL — regression attributed to kernel-backend"),
+        "missing kernel-backend attribution:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("kernel.simd_speedup_serial"),
+        "missing the attributing metric:\n{stdout}"
+    );
+
+    // JSON report: same exit code, parseable, the top-ranked finding is
+    // the kernel-backend speedup collapse.
+    let out = swe_diag()
+        .args(["--history-dir", history.to_str().unwrap()])
+        .args(["--run", "latest", "--against", "last=1", "--json"])
+        .output()
+        .expect("run swe_diag --json");
+    assert_eq!(out.status.code(), Some(1));
+    let payload = String::from_utf8_lossy(&out.stdout);
+    mpas_telemetry::export::validate_json(&payload)
+        .unwrap_or_else(|at| panic!("diagnosis JSON invalid at byte {at}:\n{payload}"));
+    let doc = mpas_telemetry::export::parse_json(&payload).unwrap();
+    assert_eq!(doc.get("failed").and_then(|v| v.as_bool()), Some(true));
+    let findings = doc
+        .get("findings")
+        .and_then(|f| f.as_arr())
+        .expect("findings");
+    assert!(!findings.is_empty());
+    let top = &findings[0];
+    assert_eq!(
+        top.get("dimension").and_then(|d| d.as_str()),
+        Some("kernel-backend"),
+        "top finding:\n{payload}"
+    );
+    assert_eq!(
+        top.get("metric").and_then(|m| m.as_str()),
+        Some("kernel.simd_speedup_serial")
+    );
+    assert_eq!(top.get("severity").and_then(|s| s.as_str()), Some("fail"));
+
+    // The baseline run itself diagnoses clean (exit 0, no findings to
+    // fail on): attribution is directional, not symmetric noise.
+    let out = swe_diag()
+        .args(["--history-dir", history.to_str().unwrap()])
+        .args(["--run", "r000001", "--against", "last=1"])
+        .output()
+        .expect("run swe_diag on baseline");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "baseline run must not fail:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // --list shows both runs with their manifest axes.
+    let out = swe_diag()
+        .args(["--history-dir", history.to_str().unwrap(), "--list"])
+        .output()
+        .expect("run swe_diag --list");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("r000001") && stdout.contains("r000002"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("simd"), "{stdout}");
+
+    std::fs::remove_dir_all(&history).ok();
+}

@@ -165,6 +165,95 @@ fn live_recorder_with_flight_and_window_is_within_5_percent_of_a_step() {
 }
 
 #[test]
+fn history_flush_stays_off_the_hot_path() {
+    // The history store attaches to a recorder only at flush time: a
+    // post-run `record_recorder` snapshot read. The hot-path primitives
+    // of a recorder that is about to be (and then has been) flushed must
+    // therefore cost the same as any live recorder — the same ≤5%/step
+    // budget — and the flush itself must not perturb the recorder's
+    // contents.
+    let rec = Recorder::new();
+    let dir = std::env::temp_dir().join(format!("mpas-overhead-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = mpas_telemetry::store::HistoryStore::open(&dir).expect("open store");
+    let manifest = mpas_telemetry::store::RunManifest::new(
+        "5",
+        3,
+        0,
+        "simd",
+        4,
+        "pattern-driven",
+        "serial",
+        0,
+        4,
+    );
+
+    let (iters, reps) = (40_000, 5);
+    let hot_mix = |rec: &Recorder| {
+        let t_guard = min_time_per_call(
+            || {
+                let g = rec.time("bench.guard_seconds");
+                std::hint::black_box(&g);
+            },
+            iters,
+            reps,
+        );
+        let t_counter = min_time_per_call(
+            || {
+                rec.add("bench.counter", 1);
+            },
+            iters,
+            reps,
+        );
+        let t_hist = min_time_per_call(
+            || {
+                rec.record("bench.hist", 1e-6);
+            },
+            iters,
+            reps,
+        );
+        let light = t_counter.max(t_hist);
+        TIMED_PER_STEP * t_guard + (CALLS_PER_STEP - TIMED_PER_STEP) * light
+    };
+
+    let before_flush = hot_mix(&rec);
+    let snap_before = rec.snapshot();
+    let m = store.record_recorder(&manifest, &rec, "").expect("flush");
+    let snap_after = rec.snapshot();
+    let after_flush = hot_mix(&rec);
+
+    let mut sim = Simulation::builder()
+        .mesh_level(3)
+        .executor(Executor::Threaded { threads: 2 })
+        .build();
+    sim.run_steps(1); // warm-up
+    let t0 = std::time::Instant::now();
+    sim.run_steps(4);
+    let step_seconds = t0.elapsed().as_secs_f64() / 4.0;
+
+    for (label, overhead) in [("before", before_flush), ("after", after_flush)] {
+        assert!(
+            overhead <= 0.05 * step_seconds,
+            "{label} the history flush, hot-path overhead {overhead:.3e}s/step \
+             exceeds 5% of a measured step ({step_seconds:.3e}s)"
+        );
+    }
+    // The flush read a snapshot; it did not drain, reset or otherwise
+    // mutate the live recorder.
+    assert_eq!(snap_before.counters, snap_after.counters);
+    assert_eq!(snap_before.gauges, snap_after.gauges);
+    assert_eq!(
+        snap_before.histograms.keys().collect::<Vec<_>>(),
+        snap_after.histograms.keys().collect::<Vec<_>>()
+    );
+    // And the run really landed: the store holds the flushed metrics.
+    let rows = store.run_summary(&m.run_id).expect("summary");
+    assert!(rows.iter().any(|r| r.metric == "bench.counter"));
+    assert!(rows.iter().any(|r| r.metric == "bench.hist"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn noop_recorder_stores_nothing() {
     let rec = Recorder::noop();
     {

@@ -86,6 +86,11 @@ pub struct JobEntry {
     /// the live `/jobs/{id}/telemetry` and `/jobs/{id}/flight` endpoints
     /// select by.
     pub scope: String,
+    /// History-store run id assigned when the job's telemetry was
+    /// flushed post-completion (`None` until then, or when the server
+    /// runs without `--history-dir`); what `GET /jobs/{id}/diagnosis`
+    /// resolves through.
+    pub history_run: Option<String>,
 }
 
 /// Thread-safe id-keyed job table.
@@ -113,6 +118,7 @@ impl Registry {
             worker,
             ttfs_ms: None,
             scope: format!("job{id}"),
+            history_run: None,
         };
         self.jobs
             .lock()

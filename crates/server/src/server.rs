@@ -8,6 +8,8 @@ use crate::job::JobRequest;
 use crate::registry::{JobState, Registry};
 use mpas_core::{JobError, JobProgress};
 use mpas_telemetry::analysis::LiveBlame;
+use mpas_telemetry::diagnose::{diagnose, DiagnoseConfig};
+use mpas_telemetry::store::{Agg, HistoryStore, MetricQuery, RunFilter, RunManifest};
 use mpas_telemetry::{flight, names, Recorder};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -26,6 +28,11 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Maximum jobs waiting in queues before submissions get 429.
     pub queue_capacity: usize,
+    /// Telemetry history directory. When set, every completed job's
+    /// scoped metrics are flushed into a [`HistoryStore`] there and the
+    /// `/history/*` + `/jobs/{id}/diagnosis` routes come alive; `None`
+    /// disables persistence (the routes 404).
+    pub history_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -34,6 +41,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
             queue_capacity: 64,
+            history_dir: None,
         }
     }
 }
@@ -48,6 +56,8 @@ struct Inner {
     /// `analysis.blame.*` gauges, so attribution is queryable mid-run
     /// instead of only from a post-mortem trace.
     live: Mutex<LiveBlame>,
+    /// Cross-run telemetry persistence (None without `--history-dir`).
+    history: Option<HistoryStore>,
 }
 
 /// A running server. Dropping the handle does NOT stop the service; call
@@ -75,12 +85,17 @@ impl Server {
         rec.rolling_window(names::SERVER_QUEUE_WAIT_SECONDS, 30.0);
         rec.rolling_window(names::SERVER_LIVE_SECONDS, 30.0);
 
+        let history = match &config.history_dir {
+            Some(dir) => Some(HistoryStore::open(dir)?),
+            None => None,
+        };
         let inner = Arc::new(Inner {
             cache: ArtifactCache::new(rec.clone()),
             registry: Registry::new(),
             rec: rec.clone(),
             draining: AtomicBool::new(false),
             live: Mutex::new(LiveBlame::matching("server.job")),
+            history,
         });
 
         let worker_inner = inner.clone();
@@ -137,6 +152,11 @@ impl Server {
     /// Direct registry access for tests and embedding.
     pub fn registry(&self) -> &Registry {
         &self.inner.registry
+    }
+
+    /// The history store, when the server was started with one.
+    pub fn history(&self) -> Option<&HistoryStore> {
+        self.inner.history.as_ref()
     }
 }
 
@@ -261,6 +281,9 @@ fn route(req: &Request, inner: &Arc<Inner>, dispatcher: &Arc<Dispatcher>) -> (u1
         ("POST", ["jobs"]) => submit_job(&req.body, inner, dispatcher),
         ("GET", ["jobs", id, "telemetry"]) => with_id(id, |id| job_telemetry(id, inner)),
         ("GET", ["jobs", id, "flight"]) => with_id(id, |id| job_flight(id, inner)),
+        ("GET", ["jobs", id, "diagnosis"]) => with_id(id, |id| job_diagnosis(id, req, inner)),
+        ("GET", ["history", "runs"]) => history_runs(inner),
+        ("GET", ["history", "query"]) => history_query(req, inner),
         ("GET", ["jobs", id]) => with_id(id, |id| job_status(id, inner)),
         ("GET", ["jobs", id, "result"]) => with_id(id, |id| job_result(id, inner)),
         ("POST", ["jobs", id, "cancel"]) => with_id(id, |id| cancel_job(id, inner)),
@@ -270,9 +293,11 @@ fn route(req: &Request, inner: &Arc<Inner>, dispatcher: &Arc<Dispatcher>) -> (u1
             inner.draining.store(true, Ordering::SeqCst);
             (200, "{\"ok\": true, \"draining\": true}\n".to_string())
         }
-        (_, ["jobs", ..]) | (_, ["healthz"]) | (_, ["metrics", ..]) | (_, ["shutdown"]) => {
-            (405, error_body("method not allowed"))
-        }
+        (_, ["jobs", ..])
+        | (_, ["healthz"])
+        | (_, ["metrics", ..])
+        | (_, ["history", ..])
+        | (_, ["shutdown"]) => (405, error_body("method not allowed")),
         _ => (404, error_body("no such route")),
     }
 }
@@ -431,6 +456,158 @@ fn job_flight(id: u64, inner: &Arc<Inner>) -> (u16, String) {
     (200, flight::to_chrome_trace(&events))
 }
 
+/// `GET /history/runs`: manifests of every recorded run, oldest first.
+fn history_runs(inner: &Arc<Inner>) -> (u16, String) {
+    let Some(store) = &inner.history else {
+        return (
+            404,
+            error_body("history not configured (start with --history-dir)"),
+        );
+    };
+    match store.runs() {
+        Ok(runs) => {
+            let docs: Vec<String> = runs.iter().map(|m| m.to_json()).collect();
+            (200, format!("{{\"runs\": [{}]}}\n", docs.join(", ")))
+        }
+        Err(e) => (503, error_body(&e.to_string())),
+    }
+}
+
+/// `GET /history/query`: the store's [`MetricQuery`] over HTTP.
+/// Parameters: `prefix` (metric-name prefix), `agg`
+/// (count/sum/mean/p50/p95/max/min, default p50), `run` (exact run id),
+/// `last` (most recent N runs), any manifest axis as `key=value`
+/// (case/level/lloyd/backend/layers/policy/executor/ranks/steps/git),
+/// and `start`+`end` for a raw-sample index range. Each answer row says
+/// which ladder level produced it.
+fn history_query(req: &Request, inner: &Arc<Inner>) -> (u16, String) {
+    let Some(store) = &inner.history else {
+        return (
+            404,
+            error_body("history not configured (start with --history-dir)"),
+        );
+    };
+    let agg = match req.query_param("agg") {
+        None => Agg::P50,
+        Some(a) => match Agg::parse(a) {
+            Some(a) => a,
+            None => {
+                return (
+                    400,
+                    error_body("agg must be count/sum/mean/p50/p95/max/min"),
+                )
+            }
+        },
+    };
+    let mut run_filter = RunFilter::default();
+    if let Some(r) = req.query_param("run") {
+        run_filter.run_ids.push(r.to_string());
+    }
+    if let Some(n) = req.query_param("last") {
+        match n.parse::<usize>() {
+            Ok(n) if n >= 1 => run_filter.last_n = Some(n),
+            _ => return (400, error_body("last must be an integer >= 1")),
+        }
+    }
+    for key in [
+        "case", "level", "lloyd", "backend", "layers", "policy", "executor", "ranks", "steps",
+        "git",
+    ] {
+        if let Some(v) = req.query_param(key) {
+            run_filter.keys.push((key.to_string(), v.to_string()));
+        }
+    }
+    let range = match (req.query_param("start"), req.query_param("end")) {
+        (None, None) => None,
+        (s, e) => {
+            let parse = |v: Option<&str>, d: usize| v.map_or(Ok(d), str::parse::<usize>);
+            match (parse(s, 0), parse(e, usize::MAX)) {
+                (Ok(a), Ok(b)) if a < b => Some((a, b)),
+                _ => return (400, error_body("start/end must form a valid sample range")),
+            }
+        }
+    };
+    let query = MetricQuery {
+        name_prefix: req.query_param("prefix").unwrap_or("").to_string(),
+        run_filter,
+        range,
+        agg,
+    };
+    match store.query(&query) {
+        Ok(rows) => {
+            let docs: Vec<String> = rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"run\": \"{}\", \"metric\": \"{}\", \"value\": {}, \"level\": \"{}\"}}",
+                        mpas_telemetry::json_escape(&r.run_id),
+                        mpas_telemetry::json_escape(&r.metric),
+                        if r.value.is_finite() {
+                            format!("{}", r.value)
+                        } else {
+                            "null".to_string()
+                        },
+                        r.level,
+                    )
+                })
+                .collect();
+            (
+                200,
+                format!(
+                    "{{\"agg\": \"{}\", \"rows\": [\n  {}\n]}}\n",
+                    agg.as_str(),
+                    docs.join(",\n  ")
+                ),
+            )
+        }
+        Err(e) => (503, error_body(&e.to_string())),
+    }
+}
+
+/// `GET /jobs/{id}/diagnosis`: the cross-run attribution report for a
+/// completed job's recorded history run, against the most recent
+/// matching baselines (`?against=N`, default 5).
+fn job_diagnosis(id: u64, req: &Request, inner: &Arc<Inner>) -> (u16, String) {
+    let Some(store) = &inner.history else {
+        return (
+            404,
+            error_body("history not configured (start with --history-dir)"),
+        );
+    };
+    let Some(history_run) = inner.registry.with(id, |e| e.history_run.clone()) else {
+        return (404, error_body("unknown job id"));
+    };
+    let Some(run_id) = history_run else {
+        return (
+            409,
+            error_body("job has no recorded history run (not completed yet?)"),
+        );
+    };
+    let last_n = match req.query_param("against") {
+        None => 5,
+        Some(n) => match n.trim_start_matches("last=").parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                return (
+                    400,
+                    error_body("against must be an integer >= 1 (or last=N)"),
+                )
+            }
+        },
+    };
+    match diagnose(
+        store,
+        &run_id,
+        &DiagnoseConfig {
+            last_n,
+            ..DiagnoseConfig::default()
+        },
+    ) {
+        Ok(report) => (200, report.to_json()),
+        Err(e) => (503, error_body(&e.to_string())),
+    }
+}
+
 fn cancel_job(id: u64, inner: &Arc<Inner>) -> (u16, String) {
     match inner.registry.cancel(id) {
         Some(label) => {
@@ -483,6 +660,11 @@ fn execute_job(inner: &Arc<Inner>, job: QueuedJob) {
     // the job's recent step-time p50/p95 queryable mid-run.
     let jrec = inner.rec.scoped(&scope);
     jrec.rolling_window("core.sim.step_seconds", 30.0);
+    // Per-job flight-ring sizing: grow-only, because every worker shares
+    // the one ring — a deep-ring job must not lose a neighbour's events.
+    if let Some(cap) = request.flight_capacity {
+        inner.rec.ensure_flight_capacity(cap);
+    }
 
     let registry = &inner.registry;
     let outcome = mpas_core::run_job(&spec, mesh, coeffs, &jrec, &cancel, |p: JobProgress| {
@@ -499,6 +681,7 @@ fn execute_job(inner: &Arc<Inner>, job: QueuedJob) {
         Ok(result) => {
             inner.rec.add(names::SERVER_JOBS_COMPLETED, 1);
             inner.registry.set_state(id, JobState::Completed(result));
+            flush_history(inner, id, &request, &scope);
         }
         Err(JobError::Cancelled { steps_done }) => {
             inner
@@ -508,6 +691,40 @@ fn execute_job(inner: &Arc<Inner>, job: QueuedJob) {
         Err(JobError::Invalid(msg)) => {
             inner.rec.add(names::SERVER_JOBS_FAILED, 1);
             inner.registry.set_state(id, JobState::Failed(msg));
+        }
+    }
+}
+
+/// Post-completion history flush: persist the job's scoped telemetry
+/// slice under scope-stripped names, so a server job's run rows are
+/// directly comparable with `swe_run --history-dir` rows. Runs on the
+/// worker thread *after* the job finished — nothing here touches the
+/// solver hot path — and a store failure is logged, never fatal to the
+/// already-completed job.
+fn flush_history(inner: &Arc<Inner>, id: u64, request: &JobRequest, scope: &str) {
+    let Some(store) = &inner.history else {
+        return;
+    };
+    let manifest = RunManifest::new(
+        &request.case,
+        request.level,
+        request.lloyd,
+        request.backend.name(),
+        request.layers,
+        &request.policy,
+        &request.executor,
+        0,
+        request.steps,
+    );
+    match store.record_recorder(&manifest, &inner.rec, &format!("{scope}.")) {
+        Ok(m) => {
+            inner.rec.add(names::SERVER_HISTORY_RECORDED, 1);
+            inner
+                .registry
+                .with(id, |e| e.history_run = Some(m.run_id.clone()));
+        }
+        Err(e) => {
+            eprintln!("mpas-server: history flush for job {id} failed: {e}");
         }
     }
 }

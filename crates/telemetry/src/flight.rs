@@ -108,6 +108,9 @@ impl FlightEvent {
 pub(crate) struct FlightRing {
     cap: usize,
     events: Vec<FlightEvent>,
+    /// Index of the oldest event once the ring is full (0 while
+    /// filling, and immediately after a resize re-linearises it).
+    head: usize,
     /// Events ever pushed (so `total - len` = events overwritten).
     total: u64,
 }
@@ -118,16 +121,17 @@ impl FlightRing {
         FlightRing {
             cap,
             events: Vec::with_capacity(cap),
+            head: 0,
             total: 0,
         }
     }
 
     pub(crate) fn push(&mut self, ev: FlightEvent) {
-        let idx = (self.total % self.cap as u64) as usize;
         if self.events.len() < self.cap {
             self.events.push(ev);
         } else {
-            self.events[idx] = ev;
+            self.events[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
         }
         self.total += 1;
     }
@@ -136,19 +140,35 @@ impl FlightRing {
         self.cap
     }
 
+    /// Resize in place, keeping the newest events (all of them on a
+    /// grow, the most recent `cap` on a shrink). `total` is preserved
+    /// so overwrite accounting stays monotonic.
+    pub(crate) fn set_capacity(&mut self, cap: usize) {
+        let cap = cap.max(1);
+        if cap == self.cap {
+            return;
+        }
+        let mut kept = self.chronological();
+        if kept.len() > cap {
+            kept.drain(..kept.len() - cap);
+        }
+        self.cap = cap;
+        self.events = kept;
+        self.head = 0;
+    }
+
     pub(crate) fn total(&self) -> u64 {
         self.total
     }
 
     /// Ring contents, oldest first.
     pub(crate) fn chronological(&self) -> Vec<FlightEvent> {
-        if self.total <= self.cap as u64 {
+        if self.events.len() < self.cap || self.head == 0 {
             return self.events.clone();
         }
-        let head = (self.total % self.cap as u64) as usize;
         let mut out = Vec::with_capacity(self.cap);
-        out.extend_from_slice(&self.events[head..]);
-        out.extend_from_slice(&self.events[..head]);
+        out.extend_from_slice(&self.events[self.head..]);
+        out.extend_from_slice(&self.events[..self.head]);
         out
     }
 }
@@ -249,6 +269,27 @@ mod tests {
         ring.push(counter("c", 2));
         assert_eq!(ring.chronological().len(), 1);
         assert_eq!(ring.chronological()[0].ts_s(), 2.0);
+    }
+
+    #[test]
+    fn resize_keeps_the_newest_events_and_total() {
+        let mut ring = FlightRing::new(4);
+        for i in 0..10 {
+            ring.push(counter("c", i));
+        }
+        // Grow: the 4 survivors stay, new pushes extend past them.
+        ring.set_capacity(8);
+        assert_eq!(ring.capacity(), 8);
+        assert_eq!(ring.total(), 10);
+        ring.push(counter("c", 10));
+        let seen: Vec<f64> = ring.chronological().iter().map(|e| e.ts_s()).collect();
+        assert_eq!(seen, vec![6.0, 7.0, 8.0, 9.0, 10.0]);
+        // Shrink: only the newest two remain, and wrap still works.
+        ring.set_capacity(2);
+        ring.push(counter("c", 11));
+        let seen: Vec<f64> = ring.chronological().iter().map(|e| e.ts_s()).collect();
+        assert_eq!(seen, vec![10.0, 11.0]);
+        assert_eq!(ring.total(), 12);
     }
 
     #[test]

@@ -37,7 +37,8 @@ pub enum Direction {
 }
 
 impl Direction {
-    fn as_str(&self) -> &'static str {
+    /// Stable wire name (baseline JSON, diagnosis reports).
+    pub fn as_str(&self) -> &'static str {
         match self {
             Direction::Above => "above",
             Direction::Below => "below",
@@ -45,7 +46,8 @@ impl Direction {
         }
     }
 
-    fn parse(s: &str) -> Option<Direction> {
+    /// Parse a wire name back.
+    pub fn parse(s: &str) -> Option<Direction> {
         match s {
             "above" => Some(Direction::Above),
             "below" => Some(Direction::Below),
@@ -65,14 +67,16 @@ pub enum Severity {
 }
 
 impl Severity {
-    fn as_str(&self) -> &'static str {
+    /// Stable wire name (baseline JSON, diagnosis reports).
+    pub fn as_str(&self) -> &'static str {
         match self {
             Severity::Warn => "warn",
             Severity::Fail => "fail",
         }
     }
 
-    fn parse(s: &str) -> Option<Severity> {
+    /// Parse a wire name back.
+    pub fn parse(s: &str) -> Option<Severity> {
         match s {
             "warn" => Some(Severity::Warn),
             "fail" => Some(Severity::Fail),

@@ -38,11 +38,13 @@
 //! buffers.
 
 pub mod analysis;
+pub mod diagnose;
 pub mod digest;
 pub mod export;
 pub mod flight;
 pub mod gate;
 pub mod names;
+pub mod store;
 pub mod window;
 
 pub use export::{json_escape, ChromeTrace};
@@ -610,11 +612,38 @@ impl Recorder {
         }
     }
 
-    /// The flight ring's fixed capacity (0 on a no-op recorder).
+    /// The flight ring's current capacity (0 on a no-op recorder).
     pub fn flight_capacity(&self) -> usize {
         match &self.inner {
             Some(inner) => inner.buf.lock().unwrap().flight.capacity(),
             None => 0,
+        }
+    }
+
+    /// Resize the flight ring at runtime (no-op on a no-op recorder).
+    ///
+    /// The ring is rebuilt around the newest `capacity` events already
+    /// held, so history survives a grow and a shrink keeps the most
+    /// recent tail. This is what lets a server job request a deeper
+    /// ring through its submission body instead of the capacity being
+    /// fixed process-wide at recorder construction.
+    pub fn set_flight_capacity(&self, capacity: usize) {
+        if let Some(inner) = &self.inner {
+            inner.buf.lock().unwrap().flight.set_capacity(capacity);
+        }
+    }
+
+    /// Grow the flight ring to at least `capacity`, never shrinking.
+    ///
+    /// The server uses this form: its workers share one ring, so a job
+    /// asking for less than another job already got must not drop the
+    /// other job's history.
+    pub fn ensure_flight_capacity(&self, capacity: usize) {
+        if let Some(inner) = &self.inner {
+            let mut buf = inner.buf.lock().unwrap();
+            if capacity > buf.flight.capacity() {
+                buf.flight.set_capacity(capacity);
+            }
         }
     }
 

@@ -86,3 +86,14 @@ pub const SERVE_LIVE_P95_MS: &str = "serve.live_p95_ms";
 /// invocation. The committed perf gate fails below 2.0× at level 6, k=4
 /// (DESIGN.md §14).
 pub const KERNEL_SIMD_SPEEDUP_SERIAL: &str = "kernel.simd_speedup_serial";
+
+/// Gauge: load-generator median latency in milliseconds of the live
+/// `/jobs/{id}/telemetry` endpoint (p95 sibling:
+/// [`SERVE_LIVE_P95_MS`]); recorded into the history store so serving
+/// latency is queryable alongside solver metrics.
+pub const SERVE_LIVE_P50_MS: &str = "serve.live_p50_ms";
+
+/// Counter: completed jobs whose scoped telemetry was flushed into the
+/// server's history store (`--history-dir`); the history-route tests
+/// poll it to know a flush landed.
+pub const SERVER_HISTORY_RECORDED: &str = "server.history.recorded";

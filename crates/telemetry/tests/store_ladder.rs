@@ -1,0 +1,229 @@
+//! Property tests for the history store's downsampling ladder.
+//!
+//! The contracts under test, for arbitrary sample sets and step counts:
+//!
+//! - every ladder level is *consistent with raw*: `count` and the
+//!   chunk-tree `sum` are exact (bitwise, including the JSON round
+//!   trip), `min`/`max` are exact, and the per-run `p50`/`p95` are the
+//!   exact nearest-rank values over the raw samples. Merged step-level
+//!   percentiles are estimates whose documented tolerance is the
+//!   clamp to `[min, max]` — that bound is asserted, nothing tighter.
+//! - compaction (`max_bytes: 0` sheds every raw and steps shard)
+//!   preserves per-run summaries and manifests bitwise, while raw
+//!   reads report the shard as compacted.
+//! - whole-run queries answer from the summary level with exact
+//!   agreement against a recompute from raw, for every aggregation.
+
+use mpas_telemetry::store::{
+    Agg, HistoryStore, LadderSummary, MetricKind, MetricQuery, Retention, RunFilter, RunManifest,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tmp(name: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "mpas-store-prop-{}-{}-{}",
+        name,
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn manifest(steps: usize) -> RunManifest {
+    RunManifest::new("5", 3, 0, "simd", 4, "pattern-driven", "serial", 0, steps)
+}
+
+fn record_one(store: &HistoryStore, steps: usize, samples: &[f64]) -> std::io::Result<RunManifest> {
+    let mut metrics: BTreeMap<String, (MetricKind, Vec<f64>)> = BTreeMap::new();
+    metrics.insert(
+        "swe.step.seconds".to_string(),
+        (MetricKind::Histogram, samples.to_vec()),
+    );
+    store.record(&manifest(steps), &metrics)
+}
+
+/// Exact nearest-rank percentile, the rule the store documents
+/// (`idx = round((n - 1) * q)` over the sorted samples).
+fn pct(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn samples_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e6..1.0e6f64, 1..180)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ladder_levels_are_consistent_with_raw(
+        samples in samples_strategy(),
+        steps in 1usize..16,
+    ) {
+        let dir = tmp("ladder");
+        let store = HistoryStore::open(&dir).unwrap();
+        let m = record_one(&store, steps, &samples).unwrap();
+
+        // Level 0 survives the JSON round trip bitwise (shortest
+        // round-trip formatting).
+        let raw = store.run_raw(&m.run_id, "swe.step.seconds").unwrap().unwrap();
+        prop_assert_eq!(raw.len(), samples.len());
+        for (a, b) in raw.iter().zip(&samples) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Level 1: chunks tile the raw shard and each row is the exact
+        // summary of its slice.
+        let chunk_len = samples.len().div_ceil(steps).max(1);
+        let rows = store.run_steps(&m.run_id, "swe.step.seconds").unwrap().unwrap();
+        prop_assert_eq!(rows.len(), samples.chunks(chunk_len).count());
+        for (row, chunk) in rows.iter().zip(samples.chunks(chunk_len)) {
+            let expect = LadderSummary::from_slice(chunk);
+            prop_assert_eq!(row.summary.count, expect.count);
+            prop_assert_eq!(row.summary.sum.to_bits(), expect.sum.to_bits());
+            prop_assert_eq!(row.summary.min.to_bits(), expect.min.to_bits());
+            prop_assert_eq!(row.summary.max.to_bits(), expect.max.to_bits());
+            prop_assert_eq!(row.summary.p50.to_bits(), expect.p50.to_bits());
+            prop_assert_eq!(row.summary.p95.to_bits(), expect.p95.to_bits());
+        }
+
+        // Level 2: count exact; sum is the chunk tree (left fold of the
+        // per-chunk left folds), bitwise; percentiles exact nearest-rank
+        // over the whole run.
+        let summary = &store.run_summary(&m.run_id).unwrap()[0].summary;
+        prop_assert_eq!(summary.count, samples.len());
+        let chunk_tree_sum = samples
+            .chunks(chunk_len)
+            .map(|c| c.iter().fold(0.0_f64, |a, b| a + b))
+            .fold(0.0_f64, |a, b| a + b);
+        prop_assert_eq!(summary.sum.to_bits(), chunk_tree_sum.to_bits());
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(summary.min.to_bits(), sorted[0].to_bits());
+        prop_assert_eq!(summary.max.to_bits(), sorted.last().unwrap().to_bits());
+        prop_assert_eq!(summary.p50.to_bits(), pct(&sorted, 0.50).to_bits());
+        prop_assert_eq!(summary.p95.to_bits(), pct(&sorted, 0.95).to_bits());
+
+        // Merging the step rows reproduces count/sum/min/max exactly;
+        // its percentiles are estimates whose documented tolerance is
+        // the clamp to [min, max].
+        let parts: Vec<LadderSummary> = rows.iter().map(|r| r.summary).collect();
+        let merged = LadderSummary::merge(&parts);
+        prop_assert_eq!(merged.count, summary.count);
+        prop_assert_eq!(merged.sum.to_bits(), summary.sum.to_bits());
+        prop_assert_eq!(merged.min.to_bits(), summary.min.to_bits());
+        prop_assert_eq!(merged.max.to_bits(), summary.max.to_bits());
+        prop_assert!(merged.p50 >= summary.min && merged.p50 <= summary.max);
+        prop_assert!(merged.p95 >= summary.min && merged.p95 <= summary.max);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn whole_run_queries_answer_every_agg_exactly_from_the_summary(
+        samples in samples_strategy(),
+        steps in 1usize..16,
+    ) {
+        let dir = tmp("aggs");
+        let store = HistoryStore::open(&dir).unwrap();
+        record_one(&store, steps, &samples).unwrap();
+
+        let chunk_len = samples.len().div_ceil(steps).max(1);
+        let chunk_tree_sum = samples
+            .chunks(chunk_len)
+            .map(|c| c.iter().fold(0.0_f64, |a, b| a + b))
+            .fold(0.0_f64, |a, b| a + b);
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect = [
+            (Agg::Count, samples.len() as f64),
+            (Agg::Sum, chunk_tree_sum),
+            (Agg::Mean, chunk_tree_sum / samples.len() as f64),
+            (Agg::P50, pct(&sorted, 0.50)),
+            (Agg::P95, pct(&sorted, 0.95)),
+            (Agg::Max, *sorted.last().unwrap()),
+            (Agg::Min, sorted[0]),
+        ];
+        for (agg, want) in expect {
+            let rows = store
+                .query(&MetricQuery {
+                    name_prefix: "swe.".to_string(),
+                    run_filter: RunFilter::default(),
+                    range: None,
+                    agg,
+                })
+                .unwrap();
+            prop_assert_eq!(rows.len(), 1);
+            prop_assert_eq!(rows[0].level, "summary");
+            prop_assert_eq!(rows[0].value.to_bits(), want.to_bits(), "agg {:?}", agg);
+        }
+        // None of those answers touched a finer shard.
+        prop_assert_eq!(store.raw_shard_reads(), 0);
+        prop_assert_eq!(store.shard_reads().steps, 0);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_round_trip_preserves_summaries_bitwise(
+        runs in proptest::collection::vec((samples_strategy(), 1usize..16), 1..4),
+    ) {
+        let dir = tmp("compact");
+        let store = HistoryStore::open(&dir).unwrap();
+        let mut recorded = Vec::new();
+        for (samples, steps) in &runs {
+            recorded.push(record_one(&store, *steps, samples).unwrap());
+        }
+        let before: Vec<_> = recorded
+            .iter()
+            .map(|m| store.run_summary(&m.run_id).unwrap())
+            .collect();
+
+        // max_bytes 0 sheds every raw + steps shard but must not touch
+        // a manifest or a summary.
+        let report = store
+            .compact(&Retention { max_runs: 256, max_bytes: 0 })
+            .unwrap();
+        prop_assert_eq!(report.compacted_runs.len(), recorded.len());
+        prop_assert!(report.removed_runs.is_empty());
+
+        for (m, want) in recorded.iter().zip(&before) {
+            let after = store.run_summary(&m.run_id).unwrap();
+            prop_assert_eq!(after.len(), want.len());
+            for (a, w) in after.iter().zip(want) {
+                prop_assert_eq!(&a.metric, &w.metric);
+                prop_assert_eq!(a.kind, w.kind);
+                prop_assert_eq!(a.summary.count, w.summary.count);
+                prop_assert_eq!(a.summary.sum.to_bits(), w.summary.sum.to_bits());
+                prop_assert_eq!(a.summary.min.to_bits(), w.summary.min.to_bits());
+                prop_assert_eq!(a.summary.p50.to_bits(), w.summary.p50.to_bits());
+                prop_assert_eq!(a.summary.p95.to_bits(), w.summary.p95.to_bits());
+                prop_assert_eq!(a.summary.max.to_bits(), w.summary.max.to_bits());
+            }
+            prop_assert_eq!(store.manifest(&m.run_id).unwrap(), m.clone());
+            let err = store.run_raw(&m.run_id, "swe.step.seconds").unwrap_err();
+            prop_assert!(err.to_string().contains("compacted"), "err: {err}");
+            // Whole-run queries still answer post-compaction.
+            let rows = store
+                .query(&MetricQuery {
+                    name_prefix: String::new(),
+                    run_filter: RunFilter {
+                        run_ids: vec![m.run_id.clone()],
+                        ..RunFilter::default()
+                    },
+                    range: None,
+                    agg: Agg::P50,
+                })
+                .unwrap();
+            prop_assert_eq!(rows.len(), want.len());
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
